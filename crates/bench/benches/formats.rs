@@ -1,0 +1,61 @@
+//! Criterion benchmarks of format construction and the compiler analyses
+//! (harness C1).
+//!
+//! ```text
+//! cargo bench -p rtm-bench --bench formats
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtm_compiler::plan::{ExecutionPlan, StorageFormat};
+use rtm_compiler::profile::KernelProfile;
+use rtm_compiler::reorder::ReorderPlan;
+use rtm_compiler::rle::analyze_loads;
+use rtm_sparse::{BspcMatrix, CsrMatrix};
+use rtm_tensor::Matrix;
+use std::hint::black_box;
+
+fn bsp_matrix() -> Matrix {
+    Matrix::from_fn(512, 512, |r, c| {
+        let stripe = r / 64;
+        if c % 16 == stripe % 16 {
+            0.5
+        } else {
+            0.0
+        }
+    })
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let dense = bsp_matrix();
+    let mut group = c.benchmark_group("format_construction_512x512");
+    group.bench_function("csr_from_dense", |b| {
+        b.iter(|| CsrMatrix::from_dense(black_box(&dense)))
+    });
+    group.bench_function("bspc_from_dense", |b| {
+        b.iter(|| BspcMatrix::from_dense(black_box(&dense), 8, 8).expect("fits"))
+    });
+    group.finish();
+}
+
+fn bench_compiler_analyses(c: &mut Criterion) {
+    let dense = bsp_matrix();
+    let mut group = c.benchmark_group("compiler_analyses_512x512");
+    group.bench_function("reorder_plan", |b| {
+        b.iter(|| ReorderPlan::compute(black_box(&dense), 8))
+    });
+    group.bench_function("rle_analysis", |b| {
+        b.iter(|| analyze_loads(black_box(&dense), None, 8))
+    });
+    let plan = ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8);
+    group.bench_function("kernel_profile_bspc", |b| {
+        b.iter(|| KernelProfile::analyze(black_box(&dense), &plan))
+    });
+    let csr_plan = ExecutionPlan::gpu_default(StorageFormat::Csr);
+    group.bench_function("kernel_profile_csr", |b| {
+        b.iter(|| KernelProfile::analyze(black_box(&dense), &csr_plan))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_compiler_analyses);
+criterion_main!(benches);

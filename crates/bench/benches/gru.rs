@@ -1,0 +1,75 @@
+//! Criterion benchmarks of GRU inference: dense reference vs the compiled
+//! BSPC runtime, f32 vs f16 (harness C1).
+//!
+//! ```text
+//! cargo bench -p rtm-bench --bench gru
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtm_pruning::admm::AdmmConfig;
+use rtm_pruning::bsp::{BspConfig, BspPruner};
+use rtm_pruning::schedule::CompressionTarget;
+use rtm_rnn::model::{GruNetwork, NetworkConfig};
+use rtmobile::deploy::{CompiledNetwork, RuntimePrecision};
+use std::hint::black_box;
+
+fn setup() -> (GruNetwork, GruNetwork, Vec<Vec<f32>>) {
+    let cfg = NetworkConfig {
+        input_dim: 16,
+        hidden_dims: vec![128, 128],
+        num_classes: 39,
+    };
+    let dense = GruNetwork::new(&cfg, 5);
+    let mut pruned = dense.clone();
+    BspPruner::new(BspConfig {
+        num_stripes: 8,
+        num_blocks: 8,
+        target: CompressionTarget::new(8.0, 2.0),
+        admm: AdmmConfig {
+            admm_iterations: 1,
+            epochs_per_iteration: 0,
+            finetune_epochs: 0,
+            ..AdmmConfig::default()
+        },
+    })
+    .prune(&mut pruned, &[]);
+    let frames: Vec<Vec<f32>> = (0..32)
+        .map(|t| (0..16).map(|i| ((t * 16 + i) as f32 * 0.05).sin()).collect())
+        .collect();
+    (dense, pruned, frames)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (dense, pruned, frames) = setup();
+    let compiled_f32 =
+        CompiledNetwork::compile(&pruned, 8, 8, RuntimePrecision::F32).expect("fits");
+    let compiled_f16 =
+        CompiledNetwork::compile(&pruned, 8, 8, RuntimePrecision::F16).expect("fits");
+
+    let mut group = c.benchmark_group("gru_inference_32frames");
+    group.bench_function("dense_reference", |b| {
+        b.iter(|| dense.forward(black_box(&frames)))
+    });
+    group.bench_function("dense_pruned_weights", |b| {
+        b.iter(|| pruned.forward(black_box(&frames)))
+    });
+    group.bench_function("compiled_bspc_f32", |b| {
+        b.iter(|| compiled_f32.forward(black_box(&frames)))
+    });
+    group.bench_function("compiled_bspc_f16", |b| {
+        b.iter(|| compiled_f16.forward(black_box(&frames)))
+    });
+    group.finish();
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let (mut dense, _, frames) = setup();
+    let targets: Vec<usize> = (0..frames.len()).map(|t| t % 39).collect();
+    let mut opt = rtm_rnn::Adam::new(1e-3);
+    c.bench_function("gru_train_step_32frames", |b| {
+        b.iter(|| dense.train_step(black_box(&frames), black_box(&targets), &mut opt, None))
+    });
+}
+
+criterion_group!(benches, bench_inference, bench_training_step);
+criterion_main!(benches);

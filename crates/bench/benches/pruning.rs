@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the pruning projections and one ADMM epoch
+//! (harness C1).
+//!
+//! ```text
+//! cargo bench -p rtm-bench --bench pruning
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rtm_pruning::projection::{
+    BankBalanced, BlockCirculant, BspColumnBlock, ColumnPrune, Projection, RowPrune,
+    UnstructuredMagnitude,
+};
+use rtm_tensor::Matrix;
+use std::hint::black_box;
+
+fn weights() -> Matrix {
+    Matrix::from_fn(512, 512, |r, c| (((r * 512 + c) as f32) * 0.001).sin())
+}
+
+fn bench_projections(c: &mut Criterion) {
+    let w = weights();
+    let mut group = c.benchmark_group("projection_512x512");
+    let cases: Vec<(&str, Box<dyn Projection>)> = vec![
+        ("unstructured", Box::new(UnstructuredMagnitude::new(0.1))),
+        ("bsp_column_block", Box::new(BspColumnBlock::new(8, 8, 0.1))),
+        ("row_prune", Box::new(RowPrune::new(0.5))),
+        ("column_prune", Box::new(ColumnPrune::new(0.5))),
+        ("bank_balanced", Box::new(BankBalanced::new(8, 0.125))),
+        ("block_circulant", Box::new(BlockCirculant::new(8))),
+    ];
+    for (name, proj) in &cases {
+        group.bench_function(*name, |b| b.iter(|| proj.project(black_box(&w))));
+    }
+    group.finish();
+}
+
+fn bench_mask_application(c: &mut Criterion) {
+    let w = weights();
+    let proj = BspColumnBlock::new(8, 8, 0.1);
+    let mask = proj.mask(&w).expect("mask-style projection");
+    c.bench_function("mask_apply_512x512", |b| {
+        b.iter(|| {
+            let mut m = w.clone();
+            for (wi, mi) in m.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                *wi *= mi;
+            }
+            m
+        })
+    });
+}
+
+criterion_group!(benches, bench_projections, bench_mask_application);
+criterion_main!(benches);

@@ -1,0 +1,290 @@
+//! Regenerates **Table I**: PER and compression of BSP at the paper's ten
+//! `(column, row)` targets, plus the five baseline schemes.
+//!
+//! ```text
+//! cargo run -p rtm-bench --bin table1 --release
+//! ```
+//!
+//! One dense GRU is trained on the synthetic TIMIT-like task, then each
+//! compression point starts from a fresh clone of it and runs the
+//! corresponding pruning scheme with ADMM retraining. Columns mirror the
+//! paper's: baseline/pruned PER, PER degradation, compression rate,
+//! surviving parameters. Paper numbers are printed alongside for the shape
+//! comparison (absolute PERs are task-specific; orderings and trends are
+//! the reproduction target).
+//!
+//! Pass `--seeds N` to repeat the whole experiment over N corpus/model
+//! seeds and report mean ± std PER per point — retraining a model this
+//! small after aggressive pruning has real seed variance, and the
+//! multi-seed view separates trend from noise (runtime scales with N).
+
+use rtm_bench::{admm_config, rule, speech_task, write_csv, ACC_HIDDEN, DENSE_EPOCHS, DENSE_LR, SEED};
+use std::sync::Mutex;
+
+/// CSV rows mirroring the printed table (collected by [`print_row`]).
+static CSV_ROWS: Mutex<Vec<String>> = Mutex::new(Vec::new());
+use rtm_pruning::baselines;
+use rtm_pruning::bsp::{BspConfig, BspPruner};
+use rtm_pruning::schedule::table1_targets;
+
+fn main() {
+    let seeds: usize = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == "--seeds")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1)
+    };
+    if seeds > 1 {
+        run_multi_seed(seeds);
+        return;
+    }
+    let task = speech_task();
+    println!("Training the dense baseline GRU (hidden {ACC_HIDDEN}, 2 layers)...");
+    let mut dense = task.new_network(ACC_HIDDEN, SEED);
+    let loss = task.train(&mut dense, DENSE_EPOCHS, DENSE_LR);
+    let baseline = task.evaluate(&dense);
+    println!(
+        "Dense baseline: PER {:.2}%, frame accuracy {:.1}%, final loss {:.4}",
+        baseline.per_percent(),
+        100.0 * baseline.frame_accuracy(),
+        loss
+    );
+    println!();
+
+    let w = 118;
+    println!("{}", rule(w));
+    println!(
+        "{:<30} {:>9} {:>9} {:>9} {:>10} {:>10} | {:>11} {:>12}",
+        "Method",
+        "PER base",
+        "PER prun",
+        "Degrad.",
+        "Rate",
+        "Params",
+        "paper Degr.",
+        "paper Rate"
+    );
+    println!("{}", rule(w));
+
+    let data = task.training_data();
+    let admm = admm_config();
+
+    // --- BSP sweep (the paper's ten rows). ---
+    for point in table1_targets() {
+        let label = format!(
+            "BSP (ours) {}x{}",
+            point.target.col_rate, point.target.row_rate
+        );
+        if point.target.is_dense() {
+            print_row(
+                &label,
+                baseline.per_percent(),
+                baseline.per_percent(),
+                1.0,
+                dense.total_prunable_params(),
+                point.paper_per_degradation,
+                point.paper_overall,
+            );
+            continue;
+        }
+        let mut net = dense.clone();
+        // Finer partition than the performance side: 8 stripes x 1 block
+        // gives each stripe a free column selection — the accuracy end of
+        // the tuner's accuracy/performance trade-off (§IV-B).
+        let pruner = BspPruner::new(BspConfig {
+            num_stripes: 8,
+            num_blocks: 1,
+            target: point.target,
+            admm,
+        });
+        let report = pruner.prune(&mut net, &data);
+        let eval = task.evaluate(&net);
+        print_row(
+            &label,
+            baseline.per_percent(),
+            eval.per_percent(),
+            report.achieved_rate,
+            report.kept_params,
+            point.paper_per_degradation,
+            point.paper_overall,
+        );
+    }
+    println!("{}", rule(w));
+
+    // --- Baselines (one row per comparison method of Table I). ---
+    {
+        let mut net = dense.clone();
+        let r = baselines::prune_unstructured(&mut net, &data, 8.0, admm);
+        let eval = task.evaluate(&net);
+        print_row(
+            "ESE (unstructured) 8x",
+            baseline.per_percent(),
+            eval.per_percent(),
+            r.achieved_rate,
+            r.kept_params,
+            0.30,
+            8.0,
+        );
+    }
+    for block in [8usize, 16] {
+        let mut net = dense.clone();
+        let r = baselines::prune_block_circulant(&mut net, &data, block, admm);
+        let eval = task.evaluate(&net);
+        let (paper_degr, paper_rate) = if block == 8 { (0.42, 8.0) } else { (1.33, 16.0) };
+        print_row(
+            &format!("C-LSTM (circulant) {block}x"),
+            baseline.per_percent(),
+            eval.per_percent(),
+            r.achieved_rate,
+            r.kept_params,
+            paper_degr,
+            paper_rate,
+        );
+    }
+    {
+        let mut net = dense.clone();
+        let r = baselines::prune_bank_balanced(&mut net, &data, 8.0, 4, admm);
+        let eval = task.evaluate(&net);
+        print_row(
+            "BBS (bank-balanced) 8x",
+            baseline.per_percent(),
+            eval.per_percent(),
+            r.achieved_rate,
+            r.kept_params,
+            0.25,
+            8.0,
+        );
+    }
+    {
+        let mut net = dense.clone();
+        let r = baselines::prune_column_row(&mut net, &data, 2.0, 2.0, admm);
+        let eval = task.evaluate(&net);
+        print_row(
+            "Wang (col+row struct) 4x",
+            baseline.per_percent(),
+            eval.per_percent(),
+            r.achieved_rate,
+            r.kept_params,
+            0.91,
+            4.0,
+        );
+    }
+    println!("{}", rule(w));
+
+    // Capacity reference: a *dense* model with roughly the parameter budget
+    // of the BSP 10x point, to separate capacity effects from
+    // pruning-algorithm effects (the paper's 10x point keeps 0.96M of 9.6M
+    // parameters — far above its task's capacity floor; ours is near it).
+    {
+        let narrow = {
+            let mut n = task.new_network(30, SEED.wrapping_add(9));
+            task.train(&mut n, DENSE_EPOCHS, DENSE_LR);
+            n
+        };
+        let eval = task.evaluate(&narrow);
+        println!(
+            "{:<30} {:>8} {:>8.2}% {:>9} {:>10} {:>10} | (capacity reference)",
+            "Dense h=30 (~BSP-10x params)",
+            "-",
+            eval.per_percent(),
+            "-",
+            "-",
+            narrow.total_prunable_params(),
+        );
+    }
+    println!("{}", rule(w));
+    match write_csv(
+        "table1",
+        "method,per_baseline,per_pruned,degradation,achieved_rate,params_kept,paper_degradation,paper_rate",
+        &CSV_ROWS.lock().expect("csv mutex"),
+    ) {
+        Ok(path) => println!("wrote {path}"),
+        Err(e) => eprintln!("csv write failed: {e}"),
+    }
+    println!();
+    println!("Shape expectations vs the paper (see EXPERIMENTS.md E1):");
+    println!("  * BSP degradation ~0 up to ~10x and monotone-increasing with rate;");
+    println!("  * at comparable rates BSP degrades less than the coarse structured schemes;");
+    println!("  * absolute PERs are not comparable (synthetic corpus vs TIMIT).");
+}
+
+fn print_row(
+    label: &str,
+    per_base: f64,
+    per_pruned: f64,
+    rate: f64,
+    params: usize,
+    paper_degr: f64,
+    paper_rate: f64,
+) {
+    println!(
+        "{:<30} {:>8.2}% {:>8.2}% {:>8.2}p {:>9.1}x {:>10} | {:>10.2}p {:>11.0}x",
+        label,
+        per_base,
+        per_pruned,
+        per_pruned - per_base,
+        rate,
+        params,
+        paper_degr,
+        paper_rate
+    );
+    CSV_ROWS.lock().expect("csv mutex").push(format!(
+        "{label},{per_base:.2},{per_pruned:.2},{:.2},{rate:.1},{params},{paper_degr:.2},{paper_rate:.0}",
+        per_pruned - per_base
+    ));
+}
+
+/// Repeats the BSP sweep over several seeds and prints mean ± std PER
+/// degradation per compression point.
+fn run_multi_seed(seeds: usize) {
+    use rtm_speech::task::SpeechTask;
+    println!("Multi-seed Table I: {seeds} corpus/model seeds (mean +/- std degradation)");
+    let points = table1_targets();
+    // degradations[point][seed]
+    let mut degradations = vec![Vec::with_capacity(seeds); points.len()];
+    for s in 0..seeds {
+        let seed = SEED.wrapping_add(s as u64 * 101);
+        let task = SpeechTask::new(&rtm_bench::corpus_config(), seed);
+        let mut dense = task.new_network(ACC_HIDDEN, seed);
+        task.train(&mut dense, DENSE_EPOCHS, DENSE_LR);
+        let base = task.evaluate(&dense).per_percent();
+        let data = task.training_data();
+        let admm = admm_config();
+        for (i, point) in points.iter().enumerate() {
+            if point.target.is_dense() {
+                degradations[i].push(0.0);
+                continue;
+            }
+            let mut net = dense.clone();
+            BspPruner::new(BspConfig {
+                num_stripes: 8,
+                num_blocks: 1,
+                target: point.target,
+                admm,
+            })
+            .prune(&mut net, &data);
+            degradations[i].push(task.evaluate(&net).per_percent() - base);
+        }
+        println!("  seed {seed}: done");
+    }
+    println!();
+    println!(
+        "{:<16} {:>12} {:>10} | {:>11}",
+        "BSP target", "mean degr.", "std", "paper degr."
+    );
+    println!("{}", rule(56));
+    for (i, point) in points.iter().enumerate() {
+        let xs = &degradations[i];
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        println!(
+            "{:<16} {:>11.2}p {:>9.2}p | {:>10.2}p",
+            format!("{}x{}", point.target.col_rate, point.target.row_rate),
+            mean,
+            var.sqrt(),
+            point.paper_per_degradation
+        );
+    }
+}

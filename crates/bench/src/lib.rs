@@ -1,0 +1,101 @@
+//! # rtm-bench
+//!
+//! The experiment harness: shared setup for regenerating every table and
+//! figure of the paper's evaluation (§V). The binaries are the entry
+//! points:
+//!
+//! * `table1` — PER vs compression for BSP and every baseline scheme;
+//! * `table2` — GPU/CPU time, GOP/s and ESE-normalized energy efficiency
+//!   across the compression sweep;
+//! * `fig4` — speedup over the dense baseline vs compression rate;
+//! * `ablation` — reorder / RLE / format / block-size ablations (DESIGN.md
+//!   A1–A4).
+//!
+//! The criterion benches in `benches/` microbenchmark the kernels that the
+//! analytical simulator prices, so the cost model's *ordering* claims
+//! (BSPC ≥ CSR ≥ dense-on-sparse, reorder helps, …) are cross-checked
+//! against real measured time on the host.
+
+use rtm_pruning::admm::AdmmConfig;
+use rtm_speech::corpus::CorpusConfig;
+use rtm_speech::task::SpeechTask;
+
+/// The shared experiment seed; every binary uses it so runs are
+/// reproducible and mutually consistent.
+pub const SEED: u64 = 2020;
+
+/// Hidden width of the trained (accuracy-side) GRU. Scaled down from the
+/// paper's 1024 (see EXPERIMENTS.md; training 9.6M parameters to
+/// convergence per compression point is outside a laptop budget — the
+/// performance side still uses the full width).
+pub const ACC_HIDDEN: usize = 96;
+
+/// Hidden width of the simulated (performance-side) GRU: the paper's 1024.
+pub const SIM_HIDDEN: usize = 1024;
+
+/// The corpus used by every accuracy experiment.
+pub fn corpus_config() -> CorpusConfig {
+    CorpusConfig {
+        speakers: 32,
+        noise: 0.4,
+        ..CorpusConfig::default_scaled()
+    }
+}
+
+/// The speech task at the shared seed.
+pub fn speech_task() -> SpeechTask {
+    SpeechTask::new(&corpus_config(), SEED)
+}
+
+/// ADMM hyper-parameters shared by every pruning run in the tables.
+pub fn admm_config() -> AdmmConfig {
+    AdmmConfig {
+        rho: 2.0,
+        admm_iterations: 3,
+        epochs_per_iteration: 6,
+        finetune_epochs: 30,
+        lr: 3e-3,
+        clip: Some(rtm_rnn::GradClip::new(5.0)),
+    }
+}
+
+/// Dense pre-training epochs for the accuracy experiments.
+pub const DENSE_EPOCHS: usize = 30;
+
+/// Dense pre-training learning rate.
+pub const DENSE_LR: f32 = 8e-3;
+
+/// Renders a separator line of width `w`.
+pub fn rule(w: usize) -> String {
+    "-".repeat(w)
+}
+
+/// Writes a CSV artifact under `results/` (created on demand) and returns
+/// the path. Every table/figure binary mirrors its console output here so
+/// downstream plotting never has to scrape stdout.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::io::Result<String> {
+    std::fs::create_dir_all("results")?;
+    let path = format!("results/{name}.csv");
+    let mut contents = String::with_capacity(64 * (rows.len() + 1));
+    contents.push_str(header);
+    contents.push('\n');
+    for row in rows {
+        contents.push_str(row);
+        contents.push('\n');
+    }
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_setup_is_consistent() {
+        let task = speech_task();
+        assert_eq!(task.corpus().config, corpus_config());
+        assert!(admm_config().finetune_epochs > 0);
+        assert_eq!(rule(3), "---");
+    }
+}

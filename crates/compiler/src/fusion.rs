@@ -1,0 +1,150 @@
+//! Gate fusion: stacking a GRU layer's three gate matrices into one kernel.
+//!
+//! Mobile RNN runtimes never launch six SpMV kernels per GRU step; they
+//! stack the update/reset/candidate matrices vertically so each step is two
+//! launches — one `3H × I` input-side kernel and one `3H × H`
+//! recurrent-side kernel. This pass performs that stacking and records how
+//! to split the fused output back into gates. It is the transformation that
+//! makes the simulator's 2-kernels-per-layer frame model (and its
+//! launch-overhead floor, i.e. the Figure 4 saturation) a faithful
+//! description of the deployed code.
+
+use rtm_tensor::{Matrix, ShapeError};
+
+/// A vertically fused matrix plus the row extents of its parts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedMatrix {
+    /// The stacked matrix.
+    pub matrix: Matrix,
+    /// Row count of each stacked part, in order.
+    pub part_rows: Vec<usize>,
+}
+
+impl FusedMatrix {
+    /// Stacks `parts` vertically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the parts disagree on column count or the
+    /// list is empty.
+    pub fn stack(parts: &[&Matrix]) -> Result<FusedMatrix, ShapeError> {
+        let first = parts.first().ok_or(ShapeError {
+            op: "fuse_stack",
+            lhs: (0, 0),
+            rhs: (0, 0),
+        })?;
+        let mut matrix = (*first).clone();
+        let mut part_rows = vec![first.rows()];
+        for part in &parts[1..] {
+            matrix = matrix.vstack(part)?;
+            part_rows.push(part.rows());
+        }
+        Ok(FusedMatrix { matrix, part_rows })
+    }
+
+    /// Splits a fused output vector back into per-part vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y.len()` does not equal the fused row count.
+    pub fn split_output(&self, y: &[f32]) -> Vec<Vec<f32>> {
+        assert_eq!(
+            y.len(),
+            self.matrix.rows(),
+            "output length must match fused rows"
+        );
+        let mut out = Vec::with_capacity(self.part_rows.len());
+        let mut offset = 0;
+        for &rows in &self.part_rows {
+            out.push(y[offset..offset + rows].to_vec());
+            offset += rows;
+        }
+        out
+    }
+
+    /// Number of fused parts.
+    pub fn num_parts(&self) -> usize {
+        self.part_rows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_tensor::gemm;
+
+    fn mats() -> (Matrix, Matrix, Matrix) {
+        (
+            Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32),
+            Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 * 0.5),
+            Matrix::from_fn(3, 4, |r, c| -((r * 4 + c) as f32)),
+        )
+    }
+
+    #[test]
+    fn fused_gemv_equals_separate_gemvs() {
+        let (a, b, c) = mats();
+        let fused = FusedMatrix::stack(&[&a, &b, &c]).expect("same cols");
+        assert_eq!(fused.matrix.shape(), (9, 4));
+        assert_eq!(fused.num_parts(), 3);
+
+        let x = vec![1.0, -0.5, 2.0, 0.25];
+        let y = gemm::gemv(&fused.matrix, &x).expect("dims");
+        let parts = fused.split_output(&y);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], gemm::gemv(&a, &x).expect("dims"));
+        assert_eq!(parts[1], gemm::gemv(&b, &x).expect("dims"));
+        assert_eq!(parts[2], gemm::gemv(&c, &x).expect("dims"));
+    }
+
+    #[test]
+    fn mismatched_columns_rejected() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 4);
+        assert!(FusedMatrix::stack(&[&a, &b]).is_err());
+        assert!(FusedMatrix::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn uneven_part_heights() {
+        let a = Matrix::filled(1, 2, 1.0);
+        let b = Matrix::filled(4, 2, 2.0);
+        let fused = FusedMatrix::stack(&[&a, &b]).expect("same cols");
+        let parts = fused.split_output(&vec![9.0; 5]);
+        assert_eq!(parts[0].len(), 1);
+        assert_eq!(parts[1].len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "output length must match")]
+    fn split_validates_length() {
+        let a = Matrix::zeros(2, 2);
+        let fused = FusedMatrix::stack(&[&a]).expect("one part");
+        fused.split_output(&[1.0]);
+    }
+
+    /// Fusing BSP-pruned gates preserves the stripe structure when the
+    /// gates share it — the case the performance model assumes.
+    #[test]
+    fn fused_bsp_gates_keep_shared_patterns() {
+        let gate = |seed: usize| {
+            Matrix::from_fn(8, 8, |r, c| {
+                let stripe = r / 4;
+                if c % 4 == stripe {
+                    (seed + r * 8 + c) as f32 * 0.1
+                } else {
+                    0.0
+                }
+            })
+        };
+        let (a, b, c) = (gate(1), gate(2), gate(3));
+        let fused = FusedMatrix::stack(&[&a, &b, &c]).expect("same cols");
+        // 24 rows; with 6 stripes of 4 the fused matrix is exactly
+        // BSP-structured again.
+        let bspc = rtm_sparse::BspcMatrix::from_dense(&fused.matrix, 6, 2).expect("fits");
+        assert_eq!(bspc.to_dense(), fused.matrix);
+        for s in 0..6 {
+            assert_eq!(bspc.stripe_kept_cols(s).len(), 2, "stripe {s} keeps 2 of 8 cols");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Redundant load elimination (paper §IV-B-b).
+//!
+//! "Within a group, each thread processes multiple continuous rows, offering
+//! us an opportunity of eliminating the redundant memory load operations.
+//! This optimization is specifically enabled by our block-based structured
+//! pruning, because after such pruning, the preserved weights in two
+//! neighbor rows may share the same pattern and require the same data in the
+//! input feature maps."
+//!
+//! The analysis here counts input-vector loads under three regimes:
+//!
+//! * **naive** — one load per nonzero (what unstructured CSR does);
+//! * **RLE** — each thread loads the *union* of the column patterns of its
+//!   assigned consecutive rows once; identical patterns (BSP stripes)
+//!   collapse to a single load set;
+//! * the elimination ratio `naive / rle` feeds the simulator's memory model.
+
+use rtm_tensor::Matrix;
+use std::collections::BTreeSet;
+
+/// Input-load counts with and without redundant load elimination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoadStats {
+    /// Loads with one gather per nonzero.
+    pub naive_loads: usize,
+    /// Loads after per-thread union sharing.
+    pub rle_loads: usize,
+}
+
+impl LoadStats {
+    /// `naive / rle`; 1.0 when nothing is shared (or the matrix is empty).
+    pub fn elimination_ratio(&self) -> f64 {
+        if self.rle_loads == 0 {
+            1.0
+        } else {
+            self.naive_loads as f64 / self.rle_loads as f64
+        }
+    }
+
+    /// Absolute loads avoided.
+    pub fn eliminated(&self) -> usize {
+        self.naive_loads.saturating_sub(self.rle_loads)
+    }
+}
+
+/// Counts input loads when rows (in the given execution order) are dealt to
+/// threads in runs of `rows_per_thread` consecutive rows.
+///
+/// `order` maps execution slot → original row index; pass the identity (or
+/// `None`) for an un-reordered kernel and a
+/// [`ReorderPlan`](crate::reorder::ReorderPlan) permutation for a reordered
+/// one — reordering first makes the runs pattern-uniform, which is what
+/// unlocks the elimination.
+///
+/// # Panics
+///
+/// Panics if `rows_per_thread == 0` or `order` (when given) is not a
+/// permutation of the row indices.
+pub fn analyze_loads(w: &Matrix, order: Option<&[usize]>, rows_per_thread: usize) -> LoadStats {
+    assert!(rows_per_thread > 0, "rows_per_thread must be positive");
+    let rows = w.rows();
+    let identity: Vec<usize>;
+    let order: &[usize] = match order {
+        Some(o) => {
+            assert_eq!(o.len(), rows, "order length must equal row count");
+            o
+        }
+        None => {
+            identity = (0..rows).collect();
+            &identity
+        }
+    };
+
+    let pattern = |r: usize| -> Vec<usize> {
+        w.row(r)
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v != 0.0)
+            .map(|(c, _)| c)
+            .collect()
+    };
+
+    let mut naive = 0usize;
+    let mut rle = 0usize;
+    for run in order.chunks(rows_per_thread) {
+        let mut union: BTreeSet<usize> = BTreeSet::new();
+        for &r in run {
+            assert!(r < rows, "order contains out-of-range row {r}");
+            let p = pattern(r);
+            naive += p.len();
+            union.extend(p);
+        }
+        rle += union.len();
+    }
+    LoadStats {
+        naive_loads: naive,
+        rle_loads: rle,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 8 rows in 2 stripes of 4; stripe 0 reads columns {0,1}, stripe 1
+    /// reads columns {2,3}: the exact structure BSP produces.
+    fn bsp_matrix() -> Matrix {
+        Matrix::from_fn(8, 4, |r, c| {
+            let stripe = r / 4;
+            if c / 2 == stripe {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn shared_patterns_collapse() {
+        let stats = analyze_loads(&bsp_matrix(), None, 4);
+        // Naive: 8 rows x 2 loads = 16. RLE: 2 runs x 2 unique columns = 4.
+        assert_eq!(stats.naive_loads, 16);
+        assert_eq!(stats.rle_loads, 4);
+        assert!((stats.elimination_ratio() - 4.0).abs() < 1e-12);
+        assert_eq!(stats.eliminated(), 12);
+    }
+
+    #[test]
+    fn run_length_one_eliminates_nothing() {
+        let stats = analyze_loads(&bsp_matrix(), None, 1);
+        assert_eq!(stats.naive_loads, stats.rle_loads);
+        assert_eq!(stats.elimination_ratio(), 1.0);
+    }
+
+    #[test]
+    fn disjoint_patterns_share_nothing() {
+        // Each row reads its own column: unions add up, no elimination.
+        let m = Matrix::identity(6);
+        let stats = analyze_loads(&m, None, 3);
+        assert_eq!(stats.naive_loads, 6);
+        assert_eq!(stats.rle_loads, 6);
+    }
+
+    #[test]
+    fn reordering_unlocks_elimination() {
+        // Interleave the stripes so consecutive rows do NOT share patterns.
+        let m = Matrix::from_fn(8, 4, |r, c| {
+            let stripe = r % 2; // alternating patterns
+            if c / 2 == stripe {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let naive_order = analyze_loads(&m, None, 4);
+        // Un-reordered runs mix both patterns: union = all 4 columns.
+        assert_eq!(naive_order.rle_loads, 8);
+        // Reorder groups identical patterns together.
+        let plan = crate::reorder::ReorderPlan::compute(&m, 2);
+        let reordered = analyze_loads(&m, Some(&plan.perm), 4);
+        assert_eq!(reordered.rle_loads, 4);
+        assert!(reordered.elimination_ratio() > naive_order.elimination_ratio());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let stats = analyze_loads(&Matrix::zeros(0, 0), None, 4);
+        assert_eq!(stats.naive_loads, 0);
+        assert_eq!(stats.rle_loads, 0);
+        assert_eq!(stats.elimination_ratio(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows_per_thread must be positive")]
+    fn zero_run_panics() {
+        analyze_loads(&Matrix::zeros(1, 1), None, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "order length")]
+    fn bad_order_rejected() {
+        analyze_loads(&Matrix::zeros(2, 2), Some(&[0]), 1);
+    }
+}

@@ -1,0 +1,229 @@
+//! Gradual (multi-stage) pruning — the Han et al. iterate-prune-retrain
+//! alternative to one-shot ADMM hard pruning.
+//!
+//! §II-B-a cites the "early work proposed by Han et al. \[that\] leverages a
+//! heuristic method to iteratively prune weights with small magnitudes".
+//! This module implements that schedule generically over any projection
+//! family: the keep-ratio tightens geometrically from 1.0 to the final
+//! target across `stages`, with masked retraining between stages. It
+//! serves both as a historical baseline and as an ablation against the
+//! ADMM path (same final constraint, different trajectory).
+
+use crate::admm::Sequence;
+use crate::mask::MaskSet;
+use crate::network::PrunableNetwork;
+use crate::projection::Projection;
+use rtm_rnn::optimizer::{Adam, GradClip};
+
+/// Configuration of a gradual pruning run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GradualConfig {
+    /// Number of prune-retrain stages.
+    pub stages: usize,
+    /// Retraining epochs after each stage.
+    pub epochs_per_stage: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Optional gradient clip.
+    pub clip: Option<GradClip>,
+}
+
+impl Default for GradualConfig {
+    fn default() -> GradualConfig {
+        GradualConfig {
+            stages: 4,
+            epochs_per_stage: 5,
+            lr: 3e-3,
+            clip: Some(GradClip::new(5.0)),
+        }
+    }
+}
+
+/// Outcome of a gradual pruning run.
+#[derive(Debug, Clone)]
+pub struct GradualOutcome {
+    /// Final mask.
+    pub mask: MaskSet,
+    /// Keep-ratio used at each stage (descending to the target).
+    pub stage_ratios: Vec<f64>,
+    /// Mean loss after each retraining epoch.
+    pub loss_history: Vec<f32>,
+}
+
+/// Runs gradual pruning toward `final_keep_ratio`, building per-stage
+/// projections via `projection_at(name, tensor, stage_keep_ratio)`.
+///
+/// The stage ratios interpolate geometrically: stage `k` of `n` keeps
+/// `final^(k/n)` of the weights, so early stages prune gently and later
+/// stages tighten onto the target — Han et al.'s schedule.
+///
+/// # Panics
+///
+/// Panics if `cfg.stages == 0` or `final_keep_ratio` is outside `(0, 1]`.
+pub fn prune_gradually<N: PrunableNetwork>(
+    net: &mut N,
+    data: &[Sequence],
+    final_keep_ratio: f64,
+    cfg: GradualConfig,
+    projection_at: &dyn Fn(&str, &rtm_tensor::Matrix, f64) -> Box<dyn Projection>,
+) -> GradualOutcome {
+    assert!(cfg.stages > 0, "need at least one stage");
+    assert!(
+        final_keep_ratio > 0.0 && final_keep_ratio <= 1.0,
+        "keep ratio must be in (0, 1]"
+    );
+
+    let mut stage_ratios = Vec::with_capacity(cfg.stages);
+    let mut loss_history = Vec::new();
+    let mut mask = MaskSet::ones_like(net);
+    let mut opt = Adam::new(cfg.lr);
+
+    for stage in 1..=cfg.stages {
+        let ratio = final_keep_ratio.powf(stage as f64 / cfg.stages as f64);
+        stage_ratios.push(ratio);
+
+        // Project every tensor at this stage's ratio; intersect with the
+        // existing mask so pruned weights never revive.
+        let mut stage_mask = MaskSet::new();
+        for (name, w) in net.prunable() {
+            let proj = projection_at(&name, w, ratio);
+            if let Some(m) = proj.mask(w) {
+                stage_mask.insert(name, m);
+            }
+        }
+        mask = mask.intersect(&stage_mask);
+        mask.apply(net);
+
+        // Masked retraining.
+        for _ in 0..cfg.epochs_per_stage {
+            if data.is_empty() {
+                break;
+            }
+            let mut total = 0.0f32;
+            for (frames, targets) in data {
+                total += net.train_sequence(frames, targets, &mut opt, cfg.clip);
+                mask.apply(net);
+            }
+            loss_history.push(total / data.len() as f32);
+        }
+    }
+
+    GradualOutcome {
+        mask,
+        stage_ratios,
+        loss_history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::projection::UnstructuredMagnitude;
+    use rtm_rnn::{GruNetwork, NetworkConfig};
+
+    fn net(seed: u64) -> GruNetwork {
+        GruNetwork::new(
+            &NetworkConfig {
+                input_dim: 6,
+                hidden_dims: vec![12],
+                num_classes: 3,
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn stages_tighten_geometrically() {
+        let mut m = net(1);
+        let out = prune_gradually(
+            &mut m,
+            &[],
+            0.125,
+            GradualConfig {
+                stages: 3,
+                epochs_per_stage: 0,
+                ..GradualConfig::default()
+            },
+            &|_, _, r| Box::new(UnstructuredMagnitude::new(r)),
+        );
+        assert_eq!(out.stage_ratios.len(), 3);
+        // 0.125^(1/3) = 0.5, 0.125^(2/3) = 0.25, final = 0.125.
+        assert!((out.stage_ratios[0] - 0.5).abs() < 1e-9);
+        assert!((out.stage_ratios[1] - 0.25).abs() < 1e-9);
+        assert!((out.stage_ratios[2] - 0.125).abs() < 1e-9);
+        // Final sparsity honoured.
+        let keep = m.nonzero_prunable_params() as f64 / m.total_prunable_params() as f64;
+        assert!((keep - 0.125).abs() < 0.01, "keep {keep}");
+    }
+
+    #[test]
+    fn masks_never_revive_weights() {
+        let mut m = net(2);
+        let data = {
+            let frames: Vec<Vec<f32>> = (0..5).map(|_| vec![0.5; 6]).collect();
+            vec![(frames, vec![1usize; 5])]
+        };
+        let out = prune_gradually(
+            &mut m,
+            &data,
+            0.25,
+            GradualConfig {
+                stages: 2,
+                epochs_per_stage: 3,
+                ..GradualConfig::default()
+            },
+            &|_, _, r| Box::new(UnstructuredMagnitude::new(r)),
+        );
+        for (name, w) in m.prunable() {
+            let mask = out.mask.get(&name).expect("mask exists");
+            for (wi, mi) in w.as_slice().iter().zip(mask.as_slice()) {
+                if *mi == 0.0 {
+                    assert_eq!(*wi, 0.0, "{name}");
+                }
+            }
+        }
+        assert!(!out.loss_history.is_empty());
+        assert!(out.loss_history.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn gradual_reaches_same_rate_as_one_shot() {
+        let mut a = net(3);
+        let mut b = net(3);
+        prune_gradually(
+            &mut a,
+            &[],
+            0.1,
+            GradualConfig {
+                stages: 5,
+                epochs_per_stage: 0,
+                ..GradualConfig::default()
+            },
+            &|_, _, r| Box::new(UnstructuredMagnitude::new(r)),
+        );
+        // One-shot comparison.
+        let proj = UnstructuredMagnitude::new(0.1);
+        for (_, w) in b.prunable_mut() {
+            let z = crate::projection::Projection::project(&proj, w);
+            *w = z;
+        }
+        let rate = |n: &GruNetwork| n.total_prunable_params() as f64 / n.nonzero_prunable_params() as f64;
+        assert!((rate(&a) - rate(&b)).abs() / rate(&b) < 0.15, "{} vs {}", rate(&a), rate(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one stage")]
+    fn zero_stages_rejected() {
+        let mut m = net(4);
+        prune_gradually(
+            &mut m,
+            &[],
+            0.5,
+            GradualConfig {
+                stages: 0,
+                ..GradualConfig::default()
+            },
+            &|_, _, r| Box::new(UnstructuredMagnitude::new(r)),
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! The [`PrunableNetwork`] abstraction: what a model must expose for the
+//! ADMM/BSP engines to prune it.
+//!
+//! The engines never look inside the architecture — they need named weight
+//! matrices (to project/mask) and a way to take gradient steps on sequence
+//! data (to retrain under the augmented-Lagrangian penalty and the final
+//! mask). Both the paper's GRU model and the LSTM extension implement this,
+//! which is what makes the pruning machinery architecture-agnostic.
+
+use rtm_rnn::optimizer::{GradClip, Optimizer};
+use rtm_rnn::{BiGruNetwork, GruNetwork, LstmNetwork};
+use rtm_tensor::Matrix;
+
+/// A trainable network exposing its prunable weight matrices by stable
+/// names.
+pub trait PrunableNetwork {
+    /// Shared references to every prunable weight matrix, with stable
+    /// hierarchical names. Biases and classifier heads are excluded,
+    /// matching the paper's pruning scope.
+    fn prunable(&self) -> Vec<(String, &Matrix)>;
+
+    /// Mutable variant of [`PrunableNetwork::prunable`]; must yield the
+    /// same names in the same order.
+    fn prunable_mut(&mut self) -> Vec<(String, &mut Matrix)>;
+
+    /// One optimizer step on a single `(frames, targets)` sequence;
+    /// returns the data loss.
+    fn train_sequence(
+        &mut self,
+        frames: &[Vec<f32>],
+        targets: &[usize],
+        opt: &mut dyn Optimizer,
+        clip: Option<GradClip>,
+    ) -> f32;
+
+    /// Nonzero prunable weights (Table I's "Para. No.").
+    fn nonzero_prunable_params(&self) -> usize {
+        self.prunable().iter().map(|(_, m)| m.count_nonzero()).sum()
+    }
+
+    /// Total prunable weights.
+    fn total_prunable_params(&self) -> usize {
+        self.prunable().iter().map(|(_, m)| m.len()).sum()
+    }
+}
+
+impl PrunableNetwork for GruNetwork {
+    fn prunable(&self) -> Vec<(String, &Matrix)> {
+        GruNetwork::prunable(self)
+    }
+
+    fn prunable_mut(&mut self) -> Vec<(String, &mut Matrix)> {
+        GruNetwork::prunable_mut(self)
+    }
+
+    fn train_sequence(
+        &mut self,
+        frames: &[Vec<f32>],
+        targets: &[usize],
+        opt: &mut dyn Optimizer,
+        clip: Option<GradClip>,
+    ) -> f32 {
+        self.train_step(frames, targets, opt, clip).loss
+    }
+}
+
+impl PrunableNetwork for LstmNetwork {
+    fn prunable(&self) -> Vec<(String, &Matrix)> {
+        LstmNetwork::prunable(self)
+    }
+
+    fn prunable_mut(&mut self) -> Vec<(String, &mut Matrix)> {
+        LstmNetwork::prunable_mut(self)
+    }
+
+    fn train_sequence(
+        &mut self,
+        frames: &[Vec<f32>],
+        targets: &[usize],
+        opt: &mut dyn Optimizer,
+        clip: Option<GradClip>,
+    ) -> f32 {
+        self.train_step(frames, targets, opt, clip)
+    }
+}
+
+impl PrunableNetwork for BiGruNetwork {
+    fn prunable(&self) -> Vec<(String, &Matrix)> {
+        BiGruNetwork::prunable(self)
+    }
+
+    fn prunable_mut(&mut self) -> Vec<(String, &mut Matrix)> {
+        BiGruNetwork::prunable_mut(self)
+    }
+
+    fn train_sequence(
+        &mut self,
+        frames: &[Vec<f32>],
+        targets: &[usize],
+        opt: &mut dyn Optimizer,
+        clip: Option<GradClip>,
+    ) -> f32 {
+        self.train_step(frames, targets, opt, clip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_rnn::model::NetworkConfig;
+
+    fn cfg() -> NetworkConfig {
+        NetworkConfig {
+            input_dim: 3,
+            hidden_dims: vec![6],
+            num_classes: 2,
+        }
+    }
+
+    #[test]
+    fn gru_implements_trait() {
+        let mut net = GruNetwork::new(&cfg(), 1);
+        let total = PrunableNetwork::total_prunable_params(&net);
+        // 3 gates x (6x3 input + 6x6 recurrent) weights.
+        assert_eq!(total, 3 * (18 + 36));
+        assert_eq!(total, PrunableNetwork::nonzero_prunable_params(&net));
+        let mut opt = rtm_rnn::Adam::new(0.01);
+        let loss = PrunableNetwork::train_sequence(
+            &mut net,
+            &[vec![0.1, 0.2, 0.3]],
+            &[0],
+            &mut opt,
+            None,
+        );
+        assert!(loss.is_finite() && loss > 0.0);
+    }
+
+    #[test]
+    fn bigru_implements_trait_and_prunes() {
+        use crate::bsp::{BspConfig, BspPruner};
+        use crate::schedule::CompressionTarget;
+        let mut net = BiGruNetwork::new(&cfg(), 4);
+        let report = BspPruner::new(BspConfig {
+            num_stripes: 3,
+            num_blocks: 2,
+            target: CompressionTarget::new(3.0, 1.0),
+            admm: crate::admm::AdmmConfig {
+                admm_iterations: 1,
+                epochs_per_iteration: 0,
+                finetune_epochs: 0,
+                ..crate::admm::AdmmConfig::default()
+            },
+        })
+        .prune(&mut net, &[]);
+        assert!(report.achieved_rate > 2.0, "rate {}", report.achieved_rate);
+        // Both directions were pruned.
+        assert!(report.mask.get("layer0.fwd.u_z").is_some());
+        assert!(report.mask.get("layer0.bwd.u_z").is_some());
+    }
+
+    #[test]
+    fn lstm_implements_trait() {
+        let mut net = LstmNetwork::new(&cfg(), 1);
+        assert_eq!(PrunableNetwork::prunable(&net).len(), 8);
+        let mut opt = rtm_rnn::Adam::new(0.01);
+        let loss = PrunableNetwork::train_sequence(
+            &mut net,
+            &[vec![0.1, 0.2, 0.3]],
+            &[1],
+            &mut opt,
+            Some(GradClip::new(1.0)),
+        );
+        assert!(loss.is_finite());
+    }
+}

@@ -1,0 +1,275 @@
+//! Bidirectional GRU layer — a standard speech-recognition upgrade and a
+//! DESIGN.md §6 extension.
+//!
+//! Kaldi-style acoustic models typically run bidirectional recurrent layers
+//! (the PyTorch-Kaldi baselines the paper trains against include Bi-GRU
+//! configurations); a [`BiGruLayer`] runs one forward cell and one backward
+//! cell over the sequence and concatenates their hidden states per frame,
+//! doubling the feature width seen by the next layer. Both cells expose
+//! their weight matrices through the usual prunable interface, so BSP/ADMM
+//! prune bidirectional models unchanged.
+
+use crate::gru::{GruCache, GruCell, GruGrads};
+use rtm_tensor::Matrix;
+
+/// A bidirectional GRU layer: forward + backward cells, concatenated output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiGruLayer {
+    /// The left-to-right cell.
+    pub forward: GruCell,
+    /// The right-to-left cell.
+    pub backward: GruCell,
+}
+
+/// Caches for both directions.
+#[derive(Debug, Clone, Default)]
+pub struct BiGruCache {
+    forward: GruCache,
+    backward: GruCache,
+    t_len: usize,
+}
+
+/// Gradients for both directions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BiGruGrads {
+    /// Forward-cell gradients.
+    pub forward: GruGrads,
+    /// Backward-cell gradients.
+    pub backward: GruGrads,
+}
+
+impl BiGruLayer {
+    /// Creates a layer whose two cells each have `hidden_dim` units
+    /// (output width is `2 * hidden_dim`).
+    pub fn new(input_dim: usize, hidden_dim: usize, seed: u64) -> BiGruLayer {
+        BiGruLayer {
+            forward: GruCell::new(input_dim, hidden_dim, seed),
+            backward: GruCell::new(input_dim, hidden_dim, seed.wrapping_add(77)),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.forward.input_dim()
+    }
+
+    /// Output dimensionality (`2 × hidden`).
+    pub fn output_dim(&self) -> usize {
+        self.forward.hidden_dim() + self.backward.hidden_dim()
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.forward.num_params() + self.backward.num_params()
+    }
+
+    /// Runs both directions; returns per-frame concatenated
+    /// `[h_fwd; h_bwd]` outputs and the cache for backprop.
+    pub fn forward_cached(&self, xs: &[Vec<f32>]) -> (Vec<Vec<f32>>, BiGruCache) {
+        let t_len = xs.len();
+        let fwd = self.forward.forward(xs);
+        let reversed: Vec<Vec<f32>> = xs.iter().rev().cloned().collect();
+        let bwd = self.backward.forward(&reversed);
+        let mut out = Vec::with_capacity(t_len);
+        for t in 0..t_len {
+            let mut h = fwd.steps[t].h.clone();
+            // Backward cache index t corresponds to original frame
+            // t_len - 1 - t.
+            h.extend_from_slice(&bwd.steps[t_len - 1 - t].h);
+            out.push(h);
+        }
+        (
+            out,
+            BiGruCache {
+                forward: fwd,
+                backward: bwd,
+                t_len,
+            },
+        )
+    }
+
+    /// Convenience forward without keeping caches.
+    pub fn forward_seq(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        self.forward_cached(xs).0
+    }
+
+    /// BPTT through both directions. `dh_out[t]` is the gradient of the
+    /// concatenated output at frame `t`; returns both cells' gradients and
+    /// the gradient w.r.t. the inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length or width mismatches.
+    pub fn backward_pass(
+        &self,
+        cache: &BiGruCache,
+        dh_out: &[Vec<f32>],
+    ) -> (BiGruGrads, Vec<Vec<f32>>) {
+        assert_eq!(dh_out.len(), cache.t_len, "dh_out length mismatch");
+        let hf = self.forward.hidden_dim();
+        let hb = self.backward.hidden_dim();
+
+        let d_fwd: Vec<Vec<f32>> = dh_out
+            .iter()
+            .map(|d| {
+                assert_eq!(d.len(), hf + hb, "output width mismatch");
+                d[..hf].to_vec()
+            })
+            .collect();
+        // Backward direction consumed the reversed sequence, so its output
+        // gradient at cache step t comes from original frame t_len-1-t.
+        let d_bwd: Vec<Vec<f32>> = (0..cache.t_len)
+            .map(|t| dh_out[cache.t_len - 1 - t][hf..].to_vec())
+            .collect();
+
+        let (g_fwd, dx_fwd) = self.forward.backward(&cache.forward, &d_fwd);
+        let (g_bwd, dx_bwd_rev) = self.backward.backward(&cache.backward, &d_bwd);
+
+        // Un-reverse the backward direction's input gradients and sum.
+        let mut dxs = dx_fwd;
+        for (t, dx) in dxs.iter_mut().enumerate() {
+            let rev = &dx_bwd_rev[cache.t_len - 1 - t];
+            for (a, &b) in dx.iter_mut().zip(rev) {
+                *a += b;
+            }
+        }
+        (
+            BiGruGrads {
+                forward: g_fwd,
+                backward: g_bwd,
+            },
+            dxs,
+        )
+    }
+
+    /// Named prunable weight matrices of both cells
+    /// (`fwd.w_z`, …, `bwd.u_n`).
+    pub fn prunable_mut(&mut self) -> Vec<(String, &mut Matrix)> {
+        let mut out = Vec::new();
+        for (name, m) in self.forward.prunable_mut() {
+            out.push((format!("fwd.{name}"), m));
+        }
+        for (name, m) in self.backward.prunable_mut() {
+            out.push((format!("bwd.{name}"), m));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames() -> Vec<Vec<f32>> {
+        (0..6)
+            .map(|t| (0..3).map(|i| ((t * 3 + i) as f32 * 0.4).sin()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn output_width_doubles() {
+        let layer = BiGruLayer::new(3, 5, 1);
+        let out = layer.forward_seq(&frames());
+        assert_eq!(out.len(), 6);
+        assert!(out.iter().all(|h| h.len() == 10));
+        assert_eq!(layer.output_dim(), 10);
+        assert_eq!(layer.input_dim(), 3);
+        assert_eq!(layer.num_params(), 2 * GruCell::new(3, 5, 0).num_params());
+    }
+
+    #[test]
+    fn backward_direction_sees_the_future() {
+        // The first frame's backward half must depend on the *last* input.
+        let layer = BiGruLayer::new(1, 4, 3);
+        let a = layer.forward_seq(&[vec![0.1], vec![0.2], vec![1.0]]);
+        let b = layer.forward_seq(&[vec![0.1], vec![0.2], vec![-1.0]]);
+        let fwd_diff: f32 = a[0][..4]
+            .iter()
+            .zip(&b[0][..4])
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        let bwd_diff: f32 = a[0][4..]
+            .iter()
+            .zip(&b[0][4..])
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(fwd_diff < 1e-7, "forward half can't see the future");
+        assert!(bwd_diff > 1e-4, "backward half must see the future");
+    }
+
+    #[test]
+    fn gradient_check_both_directions() {
+        let layer = BiGruLayer::new(2, 3, 9);
+        let xs = vec![vec![0.3, -0.2], vec![0.1, 0.5], vec![-0.4, 0.2]];
+        let loss = |l: &BiGruLayer| -> f64 {
+            l.forward_seq(&xs)
+                .iter()
+                .map(|h| h.iter().map(|&v| v as f64).sum::<f64>())
+                .sum()
+        };
+        let (_, cache) = layer.forward_cached(&xs);
+        let dh = vec![vec![1.0f32; 6]; 3];
+        let (grads, dxs) = layer.backward_pass(&cache, &dh);
+
+        let eps = 1e-3f32;
+        // Spot-check one coordinate per direction.
+        let mut plus = layer.clone();
+        plus.forward.w_n[(1, 0)] += eps;
+        let mut minus = layer.clone();
+        minus.forward.w_n[(1, 0)] -= eps;
+        let fd = ((loss(&plus) - loss(&minus)) / (2.0 * eps as f64)) as f32;
+        assert!(
+            (fd - grads.forward.w_n[(1, 0)]).abs() < 2e-2 * (1.0 + fd.abs()),
+            "fwd: {fd} vs {}",
+            grads.forward.w_n[(1, 0)]
+        );
+
+        let mut plus = layer.clone();
+        plus.backward.u_z[(2, 1)] += eps;
+        let mut minus = layer.clone();
+        minus.backward.u_z[(2, 1)] -= eps;
+        let fd = ((loss(&plus) - loss(&minus)) / (2.0 * eps as f64)) as f32;
+        assert!(
+            (fd - grads.backward.u_z[(2, 1)]).abs() < 2e-2 * (1.0 + fd.abs()),
+            "bwd: {fd} vs {}",
+            grads.backward.u_z[(2, 1)]
+        );
+
+        // Input gradient check at the middle frame.
+        let loss_x = |xs: &[Vec<f32>]| -> f64 {
+            layer
+                .forward_seq(xs)
+                .iter()
+                .map(|h| h.iter().map(|&v| v as f64).sum::<f64>())
+                .sum()
+        };
+        let mut xp = xs.clone();
+        xp[1][0] += eps;
+        let mut xm = xs.clone();
+        xm[1][0] -= eps;
+        let fd = ((loss_x(&xp) - loss_x(&xm)) / (2.0 * eps as f64)) as f32;
+        assert!(
+            (fd - dxs[1][0]).abs() < 2e-2 * (1.0 + fd.abs()),
+            "dx: {fd} vs {}",
+            dxs[1][0]
+        );
+    }
+
+    #[test]
+    fn prunable_covers_both_cells() {
+        let mut layer = BiGruLayer::new(2, 3, 0);
+        let names: Vec<String> = layer.prunable_mut().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names.len(), 12);
+        assert!(names.contains(&"fwd.w_z".to_string()));
+        assert!(names.contains(&"bwd.u_n".to_string()));
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let layer = BiGruLayer::new(2, 3, 0);
+        let (out, cache) = layer.forward_cached(&[]);
+        assert!(out.is_empty());
+        let (_, dxs) = layer.backward_pass(&cache, &[]);
+        assert!(dxs.is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! Fully-connected classifier head.
+//!
+//! The speech task places a linear layer + softmax on top of the last GRU
+//! layer, producing per-frame phone logits (the PyTorch-Kaldi setup of §V-A
+//! ends the same way). Forward is `logits = W h + b`; backward produces
+//! `dW`, `db` and `dh` for the recurrent stack below.
+
+use rtm_tensor::gemm::{gemv, gemv_transposed, ger};
+use rtm_tensor::init::{rng_from_seed, xavier_uniform};
+use rtm_tensor::{Matrix, Vector};
+
+/// A dense (affine) layer `y = W x + b`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseLayer {
+    /// Weights, `out × in`.
+    pub w: Matrix,
+    /// Bias, length `out`.
+    pub b: Vec<f32>,
+}
+
+/// Gradients mirroring [`DenseLayer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseGrads {
+    /// d/dW
+    pub w: Matrix,
+    /// d/db
+    pub b: Vec<f32>,
+}
+
+impl DenseLayer {
+    /// Creates a layer with Xavier weights and zero bias.
+    pub fn new(input_dim: usize, output_dim: usize, seed: u64) -> DenseLayer {
+        let mut rng = rng_from_seed(seed);
+        DenseLayer {
+            w: xavier_uniform(output_dim, input_dim, &mut rng),
+            b: vec![0.0; output_dim],
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+
+    /// Forward pass for one vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_dim()`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = gemv(&self.w, x).expect("dense forward: dim mismatch");
+        Vector::axpy(1.0, &self.b, &mut y);
+        y
+    }
+
+    /// Backward pass for one vector: accumulates parameter gradients into
+    /// `grads` and returns `dx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatches.
+    pub fn backward(&self, x: &[f32], dy: &[f32], grads: &mut DenseGrads) -> Vec<f32> {
+        ger(&mut grads.w, 1.0, dy, x).expect("dense backward: dim mismatch");
+        Vector::axpy(1.0, dy, &mut grads.b);
+        gemv_transposed(&self.w, dy).expect("dense backward: dim mismatch")
+    }
+
+    /// `param -= lr * grad`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn apply_grads(&mut self, grads: &DenseGrads, lr: f32) {
+        self.w.axpy(-lr, &grads.w).expect("shape");
+        Vector::axpy(-lr, &grads.b, &mut self.b);
+    }
+}
+
+impl DenseGrads {
+    /// Zero gradients for the given dimensions.
+    pub fn zeros(input_dim: usize, output_dim: usize) -> DenseGrads {
+        DenseGrads {
+            w: Matrix::zeros(output_dim, input_dim),
+            b: vec![0.0; output_dim],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_affine() {
+        let mut layer = DenseLayer::new(2, 2, 0);
+        layer.w = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        layer.b = vec![0.5, -0.5];
+        assert_eq!(layer.forward(&[1.0, 1.0]), vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn backward_gradient_check() {
+        let layer = DenseLayer::new(3, 2, 5);
+        let x = vec![0.3, -0.7, 0.2];
+        // Loss = sum(y) so dy = 1.
+        let loss = |l: &DenseLayer| -> f32 { l.forward(&x).iter().sum() };
+        let mut grads = DenseGrads::zeros(3, 2);
+        let dx = layer.backward(&x, &[1.0, 1.0], &mut grads);
+        let eps = 1e-3;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut plus = layer.clone();
+                plus.w[(r, c)] += eps;
+                let mut minus = layer.clone();
+                minus.w[(r, c)] -= eps;
+                let fd = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+                assert!((fd - grads.w[(r, c)]).abs() < 1e-2, "w[{r},{c}]");
+            }
+        }
+        // dx check
+        for i in 0..3 {
+            let mut xp = x.clone();
+            xp[i] += eps;
+            let mut xm = x.clone();
+            xm[i] -= eps;
+            let fd = (layer.forward(&xp).iter().sum::<f32>() - layer.forward(&xm).iter().sum::<f32>()) / (2.0 * eps);
+            assert!((fd - dx[i]).abs() < 1e-2, "dx[{i}]");
+        }
+        // bias grad is dy itself
+        assert_eq!(grads.b, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn apply_grads_descends() {
+        let mut layer = DenseLayer::new(1, 1, 0);
+        let w0 = layer.w[(0, 0)];
+        let mut g = DenseGrads::zeros(1, 1);
+        g.w[(0, 0)] = 1.0;
+        g.b[0] = 2.0;
+        layer.apply_grads(&g, 0.1);
+        assert!((layer.w[(0, 0)] - (w0 - 0.1)).abs() < 1e-6);
+        assert!((layer.b[0] + 0.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn num_params() {
+        assert_eq!(DenseLayer::new(10, 4, 0).num_params(), 44);
+    }
+}

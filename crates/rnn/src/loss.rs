@@ -1,0 +1,125 @@
+//! Frame-level softmax cross-entropy.
+//!
+//! The speech task is frame classification: each input frame carries one
+//! phone label, and the loss is the mean cross-entropy across frames — the
+//! standard objective the paper's PyTorch-Kaldi recipe reduces to for
+//! frame-aligned training.
+
+use rtm_tensor::activations::{cross_entropy, softmax_slice};
+
+/// Result of a softmax cross-entropy evaluation over a sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequenceLoss {
+    /// Mean cross-entropy over frames.
+    pub loss: f32,
+    /// Gradient w.r.t. the logits per frame: `(softmax - onehot) / T`.
+    pub dlogits: Vec<Vec<f32>>,
+    /// Number of frames whose argmax equals the label.
+    pub correct: usize,
+}
+
+/// Computes softmax cross-entropy over a sequence of logits with per-frame
+/// integer targets.
+///
+/// # Panics
+///
+/// Panics if `logits.len() != targets.len()` or any target is out of range.
+pub fn softmax_cross_entropy(logits: &[Vec<f32>], targets: &[usize]) -> SequenceLoss {
+    assert_eq!(logits.len(), targets.len(), "frame count mismatch");
+    let t_len = logits.len();
+    let mut loss = 0.0f32;
+    let mut dlogits = Vec::with_capacity(t_len);
+    let mut correct = 0usize;
+    let scale = 1.0 / t_len.max(1) as f32;
+
+    for (frame, &target) in logits.iter().zip(targets) {
+        assert!(target < frame.len(), "target {target} out of range");
+        let mut probs = frame.clone();
+        softmax_slice(&mut probs);
+        loss += cross_entropy(&probs, target);
+        if rtm_tensor::Vector::argmax(frame) == target {
+            correct += 1;
+        }
+        let mut d = probs;
+        d[target] -= 1.0;
+        for v in &mut d {
+            *v *= scale;
+        }
+        dlogits.push(d);
+    }
+
+    SequenceLoss {
+        loss: loss * scale,
+        dlogits,
+        correct,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_near_zero_loss() {
+        let logits = vec![vec![10.0, -10.0], vec![-10.0, 10.0]];
+        let out = softmax_cross_entropy(&logits, &[0, 1]);
+        assert!(out.loss < 1e-4);
+        assert_eq!(out.correct, 2);
+    }
+
+    #[test]
+    fn uniform_logits_log_k_loss() {
+        let k = 4;
+        let logits = vec![vec![0.0; k]];
+        let out = softmax_cross_entropy(&logits, &[2]);
+        assert!((out.loss - (k as f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_sums_to_zero_per_frame() {
+        let logits = vec![vec![1.0, 2.0, 3.0], vec![0.5, 0.1, -0.3]];
+        let out = softmax_cross_entropy(&logits, &[0, 2]);
+        for d in &out.dlogits {
+            let s: f32 = d.iter().sum();
+            assert!(s.abs() < 1e-6, "softmax grad rows sum to zero: {s}");
+        }
+        // Target coordinate is negative (prob - 1 < 0), others positive.
+        assert!(out.dlogits[0][0] < 0.0);
+        assert!(out.dlogits[0][1] > 0.0);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = vec![vec![0.2f32, -0.4, 0.9]];
+        let targets = [1usize];
+        let out = softmax_cross_entropy(&logits, &targets);
+        let eps = 1e-3f32;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp[0][i] += eps;
+            let mut lm = logits.clone();
+            lm[0][i] -= eps;
+            let fp = softmax_cross_entropy(&lp, &targets).loss;
+            let fm = softmax_cross_entropy(&lm, &targets).loss;
+            let fd = (fp - fm) / (2.0 * eps);
+            assert!(
+                (fd - out.dlogits[0][i]).abs() < 1e-3,
+                "dlogit[{i}]: {fd} vs {}",
+                out.dlogits[0][i]
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counting() {
+        let logits = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0]];
+        let out = softmax_cross_entropy(&logits, &[0, 1, 1]);
+        assert_eq!(out.correct, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame count mismatch")]
+    fn mismatched_lengths_panic() {
+        softmax_cross_entropy(&[vec![0.0]], &[0, 1]);
+    }
+}

@@ -1,0 +1,309 @@
+//! Multi-layer LSTM network with a dense classifier head — the extension
+//! counterpart of [`crate::model::GruNetwork`].
+//!
+//! The paper focuses on GRU, but every baseline it compares against (ESE,
+//! C-LSTM, BBS, Wang) is an LSTM accelerator, and DESIGN.md §6 lists
+//! LSTM end-to-end support as an extension. The pruning machinery is
+//! architecture-agnostic (it consumes named weight matrices), so this model
+//! plugs into the same ADMM/BSP engines.
+
+use crate::dense::{DenseGrads, DenseLayer};
+use crate::loss::softmax_cross_entropy;
+use crate::lstm::{LstmCache, LstmCell, LstmGrads};
+use crate::optimizer::{GradClip, Optimizer};
+use rtm_tensor::Matrix;
+
+/// A stack of LSTM layers plus a dense softmax head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LstmNetwork {
+    /// Recurrent layers, input-side first.
+    pub layers: Vec<LstmCell>,
+    /// Classifier head.
+    pub head: DenseLayer,
+}
+
+/// Forward caches for [`LstmNetwork::backward`].
+#[derive(Debug, Clone, Default)]
+pub struct LstmNetworkCache {
+    layer_caches: Vec<LstmCache>,
+    head_inputs: Vec<Vec<f32>>,
+}
+
+/// Gradients mirroring [`LstmNetwork`].
+#[derive(Debug, Clone)]
+pub struct LstmNetworkGrads {
+    /// Per-layer gradients.
+    pub layers: Vec<LstmGrads>,
+    /// Head gradients.
+    pub head: DenseGrads,
+}
+
+impl LstmNetwork {
+    /// Builds a network using the same configuration type as the GRU model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.hidden_dims` is empty.
+    pub fn new(cfg: &crate::model::NetworkConfig, seed: u64) -> LstmNetwork {
+        assert!(!cfg.hidden_dims.is_empty(), "need at least one LSTM layer");
+        let mut layers = Vec::with_capacity(cfg.hidden_dims.len());
+        let mut in_dim = cfg.input_dim;
+        for (i, &h) in cfg.hidden_dims.iter().enumerate() {
+            layers.push(LstmCell::new(in_dim, h, seed.wrapping_add(i as u64)));
+            in_dim = h;
+        }
+        LstmNetwork {
+            layers,
+            head: DenseLayer::new(in_dim, cfg.num_classes, seed.wrapping_add(1000)),
+        }
+    }
+
+    /// Total parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(LstmCell::num_params).sum::<usize>() + self.head.num_params()
+    }
+
+    /// Forward pass producing per-frame logits.
+    pub fn forward(&self, frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        self.forward_cached(frames).0
+    }
+
+    /// Forward pass keeping the caches for BPTT.
+    pub fn forward_cached(&self, frames: &[Vec<f32>]) -> (Vec<Vec<f32>>, LstmNetworkCache) {
+        let mut cache = LstmNetworkCache::default();
+        let mut current: Vec<Vec<f32>> = frames.to_vec();
+        for layer in &self.layers {
+            let c = layer.forward(&current);
+            current = c.steps.iter().map(|s| s.h.clone()).collect();
+            cache.layer_caches.push(c);
+        }
+        cache.head_inputs = current.clone();
+        let logits = current.iter().map(|h| self.head.forward(h)).collect();
+        (logits, cache)
+    }
+
+    /// Per-frame argmax predictions.
+    pub fn predict(&self, frames: &[Vec<f32>]) -> Vec<usize> {
+        self.forward(frames)
+            .iter()
+            .map(|l| rtm_tensor::Vector::argmax(l))
+            .collect()
+    }
+
+    /// Backward pass from per-frame logit gradients.
+    pub fn backward(&self, cache: &LstmNetworkCache, dlogits: &[Vec<f32>]) -> LstmNetworkGrads {
+        let mut head_grads = DenseGrads::zeros(self.head.input_dim(), self.head.output_dim());
+        let mut dh: Vec<Vec<f32>> = dlogits
+            .iter()
+            .zip(&cache.head_inputs)
+            .map(|(dl, h)| self.head.backward(h, dl, &mut head_grads))
+            .collect();
+        let mut layer_grads: Vec<LstmGrads> = Vec::with_capacity(self.layers.len());
+        for (layer, lcache) in self.layers.iter().zip(&cache.layer_caches).rev() {
+            let (grads, dxs) = layer.backward(lcache, &dh);
+            layer_grads.push(grads);
+            dh = dxs;
+        }
+        layer_grads.reverse();
+        LstmNetworkGrads {
+            layers: layer_grads,
+            head: head_grads,
+        }
+    }
+
+    /// One training step (forward, loss, BPTT, optimizer update with
+    /// optional global-norm clipping); returns the loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics on frame/target mismatches.
+    pub fn train_step(
+        &mut self,
+        frames: &[Vec<f32>],
+        targets: &[usize],
+        opt: &mut dyn Optimizer,
+        clip: Option<GradClip>,
+    ) -> f32 {
+        let (logits, cache) = self.forward_cached(frames);
+        let loss = softmax_cross_entropy(&logits, targets);
+        let mut grads = self.backward(&cache, &loss.dlogits);
+
+        if let Some(clip) = clip {
+            let m = |m: &Matrix| m.as_slice().iter().map(|v| v * v).sum::<f32>();
+            let v = |v: &[f32]| v.iter().map(|x| x * x).sum::<f32>();
+            let mut sq = m(&grads.head.w) + v(&grads.head.b);
+            for g in &grads.layers {
+                sq += m(&g.w_i) + m(&g.u_i) + v(&g.b_i);
+                sq += m(&g.w_f) + m(&g.u_f) + v(&g.b_f);
+                sq += m(&g.w_g) + m(&g.u_g) + v(&g.b_g);
+                sq += m(&g.w_o) + m(&g.u_o) + v(&g.b_o);
+            }
+            let f = clip.scale_factor(sq);
+            if f < 1.0 {
+                grads.head.w.scale_inplace(f);
+                rtm_tensor::Vector::scale(&mut grads.head.b, f);
+                for g in &mut grads.layers {
+                    for mat in [
+                        &mut g.w_i, &mut g.u_i, &mut g.w_f, &mut g.u_f, &mut g.w_g, &mut g.u_g,
+                        &mut g.w_o, &mut g.u_o,
+                    ] {
+                        mat.scale_inplace(f);
+                    }
+                    for b in [&mut g.b_i, &mut g.b_f, &mut g.b_g, &mut g.b_o] {
+                        rtm_tensor::Vector::scale(b, f);
+                    }
+                }
+            }
+        }
+
+        self.apply_with_optimizer(&grads, opt);
+        loss.loss
+    }
+
+    /// Applies gradients through an optimizer with stable slot ids.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `grads` does not match the network shape.
+    pub fn apply_with_optimizer(&mut self, grads: &LstmNetworkGrads, opt: &mut dyn Optimizer) {
+        assert_eq!(grads.layers.len(), self.layers.len(), "gradient layer count");
+        let mut slot = 0usize;
+        for (layer, g) in self.layers.iter_mut().zip(&grads.layers) {
+            opt.update(slot, layer.w_i.as_mut_slice(), g.w_i.as_slice());
+            opt.update(slot + 1, layer.u_i.as_mut_slice(), g.u_i.as_slice());
+            opt.update(slot + 2, &mut layer.b_i, &g.b_i);
+            opt.update(slot + 3, layer.w_f.as_mut_slice(), g.w_f.as_slice());
+            opt.update(slot + 4, layer.u_f.as_mut_slice(), g.u_f.as_slice());
+            opt.update(slot + 5, &mut layer.b_f, &g.b_f);
+            opt.update(slot + 6, layer.w_g.as_mut_slice(), g.w_g.as_slice());
+            opt.update(slot + 7, layer.u_g.as_mut_slice(), g.u_g.as_slice());
+            opt.update(slot + 8, &mut layer.b_g, &g.b_g);
+            opt.update(slot + 9, layer.w_o.as_mut_slice(), g.w_o.as_slice());
+            opt.update(slot + 10, layer.u_o.as_mut_slice(), g.u_o.as_slice());
+            opt.update(slot + 11, &mut layer.b_o, &g.b_o);
+            slot += 12;
+        }
+        opt.update(slot, self.head.w.as_mut_slice(), grads.head.w.as_slice());
+        opt.update(slot + 1, &mut self.head.b, &grads.head.b);
+    }
+
+    /// Named prunable weight matrices (`layer{i}.{gate}`), mirroring
+    /// [`crate::model::GruNetwork::prunable`].
+    pub fn prunable(&self) -> Vec<(String, &Matrix)> {
+        let mut out = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            out.push((format!("layer{i}.w_i"), &layer.w_i));
+            out.push((format!("layer{i}.u_i"), &layer.u_i));
+            out.push((format!("layer{i}.w_f"), &layer.w_f));
+            out.push((format!("layer{i}.u_f"), &layer.u_f));
+            out.push((format!("layer{i}.w_g"), &layer.w_g));
+            out.push((format!("layer{i}.u_g"), &layer.u_g));
+            out.push((format!("layer{i}.w_o"), &layer.w_o));
+            out.push((format!("layer{i}.u_o"), &layer.u_o));
+        }
+        out
+    }
+
+    /// Mutable variant of [`LstmNetwork::prunable`].
+    pub fn prunable_mut(&mut self) -> Vec<(String, &mut Matrix)> {
+        let mut out = Vec::new();
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            for (name, m) in layer.prunable_mut() {
+                out.push((format!("layer{i}.{name}"), m));
+            }
+        }
+        out
+    }
+
+    /// Number of nonzero prunable weights.
+    pub fn nonzero_prunable_params(&self) -> usize {
+        self.prunable().iter().map(|(_, m)| m.count_nonzero()).sum()
+    }
+
+    /// Total prunable weight count.
+    pub fn total_prunable_params(&self) -> usize {
+        self.prunable().iter().map(|(_, m)| m.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NetworkConfig;
+    use crate::optimizer::Adam;
+
+    fn cfg() -> NetworkConfig {
+        NetworkConfig {
+            input_dim: 4,
+            hidden_dims: vec![10],
+            num_classes: 2,
+        }
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let net = LstmNetwork::new(&cfg(), 1);
+        let frames = vec![vec![0.1; 4]; 5];
+        let logits = net.forward(&frames);
+        assert_eq!(logits.len(), 5);
+        assert!(logits.iter().all(|l| l.len() == 2));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut net = LstmNetwork::new(&cfg(), 3);
+        let mut opt = Adam::new(0.01);
+        let a: Vec<Vec<f32>> = (0..6).map(|_| vec![1.0, 1.0, 0.0, 0.0]).collect();
+        let b: Vec<Vec<f32>> = (0..6).map(|_| vec![0.0, 0.0, 1.0, 1.0]).collect();
+        let first = net.train_step(&a, &[0; 6], &mut opt, None)
+            + net.train_step(&b, &[1; 6], &mut opt, None);
+        for _ in 0..80 {
+            net.train_step(&a, &[0; 6], &mut opt, None);
+            net.train_step(&b, &[1; 6], &mut opt, None);
+        }
+        let (la, _) = net.forward_cached(&a);
+        let (lb, _) = net.forward_cached(&b);
+        let last = crate::loss::softmax_cross_entropy(&la, &[0; 6]).loss
+            + crate::loss::softmax_cross_entropy(&lb, &[1; 6]).loss;
+        assert!(last < first * 0.25, "{first} -> {last}");
+        assert_eq!(net.predict(&a), vec![0; 6]);
+        assert_eq!(net.predict(&b), vec![1; 6]);
+    }
+
+    #[test]
+    fn clipped_training_stays_finite() {
+        let mut net = LstmNetwork::new(&cfg(), 5);
+        let mut opt = crate::optimizer::Sgd::new(0.5);
+        let frames = vec![vec![3.0, -3.0, 3.0, -3.0]; 8];
+        for _ in 0..15 {
+            let loss = net.train_step(&frames, &[1; 8], &mut opt, Some(GradClip::new(1.0)));
+            assert!(loss.is_finite());
+        }
+    }
+
+    #[test]
+    fn prunable_names() {
+        let mut net = LstmNetwork::new(
+            &NetworkConfig {
+                input_dim: 4,
+                hidden_dims: vec![6, 6],
+                num_classes: 2,
+            },
+            1,
+        );
+        let names: Vec<String> = net.prunable().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names.len(), 16); // 2 layers x 8 matrices
+        assert_eq!(names[0], "layer0.w_i");
+        assert_eq!(names[15], "layer1.u_o");
+        let mut_names: Vec<String> = net.prunable_mut().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, mut_names);
+        assert_eq!(net.total_prunable_params(), net.nonzero_prunable_params());
+    }
+
+    #[test]
+    fn num_params_counts_head() {
+        let net = LstmNetwork::new(&cfg(), 1);
+        let want = 4 * (10 * 4 + 10 * 10 + 10) + (2 * 10 + 2);
+        assert_eq!(net.num_params(), want);
+    }
+}

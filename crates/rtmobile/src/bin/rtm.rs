@@ -1,0 +1,133 @@
+//! `rtm` — the RTMobile command-line front end.
+//!
+//! ```text
+//! rtm pipeline [--hidden N] [--col X] [--row Y] [--stripes S] [--blocks B]
+//!              [--seed K] [--save FILE.rtm]
+//! rtm inspect FILE.rtm
+//! rtm help
+//! ```
+//!
+//! `pipeline` runs the full train → BSP-prune → compile → simulate flow and
+//! optionally writes the compiled f16 model to a `.rtm` file; `inspect`
+//! summarizes a saved model.
+
+use rtmobile::{model_file, RtMobile};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("pipeline") => pipeline(&args[1..]),
+        Some("inspect") => inspect(&args[1..]),
+        Some("help") | None => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command: {other}");
+            print_help();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!("rtm — RTMobile reproduction CLI");
+    println!();
+    println!("USAGE:");
+    println!("  rtm pipeline [--hidden N] [--col X] [--row Y] [--stripes S] [--blocks B]");
+    println!("               [--seed K] [--save FILE.rtm]");
+    println!("  rtm inspect FILE.rtm");
+    println!("  rtm help");
+}
+
+/// Parses `--flag value` pairs; returns `None` (after printing) on errors.
+fn parse_flags(args: &[String]) -> Option<std::collections::BTreeMap<String, String>> {
+    let mut out = std::collections::BTreeMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            eprintln!("expected a --flag, got {flag}");
+            return None;
+        };
+        let Some(value) = it.next() else {
+            eprintln!("--{name} needs a value");
+            return None;
+        };
+        out.insert(name.to_string(), value.clone());
+    }
+    Some(out)
+}
+
+fn pipeline(args: &[String]) -> ExitCode {
+    let Some(flags) = parse_flags(args) else {
+        return ExitCode::FAILURE;
+    };
+    let get_usize = |k: &str, d: usize| -> usize {
+        flags.get(k).and_then(|v| v.parse().ok()).unwrap_or(d)
+    };
+    let get_f64 = |k: &str, d: f64| -> f64 {
+        flags.get(k).and_then(|v| v.parse().ok()).unwrap_or(d)
+    };
+
+    let hidden = get_usize("hidden", 48);
+    let col = get_f64("col", 10.0);
+    let row = get_f64("row", 1.0);
+    let stripes = get_usize("stripes", 4);
+    let blocks = get_usize("blocks", 4);
+    let seed = get_usize("seed", 2020) as u64;
+
+    if col < 1.0 || row < 1.0 {
+        eprintln!("compression rates must be >= 1");
+        return ExitCode::FAILURE;
+    }
+
+    println!(
+        "Running the RTMobile pipeline: hidden {hidden}, target {col}x cols x {row}x rows, \
+         partition {stripes}x{blocks}, seed {seed}"
+    );
+    let (report, _net, compiled) = RtMobile::builder()
+        .hidden(hidden)
+        .compression(col, row)
+        .partition(stripes, blocks)
+        .seed(seed)
+        .run_keeping_model();
+    println!("{}", report.render());
+
+    if let Some(path) = flags.get("save") {
+        let bytes = model_file::to_bytes(&compiled);
+        match std::fs::write(path, &bytes) {
+            Ok(()) => println!("wrote {} ({} bytes)", path, bytes.len()),
+            Err(e) => {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn inspect(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        eprintln!("usage: rtm inspect FILE.rtm");
+        return ExitCode::FAILURE;
+    };
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let net = match model_file::from_bytes(&bytes) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("not a valid .rtm model: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{path}: {} bytes on disk", bytes.len());
+    println!("  precision     : {:?}", net.precision());
+    println!("  BSPC storage  : {:.1} KiB", net.storage_bytes() as f64 / 1024.0);
+    ExitCode::SUCCESS
+}

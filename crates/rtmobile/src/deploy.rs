@@ -1,0 +1,441 @@
+//! The deployed runtime artifact: BSPC-compiled GRU inference.
+//!
+//! [`CompiledNetwork`] lowers a (pruned) [`GruNetwork`] into per-gate
+//! [`BspcMatrix`] storage carrying the matrix-reorder permutation, then
+//! *executes* inference through the sparse kernels. This is the functional
+//! counterpart of the simulator's cost model: the simulator prices the
+//! kernels, this module proves they compute the right thing. With
+//! [`RuntimePrecision::F16`] all weights and intermediate activations round
+//! through IEEE binary16, modelling the paper's 16-bit GPU datapath.
+
+use rtm_compiler::reorder::ReorderPlan;
+use rtm_rnn::GruNetwork;
+use rtm_sparse::BspcMatrix;
+use rtm_tensor::activations::{sigmoid, tanh};
+use rtm_tensor::f16::quantize_f16;
+use rtm_tensor::{Matrix, Vector};
+
+/// Numeric mode of the compiled runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RuntimePrecision {
+    /// Full f32 (CPU path).
+    #[default]
+    F32,
+    /// Round weights and activations through binary16 (GPU path).
+    F16,
+    /// Symmetric int8 *weight-only* quantization (the DESIGN.md §6 what-if
+    /// CPU path): weights round through int8, activations stay f32.
+    Int8,
+}
+
+/// One compiled GRU layer: six BSPC gate matrices plus biases.
+#[derive(Debug, Clone)]
+pub struct CompiledGruLayer {
+    pub(crate) w_z: BspcMatrix,
+    pub(crate) u_z: BspcMatrix,
+    pub(crate) b_z: Vec<f32>,
+    pub(crate) w_r: BspcMatrix,
+    pub(crate) u_r: BspcMatrix,
+    pub(crate) b_r: Vec<f32>,
+    pub(crate) w_n: BspcMatrix,
+    pub(crate) u_n: BspcMatrix,
+    pub(crate) b_n: Vec<f32>,
+    pub(crate) hidden: usize,
+}
+
+/// A GRU network compiled to BSPC sparse storage.
+#[derive(Debug, Clone)]
+pub struct CompiledNetwork {
+    pub(crate) layers: Vec<CompiledGruLayer>,
+    pub(crate) head_w: Matrix,
+    pub(crate) head_b: Vec<f32>,
+    pub(crate) precision: RuntimePrecision,
+}
+
+impl CompiledNetwork {
+    /// Compiles `net` with the given BSP partition and precision.
+    ///
+    /// Every gate matrix is converted to BSPC (with the matrix-reorder
+    /// permutation attached per §IV-B-c) and, under
+    /// [`RuntimePrecision::F16`], quantized through binary16 first.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`rtm_sparse::BspcError`] when the partition
+    /// does not fit a tensor.
+    pub fn compile(
+        net: &GruNetwork,
+        stripes: usize,
+        blocks: usize,
+        precision: RuntimePrecision,
+    ) -> Result<CompiledNetwork, rtm_sparse::BspcError> {
+        let quant = |m: &Matrix| -> Matrix {
+            match precision {
+                RuntimePrecision::F32 => m.clone(),
+                RuntimePrecision::F16 => m.map(quantize_f16),
+                RuntimePrecision::Int8 => {
+                    rtm_tensor::QuantizedMatrix::quantize(m).dequantize()
+                }
+            }
+        };
+        let lower = |m: &Matrix| -> Result<BspcMatrix, rtm_sparse::BspcError> {
+            let q = quant(m);
+            let s = stripes.min(q.rows().max(1));
+            let b = blocks.min(q.cols().max(1));
+            let reorder = ReorderPlan::compute(&q, 8);
+            let perm: Vec<u32> = reorder.perm.iter().map(|&r| r as u32).collect();
+            BspcMatrix::from_dense(&q, s, b)?.with_reorder(perm)
+        };
+
+        let mut layers = Vec::with_capacity(net.layers.len());
+        for cell in &net.layers {
+            layers.push(CompiledGruLayer {
+                w_z: lower(&cell.w_z)?,
+                u_z: lower(&cell.u_z)?,
+                b_z: cell.b_z.clone(),
+                w_r: lower(&cell.w_r)?,
+                u_r: lower(&cell.u_r)?,
+                b_r: cell.b_r.clone(),
+                w_n: lower(&cell.w_n)?,
+                u_n: lower(&cell.u_n)?,
+                b_n: cell.b_n.clone(),
+                hidden: cell.hidden_dim(),
+            });
+        }
+        Ok(CompiledNetwork {
+            layers,
+            head_w: quant(&net.head.w),
+            head_b: net.head.b.clone(),
+            precision,
+        })
+    }
+
+    /// The numeric mode.
+    pub fn precision(&self) -> RuntimePrecision {
+        self.precision
+    }
+
+    /// Total bytes of the compiled weight storage (values + indices) at the
+    /// runtime precision.
+    pub fn storage_bytes(&self) -> usize {
+        use rtm_sparse::footprint::{Footprint, Precision};
+        let prec = match self.precision {
+            RuntimePrecision::F32 => Precision::F32,
+            RuntimePrecision::F16 => Precision::F16,
+            RuntimePrecision::Int8 => Precision::Int8,
+        };
+        self.layers
+            .iter()
+            .flat_map(|l| [&l.w_z, &l.u_z, &l.w_r, &l.u_r, &l.w_n, &l.u_n])
+            .map(|m| Footprint::bspc(m, prec).total())
+            .sum()
+    }
+
+    fn maybe_quantize(&self, v: &mut [f32]) {
+        if self.precision == RuntimePrecision::F16 {
+            for x in v {
+                *x = quantize_f16(*x);
+            }
+        }
+    }
+
+    /// Runs inference over a frame sequence, returning per-frame logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame dimension does not match the compiled model.
+    pub fn forward(&self, frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let mut states: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.hidden]).collect();
+        let mut logits = Vec::with_capacity(frames.len());
+        for frame in frames {
+            let mut x = frame.clone();
+            self.maybe_quantize(&mut x);
+            for (layer, h) in self.layers.iter().zip(states.iter_mut()) {
+                let new_h = layer.step(&x, h, self.precision);
+                *h = new_h;
+                x = h.clone();
+            }
+            let mut out = rtm_tensor::gemm::gemv(&self.head_w, &x).expect("head dims");
+            Vector::axpy(1.0, &self.head_b, &mut out);
+            logits.push(out);
+        }
+        logits
+    }
+
+    /// Per-frame argmax predictions.
+    pub fn predict(&self, frames: &[Vec<f32>]) -> Vec<usize> {
+        self.forward(frames)
+            .iter()
+            .map(|l| Vector::argmax(l))
+            .collect()
+    }
+}
+
+/// A GRU layer compiled with gate fusion: one `3H × I` input kernel and
+/// one `3H × H` recurrent kernel per step — the launch structure the
+/// simulator's frame model (and the Figure 4 saturation) assumes.
+#[derive(Debug, Clone)]
+pub struct FusedGruLayer {
+    wx: BspcMatrix,
+    uh: BspcMatrix,
+    biases: [Vec<f32>; 3],
+    hidden: usize,
+}
+
+impl FusedGruLayer {
+    /// Fuses a trained cell's gates (z, r, n order) into the two kernels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rtm_sparse::BspcError`] if the partition does not fit the
+    /// fused matrices.
+    pub fn compile(
+        cell: &rtm_rnn::gru::GruCell,
+        stripes: usize,
+        blocks: usize,
+    ) -> Result<FusedGruLayer, rtm_sparse::BspcError> {
+        use rtm_compiler::fusion::FusedMatrix;
+        let wx_fused = FusedMatrix::stack(&[&cell.w_z, &cell.w_r, &cell.w_n])
+            .expect("gates share the input width");
+        let uh_fused = FusedMatrix::stack(&[&cell.u_z, &cell.u_r, &cell.u_n])
+            .expect("gates share the hidden width");
+        let s = |m: &Matrix| stripes.min(m.rows().max(1));
+        let b = |m: &Matrix| blocks.min(m.cols().max(1));
+        Ok(FusedGruLayer {
+            wx: BspcMatrix::from_dense(&wx_fused.matrix, s(&wx_fused.matrix), b(&wx_fused.matrix))?,
+            uh: BspcMatrix::from_dense(&uh_fused.matrix, s(&uh_fused.matrix), b(&uh_fused.matrix))?,
+            biases: [cell.b_z.clone(), cell.b_r.clone(), cell.b_n.clone()],
+            hidden: cell.hidden_dim(),
+        })
+    }
+
+    /// One GRU step through the fused kernels.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn step(&self, x: &[f32], h_prev: &[f32]) -> Vec<f32> {
+        let hid = self.hidden;
+        // Kernel 1: all input-side gate pre-activations at once.
+        let wx_out = self.wx.spmv(x).expect("input dims");
+        // Kernel 2: all recurrent pre-activations on h (z and r use these;
+        // the candidate's recurrent part needs r ⊙ h, computed below).
+        let uh_out = self.uh.spmv(h_prev).expect("hidden dims");
+
+        let mut z = vec![0.0f32; hid];
+        let mut r = vec![0.0f32; hid];
+        for i in 0..hid {
+            z[i] = sigmoid(wx_out[i] + uh_out[i] + self.biases[0][i]);
+            r[i] = sigmoid(wx_out[hid + i] + uh_out[hid + i] + self.biases[1][i]);
+        }
+        let rh: Vec<f32> = r.iter().zip(h_prev).map(|(&a, &b)| a * b).collect();
+        let uh_rh = self.uh.spmv(&rh).expect("hidden dims");
+        let mut h = vec![0.0f32; hid];
+        for i in 0..hid {
+            let n = tanh(wx_out[2 * hid + i] + uh_rh[2 * hid + i] + self.biases[2][i]);
+            h[i] = (1.0 - z[i]) * n + z[i] * h_prev[i];
+        }
+        h
+    }
+}
+
+impl CompiledGruLayer {
+    fn step(&self, x: &[f32], h_prev: &[f32], precision: RuntimePrecision) -> Vec<f32> {
+        let quantize = |v: &mut Vec<f32>| {
+            if precision == RuntimePrecision::F16 {
+                for e in v.iter_mut() {
+                    *e = quantize_f16(*e);
+                }
+            }
+        };
+        let mut z = self.w_z.spmv(x).expect("dims");
+        Vector::axpy(1.0, &self.u_z.spmv(h_prev).expect("dims"), &mut z);
+        Vector::axpy(1.0, &self.b_z, &mut z);
+        for v in &mut z {
+            *v = sigmoid(*v);
+        }
+        quantize(&mut z);
+
+        let mut r = self.w_r.spmv(x).expect("dims");
+        Vector::axpy(1.0, &self.u_r.spmv(h_prev).expect("dims"), &mut r);
+        Vector::axpy(1.0, &self.b_r, &mut r);
+        for v in &mut r {
+            *v = sigmoid(*v);
+        }
+        quantize(&mut r);
+
+        let rh: Vec<f32> = r.iter().zip(h_prev).map(|(&a, &b)| a * b).collect();
+        let mut n = self.w_n.spmv(x).expect("dims");
+        Vector::axpy(1.0, &self.u_n.spmv(&rh).expect("dims"), &mut n);
+        Vector::axpy(1.0, &self.b_n, &mut n);
+        for v in &mut n {
+            *v = tanh(*v);
+        }
+        quantize(&mut n);
+
+        let mut h = vec![0.0f32; self.hidden];
+        for i in 0..self.hidden {
+            h[i] = (1.0 - z[i]) * n[i] + z[i] * h_prev[i];
+        }
+        quantize(&mut h);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_rnn::model::NetworkConfig;
+
+    fn net() -> GruNetwork {
+        GruNetwork::new(
+            &NetworkConfig {
+                input_dim: 6,
+                hidden_dims: vec![12, 12],
+                num_classes: 4,
+            },
+            17,
+        )
+    }
+
+    fn frames() -> Vec<Vec<f32>> {
+        (0..9)
+            .map(|t| (0..6).map(|i| ((t * 6 + i) as f32 * 0.3).sin() * 0.5).collect())
+            .collect()
+    }
+
+    #[test]
+    fn f32_compiled_matches_dense_exactly() {
+        let net = net();
+        let compiled = CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F32).unwrap();
+        let dense = net.forward(&frames());
+        let sparse = compiled.forward(&frames());
+        for (d, s) in dense.iter().zip(&sparse) {
+            for (a, b) in d.iter().zip(s) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+        }
+        assert_eq!(compiled.precision(), RuntimePrecision::F32);
+    }
+
+    #[test]
+    fn f16_compiled_close_to_dense() {
+        let net = net();
+        let compiled = CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F16).unwrap();
+        let dense = net.forward(&frames());
+        let half = compiled.forward(&frames());
+        // f16 rounding perturbs but must not change the ballpark.
+        for (d, s) in dense.iter().zip(&half) {
+            for (a, b) in d.iter().zip(s) {
+                assert!((a - b).abs() < 0.05, "{a} vs {b}");
+            }
+        }
+        // Predictions agree on a comfortable majority of frames.
+        let agree = net
+            .predict(&frames())
+            .iter()
+            .zip(compiled.predict(&frames()))
+            .filter(|(a, b)| **a == *b)
+            .count();
+        assert!(agree >= 7, "agreement {agree}/9");
+    }
+
+    #[test]
+    fn pruned_network_roundtrips() {
+        // Zero half the columns (BSP-like) and verify the compiled network
+        // still matches the dense forward of the pruned weights.
+        let mut net = net();
+        for (_, m) in net.prunable_mut() {
+            let cols = m.cols();
+            for r in 0..m.rows() {
+                for c in 0..cols {
+                    if c % 2 == 1 {
+                        m[(r, c)] = 0.0;
+                    }
+                }
+            }
+        }
+        let compiled = CompiledNetwork::compile(&net, 4, 2, RuntimePrecision::F32).unwrap();
+        let dense = net.forward(&frames());
+        let sparse = compiled.forward(&frames());
+        for (d, s) in dense.iter().zip(&sparse) {
+            for (a, b) in d.iter().zip(s) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_layer_matches_unfused_step() {
+        let net = net();
+        let cell = &net.layers[0];
+        let fused = FusedGruLayer::compile(cell, 4, 2).expect("fits");
+        let x: Vec<f32> = (0..6).map(|i| (i as f32 * 0.5).sin()).collect();
+        let mut h = vec![0.0f32; cell.hidden_dim()];
+        for _ in 0..5 {
+            let unfused = cell.step(&x, &h);
+            let fused_h = fused.step(&x, &h);
+            for (a, b) in unfused.h.iter().zip(&fused_h) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+            h = fused_h;
+        }
+    }
+
+    #[test]
+    fn int8_weight_only_quantization_close_to_f32() {
+        let net = net();
+        let q = CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::Int8).unwrap();
+        assert_eq!(q.precision(), RuntimePrecision::Int8);
+        let dense = net.forward(&frames());
+        let quantized = q.forward(&frames());
+        for (d, s) in dense.iter().zip(&quantized) {
+            for (a, b) in d.iter().zip(s) {
+                assert!((a - b).abs() < 0.05, "{a} vs {b}");
+            }
+        }
+        // Int8 storage accounting is the smallest of the three modes.
+        let f32b = CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F32)
+            .unwrap()
+            .storage_bytes();
+        let f16b = CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F16)
+            .unwrap()
+            .storage_bytes();
+        assert!(q.storage_bytes() < f16b && f16b < f32b);
+    }
+
+    #[test]
+    fn storage_shrinks_with_pruning_and_precision() {
+        let net_dense = net();
+        let mut net_pruned = net_dense.clone();
+        for (_, m) in net_pruned.prunable_mut() {
+            let cols = m.cols();
+            for r in 0..m.rows() {
+                for c in 0..cols {
+                    if c % 4 != 0 {
+                        m[(r, c)] = 0.0;
+                    }
+                }
+            }
+        }
+        let d32 = CompiledNetwork::compile(&net_dense, 4, 4, RuntimePrecision::F32)
+            .unwrap()
+            .storage_bytes();
+        let p32 = CompiledNetwork::compile(&net_pruned, 4, 4, RuntimePrecision::F32)
+            .unwrap()
+            .storage_bytes();
+        let p16 = CompiledNetwork::compile(&net_pruned, 4, 4, RuntimePrecision::F16)
+            .unwrap()
+            .storage_bytes();
+        assert!(p32 < d32 / 2, "pruning shrinks storage: {p32} vs {d32}");
+        assert!(p16 < p32, "f16 shrinks storage further: {p16} vs {p32}");
+    }
+
+    #[test]
+    fn bad_partition_propagates_error() {
+        let net = net();
+        // stripes > rows for 12-row matrices is clamped, so force the error
+        // with zero blocks.
+        assert!(CompiledNetwork::compile(&net, 0, 4, RuntimePrecision::F32).is_err());
+    }
+}

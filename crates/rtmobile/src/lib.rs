@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # rtmobile
+//!
+//! The end-to-end RTMobile framework (paper Fig. 3): train → BSP-prune →
+//! compile → deploy.
+//!
+//! * [`deploy`] — the mobile runtime artifact: every pruned GRU layer
+//!   compiled to BSPC storage with its reorder permutation, plus a
+//!   *functional* executor that runs inference through the sparse kernels
+//!   (optionally through f16, the GPU datapath) and must agree with the
+//!   dense reference — the correctness proof of the compiled path;
+//! * [`pipeline`] — [`pipeline::RtMobile`], the builder that wires the
+//!   speech task, dense training, BSP pruning with ADMM retraining, the
+//!   compiler analyses and the SoC simulator into one call;
+//! * [`report`] — the accuracy/performance report with Table-I/Table-II
+//!   style rendering.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use rtmobile::pipeline::RtMobile;
+//!
+//! let report = RtMobile::builder()
+//!     .hidden(32)
+//!     .compression(10.0, 1.0)
+//!     .seed(42)
+//!     .run();
+//! println!("{}", report.render());
+//! ```
+
+pub mod deploy;
+pub mod model_file;
+pub mod pipeline;
+pub mod report;
+
+pub use deploy::{CompiledNetwork, FusedGruLayer};
+pub use pipeline::RtMobile;
+pub use report::PipelineReport;

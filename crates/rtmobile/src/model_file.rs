@@ -1,0 +1,274 @@
+//! The `.rtm` model file: a deployable, self-contained serialization of a
+//! compiled network.
+//!
+//! The paper's BSPC is a *storage* format; this module makes the full model
+//! artifact concrete: every gate matrix in the binary BSPC encoding of
+//! [`rtm_sparse::io`] (with f16 values on the GPU path), plus biases and
+//! the dense classifier head. A phone ships exactly these bytes.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "RTMF" 4 B, version u16, precision u8, layer_count u32
+//! per layer: hidden u32, 6 x BSPC blobs (w_z u_z w_r u_r w_n u_n),
+//!            3 x bias runs (len u32 + f32s)
+//! head: rows u32, cols u32, f32 weights, f32 bias
+//! ```
+
+use crate::deploy::{CompiledGruLayer, CompiledNetwork, RuntimePrecision};
+use bytes::{Buf, BufMut};
+use rtm_sparse::footprint::Precision;
+use rtm_sparse::io::DecodeError;
+use rtm_sparse::BspcMatrix;
+use rtm_tensor::Matrix;
+
+/// Magic bytes opening every `.rtm` model file.
+pub const MAGIC: &[u8; 4] = b"RTMF";
+
+/// Current model-file version.
+pub const VERSION: u16 = 1;
+
+/// Serializes a compiled network to the `.rtm` byte format.
+///
+/// Values are stored at the network's runtime precision (f16 halves the
+/// file on the GPU path).
+pub fn to_bytes(net: &CompiledNetwork) -> Vec<u8> {
+    // Int8 compiled networks hold dequantized f32 weights (weight-only
+    // quantization); the file stores them as f16 — an extra rounding of at
+    // most 2^-11 relative, negligible next to the int8 quantization step
+    // already accepted.
+    let prec = match net.precision {
+        RuntimePrecision::F32 => Precision::F32,
+        RuntimePrecision::F16 | RuntimePrecision::Int8 => Precision::F16,
+    };
+    let mut out = Vec::new();
+    out.put_slice(MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u8(match net.precision {
+        RuntimePrecision::F32 => 0,
+        RuntimePrecision::F16 => 1,
+        RuntimePrecision::Int8 => 2,
+    });
+    out.put_u32_le(net.layers.len() as u32);
+    for layer in &net.layers {
+        out.put_u32_le(layer.hidden as u32);
+        for m in [&layer.w_z, &layer.u_z, &layer.w_r, &layer.u_r, &layer.w_n, &layer.u_n] {
+            m.write_to(&mut out, prec);
+        }
+        for b in [&layer.b_z, &layer.b_r, &layer.b_n] {
+            out.put_u32_le(b.len() as u32);
+            for &v in b {
+                out.put_f32_le(v);
+            }
+        }
+    }
+    out.put_u32_le(net.head_w.rows() as u32);
+    out.put_u32_le(net.head_w.cols() as u32);
+    for &v in net.head_w.as_slice() {
+        out.put_f32_le(v);
+    }
+    out.put_u32_le(net.head_b.len() as u32);
+    for &v in &net.head_b {
+        out.put_f32_le(v);
+    }
+    out
+}
+
+/// Deserializes a compiled network from `.rtm` bytes.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on any structural problem (truncation, bad
+/// magic/version, invalid embedded BSPC blobs).
+pub fn from_bytes(bytes: &[u8]) -> Result<CompiledNetwork, DecodeError> {
+    let mut buf = bytes;
+    let need = |buf: &[u8], n: usize| -> Result<(), DecodeError> {
+        if buf.remaining() < n {
+            Err(DecodeError::Truncated)
+        } else {
+            Ok(())
+        }
+    };
+
+    need(buf, 4)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    need(buf, 3)?;
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let precision = match buf.get_u8() {
+        0 => RuntimePrecision::F32,
+        1 => RuntimePrecision::F16,
+        2 => RuntimePrecision::Int8,
+        other => return Err(DecodeError::BadPrecision(other)),
+    };
+
+    need(buf, 4)?;
+    let layer_count = buf.get_u32_le() as usize;
+    // Each layer needs at least its hidden-width word plus six BSPC blobs;
+    // reject counts the buffer cannot possibly hold before allocating.
+    if layer_count > buf.remaining() / 4 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut layers = Vec::new();
+    for _ in 0..layer_count {
+        need(buf, 4)?;
+        let hidden = buf.get_u32_le() as usize;
+        let mut mats: Vec<BspcMatrix> = Vec::with_capacity(6);
+        for _ in 0..6 {
+            let (m, used) = BspcMatrix::read_from(buf)?;
+            buf.advance(used);
+            mats.push(m);
+        }
+        let mut biases: Vec<Vec<f32>> = Vec::with_capacity(3);
+        for _ in 0..3 {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            need(buf, n.saturating_mul(4))?;
+            biases.push((0..n).map(|_| buf.get_f32_le()).collect());
+        }
+        let u_n = mats.pop().expect("six matrices");
+        let w_n = mats.pop().expect("six matrices");
+        let u_r = mats.pop().expect("six matrices");
+        let w_r = mats.pop().expect("six matrices");
+        let u_z = mats.pop().expect("six matrices");
+        let w_z = mats.pop().expect("six matrices");
+        let b_n = biases.pop().expect("three biases");
+        let b_r = biases.pop().expect("three biases");
+        let b_z = biases.pop().expect("three biases");
+        layers.push(CompiledGruLayer {
+            w_z,
+            u_z,
+            b_z,
+            w_r,
+            u_r,
+            b_r,
+            w_n,
+            u_n,
+            b_n,
+            hidden,
+        });
+    }
+
+    need(buf, 8)?;
+    let rows = buf.get_u32_le() as usize;
+    let cols = buf.get_u32_le() as usize;
+    let head_len = rows
+        .checked_mul(cols)
+        .and_then(|n| n.checked_mul(4))
+        .ok_or(DecodeError::Truncated)?;
+    need(buf, head_len)?;
+    let head_data: Vec<f32> = (0..rows * cols).map(|_| buf.get_f32_le()).collect();
+    let head_w = Matrix::from_vec(rows, cols, head_data).map_err(|_| DecodeError::Truncated)?;
+    need(buf, 4)?;
+    let nb = buf.get_u32_le() as usize;
+    need(buf, nb.saturating_mul(4))?;
+    let head_b: Vec<f32> = (0..nb).map(|_| buf.get_f32_le()).collect();
+
+    Ok(CompiledNetwork {
+        layers,
+        head_w,
+        head_b,
+        precision,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_rnn::model::{GruNetwork, NetworkConfig};
+
+    fn compiled(precision: RuntimePrecision) -> CompiledNetwork {
+        let net = GruNetwork::new(
+            &NetworkConfig {
+                input_dim: 5,
+                hidden_dims: vec![8, 8],
+                num_classes: 3,
+            },
+            31,
+        );
+        CompiledNetwork::compile(&net, 4, 2, precision).expect("partition fits")
+    }
+
+    fn frames() -> Vec<Vec<f32>> {
+        (0..6)
+            .map(|t| (0..5).map(|i| ((t * 5 + i) as f32 * 0.4).sin()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn f32_model_roundtrips_bit_exact() {
+        let net = compiled(RuntimePrecision::F32);
+        let bytes = to_bytes(&net);
+        let decoded = from_bytes(&bytes).expect("decodes");
+        assert_eq!(decoded.precision(), RuntimePrecision::F32);
+        let a = net.forward(&frames());
+        let b = decoded.forward(&frames());
+        assert_eq!(a, b, "f32 serialization must be lossless");
+    }
+
+    #[test]
+    fn f16_model_roundtrips_functionally() {
+        // The compiled f16 network's weights are already f16-quantized, so
+        // storing them as f16 bit patterns is lossless for the values.
+        let net = compiled(RuntimePrecision::F16);
+        let bytes = to_bytes(&net);
+        let decoded = from_bytes(&bytes).expect("decodes");
+        assert_eq!(decoded.precision(), RuntimePrecision::F16);
+        let a = net.forward(&frames());
+        let b = decoded.forward(&frames());
+        assert_eq!(a, b, "f16 model already quantized; file roundtrip is exact");
+    }
+
+    #[test]
+    fn int8_model_roundtrips_within_f16_tolerance() {
+        let net = compiled(RuntimePrecision::Int8);
+        let bytes = to_bytes(&net);
+        let decoded = from_bytes(&bytes).expect("decodes");
+        assert_eq!(decoded.precision(), RuntimePrecision::Int8);
+        let a = net.forward(&frames());
+        let b = decoded.forward(&frames());
+        for (fa, fb) in a.iter().zip(&b) {
+            for (x, y) in fa.iter().zip(fb) {
+                assert!((x - y).abs() < 5e-3, "{x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn f16_file_is_smaller() {
+        let f32_bytes = to_bytes(&compiled(RuntimePrecision::F32));
+        let f16_bytes = to_bytes(&compiled(RuntimePrecision::F16));
+        assert!(
+            f16_bytes.len() < f32_bytes.len(),
+            "{} vs {}",
+            f16_bytes.len(),
+            f32_bytes.len()
+        );
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let mut bytes = to_bytes(&compiled(RuntimePrecision::F32));
+        assert!(from_bytes(&bytes[..10]).is_err(), "truncated");
+        bytes[0] = b'X';
+        assert_eq!(from_bytes(&bytes).unwrap_err(), DecodeError::BadMagic);
+        let mut bytes = to_bytes(&compiled(RuntimePrecision::F32));
+        bytes[4] = 0xFF;
+        assert!(matches!(from_bytes(&bytes).unwrap_err(), DecodeError::BadVersion(_)));
+    }
+
+    #[test]
+    fn every_truncation_fails_cleanly() {
+        let bytes = to_bytes(&compiled(RuntimePrecision::F16));
+        for n in (0..bytes.len()).step_by(7) {
+            assert!(from_bytes(&bytes[..n]).is_err(), "prefix {n}");
+        }
+        assert!(from_bytes(&bytes).is_ok());
+    }
+}

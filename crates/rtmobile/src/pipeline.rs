@@ -1,0 +1,293 @@
+//! The end-to-end RTMobile pipeline (paper Fig. 3).
+//!
+//! One [`RtMobile::run`] call executes the whole flow the paper describes:
+//!
+//! 1. generate the speech task and train the dense 2-layer GRU (baseline
+//!    PER — Table I's "w/o pruning" row);
+//! 2. run BSP: ADMM-driven column-block pruning, then row pruning, then
+//!    masked fine-tuning (pruned PER and achieved compression rate);
+//! 3. compile the pruned network to BSPC with matrix reorder, in both the
+//!    f32 (CPU) and f16 (GPU) runtime precisions, and re-score the PER
+//!    through the *compiled f16* path — the accuracy actually shipped to
+//!    the device;
+//! 4. price one inference frame of the paper-scale workload (hidden 1024)
+//!    at the same compression on the simulated Adreno-640 GPU and
+//!    Kryo-485 CPU.
+//!
+//! The builder exposes every knob with laptop-scale defaults.
+
+use crate::deploy::{CompiledNetwork, RuntimePrecision};
+use crate::report::{AccuracyReport, PerformanceReport, PipelineReport};
+use rtm_compiler::plan::{ExecutionPlan, StorageFormat};
+use rtm_pruning::admm::AdmmConfig;
+use rtm_pruning::bsp::{BspConfig, BspPruner};
+use rtm_pruning::schedule::CompressionTarget;
+use rtm_sim::{GruWorkload, InferenceSim};
+use rtm_speech::corpus::CorpusConfig;
+use rtm_speech::per::PerReport;
+use rtm_speech::task::SpeechTask;
+
+/// Builder-configured end-to-end pipeline.
+#[derive(Debug, Clone)]
+pub struct RtMobile {
+    corpus: CorpusConfig,
+    hidden: usize,
+    dense_epochs: usize,
+    dense_lr: f32,
+    target: CompressionTarget,
+    stripes: usize,
+    blocks: usize,
+    admm: AdmmConfig,
+    seed: u64,
+    sim_hidden: usize,
+}
+
+impl RtMobile {
+    /// Starts a builder with laptop-scale defaults.
+    pub fn builder() -> RtMobile {
+        RtMobile {
+            corpus: CorpusConfig::default_scaled(),
+            hidden: 48,
+            dense_epochs: 15,
+            dense_lr: 8e-3,
+            target: CompressionTarget::new(10.0, 1.0),
+            stripes: 4,
+            blocks: 4,
+            admm: AdmmConfig {
+                rho: 2.0,
+                admm_iterations: 2,
+                epochs_per_iteration: 4,
+                finetune_epochs: 8,
+                lr: 4e-3,
+                clip: Some(rtm_rnn::GradClip::new(5.0)),
+            },
+            seed: 1,
+            sim_hidden: 1024,
+        }
+    }
+
+    /// Overrides the corpus configuration.
+    pub fn corpus(mut self, cfg: CorpusConfig) -> RtMobile {
+        self.corpus = cfg;
+        self
+    }
+
+    /// Hidden width of the trained GRU (per layer).
+    pub fn hidden(mut self, hidden: usize) -> RtMobile {
+        self.hidden = hidden;
+        self
+    }
+
+    /// Dense pre-training epochs and learning rate.
+    pub fn dense_training(mut self, epochs: usize, lr: f32) -> RtMobile {
+        self.dense_epochs = epochs;
+        self.dense_lr = lr;
+        self
+    }
+
+    /// The `(column, row)` compression target.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is below 1.
+    pub fn compression(mut self, col_rate: f64, row_rate: f64) -> RtMobile {
+        self.target = CompressionTarget::new(col_rate, row_rate);
+        self
+    }
+
+    /// The BSP partition (`Numr`, `Numc`).
+    pub fn partition(mut self, stripes: usize, blocks: usize) -> RtMobile {
+        self.stripes = stripes;
+        self.blocks = blocks;
+        self
+    }
+
+    /// ADMM hyper-parameters.
+    pub fn admm(mut self, cfg: AdmmConfig) -> RtMobile {
+        self.admm = cfg;
+        self
+    }
+
+    /// Master seed.
+    pub fn seed(mut self, seed: u64) -> RtMobile {
+        self.seed = seed;
+        self
+    }
+
+    /// Hidden width of the *simulated* paper-scale workload (default 1024).
+    pub fn sim_hidden(mut self, hidden: usize) -> RtMobile {
+        self.sim_hidden = hidden;
+        self
+    }
+
+    /// Executes the pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on internal shape errors (a bug) or invalid configuration.
+    pub fn run(self) -> PipelineReport {
+        self.run_keeping_model().0
+    }
+
+    /// Executes the pipeline and additionally returns the pruned network
+    /// and its f16-compiled runtime (e.g. for saving with
+    /// [`crate::model_file`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on internal shape errors (a bug) or invalid configuration.
+    pub fn run_keeping_model(
+        self,
+    ) -> (PipelineReport, rtm_rnn::GruNetwork, CompiledNetwork) {
+        // 1. Task + dense training.
+        let task = SpeechTask::new(&self.corpus, self.seed);
+        let mut net = task.new_network(self.hidden, self.seed.wrapping_add(1));
+        task.train(&mut net, self.dense_epochs, self.dense_lr);
+        let baseline = task.evaluate(&net);
+
+        // 2. BSP pruning with ADMM retraining.
+        let (pruned, bsp_report) = if self.target.is_dense() {
+            (baseline, None)
+        } else {
+            let pruner = BspPruner::new(BspConfig {
+                num_stripes: self.stripes,
+                num_blocks: self.blocks,
+                target: self.target,
+                admm: self.admm,
+            });
+            let report = pruner.prune(&mut net, &task.training_data());
+            (task.evaluate(&net), Some(report))
+        };
+
+        // 3. Compile to the runtime and score the f16 path.
+        let compiled_f16 =
+            CompiledNetwork::compile(&net, self.stripes, self.blocks, RuntimePrecision::F16)
+                .expect("partition validated by BSP config");
+        let mut f16_report = PerReport::default();
+        for u in task.test_utterances() {
+            let preds = compiled_f16.predict(&u.frames);
+            f16_report.add(&preds, &u.labels, &u.phones);
+        }
+
+        // 4. Paper-scale performance simulation.
+        let workload = GruWorkload::with_bsp_pattern(
+            40,
+            self.sim_hidden,
+            2,
+            self.target.col_rate,
+            self.target.row_rate,
+            8,
+            8,
+            self.seed,
+        );
+        let sim = InferenceSim::new();
+        let (gpu_plan, cpu_plan) = if self.target.is_dense() {
+            (
+                ExecutionPlan::gpu_default(StorageFormat::Dense).without_optimizations(),
+                ExecutionPlan::cpu_default(StorageFormat::Dense).without_optimizations(),
+            )
+        } else {
+            (
+                ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8),
+                ExecutionPlan::cpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8),
+            )
+        };
+        let gpu = sim.run_frame(&workload, &gpu_plan);
+        let cpu = sim.run_frame(&workload, &cpu_plan);
+
+        let (achieved_rate, kept, total) = match &bsp_report {
+            Some(r) => (r.achieved_rate, r.kept_params, r.total_params),
+            None => {
+                let total = net.total_prunable_params();
+                (1.0, total, total)
+            }
+        };
+
+        let report = PipelineReport {
+            accuracy: AccuracyReport {
+                baseline_per: baseline.per_percent(),
+                pruned_per: pruned.per_percent(),
+                compiled_f16_per: f16_report.per_percent(),
+                baseline_frame_accuracy: baseline.frame_accuracy(),
+                pruned_frame_accuracy: pruned.frame_accuracy(),
+                achieved_rate,
+                kept_params: kept,
+                total_params: total,
+            },
+            performance: PerformanceReport {
+                target: self.target,
+                workload_rate: workload.compression_rate(),
+                gop: gpu.gop,
+                gpu,
+                cpu,
+                storage_bytes_f16: compiled_f16.storage_bytes(),
+            },
+        };
+        (report, net, compiled_f16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RtMobile {
+        RtMobile::builder()
+            .corpus(CorpusConfig {
+                speakers: 8,
+                sentences_per_speaker: 2,
+                phones_per_sentence: 4,
+                ..CorpusConfig::tiny()
+            })
+            .hidden(16)
+            .dense_training(6, 0.01)
+            .sim_hidden(128)
+            .admm(AdmmConfig {
+                rho: 2.0,
+                admm_iterations: 1,
+                epochs_per_iteration: 2,
+                finetune_epochs: 3,
+                lr: 5e-3,
+                clip: Some(rtm_rnn::GradClip::new(5.0)),
+            })
+    }
+
+    #[test]
+    fn dense_pipeline_runs() {
+        let report = quick().compression(1.0, 1.0).seed(5).run();
+        assert_eq!(report.accuracy.achieved_rate, 1.0);
+        assert_eq!(report.accuracy.baseline_per, report.accuracy.pruned_per);
+        assert!(report.performance.gpu.time_us > 0.0);
+        assert!(report.performance.cpu.time_us > report.performance.gpu.time_us);
+        assert!(!report.render().is_empty());
+    }
+
+    #[test]
+    fn pruned_pipeline_compresses_and_stays_reasonable() {
+        let report = quick().compression(4.0, 1.0).seed(6).run();
+        assert!(
+            report.accuracy.achieved_rate > 2.5,
+            "rate {}",
+            report.accuracy.achieved_rate
+        );
+        assert!(report.accuracy.kept_params < report.accuracy.total_params);
+        // Pruned PER should not be catastrophically worse than baseline on
+        // this easy task.
+        assert!(
+            report.accuracy.pruned_per < report.accuracy.baseline_per + 40.0,
+            "baseline {} pruned {}",
+            report.accuracy.baseline_per,
+            report.accuracy.pruned_per
+        );
+        // The compiled f16 path tracks the pruned accuracy.
+        assert!(
+            (report.accuracy.compiled_f16_per - report.accuracy.pruned_per).abs() < 15.0,
+            "pruned {} f16 {}",
+            report.accuracy.pruned_per,
+            report.accuracy.compiled_f16_per
+        );
+        // Pruned inference is faster than the dense run.
+        let dense = quick().compression(1.0, 1.0).seed(6).run();
+        assert!(report.performance.gpu.time_us < dense.performance.gpu.time_us);
+    }
+}

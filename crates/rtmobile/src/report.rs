@@ -1,0 +1,165 @@
+//! Pipeline reports with Table-I/Table-II style rendering.
+
+use rtm_pruning::schedule::CompressionTarget;
+use rtm_sim::FrameReport;
+use std::fmt::Write as _;
+
+/// The accuracy half of a pipeline run (Table I's columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyReport {
+    /// Dense (unpruned) PER in percent.
+    pub baseline_per: f64,
+    /// PER after BSP pruning and fine-tuning.
+    pub pruned_per: f64,
+    /// PER of the compiled f16 runtime (what ships to the GPU).
+    pub compiled_f16_per: f64,
+    /// Dense frame accuracy.
+    pub baseline_frame_accuracy: f64,
+    /// Pruned frame accuracy.
+    pub pruned_frame_accuracy: f64,
+    /// Achieved overall compression rate.
+    pub achieved_rate: f64,
+    /// Surviving prunable parameters.
+    pub kept_params: usize,
+    /// Total prunable parameters.
+    pub total_params: usize,
+}
+
+impl AccuracyReport {
+    /// PER degradation in percentage points (Table I's "PER Degrad.").
+    pub fn degradation(&self) -> f64 {
+        self.pruned_per - self.baseline_per
+    }
+}
+
+/// The performance half (Table II's columns).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerformanceReport {
+    /// The requested `(column, row)` target.
+    pub target: CompressionTarget,
+    /// Compression rate of the simulated paper-scale workload.
+    pub workload_rate: f64,
+    /// Giga-operations per frame.
+    pub gop: f64,
+    /// Simulated mobile-GPU frame report.
+    pub gpu: FrameReport,
+    /// Simulated mobile-CPU frame report.
+    pub cpu: FrameReport,
+    /// Compiled f16 model storage in bytes.
+    pub storage_bytes_f16: usize,
+}
+
+/// Full result of one [`RtMobile`](crate::RtMobile) run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineReport {
+    /// Accuracy results on the speech task.
+    pub accuracy: AccuracyReport,
+    /// Simulated performance results.
+    pub performance: PerformanceReport,
+}
+
+impl PipelineReport {
+    /// Renders a human-readable summary combining a Table I row and a
+    /// Table II row.
+    pub fn render(&self) -> String {
+        let a = &self.accuracy;
+        let p = &self.performance;
+        let mut s = String::new();
+        let _ = writeln!(s, "RTMobile pipeline report");
+        let _ = writeln!(
+            s,
+            "  target: {}x cols x {}x rows (overall nominal {:.0}x)",
+            p.target.col_rate,
+            p.target.row_rate,
+            p.target.nominal_overall()
+        );
+        let _ = writeln!(s, "  -- accuracy (synthetic TIMIT-like task) --");
+        let _ = writeln!(
+            s,
+            "  PER: {:.2}% -> {:.2}% (degradation {:+.2} pts), f16 runtime {:.2}%",
+            a.baseline_per,
+            a.pruned_per,
+            a.degradation(),
+            a.compiled_f16_per
+        );
+        let _ = writeln!(
+            s,
+            "  params: {} / {} kept ({:.1}x compression)",
+            a.kept_params, a.total_params, a.achieved_rate
+        );
+        let _ = writeln!(s, "  -- performance (simulated Snapdragon 855, paper-scale GRU) --");
+        let _ = writeln!(
+            s,
+            "  GPU: {:.1} us/frame, {:.1} GOP/s, {:.2}x ESE energy efficiency",
+            p.gpu.time_us, p.gpu.gop_per_s, p.gpu.efficiency_vs_ese
+        );
+        let _ = writeln!(
+            s,
+            "  CPU: {:.1} us/frame, {:.1} GOP/s, {:.2}x ESE energy efficiency",
+            p.cpu.time_us, p.cpu.gop_per_s, p.cpu.efficiency_vs_ese
+        );
+        let _ = writeln!(
+            s,
+            "  model storage (BSPC, f16): {:.1} KiB",
+            p.storage_bytes_f16 as f64 / 1024.0
+        );
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_frame() -> FrameReport {
+        FrameReport {
+            time_us: 100.0,
+            gop: 0.01,
+            gop_per_s: 100.0,
+            energy_uj: 107.0,
+            efficiency_vs_ese: 31.7,
+            kernels: 4,
+            memory_bound_fraction: 1.0,
+        }
+    }
+
+    fn dummy() -> PipelineReport {
+        PipelineReport {
+            accuracy: AccuracyReport {
+                baseline_per: 12.0,
+                pruned_per: 13.5,
+                compiled_f16_per: 13.6,
+                baseline_frame_accuracy: 0.9,
+                pruned_frame_accuracy: 0.88,
+                achieved_rate: 10.0,
+                kept_params: 1000,
+                total_params: 10000,
+            },
+            performance: PerformanceReport {
+                target: CompressionTarget::new(10.0, 1.0),
+                workload_rate: 9.7,
+                gop: 0.058,
+                gpu: dummy_frame(),
+                cpu: dummy_frame(),
+                storage_bytes_f16: 2048,
+            },
+        }
+    }
+
+    #[test]
+    fn degradation_is_difference() {
+        let r = dummy();
+        assert!((r.accuracy.degradation() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_key_numbers() {
+        let text = dummy().render();
+        assert!(text.contains("12.00%"));
+        assert!(text.contains("13.50%"));
+        assert!(text.contains("+1.50"));
+        assert!(text.contains("10.0x compression"));
+        assert!(text.contains("31.70x ESE"));
+        assert!(text.contains("2.0 KiB"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Real-time-factor analysis — grounding the paper's title claim.
+//!
+//! "RTMobile is the first work that can achieve real-time RNN inference on
+//! mobile platforms" (§I). Speech front ends emit acoustic frames at a
+//! fixed cadence (10 ms hop in every Kaldi-style pipeline); inference is
+//! *real-time* when the per-frame latency stays under that budget, and
+//! "beyond real-time" by the ratio between them.
+//!
+//! [`RealTimeReport::analyze`] combines a [`FrameReport`] with the frame
+//! cadence: the real-time factor (RTF = processing time / audio time), the
+//! headroom multiple, and the largest number of concurrent streams one
+//! device could sustain.
+
+use crate::frame::FrameReport;
+use crate::workload::GruWorkload;
+
+/// Standard feature-frame hop of speech front ends, in microseconds
+/// (10 ms).
+pub const FRAME_HOP_US: f64 = 10_000.0;
+
+/// Real-time viability of a simulated inference configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RealTimeReport {
+    /// Audio duration covered per inference frame, in microseconds.
+    pub audio_us_per_frame: f64,
+    /// Inference latency per frame, in microseconds.
+    pub compute_us_per_frame: f64,
+    /// Real-time factor: compute time / audio time (< 1.0 is real-time).
+    pub rtf: f64,
+    /// How many times faster than real time ("beyond real-time" multiple).
+    pub headroom: f64,
+    /// Concurrent streams sustainable on the device (⌊headroom⌋).
+    pub concurrent_streams: usize,
+}
+
+impl RealTimeReport {
+    /// Analyzes a simulated frame cost against the workload's audio
+    /// coverage (`timesteps_per_frame × hop`).
+    pub fn analyze(workload: &GruWorkload, frame: &FrameReport) -> RealTimeReport {
+        RealTimeReport::with_hop(workload, frame, FRAME_HOP_US)
+    }
+
+    /// Variant with an explicit frame hop in microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hop_us` is not positive.
+    pub fn with_hop(workload: &GruWorkload, frame: &FrameReport, hop_us: f64) -> RealTimeReport {
+        assert!(hop_us > 0.0, "hop must be positive");
+        let audio = workload.timesteps_per_frame.max(1) as f64 * hop_us;
+        let compute = frame.time_us;
+        let rtf = compute / audio;
+        let headroom = if compute > 0.0 { audio / compute } else { f64::INFINITY };
+        RealTimeReport {
+            audio_us_per_frame: audio,
+            compute_us_per_frame: compute,
+            rtf,
+            headroom,
+            concurrent_streams: headroom.floor().max(0.0) as usize,
+        }
+    }
+
+    /// Whether the configuration keeps up with live audio.
+    pub fn is_real_time(&self) -> bool {
+        self.rtf < 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::InferenceSim;
+    use rtm_compiler::plan::{ExecutionPlan, StorageFormat};
+
+    fn report_at(col: f64, row: f64, dense: bool) -> (GruWorkload, FrameReport) {
+        let w = GruWorkload::with_bsp_pattern(40, 1024, 2, col, row, 8, 8, 5);
+        let plan = if dense {
+            ExecutionPlan::gpu_default(StorageFormat::Dense).without_optimizations()
+        } else {
+            ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8)
+        };
+        let frame = InferenceSim::new().run_frame(&w, &plan);
+        (w, frame)
+    }
+
+    #[test]
+    fn dense_gpu_is_already_real_time_but_barely() {
+        // 30 timesteps x 10ms = 300ms of audio per frame; dense GPU takes
+        // ~3.2ms — real-time with ~90x headroom even dense. The paper's
+        // "first real-time" claim is about *sustained end-to-end* budgets;
+        // the RTF frame shows where the margin comes from.
+        let (w, frame) = report_at(1.0, 1.0, true);
+        let rt = RealTimeReport::analyze(&w, &frame);
+        assert!(rt.is_real_time());
+        assert!(rt.rtf > 0.005 && rt.rtf < 0.1, "rtf {}", rt.rtf);
+    }
+
+    #[test]
+    fn compression_multiplies_headroom() {
+        let (wd, fd) = report_at(1.0, 1.0, true);
+        let (wp, fp) = report_at(15.3, 16.0, false); // ~245x
+        let dense = RealTimeReport::analyze(&wd, &fd);
+        let pruned = RealTimeReport::analyze(&wp, &fp);
+        assert!(pruned.headroom > dense.headroom * 20.0);
+        assert!(pruned.concurrent_streams > 1000, "streams {}", pruned.concurrent_streams);
+    }
+
+    #[test]
+    fn custom_hop() {
+        let (w, frame) = report_at(10.0, 1.0, false);
+        let fast = RealTimeReport::with_hop(&w, &frame, 1000.0); // 1ms hop
+        let slow = RealTimeReport::with_hop(&w, &frame, 20_000.0);
+        assert!(fast.rtf > slow.rtf);
+        assert_eq!(fast.compute_us_per_frame, slow.compute_us_per_frame);
+    }
+
+    #[test]
+    #[should_panic(expected = "hop must be positive")]
+    fn zero_hop_rejected() {
+        let (w, frame) = report_at(10.0, 1.0, false);
+        RealTimeReport::with_hop(&w, &frame, 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Sensitivity analysis of the cost model — how robust are the reproduced
+//! Table II / Figure 4 *shapes* to the calibration constants?
+//!
+//! A simulation-based reproduction owes the reader this check: the device
+//! parameters (sustained bandwidth, launch overhead, gather efficiency,
+//! decode rate) were set once from datasheet-level reasoning, so every
+//! qualitative conclusion should survive perturbing them. For each knob and
+//! each scale factor, [`analyze`] re-runs the compression sweep and tests
+//! the paper's three core shape claims:
+//!
+//! 1. inference time falls monotonically with compression rate;
+//! 2. energy efficiency rises monotonically with compression rate;
+//! 3. the speedup saturates at extreme rates (245× → 301× gains < 25%).
+
+use crate::device::GpuModel;
+use crate::ese::EseReference;
+use crate::frame::InferenceSim;
+use crate::workload::GruWorkload;
+use rtm_compiler::plan::{ExecutionPlan, StorageFormat};
+
+/// A perturbable GPU-model knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Knob {
+    /// Sustained fraction of peak DRAM bandwidth.
+    StreamEfficiency,
+    /// Fixed kernel launch overhead.
+    LaunchOverhead,
+    /// Scattered-gather bandwidth fraction.
+    GatherEfficiency,
+    /// Index decode rate.
+    DecodeRate,
+}
+
+impl Knob {
+    /// All knobs.
+    pub fn all() -> [Knob; 4] {
+        [
+            Knob::StreamEfficiency,
+            Knob::LaunchOverhead,
+            Knob::GatherEfficiency,
+            Knob::DecodeRate,
+        ]
+    }
+
+    /// Short label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Knob::StreamEfficiency => "stream_efficiency",
+            Knob::LaunchOverhead => "launch_overhead",
+            Knob::GatherEfficiency => "gather_efficiency",
+            Knob::DecodeRate => "decode_rate",
+        }
+    }
+
+    /// Returns the baseline GPU model with this knob scaled by `factor`.
+    pub fn scaled(self, factor: f64) -> GpuModel {
+        let mut gpu = GpuModel::adreno640();
+        match self {
+            Knob::StreamEfficiency => gpu.stream_efficiency *= factor,
+            Knob::LaunchOverhead => gpu.launch_overhead_us *= factor,
+            Knob::GatherEfficiency => gpu.gather_efficiency = (gpu.gather_efficiency * factor).min(1.0),
+            Knob::DecodeRate => gpu.index_decode_per_us *= factor,
+        }
+        gpu
+    }
+}
+
+/// One perturbation's verdicts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Verdict {
+    /// The knob perturbed.
+    pub knob: Knob,
+    /// Scale factor applied.
+    pub factor: f64,
+    /// Shape claim 1: time monotone decreasing in compression.
+    pub time_monotone: bool,
+    /// Shape claim 2: efficiency monotone increasing.
+    pub efficiency_monotone: bool,
+    /// Shape claim 3: speedup saturates at the tail.
+    pub saturates: bool,
+}
+
+impl Verdict {
+    /// All three shape claims hold.
+    pub fn all_hold(&self) -> bool {
+        self.time_monotone && self.efficiency_monotone && self.saturates
+    }
+}
+
+/// The compression sweep used by the analysis (a subset of Table II's).
+const SWEEP: [(f64, f64); 5] = [
+    (1.0, 1.0),
+    (10.0, 1.0),
+    (16.0, 2.0),
+    (20.0, 8.0),
+    (15.3, 16.0), // ~245x
+];
+
+/// The extreme pair for the saturation check.
+const TAIL: [(f64, f64); 2] = [(15.3, 16.0), (15.0, 20.0)];
+
+/// Runs the sweep under a perturbed GPU model and evaluates the shape
+/// claims.
+pub fn check(knob: Knob, factor: f64, seed: u64) -> Verdict {
+    let mut sim = InferenceSim::new();
+    sim.gpu = knob.scaled(factor);
+
+    let run = |col: f64, row: f64| {
+        let w = GruWorkload::with_bsp_pattern(40, 1024, 2, col, row, 8, 8, seed);
+        let plan = if col == 1.0 && row == 1.0 {
+            ExecutionPlan::gpu_default(StorageFormat::Dense).without_optimizations()
+        } else {
+            ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8)
+        };
+        sim.run_frame(&w, &plan)
+    };
+
+    let reports: Vec<_> = SWEEP.iter().map(|&(c, r)| run(c, r)).collect();
+    let time_monotone = reports.windows(2).all(|w| w[1].time_us < w[0].time_us);
+    let efficiency_monotone = reports
+        .windows(2)
+        .all(|w| w[1].efficiency_vs_ese > w[0].efficiency_vs_ese);
+    let a = run(TAIL[0].0, TAIL[0].1).time_us;
+    let b = run(TAIL[1].0, TAIL[1].1).time_us;
+    let saturates = a / b < 1.25;
+    let _ = EseReference::paper();
+
+    Verdict {
+        knob,
+        factor,
+        time_monotone,
+        efficiency_monotone,
+        saturates,
+    }
+}
+
+/// Full grid: every knob × the factor grid. Returns all verdicts.
+pub fn analyze(factors: &[f64], seed: u64) -> Vec<Verdict> {
+    let mut out = Vec::with_capacity(Knob::all().len() * factors.len());
+    for knob in Knob::all() {
+        for &f in factors {
+            out.push(check(knob, f, seed));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_model_satisfies_all_claims() {
+        for knob in Knob::all() {
+            let v = check(knob, 1.0, 3);
+            assert!(v.all_hold(), "baseline must hold for {:?}: {:?}", knob, v);
+        }
+    }
+
+    #[test]
+    fn shapes_survive_2x_perturbations() {
+        // The reproduction's core claim: the qualitative Table II shapes are
+        // not artifacts of the specific constants. Halving or doubling any
+        // single knob must preserve all three claims.
+        for v in analyze(&[0.5, 2.0], 3) {
+            assert!(
+                v.time_monotone && v.efficiency_monotone,
+                "monotonicity must survive {:?} x{}: {:?}",
+                v.knob,
+                v.factor,
+                v
+            );
+            // Saturation is overhead-driven: it may legitimately weaken when
+            // the launch overhead is halved, but must hold otherwise.
+            if !(v.knob == Knob::LaunchOverhead && v.factor < 1.0) {
+                assert!(v.saturates, "saturation must survive {:?} x{}", v.knob, v.factor);
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_overhead_breaks_saturation_the_right_way() {
+        // With 8x higher launch overhead the floor rises: saturation holds
+        // even more strongly (the tail gain shrinks).
+        let v = check(Knob::LaunchOverhead, 8.0, 3);
+        assert!(v.saturates);
+        // With near-zero overhead the data term dominates and the tail keeps
+        // improving — saturation weakening is the *expected* physics.
+        let v = check(Knob::LaunchOverhead, 0.05, 3);
+        assert!(v.time_monotone);
+    }
+
+    #[test]
+    fn knob_labels_and_scaling() {
+        assert_eq!(Knob::StreamEfficiency.label(), "stream_efficiency");
+        let g = Knob::LaunchOverhead.scaled(2.0);
+        assert!((g.launch_overhead_us - 24.0).abs() < 1e-9);
+        let g = Knob::GatherEfficiency.scaled(100.0);
+        assert!(g.gather_efficiency <= 1.0, "clamped to a fraction");
+        let base = GpuModel::adreno640();
+        let g = Knob::DecodeRate.scaled(0.5);
+        assert!((g.index_decode_per_us - base.index_decode_per_us * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn analyze_covers_the_grid() {
+        let verdicts = analyze(&[0.5, 1.0, 2.0], 1);
+        assert_eq!(verdicts.len(), 12);
+        assert!(verdicts.iter().filter(|v| v.factor == 1.0).all(Verdict::all_hold));
+    }
+}

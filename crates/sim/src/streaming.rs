@@ -1,0 +1,156 @@
+//! Streaming (queueing) simulation of live speech inference.
+//!
+//! The frame-level simulator prices one inference in isolation;
+//! [`StreamingSim`] models the *online* setting the paper's application
+//! implies: acoustic frames arrive on a fixed cadence, inference runs
+//! serially on one device, and any frame whose processing has not finished
+//! when the next arrives queues up. The report carries the end-to-end
+//! latency distribution — the number a voice-assistant engineer actually
+//! ships against — and whether the queue is stable (RTF < 1) or grows
+//! without bound.
+
+use crate::frame::{FrameReport, InferenceSim};
+use crate::realtime::FRAME_HOP_US;
+use crate::workload::GruWorkload;
+use rtm_compiler::plan::ExecutionPlan;
+
+/// End-to-end latency statistics of a streamed utterance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingReport {
+    /// Arrival period of inference frames, in microseconds.
+    pub period_us: f64,
+    /// Service (compute) time per frame, in microseconds.
+    pub service_us: f64,
+    /// Whether the queue is stable (service < period).
+    pub stable: bool,
+    /// Per-frame end-to-end latency (wait + service), microseconds.
+    pub latencies_us: Vec<f64>,
+    /// Maximum observed latency.
+    pub max_latency_us: f64,
+    /// Mean observed latency.
+    pub mean_latency_us: f64,
+}
+
+/// Streams `num_frames` inference frames through one device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamingSim {
+    /// The frame-cost engine.
+    pub inner: InferenceSim,
+    /// Arrival period of one inference frame in microseconds (the audio
+    /// covered per frame: `timesteps × hop`).
+    pub hop_us: f64,
+}
+
+impl Default for StreamingSim {
+    fn default() -> StreamingSim {
+        StreamingSim::new()
+    }
+}
+
+impl StreamingSim {
+    /// Streaming simulator at the standard 10 ms feature hop.
+    pub fn new() -> StreamingSim {
+        StreamingSim {
+            inner: InferenceSim::new(),
+            hop_us: FRAME_HOP_US,
+        }
+    }
+
+    /// Simulates `num_frames` arrivals under `plan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_frames == 0` or the plan is invalid.
+    pub fn run(
+        &self,
+        workload: &GruWorkload,
+        plan: &ExecutionPlan,
+        num_frames: usize,
+    ) -> StreamingReport {
+        assert!(num_frames > 0, "need at least one frame");
+        let frame: FrameReport = self.inner.run_frame(workload, plan);
+        let service = frame.time_us;
+        let period = workload.timesteps_per_frame.max(1) as f64 * self.hop_us;
+
+        // Single-server deterministic queue: arrival k at k*period; service
+        // starts at max(arrival, previous completion).
+        let mut latencies = Vec::with_capacity(num_frames);
+        let mut prev_done = 0.0f64;
+        for k in 0..num_frames {
+            let arrival = k as f64 * period;
+            let start = arrival.max(prev_done);
+            let done = start + service;
+            latencies.push(done - arrival);
+            prev_done = done;
+        }
+        let max = latencies.iter().copied().fold(0.0f64, f64::max);
+        let mean = latencies.iter().sum::<f64>() / num_frames as f64;
+        StreamingReport {
+            period_us: period,
+            service_us: service,
+            stable: service < period,
+            latencies_us: latencies,
+            max_latency_us: max,
+            mean_latency_us: mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_compiler::plan::StorageFormat;
+
+    fn workload(col: f64, row: f64) -> GruWorkload {
+        GruWorkload::with_bsp_pattern(40, 1024, 2, col, row, 8, 8, 3)
+    }
+
+    #[test]
+    fn stable_stream_has_flat_latency() {
+        let sim = StreamingSim::new();
+        let w = workload(16.0, 2.0);
+        let plan = ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8);
+        let r = sim.run(&w, &plan, 50);
+        assert!(r.stable, "pruned GPU easily keeps up");
+        // Every frame sees exactly the service time: no queueing.
+        for &l in &r.latencies_us {
+            assert!((l - r.service_us).abs() < 1e-9);
+        }
+        assert!((r.max_latency_us - r.mean_latency_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overloaded_stream_queue_grows_linearly() {
+        // Force overload with a tiny artificial period.
+        let mut sim = StreamingSim::new();
+        sim.hop_us = 1.0; // 30 us of audio per frame, far below service time
+        let w = workload(1.0, 1.0);
+        let plan = ExecutionPlan::gpu_default(StorageFormat::Dense).without_optimizations();
+        let r = sim.run(&w, &plan, 10);
+        assert!(!r.stable);
+        // Latency grows monotonically (unbounded queue).
+        for pair in r.latencies_us.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+        assert!(r.max_latency_us > r.service_us * 5.0);
+    }
+
+    #[test]
+    fn period_reflects_timesteps() {
+        let sim = StreamingSim::new();
+        let w = workload(10.0, 1.0);
+        let plan = ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8);
+        let r = sim.run(&w, &plan, 3);
+        assert_eq!(r.period_us, 30.0 * FRAME_HOP_US);
+        assert_eq!(r.latencies_us.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one frame")]
+    fn zero_frames_rejected() {
+        let sim = StreamingSim::new();
+        let w = workload(10.0, 1.0);
+        let plan = ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8);
+        sim.run(&w, &plan, 0);
+    }
+}

@@ -1,0 +1,666 @@
+//! BSPC — Block-based Structured Pruning Compact format (paper §IV-B-c).
+//!
+//! After BSP pruning, a weight matrix has two kinds of regularity a generic
+//! CSR cannot exploit:
+//!
+//! 1. **Shared column patterns.** Step 1 prunes whole *columns within each
+//!    (row-stripe × column-block)*, so every surviving row of a stripe reads
+//!    exactly the same input elements. CSR would store those column indices
+//!    once per row; BSPC stores them once per *stripe-block*.
+//! 2. **Whole pruned rows.** Step 2 removes rows globally; BSPC keeps a list
+//!    of surviving rows and stores nothing at all for the removed ones.
+//!
+//! The value array is dense *within the kept pattern*: row `r` of stripe `s`
+//! stores its weights at the stripe's kept columns back-to-back, so the SpMV
+//! inner loop is a unit-stride walk with one shared index stream per stripe —
+//! this is what enables the compiler's redundant-load elimination.
+//!
+//! BSPC also carries the matrix-reorder permutation (see
+//! `rtm_compiler::reorder`) so the runtime can match the reordered rows back
+//! to the original output ordering, as the paper specifies.
+
+use rtm_tensor::{Matrix, ShapeError};
+use std::error::Error;
+use std::fmt;
+
+/// Error building a [`BspcMatrix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BspcError {
+    /// `num_stripes` or `num_blocks` was zero.
+    ZeroPartition,
+    /// More stripes than rows or more blocks than columns.
+    PartitionTooFine {
+        /// Requested (stripes, blocks).
+        requested: (usize, usize),
+        /// Matrix shape.
+        shape: (usize, usize),
+    },
+    /// A supplied permutation was not a valid permutation of `0..rows`.
+    BadPermutation,
+}
+
+impl fmt::Display for BspcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BspcError::ZeroPartition => write!(f, "stripe and block counts must be positive"),
+            BspcError::PartitionTooFine { requested, shape } => write!(
+                f,
+                "partition {}x{} too fine for {}x{} matrix",
+                requested.0, requested.1, shape.0, shape.1
+            ),
+            BspcError::BadPermutation => write!(f, "row permutation is not a bijection"),
+        }
+    }
+}
+
+impl Error for BspcError {}
+
+/// A sparse matrix in the Block-based Structured Pruning Compact format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BspcMatrix {
+    rows: usize,
+    cols: usize,
+    num_stripes: usize,
+    num_blocks: usize,
+    /// Global indices of surviving rows, ascending.
+    kept_rows: Vec<u32>,
+    /// Kept absolute column indices per `stripe * num_blocks + block`,
+    /// ascending within each entry.
+    block_cols: Vec<Vec<u32>>,
+    /// Flattened kept columns per stripe (concatenation of the stripe's
+    /// block column lists) — the shared index stream of the SpMV.
+    stripe_cols: Vec<Vec<u32>>,
+    /// Offset of each kept row's value run inside `values`.
+    row_offsets: Vec<u32>,
+    /// Values of each kept row at its stripe's kept columns, row after row.
+    values: Vec<f32>,
+    /// Optional reorder permutation: `reorder[i]` is the *original* row index
+    /// executed at position `i`.
+    reorder: Option<Vec<u32>>,
+}
+
+impl BspcMatrix {
+    /// Builds a BSPC matrix from a dense (pruned) matrix.
+    ///
+    /// The kept pattern is detected conservatively: a column survives in a
+    /// stripe-block iff *any* row of the stripe is nonzero there, and a row
+    /// survives iff it has any nonzero. A matrix that is not actually
+    /// BSP-structured still round-trips exactly, it just stores explicit
+    /// zeros inside the detected pattern (quantified by
+    /// [`Footprint`](crate::Footprint)).
+    ///
+    /// Stripes and blocks use ceiling division, so the final stripe/block may
+    /// be smaller when the dimensions do not divide evenly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BspcError`] when the partition is empty or finer than the
+    /// matrix.
+    pub fn from_dense(
+        dense: &Matrix,
+        num_stripes: usize,
+        num_blocks: usize,
+    ) -> Result<BspcMatrix, BspcError> {
+        if num_stripes == 0 || num_blocks == 0 {
+            return Err(BspcError::ZeroPartition);
+        }
+        let (rows, cols) = dense.shape();
+        if num_stripes > rows.max(1) || num_blocks > cols.max(1) {
+            return Err(BspcError::PartitionTooFine {
+                requested: (num_stripes, num_blocks),
+                shape: (rows, cols),
+            });
+        }
+
+        let stripe_h = rows.div_ceil(num_stripes);
+        let block_w = cols.div_ceil(num_blocks);
+
+        // Detect kept columns per stripe-block.
+        let mut block_cols = vec![Vec::new(); num_stripes * num_blocks];
+        for s in 0..num_stripes {
+            let r0 = s * stripe_h;
+            let r1 = ((s + 1) * stripe_h).min(rows);
+            for b in 0..num_blocks {
+                let c0 = b * block_w;
+                let c1 = ((b + 1) * block_w).min(cols);
+                let kept = &mut block_cols[s * num_blocks + b];
+                for c in c0..c1 {
+                    let mut any = false;
+                    for r in r0..r1 {
+                        if dense[(r, c)] != 0.0 {
+                            any = true;
+                            break;
+                        }
+                    }
+                    if any {
+                        kept.push(c as u32);
+                    }
+                }
+            }
+        }
+
+        // Stripe-level flattened column stream.
+        let stripe_cols: Vec<Vec<u32>> = (0..num_stripes)
+            .map(|s| {
+                let mut v = Vec::new();
+                for b in 0..num_blocks {
+                    v.extend_from_slice(&block_cols[s * num_blocks + b]);
+                }
+                v
+            })
+            .collect();
+
+        // Kept rows and packed values.
+        let mut kept_rows = Vec::new();
+        let mut row_offsets = Vec::new();
+        let mut values = Vec::new();
+        for r in 0..rows {
+            if dense.row(r).iter().any(|&v| v != 0.0) {
+                let s = r / stripe_h;
+                kept_rows.push(r as u32);
+                row_offsets.push(values.len() as u32);
+                let row = dense.row(r);
+                for &c in &stripe_cols[s] {
+                    values.push(row[c as usize]);
+                }
+            }
+        }
+
+        Ok(BspcMatrix {
+            rows,
+            cols,
+            num_stripes,
+            num_blocks,
+            kept_rows,
+            block_cols,
+            stripe_cols,
+            row_offsets,
+            values,
+            reorder: None,
+        })
+    }
+
+    /// Attaches a matrix-reorder permutation (original row index per
+    /// execution slot). The permutation travels with the format, as §IV-B-c
+    /// requires, so downstream consumers can reconstruct original row order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BspcError::BadPermutation`] if `perm` is not a permutation
+    /// of `0..self.rows()`.
+    pub fn with_reorder(mut self, perm: Vec<u32>) -> Result<BspcMatrix, BspcError> {
+        if perm.len() != self.rows {
+            return Err(BspcError::BadPermutation);
+        }
+        let mut seen = vec![false; self.rows];
+        for &p in &perm {
+            let p = p as usize;
+            if p >= self.rows || seen[p] {
+                return Err(BspcError::BadPermutation);
+            }
+            seen[p] = true;
+        }
+        self.reorder = Some(perm);
+        Ok(self)
+    }
+
+    /// Number of rows of the logical matrix.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the logical matrix.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-stripe count (the paper's `Numr`).
+    pub fn num_stripes(&self) -> usize {
+        self.num_stripes
+    }
+
+    /// Column-block count per stripe (the paper's `Numc`).
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Stripe height in rows (last stripe may be shorter).
+    pub fn stripe_height(&self) -> usize {
+        self.rows.div_ceil(self.num_stripes)
+    }
+
+    /// Stored (pattern) entries — the number of f32 values held.
+    pub fn stored_len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Surviving row indices, ascending.
+    pub fn kept_rows(&self) -> &[u32] {
+        &self.kept_rows
+    }
+
+    /// Kept columns of stripe `s` across all its blocks, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s >= self.num_stripes()`.
+    pub fn stripe_kept_cols(&self, s: usize) -> &[u32] {
+        &self.stripe_cols[s]
+    }
+
+    /// Kept columns of block `(s, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn block_kept_cols(&self, s: usize, b: usize) -> &[u32] {
+        &self.block_cols[s * self.num_blocks + b]
+    }
+
+    /// The attached reorder permutation, if any.
+    pub fn reorder(&self) -> Option<&[u32]> {
+        self.reorder.as_deref()
+    }
+
+    /// The packed value array (kept rows' weights at their stripe's kept
+    /// columns, row after row).
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Offset of the `k`-th kept row's value run inside [`BspcMatrix::values`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.kept_rows().len()`.
+    pub fn row_offset(&self, k: usize) -> usize {
+        self.row_offsets[k] as usize
+    }
+
+    /// Reassembles a matrix from raw parts (the deserialization path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BspcError`] when the parts are structurally inconsistent:
+    /// empty partition, out-of-range or non-ascending kept rows / block
+    /// columns, offset/value-length mismatches, or a bad permutation.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        num_stripes: usize,
+        num_blocks: usize,
+        kept_rows: Vec<u32>,
+        block_cols: Vec<Vec<u32>>,
+        row_offsets: Vec<u32>,
+        values: Vec<f32>,
+        reorder: Option<Vec<u32>>,
+    ) -> Result<BspcMatrix, BspcError> {
+        if num_stripes == 0 || num_blocks == 0 {
+            return Err(BspcError::ZeroPartition);
+        }
+        if num_stripes > rows.max(1) || num_blocks > cols.max(1) {
+            return Err(BspcError::PartitionTooFine {
+                requested: (num_stripes, num_blocks),
+                shape: (rows, cols),
+            });
+        }
+        let bad = || BspcError::PartitionTooFine {
+            requested: (num_stripes, num_blocks),
+            shape: (rows, cols),
+        };
+        if block_cols.len() != num_stripes * num_blocks
+            || row_offsets.len() != kept_rows.len()
+        {
+            return Err(bad());
+        }
+        if kept_rows.windows(2).any(|w| w[0] >= w[1])
+            || kept_rows.iter().any(|&r| r as usize >= rows)
+        {
+            return Err(bad());
+        }
+        for list in &block_cols {
+            if list.windows(2).any(|w| w[0] >= w[1])
+                || list.iter().any(|&c| c as usize >= cols)
+            {
+                return Err(bad());
+            }
+        }
+        let stripe_cols: Vec<Vec<u32>> = (0..num_stripes)
+            .map(|s| {
+                let mut v = Vec::new();
+                for b in 0..num_blocks {
+                    v.extend_from_slice(&block_cols[s * num_blocks + b]);
+                }
+                v
+            })
+            .collect();
+        // Offsets must tile the value array exactly, in kept-row order.
+        let stripe_h = rows.div_ceil(num_stripes);
+        let mut expected = 0usize;
+        for (k, &r) in kept_rows.iter().enumerate() {
+            if row_offsets[k] as usize != expected {
+                return Err(bad());
+            }
+            expected += stripe_cols[(r as usize / stripe_h).min(num_stripes - 1)].len();
+        }
+        if expected != values.len() {
+            return Err(bad());
+        }
+        let m = BspcMatrix {
+            rows,
+            cols,
+            num_stripes,
+            num_blocks,
+            kept_rows,
+            block_cols,
+            stripe_cols,
+            row_offsets,
+            values,
+            reorder: None,
+        };
+        match reorder {
+            Some(perm) => m.with_reorder(perm),
+            None => Ok(m),
+        }
+    }
+
+    /// Count of explicit index words stored (`u32` units): kept rows + one
+    /// column list per stripe-block + per-row offsets. This is the quantity
+    /// BSPC compresses relative to CSR's one-index-per-nonzero.
+    pub fn index_words(&self) -> usize {
+        self.kept_rows.len()
+            + self.row_offsets.len()
+            + self.block_cols.iter().map(Vec::len).sum::<usize>()
+            + self.reorder.as_ref().map_or(0, Vec::len)
+    }
+
+    /// Sparse matrix-vector product `y = A x`.
+    ///
+    /// The inner loop walks the stripe's shared column stream once per row —
+    /// the same memory behaviour the mobile runtime gets after redundant
+    /// load elimination.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x.len() != self.cols()`.
+    pub fn spmv(&self, x: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        if x.len() != self.cols {
+            return Err(ShapeError {
+                op: "bspc_spmv",
+                lhs: (self.rows, self.cols),
+                rhs: (x.len(), 1),
+            });
+        }
+        let stripe_h = self.stripe_height();
+        let mut y = vec![0.0f32; self.rows];
+        for (k, &r) in self.kept_rows.iter().enumerate() {
+            let r = r as usize;
+            let s = r / stripe_h;
+            let cols = &self.stripe_cols[s];
+            let off = self.row_offsets[k] as usize;
+            let vals = &self.values[off..off + cols.len()];
+            let mut acc = 0.0f32;
+            for (&c, &w) in cols.iter().zip(vals) {
+                acc += w * x[c as usize];
+            }
+            y[r] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Allocation-free SpMV into a caller-provided buffer — the runtime's
+    /// steady-state form (the output buffer is reused across timesteps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x.len() != self.cols()` or
+    /// `y.len() != self.rows()`.
+    pub fn spmv_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(ShapeError {
+                op: "bspc_spmv_into",
+                lhs: (self.rows, self.cols),
+                rhs: (x.len(), y.len()),
+            });
+        }
+        y.fill(0.0);
+        let stripe_h = self.stripe_height();
+        for (k, &r) in self.kept_rows.iter().enumerate() {
+            let r = r as usize;
+            let s = r / stripe_h;
+            let cols = &self.stripe_cols[s];
+            let off = self.row_offsets[k] as usize;
+            let vals = &self.values[off..off + cols.len()];
+            let mut acc = 0.0f32;
+            for (&c, &w) in cols.iter().zip(vals) {
+                acc += w * x[c as usize];
+            }
+            y[r] = acc;
+        }
+        Ok(())
+    }
+
+    /// Expands back to a dense matrix (exact round trip of the input of
+    /// [`BspcMatrix::from_dense`]).
+    pub fn to_dense(&self) -> Matrix {
+        let stripe_h = self.stripe_height();
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for (k, &r) in self.kept_rows.iter().enumerate() {
+            let r = r as usize;
+            let s = r / stripe_h;
+            let cols = &self.stripe_cols[s];
+            let off = self.row_offsets[k] as usize;
+            for (i, &c) in cols.iter().enumerate() {
+                m[(r, c as usize)] = self.values[off + i];
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rtm_tensor::gemm;
+
+    /// A hand-built BSP-structured matrix: 4 rows (2 stripes of 2),
+    /// 4 cols (2 blocks of 2). Stripe 0 keeps col 1 in block 0, col 2 in
+    /// block 1; stripe 1 keeps cols 0,3; row 3 fully pruned.
+    fn bsp_example() -> Matrix {
+        Matrix::from_rows(&[
+            &[0.0, 1.0, 2.0, 0.0],
+            &[0.0, 3.0, 4.0, 0.0],
+            &[5.0, 0.0, 0.0, 6.0],
+            &[0.0, 0.0, 0.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_dense_detects_pattern() {
+        let b = BspcMatrix::from_dense(&bsp_example(), 2, 2).unwrap();
+        assert_eq!(b.kept_rows(), &[0, 1, 2]);
+        assert_eq!(b.block_kept_cols(0, 0), &[1]);
+        assert_eq!(b.block_kept_cols(0, 1), &[2]);
+        assert_eq!(b.block_kept_cols(1, 0), &[0]);
+        assert_eq!(b.block_kept_cols(1, 1), &[3]);
+        assert_eq!(b.stripe_kept_cols(0), &[1, 2]);
+        assert_eq!(b.stored_len(), 6); // 3 kept rows x 2 kept cols each
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let d = bsp_example();
+        let b = BspcMatrix::from_dense(&d, 2, 2).unwrap();
+        assert_eq!(b.to_dense(), d);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let d = bsp_example();
+        let b = BspcMatrix::from_dense(&d, 2, 2).unwrap();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(b.spmv(&x).unwrap(), gemm::gemv(&d, &x).unwrap());
+    }
+
+    #[test]
+    fn unstructured_matrix_still_roundtrips() {
+        // Not BSP-structured: pattern detection stores explicit zeros but
+        // values must survive exactly.
+        let d = Matrix::from_rows(&[&[1.0, 0.0, 0.0], &[0.0, 2.0, 0.0], &[0.0, 0.0, 3.0]]).unwrap();
+        let b = BspcMatrix::from_dense(&d, 1, 1).unwrap();
+        assert_eq!(b.to_dense(), d);
+        // Whole 3x3 block pattern is the union of columns {0,1,2}.
+        assert_eq!(b.stripe_kept_cols(0), &[0, 1, 2]);
+        assert_eq!(b.stored_len(), 9);
+    }
+
+    #[test]
+    fn index_words_smaller_than_csr_for_structured() {
+        // 64 rows in 4 stripes, each stripe keeps the same 8 columns of 64.
+        let rows = 64;
+        let cols = 64;
+        let d = Matrix::from_fn(rows, cols, |r, c| {
+            let stripe = r / 16;
+            if c % 8 == stripe {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        let b = BspcMatrix::from_dense(&d, 4, 4).unwrap();
+        let csr = crate::CsrMatrix::from_dense(&d);
+        // CSR: one u32 per nonzero (64*8) + row_ptr 65.
+        let csr_words = csr.nnz() + csr.row_ptr().len();
+        assert!(
+            b.index_words() < csr_words / 2,
+            "bspc {} vs csr {}",
+            b.index_words(),
+            csr_words
+        );
+        assert_eq!(b.to_dense(), d);
+    }
+
+    #[test]
+    fn partition_validation() {
+        let d = Matrix::zeros(4, 4);
+        assert_eq!(
+            BspcMatrix::from_dense(&d, 0, 2).unwrap_err(),
+            BspcError::ZeroPartition
+        );
+        assert!(matches!(
+            BspcMatrix::from_dense(&d, 5, 2).unwrap_err(),
+            BspcError::PartitionTooFine { .. }
+        ));
+        assert!(matches!(
+            BspcMatrix::from_dense(&d, 2, 5).unwrap_err(),
+            BspcError::PartitionTooFine { .. }
+        ));
+    }
+
+    #[test]
+    fn uneven_partition_supported() {
+        // 5 rows, 2 stripes -> heights 3 and 2; 7 cols, 3 blocks -> 3,3,1.
+        let mut rng = rtm_tensor::init::rng_from_seed(9);
+        let d = rtm_tensor::init::uniform(5, 7, -1.0, 1.0, &mut rng)
+            .map(|v| if v.abs() < 0.4 { 0.0 } else { v });
+        let b = BspcMatrix::from_dense(&d, 2, 3).unwrap();
+        assert_eq!(b.to_dense(), d);
+        let x: Vec<f32> = (0..7).map(|i| i as f32).collect();
+        let want = gemm::gemv(&d, &x).unwrap();
+        let got = b.spmv(&x).unwrap();
+        for (w, g) in want.iter().zip(&got) {
+            assert!((w - g).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn spmv_into_matches_spmv() {
+        let d = bsp_example();
+        let b = BspcMatrix::from_dense(&d, 2, 2).unwrap();
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let want = b.spmv(&x).unwrap();
+        let mut y = vec![99.0f32; 4]; // stale contents must be overwritten
+        b.spmv_into(&x, &mut y).unwrap();
+        assert_eq!(y, want);
+        // Shape errors on both sides.
+        assert!(b.spmv_into(&[1.0], &mut y).is_err());
+        let mut short = vec![0.0; 2];
+        assert!(b.spmv_into(&x, &mut short).is_err());
+    }
+
+    #[test]
+    fn reorder_validation() {
+        let b = BspcMatrix::from_dense(&bsp_example(), 2, 2).unwrap();
+        assert!(b.clone().with_reorder(vec![0, 1, 2, 3]).is_ok());
+        assert!(b.clone().with_reorder(vec![3, 2, 1, 0]).is_ok());
+        assert_eq!(
+            b.clone().with_reorder(vec![0, 0, 1, 2]).unwrap_err(),
+            BspcError::BadPermutation
+        );
+        assert_eq!(
+            b.clone().with_reorder(vec![0, 1]).unwrap_err(),
+            BspcError::BadPermutation
+        );
+        assert_eq!(
+            b.with_reorder(vec![0, 1, 2, 9]).unwrap_err(),
+            BspcError::BadPermutation
+        );
+    }
+
+    #[test]
+    fn reorder_counts_toward_index_words() {
+        let b = BspcMatrix::from_dense(&bsp_example(), 2, 2).unwrap();
+        let before = b.index_words();
+        let with = b.with_reorder(vec![0, 1, 2, 3]).unwrap();
+        assert_eq!(with.index_words(), before + 4);
+        assert_eq!(with.reorder(), Some(&[0u32, 1, 2, 3][..]));
+    }
+
+    #[test]
+    fn empty_matrix_error_path() {
+        // A 0x0 matrix: partition 1x1 is "too fine" guard-safe via max(1).
+        let b = BspcMatrix::from_dense(&Matrix::zeros(0, 0), 1, 1).unwrap();
+        assert_eq!(b.stored_len(), 0);
+        assert_eq!(b.spmv(&[]).unwrap(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn display_of_errors() {
+        let e = BspcError::ZeroPartition;
+        assert!(!format!("{e}").is_empty());
+        let e = BspcError::PartitionTooFine {
+            requested: (9, 9),
+            shape: (2, 2),
+        };
+        assert!(format!("{e}").contains("9x9"));
+        assert!(!format!("{}", BspcError::BadPermutation).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_and_spmv(
+            rows in 1usize..16,
+            cols in 1usize..16,
+            stripes in 1usize..4,
+            blocks in 1usize..4,
+            seed in 0u64..300,
+        ) {
+            let stripes = stripes.min(rows);
+            let blocks = blocks.min(cols);
+            let mut rng = rtm_tensor::init::rng_from_seed(seed);
+            let d = rtm_tensor::init::uniform(rows, cols, -1.0, 1.0, &mut rng)
+                .map(|v| if v.abs() < 0.5 { 0.0 } else { v });
+            let b = BspcMatrix::from_dense(&d, stripes, blocks).unwrap();
+            prop_assert_eq!(b.to_dense(), d.clone());
+            let x: Vec<f32> = (0..cols).map(|i| (i as f32 * 0.7).sin()).collect();
+            let want = gemm::gemv(&d, &x).unwrap();
+            let got = b.spmv(&x).unwrap();
+            for (w, g) in want.iter().zip(&got) {
+                prop_assert!((w - g).abs() < 1e-4);
+            }
+        }
+    }
+}

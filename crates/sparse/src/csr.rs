@@ -1,0 +1,289 @@
+//! Compressed Sparse Row storage.
+//!
+//! CSR is the format the paper's unstructured baselines (ESE) must use: every
+//! nonzero carries an explicit `u32` column index, and each SpMV row walk
+//! performs an indirect gather through those indices — the "decoding of each
+//! stored index" overhead §II-B-a calls out.
+
+use rtm_tensor::{Matrix, ShapeError};
+
+/// A sparse matrix in compressed-sparse-row format.
+///
+/// Invariants (maintained by construction, checked by `debug_assert`s):
+/// `row_ptr.len() == rows + 1`, `row_ptr` is non-decreasing,
+/// `row_ptr[rows] == values.len() == col_idx.len()`, and column indices are
+/// strictly increasing within each row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<u32>,
+    col_idx: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from a dense one, keeping entries that are not
+    /// exactly zero.
+    pub fn from_dense(dense: &Matrix) -> CsrMatrix {
+        let rows = dense.rows();
+        let cols = dense.cols();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0u32);
+        for r in 0..rows {
+            for (c, &v) in dense.row(r).iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(c as u32);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(values.len() as u32);
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Builds from raw parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the arrays are inconsistent (wrong `row_ptr`
+    /// length, mismatched value/index lengths, out-of-range columns, or a
+    /// decreasing `row_ptr`).
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<u32>,
+        col_idx: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<CsrMatrix, ShapeError> {
+        let bad = || ShapeError {
+            op: "csr_from_parts",
+            lhs: (rows, cols),
+            rhs: (row_ptr.len(), values.len()),
+        };
+        if row_ptr.len() != rows + 1
+            || col_idx.len() != values.len()
+            || row_ptr.last().copied().unwrap_or(0) as usize != values.len()
+        {
+            return Err(bad());
+        }
+        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(bad());
+        }
+        if col_idx.iter().any(|&c| c as usize >= cols) && !values.is_empty() {
+            return Err(bad());
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Row-pointer array (`rows + 1` entries).
+    pub fn row_ptr(&self) -> &[u32] {
+        &self.row_ptr
+    }
+
+    /// Column index of every nonzero, row-major.
+    pub fn col_idx(&self) -> &[u32] {
+        &self.col_idx
+    }
+
+    /// Value of every nonzero, row-major.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Nonzero count of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        assert!(r < self.rows, "row out of bounds");
+        (self.row_ptr[r + 1] - self.row_ptr[r]) as usize
+    }
+
+    /// The `(column, value)` pairs of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        assert!(r < self.rows, "row out of bounds");
+        let start = self.row_ptr[r] as usize;
+        let end = self.row_ptr[r + 1] as usize;
+        self.col_idx[start..end]
+            .iter()
+            .zip(&self.values[start..end])
+            .map(|(&c, &v)| (c as usize, v))
+    }
+
+    /// Sparse matrix-vector product `y = A x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x.len() != self.cols()`.
+    pub fn spmv(&self, x: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        if x.len() != self.cols {
+            return Err(ShapeError {
+                op: "csr_spmv",
+                lhs: (self.rows, self.cols),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0f32; self.rows];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let start = self.row_ptr[r] as usize;
+            let end = self.row_ptr[r + 1] as usize;
+            let mut acc = 0.0f32;
+            for i in start..end {
+                acc += self.values[i] * x[self.col_idx[i] as usize];
+            }
+            *yr = acc;
+        }
+        Ok(y)
+    }
+
+    /// Expands back to a dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_entries(r) {
+                m[(r, c)] = v;
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rtm_tensor::gemm;
+
+    fn example() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 0.0, 2.0, 0.0],
+            &[0.0, 0.0, 0.0, 0.0],
+            &[0.0, 3.0, 0.0, 4.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_dense_roundtrip() {
+        let d = example();
+        let csr = CsrMatrix::from_dense(&d);
+        assert_eq!(csr.nnz(), 4);
+        assert_eq!(csr.rows(), 3);
+        assert_eq!(csr.cols(), 4);
+        assert_eq!(csr.to_dense(), d);
+    }
+
+    #[test]
+    fn row_structure() {
+        let csr = CsrMatrix::from_dense(&example());
+        assert_eq!(csr.row_nnz(0), 2);
+        assert_eq!(csr.row_nnz(1), 0);
+        assert_eq!(csr.row_nnz(2), 2);
+        let entries: Vec<_> = csr.row_entries(2).collect();
+        assert_eq!(entries, vec![(1, 3.0), (3, 4.0)]);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let d = example();
+        let csr = CsrMatrix::from_dense(&d);
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let want = gemm::gemv(&d, &x).unwrap();
+        assert_eq!(csr.spmv(&x).unwrap(), want);
+    }
+
+    #[test]
+    fn spmv_shape_error() {
+        let csr = CsrMatrix::from_dense(&example());
+        assert!(csr.spmv(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let csr = CsrMatrix::from_dense(&Matrix::zeros(0, 0));
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.spmv(&[]).unwrap(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn all_zero_matrix() {
+        let csr = CsrMatrix::from_dense(&Matrix::zeros(3, 3));
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.spmv(&[1.0, 1.0, 1.0]).unwrap(), vec![0.0; 3]);
+    }
+
+    #[test]
+    fn from_parts_validation() {
+        // Good.
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+        // Wrong row_ptr length.
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
+        // Mismatched idx/value lengths.
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![0], vec![1.0, 2.0]).is_err());
+        // Column out of range.
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 2.0]).is_err());
+        // Decreasing row_ptr.
+        assert!(CsrMatrix::from_parts(2, 2, vec![0, 2, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
+        assert!(CsrMatrix::from_parts(2, 2, vec![2, 0, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(rows in 1usize..12, cols in 1usize..12, seed in 0u64..1000) {
+            let mut rng = rtm_tensor::init::rng_from_seed(seed);
+            let dense = rtm_tensor::init::uniform(rows, cols, -1.0, 1.0, &mut rng)
+                .map(|v| if v.abs() < 0.5 { 0.0 } else { v });
+            let csr = CsrMatrix::from_dense(&dense);
+            prop_assert_eq!(csr.to_dense(), dense.clone());
+            prop_assert_eq!(csr.nnz(), dense.count_nonzero());
+        }
+
+        #[test]
+        fn prop_spmv_equals_gemv(rows in 1usize..10, cols in 1usize..10, seed in 0u64..500) {
+            let mut rng = rtm_tensor::init::rng_from_seed(seed);
+            let dense = rtm_tensor::init::uniform(rows, cols, -1.0, 1.0, &mut rng)
+                .map(|v| if v.abs() < 0.3 { 0.0 } else { v });
+            let x: Vec<f32> = (0..cols).map(|i| (i as f32).sin()).collect();
+            let want = gemm::gemv(&dense, &x).unwrap();
+            let got = CsrMatrix::from_dense(&dense).spmv(&x).unwrap();
+            for (w, g) in want.iter().zip(&got) {
+                prop_assert!((w - g).abs() < 1e-4);
+            }
+        }
+    }
+}

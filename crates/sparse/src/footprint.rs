@@ -1,0 +1,175 @@
+//! Byte-level memory accounting per storage format.
+//!
+//! Table II's discussion attributes RTMobile's mobile-GPU win partly to BSPC
+//! "significantly reduc\[ing\] the memory footprint thus alleviating the
+//! memory-bound issue". The simulator charges memory cycles proportional to
+//! bytes moved, so the numbers here directly drive the Table II and
+//! ablation-A3 results.
+
+use crate::{BspcMatrix, CscMatrix, CsrMatrix};
+use rtm_tensor::Matrix;
+
+/// Size in bytes of one stored weight scalar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// 32-bit float (CPU path).
+    #[default]
+    F32,
+    /// 16-bit float (the paper's mobile-GPU path).
+    F16,
+    /// Symmetric int8 weights (the DESIGN.md §6 what-if CPU path; one
+    /// byte per weight, per-tensor scale amortized to nothing).
+    Int8,
+}
+
+impl Precision {
+    /// Bytes per scalar.
+    pub fn bytes(self) -> usize {
+        match self {
+            Precision::F32 => 4,
+            Precision::F16 => 2,
+            Precision::Int8 => 1,
+        }
+    }
+}
+
+/// Byte breakdown of one stored matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Footprint {
+    /// Bytes holding weight values.
+    pub value_bytes: usize,
+    /// Bytes holding structural indices (column ids, pointers, permutations).
+    pub index_bytes: usize,
+}
+
+impl Footprint {
+    /// Total bytes.
+    pub fn total(&self) -> usize {
+        self.value_bytes + self.index_bytes
+    }
+
+    /// Footprint of a dense matrix: `rows*cols` scalars and no indices.
+    pub fn dense(m: &Matrix, prec: Precision) -> Footprint {
+        Footprint {
+            value_bytes: m.len() * prec.bytes(),
+            index_bytes: 0,
+        }
+    }
+
+    /// Footprint of a CSR matrix: one scalar and one `u32` column index per
+    /// nonzero plus the `rows + 1` row-pointer array.
+    pub fn csr(m: &CsrMatrix, prec: Precision) -> Footprint {
+        Footprint {
+            value_bytes: m.nnz() * prec.bytes(),
+            index_bytes: (m.nnz() + m.row_ptr().len()) * 4,
+        }
+    }
+
+    /// Footprint of a CSC matrix (mirror of CSR).
+    pub fn csc(m: &CscMatrix, prec: Precision) -> Footprint {
+        Footprint {
+            value_bytes: m.nnz() * prec.bytes(),
+            index_bytes: (m.nnz() + m.col_ptr().len()) * 4,
+        }
+    }
+
+    /// Footprint of a BSPC matrix: stored pattern values plus the shared
+    /// per-stripe-block index words (see [`BspcMatrix::index_words`]).
+    pub fn bspc(m: &BspcMatrix, prec: Precision) -> Footprint {
+        Footprint {
+            value_bytes: m.stored_len() * prec.bytes(),
+            index_bytes: m.index_words() * 4,
+        }
+    }
+
+    /// Compression factor of this footprint relative to `dense_bytes`
+    /// (higher is better). Returns infinity if this footprint is empty.
+    pub fn compression_vs(&self, dense_bytes: usize) -> f64 {
+        if self.total() == 0 {
+            f64::INFINITY
+        } else {
+            dense_bytes as f64 / self.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn structured(rows: usize, cols: usize, stripes: usize, keep_per_stripe: usize) -> Matrix {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let s = r / (rows / stripes);
+            if c % (cols / keep_per_stripe) == s % (cols / keep_per_stripe) {
+                0.5
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn precision_bytes() {
+        assert_eq!(Precision::F32.bytes(), 4);
+        assert_eq!(Precision::F16.bytes(), 2);
+        assert_eq!(Precision::Int8.bytes(), 1);
+        assert_eq!(Precision::default(), Precision::F32);
+    }
+
+    #[test]
+    fn dense_footprint() {
+        let m = Matrix::zeros(10, 10);
+        let fp = Footprint::dense(&m, Precision::F32);
+        assert_eq!(fp.value_bytes, 400);
+        assert_eq!(fp.index_bytes, 0);
+        assert_eq!(fp.total(), 400);
+        assert_eq!(Footprint::dense(&m, Precision::F16).total(), 200);
+    }
+
+    #[test]
+    fn csr_footprint_counts_indices() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let csr = CsrMatrix::from_dense(&m);
+        let fp = Footprint::csr(&csr, Precision::F32);
+        assert_eq!(fp.value_bytes, 8); // 2 nnz * 4B
+        assert_eq!(fp.index_bytes, (2 + 3) * 4); // col idx + row ptr
+    }
+
+    #[test]
+    fn bspc_beats_csr_on_structured_matrix() {
+        let m = structured(64, 64, 4, 8);
+        let csr = CsrMatrix::from_dense(&m);
+        let bspc = BspcMatrix::from_dense(&m, 4, 4).unwrap();
+        let fp_csr = Footprint::csr(&csr, Precision::F16);
+        let fp_bspc = Footprint::bspc(&bspc, Precision::F16);
+        assert!(
+            fp_bspc.index_bytes < fp_csr.index_bytes / 3,
+            "bspc idx {} vs csr idx {}",
+            fp_bspc.index_bytes,
+            fp_csr.index_bytes
+        );
+        assert!(fp_bspc.total() < fp_csr.total());
+    }
+
+    #[test]
+    fn compression_factor() {
+        let m = structured(64, 64, 4, 8);
+        let dense_bytes = Footprint::dense(&m, Precision::F32).total();
+        let csr = CsrMatrix::from_dense(&m);
+        let fp = Footprint::csr(&csr, Precision::F32);
+        let ratio = fp.compression_vs(dense_bytes);
+        assert!(ratio > 1.0, "pruned CSR should compress: {ratio}");
+        let empty = Footprint::default();
+        assert!(empty.compression_vs(100).is_infinite());
+    }
+
+    #[test]
+    fn csc_mirrors_csr() {
+        let m = structured(32, 32, 4, 8);
+        let a = Footprint::csr(&CsrMatrix::from_dense(&m), Precision::F32);
+        let b = Footprint::csc(&CscMatrix::from_dense(&m), Precision::F32);
+        assert_eq!(a.value_bytes, b.value_bytes);
+        // Same nnz; pointer arrays differ by (rows vs cols) + 1 — equal here.
+        assert_eq!(a.index_bytes, b.index_bytes);
+    }
+}

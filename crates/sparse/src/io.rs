@@ -1,0 +1,392 @@
+//! Binary (de)serialization of the BSPC format — the on-flash "compact data
+//! format for pruned model storage" of §IV-B-c, made concrete.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic   "BSPC"            4 B
+//! version u16               (currently 1)
+//! prec    u8                (0 = f32 values, 1 = f16 bit patterns)
+//! rows, cols, stripes, blocks            4 × u32
+//! kept_row_count u32, kept_rows          n × u32
+//! per stripe-block: col_count u32, cols  n × u32
+//! row_offsets                            kept_row_count × u32
+//! value_count u32, values                n × (4 B f32 | 2 B f16)
+//! reorder_flag u8 (0/1), reorder         rows × u32 when 1
+//! ```
+//!
+//! Values serialized at [`Precision::F16`] round through binary16, exactly
+//! the loss the mobile GPU path accepts; deserialization always restores
+//! `f32` values.
+
+use crate::bspc::{BspcError, BspcMatrix};
+use crate::footprint::Precision;
+use bytes::{Buf, BufMut};
+use rtm_tensor::F16;
+use std::error::Error;
+use std::fmt;
+
+/// Magic bytes opening every serialized BSPC matrix.
+pub const MAGIC: &[u8; 4] = b"BSPC";
+
+/// Current format version.
+pub const VERSION: u16 = 1;
+
+/// Error decoding a serialized BSPC matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Buffer too short for the declared contents.
+    Truncated,
+    /// Magic bytes did not match.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// Unknown precision tag.
+    BadPrecision(u8),
+    /// The decoded structure failed validation.
+    Invalid(BspcError),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "buffer truncated"),
+            DecodeError::BadMagic => write!(f, "bad magic bytes"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
+            DecodeError::BadPrecision(p) => write!(f, "unknown precision tag {p}"),
+            DecodeError::Invalid(e) => write!(f, "invalid structure: {e}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+impl From<BspcError> for DecodeError {
+    fn from(e: BspcError) -> DecodeError {
+        DecodeError::Invalid(e)
+    }
+}
+
+impl BspcMatrix {
+    /// Serializes into `out` at the given value precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Precision::Int8`]: int8 storage needs the per-tensor
+    /// scale of [`rtm_tensor::QuantizedMatrix`] and is not part of the BSPC
+    /// wire format (version 1 stores f32 or f16 values only).
+    pub fn write_to(&self, out: &mut Vec<u8>, precision: Precision) {
+        out.put_slice(MAGIC);
+        out.put_u16_le(VERSION);
+        out.put_u8(match precision {
+            Precision::F32 => 0,
+            Precision::F16 => 1,
+            Precision::Int8 => panic!("BSPC v1 stores f32 or f16 values only"),
+        });
+        out.put_u32_le(self.rows() as u32);
+        out.put_u32_le(self.cols() as u32);
+        out.put_u32_le(self.num_stripes() as u32);
+        out.put_u32_le(self.num_blocks() as u32);
+
+        out.put_u32_le(self.kept_rows().len() as u32);
+        for &r in self.kept_rows() {
+            out.put_u32_le(r);
+        }
+        for s in 0..self.num_stripes() {
+            for b in 0..self.num_blocks() {
+                let cols = self.block_kept_cols(s, b);
+                out.put_u32_le(cols.len() as u32);
+                for &c in cols {
+                    out.put_u32_le(c);
+                }
+            }
+        }
+        for k in 0..self.kept_rows().len() {
+            out.put_u32_le(self.row_offset(k) as u32);
+        }
+        out.put_u32_le(self.stored_len() as u32);
+        match precision {
+            Precision::F32 => {
+                for &v in self.values() {
+                    out.put_f32_le(v);
+                }
+            }
+            Precision::F16 => {
+                for &v in self.values() {
+                    out.put_u16_le(F16::from_f32(v).to_bits());
+                }
+            }
+            Precision::Int8 => unreachable!("rejected above"),
+        }
+        match self.reorder() {
+            Some(perm) => {
+                out.put_u8(1);
+                for &p in perm {
+                    out.put_u32_le(p);
+                }
+            }
+            None => out.put_u8(0),
+        }
+    }
+
+    /// Serializes into a fresh buffer.
+    pub fn to_bytes(&self, precision: Precision) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_to(&mut out, precision);
+        out
+    }
+
+    /// Decodes one matrix from the front of `bytes`, returning it together
+    /// with the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation, bad magic/version/precision,
+    /// or a structurally invalid payload.
+    pub fn read_from(bytes: &[u8]) -> Result<(BspcMatrix, usize), DecodeError> {
+        let mut buf = bytes;
+        let need = |buf: &[u8], n: usize| -> Result<(), DecodeError> {
+            if buf.remaining() < n {
+                Err(DecodeError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+
+        need(buf, 4)?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        need(buf, 3)?;
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let prec = buf.get_u8();
+        let precision = match prec {
+            0 => Precision::F32,
+            1 => Precision::F16,
+            other => return Err(DecodeError::BadPrecision(other)),
+        };
+
+        need(buf, 16)?;
+        let rows = buf.get_u32_le() as usize;
+        let cols = buf.get_u32_le() as usize;
+        let stripes = buf.get_u32_le() as usize;
+        let blocks = buf.get_u32_le() as usize;
+        // Validate the header *before* trusting any count for allocation —
+        // a corrupted file must fail cleanly, never OOM.
+        if stripes == 0 || blocks == 0 {
+            return Err(DecodeError::Invalid(BspcError::ZeroPartition));
+        }
+        if stripes > rows.max(1) || blocks > cols.max(1) {
+            return Err(DecodeError::Invalid(BspcError::PartitionTooFine {
+                requested: (stripes, blocks),
+                shape: (rows, cols),
+            }));
+        }
+
+        need(buf, 4)?;
+        let kept_count = buf.get_u32_le() as usize;
+        if kept_count > rows {
+            return Err(DecodeError::Truncated);
+        }
+        need(buf, kept_count * 4)?;
+        let kept_rows: Vec<u32> = (0..kept_count).map(|_| buf.get_u32_le()).collect();
+
+        // No pre-allocation from untrusted counts: every push is preceded
+        // by a `need` guard on the actual bytes.
+        let mut block_cols = Vec::new();
+        for _ in 0..stripes.saturating_mul(blocks) {
+            need(buf, 4)?;
+            let n = buf.get_u32_le() as usize;
+            need(buf, n.saturating_mul(4))?;
+            block_cols.push((0..n).map(|_| buf.get_u32_le()).collect::<Vec<u32>>());
+        }
+
+        need(buf, kept_count * 4)?;
+        let row_offsets: Vec<u32> = (0..kept_count).map(|_| buf.get_u32_le()).collect();
+
+        need(buf, 4)?;
+        let value_count = buf.get_u32_le() as usize;
+        let values: Vec<f32> = match precision {
+            Precision::F32 => {
+                need(buf, value_count.saturating_mul(4))?;
+                (0..value_count).map(|_| buf.get_f32_le()).collect()
+            }
+            Precision::F16 => {
+                need(buf, value_count.saturating_mul(2))?;
+                (0..value_count)
+                    .map(|_| F16::from_bits(buf.get_u16_le()).to_f32())
+                    .collect()
+            }
+            Precision::Int8 => unreachable!("tag 2 rejected at decode"),
+        };
+
+        need(buf, 1)?;
+        let reorder = if buf.get_u8() == 1 {
+            need(buf, rows.saturating_mul(4))?;
+            Some((0..rows).map(|_| buf.get_u32_le()).collect::<Vec<u32>>())
+        } else {
+            None
+        };
+
+        let consumed = bytes.len() - buf.remaining();
+        let matrix = BspcMatrix::from_parts(
+            rows, cols, stripes, blocks, kept_rows, block_cols, row_offsets, values, reorder,
+        )?;
+        Ok((matrix, consumed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rtm_tensor::Matrix;
+
+    fn sample() -> BspcMatrix {
+        let dense = Matrix::from_fn(8, 8, |r, c| {
+            let stripe = r / 4;
+            if r != 3 && c % 4 == stripe {
+                0.25 + (r * 8 + c) as f32 * 0.01
+            } else {
+                0.0
+            }
+        });
+        BspcMatrix::from_dense(&dense, 2, 2).expect("partition fits")
+    }
+
+    #[test]
+    fn roundtrip_f32_exact() {
+        let m = sample();
+        let bytes = m.to_bytes(Precision::F32);
+        let (decoded, consumed) = BspcMatrix::read_from(&bytes).expect("decodes");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, m);
+        assert_eq!(decoded.to_dense(), m.to_dense());
+    }
+
+    #[test]
+    fn roundtrip_f16_quantizes_values_only() {
+        let m = sample();
+        let bytes = m.to_bytes(Precision::F16);
+        let (decoded, _) = BspcMatrix::read_from(&bytes).expect("decodes");
+        // Structure identical.
+        assert_eq!(decoded.kept_rows(), m.kept_rows());
+        assert_eq!(decoded.stored_len(), m.stored_len());
+        // Values within f16 tolerance of the originals.
+        for (a, b) in m.values().iter().zip(decoded.values()) {
+            assert!((a - b).abs() <= a.abs() * 0.001 + 1e-4, "{a} vs {b}");
+        }
+        // And the f16 file is smaller.
+        assert!(bytes.len() < m.to_bytes(Precision::F32).len());
+    }
+
+    #[test]
+    fn roundtrip_with_reorder() {
+        let m = sample()
+            .with_reorder((0..8).rev().map(|i| i as u32).collect())
+            .expect("valid perm");
+        let bytes = m.to_bytes(Precision::F32);
+        let (decoded, _) = BspcMatrix::read_from(&bytes).expect("decodes");
+        assert_eq!(decoded.reorder(), m.reorder());
+    }
+
+    #[test]
+    fn concatenated_matrices_decode_sequentially() {
+        let a = sample();
+        let b = sample();
+        let mut bytes = a.to_bytes(Precision::F32);
+        b.write_to(&mut bytes, Precision::F16);
+        let (da, used) = BspcMatrix::read_from(&bytes).expect("first");
+        let (db, _) = BspcMatrix::read_from(&bytes[used..]).expect("second");
+        assert_eq!(da, a);
+        assert_eq!(db.stored_len(), b.stored_len());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(BspcMatrix::read_from(&[]).unwrap_err(), DecodeError::Truncated);
+        assert_eq!(
+            BspcMatrix::read_from(b"NOPE\x01\x00\x00").unwrap_err(),
+            DecodeError::BadMagic
+        );
+        let mut bytes = sample().to_bytes(Precision::F32);
+        bytes[4] = 99; // version
+        assert!(matches!(
+            BspcMatrix::read_from(&bytes).unwrap_err(),
+            DecodeError::BadVersion(_)
+        ));
+        let mut bytes = sample().to_bytes(Precision::F32);
+        bytes[6] = 7; // precision tag
+        assert!(matches!(
+            BspcMatrix::read_from(&bytes).unwrap_err(),
+            DecodeError::BadPrecision(7)
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_truncation_everywhere() {
+        let bytes = sample().to_bytes(Precision::F32);
+        // Chop the buffer at every prefix; all must fail cleanly (never
+        // panic), except the full length.
+        for n in 0..bytes.len() {
+            let err = BspcMatrix::read_from(&bytes[..n]);
+            assert!(err.is_err(), "prefix {n} must not decode");
+        }
+        assert!(BspcMatrix::read_from(&bytes).is_ok());
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            DecodeError::Truncated,
+            DecodeError::BadMagic,
+            DecodeError::BadVersion(2),
+            DecodeError::BadPrecision(9),
+        ] {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+
+    proptest! {
+        /// Random BSP-ish matrices round-trip at f32 exactly, and at f16
+        /// within binary16 tolerance, for arbitrary partitions.
+        #[test]
+        fn prop_wire_roundtrip(
+            rows in 1usize..12,
+            cols in 1usize..12,
+            stripes in 1usize..4,
+            blocks in 1usize..4,
+            seed in 0u64..150,
+        ) {
+            let stripes = stripes.min(rows);
+            let blocks = blocks.min(cols);
+            let mut rng = rtm_tensor::init::rng_from_seed(seed);
+            let dense = rtm_tensor::init::uniform(rows, cols, -1.0, 1.0, &mut rng)
+                .map(|v| if v.abs() < 0.5 { 0.0 } else { v });
+            let m = BspcMatrix::from_dense(&dense, stripes, blocks).expect("fits");
+
+            let bytes = m.to_bytes(Precision::F32);
+            let (d32, used) = BspcMatrix::read_from(&bytes).expect("decodes");
+            prop_assert_eq!(used, bytes.len());
+            prop_assert_eq!(&d32, &m);
+
+            let bytes = m.to_bytes(Precision::F16);
+            let (d16, _) = BspcMatrix::read_from(&bytes).expect("decodes");
+            prop_assert_eq!(d16.kept_rows(), m.kept_rows());
+            for (a, b) in m.values().iter().zip(d16.values()) {
+                prop_assert!((a - b).abs() <= a.abs() * 1e-3 + 1e-4);
+            }
+        }
+
+        /// Arbitrary byte soup never panics the decoder.
+        #[test]
+        fn prop_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = BspcMatrix::read_from(&bytes);
+        }
+    }
+}

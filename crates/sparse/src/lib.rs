@@ -1,0 +1,59 @@
+#![warn(missing_docs)]
+
+//! # rtm-sparse
+//!
+//! Sparse matrix formats and kernels for the RTMobile reproduction.
+//!
+//! The paper contrasts three ways of storing a pruned RNN weight matrix:
+//!
+//! * **CSR** ([`CsrMatrix`]) — the conventional compressed-sparse-row format
+//!   that unstructured pruning (ESE-style) is stuck with: one explicit column
+//!   index per nonzero;
+//! * **CSC** ([`CscMatrix`]) — column-compressed twin, provided for the
+//!   comparison experiments and for transposed products;
+//! * **BSPC** ([`BspcMatrix`]) — the paper's *Block-based Structured Pruning
+//!   Compact* format (§IV-B-c): because BSP prunes whole columns inside each
+//!   (row-stripe × column-block) and whole rows globally, the column indices
+//!   are shared by *all rows in a stripe* and need to be stored only once per
+//!   block, shrinking the index array by roughly the stripe height. BSPC also
+//!   carries the matrix-reorder permutation so the input feature map can be
+//!   matched to reordered rows.
+//!
+//! [`footprint`] accounts the exact byte cost of each representation — the
+//! quantity behind the paper's memory-bound analysis in Table II.
+//!
+//! # Example
+//!
+//! ```
+//! use rtm_tensor::Matrix;
+//! use rtm_sparse::CsrMatrix;
+//!
+//! # fn main() -> Result<(), rtm_tensor::ShapeError> {
+//! let dense = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]])?;
+//! let csr = CsrMatrix::from_dense(&dense);
+//! assert_eq!(csr.nnz(), 2);
+//! assert_eq!(csr.spmv(&[1.0, 1.0])?, vec![1.0, 2.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bspc;
+pub mod csc;
+pub mod csr;
+pub mod footprint;
+pub mod io;
+
+pub use bspc::{BspcError, BspcMatrix};
+pub use io::DecodeError;
+pub use csc::CscMatrix;
+pub use csr::CsrMatrix;
+pub use footprint::Footprint;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn reexports_compile() {
+        let csr = super::CsrMatrix::from_dense(&rtm_tensor::Matrix::zeros(1, 1));
+        assert_eq!(csr.nnz(), 0);
+    }
+}

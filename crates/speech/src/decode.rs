@@ -1,0 +1,176 @@
+//! Sequence decoding beyond frame-wise argmax.
+//!
+//! The naive decoder (collapse consecutive argmax frames) is brittle: one
+//! noisy frame inserts a phantom phone and costs an insertion *and* breaks
+//! a run. [`viterbi_decode`] runs a first-order Viterbi pass over the frame
+//! log-probabilities with a uniform phone-switch penalty — the standard
+//! "HMM with self-loops" smoothing every Kaldi-style recognizer applies —
+//! which trades a tiny latency cost for materially lower PER on noisy
+//! utterances.
+
+use rtm_tensor::activations::softmax_slice;
+
+/// Decodes a phone sequence from per-frame logits with a switch penalty.
+///
+/// `switch_penalty` is the negative log-probability surcharge for changing
+/// phones between consecutive frames (`0.0` reduces to plain argmax
+/// collapsing; typical useful values are 1–6).
+///
+/// Returns the collapsed best-path phone sequence.
+///
+/// # Panics
+///
+/// Panics if frames have inconsistent class counts or `switch_penalty` is
+/// negative.
+pub fn viterbi_decode(logits: &[Vec<f32>], switch_penalty: f32) -> Vec<usize> {
+    assert!(switch_penalty >= 0.0, "penalty must be non-negative");
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let classes = logits[0].len();
+    assert!(classes > 0, "need at least one class");
+
+    // Log-probabilities per frame.
+    let log_probs: Vec<Vec<f32>> = logits
+        .iter()
+        .map(|frame| {
+            assert_eq!(frame.len(), classes, "inconsistent class count");
+            let mut p = frame.clone();
+            softmax_slice(&mut p);
+            p.into_iter().map(|v| v.max(1e-12).ln()).collect()
+        })
+        .collect();
+
+    // DP over (frame, phone).
+    let mut score = log_probs[0].clone();
+    let mut back: Vec<Vec<usize>> = Vec::with_capacity(log_probs.len());
+    back.push((0..classes).collect());
+    for frame in &log_probs[1..] {
+        // Best predecessor overall (for switch transitions).
+        let mut best_prev = 0usize;
+        for (c, &v) in score.iter().enumerate() {
+            if v > score[best_prev] {
+                best_prev = c;
+            }
+        }
+        let mut new_score = vec![0.0f32; classes];
+        let mut pointers = vec![0usize; classes];
+        for c in 0..classes {
+            // Stay in c, or switch from the best other phone with penalty.
+            let stay = score[c];
+            let switch = score[best_prev] - switch_penalty;
+            if stay >= switch || best_prev == c {
+                new_score[c] = stay + frame[c];
+                pointers[c] = c;
+            } else {
+                new_score[c] = switch + frame[c];
+                pointers[c] = best_prev;
+            }
+        }
+        score = new_score;
+        back.push(pointers);
+    }
+
+    // Backtrack.
+    let mut best = 0usize;
+    for (c, &v) in score.iter().enumerate() {
+        if v > score[best] {
+            best = c;
+        }
+    }
+    let mut path = vec![best; log_probs.len()];
+    for t in (1..log_probs.len()).rev() {
+        path[t - 1] = back[t][path[t]];
+    }
+    crate::per::collapse_frames(&path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Logits strongly favouring one class per frame.
+    fn clean_logits(labels: &[usize], classes: usize) -> Vec<Vec<f32>> {
+        labels
+            .iter()
+            .map(|&l| (0..classes).map(|c| if c == l { 5.0 } else { 0.0 }).collect())
+            .collect()
+    }
+
+    #[test]
+    fn clean_input_decodes_exactly() {
+        let logits = clean_logits(&[0, 0, 1, 1, 2, 2], 3);
+        assert_eq!(viterbi_decode(&logits, 2.0), vec![0, 1, 2]);
+        // Zero penalty equals argmax collapsing.
+        assert_eq!(viterbi_decode(&logits, 0.0), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn penalty_suppresses_single_frame_glitch() {
+        // Frames: 0 0 0 [glitch->1] 0 0 — argmax inserts phone 1.
+        let mut logits = clean_logits(&[0, 0, 0, 0, 0, 0], 3);
+        logits[3] = vec![0.0, 1.5, 0.0]; // weak glitch toward 1
+        let naive = crate::per::collapse_frames(
+            &logits.iter().map(|f| rtm_tensor::Vector::argmax(f)).collect::<Vec<_>>(),
+        );
+        assert_eq!(naive, vec![0, 1, 0], "argmax inserts the glitch");
+        let smoothed = viterbi_decode(&logits, 3.0);
+        assert_eq!(smoothed, vec![0], "Viterbi smooths it away");
+    }
+
+    #[test]
+    fn strong_evidence_survives_penalty() {
+        // A genuine phone change with strong evidence must not be smoothed.
+        let logits = clean_logits(&[0, 0, 0, 1, 1, 1], 3);
+        assert_eq!(viterbi_decode(&logits, 4.0), vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(viterbi_decode(&[], 1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "penalty must be non-negative")]
+    fn negative_penalty_rejected() {
+        viterbi_decode(&[vec![0.0]], -1.0);
+    }
+
+    #[test]
+    fn improves_per_on_noisy_synthetic_task() {
+        // Train a small model on the synthetic task, add decision noise by
+        // keeping training short, and compare naive vs Viterbi PER.
+        use crate::corpus::CorpusConfig;
+        use crate::per::PerReport;
+        use crate::task::SpeechTask;
+        let cfg = CorpusConfig {
+            speakers: 8,
+            sentences_per_speaker: 3,
+            noise: 0.55, // noisy enough for glitchy frames
+            ..CorpusConfig::tiny()
+        };
+        let task = SpeechTask::new(&cfg, 17);
+        let mut net = task.new_network(24, 17);
+        task.train(&mut net, 12, 8e-3);
+
+        let mut naive = PerReport::default();
+        let mut smoothed = PerReport::default();
+        for u in task.test_utterances() {
+            let logits = net.forward(&u.frames);
+            let frame_preds: Vec<usize> =
+                logits.iter().map(|l| rtm_tensor::Vector::argmax(l)).collect();
+            naive.add(&frame_preds, &u.labels, &u.phones);
+
+            let decoded = viterbi_decode(&logits, 2.5);
+            // Score the decoded sequence directly via edit distance.
+            smoothed.errors += crate::per::edit_distance(&decoded, &u.phones);
+            smoothed.reference_len += u.phones.len();
+        }
+        assert!(
+            smoothed.per_percent() <= naive.per_percent(),
+            "Viterbi must not be worse: {:.2}% vs {:.2}%",
+            smoothed.per_percent(),
+            naive.per_percent()
+        );
+    }
+}

@@ -1,0 +1,178 @@
+//! Feature post-processing: CMVN and delta features.
+//!
+//! The paper's training stack (PyTorch-Kaldi) feeds the GRU Kaldi-style
+//! acoustic features: per-utterance or corpus-level cepstral mean/variance
+//! normalization (CMVN) and appended first/second-order time derivatives
+//! ("delta" and "delta-delta" features). These utilities reproduce that
+//! front end over the synthetic frames; the `speech_recognition` example
+//! and the extension experiments use them to triple the input
+//! dimensionality exactly the way a Kaldi recipe would.
+
+/// Per-dimension mean/variance statistics for CMVN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CmvnStats {
+    /// Per-dimension mean.
+    pub mean: Vec<f32>,
+    /// Per-dimension standard deviation (floored at 1e-6).
+    pub std: Vec<f32>,
+}
+
+impl CmvnStats {
+    /// Estimates statistics over a set of frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty or ragged.
+    pub fn estimate(frames: &[Vec<f32>]) -> CmvnStats {
+        assert!(!frames.is_empty(), "need at least one frame");
+        let dim = frames[0].len();
+        let mut mean = vec![0.0f32; dim];
+        for f in frames {
+            assert_eq!(f.len(), dim, "ragged frames");
+            for (m, &v) in mean.iter_mut().zip(f) {
+                *m += v;
+            }
+        }
+        let n = frames.len() as f32;
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f32; dim];
+        for f in frames {
+            for ((v, &x), &m) in var.iter_mut().zip(f).zip(&mean) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| (v / n).sqrt().max(1e-6))
+            .collect();
+        CmvnStats { mean, std }
+    }
+
+    /// Normalizes frames in place: `x = (x - mean) / std`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if frame dimensions differ from the statistics.
+    pub fn apply(&self, frames: &mut [Vec<f32>]) {
+        for f in frames {
+            assert_eq!(f.len(), self.mean.len(), "dimension mismatch");
+            for ((x, &m), &s) in f.iter_mut().zip(&self.mean).zip(&self.std) {
+                *x = (*x - m) / s;
+            }
+        }
+    }
+}
+
+/// Appends first-order deltas: output frames are `[x; Δx]` with
+/// `Δx_t = (x_{t+1} - x_{t-1}) / 2` (clamped at the edges).
+///
+/// Returns an empty vector for empty input.
+pub fn add_deltas(frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    let t_len = frames.len();
+    let mut out = Vec::with_capacity(t_len);
+    for t in 0..t_len {
+        let prev = &frames[t.saturating_sub(1)];
+        let next = &frames[(t + 1).min(t_len - 1)];
+        let mut f = frames[t].clone();
+        f.extend(prev.iter().zip(next).map(|(&p, &n)| (n - p) * 0.5));
+        out.push(f);
+    }
+    out
+}
+
+/// Appends first- and second-order deltas: output frames are
+/// `[x; Δx; ΔΔx]`, tripling the dimensionality like a Kaldi
+/// `add-deltas` stage.
+pub fn add_deltas_2(frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    if frames.is_empty() {
+        return Vec::new();
+    }
+    let dim = frames[0].len();
+    let with_d = add_deltas(frames);
+    // Delta of the delta part.
+    let deltas: Vec<Vec<f32>> = with_d.iter().map(|f| f[dim..].to_vec()).collect();
+    let dd = add_deltas(&deltas);
+    with_d
+        .into_iter()
+        .zip(dd)
+        .map(|(mut f, d)| {
+            f.extend_from_slice(&d[dim..]);
+            f
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frames() -> Vec<Vec<f32>> {
+        vec![
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ]
+    }
+
+    #[test]
+    fn cmvn_zero_mean_unit_var() {
+        let mut f = frames();
+        let stats = CmvnStats::estimate(&f);
+        stats.apply(&mut f);
+        let dim = 2;
+        for d in 0..dim {
+            let mean: f32 = f.iter().map(|x| x[d]).sum::<f32>() / f.len() as f32;
+            let var: f32 = f.iter().map(|x| (x[d] - mean).powi(2)).sum::<f32>() / f.len() as f32;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-4, "var {var}");
+        }
+    }
+
+    #[test]
+    fn cmvn_constant_dimension_safe() {
+        let mut f = vec![vec![5.0], vec![5.0]];
+        let stats = CmvnStats::estimate(&f);
+        stats.apply(&mut f);
+        assert!(f.iter().all(|x| x[0].is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one frame")]
+    fn cmvn_empty_rejected() {
+        CmvnStats::estimate(&[]);
+    }
+
+    #[test]
+    fn deltas_are_central_differences() {
+        let f = add_deltas(&frames());
+        assert_eq!(f[0].len(), 4);
+        // Interior: (x_{t+1} - x_{t-1}) / 2 = 1.0 for the ramp.
+        assert!((f[1][2] - 1.0).abs() < 1e-6);
+        assert!((f[2][3] - 10.0).abs() < 1e-6);
+        // Edges use clamped neighbours: (x_1 - x_0)/2 = 0.5.
+        assert!((f[0][2] - 0.5).abs() < 1e-6);
+        assert!((f[3][2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delta_delta_triples_dimension() {
+        // A longer ramp so the interior is unaffected by edge clamping.
+        let ramp: Vec<Vec<f32>> = (0..6).map(|t| vec![t as f32, 10.0 * t as f32]).collect();
+        let f = add_deltas_2(&ramp);
+        assert_eq!(f.len(), 6);
+        assert!(f.iter().all(|x| x.len() == 6));
+        // A linear ramp has constant delta away from the edges, so the
+        // interior delta-delta vanishes.
+        assert!(f[2][4].abs() < 1e-6, "dd {}", f[2][4]);
+        assert!(f[3][5].abs() < 1e-6, "dd {}", f[3][5]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(add_deltas(&[]).is_empty());
+        assert!(add_deltas_2(&[]).is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! Phone error rate — Table I's metric.
+//!
+//! PER is the Levenshtein (edit) distance between the decoded phone
+//! sequence and the reference, divided by the reference length, summed over
+//! a test set. Decoding from frame-level predictions uses the standard
+//! collapse: consecutive identical predictions merge into one phone.
+
+/// Levenshtein distance between two sequences.
+pub fn edit_distance(a: &[usize], b: &[usize]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, &ai) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &bj) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ai != bj);
+            curr[j + 1] = sub.min(prev[j + 1] + 1).min(curr[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Collapses consecutive identical frame predictions into a phone sequence.
+pub fn collapse_frames(frame_preds: &[usize]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for &p in frame_preds {
+        if out.last() != Some(&p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+/// Aggregated PER over a test set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PerReport {
+    /// Total edit-distance errors.
+    pub errors: usize,
+    /// Total reference phones.
+    pub reference_len: usize,
+    /// Frames classified correctly.
+    pub frames_correct: usize,
+    /// Total frames.
+    pub frames_total: usize,
+}
+
+impl PerReport {
+    /// Phone error rate in percent (the paper's unit). 0 for an empty set.
+    pub fn per_percent(&self) -> f64 {
+        if self.reference_len == 0 {
+            0.0
+        } else {
+            100.0 * self.errors as f64 / self.reference_len as f64
+        }
+    }
+
+    /// Frame-level accuracy in `[0, 1]`.
+    pub fn frame_accuracy(&self) -> f64 {
+        if self.frames_total == 0 {
+            0.0
+        } else {
+            self.frames_correct as f64 / self.frames_total as f64
+        }
+    }
+
+    /// Accumulates one utterance's score.
+    pub fn add(
+        &mut self,
+        frame_preds: &[usize],
+        frame_labels: &[usize],
+        reference_phones: &[usize],
+    ) {
+        let decoded = collapse_frames(frame_preds);
+        self.errors += edit_distance(&decoded, reference_phones);
+        self.reference_len += reference_phones.len();
+        self.frames_correct += frame_preds
+            .iter()
+            .zip(frame_labels)
+            .filter(|(p, l)| p == l)
+            .count();
+        self.frames_total += frame_labels.len();
+    }
+
+    /// Merges another report into this one.
+    pub fn merge(&mut self, other: &PerReport) {
+        self.errors += other.errors;
+        self.reference_len += other.reference_len;
+        self.frames_correct += other.frames_correct;
+        self.frames_total += other.frames_total;
+    }
+}
+
+/// Convenience wrapper: PER of one prediction/reference pair, in percent.
+pub fn phone_error_rate(frame_preds: &[usize], reference_phones: &[usize]) -> f64 {
+    let decoded = collapse_frames(frame_preds);
+    if reference_phones.is_empty() {
+        return 0.0;
+    }
+    100.0 * edit_distance(&decoded, reference_phones) as f64 / reference_phones.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance(&[], &[]), 0);
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(edit_distance(&[1, 2, 3], &[]), 3);
+        assert_eq!(edit_distance(&[], &[1, 2]), 2);
+        // One substitution.
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 9, 3]), 1);
+        // One insertion.
+        assert_eq!(edit_distance(&[1, 3], &[1, 2, 3]), 1);
+        // One deletion.
+        assert_eq!(edit_distance(&[1, 2, 3], &[1, 3]), 1);
+        // kitten -> sitting (classic: 3).
+        let kitten = [10, 8, 19, 19, 4, 13];
+        let sitting = [18, 8, 19, 19, 8, 13, 6];
+        assert_eq!(edit_distance(&kitten, &sitting), 3);
+    }
+
+    #[test]
+    fn edit_distance_symmetry() {
+        let a = [1, 2, 3, 4, 5];
+        let b = [2, 3, 5, 7];
+        assert_eq!(edit_distance(&a, &b), edit_distance(&b, &a));
+    }
+
+    #[test]
+    fn collapse_merges_runs() {
+        assert_eq!(collapse_frames(&[1, 1, 2, 2, 2, 1]), vec![1, 2, 1]);
+        assert_eq!(collapse_frames(&[]), Vec::<usize>::new());
+        assert_eq!(collapse_frames(&[5]), vec![5]);
+    }
+
+    #[test]
+    fn perfect_decoding_zero_per() {
+        let preds = [0, 0, 1, 1, 1, 2, 2];
+        let refs = [0, 1, 2];
+        assert_eq!(phone_error_rate(&preds, &refs), 0.0);
+    }
+
+    #[test]
+    fn per_counts_substitutions() {
+        // Decoded [0,9,2] vs reference [0,1,2]: one substitution of three.
+        let preds = [0, 0, 9, 9, 2];
+        let refs = [0, 1, 2];
+        assert!((phone_error_rate(&preds, &refs) - 100.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_accumulates() {
+        let mut report = PerReport::default();
+        report.add(&[0, 0, 1], &[0, 0, 1], &[0, 1]);
+        report.add(&[2, 2, 2], &[2, 2, 3], &[2, 3]);
+        assert_eq!(report.errors, 1); // second utterance missed phone 3
+        assert_eq!(report.reference_len, 4);
+        assert_eq!(report.frames_correct, 5);
+        assert_eq!(report.frames_total, 6);
+        assert!((report.per_percent() - 25.0).abs() < 1e-9);
+        assert!((report.frame_accuracy() - 5.0 / 6.0).abs() < 1e-9);
+
+        let mut merged = PerReport::default();
+        merged.merge(&report);
+        merged.merge(&report);
+        assert_eq!(merged.errors, 2);
+        assert_eq!(merged.frames_total, 12);
+    }
+
+    #[test]
+    fn empty_report_rates() {
+        let r = PerReport::default();
+        assert_eq!(r.per_percent(), 0.0);
+        assert_eq!(r.frame_accuracy(), 0.0);
+    }
+}

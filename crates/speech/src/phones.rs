@@ -1,0 +1,67 @@
+//! The folded TIMIT phone inventory.
+//!
+//! TIMIT transcription work conventionally folds the original 61 phone
+//! labels to 39 classes for scoring (Lee & Hon 1989); every PER the paper
+//! cites uses that convention. The synthetic corpus uses the same 39
+//! labels so the class count — and therefore the classifier head size and
+//! task difficulty — matches.
+
+/// The 39 folded TIMIT phone labels.
+pub const PHONES: [&str; 39] = [
+    "aa", "ae", "ah", "aw", "ay", "b", "ch", "d", "dh", "dx", "eh", "er", "ey", "f", "g", "hh",
+    "ih", "iy", "jh", "k", "l", "m", "n", "ng", "ow", "oy", "p", "r", "s", "sh", "sil", "t", "th",
+    "uh", "uw", "v", "w", "y", "z",
+];
+
+/// Number of phone classes.
+pub const NUM_PHONES: usize = PHONES.len();
+
+/// Index of the silence phone, used to pad utterance boundaries.
+pub const SILENCE: usize = 30;
+
+/// Returns the label of phone `id`.
+///
+/// # Panics
+///
+/// Panics if `id >= NUM_PHONES`.
+pub fn label(id: usize) -> &'static str {
+    PHONES[id]
+}
+
+/// Looks up a phone id by label.
+pub fn id_of(label: &str) -> Option<usize> {
+    PHONES.iter().position(|&p| p == label)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_size_is_39() {
+        assert_eq!(NUM_PHONES, 39);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        for (i, a) in PHONES.iter().enumerate() {
+            for b in &PHONES[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn silence_index() {
+        assert_eq!(label(SILENCE), "sil");
+        assert_eq!(id_of("sil"), Some(SILENCE));
+    }
+
+    #[test]
+    fn lookup_roundtrip() {
+        for i in 0..NUM_PHONES {
+            assert_eq!(id_of(label(i)), Some(i));
+        }
+        assert_eq!(id_of("zz"), None);
+    }
+}

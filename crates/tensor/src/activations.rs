@@ -1,0 +1,191 @@
+//! Scalar and slice activation functions with derivatives.
+//!
+//! The GRU cell (paper Fig. 1) uses the logistic sigmoid for its update and
+//! reset gates and `tanh` for the candidate state; the classifier head uses
+//! softmax + cross-entropy. Derivatives are expressed in terms of the
+//! *activated* value (`y = f(x)`), which is what backpropagation has in hand.
+
+/// Logistic sigmoid `1 / (1 + e^-x)`, numerically stable for large `|x|`.
+///
+/// # Example
+///
+/// ```
+/// use rtm_tensor::activations::sigmoid;
+/// assert!((sigmoid(0.0) - 0.5).abs() < 1e-7);
+/// ```
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Derivative of sigmoid given the *activated* value `y = sigmoid(x)`.
+pub fn sigmoid_deriv_from_output(y: f32) -> f32 {
+    y * (1.0 - y)
+}
+
+/// Hyperbolic tangent.
+pub fn tanh(x: f32) -> f32 {
+    x.tanh()
+}
+
+/// Derivative of tanh given the *activated* value `y = tanh(x)`.
+pub fn tanh_deriv_from_output(y: f32) -> f32 {
+    1.0 - y * y
+}
+
+/// Rectified linear unit.
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Derivative of ReLU given the pre-activation `x` (subgradient 0 at 0).
+pub fn relu_deriv(x: f32) -> f32 {
+    if x > 0.0 {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Applies sigmoid to every element in place.
+pub fn sigmoid_slice(xs: &mut [f32]) {
+    for x in xs {
+        *x = sigmoid(*x);
+    }
+}
+
+/// Applies tanh to every element in place.
+pub fn tanh_slice(xs: &mut [f32]) {
+    for x in xs {
+        *x = tanh(*x);
+    }
+}
+
+/// In-place numerically-stable softmax (subtracts the max before
+/// exponentiating).
+///
+/// An empty slice is left unchanged.
+pub fn softmax_slice(xs: &mut [f32]) {
+    if xs.is_empty() {
+        return;
+    }
+    let max = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        for x in xs.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+/// Cross-entropy loss `-log p[target]` of a probability vector with a clamp
+/// protecting against `log(0)`.
+///
+/// # Panics
+///
+/// Panics if `target >= probs.len()`.
+pub fn cross_entropy(probs: &[f32], target: usize) -> f32 {
+    assert!(target < probs.len(), "target class out of range");
+    -(probs[target].max(1e-12)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn sigmoid_known_values() {
+        assert!(approx_eq(sigmoid(0.0), 0.5, 1e-7));
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        // symmetry: sigmoid(-x) = 1 - sigmoid(x)
+        for x in [-3.0f32, -1.0, 0.5, 2.0] {
+            assert!(approx_eq(sigmoid(-x), 1.0 - sigmoid(x), 1e-6));
+        }
+    }
+
+    #[test]
+    fn sigmoid_stable_extremes() {
+        assert!(sigmoid(1e10).is_finite());
+        assert!(sigmoid(-1e10).is_finite());
+        assert_eq!(sigmoid(-1e10), 0.0);
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 1e-3f32;
+        for x in [-2.0f32, -0.5, 0.0, 0.7, 1.5] {
+            let fd = (sigmoid(x + h) - sigmoid(x - h)) / (2.0 * h);
+            assert!(approx_eq(sigmoid_deriv_from_output(sigmoid(x)), fd, 1e-3));
+            let fd_t = (tanh(x + h) - tanh(x - h)) / (2.0 * h);
+            assert!(approx_eq(tanh_deriv_from_output(tanh(x)), fd_t, 1e-3));
+        }
+    }
+
+    #[test]
+    fn relu_behaviour() {
+        assert_eq!(relu(-1.0), 0.0);
+        assert_eq!(relu(2.5), 2.5);
+        assert_eq!(relu_deriv(-1.0), 0.0);
+        assert_eq!(relu_deriv(1.0), 1.0);
+        assert_eq!(relu_deriv(0.0), 0.0);
+    }
+
+    #[test]
+    fn slice_activations() {
+        let mut xs = vec![0.0, 100.0];
+        sigmoid_slice(&mut xs);
+        assert!(approx_eq(xs[0], 0.5, 1e-6));
+        assert!(xs[1] > 0.999);
+        let mut ys = vec![0.0, 1.0];
+        tanh_slice(&mut ys);
+        assert!(approx_eq(ys[1], 1.0f32.tanh(), 1e-6));
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut xs = vec![1.0, 2.0, 3.0];
+        softmax_slice(&mut xs);
+        assert!(approx_eq(xs.iter().sum::<f32>(), 1.0, 1e-6));
+        assert!(xs[2] > xs[1] && xs[1] > xs[0]);
+    }
+
+    #[test]
+    fn softmax_handles_large_inputs() {
+        let mut xs = vec![1000.0, 1000.0];
+        softmax_slice(&mut xs);
+        assert!(approx_eq(xs[0], 0.5, 1e-6));
+        assert!(xs.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn softmax_empty_noop() {
+        let mut xs: Vec<f32> = vec![];
+        softmax_slice(&mut xs);
+        assert!(xs.is_empty());
+    }
+
+    #[test]
+    fn cross_entropy_perfect_prediction_is_zero() {
+        assert!(approx_eq(cross_entropy(&[0.0, 1.0], 1), 0.0, 1e-6));
+        assert!(cross_entropy(&[0.5, 0.5], 0) > 0.6);
+        // clamp prevents infinity
+        assert!(cross_entropy(&[0.0, 1.0], 0).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "target class out of range")]
+    fn cross_entropy_bad_target_panics() {
+        cross_entropy(&[1.0], 3);
+    }
+}

@@ -1,0 +1,286 @@
+//! Software IEEE 754 binary16 ("half precision").
+//!
+//! Table II of the paper notes "Our GPU implementation uses 16-bit floating
+//! point". The mobile-GPU inference path of this reproduction converts
+//! weights and activations through [`F16`] so both the *numerics* (rounding
+//! to 11-bit significands) and the *bandwidth halving* that the simulator's
+//! memory model charges for are faithful to that setting.
+//!
+//! The conversion implements round-to-nearest-even, gradual underflow to
+//! subnormals, and saturating overflow to ±∞, matching hardware `f32`→`f16`
+//! conversion instructions.
+
+use std::fmt;
+
+/// IEEE 754 binary16 value stored as its raw bit pattern.
+///
+/// # Example
+///
+/// ```
+/// use rtm_tensor::F16;
+///
+/// let h = F16::from_f32(1.5);
+/// assert_eq!(h.to_f32(), 1.5);
+/// // 2^-20 is subnormal in f16 but still representable
+/// assert_eq!(F16::from_f32(2.0_f32.powi(-20)).to_f32(), 2.0_f32.powi(-20));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct F16(u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// The largest finite f16, 65504.
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// One canonical quiet NaN.
+    pub const NAN: F16 = F16(0x7E00);
+
+    /// Constructs from a raw bit pattern.
+    pub fn from_bits(bits: u16) -> F16 {
+        F16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` with round-to-nearest-even.
+    pub fn from_f32(value: f32) -> F16 {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mant = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN.
+            return if mant == 0 {
+                F16(sign | 0x7C00)
+            } else {
+                // Preserve a NaN payload bit so NaN stays NaN.
+                F16(sign | 0x7C00 | 0x0200 | ((mant >> 13) as u16 & 0x03FF))
+            };
+        }
+
+        // Unbiased exponent.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            // Overflow -> infinity.
+            return F16(sign | 0x7C00);
+        }
+        if unbiased >= -14 {
+            // Normal range. 10-bit mantissa from 23-bit with RNE.
+            let half_exp = ((unbiased + 15) as u16) << 10;
+            let shifted = mant >> 13;
+            let round_bits = mant & 0x1FFF;
+            let mut out = sign | half_exp | (shifted as u16);
+            // round-to-nearest-even on the dropped 13 bits
+            if round_bits > 0x1000 || (round_bits == 0x1000 && (shifted & 1) == 1) {
+                out = out.wrapping_add(1); // may carry into exponent; that is correct
+            }
+            return F16(out);
+        }
+        if unbiased >= -24 {
+            // Subnormal range: implicit leading 1 becomes explicit.
+            let full_mant = mant | 0x0080_0000;
+            let shift = (-14 - unbiased) as u32 + 13;
+            let shifted = full_mant >> shift;
+            let round_mask = (1u32 << shift) - 1;
+            let round_bits = full_mant & round_mask;
+            let halfway = 1u32 << (shift - 1);
+            let mut out = sign | (shifted as u16);
+            if round_bits > halfway || (round_bits == halfway && (shifted & 1) == 1) {
+                out = out.wrapping_add(1);
+            }
+            return F16(out);
+        }
+        // Underflow to signed zero.
+        F16(sign)
+    }
+
+    /// Converts back to `f32` (exact; every f16 is representable in f32).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = ((self.0 >> 10) & 0x1F) as u32;
+        let mant = (self.0 & 0x03FF) as u32;
+
+        let bits = if exp == 0 {
+            if mant == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal: normalize. After shifting the leading 1 up to
+                // bit 10, the unbiased exponent is -14 - shifts.
+                let mut e = 0i32;
+                let mut m = mant;
+                while m & 0x0400 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                m &= 0x03FF;
+                let f32_exp = ((e + 1 - 15 + 127) as u32) << 23;
+                sign | f32_exp | (m << 13)
+            }
+        } else if exp == 0x1F {
+            if mant == 0 {
+                sign | 0x7F80_0000 // infinity
+            } else {
+                sign | 0x7FC0_0000 | (mant << 13) // NaN
+            }
+        } else {
+            let f32_exp = (exp + 127 - 15) << 23;
+            sign | f32_exp | (mant << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Returns `true` for either NaN encoding.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    /// Returns `true` for ±∞.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(v: f32) -> F16 {
+        F16::from_f32(v)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(h: F16) -> f32 {
+        h.to_f32()
+    }
+}
+
+/// Rounds an `f32` through f16 precision, i.e. `F16::from_f32(x).to_f32()`.
+///
+/// Used by the GPU inference path to model a 16-bit datapath while keeping
+/// buffers in `f32` for convenience.
+pub fn quantize_f16(x: f32) -> f32 {
+    F16::from_f32(x).to_f32()
+}
+
+/// Quantizes every element of a slice through f16 precision in place.
+pub fn quantize_f16_slice(xs: &mut [f32]) {
+    for x in xs {
+        *x = quantize_f16(*x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for i in -2048..=2048 {
+            let v = i as f32;
+            assert_eq!(F16::from_f32(v).to_f32(), v, "value {v}");
+        }
+    }
+
+    #[test]
+    fn powers_of_two_roundtrip() {
+        for e in -24..=15 {
+            let v = 2.0f32.powi(e);
+            assert_eq!(F16::from_f32(v).to_f32(), v, "2^{e}");
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert!(F16::from_f32(70000.0).is_infinite());
+        assert!(F16::from_f32(-70000.0).is_infinite());
+        assert_eq!(F16::from_f32(65504.0), F16::MAX);
+    }
+
+    #[test]
+    fn underflow_to_zero() {
+        assert_eq!(F16::from_f32(1e-30).to_f32(), 0.0);
+        // signed zero preserved
+        assert_eq!(F16::from_f32(-1e-30).to_bits(), 0x8000);
+    }
+
+    #[test]
+    fn subnormals_representable() {
+        // Smallest positive subnormal is 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).to_bits(), 1);
+        assert_eq!(F16::from_bits(1).to_f32(), tiny);
+    }
+
+    #[test]
+    fn nan_and_infinity_preserved() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::INFINITY).is_infinite());
+        assert!(F16::from_f32(f32::NEG_INFINITY).is_infinite());
+        assert!(F16::NAN.to_f32().is_nan());
+        assert_eq!(F16::INFINITY.to_f32(), f32::INFINITY);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16 (1 + 2^-10);
+        // RNE picks the even mantissa, i.e. 1.0.
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(halfway).to_f32(), 1.0);
+        // Slightly above halfway rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(F16::from_f32(above).to_f32(), 1.0 + 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn rounding_carry_into_exponent() {
+        // The largest f16 mantissa rounding up must carry into the exponent:
+        // nextafter(2.0, 0) in f16 is 2 - 2^-10; a value just above
+        // 2 - 2^-11 rounds to 2.0.
+        let v = 2.0 - 2.0f32.powi(-11) + 1e-6;
+        assert_eq!(F16::from_f32(v).to_f32(), 2.0);
+    }
+
+    #[test]
+    fn quantize_helpers() {
+        let mut xs = vec![1.0 / 3.0, 0.1];
+        quantize_f16_slice(&mut xs);
+        // Quantized values differ from f32 originals but are close.
+        assert!((xs[0] - 1.0 / 3.0).abs() < 1e-3);
+        assert!((xs[1] - 0.1).abs() < 1e-3);
+        assert_eq!(quantize_f16(xs[0]), xs[0], "already quantized is a fixpoint");
+    }
+
+    #[test]
+    fn relative_error_bounded_for_normals() {
+        // Machine epsilon for f16 is 2^-10; RNE halves it.
+        let mut x = 1.0f32;
+        while x < 1000.0 {
+            let q = quantize_f16(x * 1.000_3);
+            let rel = ((q - x * 1.000_3) / (x * 1.000_3)).abs();
+            assert!(rel <= 2.0f32.powi(-11) + 1e-7, "x={x} rel={rel}");
+            x *= 1.7;
+        }
+    }
+
+    #[test]
+    fn display_shows_value() {
+        assert_eq!(format!("{}", F16::from_f32(1.5)), "1.5");
+    }
+
+    #[test]
+    fn conversion_traits() {
+        let h: F16 = 2.0f32.into();
+        let back: f32 = h.into();
+        assert_eq!(back, 2.0);
+    }
+}

@@ -1,0 +1,294 @@
+//! Dense matrix-multiply kernels.
+//!
+//! Three kernels are provided:
+//!
+//! * [`matmul`] — naive triple loop in `ikj` order (row-major friendly);
+//! * [`matmul_blocked`] — cache-blocked variant used by the dense CPU
+//!   baseline in the benchmarks;
+//! * [`gemv`] / [`gemv_transposed`] — matrix-vector products, the inner
+//!   operation of every RNN time step.
+//!
+//! The simulator crate does not *run* these for its timing model (it models
+//! cycles analytically), but the accuracy experiments do, so correctness here
+//! is load-bearing for Table I.
+
+use crate::matrix::{Matrix, ShapeError};
+
+/// Default cache-block edge for [`matmul_blocked`]; 64×64 f32 tiles fit
+/// comfortably in a typical mobile L1 (16 KiB per tile operand).
+pub const DEFAULT_BLOCK: usize = 64;
+
+/// `C = A * B` with the naive `ikj` loop order.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `a.cols() != b.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use rtm_tensor::{Matrix, gemm};
+///
+/// # fn main() -> Result<(), rtm_tensor::ShapeError> {
+/// let a = Matrix::from_rows(&[&[1.0, 2.0]])?;
+/// let b = Matrix::from_rows(&[&[3.0], &[4.0]])?;
+/// let c = gemm::matmul(&a, &b)?;
+/// assert_eq!(c[(0, 0)], 11.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn matmul(a: &Matrix, b: &Matrix) -> Result<Matrix, ShapeError> {
+    if a.cols() != b.rows() {
+        return Err(ShapeError {
+            op: "matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        for (p, &aip) in a_row.iter().enumerate().take(k) {
+            if aip == 0.0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            let c_row = c.row_mut(i);
+            for (cij, &bpj) in c_row.iter_mut().zip(b_row).take(n) {
+                *cij += aip * bpj;
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// `C = A * B` with square cache blocking of edge `block`.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `a.cols() != b.rows()`.
+///
+/// # Panics
+///
+/// Panics if `block == 0`.
+pub fn matmul_blocked(a: &Matrix, b: &Matrix, block: usize) -> Result<Matrix, ShapeError> {
+    assert!(block > 0, "block size must be positive");
+    if a.cols() != b.rows() {
+        return Err(ShapeError {
+            op: "matmul_blocked",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for ii in (0..m).step_by(block) {
+        let i_end = (ii + block).min(m);
+        for pp in (0..k).step_by(block) {
+            let p_end = (pp + block).min(k);
+            for jj in (0..n).step_by(block) {
+                let j_end = (jj + block).min(n);
+                for i in ii..i_end {
+                    let a_row = a.row(i);
+                    for (p, &aip) in a_row.iter().enumerate().take(p_end).skip(pp) {
+                        if aip == 0.0 {
+                            continue;
+                        }
+                        let b_row = b.row(p);
+                        let c_row = c.row_mut(i);
+                        for j in jj..j_end {
+                            c_row[j] += aip * b_row[j];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(c)
+}
+
+/// `y = A * x` (matrix-vector product).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `a.cols() != x.len()`.
+pub fn gemv(a: &Matrix, x: &[f32]) -> Result<Vec<f32>, ShapeError> {
+    if a.cols() != x.len() {
+        return Err(ShapeError {
+            op: "gemv",
+            lhs: a.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    let mut y = vec![0.0f32; a.rows()];
+    for (i, yi) in y.iter_mut().enumerate() {
+        let row = a.row(i);
+        let mut acc = 0.0f32;
+        for (&w, &v) in row.iter().zip(x) {
+            acc += w * v;
+        }
+        *yi = acc;
+    }
+    Ok(y)
+}
+
+/// `y = Aᵀ * x` without materializing the transpose.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `a.rows() != x.len()`.
+pub fn gemv_transposed(a: &Matrix, x: &[f32]) -> Result<Vec<f32>, ShapeError> {
+    if a.rows() != x.len() {
+        return Err(ShapeError {
+            op: "gemv_transposed",
+            lhs: a.shape(),
+            rhs: (x.len(), 1),
+        });
+    }
+    let mut y = vec![0.0f32; a.cols()];
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        let row = a.row(i);
+        for (yj, &aij) in y.iter_mut().zip(row) {
+            *yj += xi * aij;
+        }
+    }
+    Ok(y)
+}
+
+/// Rank-1 update `A += alpha * x * yᵀ` (outer product accumulate), the
+/// gradient shape of every weight matrix in backpropagation.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `a.shape() != (x.len(), y.len())`.
+pub fn ger(a: &mut Matrix, alpha: f32, x: &[f32], y: &[f32]) -> Result<(), ShapeError> {
+    if a.shape() != (x.len(), y.len()) {
+        return Err(ShapeError {
+            op: "ger",
+            lhs: a.shape(),
+            rhs: (x.len(), y.len()),
+        });
+    }
+    for (i, &xi) in x.iter().enumerate() {
+        if xi == 0.0 {
+            continue;
+        }
+        let row = a.row_mut(i);
+        let s = alpha * xi;
+        for (aij, &yj) in row.iter_mut().zip(y) {
+            *aij += s * yj;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn seq_matrix(r: usize, c: usize) -> Matrix {
+        Matrix::from_fn(r, c, |i, j| (i * c + j) as f32 + 1.0)
+    }
+
+    #[test]
+    fn matmul_small_known() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]).unwrap());
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = seq_matrix(4, 4);
+        assert_eq!(matmul(&a, &Matrix::identity(4)).unwrap(), a);
+        assert_eq!(matmul(&Matrix::identity(4), &a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_shape_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn blocked_matches_naive() {
+        let a = seq_matrix(17, 23);
+        let b = seq_matrix(23, 11);
+        let naive = matmul(&a, &b).unwrap();
+        for block in [1, 3, 8, 64, 100] {
+            let blocked = matmul_blocked(&a, &b, block).unwrap();
+            for (x, y) in naive.as_slice().iter().zip(blocked.as_slice()) {
+                assert!(approx_eq(*x, *y, 1e-2), "block={block}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block size must be positive")]
+    fn blocked_zero_block_panics() {
+        let _ = matmul_blocked(&Matrix::zeros(1, 1), &Matrix::zeros(1, 1), 0);
+    }
+
+    #[test]
+    fn gemv_matches_matmul() {
+        let a = seq_matrix(5, 7);
+        let x: Vec<f32> = (0..7).map(|i| i as f32 * 0.5).collect();
+        let xm = Matrix::from_vec(7, 1, x.clone()).unwrap();
+        let want = matmul(&a, &xm).unwrap();
+        let got = gemv(&a, &x).unwrap();
+        for i in 0..5 {
+            assert!(approx_eq(got[i], want[(i, 0)], 1e-4));
+        }
+    }
+
+    #[test]
+    fn gemv_shape_error() {
+        assert!(gemv(&Matrix::zeros(2, 3), &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn gemv_transposed_matches_explicit_transpose() {
+        let a = seq_matrix(5, 7);
+        let x: Vec<f32> = (0..5).map(|i| i as f32 - 2.0).collect();
+        let want = gemv(&a.transposed(), &x).unwrap();
+        let got = gemv_transposed(&a, &x).unwrap();
+        for (w, g) in want.iter().zip(&got) {
+            assert!(approx_eq(*w, *g, 1e-4));
+        }
+    }
+
+    #[test]
+    fn ger_outer_product() {
+        let mut a = Matrix::zeros(2, 3);
+        ger(&mut a, 2.0, &[1.0, 2.0], &[1.0, 0.5, 0.0]).unwrap();
+        assert_eq!(a[(0, 0)], 2.0);
+        assert_eq!(a[(0, 1)], 1.0);
+        assert_eq!(a[(1, 0)], 4.0);
+        assert_eq!(a[(1, 2)], 0.0);
+        assert!(ger(&mut a, 1.0, &[1.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn matmul_skips_zeros_consistently() {
+        // The zero-skip fast path must not change results.
+        let mut a = seq_matrix(6, 6);
+        for i in 0..6 {
+            a[(i, i)] = 0.0;
+        }
+        let b = seq_matrix(6, 6);
+        let dense = matmul(&a, &b).unwrap();
+        let blocked = matmul_blocked(&a, &b, 4).unwrap();
+        for (x, y) in dense.as_slice().iter().zip(blocked.as_slice()) {
+            assert!(approx_eq(*x, *y, 1e-3));
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Seeded weight initializers.
+//!
+//! Every stochastic component in the workspace takes an explicit `u64` seed so
+//! each experiment (Table I training runs in particular) is reproducible.
+//! The distributions are the standard deep-learning choices:
+//!
+//! * [`xavier_uniform`] — `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`,
+//!   the default for sigmoid/tanh gates (GRU);
+//! * [`he_normal`] — `N(0, sqrt(2 / fan_in))`, for ReLU layers;
+//! * [`uniform`] — plain `U(lo, hi)` for synthetic data.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG from a seed.
+///
+/// All crates in the workspace obtain their RNGs through this helper so the
+/// stream implementation can be swapped in one place.
+pub fn rng_from_seed(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Xavier/Glorot uniform initialization for a `rows`×`cols` matrix.
+///
+/// Bound is `sqrt(6 / (fan_in + fan_out))` with `fan_in = cols`,
+/// `fan_out = rows` (the matrix maps a `cols`-vector to a `rows`-vector).
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let fan_sum = (rows + cols).max(1) as f32;
+    let a = (6.0 / fan_sum).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..=a))
+}
+
+/// He/Kaiming normal initialization (`N(0, sqrt(2/fan_in))`), via Box-Muller.
+pub fn he_normal(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+    let std = (2.0 / cols.max(1) as f32).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| std * standard_normal(rng))
+}
+
+/// Uniform `U(lo, hi)` matrix.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+pub fn uniform(rows: usize, cols: usize, lo: f32, hi: f32, rng: &mut StdRng) -> Matrix {
+    assert!(lo <= hi, "uniform: lo must not exceed hi");
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(lo..=hi))
+}
+
+/// One sample from the standard normal distribution via Box-Muller.
+pub fn standard_normal(rng: &mut StdRng) -> f32 {
+    loop {
+        let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+        let u2: f32 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos();
+        if z.is_finite() {
+            return z;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut r1 = rng_from_seed(42);
+        let mut r2 = rng_from_seed(42);
+        let a = xavier_uniform(4, 4, &mut r1);
+        let b = xavier_uniform(4, 4, &mut r2);
+        assert_eq!(a, b);
+        let mut r3 = rng_from_seed(43);
+        let c = xavier_uniform(4, 4, &mut r3);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = rng_from_seed(7);
+        let m = xavier_uniform(100, 50, &mut rng);
+        let bound = (6.0f32 / 150.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() <= bound + 1e-6));
+        // Not all zero.
+        assert!(m.frobenius_norm() > 0.0);
+    }
+
+    #[test]
+    fn he_normal_statistics() {
+        let mut rng = rng_from_seed(11);
+        let m = he_normal(64, 128, &mut rng);
+        let n = m.len() as f32;
+        let mean = m.sum() / n;
+        let var = m.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
+        let want_std = (2.0f32 / 128.0).sqrt();
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var.sqrt() - want_std).abs() < 0.02, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_range() {
+        let mut rng = rng_from_seed(3);
+        let m = uniform(10, 10, -2.0, 3.0, &mut rng);
+        assert!(m.as_slice().iter().all(|&v| (-2.0..=3.0).contains(&v)));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo must not exceed hi")]
+    fn uniform_bad_range_panics() {
+        let mut rng = rng_from_seed(0);
+        uniform(1, 1, 1.0, 0.0, &mut rng);
+    }
+
+    #[test]
+    fn standard_normal_is_finite() {
+        let mut rng = rng_from_seed(5);
+        for _ in 0..1000 {
+            assert!(standard_normal(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,704 @@
+//! Row-major dense `f32` matrix.
+//!
+//! [`Matrix`] is the workhorse container of the whole reproduction: GRU weight
+//! matrices, pruning masks (as 0/1 matrices), gradients and intermediate
+//! activations are all `Matrix` values. The representation is a flat
+//! `Vec<f32>` in row-major order, which keeps rows contiguous — the layout the
+//! compiler crate's row-reordering and redundant-load analyses assume.
+
+use std::error::Error;
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// Error returned when two shapes that must agree do not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    /// Human-readable operation name, e.g. `"matmul"`.
+    pub op: &'static str,
+    /// Left-hand shape involved in the mismatch.
+    pub lhs: (usize, usize),
+    /// Right-hand shape involved in the mismatch.
+    pub rhs: (usize, usize),
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "shape mismatch in {}: {}x{} vs {}x{}",
+            self.op, self.lhs.0, self.lhs.1, self.rhs.0, self.rhs.1
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+/// A dense, row-major matrix of `f32`.
+///
+/// # Example
+///
+/// ```
+/// use rtm_tensor::Matrix;
+///
+/// let mut m = Matrix::zeros(2, 3);
+/// m[(0, 1)] = 5.0;
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m.cols(), 3);
+/// assert_eq!(m[(0, 1)], 5.0);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        let max_rows = 8.min(self.rows);
+        for r in 0..max_rows {
+            let max_cols = 8.min(self.cols);
+            write!(f, "  [")?;
+            for c in 0..max_cols {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.4}", self[(r, c)])?;
+            }
+            if self.cols > max_cols {
+                write!(f, ", ...")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > max_rows {
+            writeln!(f, "  ...")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Default for Matrix {
+    fn default() -> Self {
+        Matrix::zeros(0, 0)
+    }
+}
+
+impl Matrix {
+    /// Creates a `rows`×`cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates a `rows`×`cols` matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Creates an `n`×`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a flat row-major vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Result<Self, ShapeError> {
+        if data.len() != rows * cols {
+            return Err(ShapeError {
+                op: "from_vec",
+                lhs: (rows, cols),
+                rhs: (data.len(), 1),
+            });
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when rows have differing lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Result<Self, ShapeError> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(ShapeError {
+                    op: "from_rows",
+                    lhs: (r, c),
+                    rhs: (r, row.len()),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Matrix { rows: r, cols: c, data })
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the matrix holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing row-major storage.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing row-major storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix, returning its backing storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Immutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        assert!(r < self.rows, "row {} out of bounds for {} rows", r, self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable view of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        assert!(r < self.rows, "row {} out of bounds for {} rows", r, self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Copies column `c` into a new vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.cols()`.
+    pub fn col(&self, c: usize) -> Vec<f32> {
+        assert!(c < self.cols, "col {} out of bounds for {} cols", c, self.cols);
+        (0..self.rows).map(|r| self[(r, c)]).collect()
+    }
+
+    /// Checked element access.
+    pub fn get(&self, r: usize, c: usize) -> Option<f32> {
+        if r < self.rows && c < self.cols {
+            Some(self.data[r * self.cols + c])
+        } else {
+            None
+        }
+    }
+
+    /// Iterates over `(row, col, value)` triples in row-major order.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i / cols, i % cols, v))
+    }
+
+    /// Returns the transpose.
+    pub fn transposed(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise combination of two equally-shaped matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes differ.
+    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Result<Matrix, ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError {
+                op: "zip_map",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes differ.
+    pub fn hadamard(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale_inplace(&mut self, s: f32) {
+        for v in &mut self.data {
+            *v *= s;
+        }
+    }
+
+    /// `self += alpha * other`, the BLAS `axpy` shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Matrix) -> Result<(), ShapeError> {
+        if self.shape() != other.shape() {
+            return Err(ShapeError {
+                op: "axpy",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        for (v, &o) in self.data.iter_mut().zip(&other.data) {
+            *v += alpha * o;
+        }
+        Ok(())
+    }
+
+    /// Frobenius norm, `sqrt(sum of squares)`.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Number of nonzero elements (exact zero comparison; pruning writes
+    /// literal `0.0`).
+    pub fn count_nonzero(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Fraction of elements that are exactly zero, in `[0, 1]`.
+    pub fn sparsity(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        1.0 - self.count_nonzero() as f64 / self.data.len() as f64
+    }
+
+    /// Extracts the sub-matrix `rows_range × cols_range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ranges exceed the matrix bounds.
+    pub fn submatrix(
+        &self,
+        row_start: usize,
+        row_end: usize,
+        col_start: usize,
+        col_end: usize,
+    ) -> Matrix {
+        assert!(row_start <= row_end && row_end <= self.rows, "row range out of bounds");
+        assert!(col_start <= col_end && col_end <= self.cols, "col range out of bounds");
+        Matrix::from_fn(row_end - row_start, col_end - col_start, |r, c| {
+            self[(row_start + r, col_start + c)]
+        })
+    }
+
+    /// Overwrites the block starting at `(row_start, col_start)` with `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block does not fit.
+    pub fn set_submatrix(&mut self, row_start: usize, col_start: usize, block: &Matrix) {
+        assert!(row_start + block.rows <= self.rows, "block rows exceed matrix");
+        assert!(col_start + block.cols <= self.cols, "block cols exceed matrix");
+        for r in 0..block.rows {
+            for c in 0..block.cols {
+                self[(row_start + r, col_start + c)] = block[(r, c)];
+            }
+        }
+    }
+
+    /// Vertical concatenation `[self; other]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when column counts differ.
+    pub fn vstack(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.cols != other.cols {
+            return Err(ShapeError {
+                op: "vstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut data = self.data.clone();
+        data.extend_from_slice(&other.data);
+        Ok(Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Horizontal concatenation `[self, other]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when row counts differ.
+    pub fn hstack(&self, other: &Matrix) -> Result<Matrix, ShapeError> {
+        if self.rows != other.rows {
+            return Err(ShapeError {
+                op: "hstack",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
+        for r in 0..self.rows {
+            out.row_mut(r)[..self.cols].copy_from_slice(self.row(r));
+            out.row_mut(r)[self.cols..].copy_from_slice(other.row(r));
+        }
+        Ok(out)
+    }
+
+    /// Returns a copy with the rows permuted so output row `i` is input row
+    /// `perm[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != self.rows()` or any index is out of bounds.
+    pub fn permute_rows(&self, perm: &[usize]) -> Matrix {
+        assert_eq!(perm.len(), self.rows, "permutation length must equal row count");
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for (dst, &src) in perm.iter().enumerate() {
+            assert!(src < self.rows, "permutation index out of bounds");
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Index of the maximum element of row `r` (ties break to the first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= self.rows()` or the matrix has zero columns.
+    pub fn row_argmax(&self, r: usize) -> usize {
+        let row = self.row(r);
+        assert!(!row.is_empty(), "argmax of empty row");
+        let mut best = 0;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics when shapes differ; use [`Matrix::zip_map`] for a fallible path.
+    fn add(self, rhs: &Matrix) -> Matrix {
+        self.zip_map(rhs, |a, b| a + b).expect("add: shape mismatch")
+    }
+}
+
+impl Sub<&Matrix> for &Matrix {
+    type Output = Matrix;
+
+    /// # Panics
+    ///
+    /// Panics when shapes differ; use [`Matrix::zip_map`] for a fallible path.
+    fn sub(self, rhs: &Matrix) -> Matrix {
+        self.zip_map(rhs, |a, b| a - b).expect("sub: shape mismatch")
+    }
+}
+
+impl AddAssign<&Matrix> for Matrix {
+    fn add_assign(&mut self, rhs: &Matrix) {
+        self.axpy(1.0, rhs).expect("add_assign: shape mismatch");
+    }
+}
+
+impl SubAssign<&Matrix> for Matrix {
+    fn sub_assign(&mut self, rhs: &Matrix) {
+        self.axpy(-1.0, rhs).expect("sub_assign: shape mismatch");
+    }
+}
+
+impl Mul<f32> for &Matrix {
+    type Output = Matrix;
+
+    fn mul(self, s: f32) -> Matrix {
+        self.map(|v| v * s)
+    }
+}
+
+impl Neg for &Matrix {
+    type Output = Matrix;
+
+    fn neg(self) -> Matrix {
+        self.map(|v| -v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m = Matrix::zeros(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert_eq!(m.len(), 12);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_diagonal() {
+        let m = Matrix::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(m[(r, c)], if r == c { 1.0 } else { 0.0 });
+            }
+        }
+    }
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Matrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        let err = Matrix::from_vec(2, 2, vec![1.0; 3]).unwrap_err();
+        assert_eq!(err.op, "from_vec");
+    }
+
+    #[test]
+    fn from_rows_ragged_rejected() {
+        let err = Matrix::from_rows(&[&[1.0, 2.0], &[3.0]]).unwrap_err();
+        assert_eq!(err.op, "from_rows");
+    }
+
+    #[test]
+    fn indexing_row_major() {
+        let m = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(m[(0, 0)], 1.0);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.col(1), vec![2.0, 5.0]);
+    }
+
+    #[test]
+    fn get_bounds() {
+        let m = Matrix::zeros(2, 2);
+        assert_eq!(m.get(1, 1), Some(0.0));
+        assert_eq!(m.get(2, 0), None);
+        assert_eq!(m.get(0, 2), None);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32);
+        let t = m.transposed();
+        assert_eq!(t.shape(), (5, 3));
+        assert_eq!(t[(4, 2)], m[(2, 4)]);
+        assert_eq!(t.transposed(), m);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = Matrix::filled(2, 2, 2.0);
+        let b = Matrix::filled(2, 2, 3.0);
+        assert_eq!(a.map(|v| v * v).sum(), 16.0);
+        assert_eq!(a.hadamard(&b).unwrap().sum(), 24.0);
+        assert!(a.zip_map(&Matrix::zeros(2, 3), |x, _| x).is_err());
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        assert_eq!((&a + &b).sum(), 12.0);
+        assert_eq!((&b - &a).sum(), 4.0);
+        assert_eq!((&a * 3.0).sum(), 12.0);
+        assert_eq!((-&a).sum(), -4.0);
+        let mut c = a.clone();
+        c += &b;
+        assert_eq!(c.sum(), 12.0);
+        c -= &b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 10.0);
+        a.axpy(0.5, &b).unwrap();
+        assert_eq!(a.sum(), 24.0);
+    }
+
+    #[test]
+    fn norms_and_sparsity() {
+        let m = Matrix::from_vec(1, 4, vec![3.0, 0.0, 4.0, 0.0]).unwrap();
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-6);
+        assert_eq!(m.count_nonzero(), 2);
+        assert!((m.sparsity() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn submatrix_and_set() {
+        let m = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let s = m.submatrix(1, 3, 2, 4);
+        assert_eq!(s.shape(), (2, 2));
+        assert_eq!(s[(0, 0)], m[(1, 2)]);
+        let mut n = Matrix::zeros(4, 4);
+        n.set_submatrix(1, 2, &s);
+        assert_eq!(n[(1, 2)], m[(1, 2)]);
+        assert_eq!(n[(2, 3)], m[(2, 3)]);
+        assert_eq!(n[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn stack_operations() {
+        let a = Matrix::filled(1, 2, 1.0);
+        let b = Matrix::filled(1, 2, 2.0);
+        let v = a.vstack(&b).unwrap();
+        assert_eq!(v.shape(), (2, 2));
+        assert_eq!(v[(1, 0)], 2.0);
+        let h = a.hstack(&b).unwrap();
+        assert_eq!(h.shape(), (1, 4));
+        assert_eq!(h[(0, 3)], 2.0);
+        assert!(a.vstack(&Matrix::zeros(1, 3)).is_err());
+        assert!(a.hstack(&Matrix::zeros(2, 2)).is_err());
+    }
+
+    #[test]
+    fn permute_rows_reorders() {
+        let m = Matrix::from_rows(&[&[0.0], &[1.0], &[2.0]]).unwrap();
+        let p = m.permute_rows(&[2, 0, 1]);
+        assert_eq!(p.col(0), vec![2.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn row_argmax_first_tie() {
+        let m = Matrix::from_rows(&[&[1.0, 3.0, 3.0, 0.0]]).unwrap();
+        assert_eq!(m.row_argmax(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = Matrix::zeros(1, 1);
+        let _ = m[(1, 0)];
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = format!("{:?}", Matrix::zeros(1, 1));
+        assert!(s.contains("Matrix 1x1"));
+    }
+
+    #[test]
+    fn iter_entries_row_major() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let entries: Vec<_> = m.iter_entries().collect();
+        assert_eq!(entries[0], (0, 0, 1.0));
+        assert_eq!(entries[1], (0, 1, 2.0));
+        assert_eq!(entries[2], (1, 0, 3.0));
+        assert_eq!(entries[3], (1, 1, 4.0));
+    }
+}

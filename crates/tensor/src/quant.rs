@@ -1,0 +1,194 @@
+//! Symmetric per-tensor int8 weight quantization.
+//!
+//! DESIGN.md §6 lists a "quantized int8 CPU path as a what-if study": mobile
+//! CPUs execute int8 dot products at twice the fp32 rate and quarter the
+//! weight traffic, at the cost of quantization error. [`QuantizedMatrix`]
+//! implements the standard symmetric scheme — `q = round(w / scale)` with
+//! `scale = max|w| / 127` — with dequantizing GEMV for the functional
+//! runtime and exact error-bound accounting for the tests.
+
+use crate::matrix::{Matrix, ShapeError};
+
+/// A matrix quantized to int8 with one symmetric scale per tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    scale: f32,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes `m` symmetrically: `scale = max|w| / 127`,
+    /// `q = round(w / scale)` clamped to `[-127, 127]`.
+    ///
+    /// An all-zero matrix gets scale 1.0 (every entry quantizes to 0).
+    pub fn quantize(m: &Matrix) -> QuantizedMatrix {
+        let max_abs = m
+            .as_slice()
+            .iter()
+            .fold(0.0f32, |acc, v| acc.max(v.abs()));
+        let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+        let data = m
+            .as_slice()
+            .iter()
+            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        QuantizedMatrix {
+            rows: m.rows(),
+            cols: m.cols(),
+            data,
+            scale,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The symmetric scale factor.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// The raw int8 payload (row-major).
+    pub fn as_i8_slice(&self) -> &[i8] {
+        &self.data
+    }
+
+    /// Storage bytes: one per weight plus the 4-byte scale.
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len() + 4
+    }
+
+    /// Dequantizes back to f32.
+    pub fn dequantize(&self) -> Matrix {
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&q| q as f32 * self.scale).collect(),
+        )
+        .expect("shape preserved")
+    }
+
+    /// `y = Q x` with int32 accumulation per row and one final scale —
+    /// the int8 kernel shape mobile CPUs execute (SDOT-style).
+    ///
+    /// The *input* stays f32 here (weight-only quantization); each product
+    /// accumulates `q_ij * x_j` in f32 after an exact i32 → f32 widening of
+    /// the weight.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x.len() != self.cols()`.
+    pub fn gemv(&self, x: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        if x.len() != self.cols {
+            return Err(ShapeError {
+                op: "quantized_gemv",
+                lhs: (self.rows, self.cols),
+                rhs: (x.len(), 1),
+            });
+        }
+        let mut y = vec![0.0f32; self.rows];
+        for (r, yr) in y.iter_mut().enumerate() {
+            let row = &self.data[r * self.cols..(r + 1) * self.cols];
+            let mut acc = 0.0f32;
+            for (&q, &xv) in row.iter().zip(x) {
+                acc += q as f32 * xv;
+            }
+            *yr = acc * self.scale;
+        }
+        Ok(y)
+    }
+
+    /// The worst-case absolute quantization error per weight: half a
+    /// quantization step.
+    pub fn error_bound(&self) -> f32 {
+        self.scale * 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_error_bounded() {
+        let mut rng = crate::init::rng_from_seed(3);
+        let m = crate::init::uniform(16, 16, -2.0, 2.0, &mut rng);
+        let q = QuantizedMatrix::quantize(&m);
+        let d = q.dequantize();
+        let bound = q.error_bound() + 1e-6;
+        for (a, b) in m.as_slice().iter().zip(d.as_slice()) {
+            assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn extremes_map_to_127() {
+        let m = Matrix::from_rows(&[&[2.0, -2.0, 0.0]]).unwrap();
+        let q = QuantizedMatrix::quantize(&m);
+        assert_eq!(q.as_i8_slice(), &[127, -127, 0]);
+        assert!((q.scale() - 2.0 / 127.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_matrix_safe() {
+        let q = QuantizedMatrix::quantize(&Matrix::zeros(3, 3));
+        assert_eq!(q.scale(), 1.0);
+        assert_eq!(q.dequantize(), Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    fn gemv_close_to_f32() {
+        let mut rng = crate::init::rng_from_seed(7);
+        let m = crate::init::uniform(8, 12, -1.0, 1.0, &mut rng);
+        let q = QuantizedMatrix::quantize(&m);
+        let x: Vec<f32> = (0..12).map(|i| (i as f32 * 0.3).cos()).collect();
+        let exact = crate::gemm::gemv(&m, &x).unwrap();
+        let approx = q.gemv(&x).unwrap();
+        // Worst case error: cols * error_bound * max|x|.
+        let bound = 12.0 * q.error_bound() * 1.0 + 1e-4;
+        for (a, b) in exact.iter().zip(&approx) {
+            assert!((a - b).abs() <= bound, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn gemv_shape_error() {
+        let q = QuantizedMatrix::quantize(&Matrix::zeros(2, 3));
+        assert!(q.gemv(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn storage_is_one_byte_per_weight() {
+        let q = QuantizedMatrix::quantize(&Matrix::zeros(10, 10));
+        assert_eq!(q.storage_bytes(), 104);
+        assert_eq!(q.rows(), 10);
+        assert_eq!(q.cols(), 10);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_quantization_contract(seed in 0u64..300) {
+            let mut rng = crate::init::rng_from_seed(seed);
+            let m = crate::init::uniform(6, 6, -3.0, 3.0, &mut rng);
+            let q = QuantizedMatrix::quantize(&m);
+            let d = q.dequantize();
+            // Error bounded and zeros preserved exactly.
+            for (a, b) in m.as_slice().iter().zip(d.as_slice()) {
+                prop_assert!((a - b).abs() <= q.error_bound() + 1e-6);
+                if *a == 0.0 {
+                    prop_assert_eq!(*b, 0.0);
+                }
+            }
+        }
+    }
+}

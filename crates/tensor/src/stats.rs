@@ -1,0 +1,150 @@
+//! Norms, top-k selection and summary statistics over matrices.
+//!
+//! These are the primitives the ADMM projections in `rtm-pruning` are built
+//! from: BSP step 1 keeps the top-k *column norms inside each block*, step 2
+//! keeps the top-k *row norms of the whole matrix*; the baselines use
+//! element magnitudes or bank-local magnitudes. Keeping the selection logic
+//! here lets the pruning crate stay purely about mask policy.
+
+use crate::matrix::Matrix;
+
+/// L2 norm of every row; `out[r] = ||W[r, :]||₂`.
+pub fn row_norms(m: &Matrix) -> Vec<f32> {
+    (0..m.rows())
+        .map(|r| m.row(r).iter().map(|v| v * v).sum::<f32>().sqrt())
+        .collect()
+}
+
+/// L2 norm of every column; `out[c] = ||W[:, c]||₂`.
+pub fn col_norms(m: &Matrix) -> Vec<f32> {
+    let mut sums = vec![0.0f32; m.cols()];
+    for r in 0..m.rows() {
+        for (c, &v) in m.row(r).iter().enumerate() {
+            sums[c] += v * v;
+        }
+    }
+    sums.into_iter().map(f32::sqrt).collect()
+}
+
+/// L2 norms of the columns of a sub-block `rows × [col_start, col_end)`.
+pub fn block_col_norms(m: &Matrix, row_start: usize, row_end: usize, col_start: usize, col_end: usize) -> Vec<f32> {
+    let mut sums = vec![0.0f32; col_end - col_start];
+    for r in row_start..row_end {
+        let row = m.row(r);
+        for (i, c) in (col_start..col_end).enumerate() {
+            sums[i] += row[c] * row[c];
+        }
+    }
+    sums.into_iter().map(f32::sqrt).collect()
+}
+
+/// Indices of the `k` largest values of `scores`, in descending score order.
+///
+/// Ties break toward the lower index so the result is deterministic.
+/// When `k >= scores.len()` all indices are returned.
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k.min(scores.len()));
+    idx
+}
+
+/// The `k`-th largest absolute value of a matrix (1-indexed: `k = 1` gives
+/// the max). Returns `0.0` for `k = 0` or an empty matrix.
+///
+/// Used by magnitude pruning to derive a global threshold.
+pub fn kth_largest_abs(m: &Matrix, k: usize) -> f32 {
+    if k == 0 || m.is_empty() {
+        return 0.0;
+    }
+    let mut mags: Vec<f32> = m.as_slice().iter().map(|v| v.abs()).collect();
+    let k = k.min(mags.len());
+    // Select the k-th largest (0-indexed k-1 in descending order).
+    let target = k - 1;
+    mags.select_nth_unstable_by(target, |a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    mags[target]
+}
+
+/// Mean and (population) variance of all elements.
+pub fn mean_var(m: &Matrix) -> (f32, f32) {
+    if m.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = m.len() as f32;
+    let mean = m.sum() / n;
+    let var = m.as_slice().iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n;
+    (mean, var)
+}
+
+/// Histogram of row nonzero counts, used by the compiler's reorder analysis
+/// to estimate thread-divergence before and after grouping.
+pub fn row_nnz_histogram(m: &Matrix) -> Vec<usize> {
+    (0..m.rows())
+        .map(|r| m.row(r).iter().filter(|&&v| v != 0.0).count())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn row_and_col_norms() {
+        let m = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]).unwrap();
+        assert_eq!(row_norms(&m), vec![3.0, 4.0]);
+        assert_eq!(col_norms(&m), vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn block_col_norms_subrange() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 2.0], &[0.0, 2.0, 1.0]]).unwrap();
+        // Columns 1..3 over both rows: col1 = sqrt(4+4), col2 = sqrt(4+1)
+        let norms = block_col_norms(&m, 0, 2, 1, 3);
+        assert!(approx_eq(norms[0], 8.0f32.sqrt(), 1e-6));
+        assert!(approx_eq(norms[1], 5.0f32.sqrt(), 1e-6));
+        // Row-restricted block.
+        let norms = block_col_norms(&m, 1, 2, 0, 3);
+        assert_eq!(norms, vec![0.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn top_k_descending_with_ties() {
+        let scores = [1.0, 3.0, 3.0, 2.0];
+        assert_eq!(top_k_indices(&scores, 2), vec![1, 2]);
+        assert_eq!(top_k_indices(&scores, 10), vec![1, 2, 3, 0]);
+        assert!(top_k_indices(&scores, 0).is_empty());
+        assert!(top_k_indices(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn kth_largest_magnitude() {
+        let m = Matrix::from_vec(1, 5, vec![-5.0, 1.0, 3.0, -2.0, 4.0]).unwrap();
+        assert_eq!(kth_largest_abs(&m, 1), 5.0);
+        assert_eq!(kth_largest_abs(&m, 2), 4.0);
+        assert_eq!(kth_largest_abs(&m, 5), 1.0);
+        assert_eq!(kth_largest_abs(&m, 100), 1.0);
+        assert_eq!(kth_largest_abs(&m, 0), 0.0);
+        assert_eq!(kth_largest_abs(&Matrix::zeros(0, 0), 1), 0.0);
+    }
+
+    #[test]
+    fn mean_var_known() {
+        let m = Matrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let (mean, var) = mean_var(&m);
+        assert!(approx_eq(mean, 2.5, 1e-6));
+        assert!(approx_eq(var, 1.25, 1e-6));
+        assert_eq!(mean_var(&Matrix::zeros(0, 0)), (0.0, 0.0));
+    }
+
+    #[test]
+    fn nnz_histogram() {
+        let m = Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 0.0, 0.0]]).unwrap();
+        assert_eq!(row_nnz_histogram(&m), vec![2, 0]);
+    }
+}

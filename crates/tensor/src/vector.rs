@@ -1,0 +1,169 @@
+//! Dense `f32` vector helpers.
+//!
+//! RNN state vectors (hidden state, gates, feature frames) are plain
+//! `Vec<f32>` values throughout the workspace; [`Vector`] collects the small
+//! set of operations they need — dot products, axpy, norms, argmax — as free
+//! functions on slices so callers never have to wrap their buffers.
+
+/// Namespace struct for vector operations on `&[f32]` slices.
+///
+/// All functions are associated so call-sites read as `Vector::dot(a, b)`.
+///
+/// # Example
+///
+/// ```
+/// use rtm_tensor::Vector;
+///
+/// let d = Vector::dot(&[1.0, 2.0], &[3.0, 4.0]);
+/// assert_eq!(d, 11.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Vector;
+
+impl Vector {
+    /// Dot product of two equally-long slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        assert_eq!(a.len(), b.len(), "dot: length mismatch");
+        a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+    }
+
+    /// `y += alpha * x` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+        for (yi, &xi) in y.iter_mut().zip(x) {
+            *yi += alpha * xi;
+        }
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(a: &[f32]) -> f32 {
+        a.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Scales every element in place.
+    pub fn scale(a: &mut [f32], s: f32) {
+        for v in a {
+            *v *= s;
+        }
+    }
+
+    /// Element-wise sum into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn add(a: &[f32], b: &[f32]) -> Vec<f32> {
+        assert_eq!(a.len(), b.len(), "add: length mismatch");
+        a.iter().zip(b).map(|(&x, &y)| x + y).collect()
+    }
+
+    /// Element-wise difference `a - b` into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn sub(a: &[f32], b: &[f32]) -> Vec<f32> {
+        assert_eq!(a.len(), b.len(), "sub: length mismatch");
+        a.iter().zip(b).map(|(&x, &y)| x - y).collect()
+    }
+
+    /// Element-wise (Hadamard) product into a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hadamard(a: &[f32], b: &[f32]) -> Vec<f32> {
+        assert_eq!(a.len(), b.len(), "hadamard: length mismatch");
+        a.iter().zip(b).map(|(&x, &y)| x * y).collect()
+    }
+
+    /// Index of the maximum element (ties break to the first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn argmax(a: &[f32]) -> usize {
+        assert!(!a.is_empty(), "argmax of empty slice");
+        let mut best = 0;
+        for (i, &v) in a.iter().enumerate() {
+            if v > a[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Maximum element value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn max(a: &[f32]) -> f32 {
+        a[Self::argmax(a)]
+    }
+
+    /// Arithmetic mean; `0.0` for an empty slice.
+    pub fn mean(a: &[f32]) -> f32 {
+        if a.is_empty() {
+            0.0
+        } else {
+            a.iter().sum::<f32>() / a.len() as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(Vector::dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(Vector::dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_len_mismatch() {
+        Vector::dot(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn axpy_updates_in_place() {
+        let mut y = vec![1.0, 1.0];
+        Vector::axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn norm_pythagorean() {
+        assert!((Vector::norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        assert_eq!(Vector::norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        assert_eq!(Vector::add(&[1.0, 2.0], &[3.0, 4.0]), vec![4.0, 6.0]);
+        assert_eq!(Vector::sub(&[3.0, 4.0], &[1.0, 2.0]), vec![2.0, 2.0]);
+        assert_eq!(Vector::hadamard(&[2.0, 3.0], &[4.0, 5.0]), vec![8.0, 15.0]);
+        let mut a = vec![1.0, 2.0];
+        Vector::scale(&mut a, 3.0);
+        assert_eq!(a, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn argmax_and_mean() {
+        assert_eq!(Vector::argmax(&[1.0, 5.0, 5.0, 2.0]), 1);
+        assert_eq!(Vector::max(&[1.0, 5.0, 2.0]), 5.0);
+        assert_eq!(Vector::mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(Vector::mean(&[]), 0.0);
+    }
+}

@@ -1,0 +1,92 @@
+//! Auto-tuner exploration: the offline execution-configuration search of
+//! §IV-B, driven by the simulator's cost model.
+//!
+//! ```text
+//! cargo run --release --example autotune_explore
+//! ```
+//!
+//! Tunes one pruned paper-scale GRU kernel over the full GPU plan grid,
+//! prints the best plan and a top-5 leaderboard, then runs the paper's
+//! "best block size" search with a combined accuracy/latency objective.
+
+use rtm_compiler::profile::KernelProfile;
+use rtm_compiler::tuner::{tune, tune_block_size, TuningSpace};
+use rtm_sim::{GpuModel, GruWorkload, InferenceSim};
+
+fn main() {
+    // The layer-0 recurrent matrix of the paper-scale model, pruned 29x.
+    let workload = GruWorkload::with_bsp_pattern(40, 1024, 2, 16.0, 2.0, 8, 8, 3);
+    let matrix = workload.matrices[1].clone();
+    let gpu = GpuModel::adreno640();
+
+    println!(
+        "Tuning a {}x{} kernel at {:.1}x compression over the GPU plan grid...",
+        matrix.rows(),
+        matrix.cols(),
+        workload.compression_rate()
+    );
+    let space = TuningSpace::gpu_default();
+    let result = tune(&space, |plan| {
+        gpu.kernel_cost(&KernelProfile::analyze(&matrix, plan), plan)
+            .total_us()
+    });
+
+    let mut ranked = result.trace.clone();
+    ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
+    println!("evaluated {} candidate plans; top 5:", ranked.len());
+    for (plan, cost) in ranked.iter().take(5) {
+        println!(
+            "  {:>7.2} us  fmt {:<5} tile {:>3}x{:<3} unroll {} threads {:>3} placement {:?} bsp {}x{}",
+            cost,
+            plan.format.to_string(),
+            plan.tile_rows,
+            plan.tile_cols,
+            plan.unroll,
+            plan.threads,
+            plan.input_placement,
+            plan.bsp_stripes,
+            plan.bsp_blocks,
+        );
+    }
+    println!(
+        "best: {} at {:.2} us ({}x faster than the worst candidate)\n",
+        result.best.format,
+        result.best_cost,
+        (ranked.last().expect("nonempty").1 / result.best_cost).round()
+    );
+
+    // "In particular, we employ it to find the best block size that results
+    // in an optimal combination of accuracy and performance" — latency from
+    // the simulator plus a coarseness penalty standing in for the accuracy
+    // loss of coarser partitions (coarser blocks constrain the mask more).
+    let sim = InferenceSim::new();
+    let partitions: Vec<(usize, usize)> = vec![(2, 2), (4, 4), (8, 8), (16, 8), (16, 16)];
+    println!("block-size search with a combined accuracy+latency objective:");
+    let ((s, b), cost) = tune_block_size(&partitions, |s, b| {
+        let w = GruWorkload::with_bsp_pattern(40, 1024, 2, 16.0, 2.0, s, b, 3);
+        let plan = rtm_compiler::plan::ExecutionPlan::gpu_default(
+            rtm_compiler::plan::StorageFormat::Bspc,
+        )
+        .with_bsp_partition(s, b);
+        let latency = sim.run_frame(&w, &plan).time_us;
+        // Coarseness proxy: fewer, larger blocks = stiffer masks = more
+        // accuracy loss. Weighted to trade ~1 us per granularity step.
+        let coarseness_penalty = 120.0 / (s * b) as f64;
+        latency + coarseness_penalty
+    });
+    for &(ps, pb) in &partitions {
+        let w = GruWorkload::with_bsp_pattern(40, 1024, 2, 16.0, 2.0, ps, pb, 3);
+        let plan = rtm_compiler::plan::ExecutionPlan::gpu_default(
+            rtm_compiler::plan::StorageFormat::Bspc,
+        )
+        .with_bsp_partition(ps, pb);
+        println!(
+            "  {}x{:<2} -> latency {:>6.1} us + accuracy-proxy {:>5.1}",
+            ps,
+            pb,
+            sim.run_frame(&w, &plan).time_us,
+            120.0 / (ps * pb) as f64
+        );
+    }
+    println!("tuner pick: {s}x{b} at combined cost {cost:.1}");
+}

@@ -1,0 +1,43 @@
+//! Kernel code generation showcase: print the OpenCL-C kernels the compiler
+//! emits for a BSP-pruned layer under the three storage formats.
+//!
+//! ```text
+//! cargo run --release --example codegen_dump
+//! ```
+
+use rtm_compiler::codegen::generate;
+use rtm_compiler::plan::{ExecutionPlan, StorageFormat};
+use rtm_tensor::Matrix;
+
+fn main() {
+    // A small BSP-pruned matrix so the emitted source stays readable:
+    // 4 stripes of 4 rows; stripe s keeps the columns congruent to s mod 4.
+    let w = Matrix::from_fn(16, 16, |r, c| {
+        let stripe = r / 4;
+        if r != 9 && c % 4 == stripe {
+            0.1 + (r * 16 + c) as f32 * 0.01
+        } else {
+            0.0
+        }
+    });
+
+    for (title, plan) in [
+        (
+            "BSPC (reorder + RLE, fp16)",
+            ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(4, 4),
+        ),
+        ("CSR (fp16)", ExecutionPlan::gpu_default(StorageFormat::Csr)),
+        (
+            "dense (fp16)",
+            ExecutionPlan::gpu_default(StorageFormat::Dense).without_optimizations(),
+        ),
+    ] {
+        let kernel = generate(&w, &plan, "gru_spmv");
+        println!("=== {title} ===");
+        println!(
+            "launch: global {} / local {}",
+            kernel.global_work_size, kernel.local_work_size
+        );
+        println!("{}", kernel.source);
+    }
+}

@@ -1,0 +1,95 @@
+//! Streaming assistant: the paper's application scenario end-to-end.
+//!
+//! ```text
+//! cargo run --release --example streaming_assistant
+//! ```
+//!
+//! A voice assistant must transcribe *live* audio: frames arrive every 10 ms
+//! and the recognizer must keep up ("real-time RNN inference on mobile
+//! platforms", §I). This example:
+//!
+//! 1. trains and BSP-prunes a recognizer on the synthetic task;
+//! 2. decodes a held-out utterance with the Viterbi-smoothed decoder;
+//! 3. prices the paper-scale workload as a *stream* on the simulated GPU —
+//!    queueing latency, real-time factor and sustainable concurrent streams
+//!    at the dense and 29× operating points.
+
+use rtm_compiler::plan::{ExecutionPlan, StorageFormat};
+use rtm_pruning::admm::AdmmConfig;
+use rtm_pruning::bsp::{BspConfig, BspPruner};
+use rtm_pruning::schedule::CompressionTarget;
+use rtm_sim::{GruWorkload, RealTimeReport, StreamingSim};
+use rtm_speech::corpus::CorpusConfig;
+use rtm_speech::decode::viterbi_decode;
+use rtm_speech::phones;
+use rtm_speech::task::SpeechTask;
+
+fn spell(seq: &[usize]) -> String {
+    seq.iter().map(|&p| phones::label(p)).collect::<Vec<_>>().join(" ")
+}
+
+fn main() {
+    // --- Accuracy side: a pruned recognizer that still transcribes. ---
+    let task = SpeechTask::new(
+        &CorpusConfig {
+            speakers: 16,
+            noise: 0.4,
+            ..CorpusConfig::default_scaled()
+        },
+        21,
+    );
+    println!("Training + BSP-pruning the recognizer (4x cols)...");
+    let mut net = task.new_network(64, 21);
+    task.train(&mut net, 20, 8e-3);
+    BspPruner::new(BspConfig {
+        num_stripes: 4,
+        num_blocks: 2,
+        target: CompressionTarget::new(4.0, 1.0),
+        admm: AdmmConfig {
+            rho: 2.0,
+            admm_iterations: 2,
+            epochs_per_iteration: 5,
+            finetune_epochs: 15,
+            lr: 3e-3,
+            clip: Some(rtm_rnn::GradClip::new(5.0)),
+        },
+    })
+    .prune(&mut net, &task.training_data());
+
+    let utterance = task.test_utterances()[0];
+    let logits = net.forward(&utterance.frames);
+    println!("  reference : {}", spell(&utterance.phones));
+    println!("  decoded   : {}", spell(&viterbi_decode(&logits, 2.5)));
+    println!();
+
+    // --- Performance side: stream the paper-scale model. ---
+    let sim = StreamingSim::new();
+    for (label, col, row, dense) in [
+        ("dense 1x", 1.0, 1.0, true),
+        ("pruned 29x", 16.0, 2.0, false),
+    ] {
+        let w = GruWorkload::with_bsp_pattern(40, 1024, 2, col, row, 8, 8, 21);
+        let plan = if dense {
+            ExecutionPlan::gpu_default(StorageFormat::Dense).without_optimizations()
+        } else {
+            ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8)
+        };
+        let stream = sim.run(&w, &plan, 100);
+        let frame = sim.inner.run_frame(&w, &plan);
+        let rt = RealTimeReport::analyze(&w, &frame);
+        println!(
+            "{label:<11}: {} | service {:.1} us per {:.0} us of audio | RTF {:.5} | \
+             max latency {:.1} us | {} concurrent streams",
+            if stream.stable { "stable" } else { "OVERLOADED" },
+            stream.service_us,
+            stream.period_us,
+            rt.rtf,
+            stream.max_latency_us,
+            rt.concurrent_streams,
+        );
+    }
+    println!();
+    println!("Both operating points are real-time on the simulated GPU; compression turns");
+    println!("single-stream headroom into three-orders-of-magnitude concurrency — the");
+    println!("sense in which RTMobile is 'beyond real-time'.");
+}

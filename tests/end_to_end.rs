@@ -1,0 +1,219 @@
+//! End-to-end integration tests spanning every crate: corpus → training →
+//! BSP/ADMM pruning → BSPC compilation → functional sparse inference →
+//! simulated mobile performance.
+//!
+//! These run the same flows the table-regeneration binaries use, at small
+//! scale, and assert the *shape* claims of the paper hold through the whole
+//! stack (not just within one crate).
+
+use rtm_compiler::plan::{ExecutionPlan, StorageFormat};
+use rtm_pruning::admm::AdmmConfig;
+use rtm_pruning::bsp::{BspConfig, BspPruner};
+use rtm_pruning::schedule::CompressionTarget;
+use rtm_sim::{EseReference, GruWorkload, InferenceSim};
+use rtm_speech::corpus::CorpusConfig;
+use rtm_speech::per::PerReport;
+use rtm_speech::task::SpeechTask;
+use rtmobile::deploy::{CompiledNetwork, RuntimePrecision};
+use rtmobile::RtMobile;
+
+fn quick_admm() -> AdmmConfig {
+    AdmmConfig {
+        rho: 2.0,
+        admm_iterations: 1,
+        epochs_per_iteration: 3,
+        finetune_epochs: 6,
+        lr: 4e-3,
+        clip: Some(rtm_rnn::GradClip::new(5.0)),
+    }
+}
+
+fn quick_corpus() -> CorpusConfig {
+    CorpusConfig {
+        speakers: 12,
+        sentences_per_speaker: 3,
+        phones_per_sentence: 5,
+        noise: 0.35,
+        ..CorpusConfig::default_scaled()
+    }
+}
+
+/// Train → prune → compile → sparse inference agrees with dense inference.
+#[test]
+fn pruned_model_runs_identically_through_the_compiled_runtime() {
+    let task = SpeechTask::new(&quick_corpus(), 99);
+    let mut net = task.new_network(24, 99);
+    task.train(&mut net, 8, 0.01);
+
+    let pruner = BspPruner::new(BspConfig {
+        num_stripes: 4,
+        num_blocks: 4,
+        target: CompressionTarget::new(4.0, 1.0),
+        admm: quick_admm(),
+    });
+    pruner.prune(&mut net, &task.training_data());
+
+    let compiled = CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F32)
+        .expect("partition fits");
+    for u in task.test_utterances().into_iter().take(4) {
+        let dense = net.forward(&u.frames);
+        let sparse = compiled.forward(&u.frames);
+        for (d, s) in dense.iter().zip(&sparse) {
+            for (a, b) in d.iter().zip(s) {
+                assert!((a - b).abs() < 1e-4, "compiled runtime must match dense: {a} vs {b}");
+            }
+        }
+    }
+}
+
+/// The headline claim at small scale: moderate BSP compression keeps PER
+/// close to the dense baseline while extreme compression degrades it.
+#[test]
+fn per_degradation_grows_with_compression() {
+    let task = SpeechTask::new(&quick_corpus(), 5);
+    let mut dense = task.new_network(48, 5);
+    task.train(&mut dense, 20, 8e-3);
+    let base = task.evaluate(&dense).per_percent();
+
+    let per_at = |col: f64, row: f64| -> f64 {
+        let mut net = dense.clone();
+        let pruner = BspPruner::new(BspConfig {
+            num_stripes: 4,
+            num_blocks: 4,
+            target: CompressionTarget::new(col, row),
+            admm: quick_admm(),
+        });
+        pruner.prune(&mut net, &task.training_data());
+        task.evaluate(&net).per_percent()
+    };
+
+    let light = per_at(2.0, 1.0);
+    let heavy = per_at(12.0, 4.0);
+    assert!(
+        light - base < 12.0,
+        "light pruning should stay near baseline: {base} -> {light}"
+    );
+    assert!(
+        heavy > light,
+        "heavy pruning must degrade more: light {light} vs heavy {heavy}"
+    );
+}
+
+/// BSP beats the coarse structured baseline at a comparable rate —
+/// Table I's central ordering.
+#[test]
+fn bsp_beats_coarse_structured_at_same_rate() {
+    let task = SpeechTask::new(&quick_corpus(), 21);
+    let mut dense = task.new_network(48, 21);
+    task.train(&mut dense, 20, 8e-3);
+
+    // BSP at 4x (2x cols x 2x rows within blocks).
+    let mut bsp_net = dense.clone();
+    BspPruner::new(BspConfig {
+        num_stripes: 4,
+        num_blocks: 4,
+        target: CompressionTarget::new(2.0, 2.0),
+        admm: quick_admm(),
+    })
+    .prune(&mut bsp_net, &task.training_data());
+    let bsp_per = task.evaluate(&bsp_net).per_percent();
+
+    // Wang-style whole-column + whole-row at the same nominal 4x.
+    let mut coarse_net = dense.clone();
+    rtm_pruning::baselines::prune_column_row(
+        &mut coarse_net,
+        &task.training_data(),
+        2.0,
+        2.0,
+        quick_admm(),
+    );
+    let coarse_per = task.evaluate(&coarse_net).per_percent();
+
+    assert!(
+        bsp_per <= coarse_per + 1.0,
+        "BSP ({bsp_per:.2}%) must not lose to coarse structured ({coarse_per:.2}%) at equal rate"
+    );
+}
+
+/// The full builder pipeline produces a coherent report and the simulated
+/// performance side shows the Table II orderings.
+#[test]
+fn pipeline_report_is_coherent() {
+    let report = RtMobile::builder()
+        .corpus(quick_corpus())
+        .hidden(24)
+        .dense_training(8, 0.01)
+        .compression(4.0, 2.0)
+        .partition(4, 4)
+        .admm(quick_admm())
+        .sim_hidden(256)
+        .seed(3)
+        .run();
+
+    let a = &report.accuracy;
+    assert!(a.achieved_rate > 3.0, "achieved {}", a.achieved_rate);
+    assert!(a.kept_params < a.total_params);
+    assert!(a.baseline_per >= 0.0 && a.pruned_per >= 0.0);
+    // f16 runtime is close to the pruned f32 accuracy.
+    assert!((a.compiled_f16_per - a.pruned_per).abs() < 20.0);
+
+    let p = &report.performance;
+    assert!(p.gpu.time_us < p.cpu.time_us, "GPU faster than CPU");
+    assert!(p.gpu.efficiency_vs_ese > p.cpu.efficiency_vs_ese * 0.5);
+    assert!(p.storage_bytes_f16 > 0);
+    assert!(report.render().contains("RTMobile pipeline report"));
+}
+
+/// Figure 4's saturation and Table II's ESE crossover, through the public
+/// sim API at paper scale.
+#[test]
+fn speedup_saturates_and_crosses_ese() {
+    let sim = InferenceSim::new();
+    let plan = ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8);
+    let dense_plan = ExecutionPlan::gpu_default(StorageFormat::Dense).without_optimizations();
+
+    let time_at = |col: f64, row: f64, dense: bool| -> f64 {
+        let w = GruWorkload::with_bsp_pattern(40, 1024, 2, col, row, 8, 8, 1);
+        sim.run_frame(&w, if dense { &dense_plan } else { &plan }).time_us
+    };
+
+    let dense = time_at(1.0, 1.0, true);
+    let mid = time_at(16.0, 2.0, false);
+    let high = time_at(15.3, 16.0, false); // ~245x
+    let extreme = time_at(15.0, 20.0, false); // ~301x
+
+    // Monotone decline...
+    assert!(dense > mid && mid > high, "{dense} > {mid} > {high}");
+    // ...with saturation at the end (Figure 4).
+    assert!(high / extreme < 1.3, "saturation: {high} vs {extreme}");
+    // ESE-latency crossover near 245x (within 2x, per EXPERIMENTS.md).
+    let ese = EseReference::paper().time_per_frame_us;
+    assert!(high < 2.0 * ese, "GPU at ~245x ({high}) must be near ESE ({ese})");
+    // Dense is dramatically slower — the >30x headline speedup range.
+    assert!(dense / high > 20.0, "speedup {}", dense / high);
+}
+
+/// The f16 compiled path preserves task accuracy relative to f32 — the
+/// paper's 16-bit GPU inference is accuracy-safe.
+#[test]
+fn f16_runtime_accuracy_matches_f32() {
+    let task = SpeechTask::new(&quick_corpus(), 13);
+    let mut net = task.new_network(24, 13);
+    task.train(&mut net, 10, 0.01);
+
+    let f32_rt = CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F32).expect("fits");
+    let f16_rt = CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F16).expect("fits");
+
+    let mut r32 = PerReport::default();
+    let mut r16 = PerReport::default();
+    for u in task.test_utterances() {
+        r32.add(&f32_rt.predict(&u.frames), &u.labels, &u.phones);
+        r16.add(&f16_rt.predict(&u.frames), &u.labels, &u.phones);
+    }
+    assert!(
+        (r32.per_percent() - r16.per_percent()).abs() < 5.0,
+        "f32 {:.2}% vs f16 {:.2}%",
+        r32.per_percent(),
+        r16.per_percent()
+    );
+}
