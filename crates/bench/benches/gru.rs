@@ -34,7 +34,11 @@ fn setup() -> (GruNetwork, GruNetwork, Vec<Vec<f32>>) {
     })
     .prune(&mut pruned, &[]);
     let frames: Vec<Vec<f32>> = (0..32)
-        .map(|t| (0..16).map(|i| ((t * 16 + i) as f32 * 0.05).sin()).collect())
+        .map(|t| {
+            (0..16)
+                .map(|i| ((t * 16 + i) as f32 * 0.05).sin())
+                .collect()
+        })
         .collect();
     (dense, pruned, frames)
 }

@@ -79,5 +79,10 @@ fn bench_f16_conversion(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_spmv_formats, bench_gemm, bench_f16_conversion);
+criterion_group!(
+    benches,
+    bench_spmv_formats,
+    bench_gemm,
+    bench_f16_conversion
+);
 criterion_main!(benches);

@@ -224,8 +224,14 @@ fn ablate_trace() {
     let sim = InferenceSim::new();
     let w = workload();
     for (label, plan) in [
-        ("GPU/BSPC", ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8)),
-        ("CPU/BSPC", ExecutionPlan::cpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8)),
+        (
+            "GPU/BSPC",
+            ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8),
+        ),
+        (
+            "CPU/BSPC",
+            ExecutionPlan::cpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8),
+        ),
     ] {
         let (report, trace) = sim.run_frame_traced(&w, &plan);
         println!("{label}: frame {:.1} us", report.time_us);
@@ -264,7 +270,9 @@ fn ablate_tuner() {
     let space = tuner::TuningSpace::gpu_default();
     let result = tuner::tune(&space, |plan| {
         let profile = KernelProfile::analyze(&m, plan);
-        rtm_sim::GpuModel::adreno640().kernel_cost(&profile, plan).total_us()
+        rtm_sim::GpuModel::adreno640()
+            .kernel_cost(&profile, plan)
+            .total_us()
     });
     println!(
         "plan-space search over {} candidates: best format {}, tile {}x{}, {} threads ({:.2} us)",

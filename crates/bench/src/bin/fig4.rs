@@ -83,7 +83,12 @@ fn main() {
         rows.push((rate, gpu_dense / g, cpu_dense / c));
         csv_rows.push(format!(
             "{:.1},{:.1},{:.2},{:.1},{:.2},{:.3}",
-            rate, g, gpu_dense / g, c, cpu_dense / c, g / ese
+            rate,
+            g,
+            gpu_dense / g,
+            c,
+            cpu_dense / c,
+            g / ese
         ));
     }
     println!("{}", rule(74));
@@ -99,10 +104,7 @@ fn main() {
     // ASCII rendering of the two speedup series.
     println!();
     println!("Speedup vs compression rate (G = GPU series, C = CPU series):");
-    let max_speedup = rows
-        .iter()
-        .map(|r| r.1.max(r.2))
-        .fold(1.0f64, f64::max);
+    let max_speedup = rows.iter().map(|r| r.1.max(r.2)).fold(1.0f64, f64::max);
     let height = 16usize;
     for level in (1..=height).rev() {
         let threshold = max_speedup * level as f64 / height as f64;

@@ -18,7 +18,9 @@
 //! small after aggressive pruning has real seed variance, and the
 //! multi-seed view separates trend from noise (runtime scales with N).
 
-use rtm_bench::{admm_config, rule, speech_task, write_csv, ACC_HIDDEN, DENSE_EPOCHS, DENSE_LR, SEED};
+use rtm_bench::{
+    admm_config, rule, speech_task, write_csv, ACC_HIDDEN, DENSE_EPOCHS, DENSE_LR, SEED,
+};
 use std::sync::Mutex;
 
 /// CSV rows mirroring the printed table (collected by [`print_row`]).
@@ -57,14 +59,7 @@ fn main() {
     println!("{}", rule(w));
     println!(
         "{:<30} {:>9} {:>9} {:>9} {:>10} {:>10} | {:>11} {:>12}",
-        "Method",
-        "PER base",
-        "PER prun",
-        "Degrad.",
-        "Rate",
-        "Params",
-        "paper Degr.",
-        "paper Rate"
+        "Method", "PER base", "PER prun", "Degrad.", "Rate", "Params", "paper Degr.", "paper Rate"
     );
     println!("{}", rule(w));
 
@@ -132,7 +127,11 @@ fn main() {
         let mut net = dense.clone();
         let r = baselines::prune_block_circulant(&mut net, &data, block, admm);
         let eval = task.evaluate(&net);
-        let (paper_degr, paper_rate) = if block == 8 { (0.42, 8.0) } else { (1.33, 16.0) };
+        let (paper_degr, paper_rate) = if block == 8 {
+            (0.42, 8.0)
+        } else {
+            (1.33, 16.0)
+        };
         print_row(
             &format!("C-LSTM (circulant) {block}x"),
             baseline.per_percent(),

@@ -23,14 +23,24 @@ use rtm_sim::{GruWorkload, InferenceSim};
 const PAPER_ROWS: [(f64, f64, f64, f64, f64, f64, f64, f64, f64); 10] = [
     (1.0, 1.0, 0.58, 3590.12, 161.55, 0.88, 7130.00, 81.35, 0.25),
     (10.0, 1.0, 0.058, 495.26, 117.11, 6.35, 1210.20, 47.93, 1.48),
-    (19.0, 1.25, 0.033, 304.11, 108.51, 10.35, 709.33, 46.52, 2.52),
+    (
+        19.0, 1.25, 0.033, 304.11, 108.51, 10.35, 709.33, 46.52, 2.52,
+    ),
     (29.0, 2.0, 0.0207, 233.89, 88.29, 13.45, 464.73, 44.43, 3.85),
     (43.0, 5.0, 0.0143, 186.05, 76.86, 16.91, 344.77, 41.48, 5.19),
     (80.0, 8.0, 0.008, 130.00, 61.54, 24.2, 218.01, 36.70, 8.20),
-    (103.0, 16.0, 0.006, 109.76, 54.66, 28.67, 202.72, 29.59, 8.82),
-    (153.0, 10.0, 0.0039, 97.11, 40.16, 32.4, 170.74, 22.84, 10.47),
-    (245.0, 16.0, 0.0028, 81.64, 34.30, 38.54, 151.28, 18.51, 11.82),
-    (301.0, 20.0, 0.002, 79.13, 25.27, 39.76, 145.93, 13.71, 12.25),
+    (
+        103.0, 16.0, 0.006, 109.76, 54.66, 28.67, 202.72, 29.59, 8.82,
+    ),
+    (
+        153.0, 10.0, 0.0039, 97.11, 40.16, 32.4, 170.74, 22.84, 10.47,
+    ),
+    (
+        245.0, 16.0, 0.0028, 81.64, 34.30, 38.54, 151.28, 18.51, 11.82,
+    ),
+    (
+        301.0, 20.0, 0.002, 79.13, 25.27, 39.76, 145.93, 13.71, 12.25,
+    ),
 ];
 
 fn main() {
@@ -54,9 +64,8 @@ fn main() {
     let mut csv_rows: Vec<String> = Vec::new();
     for &(overall, row_rate, p_gop, p_gt, p_ggops, p_geff, p_ct, p_cgops, p_ceff) in &PAPER_ROWS {
         let col_rate = (overall / row_rate).max(1.0);
-        let workload = GruWorkload::with_bsp_pattern(
-            40, SIM_HIDDEN, 2, col_rate, row_rate, 8, 8, SEED,
-        );
+        let workload =
+            GruWorkload::with_bsp_pattern(40, SIM_HIDDEN, 2, col_rate, row_rate, 8, 8, SEED);
         let (gpu_plan, cpu_plan) = if overall <= 1.0 {
             (
                 ExecutionPlan::gpu_default(StorageFormat::Dense).without_optimizations(),

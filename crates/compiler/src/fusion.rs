@@ -110,7 +110,7 @@ mod tests {
         let a = Matrix::filled(1, 2, 1.0);
         let b = Matrix::filled(4, 2, 2.0);
         let fused = FusedMatrix::stack(&[&a, &b]).expect("same cols");
-        let parts = fused.split_output(&vec![9.0; 5]);
+        let parts = fused.split_output(&[9.0; 5]);
         assert_eq!(parts[0].len(), 1);
         assert_eq!(parts[1].len(), 4);
     }
@@ -144,7 +144,11 @@ mod tests {
         let bspc = rtm_sparse::BspcMatrix::from_dense(&fused.matrix, 6, 2).expect("fits");
         assert_eq!(bspc.to_dense(), fused.matrix);
         for s in 0..6 {
-            assert_eq!(bspc.stripe_kept_cols(s).len(), 2, "stripe {s} keeps 2 of 8 cols");
+            assert_eq!(
+                bspc.stripe_kept_cols(s).len(),
+                2,
+                "stripe {s} keeps 2 of 8 cols"
+            );
         }
     }
 }

@@ -190,8 +190,12 @@ mod tests {
 
     #[test]
     fn defaults_validate() {
-        assert!(ExecutionPlan::gpu_default(StorageFormat::Bspc).validate().is_ok());
-        assert!(ExecutionPlan::cpu_default(StorageFormat::Csr).validate().is_ok());
+        assert!(ExecutionPlan::gpu_default(StorageFormat::Bspc)
+            .validate()
+            .is_ok());
+        assert!(ExecutionPlan::cpu_default(StorageFormat::Csr)
+            .validate()
+            .is_ok());
         // Dense default plans must not claim RLE.
         let dense = ExecutionPlan::gpu_default(StorageFormat::Dense);
         assert!(dense.validate().is_err());

@@ -71,8 +71,7 @@ impl KernelProfile {
 
         let nnz: usize = base_nnz.iter().sum();
 
-        let (stored_nnz, value_bytes, index_bytes, index_decodes, input_loads) = match plan.format
-        {
+        let (stored_nnz, value_bytes, index_bytes, index_decodes, input_loads) = match plan.format {
             StorageFormat::Dense => {
                 let fp = Footprint::dense(w, plan.precision);
                 let loads = match plan.input_placement {
@@ -98,8 +97,8 @@ impl KernelProfile {
             StorageFormat::Bspc => {
                 let stripes = plan.bsp_stripes.min(rows.max(1));
                 let blocks = plan.bsp_blocks.min(cols.max(1));
-                let bspc = BspcMatrix::from_dense(w, stripes, blocks)
-                    .expect("partition clamped to shape");
+                let bspc =
+                    BspcMatrix::from_dense(w, stripes, blocks).expect("partition clamped to shape");
                 let fp = Footprint::bspc(&bspc, plan.precision);
                 let loads = if plan.use_rle {
                     // With reorder + shared patterns, every thread group
@@ -119,7 +118,13 @@ impl KernelProfile {
                 };
                 // One shared index stream per stripe: decode cost is the
                 // index words, not one per nonzero.
-                (bspc.stored_len(), fp.value_bytes, fp.index_bytes, bspc.index_words(), loads)
+                (
+                    bspc.stored_len(),
+                    fp.value_bytes,
+                    fp.index_bytes,
+                    bspc.index_words(),
+                    loads,
+                )
             }
         };
 

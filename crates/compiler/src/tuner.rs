@@ -15,7 +15,7 @@
 //! continuous-ish knobs.
 
 use crate::plan::{ExecutionPlan, InputPlacement, StorageFormat, Target};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// The discrete plan grid the tuner explores.
 #[derive(Debug, Clone, PartialEq)]
@@ -141,16 +141,19 @@ pub struct TuningResult {
 /// NaN for every candidate.
 pub fn tune(space: &TuningSpace, cost: impl Fn(&ExecutionPlan) -> f64 + Sync) -> TuningResult {
     let candidates = space.candidates();
-    assert!(!candidates.is_empty(), "tuning space has no valid candidates");
+    assert!(
+        !candidates.is_empty(),
+        "tuning space has no valid candidates"
+    );
 
     let trace: Mutex<Vec<(ExecutionPlan, f64)>> = Mutex::new(Vec::with_capacity(candidates.len()));
     // The spaces are small; evaluate serially for determinism of the trace
     // order, which tests rely on. (Costs are pure functions of the plan.)
     for plan in &candidates {
         let c = cost(plan);
-        trace.lock().push((*plan, c));
+        trace.lock().expect("no poisoned lock").push((*plan, c));
     }
-    let trace = trace.into_inner();
+    let trace = trace.into_inner().expect("no poisoned lock");
 
     let (best, best_cost) = trace
         .iter()

@@ -1,0 +1,317 @@
+//! Persistent worker pool over `std::thread` + channels.
+//!
+//! The registry is unreachable in this build environment, so the pool is
+//! built on `std` only: one long-lived thread per worker slot, each fed
+//! through its own `mpsc` channel, with a shared completion channel back to
+//! the caller. A batch submitted through [`WorkerPool::run`] is executed
+//! with the *caller participating* — slot 0 runs inline on the calling
+//! thread — so `threads = 1` degenerates to a plain serial loop with zero
+//! dispatch traffic, and `threads = n` occupies exactly `n` OS threads.
+//!
+//! Tasks borrow the caller's stack (matrix, input, output slices). The pool
+//! erases those lifetimes to ship the closures across the channel, which is
+//! sound because `run` does not return until every dispatched task has
+//! reported completion — the borrows strictly outlive their use. A panic
+//! inside any task is caught on the worker, reported over the completion
+//! channel, and re-raised on the caller *after* the batch has fully
+//! drained, so no task is ever left running against freed stack memory.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+/// A unit of work submitted to the pool: a closure that may borrow from the
+/// caller's stack for the duration of the batch.
+pub type Task<'a> = Box<dyn FnOnce() + Send + 'a>;
+
+type StaticTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent pool of `threads - 1` worker threads plus the caller.
+///
+/// Dropping the pool shuts the workers down cleanly (their channels close,
+/// their loops end, and the threads are joined).
+#[derive(Debug)]
+pub struct WorkerPool {
+    threads: usize,
+    workers: Vec<Worker>,
+    done_rx: Receiver<Option<String>>,
+    _done_tx: Sender<Option<String>>,
+}
+
+#[derive(Debug)]
+struct Worker {
+    tx: Option<Sender<StaticTask>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Creates a pool that executes batches on `threads` OS threads
+    /// (`threads - 1` workers plus the caller). `threads` is clamped to at
+    /// least 1.
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.max(1);
+        let (done_tx, done_rx) = channel::<Option<String>>();
+        let workers = (1..threads)
+            .map(|slot| {
+                let (tx, rx) = channel::<StaticTask>();
+                let done = done_tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("rtm-exec-{slot}"))
+                    .spawn(move || {
+                        while let Ok(task) = rx.recv() {
+                            let outcome = catch_unwind(AssertUnwindSafe(task))
+                                .err()
+                                .map(|e| panic_message(&e));
+                            if done.send(outcome).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawn worker thread");
+                Worker {
+                    tx: Some(tx),
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        WorkerPool {
+            threads,
+            workers,
+            done_rx,
+            _done_tx: done_tx,
+        }
+    }
+
+    /// Number of OS threads a batch runs on (including the caller).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Executes every task in `tasks`, returning once all have finished.
+    ///
+    /// Tasks are dealt round-robin across the thread slots; the calling
+    /// thread executes slot 0's share while the workers run theirs. Tasks
+    /// must touch disjoint data (the SpMV kernels guarantee this by
+    /// construction — disjoint output slices).
+    ///
+    /// # Panics
+    ///
+    /// Re-raises the first panic observed among the tasks, after the whole
+    /// batch has drained.
+    pub fn run(&self, tasks: Vec<Task<'_>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        if self.workers.is_empty() || tasks.len() == 1 {
+            for task in tasks {
+                task();
+            }
+            return;
+        }
+
+        let slots = self.threads;
+        let mut inline: Vec<Task<'_>> = Vec::new();
+        let mut dispatched = 0usize;
+        for (i, task) in tasks.into_iter().enumerate() {
+            let slot = i % slots;
+            if slot == 0 {
+                inline.push(task);
+            } else {
+                // SAFETY: the erased borrows live until `guard` below has
+                // drained every dispatched task — enforced even on the
+                // unwind path by `DrainGuard::drop` — so the closure never
+                // outlives what it borrows.
+                let task: StaticTask = unsafe { std::mem::transmute::<Task<'_>, StaticTask>(task) };
+                let worker = &self.workers[slot - 1];
+                worker
+                    .tx
+                    .as_ref()
+                    .expect("live worker")
+                    .send(task)
+                    .expect("worker channel open");
+                dispatched += 1;
+            }
+        }
+
+        let mut guard = DrainGuard {
+            rx: &self.done_rx,
+            remaining: dispatched,
+            first_panic: None,
+        };
+        for task in inline {
+            task();
+        }
+        guard.drain();
+        if let Some(msg) = guard.first_panic.take() {
+            panic!("worker task panicked: {msg}");
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for w in &mut self.workers {
+            w.tx.take(); // closing the channel ends the worker loop
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+/// Blocks until every dispatched task has reported in — including on the
+/// unwind path, so a panicking inline task cannot strand workers that still
+/// borrow the caller's stack.
+struct DrainGuard<'p> {
+    rx: &'p Receiver<Option<String>>,
+    remaining: usize,
+    first_panic: Option<String>,
+}
+
+impl DrainGuard<'_> {
+    fn drain(&mut self) {
+        while self.remaining > 0 {
+            match self.rx.recv() {
+                Ok(outcome) => {
+                    if self.first_panic.is_none() {
+                        self.first_panic = outcome;
+                    }
+                }
+                Err(_) => break, // workers gone; nothing left to wait for
+            }
+            self.remaining -= 1;
+        }
+    }
+}
+
+impl Drop for DrainGuard<'_> {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn runs_every_task_once() {
+        let pool = WorkerPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Task<'_>> = (0..37)
+            .map(|_| {
+                let counter = &counter;
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Task<'_>
+            })
+            .collect();
+        pool.run(tasks);
+        assert_eq!(counter.load(Ordering::SeqCst), 37);
+    }
+
+    #[test]
+    fn tasks_write_disjoint_borrowed_slices() {
+        let pool = WorkerPool::new(3);
+        let mut data = vec![0u32; 9];
+        {
+            let mut tasks: Vec<Task<'_>> = Vec::new();
+            for (i, chunk) in data.chunks_mut(3).enumerate() {
+                tasks.push(Box::new(move || {
+                    for v in chunk.iter_mut() {
+                        *v = i as u32 + 1;
+                    }
+                }));
+            }
+            pool.run(tasks);
+        }
+        assert_eq!(data, vec![1, 1, 1, 2, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_in_submission_order() {
+        let pool = WorkerPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let collected = Mutex::new(Vec::new());
+        let mut tasks: Vec<Task<'_>> = Vec::new();
+        for i in 0..5 {
+            let c = &collected;
+            tasks.push(Box::new(move || c.lock().unwrap().push(i)));
+        }
+        pool.run(tasks);
+        assert_eq!(*collected.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pool_survives_across_batches() {
+        let pool = WorkerPool::new(2);
+        for round in 0..10 {
+            let sum = AtomicUsize::new(0);
+            let tasks: Vec<Task<'_>> = (0..4)
+                .map(|i| {
+                    let sum = &sum;
+                    Box::new(move || {
+                        sum.fetch_add(round * 10 + i, Ordering::SeqCst);
+                    }) as Task<'_>
+                })
+                .collect();
+            pool.run(tasks);
+            assert_eq!(sum.load(Ordering::SeqCst), round * 40 + 6);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_after_drain() {
+        let pool = WorkerPool::new(2);
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Task<'_>> = (0..4)
+                .map(|i| {
+                    let finished = &finished;
+                    Box::new(move || {
+                        if i == 1 {
+                            panic!("boom {i}");
+                        }
+                        finished.fetch_add(1, Ordering::SeqCst);
+                    }) as Task<'_>
+                })
+                .collect();
+            pool.run(tasks);
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // Every non-panicking task still ran (batch fully drained).
+        assert_eq!(finished.load(Ordering::SeqCst), 3);
+        // The pool remains usable after a panicked batch.
+        let ok = AtomicUsize::new(0);
+        let ok_ref = &ok;
+        pool.run(vec![
+            Box::new(move || {
+                ok_ref.fetch_add(1, Ordering::SeqCst);
+            }) as Task<'_>,
+            Box::new(move || {
+                ok_ref.fetch_add(1, Ordering::SeqCst);
+            }) as Task<'_>,
+        ]);
+        assert_eq!(ok.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let pool = WorkerPool::new(3);
+        pool.run(Vec::new());
+    }
+}

@@ -1,0 +1,350 @@
+//! Parallel SpMV/GEMV kernels and the [`Executor`] front-end.
+//!
+//! Three design rules, all from the paper's mobile runtime (§IV-B):
+//!
+//! 1. **Reorder-driven chunking.** Work is partitioned by cost (nonzeros),
+//!    not by row count, over the kept-row space — for BSPC the stripes
+//!    *are* the pattern groups the reorder produces, so contiguous
+//!    kept-row chunks are exactly "similar-pattern rows → one chunk per
+//!    thread".
+//! 2. **No locks on the hot path.** Chunk boundaries in the (ascending)
+//!    kept-row space map to disjoint, ascending output ranges, so each
+//!    thread receives its own `&mut` slice of `y` via `split_at_mut` and
+//!    the batch needs no synchronization beyond completion.
+//! 3. **Redundant-load elimination.** Within a chunk, all rows of a stripe
+//!    share one column stream; the kernel gathers the needed `x` values
+//!    into a dense scratch once per stripe run and every row then reads
+//!    unit-stride — the Rust realization of the paper's load redundancy
+//!    elimination.
+//!
+//! The chunk kernels ([`bspc_rows_into`], [`csr_rows_into`],
+//! [`dense_rows_into`]) are public so benchmarks can time a chunk's busy
+//! work in isolation; each accumulates in the same order as the serial
+//! `spmv`, so parallel results are bit-identical to serial ones.
+
+use crate::partition::Partition;
+use crate::pool::{Task, WorkerPool};
+use rtm_sparse::{BspcMatrix, CsrMatrix};
+use rtm_tensor::{Matrix, ShapeError};
+
+/// Computes `y[r] = A[r] · x` for the kept rows `kept_range` of a BSPC
+/// matrix, writing into `y[r - y_base]`. Rows outside the range — and
+/// pruned rows inside it — are left untouched, so the caller zero-fills.
+///
+/// This is the blocked inner kernel: for each run of kept rows sharing a
+/// stripe, the stripe's shared column stream is gathered from `x` into a
+/// dense scratch once, then every row of the run does a unit-stride dot.
+pub fn bspc_rows_into(
+    m: &BspcMatrix,
+    x: &[f32],
+    kept_range: std::ops::Range<usize>,
+    y: &mut [f32],
+    y_base: usize,
+) {
+    let stripe_h = m.stripe_height();
+    let kept = m.kept_rows();
+    let values = m.values();
+    let mut gathered: Vec<f32> = Vec::new();
+    let mut k = kept_range.start;
+    while k < kept_range.end {
+        let s = kept[k] as usize / stripe_h;
+        let mut run_end = k + 1;
+        while run_end < kept_range.end && kept[run_end] as usize / stripe_h == s {
+            run_end += 1;
+        }
+        let cols = m.stripe_kept_cols(s);
+        gathered.clear();
+        gathered.extend(cols.iter().map(|&c| x[c as usize]));
+        for kk in k..run_end {
+            let off = m.row_offset(kk);
+            let vals = &values[off..off + cols.len()];
+            let mut acc = 0.0f32;
+            for (w, xv) in vals.iter().zip(&gathered) {
+                acc += w * xv;
+            }
+            y[kept[kk] as usize - y_base] = acc;
+        }
+        k = run_end;
+    }
+}
+
+/// Computes `y[r] = A[r] · x` for CSR rows `rows`, writing into
+/// `y[r - y_base]`. Every row in the range is written (empty rows get 0).
+pub fn csr_rows_into(
+    m: &CsrMatrix,
+    x: &[f32],
+    rows: std::ops::Range<usize>,
+    y: &mut [f32],
+    y_base: usize,
+) {
+    let row_ptr = m.row_ptr();
+    let col_idx = m.col_idx();
+    let values = m.values();
+    for r in rows {
+        let start = row_ptr[r] as usize;
+        let end = row_ptr[r + 1] as usize;
+        let mut acc = 0.0f32;
+        for i in start..end {
+            acc += values[i] * x[col_idx[i] as usize];
+        }
+        y[r - y_base] = acc;
+    }
+}
+
+/// Computes `y[r] = A[r] · x` for dense rows `rows`, writing into
+/// `y[r - y_base]`.
+pub fn dense_rows_into(
+    m: &Matrix,
+    x: &[f32],
+    rows: std::ops::Range<usize>,
+    y: &mut [f32],
+    y_base: usize,
+) {
+    for r in rows {
+        let mut acc = 0.0f32;
+        for (w, xv) in m.row(r).iter().zip(x) {
+            acc += w * xv;
+        }
+        y[r - y_base] = acc;
+    }
+}
+
+/// The parallel execution engine: a persistent [`WorkerPool`] plus the
+/// format-specific parallel SpMV entry points.
+///
+/// An `Executor` is created once (threads match the target's core count —
+/// the paper's Kryo 485 has 4 big + 4 LITTLE cores) and reused across
+/// timesteps; per-call overhead is a handful of channel messages.
+#[derive(Debug)]
+pub struct Executor {
+    pool: WorkerPool,
+}
+
+impl Executor {
+    /// Creates an engine running batches on `threads` OS threads
+    /// (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Executor {
+        Executor {
+            pool: WorkerPool::new(threads),
+        }
+    }
+
+    /// A 1-thread engine: every call degenerates to the serial kernel on
+    /// the calling thread.
+    pub fn serial() -> Executor {
+        Executor::new(1)
+    }
+
+    /// Thread count (including the calling thread).
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Runs a batch of independent tasks on the pool (used by the RNN
+    /// cells to evaluate independent gate SpMVs concurrently).
+    pub fn run(&self, tasks: Vec<Task<'_>>) {
+        self.pool.run(tasks);
+    }
+
+    /// The cost-balanced kept-row partition this engine would use for `m`
+    /// (exposed for benchmarks and the device model's measured-imbalance
+    /// path).
+    pub fn partition_bspc(&self, m: &BspcMatrix) -> Partition {
+        let stripe_h = m.stripe_height();
+        let costs: Vec<usize> = m
+            .kept_rows()
+            .iter()
+            .map(|&r| m.stripe_kept_cols(r as usize / stripe_h).len())
+            .collect();
+        Partition::balanced(&costs, self.threads())
+    }
+
+    /// The cost-balanced row partition for a CSR matrix.
+    pub fn partition_csr(&self, m: &CsrMatrix) -> Partition {
+        let costs: Vec<usize> = (0..m.rows()).map(|r| m.row_nnz(r)).collect();
+        Partition::balanced(&costs, self.threads())
+    }
+
+    /// Parallel BSPC SpMV, allocating the output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x.len() != m.cols()`.
+    pub fn spmv_bspc(&self, m: &BspcMatrix, x: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        let mut y = vec![0.0f32; m.rows()];
+        self.spmv_bspc_into(m, x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Parallel BSPC SpMV into a caller-provided buffer. Bit-identical to
+    /// [`BspcMatrix::spmv_into`] for every thread count (same per-row
+    /// accumulation order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x.len() != m.cols()` or
+    /// `y.len() != m.rows()`.
+    pub fn spmv_bspc_into(
+        &self,
+        m: &BspcMatrix,
+        x: &[f32],
+        y: &mut [f32],
+    ) -> Result<(), ShapeError> {
+        if x.len() != m.cols() || y.len() != m.rows() {
+            return Err(ShapeError {
+                op: "parallel_bspc_spmv",
+                lhs: (m.rows(), m.cols()),
+                rhs: (x.len(), y.len()),
+            });
+        }
+        y.fill(0.0);
+        let kept = m.kept_rows();
+        if kept.is_empty() {
+            return Ok(());
+        }
+        if self.threads() == 1 {
+            bspc_rows_into(m, x, 0..kept.len(), y, 0);
+            return Ok(());
+        }
+        let partition = self.partition_bspc(m);
+        if partition.len() <= 1 {
+            bspc_rows_into(m, x, 0..kept.len(), y, 0);
+            return Ok(());
+        }
+        // Chunk i owns output rows [boundary_i, boundary_{i+1}), where a
+        // boundary is the first kept row of the chunk (chunk 0 extends to
+        // row 0; the last chunk extends to m.rows()). Kept rows ascend, so
+        // the ranges are disjoint and ordered — split_at_mut hands each
+        // task its own lock-free slice.
+        let chunks = partition.chunks();
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(chunks.len());
+        let mut tail: &mut [f32] = y;
+        let mut base = 0usize;
+        for (i, chunk) in chunks.iter().enumerate() {
+            let end = if i + 1 < chunks.len() {
+                kept[chunks[i + 1].start] as usize
+            } else {
+                m.rows()
+            };
+            let (slice, rest) = tail.split_at_mut(end - base);
+            let range = chunk.start..chunk.end;
+            let slice_base = base;
+            tasks.push(Box::new(move || {
+                bspc_rows_into(m, x, range, slice, slice_base);
+            }));
+            tail = rest;
+            base = end;
+        }
+        self.pool.run(tasks);
+        Ok(())
+    }
+
+    /// Parallel CSR SpMV, allocating the output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x.len() != m.cols()`.
+    pub fn spmv_csr(&self, m: &CsrMatrix, x: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        let mut y = vec![0.0f32; m.rows()];
+        self.spmv_csr_into(m, x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Parallel CSR SpMV into a caller-provided buffer. Bit-identical to
+    /// [`CsrMatrix::spmv_into`] for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x.len() != m.cols()` or
+    /// `y.len() != m.rows()`.
+    pub fn spmv_csr_into(&self, m: &CsrMatrix, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError> {
+        if x.len() != m.cols() || y.len() != m.rows() {
+            return Err(ShapeError {
+                op: "parallel_csr_spmv",
+                lhs: (m.rows(), m.cols()),
+                rhs: (x.len(), y.len()),
+            });
+        }
+        if m.rows() == 0 {
+            return Ok(());
+        }
+        if self.threads() == 1 {
+            csr_rows_into(m, x, 0..m.rows(), y, 0);
+            return Ok(());
+        }
+        let partition = self.partition_csr(m);
+        if partition.len() <= 1 {
+            csr_rows_into(m, x, 0..m.rows(), y, 0);
+            return Ok(());
+        }
+        let chunks = partition.chunks();
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(chunks.len());
+        let mut tail: &mut [f32] = y;
+        for chunk in chunks {
+            let (slice, rest) = tail.split_at_mut(chunk.end - chunk.start);
+            let range = chunk.start..chunk.end;
+            let base = chunk.start;
+            tasks.push(Box::new(move || {
+                csr_rows_into(m, x, range, slice, base);
+            }));
+            tail = rest;
+        }
+        self.pool.run(tasks);
+        Ok(())
+    }
+
+    /// Parallel dense GEMV, allocating the output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x.len() != m.cols()`.
+    pub fn gemv_dense(&self, m: &Matrix, x: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        let mut y = vec![0.0f32; m.rows()];
+        self.gemv_dense_into(m, x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Parallel dense GEMV into a caller-provided buffer. Rows cost the
+    /// same, so the partition is an even row split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x.len() != m.cols()` or
+    /// `y.len() != m.rows()`.
+    pub fn gemv_dense_into(&self, m: &Matrix, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError> {
+        if x.len() != m.cols() || y.len() != m.rows() {
+            return Err(ShapeError {
+                op: "parallel_gemv",
+                lhs: (m.rows(), m.cols()),
+                rhs: (x.len(), y.len()),
+            });
+        }
+        if m.rows() == 0 {
+            return Ok(());
+        }
+        if self.threads() == 1 {
+            dense_rows_into(m, x, 0..m.rows(), y, 0);
+            return Ok(());
+        }
+        let costs = vec![m.cols().max(1); m.rows()];
+        let partition = Partition::balanced(&costs, self.threads());
+        if partition.len() <= 1 {
+            dense_rows_into(m, x, 0..m.rows(), y, 0);
+            return Ok(());
+        }
+        let chunks = partition.chunks();
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(chunks.len());
+        let mut tail: &mut [f32] = y;
+        for chunk in chunks {
+            let (slice, rest) = tail.split_at_mut(chunk.end - chunk.start);
+            let range = chunk.start..chunk.end;
+            let base = chunk.start;
+            tasks.push(Box::new(move || {
+                dense_rows_into(m, x, range, slice, base);
+            }));
+            tail = rest;
+        }
+        self.pool.run(tasks);
+        Ok(())
+    }
+}

@@ -182,7 +182,8 @@ impl AdmmPruner {
             ft_opt.set_learning_rate(self.cfg.lr * 0.92f32.powi(epoch as i32));
             let mut total = 0.0f32;
             for (frames, targets) in data {
-                total += self.masked_step(net, frames, targets, &mut ft_opt, &mask_set, &projections);
+                total +=
+                    self.masked_step(net, frames, targets, &mut ft_opt, &mask_set, &projections);
             }
             loss_history.push(total / data.len() as f32);
         }
@@ -289,8 +290,8 @@ mod tests {
             Box::new(UnstructuredMagnitude::new(0.25))
         });
         // 75% of prunable weights are now zero.
-        let sparsity = 1.0
-            - net.nonzero_prunable_params() as f64 / net.total_prunable_params() as f64;
+        let sparsity =
+            1.0 - net.nonzero_prunable_params() as f64 / net.total_prunable_params() as f64;
         assert!((sparsity - 0.75).abs() < 0.02, "sparsity {sparsity}");
         assert!(!out.mask.is_empty());
         assert!(out.loss_history.is_empty());
@@ -335,8 +336,8 @@ mod tests {
         let last = *out.loss_history.last().unwrap();
         assert!(last < first, "loss must fall under ADMM: {first} -> {last}");
         // Final sparsity honours the 50% constraint.
-        let sparsity = 1.0
-            - net.nonzero_prunable_params() as f64 / net.total_prunable_params() as f64;
+        let sparsity =
+            1.0 - net.nonzero_prunable_params() as f64 / net.total_prunable_params() as f64;
         assert!((sparsity - 0.5).abs() < 0.02);
         // Pruned model still classifies the toy task.
         let (frames, targets) = &data[0];

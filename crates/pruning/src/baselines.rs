@@ -200,7 +200,10 @@ pub fn prune_block_circulant_tuned<N: PrunableNetwork>(
     min_rate: f64,
     admm: AdmmConfig,
 ) -> BaselineReport {
-    assert!(!candidates.is_empty(), "need at least one candidate block size");
+    assert!(
+        !candidates.is_empty(),
+        "need at least one candidate block size"
+    );
     assert!(min_rate >= 1.0, "rate must be >= 1");
 
     // Choose a block size per tensor by projection error.
@@ -287,7 +290,11 @@ mod tests {
     fn unstructured_hits_target_rate() {
         let mut m = net(1);
         let r = prune_unstructured(&mut m, &[], 8.0, oneshot());
-        assert!((r.achieved_rate - 8.0).abs() < 0.5, "rate {}", r.achieved_rate);
+        assert!(
+            (r.achieved_rate - 8.0).abs() < 0.5,
+            "rate {}",
+            r.achieved_rate
+        );
         assert_eq!(r.scheme, "ESE (unstructured magnitude)");
         assert!(!r.mask.is_empty());
     }
@@ -337,7 +344,11 @@ mod tests {
         let mut m = net(4);
         let r = prune_block_circulant(&mut m, &[], 8, oneshot());
         // All tensors are 16x8 or 16x16, divisible by 8 -> rate == 8 exactly.
-        assert!((r.achieved_rate - 8.0).abs() < 1e-9, "rate {}", r.achieved_rate);
+        assert!(
+            (r.achieved_rate - 8.0).abs() < 1e-9,
+            "rate {}",
+            r.achieved_rate
+        );
         assert!(r.mask.is_empty(), "circulant has no mask");
     }
 
@@ -366,7 +377,10 @@ mod tests {
             circulant_at = Some(b);
             break;
         }
-        assert!(circulant_at.is_some(), "u_z must be circulant at a candidate size");
+        assert!(
+            circulant_at.is_some(),
+            "u_z must be circulant at a candidate size"
+        );
     }
 
     #[test]

@@ -230,7 +230,11 @@ mod tests {
     fn toy_data() -> Vec<Sequence> {
         let mk = |on: usize| -> Vec<Vec<f32>> {
             (0..6)
-                .map(|_| (0..8).map(|i| if i % 3 == on { 1.0 } else { 0.0 }).collect())
+                .map(|_| {
+                    (0..8)
+                        .map(|i| if i % 3 == on { 1.0 } else { 0.0 })
+                        .collect()
+                })
                 .collect()
         };
         (0..3).map(|c| (mk(c), vec![c; 6])).collect()
@@ -276,7 +280,11 @@ mod tests {
             ..BspConfig::default()
         };
         let r = BspPruner::new(cfg).prune(&mut a, &[]);
-        assert!((r.achieved_rate - 4.0).abs() < 1.5, "col-only {}", r.achieved_rate);
+        assert!(
+            (r.achieved_rate - 4.0).abs() < 1.5,
+            "col-only {}",
+            r.achieved_rate
+        );
 
         let mut b = net(2);
         let cfg = BspConfig {
@@ -285,7 +293,11 @@ mod tests {
             ..BspConfig::default()
         };
         let r = BspPruner::new(cfg).prune(&mut b, &[]);
-        assert!((r.achieved_rate - 4.0).abs() < 1.5, "row-only {}", r.achieved_rate);
+        assert!(
+            (r.achieved_rate - 4.0).abs() < 1.5,
+            "row-only {}",
+            r.achieved_rate
+        );
     }
 
     #[test]

@@ -207,8 +207,14 @@ mod tests {
             let z = crate::projection::Projection::project(&proj, w);
             *w = z;
         }
-        let rate = |n: &GruNetwork| n.total_prunable_params() as f64 / n.nonzero_prunable_params() as f64;
-        assert!((rate(&a) - rate(&b)).abs() / rate(&b) < 0.15, "{} vs {}", rate(&a), rate(&b));
+        let rate =
+            |n: &GruNetwork| n.total_prunable_params() as f64 / n.nonzero_prunable_params() as f64;
+        assert!(
+            (rate(&a) - rate(&b)).abs() / rate(&b) < 0.15,
+            "{} vs {}",
+            rate(&a),
+            rate(&b)
+        );
     }
 
     #[test]

@@ -178,7 +178,10 @@ mod tests {
         set.insert("layer0.w_z", Matrix::zeros(shape.0, shape.1));
         set.apply(&mut net);
         assert_eq!(net.layers[0].w_z.count_nonzero(), 0);
-        assert!(net.layers[0].u_z.count_nonzero() > 0, "other tensors untouched");
+        assert!(
+            net.layers[0].u_z.count_nonzero() > 0,
+            "other tensors untouched"
+        );
     }
 
     #[test]
@@ -214,10 +217,7 @@ mod tests {
     #[test]
     fn compression_rate_math() {
         let mut set = MaskSet::new();
-        set.insert(
-            "t",
-            Matrix::from_rows(&[&[1.0, 0.0, 0.0, 0.0]]).unwrap(),
-        );
+        set.insert("t", Matrix::from_rows(&[&[1.0, 0.0, 0.0, 0.0]]).unwrap());
         assert_eq!(set.compression_rate(), 4.0);
         let mut all_pruned = MaskSet::new();
         all_pruned.insert("t", Matrix::zeros(2, 2));
@@ -241,13 +241,12 @@ mod prop_tests {
     use crate::projection::{
         BankBalanced, BspColumnBlock, ColumnPrune, Projection, RowPrune, UnstructuredMagnitude,
     };
-    use proptest::prelude::*;
 
-    proptest! {
-        /// Mask algebra: intersection is commutative, idempotent, and
-        /// monotone (never keeps more than either operand).
-        #[test]
-        fn prop_intersection_algebra(seed in 0u64..200) {
+    /// Mask algebra: intersection is commutative, idempotent, and
+    /// monotone (never keeps more than either operand).
+    #[test]
+    fn prop_intersection_algebra() {
+        for seed in 0u64..200 {
             let mut rng = rtm_tensor::init::rng_from_seed(seed);
             let w = rtm_tensor::init::uniform(8, 8, -1.0, 1.0, &mut rng);
             let pa: Box<dyn Projection> = Box::new(UnstructuredMagnitude::new(0.5));
@@ -259,17 +258,19 @@ mod prop_tests {
 
             let ab = a.intersect(&b);
             let ba = b.intersect(&a);
-            prop_assert_eq!(ab.get("t"), ba.get("t"), "commutative");
+            assert_eq!(ab.get("t"), ba.get("t"), "seed {seed}: commutative");
             let abb = ab.intersect(&b);
-            prop_assert_eq!(abb.get("t"), ab.get("t"), "idempotent");
-            prop_assert!(ab.kept() <= a.kept().min(b.kept()), "monotone");
+            assert_eq!(abb.get("t"), ab.get("t"), "seed {seed}: idempotent");
+            assert!(ab.kept() <= a.kept().min(b.kept()), "seed {seed}: monotone");
         }
+    }
 
-        /// Every mask-style projection's mask applied to the weights equals
-        /// the projection itself (mask/project coherence), for random
-        /// inputs.
-        #[test]
-        fn prop_mask_equals_projection_support(seed in 0u64..150) {
+    /// Every mask-style projection's mask applied to the weights equals
+    /// the projection itself (mask/project coherence), for random
+    /// inputs.
+    #[test]
+    fn prop_mask_equals_projection_support() {
+        for seed in 0u64..150 {
             let mut rng = rtm_tensor::init::rng_from_seed(seed);
             let w = rtm_tensor::init::uniform(8, 8, -1.0, 1.0, &mut rng);
             let projections: Vec<Box<dyn Projection>> = vec![
@@ -283,17 +284,28 @@ mod prop_tests {
                 let z = p.project(&w);
                 let mask = p.mask(&w).expect("mask-style");
                 let masked = w.hadamard(&mask).expect("same shape");
-                prop_assert_eq!(&masked, &z, "{} mask/project coherence", p.name());
+                assert_eq!(
+                    &masked,
+                    &z,
+                    "seed {seed}: {} mask/project coherence",
+                    p.name()
+                );
             }
         }
+    }
 
-        /// Applying a mask is idempotent on the network and exactly matches
-        /// the mask's kept count.
-        #[test]
-        fn prop_apply_idempotent(seed in 0u64..100) {
-            use rtm_rnn::{GruNetwork, NetworkConfig};
+    /// Applying a mask is idempotent on the network and exactly matches
+    /// the mask's kept count.
+    #[test]
+    fn prop_apply_idempotent() {
+        use rtm_rnn::{GruNetwork, NetworkConfig};
+        for seed in 0u64..100 {
             let mut net = GruNetwork::new(
-                &NetworkConfig { input_dim: 4, hidden_dims: vec![8], num_classes: 2 },
+                &NetworkConfig {
+                    input_dim: 4,
+                    hidden_dims: vec![8],
+                    num_classes: 2,
+                },
                 seed,
             );
             let proj = UnstructuredMagnitude::new(0.4);
@@ -304,8 +316,8 @@ mod prop_tests {
             set.apply(&mut net);
             let after_once = net.nonzero_prunable_params();
             set.apply(&mut net);
-            prop_assert_eq!(net.nonzero_prunable_params(), after_once);
-            prop_assert_eq!(after_once, set.kept());
+            assert_eq!(net.nonzero_prunable_params(), after_once, "seed {seed}");
+            assert_eq!(after_once, set.kept(), "seed {seed}");
         }
     }
 }

@@ -125,13 +125,8 @@ mod tests {
         assert_eq!(total, 3 * (18 + 36));
         assert_eq!(total, PrunableNetwork::nonzero_prunable_params(&net));
         let mut opt = rtm_rnn::Adam::new(0.01);
-        let loss = PrunableNetwork::train_sequence(
-            &mut net,
-            &[vec![0.1, 0.2, 0.3]],
-            &[0],
-            &mut opt,
-            None,
-        );
+        let loss =
+            PrunableNetwork::train_sequence(&mut net, &[vec![0.1, 0.2, 0.3]], &[0], &mut opt, None);
         assert!(loss.is_finite() && loss > 0.0);
     }
 

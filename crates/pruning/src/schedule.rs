@@ -99,7 +99,9 @@ pub fn table1_targets() -> Vec<Table1Point> {
 
 /// The compression rates of the Table II / Figure 4 performance sweep.
 pub fn table2_rates() -> Vec<f64> {
-    vec![1.0, 10.0, 19.0, 29.0, 43.0, 80.0, 103.0, 153.0, 245.0, 301.0]
+    vec![
+        1.0, 10.0, 19.0, 29.0, 43.0, 80.0, 103.0, 153.0, 245.0, 301.0,
+    ]
 }
 
 /// A per-tensor compression schedule: the first rule whose name prefix
@@ -136,7 +138,11 @@ impl LayerSchedule {
     }
 
     /// Appends a prefix rule (first match wins, in insertion order).
-    pub fn with_rule(mut self, prefix: impl Into<String>, target: CompressionTarget) -> LayerSchedule {
+    pub fn with_rule(
+        mut self,
+        prefix: impl Into<String>,
+        target: CompressionTarget,
+    ) -> LayerSchedule {
         self.rules.push((prefix.into(), target));
         self
     }

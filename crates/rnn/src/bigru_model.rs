@@ -62,7 +62,11 @@ impl BiGruNetwork {
 
     /// Total parameter count.
     pub fn num_params(&self) -> usize {
-        self.layers.iter().map(BiGruLayer::num_params).sum::<usize>() + self.head.num_params()
+        self.layers
+            .iter()
+            .map(BiGruLayer::num_params)
+            .sum::<usize>()
+            + self.head.num_params()
     }
 
     /// Forward pass producing per-frame logits.
@@ -156,7 +160,11 @@ impl BiGruNetwork {
     ///
     /// Panics if `grads` does not match the network shape.
     pub fn apply_with_optimizer(&mut self, grads: &BiGruNetworkGrads, opt: &mut dyn Optimizer) {
-        assert_eq!(grads.layers.len(), self.layers.len(), "gradient layer count");
+        assert_eq!(
+            grads.layers.len(),
+            self.layers.len(),
+            "gradient layer count"
+        );
         let mut slot = 0usize;
         for (layer, g) in self.layers.iter_mut().zip(&grads.layers) {
             for (cell, cg) in [

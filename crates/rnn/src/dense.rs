@@ -133,7 +133,9 @@ mod tests {
             xp[i] += eps;
             let mut xm = x.clone();
             xm[i] -= eps;
-            let fd = (layer.forward(&xp).iter().sum::<f32>() - layer.forward(&xm).iter().sum::<f32>()) / (2.0 * eps);
+            let fd = (layer.forward(&xp).iter().sum::<f32>()
+                - layer.forward(&xm).iter().sum::<f32>())
+                / (2.0 * eps);
             assert!((fd - dx[i]).abs() < 1e-2, "dx[{i}]");
         }
         // bias grad is dy itself

@@ -161,14 +161,22 @@ impl GruCell {
         let h = self.hidden_dim();
 
         let mut z = gemv(&self.w_z, x).expect("shape checked");
-        Vector::axpy(1.0, &gemv(&self.u_z, h_prev).expect("shape checked"), &mut z);
+        Vector::axpy(
+            1.0,
+            &gemv(&self.u_z, h_prev).expect("shape checked"),
+            &mut z,
+        );
         Vector::axpy(1.0, &self.b_z, &mut z);
         for v in &mut z {
             *v = sigmoid(*v);
         }
 
         let mut r = gemv(&self.w_r, x).expect("shape checked");
-        Vector::axpy(1.0, &gemv(&self.u_r, h_prev).expect("shape checked"), &mut r);
+        Vector::axpy(
+            1.0,
+            &gemv(&self.u_r, h_prev).expect("shape checked"),
+            &mut r,
+        );
         Vector::axpy(1.0, &self.b_r, &mut r);
         for v in &mut r {
             *v = sigmoid(*v);
@@ -176,6 +184,63 @@ impl GruCell {
 
         let rh: Vec<f32> = r.iter().zip(h_prev).map(|(&ri, &hi)| ri * hi).collect();
         let mut n = gemv(&self.w_n, x).expect("shape checked");
+        Vector::axpy(1.0, &gemv(&self.u_n, &rh).expect("shape checked"), &mut n);
+        Vector::axpy(1.0, &self.b_n, &mut n);
+        for v in &mut n {
+            *v = tanh(*v);
+        }
+
+        let mut h_new = vec![0.0f32; h];
+        for i in 0..h {
+            h_new[i] = (1.0 - z[i]) * n[i] + z[i] * h_prev[i];
+        }
+        GruStep { z, r, n, h: h_new }
+    }
+
+    /// One forward step with the gate matvecs dispatched through a parallel
+    /// [`rtm_exec::Executor`].
+    ///
+    /// The data dependencies of a GRU timestep split into two phases:
+    /// `z`, `r` and `W_n x` are mutually independent (phase A, one pool task
+    /// each), while the candidate recurrence `U_n (r ⊙ h)` must wait for
+    /// `r` (phase B, on the caller thread). Per-gate accumulation order is
+    /// identical to [`GruCell::step`], so the result is bit-exact for any
+    /// thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_dim()` or
+    /// `h_prev.len() != self.hidden_dim()`.
+    pub fn step_with(&self, exec: &rtm_exec::Executor, x: &[f32], h_prev: &[f32]) -> GruStep {
+        assert_eq!(x.len(), self.input_dim(), "input dim mismatch");
+        assert_eq!(h_prev.len(), self.hidden_dim(), "hidden dim mismatch");
+        let h = self.hidden_dim();
+
+        let mut z = Vec::new();
+        let mut r = Vec::new();
+        let mut n = Vec::new();
+        {
+            let gate = |w: &'_ Matrix, u: &'_ Matrix, b: &'_ [f32], out: &'_ mut Vec<f32>| {
+                let mut a = gemv(w, x).expect("shape checked");
+                Vector::axpy(1.0, &gemv(u, h_prev).expect("shape checked"), &mut a);
+                Vector::axpy(1.0, b, &mut a);
+                for v in &mut a {
+                    *v = sigmoid(*v);
+                }
+                *out = a;
+            };
+            let z_out = &mut z;
+            let r_out = &mut r;
+            let n_out = &mut n;
+            exec.run(vec![
+                Box::new(move || gate(&self.w_z, &self.u_z, &self.b_z, z_out)),
+                Box::new(move || gate(&self.w_r, &self.u_r, &self.b_r, r_out)),
+                Box::new(move || *n_out = gemv(&self.w_n, x).expect("shape checked")),
+            ]);
+        }
+
+        // Phase B: the candidate recurrence needs the reset gate.
+        let rh: Vec<f32> = r.iter().zip(h_prev).map(|(&ri, &hi)| ri * hi).collect();
         Vector::axpy(1.0, &gemv(&self.u_n, &rh).expect("shape checked"), &mut n);
         Vector::axpy(1.0, &self.b_n, &mut n);
         for v in &mut n {
@@ -487,7 +552,12 @@ mod tests {
 
         let eps = 1e-3f32;
         #[allow(clippy::type_complexity)]
-        let fields: [(&str, fn(&GruCell) -> &Matrix, fn(&mut GruCell) -> &mut Matrix, fn(&GruGrads) -> &Matrix); 6] = [
+        let fields: [(
+            &str,
+            fn(&GruCell) -> &Matrix,
+            fn(&mut GruCell) -> &mut Matrix,
+            fn(&GruGrads) -> &Matrix,
+        ); 6] = [
             ("w_z", |c| &c.w_z, |c| &mut c.w_z, |g| &g.w_z),
             ("u_z", |c| &c.u_z, |c| &mut c.u_z, |g| &g.u_z),
             ("w_r", |c| &c.w_r, |c| &mut c.w_r, |g| &g.w_r),
@@ -611,5 +681,25 @@ mod tests {
     fn step_rejects_bad_input() {
         let cell = GruCell::new(2, 2, 0);
         cell.step(&[1.0], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn step_with_matches_step_bit_exact() {
+        let cell = GruCell::new(6, 10, 11);
+        let x: Vec<f32> = (0..6).map(|i| (i as f32 * 0.4).sin()).collect();
+        let mut h = vec![0.0f32; 10];
+        for threads in [1usize, 2, 3, 8] {
+            let exec = rtm_exec::Executor::new(threads);
+            let mut hp = vec![0.0f32; 10];
+            for t in 0..4 {
+                let serial = cell.step(&x, if t == 0 { &h } else { &hp });
+                let par = cell.step_with(&exec, &x, if t == 0 { &h } else { &hp });
+                assert_eq!(par, serial, "{threads} threads, step {t}");
+                hp = serial.h;
+            }
+        }
+        h.fill(0.3);
+        let exec = rtm_exec::Executor::new(4);
+        assert_eq!(cell.step_with(&exec, &x, &h), cell.step(&x, &h));
     }
 }

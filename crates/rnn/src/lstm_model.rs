@@ -166,7 +166,11 @@ impl LstmNetwork {
     ///
     /// Panics if `grads` does not match the network shape.
     pub fn apply_with_optimizer(&mut self, grads: &LstmNetworkGrads, opt: &mut dyn Optimizer) {
-        assert_eq!(grads.layers.len(), self.layers.len(), "gradient layer count");
+        assert_eq!(
+            grads.layers.len(),
+            self.layers.len(),
+            "gradient layer count"
+        );
         let mut slot = 0usize;
         for (layer, g) in self.layers.iter_mut().zip(&grads.layers) {
             opt.update(slot, layer.w_i.as_mut_slice(), g.w_i.as_slice());

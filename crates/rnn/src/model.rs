@@ -260,7 +260,11 @@ impl GruNetwork {
     ///
     /// Panics if `grads` does not match the network's shape.
     pub fn apply_with_optimizer(&mut self, grads: &NetworkGrads, opt: &mut dyn Optimizer) {
-        assert_eq!(grads.layers.len(), self.layers.len(), "gradient layer count");
+        assert_eq!(
+            grads.layers.len(),
+            self.layers.len(),
+            "gradient layer count"
+        );
         let mut slot = 0usize;
         for (layer, g) in self.layers.iter_mut().zip(&grads.layers) {
             opt.update(slot, layer.w_z.as_mut_slice(), g.w_z.as_slice());
@@ -423,15 +427,24 @@ mod tests {
         let mut net = GruNetwork::new(&cfg, 3);
         let mut opt = Adam::new(0.01);
         let batch = vec![
-            ((0..6).map(|_| vec![1.0, 1.0, 0.0, 0.0]).collect::<Vec<_>>(), vec![0usize; 6]),
-            ((0..6).map(|_| vec![0.0, 0.0, 1.0, 1.0]).collect::<Vec<_>>(), vec![1usize; 6]),
+            (
+                (0..6).map(|_| vec![1.0, 1.0, 0.0, 0.0]).collect::<Vec<_>>(),
+                vec![0usize; 6],
+            ),
+            (
+                (0..6).map(|_| vec![0.0, 0.0, 1.0, 1.0]).collect::<Vec<_>>(),
+                vec![1usize; 6],
+            ),
         ];
         let first = net.train_batch(&batch, &mut opt, None);
         for _ in 0..80 {
             net.train_batch(&batch, &mut opt, Some(GradClip::new(5.0)));
         }
         let last = net.train_batch(&batch, &mut opt, None);
-        assert!(last < first * 0.2, "batch loss must fall: {first} -> {last}");
+        assert!(
+            last < first * 0.2,
+            "batch loss must fall: {first} -> {last}"
+        );
         assert_eq!(net.predict(&batch[0].0), batch[0].1);
         assert_eq!(net.predict(&batch[1].0), batch[1].1);
         // Empty batch is a no-op.
@@ -447,7 +460,10 @@ mod tests {
         let targets = vec![1usize; 10];
         for _ in 0..20 {
             let stats = net.train_step(&frames, &targets, &mut opt, Some(GradClip::new(1.0)));
-            assert!(stats.loss.is_finite(), "loss must stay finite under clipping");
+            assert!(
+                stats.loss.is_finite(),
+                "loss must stay finite under clipping"
+            );
         }
     }
 

@@ -126,7 +126,11 @@ impl Optimizer for Adam {
             m.resize(param.len(), 0.0);
             v.resize(param.len(), 0.0);
         }
-        assert_eq!(m.len(), param.len(), "slot {slot} reused with different length");
+        assert_eq!(
+            m.len(),
+            param.len(),
+            "slot {slot} reused with different length"
+        );
         *t += 1;
         let b1t = 1.0 - self.beta1.powi(*t as i32);
         let b2t = 1.0 - self.beta2.powi(*t as i32);
@@ -199,7 +203,10 @@ mod tests {
         let mut heavy = Sgd::with_momentum(0.01, 0.9);
         let slow = run_quadratic(&mut plain, 50).abs();
         let fast = run_quadratic(&mut heavy, 50).abs();
-        assert!(fast < slow, "momentum should converge faster: {fast} vs {slow}");
+        assert!(
+            fast < slow,
+            "momentum should converge faster: {fast} vs {slow}"
+        );
     }
 
     #[test]

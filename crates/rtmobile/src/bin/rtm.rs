@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! rtm pipeline [--hidden N] [--col X] [--row Y] [--stripes S] [--blocks B]
-//!              [--seed K] [--save FILE.rtm]
+//!              [--seed K] [--threads T] [--save FILE.rtm]
 //! rtm inspect FILE.rtm
 //! rtm help
 //! ```
@@ -36,7 +36,7 @@ fn print_help() {
     println!();
     println!("USAGE:");
     println!("  rtm pipeline [--hidden N] [--col X] [--row Y] [--stripes S] [--blocks B]");
-    println!("               [--seed K] [--save FILE.rtm]");
+    println!("               [--seed K] [--threads T] [--save FILE.rtm]");
     println!("  rtm inspect FILE.rtm");
     println!("  rtm help");
 }
@@ -63,12 +63,10 @@ fn pipeline(args: &[String]) -> ExitCode {
     let Some(flags) = parse_flags(args) else {
         return ExitCode::FAILURE;
     };
-    let get_usize = |k: &str, d: usize| -> usize {
-        flags.get(k).and_then(|v| v.parse().ok()).unwrap_or(d)
-    };
-    let get_f64 = |k: &str, d: f64| -> f64 {
-        flags.get(k).and_then(|v| v.parse().ok()).unwrap_or(d)
-    };
+    let get_usize =
+        |k: &str, d: usize| -> usize { flags.get(k).and_then(|v| v.parse().ok()).unwrap_or(d) };
+    let get_f64 =
+        |k: &str, d: f64| -> f64 { flags.get(k).and_then(|v| v.parse().ok()).unwrap_or(d) };
 
     let hidden = get_usize("hidden", 48);
     let col = get_f64("col", 10.0);
@@ -76,21 +74,27 @@ fn pipeline(args: &[String]) -> ExitCode {
     let stripes = get_usize("stripes", 4);
     let blocks = get_usize("blocks", 4);
     let seed = get_usize("seed", 2020) as u64;
+    let threads = get_usize("threads", 1);
 
     if col < 1.0 || row < 1.0 {
         eprintln!("compression rates must be >= 1");
         return ExitCode::FAILURE;
     }
+    if threads == 0 {
+        eprintln!("--threads must be >= 1");
+        return ExitCode::FAILURE;
+    }
 
     println!(
         "Running the RTMobile pipeline: hidden {hidden}, target {col}x cols x {row}x rows, \
-         partition {stripes}x{blocks}, seed {seed}"
+         partition {stripes}x{blocks}, seed {seed}, {threads} thread(s)"
     );
     let (report, _net, compiled) = RtMobile::builder()
         .hidden(hidden)
         .compression(col, row)
         .partition(stripes, blocks)
         .seed(seed)
+        .threads(threads)
         .run_keeping_model();
     println!("{}", report.render());
 
@@ -128,6 +132,9 @@ fn inspect(args: &[String]) -> ExitCode {
     };
     println!("{path}: {} bytes on disk", bytes.len());
     println!("  precision     : {:?}", net.precision());
-    println!("  BSPC storage  : {:.1} KiB", net.storage_bytes() as f64 / 1024.0);
+    println!(
+        "  BSPC storage  : {:.1} KiB",
+        net.storage_bytes() as f64 / 1024.0
+    );
     ExitCode::SUCCESS
 }

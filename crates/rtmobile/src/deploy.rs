@@ -73,9 +73,7 @@ impl CompiledNetwork {
             match precision {
                 RuntimePrecision::F32 => m.clone(),
                 RuntimePrecision::F16 => m.map(quantize_f16),
-                RuntimePrecision::Int8 => {
-                    rtm_tensor::QuantizedMatrix::quantize(m).dequantize()
-                }
+                RuntimePrecision::Int8 => rtm_tensor::QuantizedMatrix::quantize(m).dequantize(),
             }
         };
         let lower = |m: &Matrix| -> Result<BspcMatrix, rtm_sparse::BspcError> {
@@ -169,6 +167,40 @@ impl CompiledNetwork {
             .map(|l| Vector::argmax(l))
             .collect()
     }
+
+    /// [`CompiledNetwork::forward`] with every gate SpMV dispatched through
+    /// a parallel [`rtm_exec::Executor`]. Bit-identical to the serial
+    /// forward for any thread count (per-gate accumulation order is
+    /// preserved; see [`CompiledGruLayer::step_with`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame dimension does not match the compiled model.
+    pub fn forward_with(&self, exec: &rtm_exec::Executor, frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let mut states: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.hidden]).collect();
+        let mut logits = Vec::with_capacity(frames.len());
+        for frame in frames {
+            let mut x = frame.clone();
+            self.maybe_quantize(&mut x);
+            for (layer, h) in self.layers.iter().zip(states.iter_mut()) {
+                let new_h = layer.step_with(exec, &x, h, self.precision);
+                *h = new_h;
+                x = h.clone();
+            }
+            let mut out = rtm_tensor::gemm::gemv(&self.head_w, &x).expect("head dims");
+            Vector::axpy(1.0, &self.head_b, &mut out);
+            logits.push(out);
+        }
+        logits
+    }
+
+    /// Per-frame argmax predictions through the parallel executor.
+    pub fn predict_with(&self, exec: &rtm_exec::Executor, frames: &[Vec<f32>]) -> Vec<usize> {
+        self.forward_with(exec, frames)
+            .iter()
+            .map(|l| Vector::argmax(l))
+            .collect()
+    }
 }
 
 /// A GRU layer compiled with gate fusion: one `3H × I` input kernel and
@@ -248,8 +280,12 @@ impl CompiledGruLayer {
                 }
             }
         };
+        // One scratch vector serves all three recurrent SpMVs.
+        let mut scratch = vec![0.0f32; self.hidden];
+
         let mut z = self.w_z.spmv(x).expect("dims");
-        Vector::axpy(1.0, &self.u_z.spmv(h_prev).expect("dims"), &mut z);
+        self.u_z.spmv_into(h_prev, &mut scratch).expect("dims");
+        Vector::axpy(1.0, &scratch, &mut z);
         Vector::axpy(1.0, &self.b_z, &mut z);
         for v in &mut z {
             *v = sigmoid(*v);
@@ -257,7 +293,8 @@ impl CompiledGruLayer {
         quantize(&mut z);
 
         let mut r = self.w_r.spmv(x).expect("dims");
-        Vector::axpy(1.0, &self.u_r.spmv(h_prev).expect("dims"), &mut r);
+        self.u_r.spmv_into(h_prev, &mut scratch).expect("dims");
+        Vector::axpy(1.0, &scratch, &mut r);
         Vector::axpy(1.0, &self.b_r, &mut r);
         for v in &mut r {
             *v = sigmoid(*v);
@@ -266,7 +303,80 @@ impl CompiledGruLayer {
 
         let rh: Vec<f32> = r.iter().zip(h_prev).map(|(&a, &b)| a * b).collect();
         let mut n = self.w_n.spmv(x).expect("dims");
-        Vector::axpy(1.0, &self.u_n.spmv(&rh).expect("dims"), &mut n);
+        self.u_n.spmv_into(&rh, &mut scratch).expect("dims");
+        Vector::axpy(1.0, &scratch, &mut n);
+        Vector::axpy(1.0, &self.b_n, &mut n);
+        for v in &mut n {
+            *v = tanh(*v);
+        }
+        quantize(&mut n);
+
+        let mut h = vec![0.0f32; self.hidden];
+        for i in 0..self.hidden {
+            h[i] = (1.0 - z[i]) * n[i] + z[i] * h_prev[i];
+        }
+        quantize(&mut h);
+        h
+    }
+
+    /// One step with the five `h_prev`-independent gate SpMVs (`W_z x`,
+    /// `U_z h`, `W_r x`, `U_r h`, `W_n x`) dispatched as parallel pool
+    /// tasks, and the reset-gated candidate recurrence `U_n (r ⊙ h)` as a
+    /// row-parallel BSPC SpMV once `r` is known. Combination order per gate
+    /// matches [`CompiledGruLayer::step`] exactly, so the output is
+    /// bit-identical to the serial step for any thread count.
+    fn step_with(
+        &self,
+        exec: &rtm_exec::Executor,
+        x: &[f32],
+        h_prev: &[f32],
+        precision: RuntimePrecision,
+    ) -> Vec<f32> {
+        let quantize = |v: &mut Vec<f32>| {
+            if precision == RuntimePrecision::F16 {
+                for e in v.iter_mut() {
+                    *e = quantize_f16(*e);
+                }
+            }
+        };
+
+        // Phase A: everything that only needs x and h_prev.
+        let (mut wzx, mut uzh, mut wrx, mut urh, mut wnx) =
+            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        {
+            let spmv = |m: &'_ BspcMatrix, v: &'_ [f32], out: &'_ mut Vec<f32>| {
+                *out = m.spmv(v).expect("dims");
+            };
+            let (o1, o2, o3, o4, o5) = (&mut wzx, &mut uzh, &mut wrx, &mut urh, &mut wnx);
+            exec.run(vec![
+                Box::new(move || spmv(&self.w_z, x, o1)),
+                Box::new(move || spmv(&self.u_z, h_prev, o2)),
+                Box::new(move || spmv(&self.w_r, x, o3)),
+                Box::new(move || spmv(&self.u_r, h_prev, o4)),
+                Box::new(move || spmv(&self.w_n, x, o5)),
+            ]);
+        }
+
+        let mut z = wzx;
+        Vector::axpy(1.0, &uzh, &mut z);
+        Vector::axpy(1.0, &self.b_z, &mut z);
+        for v in &mut z {
+            *v = sigmoid(*v);
+        }
+        quantize(&mut z);
+
+        let mut r = wrx;
+        Vector::axpy(1.0, &urh, &mut r);
+        Vector::axpy(1.0, &self.b_r, &mut r);
+        for v in &mut r {
+            *v = sigmoid(*v);
+        }
+        quantize(&mut r);
+
+        // Phase B: the candidate recurrence, row-parallel across the pool.
+        let rh: Vec<f32> = r.iter().zip(h_prev).map(|(&a, &b)| a * b).collect();
+        let mut n = wnx;
+        Vector::axpy(1.0, &exec.spmv_bspc(&self.u_n, &rh).expect("dims"), &mut n);
         Vector::axpy(1.0, &self.b_n, &mut n);
         for v in &mut n {
             *v = tanh(*v);
@@ -300,7 +410,11 @@ mod tests {
 
     fn frames() -> Vec<Vec<f32>> {
         (0..9)
-            .map(|t| (0..6).map(|i| ((t * 6 + i) as f32 * 0.3).sin() * 0.5).collect())
+            .map(|t| {
+                (0..6)
+                    .map(|i| ((t * 6 + i) as f32 * 0.3).sin() * 0.5)
+                    .collect()
+            })
             .collect()
     }
 
@@ -429,6 +543,31 @@ mod tests {
             .storage_bytes();
         assert!(p32 < d32 / 2, "pruning shrinks storage: {p32} vs {d32}");
         assert!(p16 < p32, "f16 shrinks storage further: {p16} vs {p32}");
+    }
+
+    #[test]
+    fn forward_with_matches_forward_bit_exact() {
+        let net = net();
+        for precision in [
+            RuntimePrecision::F32,
+            RuntimePrecision::F16,
+            RuntimePrecision::Int8,
+        ] {
+            let compiled = CompiledNetwork::compile(&net, 4, 4, precision).unwrap();
+            let serial = compiled.forward(&frames());
+            for threads in [1usize, 2, 4] {
+                let exec = rtm_exec::Executor::new(threads);
+                assert_eq!(
+                    compiled.forward_with(&exec, &frames()),
+                    serial,
+                    "{precision:?}, {threads} threads"
+                );
+                assert_eq!(
+                    compiled.predict_with(&exec, &frames()),
+                    compiled.predict(&frames())
+                );
+            }
+        }
     }
 
     #[test]

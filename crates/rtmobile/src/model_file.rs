@@ -16,10 +16,10 @@
 //! ```
 
 use crate::deploy::{CompiledGruLayer, CompiledNetwork, RuntimePrecision};
-use bytes::{Buf, BufMut};
 use rtm_sparse::footprint::Precision;
 use rtm_sparse::io::DecodeError;
 use rtm_sparse::BspcMatrix;
+use rtm_tensor::wire::{Buf, BufMut};
 use rtm_tensor::Matrix;
 
 /// Magic bytes opening every `.rtm` model file.
@@ -52,7 +52,9 @@ pub fn to_bytes(net: &CompiledNetwork) -> Vec<u8> {
     out.put_u32_le(net.layers.len() as u32);
     for layer in &net.layers {
         out.put_u32_le(layer.hidden as u32);
-        for m in [&layer.w_z, &layer.u_z, &layer.w_r, &layer.u_r, &layer.w_n, &layer.u_n] {
+        for m in [
+            &layer.w_z, &layer.u_z, &layer.w_r, &layer.u_r, &layer.w_n, &layer.u_n,
+        ] {
             m.write_to(&mut out, prec);
         }
         for b in [&layer.b_z, &layer.b_r, &layer.b_n] {
@@ -260,7 +262,10 @@ mod tests {
         assert_eq!(from_bytes(&bytes).unwrap_err(), DecodeError::BadMagic);
         let mut bytes = to_bytes(&compiled(RuntimePrecision::F32));
         bytes[4] = 0xFF;
-        assert!(matches!(from_bytes(&bytes).unwrap_err(), DecodeError::BadVersion(_)));
+        assert!(matches!(
+            from_bytes(&bytes).unwrap_err(),
+            DecodeError::BadVersion(_)
+        ));
     }
 
     #[test]

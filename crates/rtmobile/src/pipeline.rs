@@ -40,6 +40,7 @@ pub struct RtMobile {
     admm: AdmmConfig,
     seed: u64,
     sim_hidden: usize,
+    threads: usize,
 }
 
 impl RtMobile {
@@ -63,6 +64,7 @@ impl RtMobile {
             },
             seed: 1,
             sim_hidden: 1024,
+            threads: 1,
         }
     }
 
@@ -120,6 +122,19 @@ impl RtMobile {
         self
     }
 
+    /// Worker threads for the compiled runtime's inference pass (default 1,
+    /// i.e. serial). The parallel path is bit-identical to serial, so this
+    /// only changes wall-clock, never any reported accuracy number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn threads(mut self, threads: usize) -> RtMobile {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = threads;
+        self
+    }
+
     /// Executes the pipeline.
     ///
     /// # Panics
@@ -136,9 +151,7 @@ impl RtMobile {
     /// # Panics
     ///
     /// Panics on internal shape errors (a bug) or invalid configuration.
-    pub fn run_keeping_model(
-        self,
-    ) -> (PipelineReport, rtm_rnn::GruNetwork, CompiledNetwork) {
+    pub fn run_keeping_model(self) -> (PipelineReport, rtm_rnn::GruNetwork, CompiledNetwork) {
         // 1. Task + dense training.
         let task = SpeechTask::new(&self.corpus, self.seed);
         let mut net = task.new_network(self.hidden, self.seed.wrapping_add(1));
@@ -163,9 +176,10 @@ impl RtMobile {
         let compiled_f16 =
             CompiledNetwork::compile(&net, self.stripes, self.blocks, RuntimePrecision::F16)
                 .expect("partition validated by BSP config");
+        let exec = rtm_exec::Executor::new(self.threads);
         let mut f16_report = PerReport::default();
         for u in task.test_utterances() {
-            let preds = compiled_f16.predict(&u.frames);
+            let preds = compiled_f16.predict_with(&exec, &u.frames);
             f16_report.add(&preds, &u.labels, &u.phones);
         }
 

@@ -87,7 +87,10 @@ impl PipelineReport {
             "  params: {} / {} kept ({:.1}x compression)",
             a.kept_params, a.total_params, a.achieved_rate
         );
-        let _ = writeln!(s, "  -- performance (simulated Snapdragon 855, paper-scale GRU) --");
+        let _ = writeln!(
+            s,
+            "  -- performance (simulated Snapdragon 855, paper-scale GRU) --"
+        );
         let _ = writeln!(
             s,
             "  GPU: {:.1} us/frame, {:.1} GOP/s, {:.2}x ESE energy efficiency",

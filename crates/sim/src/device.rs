@@ -189,8 +189,7 @@ impl CpuModel {
             rtm_sparse::footprint::Precision::Int8 => self.peak_gflops_f32 * 2.0,
             _ => self.peak_gflops_f32,
         };
-        let compute_us =
-            profile.flops as f64 / (peak * 1000.0) * profile.imbalance_factor;
+        let compute_us = profile.flops as f64 / (peak * 1000.0) * profile.imbalance_factor;
         let streamed = profile.value_bytes + profile.index_bytes + profile.output_stores * prec;
         let gathered = profile.input_loads * prec;
         let coalescing = match plan.format {
@@ -215,10 +214,46 @@ impl CpuModel {
         }
     }
 
+    /// Prices one kernel with a *measured* thread-imbalance factor — the
+    /// [`rtm_exec::Partition::imbalance`] of the chunking the execution
+    /// engine actually builds (see [`measured_imbalance`]) — in place of
+    /// the profile's analytic estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measured_imbalance < 1.0` (the slowest thread can never
+    /// beat the mean).
+    pub fn kernel_cost_measured(
+        &self,
+        profile: &KernelProfile,
+        plan: &ExecutionPlan,
+        measured_imbalance: f64,
+    ) -> KernelCost {
+        assert!(
+            measured_imbalance >= 1.0 - 1e-9,
+            "imbalance factor must be >= 1"
+        );
+        let mut measured = profile.clone();
+        measured.imbalance_factor = measured_imbalance.max(1.0);
+        self.kernel_cost(&measured, plan)
+    }
+
     /// Energy in microjoules for a given latency.
     pub fn energy_uj(&self, time_us: f64) -> f64 {
         self.power_w * time_us
     }
+}
+
+/// The execution engine's measured per-thread load imbalance for `w` on
+/// `threads` threads: slowest chunk's nonzero count over the mean, using
+/// the same cost-balanced contiguous partitioning `rtm-exec` runs with
+/// (rather than the analytic row-length-spread estimate in
+/// [`KernelProfile`]).
+pub fn measured_imbalance(w: &rtm_tensor::Matrix, threads: usize) -> f64 {
+    let costs: Vec<usize> = (0..w.rows())
+        .map(|r| w.row(r).iter().filter(|&&v| v != 0.0).count())
+        .collect();
+    rtm_exec::Partition::balanced(&costs, threads).imbalance()
 }
 
 #[cfg(test)]
@@ -255,7 +290,10 @@ mod tests {
         a.accumulate(&b);
         assert_eq!(a.flops, 700);
         assert_eq!(a.bytes, 150);
-        assert_eq!(KernelCost::sequential_total_us(&[a, b]), a.total_us() + b.total_us());
+        assert_eq!(
+            KernelCost::sequential_total_us(&[a, b]),
+            a.total_us() + b.total_us()
+        );
     }
 
     #[test]
@@ -278,13 +316,17 @@ mod tests {
     #[test]
     fn csr_gathers_cost_more_than_bspc() {
         // Same BSP-structured matrix, CSR vs BSPC plans.
-        let w = Matrix::from_fn(512, 512, |r, c| {
-            if c % 16 == (r / 64) % 16 {
-                0.5
-            } else {
-                0.0
-            }
-        });
+        let w = Matrix::from_fn(
+            512,
+            512,
+            |r, c| {
+                if c % 16 == (r / 64) % 16 {
+                    0.5
+                } else {
+                    0.0
+                }
+            },
+        );
         let gpu = GpuModel::adreno640();
         let csr_plan = ExecutionPlan::gpu_default(StorageFormat::Csr);
         let bspc_plan = ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 16);
@@ -341,5 +383,46 @@ mod tests {
         let a = gpu.kernel_cost(&KernelProfile::analyze(&w, &with), &with);
         let b = gpu.kernel_cost(&KernelProfile::analyze(&w, &without), &without);
         assert!(a.compute_us < b.compute_us, "reorder cuts compute time");
+    }
+
+    #[test]
+    fn measured_imbalance_of_uniform_matrix_is_near_one() {
+        let w = Matrix::filled(64, 64, 0.5);
+        for threads in [1usize, 2, 4, 8] {
+            let imb = measured_imbalance(&w, threads);
+            assert!((1.0..1.2).contains(&imb), "{threads} threads: {imb}");
+        }
+    }
+
+    #[test]
+    fn measured_imbalance_detects_skew() {
+        // One giant row among empty ones: with 4 threads the chunk holding
+        // it carries ~4x the mean cost.
+        let w = Matrix::from_fn(16, 64, |r, c| if r == 0 && c < 60 { 1.0 } else { 0.0 });
+        let imb = measured_imbalance(&w, 4);
+        assert!(imb > 2.0, "skewed partition must report imbalance: {imb}");
+        assert!((measured_imbalance(&w, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_cost_measured_replaces_analytic_factor() {
+        let w = Matrix::from_fn(64, 64, |r, c| if (r + c) % 3 == 0 { 0.5 } else { 0.0 });
+        let plan = ExecutionPlan::cpu_default(StorageFormat::Bspc);
+        let profile = KernelProfile::analyze(&w, &plan);
+        let cpu = CpuModel::kryo485();
+        let balanced = cpu.kernel_cost_measured(&profile, &plan, 1.0);
+        let skewed = cpu.kernel_cost_measured(&profile, &plan, 2.0);
+        assert!((skewed.compute_us / balanced.compute_us - 2.0).abs() < 1e-9);
+        assert!(skewed.memory_us > balanced.memory_us);
+        // Feeding the engine's own measured factor reproduces kernel_cost.
+        let engine = cpu.kernel_cost_measured(&profile, &plan, measured_imbalance(&w, 4));
+        assert!(engine.total_us() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "imbalance factor must be >= 1")]
+    fn kernel_cost_measured_rejects_sub_unit_factor() {
+        let (profile, plan) = dense_profile(8);
+        CpuModel::kryo485().kernel_cost_measured(&profile, &plan, 0.5);
     }
 }

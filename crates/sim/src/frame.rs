@@ -156,7 +156,11 @@ impl InferenceSim {
         FrameReport {
             time_us,
             gop,
-            gop_per_s: if time_us > 0.0 { gop * 1e6 / time_us } else { 0.0 },
+            gop_per_s: if time_us > 0.0 {
+                gop * 1e6 / time_us
+            } else {
+                0.0
+            },
             energy_uj,
             efficiency_vs_ese: self.ese.normalized_efficiency(energy_uj.max(1e-12)),
             kernels: costs.len(),
@@ -204,7 +208,11 @@ mod tests {
         assert!((r.gop - 0.58).abs() < 0.01, "GOP {}", r.gop);
         // Same order of magnitude as the paper's 3590 us (shape match, not
         // absolute): between 1 ms and 10 ms.
-        assert!(r.time_us > 1000.0 && r.time_us < 10_000.0, "time {}", r.time_us);
+        assert!(
+            r.time_us > 1000.0 && r.time_us < 10_000.0,
+            "time {}",
+            r.time_us
+        );
         assert_eq!(r.kernels, 4);
         assert!(r.memory_bound_fraction > 0.9, "dense GEMV is memory-bound");
     }
@@ -212,7 +220,13 @@ mod tests {
     #[test]
     fn time_falls_monotonically_with_compression() {
         let sim = InferenceSim::new();
-        let rates = [(1.0, 1.0), (10.0, 1.0), (16.0, 2.0), (20.0, 8.0), (20.0, 16.0)];
+        let rates = [
+            (1.0, 1.0),
+            (10.0, 1.0),
+            (16.0, 2.0),
+            (20.0, 8.0),
+            (20.0, 16.0),
+        ];
         let mut prev = f64::INFINITY;
         for &(c, r) in &rates {
             let w = workload_at(c, r);
@@ -308,7 +322,11 @@ mod tests {
         // CPU efficiency still crosses ESE's around 10x, as in Table II.
         let w = workload_at(10.0, 1.0);
         let cpu = sim.run_frame(&w, &cpu_plan);
-        assert!(cpu.efficiency_vs_ese > 0.8, "cpu eff {}", cpu.efficiency_vs_ese);
+        assert!(
+            cpu.efficiency_vs_ese > 0.8,
+            "cpu eff {}",
+            cpu.efficiency_vs_ese
+        );
     }
 
     #[test]
@@ -320,7 +338,11 @@ mod tests {
         let (report, trace) = sim.run_frame_traced(&w, &plan);
         assert_eq!(trace.kernels.len(), report.kernels);
         let sum: f64 = trace.kernels.iter().map(|(_, c)| c.total_us()).sum();
-        assert!((sum - report.time_us).abs() < 1e-6, "{sum} vs {}", report.time_us);
+        assert!(
+            (sum - report.time_us).abs() < 1e-6,
+            "{sum} vs {}",
+            report.time_us
+        );
         // Labels follow the layer/kernel naming.
         assert_eq!(trace.kernels[0].0, "layer0.Wx");
         assert_eq!(trace.kernels[3].0, "layer1.Uh");

@@ -49,7 +49,7 @@ pub mod sensitivity;
 pub mod streaming;
 pub mod workload;
 
-pub use device::{CpuModel, GpuModel, KernelCost};
+pub use device::{measured_imbalance, CpuModel, GpuModel, KernelCost};
 pub use ese::EseReference;
 pub use frame::{FrameReport, FrameTrace, InferenceSim};
 pub use realtime::RealTimeReport;

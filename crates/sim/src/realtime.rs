@@ -50,7 +50,11 @@ impl RealTimeReport {
         let audio = workload.timesteps_per_frame.max(1) as f64 * hop_us;
         let compute = frame.time_us;
         let rtf = compute / audio;
-        let headroom = if compute > 0.0 { audio / compute } else { f64::INFINITY };
+        let headroom = if compute > 0.0 {
+            audio / compute
+        } else {
+            f64::INFINITY
+        };
         RealTimeReport {
             audio_us_per_frame: audio,
             compute_us_per_frame: compute,
@@ -102,7 +106,11 @@ mod tests {
         let dense = RealTimeReport::analyze(&wd, &fd);
         let pruned = RealTimeReport::analyze(&wp, &fp);
         assert!(pruned.headroom > dense.headroom * 20.0);
-        assert!(pruned.concurrent_streams > 1000, "streams {}", pruned.concurrent_streams);
+        assert!(
+            pruned.concurrent_streams > 1000,
+            "streams {}",
+            pruned.concurrent_streams
+        );
     }
 
     #[test]

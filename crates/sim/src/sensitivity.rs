@@ -58,7 +58,9 @@ impl Knob {
         match self {
             Knob::StreamEfficiency => gpu.stream_efficiency *= factor,
             Knob::LaunchOverhead => gpu.launch_overhead_us *= factor,
-            Knob::GatherEfficiency => gpu.gather_efficiency = (gpu.gather_efficiency * factor).min(1.0),
+            Knob::GatherEfficiency => {
+                gpu.gather_efficiency = (gpu.gather_efficiency * factor).min(1.0)
+            }
             Knob::DecodeRate => gpu.index_decode_per_us *= factor,
         }
         gpu
@@ -173,7 +175,11 @@ mod tests {
             // Saturation is overhead-driven: it may legitimately weaken when
             // the launch overhead is halved, but must hold otherwise.
             if !(v.knob == Knob::LaunchOverhead && v.factor < 1.0) {
-                assert!(v.saturates, "saturation must survive {:?} x{}", v.knob, v.factor);
+                assert!(
+                    v.saturates,
+                    "saturation must survive {:?} x{}",
+                    v.knob, v.factor
+                );
             }
         }
     }
@@ -206,6 +212,9 @@ mod tests {
     fn analyze_covers_the_grid() {
         let verdicts = analyze(&[0.5, 1.0, 2.0], 1);
         assert_eq!(verdicts.len(), 12);
-        assert!(verdicts.iter().filter(|v| v.factor == 1.0).all(Verdict::all_hold));
+        assert!(verdicts
+            .iter()
+            .filter(|v| v.factor == 1.0)
+            .all(Verdict::all_hold));
     }
 }

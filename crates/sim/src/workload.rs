@@ -19,7 +19,6 @@
 
 use rtm_tensor::init::rng_from_seed;
 use rtm_tensor::Matrix;
-use rand::Rng;
 
 /// The GRU inference workload: fused weight matrices plus frame geometry.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,7 +66,10 @@ impl GruWorkload {
         blocks: usize,
         seed: u64,
     ) -> GruWorkload {
-        assert!(input_dim > 0 && hidden_dim > 0 && layers > 0, "dims must be positive");
+        assert!(
+            input_dim > 0 && hidden_dim > 0 && layers > 0,
+            "dims must be positive"
+        );
         assert!(stripes > 0 && blocks > 0, "partition must be positive");
         assert!(col_rate >= 1.0 && row_rate >= 1.0, "rates must be >= 1");
         let mut rng = rng_from_seed(seed);
@@ -141,7 +143,7 @@ fn bsp_structured(
     row_rate: f64,
     stripes: usize,
     blocks: usize,
-    rng: &mut rand::rngs::StdRng,
+    rng: &mut rtm_tensor::rng::StdRng,
 ) -> Matrix {
     let stripes = stripes.min(rows);
     let blocks = blocks.min(cols);
@@ -201,7 +203,10 @@ mod tests {
         // 3*(1024*40 + 1024^2) + 3*(1024^2 + 1024^2) = 9.56M
         let want = 3 * (1024 * 40 + 1024 * 1024) + 3 * (2 * 1024 * 1024);
         assert_eq!(w.total_params(), want);
-        assert!((w.total_params() as f64 - 9.6e6).abs() / 9.6e6 < 0.01, "within 1% of 9.6M");
+        assert!(
+            (w.total_params() as f64 - 9.6e6).abs() / 9.6e6 < 0.01,
+            "within 1% of 9.6M"
+        );
         assert_eq!(w.matrices.len(), 4, "2 layers x 2 fused kernels");
         assert_eq!(w.compression_rate(), 1.0);
     }

@@ -103,6 +103,35 @@ impl CscMatrix {
         Ok(y)
     }
 
+    /// Allocation-free SpMV into a caller-provided buffer (scatter
+    /// formulation; `y` is zeroed first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x.len() != self.cols()` or
+    /// `y.len() != self.rows()`.
+    pub fn spmv_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(ShapeError {
+                op: "csc_spmv_into",
+                lhs: (self.rows, self.cols),
+                rhs: (x.len(), y.len()),
+            });
+        }
+        y.fill(0.0);
+        for (c, &xc) in x.iter().enumerate().take(self.cols) {
+            if xc == 0.0 {
+                continue;
+            }
+            let start = self.col_ptr[c] as usize;
+            let end = self.col_ptr[c + 1] as usize;
+            for i in start..end {
+                y[self.row_idx[i] as usize] += self.values[i] * xc;
+            }
+        }
+        Ok(())
+    }
+
     /// Transposed product `y = Aᵀ x` (a gather per column — cheap in CSC).
     ///
     /// # Errors
@@ -146,16 +175,10 @@ impl CscMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use rtm_tensor::gemm;
 
     fn example() -> Matrix {
-        Matrix::from_rows(&[
-            &[1.0, 0.0, 2.0],
-            &[0.0, 5.0, 0.0],
-            &[0.0, 3.0, 4.0],
-        ])
-        .unwrap()
+        Matrix::from_rows(&[&[1.0, 0.0, 2.0], &[0.0, 5.0, 0.0], &[0.0, 3.0, 4.0]]).unwrap()
     }
 
     #[test]
@@ -199,17 +222,25 @@ mod tests {
         assert_eq!(z.spmv(&[1.0; 3]).unwrap(), vec![0.0; 2]);
     }
 
-    proptest! {
-        #[test]
-        fn prop_csc_equals_csr(rows in 1usize..10, cols in 1usize..10, seed in 0u64..500) {
+    /// Randomized (seed-driven) CSC-vs-CSR SpMV agreement.
+    #[test]
+    fn prop_csc_equals_csr() {
+        for seed in 0u64..200 {
             let mut rng = rtm_tensor::init::rng_from_seed(seed);
-            let dense = rtm_tensor::init::uniform(rows, cols, -1.0, 1.0, &mut rng)
-                .map(|v| if v.abs() < 0.4 { 0.0 } else { v });
+            let rows = rng.gen_range(1usize..10);
+            let cols = rng.gen_range(1usize..10);
+            let dense = rtm_tensor::init::uniform(rows, cols, -1.0, 1.0, &mut rng).map(|v| {
+                if v.abs() < 0.4 {
+                    0.0
+                } else {
+                    v
+                }
+            });
             let x: Vec<f32> = (0..cols).map(|i| (i as f32 * 0.3).cos()).collect();
             let via_csc = CscMatrix::from_dense(&dense).spmv(&x).unwrap();
             let via_csr = crate::CsrMatrix::from_dense(&dense).spmv(&x).unwrap();
             for (a, b) in via_csc.iter().zip(&via_csr) {
-                prop_assert!((a - b).abs() < 1e-4);
+                assert!((a - b).abs() < 1e-4, "seed {seed}");
             }
         }
     }

@@ -44,10 +44,10 @@ pub mod footprint;
 pub mod io;
 
 pub use bspc::{BspcError, BspcMatrix};
-pub use io::DecodeError;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use footprint::Footprint;
+pub use io::DecodeError;
 
 #[cfg(test)]
 mod tests {

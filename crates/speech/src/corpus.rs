@@ -19,9 +19,8 @@
 //! degradation is visible in both directions.
 
 use crate::phones::{NUM_PHONES, SILENCE};
-use rand::rngs::StdRng;
-use rand::Rng;
 use rtm_tensor::init::{rng_from_seed, standard_normal};
+use rtm_tensor::rng::StdRng;
 
 /// One utterance: frames with frame-level labels and the phone sequence.
 #[derive(Debug, Clone, PartialEq)]
@@ -118,7 +117,10 @@ impl SpeechCorpus {
     /// frame bounds).
     pub fn generate(cfg: &CorpusConfig, seed: u64) -> SpeechCorpus {
         assert!(cfg.feature_dim > 0, "feature_dim must be positive");
-        assert!(cfg.speakers > 0 && cfg.dialects > 0, "speakers/dialects must be positive");
+        assert!(
+            cfg.speakers > 0 && cfg.dialects > 0,
+            "speakers/dialects must be positive"
+        );
         assert!(
             cfg.min_phone_frames > 0 && cfg.min_phone_frames <= cfg.max_phone_frames,
             "invalid phone duration bounds"
@@ -153,7 +155,11 @@ impl SpeechCorpus {
 
         // Phonotactic bigram: a seeded row-stochastic transition preference.
         let transition_bias: Vec<Vec<f32>> = (0..NUM_PHONES)
-            .map(|_| (0..NUM_PHONES).map(|_| rng.gen_range(0.0f32..1.0)).collect())
+            .map(|_| {
+                (0..NUM_PHONES)
+                    .map(|_| rng.gen_range(0.0f32..1.0))
+                    .collect()
+            })
             .collect();
 
         let mut utterances = Vec::new();
@@ -312,7 +318,10 @@ mod tests {
     fn structure_matches_config() {
         let cfg = CorpusConfig::tiny();
         let corpus = SpeechCorpus::generate(&cfg, 1);
-        assert_eq!(corpus.utterances.len(), cfg.speakers * cfg.sentences_per_speaker);
+        assert_eq!(
+            corpus.utterances.len(),
+            cfg.speakers * cfg.sentences_per_speaker
+        );
         for u in &corpus.utterances {
             assert_eq!(u.frames.len(), u.labels.len());
             assert!(u.frames.iter().all(|f| f.len() == cfg.feature_dim));
@@ -374,9 +383,8 @@ mod tests {
             ..CorpusConfig::tiny()
         };
         let corpus = SpeechCorpus::generate(&cfg, 11);
-        let dist = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum()
-        };
+        let dist =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| (x - y).powi(2)).sum() };
         let mut own = 0.0f32;
         let mut other = 0.0f32;
         let mut n = 0;
@@ -388,7 +396,12 @@ mod tests {
             }
         }
         assert!(n > 0);
-        assert!(own / n as f32 <= other / n as f32, "own {} vs other {}", own, other);
+        assert!(
+            own / n as f32 <= other / n as f32,
+            "own {} vs other {}",
+            own,
+            other
+        );
     }
 
     #[test]

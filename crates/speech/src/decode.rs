@@ -93,7 +93,11 @@ mod tests {
     fn clean_logits(labels: &[usize], classes: usize) -> Vec<Vec<f32>> {
         labels
             .iter()
-            .map(|&l| (0..classes).map(|c| if c == l { 5.0 } else { 0.0 }).collect())
+            .map(|&l| {
+                (0..classes)
+                    .map(|c| if c == l { 5.0 } else { 0.0 })
+                    .collect()
+            })
             .collect()
     }
 
@@ -111,7 +115,10 @@ mod tests {
         let mut logits = clean_logits(&[0, 0, 0, 0, 0, 0], 3);
         logits[3] = vec![0.0, 1.5, 0.0]; // weak glitch toward 1
         let naive = crate::per::collapse_frames(
-            &logits.iter().map(|f| rtm_tensor::Vector::argmax(f)).collect::<Vec<_>>(),
+            &logits
+                .iter()
+                .map(|f| rtm_tensor::Vector::argmax(f))
+                .collect::<Vec<_>>(),
         );
         assert_eq!(naive, vec![0, 1, 0], "argmax inserts the glitch");
         let smoothed = viterbi_decode(&logits, 3.0);
@@ -157,8 +164,10 @@ mod tests {
         let mut smoothed = PerReport::default();
         for u in task.test_utterances() {
             let logits = net.forward(&u.frames);
-            let frame_preds: Vec<usize> =
-                logits.iter().map(|l| rtm_tensor::Vector::argmax(l)).collect();
+            let frame_preds: Vec<usize> = logits
+                .iter()
+                .map(|l| rtm_tensor::Vector::argmax(l))
+                .collect();
             naive.add(&frame_preds, &u.labels, &u.phones);
 
             let decoded = viterbi_decode(&logits, 2.5);

@@ -43,10 +43,7 @@ impl CmvnStats {
                 *v += (x - m) * (x - m);
             }
         }
-        let std = var
-            .into_iter()
-            .map(|v| (v / n).sqrt().max(1e-6))
-            .collect();
+        let std = var.into_iter().map(|v| (v / n).sqrt().max(1e-6)).collect();
         CmvnStats { mean, std }
     }
 

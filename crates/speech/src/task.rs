@@ -135,7 +135,6 @@ impl SpeechTask {
             (0.0..1.0).contains(&feature_dropout),
             "dropout must be in [0, 1)"
         );
-        use rand::Rng;
         let data = self.training_data();
         let mut opt = Adam::new(lr);
         let clip = Some(GradClip::new(5.0));
@@ -149,7 +148,7 @@ impl SpeechTask {
                     .map(|f| {
                         f.iter()
                             .map(|&v| {
-                                if feature_dropout > 0.0 && rng.gen::<f32>() < feature_dropout {
+                                if feature_dropout > 0.0 && rng.gen_f32() < feature_dropout {
                                     0.0
                                 } else {
                                     v + noise_std * rtm_tensor::init::standard_normal(&mut rng)
@@ -251,7 +250,11 @@ mod tests {
         assert_eq!(a, b);
         // Learns at least as well as chance.
         let report = task.evaluate(&a);
-        assert!(report.frame_accuracy() > 0.3, "acc {}", report.frame_accuracy());
+        assert!(
+            report.frame_accuracy() > 0.3,
+            "acc {}",
+            report.frame_accuracy()
+        );
     }
 
     #[test]

@@ -257,7 +257,11 @@ mod tests {
         // Quantized values differ from f32 originals but are close.
         assert!((xs[0] - 1.0 / 3.0).abs() < 1e-3);
         assert!((xs[1] - 0.1).abs() < 1e-3);
-        assert_eq!(quantize_f16(xs[0]), xs[0], "already quantized is a fixpoint");
+        assert_eq!(
+            quantize_f16(xs[0]),
+            xs[0],
+            "already quantized is a fixpoint"
+        );
     }
 
     #[test]

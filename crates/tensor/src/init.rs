@@ -10,8 +10,7 @@
 //! * [`uniform`] — plain `U(lo, hi)` for synthetic data.
 
 use crate::matrix::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 /// Creates a deterministic RNG from a seed.
 ///

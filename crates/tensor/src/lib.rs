@@ -18,6 +18,10 @@
 //!   experiment is reproducible from a `u64` seed.
 //! * [`stats`] — column/row norms, top-k selection and summary statistics
 //!   used by the pruning mask projections.
+//! * [`rng`] — a vendored deterministic PRNG (the workspace builds offline,
+//!   with no registry access).
+//! * [`wire`] — little-endian buffer read/write traits used by the
+//!   serialization formats in `rtm-sparse` and `rtmobile`.
 //!
 //! # Example
 //!
@@ -39,8 +43,10 @@ pub mod gemm;
 pub mod init;
 pub mod matrix;
 pub mod quant;
+pub mod rng;
 pub mod stats;
 pub mod vector;
+pub mod wire;
 
 pub use f16::F16;
 pub use matrix::{Matrix, ShapeError};

@@ -147,7 +147,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: r, cols: c, data })
+        Ok(Matrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// Creates a matrix by evaluating `f(row, col)` at every position.
@@ -207,7 +211,12 @@ impl Matrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row(&self, r: usize) -> &[f32] {
-        assert!(r < self.rows, "row {} out of bounds for {} rows", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds for {} rows",
+            r,
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -217,7 +226,12 @@ impl Matrix {
     ///
     /// Panics if `r >= self.rows()`.
     pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
-        assert!(r < self.rows, "row {} out of bounds for {} rows", r, self.rows);
+        assert!(
+            r < self.rows,
+            "row {} out of bounds for {} rows",
+            r,
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -227,7 +241,12 @@ impl Matrix {
     ///
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<f32> {
-        assert!(c < self.cols, "col {} out of bounds for {} cols", c, self.cols);
+        assert!(
+            c < self.cols,
+            "col {} out of bounds for {} cols",
+            c,
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, c)]).collect()
     }
 
@@ -281,7 +300,11 @@ impl Matrix {
     /// # Errors
     ///
     /// Returns [`ShapeError`] when shapes differ.
-    pub fn zip_map(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Result<Matrix, ShapeError> {
+    pub fn zip_map(
+        &self,
+        other: &Matrix,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Matrix, ShapeError> {
         if self.shape() != other.shape() {
             return Err(ShapeError {
                 op: "zip_map",
@@ -372,8 +395,14 @@ impl Matrix {
         col_start: usize,
         col_end: usize,
     ) -> Matrix {
-        assert!(row_start <= row_end && row_end <= self.rows, "row range out of bounds");
-        assert!(col_start <= col_end && col_end <= self.cols, "col range out of bounds");
+        assert!(
+            row_start <= row_end && row_end <= self.rows,
+            "row range out of bounds"
+        );
+        assert!(
+            col_start <= col_end && col_end <= self.cols,
+            "col range out of bounds"
+        );
         Matrix::from_fn(row_end - row_start, col_end - col_start, |r, c| {
             self[(row_start + r, col_start + c)]
         })
@@ -385,8 +414,14 @@ impl Matrix {
     ///
     /// Panics if the block does not fit.
     pub fn set_submatrix(&mut self, row_start: usize, col_start: usize, block: &Matrix) {
-        assert!(row_start + block.rows <= self.rows, "block rows exceed matrix");
-        assert!(col_start + block.cols <= self.cols, "block cols exceed matrix");
+        assert!(
+            row_start + block.rows <= self.rows,
+            "block rows exceed matrix"
+        );
+        assert!(
+            col_start + block.cols <= self.cols,
+            "block cols exceed matrix"
+        );
         for r in 0..block.rows {
             for c in 0..block.cols {
                 self[(row_start + r, col_start + c)] = block[(r, c)];
@@ -444,7 +479,11 @@ impl Matrix {
     ///
     /// Panics if `perm.len() != self.rows()` or any index is out of bounds.
     pub fn permute_rows(&self, perm: &[usize]) -> Matrix {
-        assert_eq!(perm.len(), self.rows, "permutation length must equal row count");
+        assert_eq!(
+            perm.len(),
+            self.rows,
+            "permutation length must equal row count"
+        );
         let mut out = Matrix::zeros(self.rows, self.cols);
         for (dst, &src) in perm.iter().enumerate() {
             assert!(src < self.rows, "permutation index out of bounds");
@@ -475,14 +514,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f32;
 
     fn index(&self, (r, c): (usize, usize)) -> &f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &self.data[r * self.cols + c]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         &mut self.data[r * self.cols + c]
     }
 }
@@ -494,7 +539,8 @@ impl Add<&Matrix> for &Matrix {
     ///
     /// Panics when shapes differ; use [`Matrix::zip_map`] for a fallible path.
     fn add(self, rhs: &Matrix) -> Matrix {
-        self.zip_map(rhs, |a, b| a + b).expect("add: shape mismatch")
+        self.zip_map(rhs, |a, b| a + b)
+            .expect("add: shape mismatch")
     }
 }
 
@@ -505,7 +551,8 @@ impl Sub<&Matrix> for &Matrix {
     ///
     /// Panics when shapes differ; use [`Matrix::zip_map`] for a fallible path.
     fn sub(self, rhs: &Matrix) -> Matrix {
-        self.zip_map(rhs, |a, b| a - b).expect("sub: shape mismatch")
+        self.zip_map(rhs, |a, b| a - b)
+            .expect("sub: shape mismatch")
     }
 }
 

@@ -1,0 +1,218 @@
+//! Vendored deterministic PRNG — the workspace's offline replacement for
+//! the `rand` crate.
+//!
+//! The build environment has no registry access, so the few primitives the
+//! workspace needs (seeded stream, uniform floats, bounded integers) are
+//! implemented here directly: a [xoshiro256**] generator seeded through
+//! SplitMix64, the combination recommended by the xoshiro authors. The type
+//! is named [`StdRng`] so existing call sites keep reading naturally; the
+//! stream is stable across platforms and releases, which the seeded
+//! experiments rely on.
+//!
+//! [xoshiro256**]: https://prng.di.unimi.it/
+
+use std::ops::{Range, RangeInclusive};
+
+/// A small, fast, seedable pseudo-random generator (xoshiro256**).
+///
+/// Not cryptographically secure — this is an experiment-reproducibility
+/// stream, nothing more.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    ///
+    /// The four xoshiro words are expanded from the seed with SplitMix64,
+    /// as the xoshiro reference implementation prescribes, so nearby seeds
+    /// still produce decorrelated streams.
+    pub fn seed_from_u64(seed: u64) -> StdRng {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32 random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 bits of precision.
+    pub fn gen_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+
+    /// Uniform sample from `range`; supports `Range`/`RangeInclusive` of
+    /// `f32` and `usize`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty range (`lo >= hi` for half-open, `lo > hi` for
+    /// inclusive), matching `rand`'s contract.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Fills `buf` with random bytes (used by the decoder fuzz tests).
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        for chunk in buf.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+/// Range types [`StdRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+impl SampleRange for Range<f32> {
+    type Output = f32;
+    fn sample(self, rng: &mut StdRng) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty f32 range");
+        let v = self.start + rng.gen_f32() * (self.end - self.start);
+        // Floating-point rounding can land exactly on `end`; nudge back in.
+        if v < self.end {
+            v
+        } else {
+            self.start.max(f32::from_bits(self.end.to_bits() - 1))
+        }
+    }
+}
+
+impl SampleRange for RangeInclusive<f32> {
+    type Output = f32;
+    fn sample(self, rng: &mut StdRng) -> f32 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty f32 range");
+        lo + rng.gen_f32() * (hi - lo)
+    }
+}
+
+/// Unbiased-enough bounded integer via the 128-bit multiply reduction.
+fn bounded(rng: &mut StdRng, width: u64) -> u64 {
+    ((rng.next_u64() as u128 * width as u128) >> 64) as u64
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut StdRng) -> usize {
+        assert!(self.start < self.end, "gen_range: empty usize range");
+        self.start + bounded(rng, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange for RangeInclusive<usize> {
+    type Output = usize;
+    fn sample(self, rng: &mut StdRng) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty usize range");
+        lo + bounded(rng, (hi - lo) as u64 + 1) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let mut c = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn f32_in_unit_interval_and_covers_it() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lo = 1.0f32;
+        let mut hi = 0.0f32;
+        for _ in 0..10_000 {
+            let v = rng.gen_f32();
+            assert!((0.0..1.0).contains(&v));
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 0.01 && hi > 0.99, "poor coverage: [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-2.0f32..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let g = rng.gen_range(-1.0f32..=1.0);
+            assert!((-1.0..=1.0).contains(&g));
+            let u = rng.gen_range(3usize..7);
+            assert!((3..7).contains(&u));
+            let v = rng.gen_range(3usize..=7);
+            assert!((3..=7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn usize_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn degenerate_inclusive_range_is_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(rng.gen_range(4usize..=4), 4);
+        assert_eq!(rng.gen_range(1.5f32..=1.5), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty usize range")]
+    fn empty_range_panics() {
+        StdRng::seed_from_u64(0).gen_range(3usize..3);
+    }
+
+    #[test]
+    fn fill_bytes_varies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut a = [0u8; 13];
+        let mut b = [0u8; 13];
+        rng.fill_bytes(&mut a);
+        rng.fill_bytes(&mut b);
+        assert_ne!(a, b);
+    }
+}

@@ -27,7 +27,13 @@ pub fn col_norms(m: &Matrix) -> Vec<f32> {
 }
 
 /// L2 norms of the columns of a sub-block `rows × [col_start, col_end)`.
-pub fn block_col_norms(m: &Matrix, row_start: usize, row_end: usize, col_start: usize, col_end: usize) -> Vec<f32> {
+pub fn block_col_norms(
+    m: &Matrix,
+    row_start: usize,
+    row_end: usize,
+    col_start: usize,
+    col_end: usize,
+) -> Vec<f32> {
     let mut sums = vec![0.0f32; col_end - col_start];
     for r in row_start..row_end {
         let row = m.row(r);
@@ -66,7 +72,9 @@ pub fn kth_largest_abs(m: &Matrix, k: usize) -> f32 {
     let k = k.min(mags.len());
     // Select the k-th largest (0-indexed k-1 in descending order).
     let target = k - 1;
-    mags.select_nth_unstable_by(target, |a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+    mags.select_nth_unstable_by(target, |a, b| {
+        b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal)
+    });
     mags[target]
 }
 

@@ -1,0 +1,137 @@
+//! Little-endian wire buffer traits — the workspace's offline replacement
+//! for the `bytes` crate.
+//!
+//! The serialization code in `rtm-sparse::io` and `rtmobile::model_file`
+//! only needs a small slice of the `bytes` API: append primitives to a
+//! growable buffer and consume primitives from a shrinking slice. The trait
+//! and method names match `bytes` so the call sites read identically.
+
+/// Append-side buffer operations (implemented for `Vec<u8>`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Appends a `u16` in little-endian order.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends a `u32` in little-endian order.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+    /// Appends an `f32` in little-endian order.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Consume-side buffer operations (implemented for `&[u8]`, which advances
+/// through the underlying bytes as values are read).
+///
+/// The `get_*`/`copy_to_slice`/`advance` methods panic when the buffer holds
+/// fewer bytes than requested, matching `bytes`; decoders guard with
+/// [`Buf::remaining`] first.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+    /// Copies `dst.len()` bytes out and advances past them.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32 {
+        f32::from_bits(self.get_u32_le())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end of buffer");
+        *self = &self[n..];
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "read past end of buffer");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u8(0xAB);
+        out.put_u16_le(0x1234);
+        out.put_u32_le(0xDEAD_BEEF);
+        out.put_f32_le(-1.5);
+        out.put_slice(&[1, 2, 3]);
+
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.remaining(), 1 + 2 + 4 + 4 + 3);
+        assert_eq!(buf.get_u8(), 0xAB);
+        assert_eq!(buf.get_u16_le(), 0x1234);
+        assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_f32_le(), -1.5);
+        let mut tail = [0u8; 3];
+        buf.copy_to_slice(&mut tail);
+        assert_eq!(tail, [1, 2, 3]);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u32_le(0x0102_0304);
+        assert_eq!(out, [0x04, 0x03, 0x02, 0x01]);
+    }
+
+    #[test]
+    fn advance_skips() {
+        let mut buf: &[u8] = &[9, 9, 7];
+        buf.advance(2);
+        assert_eq!(buf.get_u8(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "read past end")]
+    fn short_read_panics() {
+        let mut buf: &[u8] = &[1];
+        buf.get_u32_le();
+    }
+}

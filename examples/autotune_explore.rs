@@ -64,10 +64,9 @@ fn main() {
     println!("block-size search with a combined accuracy+latency objective:");
     let ((s, b), cost) = tune_block_size(&partitions, |s, b| {
         let w = GruWorkload::with_bsp_pattern(40, 1024, 2, 16.0, 2.0, s, b, 3);
-        let plan = rtm_compiler::plan::ExecutionPlan::gpu_default(
-            rtm_compiler::plan::StorageFormat::Bspc,
-        )
-        .with_bsp_partition(s, b);
+        let plan =
+            rtm_compiler::plan::ExecutionPlan::gpu_default(rtm_compiler::plan::StorageFormat::Bspc)
+                .with_bsp_partition(s, b);
         let latency = sim.run_frame(&w, &plan).time_us;
         // Coarseness proxy: fewer, larger blocks = stiffer masks = more
         // accuracy loss. Weighted to trade ~1 us per granularity step.
@@ -76,10 +75,9 @@ fn main() {
     });
     for &(ps, pb) in &partitions {
         let w = GruWorkload::with_bsp_pattern(40, 1024, 2, 16.0, 2.0, ps, pb, 3);
-        let plan = rtm_compiler::plan::ExecutionPlan::gpu_default(
-            rtm_compiler::plan::StorageFormat::Bspc,
-        )
-        .with_bsp_partition(ps, pb);
+        let plan =
+            rtm_compiler::plan::ExecutionPlan::gpu_default(rtm_compiler::plan::StorageFormat::Bspc)
+                .with_bsp_partition(ps, pb);
         println!(
             "  {}x{:<2} -> latency {:>6.1} us + accuracy-proxy {:>5.1}",
             ps,

@@ -50,11 +50,7 @@ fn main() {
         a.achieved_rate,
         a.degradation()
     );
-    println!(
-        "   (The paper's 10x point loses nothing at 9.6M parameters; this demo model is"
-    );
-    println!(
-        "   ~110x smaller, so part of the degradation is pure capacity — see the"
-    );
+    println!("   (The paper's 10x point loses nothing at 9.6M parameters; this demo model is");
+    println!("   ~110x smaller, so part of the degradation is pure capacity — see the");
     println!("   capacity-reference row of `cargo run -p rtm-bench --bin table1`.)");
 }

@@ -83,7 +83,10 @@ fn main() {
     println!("Sample decodings (held-out speakers):");
     for u in task.test_utterances().into_iter().take(3) {
         println!("  reference : {}", spell(&u.phones));
-        println!("  compiled  : {}", spell(&collapse_frames(&compiled.predict(&u.frames))));
+        println!(
+            "  compiled  : {}",
+            spell(&collapse_frames(&compiled.predict(&u.frames)))
+        );
         println!();
     }
 }

@@ -25,7 +25,10 @@ use rtm_speech::phones;
 use rtm_speech::task::SpeechTask;
 
 fn spell(seq: &[usize]) -> String {
-    seq.iter().map(|&p| phones::label(p)).collect::<Vec<_>>().join(" ")
+    seq.iter()
+        .map(|&p| phones::label(p))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 fn main() {
@@ -80,7 +83,11 @@ fn main() {
         println!(
             "{label:<11}: {} | service {:.1} us per {:.0} us of audio | RTF {:.5} | \
              max latency {:.1} us | {} concurrent streams",
-            if stream.stable { "stable" } else { "OVERLOADED" },
+            if stream.stable {
+                "stable"
+            } else {
+                "OVERLOADED"
+            },
             stream.service_us,
             stream.period_us,
             rt.rtf,

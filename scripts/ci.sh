@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Tier-1 gate for this repository (see ROADMAP.md). Runs entirely offline:
+# the workspace has no registry dependencies, so no network is required.
+#
+# Usage: scripts/ci.sh [--quick]
+#   --quick   skip the release build (debug build + tests only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+if [[ "${1:-}" == "--quick" ]]; then
+  quick=1
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+if [[ "$quick" -eq 0 ]]; then
+  echo "==> cargo build --release"
+  cargo build --release --workspace
+fi
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI gate passed."

@@ -55,8 +55,8 @@ fn pruned_network(target: CompressionTarget) -> GruNetwork {
 fn bsp_output_is_bspc_exact() {
     let net = pruned_network(CompressionTarget::new(4.0, 2.0));
     for (name, w) in net.prunable() {
-        let bspc = BspcMatrix::from_dense(w, 4.min(w.rows()), 4.min(w.cols()))
-            .expect("partition fits");
+        let bspc =
+            BspcMatrix::from_dense(w, 4.min(w.rows()), 4.min(w.cols())).expect("partition fits");
         assert_eq!(bspc.to_dense(), *w, "{name} must round-trip");
         let x: Vec<f32> = (0..w.cols()).map(|i| (i as f32 * 0.7).sin()).collect();
         let want = gemm::gemv(w, &x).expect("dims");
@@ -82,7 +82,10 @@ fn bsp_masks_unlock_rle_sharing() {
     let stats = analyze_loads(&z, None, 8);
     let per_stripe_pattern: usize = 8; // 4 blocks x 8 cols x 25% = 2 cols/block
     assert_eq!(stats.rle_loads, 4 * per_stripe_pattern);
-    assert!((stats.elimination_ratio() - 8.0).abs() < 1e-9, "stripe height sharing");
+    assert!(
+        (stats.elimination_ratio() - 8.0).abs() < 1e-9,
+        "stripe height sharing"
+    );
 }
 
 /// BSPC storage beats CSR on a BSP-pruned network, at both precisions —
@@ -129,10 +132,10 @@ fn reorder_permutation_attaches_to_bspc() {
 fn cost_model_orders_formats_consistently() {
     let net = pruned_network(CompressionTarget::new(8.0, 2.0));
     let (_, w) = &net.prunable()[1]; // 32x32 recurrent tensor
-    // Scale it up so the costs dominate launch overhead. The 32-row BSP
-    // pattern (4 stripes of 8) tiles to 32 stripes of 8 in 256 rows; the
-    // BSPC plans below use that matched partition, exactly as the pipeline
-    // derives it from the pruner configuration.
+                                     // Scale it up so the costs dominate launch overhead. The 32-row BSP
+                                     // pattern (4 stripes of 8) tiles to 32 stripes of 8 in 256 rows; the
+                                     // BSPC plans below use that matched partition, exactly as the pipeline
+                                     // derives it from the pruner configuration.
     let big = Matrix::from_fn(256, 256, |r, c| w[(r % 32, c % 32)]);
 
     let gpu = GpuModel::adreno640();

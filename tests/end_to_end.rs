@@ -53,14 +53,17 @@ fn pruned_model_runs_identically_through_the_compiled_runtime() {
     });
     pruner.prune(&mut net, &task.training_data());
 
-    let compiled = CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F32)
-        .expect("partition fits");
+    let compiled =
+        CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F32).expect("partition fits");
     for u in task.test_utterances().into_iter().take(4) {
         let dense = net.forward(&u.frames);
         let sparse = compiled.forward(&u.frames);
         for (d, s) in dense.iter().zip(&sparse) {
             for (a, b) in d.iter().zip(s) {
-                assert!((a - b).abs() < 1e-4, "compiled runtime must match dense: {a} vs {b}");
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "compiled runtime must match dense: {a} vs {b}"
+                );
             }
         }
     }
@@ -174,7 +177,8 @@ fn speedup_saturates_and_crosses_ese() {
 
     let time_at = |col: f64, row: f64, dense: bool| -> f64 {
         let w = GruWorkload::with_bsp_pattern(40, 1024, 2, col, row, 8, 8, 1);
-        sim.run_frame(&w, if dense { &dense_plan } else { &plan }).time_us
+        sim.run_frame(&w, if dense { &dense_plan } else { &plan })
+            .time_us
     };
 
     let dense = time_at(1.0, 1.0, true);
@@ -188,7 +192,10 @@ fn speedup_saturates_and_crosses_ese() {
     assert!(high / extreme < 1.3, "saturation: {high} vs {extreme}");
     // ESE-latency crossover near 245x (within 2x, per EXPERIMENTS.md).
     let ese = EseReference::paper().time_per_frame_us;
-    assert!(high < 2.0 * ese, "GPU at ~245x ({high}) must be near ESE ({ese})");
+    assert!(
+        high < 2.0 * ese,
+        "GPU at ~245x ({high}) must be near ESE ({ese})"
+    );
     // Dense is dramatically slower — the >30x headline speedup range.
     assert!(dense / high > 20.0, "speedup {}", dense / high);
 }

@@ -1,0 +1,140 @@
+//! Cross-crate integration: the parallel execution engine drives the whole
+//! deployed stack — rtm-exec kernels, rtm-rnn cells, and the rtmobile
+//! compiled runtime — and every parallel path stays bit-identical to its
+//! serial counterpart for every thread count.
+
+use rtm_exec::Executor;
+use rtm_rnn::lstm::LstmCell;
+use rtm_rnn::model::NetworkConfig;
+use rtm_rnn::GruNetwork;
+use rtm_sparse::{BspcMatrix, CsrMatrix};
+use rtm_tensor::rng::StdRng;
+use rtm_tensor::Matrix;
+use rtmobile::deploy::{CompiledNetwork, RuntimePrecision};
+
+const THREADS: [usize; 4] = [1, 2, 3, 8];
+
+fn bsp_weight(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keep: Vec<bool> = (0..cols).map(|_| rng.gen_f32() < 0.4).collect();
+    Matrix::from_fn(rows, cols, |r, c| {
+        if keep[c] {
+            0.1 + ((r * 7 + c * 3) % 23) as f32 / 10.0
+        } else {
+            0.0
+        }
+    })
+}
+
+#[test]
+fn executor_matches_serial_for_all_formats() {
+    let w = bsp_weight(96, 64, 3);
+    let bspc = BspcMatrix::from_dense(&w, 4, 4).unwrap();
+    let csr = CsrMatrix::from_dense(&w);
+    let mut rng = StdRng::seed_from_u64(9);
+    let x: Vec<f32> = (0..64).map(|_| rng.gen_f32() * 2.0 - 1.0).collect();
+    let serial_bspc = bspc.spmv(&x).unwrap();
+    let serial_csr = csr.spmv(&x).unwrap();
+    for threads in THREADS {
+        let exec = Executor::new(threads);
+        assert_eq!(exec.spmv_bspc(&bspc, &x).unwrap(), serial_bspc);
+        assert_eq!(exec.spmv_csr(&csr, &x).unwrap(), serial_csr);
+    }
+}
+
+#[test]
+fn gru_cell_parallel_timestep_bit_exact() {
+    let net = GruNetwork::new(
+        &NetworkConfig {
+            input_dim: 8,
+            hidden_dims: vec![16],
+            num_classes: 3,
+        },
+        5,
+    );
+    let cell = &net.layers[0];
+    let x: Vec<f32> = (0..8).map(|i| (i as f32 * 0.7).sin()).collect();
+    let mut h = vec![0.0f32; 16];
+    for threads in THREADS {
+        let exec = Executor::new(threads);
+        let serial = cell.step(&x, &h);
+        assert_eq!(cell.step_with(&exec, &x, &h), serial);
+        h = serial.h;
+    }
+}
+
+#[test]
+fn lstm_cell_parallel_timestep_bit_exact() {
+    let cell = LstmCell::new(6, 12, 7);
+    let x: Vec<f32> = (0..6).map(|i| (i as f32 * 0.5).cos()).collect();
+    let (mut h, mut c) = (vec![0.0f32; 12], vec![0.0f32; 12]);
+    for threads in THREADS {
+        let exec = Executor::new(threads);
+        let serial = cell.step(&x, &h, &c);
+        assert_eq!(cell.step_with(&exec, &x, &h, &c), serial);
+        h = serial.h;
+        c = serial.c;
+    }
+}
+
+#[test]
+fn compiled_network_parallel_inference_bit_exact() {
+    let net = GruNetwork::new(
+        &NetworkConfig {
+            input_dim: 6,
+            hidden_dims: vec![12, 12],
+            num_classes: 4,
+        },
+        11,
+    );
+    let frames: Vec<Vec<f32>> = (0..7)
+        .map(|t| {
+            (0..6)
+                .map(|i| ((t * 6 + i) as f32 * 0.3).sin() * 0.5)
+                .collect()
+        })
+        .collect();
+    for precision in [RuntimePrecision::F32, RuntimePrecision::F16] {
+        let compiled = CompiledNetwork::compile(&net, 4, 4, precision).unwrap();
+        let serial = compiled.forward(&frames);
+        for threads in THREADS {
+            let exec = Executor::new(threads);
+            assert_eq!(
+                compiled.forward_with(&exec, &frames),
+                serial,
+                "{precision:?}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn one_executor_serves_the_whole_stack() {
+    // A single pool handle is reused across raw SpMV, cell steps and
+    // compiled inference — the deployment shape (one pool per process).
+    let exec = Executor::new(3);
+    let w = bsp_weight(32, 24, 1);
+    let bspc = BspcMatrix::from_dense(&w, 2, 2).unwrap();
+    let x = vec![0.25f32; 24];
+    assert_eq!(exec.spmv_bspc(&bspc, &x).unwrap(), bspc.spmv(&x).unwrap());
+
+    let cell = LstmCell::new(4, 8, 2);
+    let xs: Vec<f32> = (0..4).map(|i| i as f32 * 0.1).collect();
+    let serial = cell.step(&xs, &[0.0; 8], &[0.0; 8]);
+    assert_eq!(cell.step_with(&exec, &xs, &[0.0; 8], &[0.0; 8]), serial);
+
+    let net = GruNetwork::new(
+        &NetworkConfig {
+            input_dim: 4,
+            hidden_dims: vec![8],
+            num_classes: 2,
+        },
+        3,
+    );
+    let compiled = CompiledNetwork::compile(&net, 2, 2, RuntimePrecision::F32).unwrap();
+    let frames = vec![vec![0.1f32, -0.2, 0.3, -0.4]; 5];
+    assert_eq!(
+        compiled.predict_with(&exec, &frames),
+        compiled.predict(&frames)
+    );
+}

@@ -87,15 +87,10 @@ fn corrupted_models_never_panic() {
 fn f16_storage_halves_the_file() {
     let task = SpeechTask::new(&CorpusConfig::tiny(), 9);
     let net = task.new_network(24, 9);
-    let f32_model =
-        CompiledNetwork::compile(&net, 4, 2, RuntimePrecision::F32).expect("fits");
-    let f16_model =
-        CompiledNetwork::compile(&net, 4, 2, RuntimePrecision::F16).expect("fits");
+    let f32_model = CompiledNetwork::compile(&net, 4, 2, RuntimePrecision::F32).expect("fits");
+    let f16_model = CompiledNetwork::compile(&net, 4, 2, RuntimePrecision::F16).expect("fits");
     let b32 = model_file::to_bytes(&f32_model).len();
     let b16 = model_file::to_bytes(&f16_model).len();
     // Values dominate the file; f16 should land well under 75% of f32.
-    assert!(
-        (b16 as f64) < (b32 as f64) * 0.75,
-        "f16 {b16} vs f32 {b32}"
-    );
+    assert!((b16 as f64) < (b32 as f64) * 0.75, "f16 {b16} vs f32 {b32}");
 }
