@@ -143,16 +143,15 @@ mod tests {
         for seed in 0..3u64 {
             let w = bsp_random(41, 29, 1, 1, 1.0, 1.0, seed);
             let x = input(29, seed);
+            // Serial reference through the same dispatched simd kernel the
+            // parallel row workers run — results must be bit-identical for
+            // every thread count and every SimdPolicy.
             let serial: Vec<f32> = (0..41)
-                .map(|r| w.row(r).iter().zip(&x).map(|(a, b)| a * b).sum())
+                .map(|r| rtm_tensor::simd::dot(w.row(r), &x))
                 .collect();
             for threads in THREADS {
                 let exec = Executor::new(threads);
-                let par = exec.gemv_dense(&w, &x).unwrap();
-                // Same accumulation order as the reference loop above.
-                for (p, s) in par.iter().zip(&serial) {
-                    assert!((p - s).abs() <= 1e-6, "{p} vs {s}");
-                }
+                assert_eq!(exec.gemv_dense(&w, &x).unwrap(), serial, "seed {seed}");
             }
         }
     }

@@ -44,6 +44,7 @@ pub fn bspc_rows_into(
     let stripe_h = m.stripe_height();
     let kept = m.kept_rows();
     let values = m.values();
+    let variant = rtm_tensor::simd::active_variant();
     let mut gathered: Vec<f32> = Vec::new();
     let mut k = kept_range.start;
     while k < kept_range.end {
@@ -58,11 +59,11 @@ pub fn bspc_rows_into(
         for kk in k..run_end {
             let off = m.row_offset(kk);
             let vals = &values[off..off + cols.len()];
-            let mut acc = 0.0f32;
-            for (w, xv) in vals.iter().zip(&gathered) {
-                acc += w * xv;
-            }
-            y[kept[kk] as usize - y_base] = acc;
+            // Unit-stride simd dot over the gathered stripe inputs. The
+            // vector realization groups lanes exactly like the indexed dot
+            // of the serial `BspcMatrix::spmv_into`, so parallel results
+            // stay bit-identical to serial ones under every SimdPolicy.
+            y[kept[kk] as usize - y_base] = rtm_tensor::simd::dot_variant(variant, vals, &gathered);
         }
         k = run_end;
     }
@@ -80,14 +81,16 @@ pub fn csr_rows_into(
     let row_ptr = m.row_ptr();
     let col_idx = m.col_idx();
     let values = m.values();
+    let variant = rtm_tensor::simd::active_variant();
     for r in rows {
         let start = row_ptr[r] as usize;
         let end = row_ptr[r + 1] as usize;
-        let mut acc = 0.0f32;
-        for i in start..end {
-            acc += values[i] * x[col_idx[i] as usize];
-        }
-        y[r - y_base] = acc;
+        y[r - y_base] = rtm_tensor::simd::indexed_dot_variant(
+            variant,
+            &values[start..end],
+            &col_idx[start..end],
+            x,
+        );
     }
 }
 
@@ -100,12 +103,9 @@ pub fn dense_rows_into(
     y: &mut [f32],
     y_base: usize,
 ) {
+    let variant = rtm_tensor::simd::active_variant();
     for r in rows {
-        let mut acc = 0.0f32;
-        for (w, xv) in m.row(r).iter().zip(x) {
-            acc += w * xv;
-        }
-        y[r - y_base] = acc;
+        y[r - y_base] = rtm_tensor::simd::dot_variant(variant, m.row(r), x);
     }
 }
 

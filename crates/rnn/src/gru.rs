@@ -17,8 +17,8 @@
 //! Backpropagation-through-time is implemented analytically; the test module
 //! validates every gradient against central finite differences.
 
-use rtm_tensor::activations::{sigmoid, tanh};
-use rtm_tensor::gemm::{gemv, gemv_transposed, ger};
+use rtm_tensor::activations::{sigmoid_slice, tanh_slice};
+use rtm_tensor::gemm::{gemv_into, gemv_transposed, ger};
 use rtm_tensor::init::{rng_from_seed, xavier_uniform};
 use rtm_tensor::{Matrix, Vector};
 
@@ -92,6 +92,34 @@ pub struct GruCache {
     pub steps: Vec<GruStep>,
 }
 
+/// Reusable per-sequence workspace for the allocation-free step forms
+/// ([`GruCell::step_into`] / [`GruCell::step_with_into`]).
+///
+/// One instance amortizes every intermediate across all timesteps of a
+/// sequence — and across layers of different widths, since the buffers are
+/// resized on use. Steady-state inference allocates nothing per frame.
+#[derive(Debug, Clone, Default)]
+pub struct GruScratch {
+    /// Recurrent-term temp: `U·h_{t-1}` per gate in the serial path, then
+    /// `U_n (r ⊙ h_{t-1})` in the candidate phase.
+    tmp: Vec<f32>,
+    /// Second gate temp so the pooled path's phase-A tasks write disjointly.
+    tmp2: Vec<f32>,
+    /// Reset-gated state `r ⊙ h_{t-1}`.
+    rh: Vec<f32>,
+}
+
+impl GruScratch {
+    /// Workspace pre-sized for a cell of the given hidden width.
+    pub fn new(hidden_dim: usize) -> GruScratch {
+        GruScratch {
+            tmp: vec![0.0; hidden_dim],
+            tmp2: vec![0.0; hidden_dim],
+            rh: vec![0.0; hidden_dim],
+        }
+    }
+}
+
 impl GruCell {
     /// Creates a cell with Xavier-initialized weights and zero biases.
     pub fn new(input_dim: usize, hidden_dim: usize, seed: u64) -> GruCell {
@@ -156,45 +184,63 @@ impl GruCell {
     /// Panics if `x.len() != self.input_dim()` or
     /// `h_prev.len() != self.hidden_dim()`.
     pub fn step(&self, x: &[f32], h_prev: &[f32]) -> GruStep {
+        let mut scratch = GruScratch::new(self.hidden_dim());
+        let mut out = GruStep::default();
+        self.step_into(x, h_prev, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`GruCell::step`]: every intermediate lives
+    /// in `scratch` and the activations land in `out` (both resized on
+    /// entry, so reuse across layers of different widths is fine).
+    ///
+    /// The arithmetic sequence is identical to [`GruCell::step`] — results
+    /// are bit-exact with the allocating form under every
+    /// [`SimdPolicy`](rtm_tensor::simd::SimdPolicy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_dim()` or
+    /// `h_prev.len() != self.hidden_dim()`.
+    pub fn step_into(
+        &self,
+        x: &[f32],
+        h_prev: &[f32],
+        scratch: &mut GruScratch,
+        out: &mut GruStep,
+    ) {
         assert_eq!(x.len(), self.input_dim(), "input dim mismatch");
         assert_eq!(h_prev.len(), self.hidden_dim(), "hidden dim mismatch");
         let h = self.hidden_dim();
+        out.z.resize(h, 0.0);
+        out.r.resize(h, 0.0);
+        out.n.resize(h, 0.0);
+        out.h.resize(h, 0.0);
+        scratch.tmp.resize(h, 0.0);
+        scratch.rh.resize(h, 0.0);
 
-        let mut z = gemv(&self.w_z, x).expect("shape checked");
-        Vector::axpy(
-            1.0,
-            &gemv(&self.u_z, h_prev).expect("shape checked"),
-            &mut z,
-        );
-        Vector::axpy(1.0, &self.b_z, &mut z);
-        for v in &mut z {
-            *v = sigmoid(*v);
-        }
+        gemv_into(&self.w_z, x, &mut out.z).expect("shape checked");
+        gemv_into(&self.u_z, h_prev, &mut scratch.tmp).expect("shape checked");
+        Vector::axpy(1.0, &scratch.tmp, &mut out.z);
+        Vector::axpy(1.0, &self.b_z, &mut out.z);
+        sigmoid_slice(&mut out.z);
 
-        let mut r = gemv(&self.w_r, x).expect("shape checked");
-        Vector::axpy(
-            1.0,
-            &gemv(&self.u_r, h_prev).expect("shape checked"),
-            &mut r,
-        );
-        Vector::axpy(1.0, &self.b_r, &mut r);
-        for v in &mut r {
-            *v = sigmoid(*v);
-        }
+        gemv_into(&self.w_r, x, &mut out.r).expect("shape checked");
+        gemv_into(&self.u_r, h_prev, &mut scratch.tmp).expect("shape checked");
+        Vector::axpy(1.0, &scratch.tmp, &mut out.r);
+        Vector::axpy(1.0, &self.b_r, &mut out.r);
+        sigmoid_slice(&mut out.r);
 
-        let rh: Vec<f32> = r.iter().zip(h_prev).map(|(&ri, &hi)| ri * hi).collect();
-        let mut n = gemv(&self.w_n, x).expect("shape checked");
-        Vector::axpy(1.0, &gemv(&self.u_n, &rh).expect("shape checked"), &mut n);
-        Vector::axpy(1.0, &self.b_n, &mut n);
-        for v in &mut n {
-            *v = tanh(*v);
-        }
+        Vector::hadamard_into(&out.r, h_prev, &mut scratch.rh);
+        gemv_into(&self.w_n, x, &mut out.n).expect("shape checked");
+        gemv_into(&self.u_n, &scratch.rh, &mut scratch.tmp).expect("shape checked");
+        Vector::axpy(1.0, &scratch.tmp, &mut out.n);
+        Vector::axpy(1.0, &self.b_n, &mut out.n);
+        tanh_slice(&mut out.n);
 
-        let mut h_new = vec![0.0f32; h];
-        for i in 0..h {
-            h_new[i] = (1.0 - z[i]) * n[i] + z[i] * h_prev[i];
+        for (((hi, &zi), &ni), &hp) in out.h.iter_mut().zip(&out.z).zip(&out.n).zip(h_prev) {
+            *hi = (1.0 - zi) * ni + zi * hp;
         }
-        GruStep { z, r, n, h: h_new }
     }
 
     /// One forward step with the gate matvecs dispatched through a parallel
@@ -212,61 +258,118 @@ impl GruCell {
     /// Panics if `x.len() != self.input_dim()` or
     /// `h_prev.len() != self.hidden_dim()`.
     pub fn step_with(&self, exec: &rtm_exec::Executor, x: &[f32], h_prev: &[f32]) -> GruStep {
+        let mut scratch = GruScratch::new(self.hidden_dim());
+        let mut out = GruStep::default();
+        self.step_with_into(exec, x, h_prev, &mut scratch, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`GruCell::step_with`]: the pooled phase-A
+    /// tasks write straight into `out.z` / `out.r` / `out.n` with per-task
+    /// temporaries from `scratch`, so the streaming loop allocates nothing
+    /// per frame. Bit-exact with [`GruCell::step_into`] for any thread
+    /// count (same per-gate accumulation order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.input_dim()` or
+    /// `h_prev.len() != self.hidden_dim()`.
+    pub fn step_with_into(
+        &self,
+        exec: &rtm_exec::Executor,
+        x: &[f32],
+        h_prev: &[f32],
+        scratch: &mut GruScratch,
+        out: &mut GruStep,
+    ) {
         assert_eq!(x.len(), self.input_dim(), "input dim mismatch");
         assert_eq!(h_prev.len(), self.hidden_dim(), "hidden dim mismatch");
         let h = self.hidden_dim();
+        out.z.resize(h, 0.0);
+        out.r.resize(h, 0.0);
+        out.n.resize(h, 0.0);
+        out.h.resize(h, 0.0);
+        scratch.tmp.resize(h, 0.0);
+        scratch.tmp2.resize(h, 0.0);
+        scratch.rh.resize(h, 0.0);
 
-        let mut z = Vec::new();
-        let mut r = Vec::new();
-        let mut n = Vec::new();
         {
-            let gate = |w: &'_ Matrix, u: &'_ Matrix, b: &'_ [f32], out: &'_ mut Vec<f32>| {
-                let mut a = gemv(w, x).expect("shape checked");
-                Vector::axpy(1.0, &gemv(u, h_prev).expect("shape checked"), &mut a);
-                Vector::axpy(1.0, b, &mut a);
-                for v in &mut a {
-                    *v = sigmoid(*v);
-                }
-                *out = a;
+            let gate = |w: &Matrix, u: &Matrix, b: &[f32], a: &mut [f32], tmp: &mut [f32]| {
+                gemv_into(w, x, a).expect("shape checked");
+                gemv_into(u, h_prev, tmp).expect("shape checked");
+                Vector::axpy(1.0, tmp, a);
+                Vector::axpy(1.0, b, a);
+                sigmoid_slice(a);
             };
-            let z_out = &mut z;
-            let r_out = &mut r;
-            let n_out = &mut n;
+            let z_out = &mut out.z;
+            let r_out = &mut out.r;
+            let n_out = &mut out.n;
+            let tmp_z = &mut scratch.tmp;
+            let tmp_r = &mut scratch.tmp2;
             exec.run(vec![
-                Box::new(move || gate(&self.w_z, &self.u_z, &self.b_z, z_out)),
-                Box::new(move || gate(&self.w_r, &self.u_r, &self.b_r, r_out)),
-                Box::new(move || *n_out = gemv(&self.w_n, x).expect("shape checked")),
+                Box::new(move || gate(&self.w_z, &self.u_z, &self.b_z, z_out, tmp_z)),
+                Box::new(move || gate(&self.w_r, &self.u_r, &self.b_r, r_out, tmp_r)),
+                Box::new(move || gemv_into(&self.w_n, x, n_out).expect("shape checked")),
             ]);
         }
 
         // Phase B: the candidate recurrence needs the reset gate.
-        let rh: Vec<f32> = r.iter().zip(h_prev).map(|(&ri, &hi)| ri * hi).collect();
-        Vector::axpy(1.0, &gemv(&self.u_n, &rh).expect("shape checked"), &mut n);
-        Vector::axpy(1.0, &self.b_n, &mut n);
-        for v in &mut n {
-            *v = tanh(*v);
-        }
+        Vector::hadamard_into(&out.r, h_prev, &mut scratch.rh);
+        gemv_into(&self.u_n, &scratch.rh, &mut scratch.tmp).expect("shape checked");
+        Vector::axpy(1.0, &scratch.tmp, &mut out.n);
+        Vector::axpy(1.0, &self.b_n, &mut out.n);
+        tanh_slice(&mut out.n);
 
-        let mut h_new = vec![0.0f32; h];
-        for i in 0..h {
-            h_new[i] = (1.0 - z[i]) * n[i] + z[i] * h_prev[i];
+        for (((hi, &zi), &ni), &hp) in out.h.iter_mut().zip(&out.z).zip(&out.n).zip(h_prev) {
+            *hi = (1.0 - zi) * ni + zi * hp;
         }
-        GruStep { z, r, n, h: h_new }
     }
 
     /// Runs the cell over a full sequence starting from the zero state,
     /// returning the cache needed by [`GruCell::backward`].
+    ///
+    /// This is the *training* path: BPTT needs every input frame, entering
+    /// state and gate activation, so the cache owns copies of them. When no
+    /// backward pass will follow, use [`GruCell::forward_states`] instead —
+    /// it keeps none of that.
     pub fn forward(&self, xs: &[Vec<f32>]) -> GruCache {
         let mut cache = GruCache::default();
+        let mut scratch = GruScratch::new(self.hidden_dim());
         let mut h = vec![0.0f32; self.hidden_dim()];
         for x in xs {
+            let mut step = GruStep::default();
+            self.step_into(x, &h, &mut scratch, &mut step);
             cache.xs.push(x.clone());
-            cache.h_prevs.push(h.clone());
-            let step = self.step(x, &h);
-            h = step.h.clone();
+            // The entering state moves into the cache; the new state is the
+            // single clone the recurrence itself requires.
+            cache
+                .h_prevs
+                .push(std::mem::replace(&mut h, step.h.clone()));
             cache.steps.push(step);
         }
         cache
+    }
+
+    /// Inference-only forward: the hidden state per timestep, nothing else.
+    ///
+    /// Unlike [`GruCell::forward`] this caches no inputs, entering states or
+    /// gate activations — a reused [`GruScratch`] plus one reused
+    /// [`GruStep`] serve the whole sequence, and the only per-frame
+    /// allocation is the returned state itself. Bit-exact with the cached
+    /// path (`cache.steps[t].h == states[t]`).
+    pub fn forward_states(&self, xs: &[Vec<f32>]) -> Vec<Vec<f32>> {
+        let mut scratch = GruScratch::new(self.hidden_dim());
+        let mut step = GruStep::default();
+        let mut h = vec![0.0f32; self.hidden_dim()];
+        let mut states = Vec::with_capacity(xs.len());
+        for x in xs {
+            self.step_into(x, &h, &mut scratch, &mut step);
+            // Double-buffer: the fresh state becomes next step's h_prev and
+            // the old h buffer is recycled as the next output target.
+            std::mem::swap(&mut h, &mut step.h);
+            states.push(h.clone());
+        }
+        states
     }
 
     /// Backpropagation through time.
@@ -681,6 +784,65 @@ mod tests {
     fn step_rejects_bad_input() {
         let cell = GruCell::new(2, 2, 0);
         cell.step(&[1.0], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn step_into_reuses_buffers_bit_exact() {
+        let cell = GruCell::new(5, 7, 13);
+        let mut scratch = GruScratch::new(7);
+        let mut out = GruStep::default();
+        let mut h = vec![0.0f32; 7];
+        for t in 0..6 {
+            let x: Vec<f32> = (0..5).map(|i| ((t * 5 + i) as f32 * 0.3).sin()).collect();
+            let fresh = cell.step(&x, &h);
+            cell.step_into(&x, &h, &mut scratch, &mut out);
+            assert_eq!(out, fresh, "step {t}");
+            h = fresh.h;
+        }
+    }
+
+    #[test]
+    fn step_with_into_reuses_buffers_bit_exact() {
+        let cell = GruCell::new(6, 10, 17);
+        let exec = rtm_exec::Executor::new(3);
+        let mut scratch = GruScratch::new(10);
+        let mut out = GruStep::default();
+        let mut h = vec![0.0f32; 10];
+        for t in 0..4 {
+            let x: Vec<f32> = (0..6).map(|i| ((t * 6 + i) as f32 * 0.4).sin()).collect();
+            let serial = cell.step(&x, &h);
+            cell.step_with_into(&exec, &x, &h, &mut scratch, &mut out);
+            assert_eq!(out, serial, "step {t}");
+            h = serial.h;
+        }
+    }
+
+    #[test]
+    fn forward_states_matches_cached_forward() {
+        let cell = GruCell::new(3, 5, 21);
+        let xs: Vec<Vec<f32>> = (0..9)
+            .map(|t| (0..3).map(|i| ((t * 3 + i) as f32 * 0.17).cos()).collect())
+            .collect();
+        let cache = cell.forward(&xs);
+        let states = cell.forward_states(&xs);
+        let want: Vec<Vec<f32>> = cache.steps.iter().map(|s| s.h.clone()).collect();
+        assert_eq!(states, want);
+    }
+
+    #[test]
+    fn scratch_adapts_across_cell_widths() {
+        // A stacked network threads ONE scratch through layers of different
+        // widths; the buffers must resize transparently.
+        let wide = GruCell::new(4, 9, 1);
+        let narrow = GruCell::new(9, 3, 2);
+        let mut scratch = GruScratch::new(9);
+        let mut out = GruStep::default();
+        let x: Vec<f32> = (0..4).map(|i| i as f32 * 0.2 - 0.3).collect();
+        wide.step_into(&x, &[0.0; 9], &mut scratch, &mut out);
+        assert_eq!(out, wide.step(&x, &[0.0; 9]));
+        let mid = out.h.clone();
+        narrow.step_into(&mid, &[0.0; 3], &mut scratch, &mut out);
+        assert_eq!(out, narrow.step(&mid, &[0.0; 3]));
     }
 
     #[test]

@@ -102,9 +102,18 @@ impl GruNetwork {
     }
 
     /// Forward pass producing per-frame logits (no caches kept).
+    ///
+    /// This is the inference path: each GRU layer runs through
+    /// [`GruCell::forward_states`], which reuses one scratch workspace and
+    /// keeps no BPTT state — no per-frame clones of inputs, entering states
+    /// or gate activations. Training goes through
+    /// [`GruNetwork::forward_cached`]; the two are bit-exact.
     pub fn forward(&self, frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
-        let (logits, _) = self.forward_cached(frames);
-        logits
+        let mut current = self.layers[0].forward_states(frames);
+        for layer in &self.layers[1..] {
+            current = layer.forward_states(&current);
+        }
+        current.iter().map(|h| self.head.forward(h)).collect()
     }
 
     /// Forward pass that also returns the caches needed for

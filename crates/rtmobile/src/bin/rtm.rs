@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! rtm pipeline [--hidden N] [--col X] [--row Y] [--stripes S] [--blocks B]
-//!              [--seed K] [--threads T] [--save FILE.rtm]
+//!              [--seed K] [--threads T] [--simd POLICY] [--save FILE.rtm]
 //! rtm inspect FILE.rtm
 //! rtm help
 //! ```
@@ -36,9 +36,13 @@ fn print_help() {
     println!();
     println!("USAGE:");
     println!("  rtm pipeline [--hidden N] [--col X] [--row Y] [--stripes S] [--blocks B]");
-    println!("               [--seed K] [--threads T] [--save FILE.rtm]");
+    println!("               [--seed K] [--threads T] [--simd POLICY] [--save FILE.rtm]");
     println!("  rtm inspect FILE.rtm");
     println!("  rtm help");
+    println!();
+    println!("  --simd picks the kernel dispatch policy: auto (default; widest");
+    println!("  realization the CPU supports), off/scalar, u4, u8, or vector.");
+    println!("  The RTM_SIMD environment variable sets the same knob.");
 }
 
 /// Parses `--flag value` pairs; returns `None` (after printing) on errors.
@@ -84,18 +88,36 @@ fn pipeline(args: &[String]) -> ExitCode {
         eprintln!("--threads must be >= 1");
         return ExitCode::FAILURE;
     }
+    let simd = match flags.get("simd") {
+        None => None,
+        Some(v) => match rtm_tensor::simd::parse_policy(v) {
+            Some(p) => Some(p),
+            None => {
+                eprintln!("--simd must be auto, off, scalar, u4, u8 or vector (got {v})");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
 
     println!(
         "Running the RTMobile pipeline: hidden {hidden}, target {col}x cols x {row}x rows, \
          partition {stripes}x{blocks}, seed {seed}, {threads} thread(s)"
     );
-    let (report, _net, compiled) = RtMobile::builder()
+    let mut builder = RtMobile::builder()
         .hidden(hidden)
         .compression(col, row)
         .partition(stripes, blocks)
         .seed(seed)
-        .threads(threads)
-        .run_keeping_model();
+        .threads(threads);
+    if let Some(policy) = simd {
+        builder = builder.simd(policy);
+    }
+    let (report, _net, compiled) = builder.run_keeping_model();
+    println!(
+        "Kernel dispatch: {} (vector ISA: {})",
+        rtm_tensor::simd::active_variant().name(),
+        rtm_tensor::simd::vector_isa()
+    );
     println!("{}", report.render());
 
     if let Some(path) = flags.get("save") {

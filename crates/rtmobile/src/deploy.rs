@@ -11,7 +11,7 @@
 use rtm_compiler::reorder::ReorderPlan;
 use rtm_rnn::GruNetwork;
 use rtm_sparse::BspcMatrix;
-use rtm_tensor::activations::{sigmoid, tanh};
+use rtm_tensor::activations::{sigmoid, sigmoid_slice, tanh, tanh_slice};
 use rtm_tensor::f16::quantize_f16;
 use rtm_tensor::{Matrix, Vector};
 
@@ -50,6 +50,49 @@ pub struct CompiledNetwork {
     pub(crate) head_w: Matrix,
     pub(crate) head_b: Vec<f32>,
     pub(crate) precision: RuntimePrecision,
+}
+
+/// Reusable workspace for the compiled streaming loop.
+///
+/// One instance serves every layer of every frame of a stream: the gate
+/// vectors and recurrent-SpMV temporaries live here and are resized on
+/// use, so the steady state of [`CompiledNetwork::forward`] /
+/// [`CompiledNetwork::forward_with`] allocates nothing but the returned
+/// logits.
+#[derive(Debug, Clone, Default)]
+pub struct GruRuntimeScratch {
+    /// Update gate.
+    z: Vec<f32>,
+    /// Reset gate.
+    r: Vec<f32>,
+    /// Candidate state.
+    n: Vec<f32>,
+    /// Reset-gated state `r ⊙ h_prev`.
+    rh: Vec<f32>,
+    /// Recurrent-SpMV temp (serial path) / `U_n (r ⊙ h)` (both paths).
+    tmp: Vec<f32>,
+    /// `U_z h_prev` in the pooled phase A.
+    tmp2: Vec<f32>,
+    /// `U_r h_prev` in the pooled phase A.
+    tmp3: Vec<f32>,
+}
+
+impl GruRuntimeScratch {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> GruRuntimeScratch {
+        GruRuntimeScratch::default()
+    }
+
+    /// Sizes the per-gate buffers for a layer of width `hidden`.
+    fn reserve(&mut self, hidden: usize) {
+        self.z.resize(hidden, 0.0);
+        self.r.resize(hidden, 0.0);
+        self.n.resize(hidden, 0.0);
+        self.rh.resize(hidden, 0.0);
+        self.tmp.resize(hidden, 0.0);
+        self.tmp2.resize(hidden, 0.0);
+        self.tmp3.resize(hidden, 0.0);
+    }
 }
 
 impl CompiledNetwork {
@@ -139,19 +182,28 @@ impl CompiledNetwork {
 
     /// Runs inference over a frame sequence, returning per-frame logits.
     ///
+    /// Streaming is zero-allocation in steady state: one
+    /// [`GruRuntimeScratch`] plus double-buffered state/input vectors serve
+    /// every frame; only the returned logit rows are freshly allocated.
+    ///
     /// # Panics
     ///
     /// Panics if the frame dimension does not match the compiled model.
     pub fn forward(&self, frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
         let mut states: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.hidden]).collect();
+        let mut scratch = GruRuntimeScratch::new();
+        let mut x: Vec<f32> = Vec::new();
+        let mut h_next: Vec<f32> = Vec::new();
         let mut logits = Vec::with_capacity(frames.len());
         for frame in frames {
-            let mut x = frame.clone();
+            x.clear();
+            x.extend_from_slice(frame);
             self.maybe_quantize(&mut x);
             for (layer, h) in self.layers.iter().zip(states.iter_mut()) {
-                let new_h = layer.step(&x, h, self.precision);
-                *h = new_h;
-                x = h.clone();
+                layer.step_into(&x, h, self.precision, &mut scratch, &mut h_next);
+                std::mem::swap(h, &mut h_next);
+                x.clear();
+                x.extend_from_slice(h);
             }
             let mut out = rtm_tensor::gemm::gemv(&self.head_w, &x).expect("head dims");
             Vector::axpy(1.0, &self.head_b, &mut out);
@@ -178,14 +230,19 @@ impl CompiledNetwork {
     /// Panics if the frame dimension does not match the compiled model.
     pub fn forward_with(&self, exec: &rtm_exec::Executor, frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
         let mut states: Vec<Vec<f32>> = self.layers.iter().map(|l| vec![0.0; l.hidden]).collect();
+        let mut scratch = GruRuntimeScratch::new();
+        let mut x: Vec<f32> = Vec::new();
+        let mut h_next: Vec<f32> = Vec::new();
         let mut logits = Vec::with_capacity(frames.len());
         for frame in frames {
-            let mut x = frame.clone();
+            x.clear();
+            x.extend_from_slice(frame);
             self.maybe_quantize(&mut x);
             for (layer, h) in self.layers.iter().zip(states.iter_mut()) {
-                let new_h = layer.step_with(exec, &x, h, self.precision);
-                *h = new_h;
-                x = h.clone();
+                layer.step_with_into(exec, &x, h, self.precision, &mut scratch, &mut h_next);
+                std::mem::swap(h, &mut h_next);
+                x.clear();
+                x.extend_from_slice(h);
             }
             let mut out = rtm_tensor::gemm::gemv(&self.head_w, &x).expect("head dims");
             Vector::axpy(1.0, &self.head_b, &mut out);
@@ -272,123 +329,126 @@ impl FusedGruLayer {
 }
 
 impl CompiledGruLayer {
-    fn step(&self, x: &[f32], h_prev: &[f32], precision: RuntimePrecision) -> Vec<f32> {
-        let quantize = |v: &mut Vec<f32>| {
+    /// One serial GRU step, allocation-free: gates and temporaries live in
+    /// `scratch`, the fresh state lands in `h_out` (resized on entry).
+    fn step_into(
+        &self,
+        x: &[f32],
+        h_prev: &[f32],
+        precision: RuntimePrecision,
+        scratch: &mut GruRuntimeScratch,
+        h_out: &mut Vec<f32>,
+    ) {
+        let quantize = |v: &mut [f32]| {
             if precision == RuntimePrecision::F16 {
                 for e in v.iter_mut() {
                     *e = quantize_f16(*e);
                 }
             }
         };
-        // One scratch vector serves all three recurrent SpMVs.
-        let mut scratch = vec![0.0f32; self.hidden];
+        scratch.reserve(self.hidden);
+        h_out.resize(self.hidden, 0.0);
 
-        let mut z = self.w_z.spmv(x).expect("dims");
-        self.u_z.spmv_into(h_prev, &mut scratch).expect("dims");
-        Vector::axpy(1.0, &scratch, &mut z);
-        Vector::axpy(1.0, &self.b_z, &mut z);
-        for v in &mut z {
-            *v = sigmoid(*v);
-        }
-        quantize(&mut z);
+        self.w_z.spmv_into(x, &mut scratch.z).expect("dims");
+        self.u_z.spmv_into(h_prev, &mut scratch.tmp).expect("dims");
+        Vector::axpy(1.0, &scratch.tmp, &mut scratch.z);
+        Vector::axpy(1.0, &self.b_z, &mut scratch.z);
+        sigmoid_slice(&mut scratch.z);
+        quantize(&mut scratch.z);
 
-        let mut r = self.w_r.spmv(x).expect("dims");
-        self.u_r.spmv_into(h_prev, &mut scratch).expect("dims");
-        Vector::axpy(1.0, &scratch, &mut r);
-        Vector::axpy(1.0, &self.b_r, &mut r);
-        for v in &mut r {
-            *v = sigmoid(*v);
-        }
-        quantize(&mut r);
+        self.w_r.spmv_into(x, &mut scratch.r).expect("dims");
+        self.u_r.spmv_into(h_prev, &mut scratch.tmp).expect("dims");
+        Vector::axpy(1.0, &scratch.tmp, &mut scratch.r);
+        Vector::axpy(1.0, &self.b_r, &mut scratch.r);
+        sigmoid_slice(&mut scratch.r);
+        quantize(&mut scratch.r);
 
-        let rh: Vec<f32> = r.iter().zip(h_prev).map(|(&a, &b)| a * b).collect();
-        let mut n = self.w_n.spmv(x).expect("dims");
-        self.u_n.spmv_into(&rh, &mut scratch).expect("dims");
-        Vector::axpy(1.0, &scratch, &mut n);
-        Vector::axpy(1.0, &self.b_n, &mut n);
-        for v in &mut n {
-            *v = tanh(*v);
-        }
-        quantize(&mut n);
+        Vector::hadamard_into(&scratch.r, h_prev, &mut scratch.rh);
+        self.w_n.spmv_into(x, &mut scratch.n).expect("dims");
+        self.u_n
+            .spmv_into(&scratch.rh, &mut scratch.tmp)
+            .expect("dims");
+        Vector::axpy(1.0, &scratch.tmp, &mut scratch.n);
+        Vector::axpy(1.0, &self.b_n, &mut scratch.n);
+        tanh_slice(&mut scratch.n);
+        quantize(&mut scratch.n);
 
-        let mut h = vec![0.0f32; self.hidden];
         for i in 0..self.hidden {
-            h[i] = (1.0 - z[i]) * n[i] + z[i] * h_prev[i];
+            h_out[i] = (1.0 - scratch.z[i]) * scratch.n[i] + scratch.z[i] * h_prev[i];
         }
-        quantize(&mut h);
-        h
+        quantize(h_out);
     }
 
     /// One step with the five `h_prev`-independent gate SpMVs (`W_z x`,
     /// `U_z h`, `W_r x`, `U_r h`, `W_n x`) dispatched as parallel pool
     /// tasks, and the reset-gated candidate recurrence `U_n (r ⊙ h)` as a
     /// row-parallel BSPC SpMV once `r` is known. Combination order per gate
-    /// matches [`CompiledGruLayer::step`] exactly, so the output is
-    /// bit-identical to the serial step for any thread count.
-    fn step_with(
+    /// matches [`CompiledGruLayer::step_into`] exactly, so the output is
+    /// bit-identical to the serial step for any thread count — and like the
+    /// serial form, the steady state allocates nothing: the pool tasks
+    /// write straight into disjoint `scratch` buffers.
+    fn step_with_into(
         &self,
         exec: &rtm_exec::Executor,
         x: &[f32],
         h_prev: &[f32],
         precision: RuntimePrecision,
-    ) -> Vec<f32> {
-        let quantize = |v: &mut Vec<f32>| {
+        scratch: &mut GruRuntimeScratch,
+        h_out: &mut Vec<f32>,
+    ) {
+        let quantize = |v: &mut [f32]| {
             if precision == RuntimePrecision::F16 {
                 for e in v.iter_mut() {
                     *e = quantize_f16(*e);
                 }
             }
         };
+        scratch.reserve(self.hidden);
+        h_out.resize(self.hidden, 0.0);
 
-        // Phase A: everything that only needs x and h_prev.
-        let (mut wzx, mut uzh, mut wrx, mut urh, mut wnx) =
-            (Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new());
+        // Phase A: everything that only needs x and h_prev. The gate input
+        // terms land in z/r/n, the recurrent terms in tmp2/tmp3.
         {
-            let spmv = |m: &'_ BspcMatrix, v: &'_ [f32], out: &'_ mut Vec<f32>| {
-                *out = m.spmv(v).expect("dims");
+            let spmv = |m: &BspcMatrix, v: &[f32], out: &mut [f32]| {
+                m.spmv_into(v, out).expect("dims");
             };
-            let (o1, o2, o3, o4, o5) = (&mut wzx, &mut uzh, &mut wrx, &mut urh, &mut wnx);
+            let wzx = &mut scratch.z;
+            let uzh = &mut scratch.tmp2;
+            let wrx = &mut scratch.r;
+            let urh = &mut scratch.tmp3;
+            let wnx = &mut scratch.n;
             exec.run(vec![
-                Box::new(move || spmv(&self.w_z, x, o1)),
-                Box::new(move || spmv(&self.u_z, h_prev, o2)),
-                Box::new(move || spmv(&self.w_r, x, o3)),
-                Box::new(move || spmv(&self.u_r, h_prev, o4)),
-                Box::new(move || spmv(&self.w_n, x, o5)),
+                Box::new(move || spmv(&self.w_z, x, wzx)),
+                Box::new(move || spmv(&self.u_z, h_prev, uzh)),
+                Box::new(move || spmv(&self.w_r, x, wrx)),
+                Box::new(move || spmv(&self.u_r, h_prev, urh)),
+                Box::new(move || spmv(&self.w_n, x, wnx)),
             ]);
         }
 
-        let mut z = wzx;
-        Vector::axpy(1.0, &uzh, &mut z);
-        Vector::axpy(1.0, &self.b_z, &mut z);
-        for v in &mut z {
-            *v = sigmoid(*v);
-        }
-        quantize(&mut z);
+        Vector::axpy(1.0, &scratch.tmp2, &mut scratch.z);
+        Vector::axpy(1.0, &self.b_z, &mut scratch.z);
+        sigmoid_slice(&mut scratch.z);
+        quantize(&mut scratch.z);
 
-        let mut r = wrx;
-        Vector::axpy(1.0, &urh, &mut r);
-        Vector::axpy(1.0, &self.b_r, &mut r);
-        for v in &mut r {
-            *v = sigmoid(*v);
-        }
-        quantize(&mut r);
+        Vector::axpy(1.0, &scratch.tmp3, &mut scratch.r);
+        Vector::axpy(1.0, &self.b_r, &mut scratch.r);
+        sigmoid_slice(&mut scratch.r);
+        quantize(&mut scratch.r);
 
         // Phase B: the candidate recurrence, row-parallel across the pool.
-        let rh: Vec<f32> = r.iter().zip(h_prev).map(|(&a, &b)| a * b).collect();
-        let mut n = wnx;
-        Vector::axpy(1.0, &exec.spmv_bspc(&self.u_n, &rh).expect("dims"), &mut n);
-        Vector::axpy(1.0, &self.b_n, &mut n);
-        for v in &mut n {
-            *v = tanh(*v);
-        }
-        quantize(&mut n);
+        Vector::hadamard_into(&scratch.r, h_prev, &mut scratch.rh);
+        exec.spmv_bspc_into(&self.u_n, &scratch.rh, &mut scratch.tmp)
+            .expect("dims");
+        Vector::axpy(1.0, &scratch.tmp, &mut scratch.n);
+        Vector::axpy(1.0, &self.b_n, &mut scratch.n);
+        tanh_slice(&mut scratch.n);
+        quantize(&mut scratch.n);
 
-        let mut h = vec![0.0f32; self.hidden];
         for i in 0..self.hidden {
-            h[i] = (1.0 - z[i]) * n[i] + z[i] * h_prev[i];
+            h_out[i] = (1.0 - scratch.z[i]) * scratch.n[i] + scratch.z[i] * h_prev[i];
         }
-        quantize(&mut h);
-        h
+        quantize(h_out);
     }
 }
 

@@ -41,6 +41,7 @@ pub struct RtMobile {
     seed: u64,
     sim_hidden: usize,
     threads: usize,
+    simd: Option<rtm_tensor::simd::SimdPolicy>,
 }
 
 impl RtMobile {
@@ -65,6 +66,7 @@ impl RtMobile {
             seed: 1,
             sim_hidden: 1024,
             threads: 1,
+            simd: None,
         }
     }
 
@@ -135,6 +137,18 @@ impl RtMobile {
         self
     }
 
+    /// Kernel dispatch policy for every tensor/SpMV kernel the run touches
+    /// (process-global, see [`rtm_tensor::simd::set_policy`]): `Auto` picks
+    /// the widest realization the host supports, `Fixed` pins one — e.g.
+    /// force-scalar for a bit-exactness audit. When this knob is not set,
+    /// the `RTM_SIMD` environment variable (read once per process) decides.
+    /// Scalar and vector paths differ only in float summation order, never
+    /// in any reported accuracy metric's meaning.
+    pub fn simd(mut self, policy: rtm_tensor::simd::SimdPolicy) -> RtMobile {
+        self.simd = Some(policy);
+        self
+    }
+
     /// Executes the pipeline.
     ///
     /// # Panics
@@ -152,6 +166,10 @@ impl RtMobile {
     ///
     /// Panics on internal shape errors (a bug) or invalid configuration.
     pub fn run_keeping_model(self) -> (PipelineReport, rtm_rnn::GruNetwork, CompiledNetwork) {
+        if let Some(policy) = self.simd {
+            rtm_tensor::simd::set_policy(policy);
+        }
+
         // 1. Task + dense training.
         let task = SpeechTask::new(&self.corpus, self.seed);
         let mut net = task.new_network(self.hidden, self.seed.wrapping_add(1));

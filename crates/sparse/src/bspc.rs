@@ -388,20 +388,8 @@ impl BspcMatrix {
                 rhs: (x.len(), 1),
             });
         }
-        let stripe_h = self.stripe_height();
         let mut y = vec![0.0f32; self.rows];
-        for (k, &r) in self.kept_rows.iter().enumerate() {
-            let r = r as usize;
-            let s = r / stripe_h;
-            let cols = &self.stripe_cols[s];
-            let off = self.row_offsets[k] as usize;
-            let vals = &self.values[off..off + cols.len()];
-            let mut acc = 0.0f32;
-            for (&c, &w) in cols.iter().zip(vals) {
-                acc += w * x[c as usize];
-            }
-            y[r] = acc;
-        }
+        self.spmv_into(x, &mut y)?;
         Ok(y)
     }
 
@@ -422,17 +410,19 @@ impl BspcMatrix {
         }
         y.fill(0.0);
         let stripe_h = self.stripe_height();
+        // One indexed dot over the stripe's shared column stream per kept
+        // row, through the simd kernel layer. The vector realization
+        // groups lanes exactly like the dense dot `rtm-exec` runs after
+        // gathering a stripe into scratch, so serial and parallel SpMV
+        // stay bit-identical under every SimdPolicy.
+        let v = rtm_tensor::simd::active_variant();
         for (k, &r) in self.kept_rows.iter().enumerate() {
             let r = r as usize;
             let s = r / stripe_h;
             let cols = &self.stripe_cols[s];
             let off = self.row_offsets[k] as usize;
             let vals = &self.values[off..off + cols.len()];
-            let mut acc = 0.0f32;
-            for (&c, &w) in cols.iter().zip(vals) {
-                acc += w * x[c as usize];
-            }
-            y[r] = acc;
+            y[r] = rtm_tensor::simd::indexed_dot_variant(v, vals, cols, x);
         }
         Ok(())
     }

@@ -159,15 +159,7 @@ impl CsrMatrix {
             });
         }
         let mut y = vec![0.0f32; self.rows];
-        for (r, yr) in y.iter_mut().enumerate() {
-            let start = self.row_ptr[r] as usize;
-            let end = self.row_ptr[r + 1] as usize;
-            let mut acc = 0.0f32;
-            for i in start..end {
-                acc += self.values[i] * x[self.col_idx[i] as usize];
-            }
-            *yr = acc;
-        }
+        self.spmv_into(x, &mut y)?;
         Ok(y)
     }
 
@@ -186,14 +178,19 @@ impl CsrMatrix {
                 rhs: (x.len(), y.len()),
             });
         }
+        // One indexed dot per row through the simd kernel layer (AVX2 runs
+        // the column gather in-register); the variant is hoisted so every
+        // row of a call uses the same realization.
+        let v = rtm_tensor::simd::active_variant();
         for (r, yr) in y.iter_mut().enumerate() {
             let start = self.row_ptr[r] as usize;
             let end = self.row_ptr[r + 1] as usize;
-            let mut acc = 0.0f32;
-            for i in start..end {
-                acc += self.values[i] * x[self.col_idx[i] as usize];
-            }
-            *yr = acc;
+            *yr = rtm_tensor::simd::indexed_dot_variant(
+                v,
+                &self.values[start..end],
+                &self.col_idx[start..end],
+                x,
+            );
         }
         Ok(())
     }

@@ -53,17 +53,19 @@ pub fn relu_deriv(x: f32) -> f32 {
 }
 
 /// Applies sigmoid to every element in place.
+///
+/// Dispatched through the [`simd`](crate::simd) sweep kernels. All sweep
+/// variants apply the same scalar stable [`sigmoid`] per element, so the
+/// result is bit-identical under every
+/// [`SimdPolicy`](crate::simd::SimdPolicy).
 pub fn sigmoid_slice(xs: &mut [f32]) {
-    for x in xs {
-        *x = sigmoid(*x);
-    }
+    crate::simd::sigmoid_sweep(xs);
 }
 
-/// Applies tanh to every element in place.
+/// Applies tanh to every element in place (see [`sigmoid_slice`] for the
+/// dispatch contract).
 pub fn tanh_slice(xs: &mut [f32]) {
-    for x in xs {
-        *x = tanh(*x);
-    }
+    crate::simd::tanh_sweep(xs);
 }
 
 /// In-place numerically-stable softmax (subtracts the max before

@@ -116,26 +116,38 @@ pub fn matmul_blocked(a: &Matrix, b: &Matrix, block: usize) -> Result<Matrix, Sh
 ///
 /// Returns [`ShapeError`] when `a.cols() != x.len()`.
 pub fn gemv(a: &Matrix, x: &[f32]) -> Result<Vec<f32>, ShapeError> {
-    if a.cols() != x.len() {
+    let mut y = vec![0.0f32; a.rows()];
+    gemv_into(a, x, &mut y)?;
+    Ok(y)
+}
+
+/// `y = A * x` into a caller-provided buffer — the allocation-free
+/// steady-state form. Each row is one [`simd`](crate::simd) dot product;
+/// the kernel variant is hoisted out of the row loop so every row of a
+/// call runs the same realization.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `a.cols() != x.len()` or
+/// `y.len() != a.rows()`.
+pub fn gemv_into(a: &Matrix, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError> {
+    if a.cols() != x.len() || y.len() != a.rows() {
         return Err(ShapeError {
             op: "gemv",
             lhs: a.shape(),
             rhs: (x.len(), 1),
         });
     }
-    let mut y = vec![0.0f32; a.rows()];
+    let v = crate::simd::active_variant();
     for (i, yi) in y.iter_mut().enumerate() {
-        let row = a.row(i);
-        let mut acc = 0.0f32;
-        for (&w, &v) in row.iter().zip(x) {
-            acc += w * v;
-        }
-        *yi = acc;
+        *yi = crate::simd::dot_variant(v, a.row(i), x);
     }
-    Ok(y)
+    Ok(())
 }
 
-/// `y = Aᵀ * x` without materializing the transpose.
+/// `y = Aᵀ * x` without materializing the transpose: one
+/// [`simd`](crate::simd) axpy per nonzero element of `x` (the zero-skip
+/// matters after row pruning).
 ///
 /// # Errors
 ///
@@ -149,14 +161,12 @@ pub fn gemv_transposed(a: &Matrix, x: &[f32]) -> Result<Vec<f32>, ShapeError> {
         });
     }
     let mut y = vec![0.0f32; a.cols()];
+    let v = crate::simd::active_variant();
     for (i, &xi) in x.iter().enumerate() {
         if xi == 0.0 {
             continue;
         }
-        let row = a.row(i);
-        for (yj, &aij) in y.iter_mut().zip(row) {
-            *yj += xi * aij;
-        }
+        crate::simd::axpy_variant(v, xi, a.row(i), &mut y);
     }
     Ok(y)
 }

@@ -44,6 +44,7 @@ pub mod init;
 pub mod matrix;
 pub mod quant;
 pub mod rng;
+pub mod simd;
 pub mod stats;
 pub mod vector;
 pub mod wire;

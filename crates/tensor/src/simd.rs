@@ -1,0 +1,1022 @@
+//! SIMD kernel layer with runtime CPU-feature dispatch (paper §IV-C).
+//!
+//! RTMobile's compiler generates "vectorized codes with the best checked
+//! unroll factor"; this module is the executable half of that claim. Every
+//! hot inner loop of the inference stack — `dot`, `axpy`, `hadamard`, the
+//! indexed dot of the CSR/BSPC SpMV, and the sigmoid/tanh activation
+//! sweeps — is provided in four **variants**:
+//!
+//! | variant     | realization                           | numeric contract        |
+//! |-------------|---------------------------------------|-------------------------|
+//! | `scalar-u1` | the naive loop (pre-SIMD reference)   | bit-exact reference     |
+//! | `scalar-u4` | 4-wide unrolled, single accumulator   | bit-exact with u1       |
+//! | `scalar-u8` | 8-wide unrolled, single accumulator   | bit-exact with u1       |
+//! | `vector`    | AVX2+FMA (x86_64) / NEON (aarch64)    | ≤ 4 ULPs of u1 (see below) |
+//!
+//! The scalar unrolls keep one accumulator and the original left-to-right
+//! association, so they are *bit-identical* to the naive loop — unrolling
+//! only removes loop overhead; the floating-point dependency chain is
+//! unchanged, which is also why real speedups need the vector path. The
+//! vector path uses one 8-lane (AVX2) / 4-lane (NEON) FMA accumulator
+//! register plus a fixed-tree horizontal reduction, which reassociates the
+//! sum and contracts multiply-adds.
+//!
+//! **ULP policy.** Reductions are compared at the *accumulation magnitude*:
+//! `|vector − scalar| ≤ 4 · ulp(Σ|aᵢ·bᵢ|)`. Measuring ULPs at the result
+//! magnitude is meaningless under cancellation (the result can be
+//! arbitrarily smaller than the terms), and for sign-uniform data the
+//! sequential scalar reference itself drifts tens of ULPs from the true
+//! sum — the accumulation-magnitude bound is the tightest contract that is
+//! actually sound. Element-wise kernels (`hadamard`, the activation sweeps)
+//! are bit-exact in every variant; `axpy` differs from scalar by at most
+//! one FMA contraction per element.
+//!
+//! **Order discipline.** The vector dense dot and the vector indexed dot
+//! share the same lane grouping (consecutive chunks of one lane width, one
+//! accumulator register, identical reduction tree, in-order scalar tail),
+//! so gathering a sparse row into a dense scratch and dotting it —
+//! `rtm-exec`'s blocked BSPC kernel — produces bit-identical results to the
+//! in-register gather used by the serial SpMV. That invariant is what keeps
+//! PR 1's parallel-vs-serial bit-exactness guarantees intact under every
+//! [`SimdPolicy`].
+//!
+//! Dispatch is process-global: [`active_variant`] resolves the
+//! [`SimdPolicy`] (programmatic [`set_policy`] wins over the `RTM_SIMD`
+//! environment variable, which is read once on first use) against the
+//! cached CPU-feature detection. The `*_variant` entry points bypass the
+//! policy for differential tests, the tuner's measured-cost hook, and the
+//! benchmark harness.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// A concrete kernel realization the dispatcher can select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Variant {
+    /// The naive loop — the bit-exact reference (pre-SIMD behaviour).
+    ScalarU1,
+    /// 4-wide unrolled scalar, single accumulator (bit-exact with u1).
+    ScalarU4,
+    /// 8-wide unrolled scalar, single accumulator (bit-exact with u1).
+    ScalarU8,
+    /// AVX2+FMA on x86_64 / NEON on aarch64 (≤ 4-ULP contract).
+    Vector,
+}
+
+impl Variant {
+    /// All variants, scalar first (useful for sweeps and benches).
+    pub const ALL: [Variant; 4] = [
+        Variant::ScalarU1,
+        Variant::ScalarU4,
+        Variant::ScalarU8,
+        Variant::Vector,
+    ];
+
+    /// Stable display name (used in plans, benches and JSON artifacts).
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::ScalarU1 => "scalar-u1",
+            Variant::ScalarU4 => "scalar-u4",
+            Variant::ScalarU8 => "scalar-u8",
+            Variant::Vector => "vector",
+        }
+    }
+
+    /// The unroll factor this variant realizes (lanes processed per
+    /// iteration of the inner loop). This is the quantity the tuner's
+    /// `unroll` plan field selects; see
+    /// `rtm_compiler::tuner::variant_for_unroll`.
+    pub fn unroll(self) -> usize {
+        match self {
+            Variant::ScalarU1 => 1,
+            Variant::ScalarU4 => 4,
+            Variant::ScalarU8 => 8,
+            Variant::Vector => lane_width().max(1),
+        }
+    }
+}
+
+/// How the process-global dispatcher picks a [`Variant`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdPolicy {
+    /// Use the vector path when the CPU supports it, `scalar-u8` otherwise.
+    Auto,
+    /// Always use the given variant ([`Variant::Vector`] still degrades to
+    /// `scalar-u8` on CPUs without AVX2+FMA / NEON).
+    Fixed(Variant),
+}
+
+const P_UNSET: u8 = 0;
+const P_AUTO: u8 = 1;
+const P_U1: u8 = 2;
+const P_U4: u8 = 3;
+const P_U8: u8 = 4;
+const P_VEC: u8 = 5;
+
+static POLICY: AtomicU8 = AtomicU8::new(P_UNSET);
+
+fn encode(p: SimdPolicy) -> u8 {
+    match p {
+        SimdPolicy::Auto => P_AUTO,
+        SimdPolicy::Fixed(Variant::ScalarU1) => P_U1,
+        SimdPolicy::Fixed(Variant::ScalarU4) => P_U4,
+        SimdPolicy::Fixed(Variant::ScalarU8) => P_U8,
+        SimdPolicy::Fixed(Variant::Vector) => P_VEC,
+    }
+}
+
+fn decode(v: u8) -> SimdPolicy {
+    match v {
+        P_U1 => SimdPolicy::Fixed(Variant::ScalarU1),
+        P_U4 => SimdPolicy::Fixed(Variant::ScalarU4),
+        P_U8 => SimdPolicy::Fixed(Variant::ScalarU8),
+        P_VEC => SimdPolicy::Fixed(Variant::Vector),
+        _ => SimdPolicy::Auto,
+    }
+}
+
+/// Parses an `RTM_SIMD` value (or a `--simd` CLI flag). Recognized:
+/// `auto`/`on`, `off`/`scalar`/`0`/`u1`, `u4`, `u8`, `vector`/`simd`
+/// (case-insensitive). Returns `None` for anything else.
+pub fn parse_policy(s: &str) -> Option<SimdPolicy> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "auto" | "on" | "" => Some(SimdPolicy::Auto),
+        "off" | "scalar" | "0" | "u1" | "scalar-u1" => Some(SimdPolicy::Fixed(Variant::ScalarU1)),
+        "u4" | "scalar-u4" => Some(SimdPolicy::Fixed(Variant::ScalarU4)),
+        "u8" | "scalar-u8" => Some(SimdPolicy::Fixed(Variant::ScalarU8)),
+        "vector" | "simd" => Some(SimdPolicy::Fixed(Variant::Vector)),
+        _ => None,
+    }
+}
+
+/// Overrides the process-global dispatch policy (wins over `RTM_SIMD`).
+pub fn set_policy(p: SimdPolicy) {
+    POLICY.store(encode(p), Ordering::Relaxed);
+}
+
+/// The current dispatch policy. On first use (before any [`set_policy`])
+/// the `RTM_SIMD` environment variable is consulted; unset or unparseable
+/// values mean [`SimdPolicy::Auto`].
+pub fn policy() -> SimdPolicy {
+    let v = POLICY.load(Ordering::Relaxed);
+    if v != P_UNSET {
+        return decode(v);
+    }
+    let p = std::env::var("RTM_SIMD")
+        .ok()
+        .and_then(|s| parse_policy(&s))
+        .unwrap_or(SimdPolicy::Auto);
+    let _ = POLICY.compare_exchange(P_UNSET, encode(p), Ordering::Relaxed, Ordering::Relaxed);
+    decode(POLICY.load(Ordering::Relaxed))
+}
+
+/// The variant the dispatched entry points (`dot`, `axpy`, …) will run
+/// right now, after resolving [`policy`] against CPU support.
+pub fn active_variant() -> Variant {
+    match policy() {
+        SimdPolicy::Auto | SimdPolicy::Fixed(Variant::Vector) => {
+            if vector_available() {
+                Variant::Vector
+            } else {
+                Variant::ScalarU8
+            }
+        }
+        SimdPolicy::Fixed(v) => v,
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect() -> bool {
+    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+}
+
+#[cfg(target_arch = "aarch64")]
+fn detect() -> bool {
+    std::arch::is_aarch64_feature_detected!("neon")
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn detect() -> bool {
+    false
+}
+
+/// Whether the host CPU supports this build's vector path
+/// (AVX2+FMA on x86_64, NEON on aarch64). Detection runs once and is cached.
+pub fn vector_available() -> bool {
+    static AVAIL: OnceLock<bool> = OnceLock::new();
+    *AVAIL.get_or_init(detect)
+}
+
+/// SIMD lanes per register of the vector path: 8 on AVX2, 4 on NEON,
+/// 1 when no vector path is available.
+pub fn lane_width() -> usize {
+    if !vector_available() {
+        1
+    } else if cfg!(target_arch = "x86_64") {
+        8
+    } else {
+        4
+    }
+}
+
+/// Human-readable name of the detected vector ISA (`"avx2+fma"`, `"neon"`
+/// or `"none"`), recorded by the benchmark JSON.
+pub fn vector_isa() -> &'static str {
+    if !vector_available() {
+        "none"
+    } else if cfg!(target_arch = "x86_64") {
+        "avx2+fma"
+    } else {
+        "neon"
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar variants. One accumulator, original left-to-right association:
+// u1, u4 and u8 are bit-identical by construction.
+// ---------------------------------------------------------------------------
+
+fn dot_u1(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+fn dot_u4(a: &[f32], b: &[f32]) -> f32 {
+    let m = a.len() - a.len() % 4;
+    let mut acc = 0.0f32;
+    for (ca, cb) in a[..m].chunks_exact(4).zip(b[..m].chunks_exact(4)) {
+        acc += ca[0] * cb[0];
+        acc += ca[1] * cb[1];
+        acc += ca[2] * cb[2];
+        acc += ca[3] * cb[3];
+    }
+    for (&x, &y) in a[m..].iter().zip(&b[m..]) {
+        acc += x * y;
+    }
+    acc
+}
+
+fn dot_u8(a: &[f32], b: &[f32]) -> f32 {
+    let m = a.len() - a.len() % 8;
+    let mut acc = 0.0f32;
+    for (ca, cb) in a[..m].chunks_exact(8).zip(b[..m].chunks_exact(8)) {
+        acc += ca[0] * cb[0];
+        acc += ca[1] * cb[1];
+        acc += ca[2] * cb[2];
+        acc += ca[3] * cb[3];
+        acc += ca[4] * cb[4];
+        acc += ca[5] * cb[5];
+        acc += ca[6] * cb[6];
+        acc += ca[7] * cb[7];
+    }
+    for (&x, &y) in a[m..].iter().zip(&b[m..]) {
+        acc += x * y;
+    }
+    acc
+}
+
+fn indexed_dot_u1(vals: &[f32], idx: &[u32], x: &[f32]) -> f32 {
+    vals.iter().zip(idx).map(|(&w, &c)| w * x[c as usize]).sum()
+}
+
+fn indexed_dot_u4(vals: &[f32], idx: &[u32], x: &[f32]) -> f32 {
+    let m = vals.len() - vals.len() % 4;
+    let mut acc = 0.0f32;
+    for (cw, ci) in vals[..m].chunks_exact(4).zip(idx[..m].chunks_exact(4)) {
+        acc += cw[0] * x[ci[0] as usize];
+        acc += cw[1] * x[ci[1] as usize];
+        acc += cw[2] * x[ci[2] as usize];
+        acc += cw[3] * x[ci[3] as usize];
+    }
+    for (&w, &c) in vals[m..].iter().zip(&idx[m..]) {
+        acc += w * x[c as usize];
+    }
+    acc
+}
+
+fn indexed_dot_u8(vals: &[f32], idx: &[u32], x: &[f32]) -> f32 {
+    let m = vals.len() - vals.len() % 8;
+    let mut acc = 0.0f32;
+    for (cw, ci) in vals[..m].chunks_exact(8).zip(idx[..m].chunks_exact(8)) {
+        acc += cw[0] * x[ci[0] as usize];
+        acc += cw[1] * x[ci[1] as usize];
+        acc += cw[2] * x[ci[2] as usize];
+        acc += cw[3] * x[ci[3] as usize];
+        acc += cw[4] * x[ci[4] as usize];
+        acc += cw[5] * x[ci[5] as usize];
+        acc += cw[6] * x[ci[6] as usize];
+        acc += cw[7] * x[ci[7] as usize];
+    }
+    for (&w, &c) in vals[m..].iter().zip(&idx[m..]) {
+        acc += w * x[c as usize];
+    }
+    acc
+}
+
+fn axpy_u1(alpha: f32, x: &[f32], y: &mut [f32]) {
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+fn axpy_u4(alpha: f32, x: &[f32], y: &mut [f32]) {
+    let m = x.len() - x.len() % 4;
+    for (cy, cx) in y[..m].chunks_exact_mut(4).zip(x[..m].chunks_exact(4)) {
+        cy[0] += alpha * cx[0];
+        cy[1] += alpha * cx[1];
+        cy[2] += alpha * cx[2];
+        cy[3] += alpha * cx[3];
+    }
+    for (yi, &xi) in y[m..].iter_mut().zip(&x[m..]) {
+        *yi += alpha * xi;
+    }
+}
+
+fn axpy_u8(alpha: f32, x: &[f32], y: &mut [f32]) {
+    let m = x.len() - x.len() % 8;
+    for (cy, cx) in y[..m].chunks_exact_mut(8).zip(x[..m].chunks_exact(8)) {
+        cy[0] += alpha * cx[0];
+        cy[1] += alpha * cx[1];
+        cy[2] += alpha * cx[2];
+        cy[3] += alpha * cx[3];
+        cy[4] += alpha * cx[4];
+        cy[5] += alpha * cx[5];
+        cy[6] += alpha * cx[6];
+        cy[7] += alpha * cx[7];
+    }
+    for (yi, &xi) in y[m..].iter_mut().zip(&x[m..]) {
+        *yi += alpha * xi;
+    }
+}
+
+fn hadamard_into_u1(a: &[f32], b: &[f32], out: &mut [f32]) {
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x * y;
+    }
+}
+
+fn hadamard_into_u4(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let m = a.len() - a.len() % 4;
+    for ((co, ca), cb) in out[..m]
+        .chunks_exact_mut(4)
+        .zip(a[..m].chunks_exact(4))
+        .zip(b[..m].chunks_exact(4))
+    {
+        co[0] = ca[0] * cb[0];
+        co[1] = ca[1] * cb[1];
+        co[2] = ca[2] * cb[2];
+        co[3] = ca[3] * cb[3];
+    }
+    for ((o, &x), &y) in out[m..].iter_mut().zip(&a[m..]).zip(&b[m..]) {
+        *o = x * y;
+    }
+}
+
+fn hadamard_into_u8(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let m = a.len() - a.len() % 8;
+    for ((co, ca), cb) in out[..m]
+        .chunks_exact_mut(8)
+        .zip(a[..m].chunks_exact(8))
+        .zip(b[..m].chunks_exact(8))
+    {
+        co[0] = ca[0] * cb[0];
+        co[1] = ca[1] * cb[1];
+        co[2] = ca[2] * cb[2];
+        co[3] = ca[3] * cb[3];
+        co[4] = ca[4] * cb[4];
+        co[5] = ca[5] * cb[5];
+        co[6] = ca[6] * cb[6];
+        co[7] = ca[7] * cb[7];
+    }
+    for ((o, &x), &y) in out[m..].iter_mut().zip(&a[m..]).zip(&b[m..]) {
+        *o = x * y;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AVX2+FMA (x86_64). One accumulator register, fixed reduction tree,
+// in-order scalar tail. The dense dot and the indexed (gather) dot use the
+// *same* lane grouping so gathered-then-dotted sparse rows are bit-identical
+// to in-register gathers — see the module docs.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// Fixed horizontal-sum tree: lanes (0+4, 1+5, 2+6, 3+7) → pairwise →
+    /// scalar. Every reduction in this module uses this exact tree.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let hi = _mm256_extractf128_ps::<1>(v);
+        let lo = _mm256_castps256_ps128(v);
+        let q = _mm_add_ps(lo, hi);
+        let h = _mm_add_ps(q, _mm_movehl_ps(q, q));
+        let s = _mm_add_ss(h, _mm_shuffle_ps::<0b01>(h, h));
+        _mm_cvtss_f32(s)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let chunks = n / 8;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut acc = _mm256_setzero_ps();
+        for i in 0..chunks {
+            let va = _mm256_loadu_ps(ap.add(i * 8));
+            let vb = _mm256_loadu_ps(bp.add(i * 8));
+            acc = _mm256_fmadd_ps(va, vb, acc);
+        }
+        let mut sum = hsum256(acc);
+        for i in chunks * 8..n {
+            sum += a[i] * b[i];
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn indexed_dot(vals: &[f32], idx: &[u32], x: &[f32]) -> f32 {
+        let n = vals.len();
+        let chunks = n / 8;
+        let vp = vals.as_ptr();
+        let ip = idx.as_ptr();
+        let xp = x.as_ptr();
+        let mut acc = _mm256_setzero_ps();
+        for i in 0..chunks {
+            let w = _mm256_loadu_ps(vp.add(i * 8));
+            let ci = _mm256_loadu_si256(ip.add(i * 8) as *const __m256i);
+            let g = _mm256_i32gather_ps::<4>(xp, ci);
+            acc = _mm256_fmadd_ps(w, g, acc);
+        }
+        let mut sum = hsum256(acc);
+        for i in chunks * 8..n {
+            sum += vals[i] * x[idx[i] as usize];
+        }
+        sum
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        let n = x.len();
+        let chunks = n / 8;
+        let va = _mm256_set1_ps(alpha);
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        for i in 0..chunks {
+            let vx = _mm256_loadu_ps(xp.add(i * 8));
+            let vy = _mm256_loadu_ps(yp.add(i * 8));
+            _mm256_storeu_ps(yp.add(i * 8), _mm256_fmadd_ps(va, vx, vy));
+        }
+        for i in chunks * 8..n {
+            y[i] += alpha * x[i];
+        }
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn hadamard_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+        let n = a.len();
+        let chunks = n / 8;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        for i in 0..chunks {
+            let va = _mm256_loadu_ps(ap.add(i * 8));
+            let vb = _mm256_loadu_ps(bp.add(i * 8));
+            _mm256_storeu_ps(op.add(i * 8), _mm256_mul_ps(va, vb));
+        }
+        for i in chunks * 8..n {
+            out[i] = a[i] * b[i];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NEON (aarch64). 4-lane counterpart of the AVX2 kernels with the same
+// structure: one accumulator register, `vaddvq` reduction, in-order tail.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use std::arch::aarch64::*;
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let n = a.len();
+        let chunks = n / 4;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let mut acc = vdupq_n_f32(0.0);
+        for i in 0..chunks {
+            let va = vld1q_f32(ap.add(i * 4));
+            let vb = vld1q_f32(bp.add(i * 4));
+            acc = vfmaq_f32(acc, va, vb);
+        }
+        let mut sum = vaddvq_f32(acc);
+        for i in chunks * 4..n {
+            sum += a[i] * b[i];
+        }
+        sum
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn indexed_dot(vals: &[f32], idx: &[u32], x: &[f32]) -> f32 {
+        let n = vals.len();
+        let chunks = n / 4;
+        let vp = vals.as_ptr();
+        let mut acc = vdupq_n_f32(0.0);
+        for i in 0..chunks {
+            let j = i * 4;
+            // NEON has no gather: stage the four inputs through a stack
+            // array so the lane grouping matches the dense dot exactly.
+            let g = [
+                x[idx[j] as usize],
+                x[idx[j + 1] as usize],
+                x[idx[j + 2] as usize],
+                x[idx[j + 3] as usize],
+            ];
+            let w = vld1q_f32(vp.add(j));
+            acc = vfmaq_f32(acc, w, vld1q_f32(g.as_ptr()));
+        }
+        let mut sum = vaddvq_f32(acc);
+        for i in chunks * 4..n {
+            sum += vals[i] * x[idx[i] as usize];
+        }
+        sum
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+        let n = x.len();
+        let chunks = n / 4;
+        let va = vdupq_n_f32(alpha);
+        let xp = x.as_ptr();
+        let yp = y.as_mut_ptr();
+        for i in 0..chunks {
+            let vx = vld1q_f32(xp.add(i * 4));
+            let vy = vld1q_f32(yp.add(i * 4));
+            vst1q_f32(yp.add(i * 4), vfmaq_f32(vy, va, vx));
+        }
+        for i in chunks * 4..n {
+            y[i] += alpha * x[i];
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub unsafe fn hadamard_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+        let n = a.len();
+        let chunks = n / 4;
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        let op = out.as_mut_ptr();
+        for i in 0..chunks {
+            vst1q_f32(
+                op.add(i * 4),
+                vmulq_f32(vld1q_f32(ap.add(i * 4)), vld1q_f32(bp.add(i * 4))),
+            );
+        }
+        for i in chunks * 4..n {
+            out[i] = a[i] * b[i];
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vector dispatchers: runtime-checked entry into the unsafe ISA modules,
+// degrading to scalar-u8 when the CPU lacks the features.
+// ---------------------------------------------------------------------------
+
+fn dot_vector(a: &[f32], b: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if vector_available() {
+        // SAFETY: AVX2+FMA presence verified by `vector_available`.
+        return unsafe { x86::dot(a, b) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if vector_available() {
+        // SAFETY: NEON presence verified by `vector_available`.
+        return unsafe { neon::dot(a, b) };
+    }
+    dot_u8(a, b)
+}
+
+fn indexed_dot_vector(vals: &[f32], idx: &[u32], x: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    if vector_available() {
+        // SAFETY: AVX2+FMA presence verified by `vector_available`.
+        return unsafe { x86::indexed_dot(vals, idx, x) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if vector_available() {
+        // SAFETY: NEON presence verified by `vector_available`.
+        return unsafe { neon::indexed_dot(vals, idx, x) };
+    }
+    indexed_dot_u8(vals, idx, x)
+}
+
+fn axpy_vector(alpha: f32, x: &[f32], y: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if vector_available() {
+        // SAFETY: AVX2+FMA presence verified by `vector_available`.
+        return unsafe { x86::axpy(alpha, x, y) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if vector_available() {
+        // SAFETY: NEON presence verified by `vector_available`.
+        return unsafe { neon::axpy(alpha, x, y) };
+    }
+    axpy_u8(alpha, x, y)
+}
+
+fn hadamard_into_vector(a: &[f32], b: &[f32], out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if vector_available() {
+        // SAFETY: AVX2+FMA presence verified by `vector_available`.
+        return unsafe { x86::hadamard_into(a, b, out) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if vector_available() {
+        // SAFETY: NEON presence verified by `vector_available`.
+        return unsafe { neon::hadamard_into(a, b, out) };
+    }
+    hadamard_into_u8(a, b, out)
+}
+
+// ---------------------------------------------------------------------------
+// Public kernels: `foo()` runs the policy-selected variant, `foo_variant()`
+// runs an explicit one (differential tests, tuner, benches).
+// ---------------------------------------------------------------------------
+
+/// Dot product of two equally-long slices under an explicit variant.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot_variant(v: Variant, a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    match v {
+        Variant::ScalarU1 => dot_u1(a, b),
+        Variant::ScalarU4 => dot_u4(a, b),
+        Variant::ScalarU8 => dot_u8(a, b),
+        Variant::Vector => dot_vector(a, b),
+    }
+}
+
+/// Dot product under the [`active_variant`].
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    dot_variant(active_variant(), a, b)
+}
+
+/// Sparse (indexed) dot `Σ vals[i] · x[idx[i]]` — the CSR/BSPC SpMV inner
+/// loop — under an explicit variant. On AVX2 the gather runs in-register
+/// (`vgatherdps`); lane grouping matches [`dot_variant`] exactly.
+///
+/// # Panics
+///
+/// Panics if `vals` and `idx` lengths differ or an index is out of range
+/// for `x`.
+pub fn indexed_dot_variant(v: Variant, vals: &[f32], idx: &[u32], x: &[f32]) -> f32 {
+    assert_eq!(vals.len(), idx.len(), "indexed_dot: length mismatch");
+    if let Some(&max) = idx.iter().max() {
+        assert!((max as usize) < x.len(), "indexed_dot: index out of range");
+    }
+    match v {
+        Variant::ScalarU1 => indexed_dot_u1(vals, idx, x),
+        Variant::ScalarU4 => indexed_dot_u4(vals, idx, x),
+        Variant::ScalarU8 => indexed_dot_u8(vals, idx, x),
+        Variant::Vector => indexed_dot_vector(vals, idx, x),
+    }
+}
+
+/// Sparse (indexed) dot under the [`active_variant`].
+///
+/// # Panics
+///
+/// Panics if `vals` and `idx` lengths differ or an index is out of range.
+pub fn indexed_dot(vals: &[f32], idx: &[u32], x: &[f32]) -> f32 {
+    indexed_dot_variant(active_variant(), vals, idx, x)
+}
+
+/// `y += alpha * x` under an explicit variant.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy_variant(v: Variant, alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    match v {
+        Variant::ScalarU1 => axpy_u1(alpha, x, y),
+        Variant::ScalarU4 => axpy_u4(alpha, x, y),
+        Variant::ScalarU8 => axpy_u8(alpha, x, y),
+        Variant::Vector => axpy_vector(alpha, x, y),
+    }
+}
+
+/// `y += alpha * x` under the [`active_variant`].
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    axpy_variant(active_variant(), alpha, x, y)
+}
+
+/// Element-wise product `out[i] = a[i] * b[i]` under an explicit variant.
+/// Bit-exact in every variant (one correctly-rounded multiply per element).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn hadamard_into_variant(v: Variant, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), b.len(), "hadamard: length mismatch");
+    assert_eq!(a.len(), out.len(), "hadamard: output length mismatch");
+    match v {
+        Variant::ScalarU1 => hadamard_into_u1(a, b, out),
+        Variant::ScalarU4 => hadamard_into_u4(a, b, out),
+        Variant::ScalarU8 => hadamard_into_u8(a, b, out),
+        Variant::Vector => hadamard_into_vector(a, b, out),
+    }
+}
+
+/// Element-wise product under the [`active_variant`].
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn hadamard_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+    hadamard_into_variant(active_variant(), a, b, out)
+}
+
+/// In-place sigmoid sweep under an explicit variant.
+///
+/// Every variant applies the same scalar, numerically-stable
+/// `activations::sigmoid` per element — `libm`'s `exp` has no vector
+/// counterpart that could honour the 4-ULP contract, so the "vector"
+/// realization of the sweeps is the 8-wide unrolled loop and all variants
+/// are bit-identical. The sweep's win is loop-overhead removal; the
+/// transcendental dominates.
+pub fn sigmoid_sweep_variant(v: Variant, xs: &mut [f32]) {
+    use crate::activations::sigmoid;
+    match v {
+        Variant::ScalarU1 => {
+            for x in xs {
+                *x = sigmoid(*x);
+            }
+        }
+        Variant::ScalarU4 => {
+            let m = xs.len() - xs.len() % 4;
+            for c in xs[..m].chunks_exact_mut(4) {
+                c[0] = sigmoid(c[0]);
+                c[1] = sigmoid(c[1]);
+                c[2] = sigmoid(c[2]);
+                c[3] = sigmoid(c[3]);
+            }
+            for x in &mut xs[m..] {
+                *x = sigmoid(*x);
+            }
+        }
+        Variant::ScalarU8 | Variant::Vector => {
+            let m = xs.len() - xs.len() % 8;
+            for c in xs[..m].chunks_exact_mut(8) {
+                c[0] = sigmoid(c[0]);
+                c[1] = sigmoid(c[1]);
+                c[2] = sigmoid(c[2]);
+                c[3] = sigmoid(c[3]);
+                c[4] = sigmoid(c[4]);
+                c[5] = sigmoid(c[5]);
+                c[6] = sigmoid(c[6]);
+                c[7] = sigmoid(c[7]);
+            }
+            for x in &mut xs[m..] {
+                *x = sigmoid(*x);
+            }
+        }
+    }
+}
+
+/// In-place sigmoid sweep under the [`active_variant`].
+pub fn sigmoid_sweep(xs: &mut [f32]) {
+    sigmoid_sweep_variant(active_variant(), xs)
+}
+
+/// In-place tanh sweep under an explicit variant (bit-identical across
+/// variants; see [`sigmoid_sweep_variant`]).
+pub fn tanh_sweep_variant(v: Variant, xs: &mut [f32]) {
+    use crate::activations::tanh;
+    match v {
+        Variant::ScalarU1 => {
+            for x in xs {
+                *x = tanh(*x);
+            }
+        }
+        Variant::ScalarU4 => {
+            let m = xs.len() - xs.len() % 4;
+            for c in xs[..m].chunks_exact_mut(4) {
+                c[0] = tanh(c[0]);
+                c[1] = tanh(c[1]);
+                c[2] = tanh(c[2]);
+                c[3] = tanh(c[3]);
+            }
+            for x in &mut xs[m..] {
+                *x = tanh(*x);
+            }
+        }
+        Variant::ScalarU8 | Variant::Vector => {
+            let m = xs.len() - xs.len() % 8;
+            for c in xs[..m].chunks_exact_mut(8) {
+                c[0] = tanh(c[0]);
+                c[1] = tanh(c[1]);
+                c[2] = tanh(c[2]);
+                c[3] = tanh(c[3]);
+                c[4] = tanh(c[4]);
+                c[5] = tanh(c[5]);
+                c[6] = tanh(c[6]);
+                c[7] = tanh(c[7]);
+            }
+            for x in &mut xs[m..] {
+                *x = tanh(*x);
+            }
+        }
+    }
+}
+
+/// In-place tanh sweep under the [`active_variant`].
+pub fn tanh_sweep(xs: &mut [f32]) {
+    tanh_sweep_variant(active_variant(), xs)
+}
+
+/// Spacing between consecutive `f32` values at magnitude `m` — the "ULP"
+/// unit of the vector path's numeric contract. Subnormal-safe (clamps to
+/// the smallest normal).
+pub fn ulp_at(m: f32) -> f32 {
+    let m = m.abs().max(f32::MIN_POSITIVE);
+    f32::from_bits(m.to_bits() + 1) - m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::StdRng;
+
+    fn rand_vec(n: usize, rng: &mut StdRng) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_f32() * 2.0 - 1.0).collect()
+    }
+
+    #[test]
+    fn scalar_unrolls_bit_exact_with_naive() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [0usize, 1, 3, 4, 7, 8, 9, 31, 64, 100, 257] {
+            let a = rand_vec(n, &mut rng);
+            let b = rand_vec(n, &mut rng);
+            let want = dot_u1(&a, &b);
+            assert_eq!(dot_variant(Variant::ScalarU4, &a, &b), want, "u4 n={n}");
+            assert_eq!(dot_variant(Variant::ScalarU8, &a, &b), want, "u8 n={n}");
+        }
+    }
+
+    #[test]
+    fn vector_dot_within_ulp_contract() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1usize, 5, 8, 13, 64, 127, 1024] {
+            let a = rand_vec(n, &mut rng);
+            let b = rand_vec(n, &mut rng);
+            let want = dot_variant(Variant::ScalarU1, &a, &b);
+            let got = dot_variant(Variant::Vector, &a, &b);
+            let mag: f32 = a.iter().zip(&b).map(|(x, y)| (x * y).abs()).sum();
+            assert!(
+                (got - want).abs() <= 4.0 * ulp_at(mag),
+                "n={n}: {got} vs {want} (mag {mag})"
+            );
+        }
+    }
+
+    #[test]
+    fn indexed_dot_matches_dense_gather() {
+        // The order-discipline invariant: gathering into a dense scratch and
+        // dotting must equal the in-register indexed dot, bit for bit, in
+        // every variant.
+        let mut rng = StdRng::seed_from_u64(23);
+        for n in [0usize, 2, 8, 11, 29, 96, 250] {
+            let x = rand_vec(300, &mut rng);
+            let vals = rand_vec(n, &mut rng);
+            let mut idx: Vec<u32> = (0..n).map(|_| rng.next_u32() % 300).collect();
+            idx.sort_unstable();
+            let gathered: Vec<f32> = idx.iter().map(|&c| x[c as usize]).collect();
+            for v in Variant::ALL {
+                assert_eq!(
+                    indexed_dot_variant(v, &vals, &idx, &x),
+                    dot_variant(v, &vals, &gathered),
+                    "{} n={n}",
+                    v.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn axpy_and_hadamard_all_variants() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for n in [0usize, 1, 6, 8, 17, 130] {
+            let x = rand_vec(n, &mut rng);
+            let y0 = rand_vec(n, &mut rng);
+            let mut want = y0.clone();
+            axpy_u1(0.37, &x, &mut want);
+            for v in [Variant::ScalarU4, Variant::ScalarU8] {
+                let mut y = y0.clone();
+                axpy_variant(v, 0.37, &x, &mut y);
+                assert_eq!(y, want, "{} n={n}", v.name());
+            }
+            // Vector axpy contracts mul+add into one FMA per element.
+            let mut y = y0.clone();
+            axpy_variant(Variant::Vector, 0.37, &x, &mut y);
+            for i in 0..n {
+                let mag = (0.37 * x[i]).abs().max(y0[i].abs());
+                assert!((y[i] - want[i]).abs() <= 4.0 * ulp_at(mag), "n={n} i={i}");
+            }
+            // Hadamard is one rounded multiply per element: exact everywhere.
+            let b = rand_vec(n, &mut rng);
+            let mut out_want = vec![0.0f32; n];
+            hadamard_into_u1(&x, &b, &mut out_want);
+            for v in Variant::ALL {
+                let mut out = vec![f32::NAN; n];
+                hadamard_into_variant(v, &x, &b, &mut out);
+                assert_eq!(out, out_want, "{} n={n}", v.name());
+            }
+        }
+    }
+
+    #[test]
+    fn sweeps_bit_identical_across_variants() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [0usize, 3, 8, 21, 100] {
+            let base = rand_vec(n, &mut rng);
+            let mut want_s = base.clone();
+            sigmoid_sweep_variant(Variant::ScalarU1, &mut want_s);
+            let mut want_t = base.clone();
+            tanh_sweep_variant(Variant::ScalarU1, &mut want_t);
+            for v in Variant::ALL {
+                let mut s = base.clone();
+                sigmoid_sweep_variant(v, &mut s);
+                assert_eq!(s, want_s, "sigmoid {} n={n}", v.name());
+                let mut t = base.clone();
+                tanh_sweep_variant(v, &mut t);
+                assert_eq!(t, want_t, "tanh {} n={n}", v.name());
+            }
+        }
+    }
+
+    #[test]
+    fn policy_parsing() {
+        assert_eq!(parse_policy("auto"), Some(SimdPolicy::Auto));
+        assert_eq!(parse_policy("ON"), Some(SimdPolicy::Auto));
+        assert_eq!(
+            parse_policy("off"),
+            Some(SimdPolicy::Fixed(Variant::ScalarU1))
+        );
+        assert_eq!(
+            parse_policy("Scalar"),
+            Some(SimdPolicy::Fixed(Variant::ScalarU1))
+        );
+        assert_eq!(
+            parse_policy("u4"),
+            Some(SimdPolicy::Fixed(Variant::ScalarU4))
+        );
+        assert_eq!(
+            parse_policy("u8"),
+            Some(SimdPolicy::Fixed(Variant::ScalarU8))
+        );
+        assert_eq!(
+            parse_policy("vector"),
+            Some(SimdPolicy::Fixed(Variant::Vector))
+        );
+        assert_eq!(parse_policy("bogus"), None);
+    }
+
+    #[test]
+    fn variant_metadata() {
+        assert_eq!(Variant::ScalarU1.name(), "scalar-u1");
+        assert_eq!(Variant::ScalarU1.unroll(), 1);
+        assert_eq!(Variant::ScalarU4.unroll(), 4);
+        assert_eq!(Variant::ScalarU8.unroll(), 8);
+        assert!(Variant::Vector.unroll() >= 1);
+        // lane_width and ISA name agree with availability.
+        if vector_available() {
+            assert!(lane_width() >= 4);
+            assert_ne!(vector_isa(), "none");
+        } else {
+            assert_eq!(lane_width(), 1);
+            assert_eq!(vector_isa(), "none");
+        }
+    }
+
+    #[test]
+    fn ulp_spacing_sane() {
+        assert_eq!(ulp_at(1.0), f32::EPSILON);
+        assert!(ulp_at(0.0) > 0.0);
+        assert!(ulp_at(1024.0) > ulp_at(1.0));
+    }
+}

@@ -21,26 +21,26 @@
 pub struct Vector;
 
 impl Vector {
-    /// Dot product of two equally-long slices.
+    /// Dot product of two equally-long slices, dispatched through the
+    /// [`simd`](crate::simd) kernel layer
+    /// ([`active_variant`](crate::simd::active_variant) selects the
+    /// realization).
     ///
     /// # Panics
     ///
     /// Panics if the lengths differ.
     pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-        assert_eq!(a.len(), b.len(), "dot: length mismatch");
-        a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+        crate::simd::dot(a, b)
     }
 
-    /// `y += alpha * x` in place.
+    /// `y += alpha * x` in place, dispatched through the
+    /// [`simd`](crate::simd) kernel layer.
     ///
     /// # Panics
     ///
     /// Panics if the lengths differ.
     pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
-        assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-        for (yi, &xi) in y.iter_mut().zip(x) {
-            *yi += alpha * xi;
-        }
+        crate::simd::axpy(alpha, x, y)
     }
 
     /// Euclidean (L2) norm.
@@ -82,7 +82,20 @@ impl Vector {
     /// Panics if the lengths differ.
     pub fn hadamard(a: &[f32], b: &[f32]) -> Vec<f32> {
         assert_eq!(a.len(), b.len(), "hadamard: length mismatch");
-        a.iter().zip(b).map(|(&x, &y)| x * y).collect()
+        let mut out = vec![0.0f32; a.len()];
+        crate::simd::hadamard_into(a, b, &mut out);
+        out
+    }
+
+    /// Element-wise (Hadamard) product into a caller-provided buffer — the
+    /// allocation-free steady-state form, dispatched through the
+    /// [`simd`](crate::simd) kernel layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn hadamard_into(a: &[f32], b: &[f32], out: &mut [f32]) {
+        crate::simd::hadamard_into(a, b, out)
     }
 
     /// Index of the maximum element (ties break to the first).

@@ -23,6 +23,12 @@ fi
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+# Second pass with the SIMD dispatcher pinned to the scalar-u1 reference:
+# proves the whole suite (including every bit-exactness guarantee) holds on
+# the pre-SIMD arithmetic, not just on the host's vector path.
+echo "==> cargo test -q (RTM_SIMD=off)"
+RTM_SIMD=off cargo test -q --workspace
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -109,6 +109,40 @@ fn compiled_network_parallel_inference_bit_exact() {
 }
 
 #[test]
+fn scalar_policy_env_keeps_parallel_bit_exactness() {
+    use rtm_tensor::simd::{self, SimdPolicy, Variant};
+    // Under CI's second pass (`RTM_SIMD=off`) the dispatcher must resolve to
+    // the pre-SIMD reference kernel — re-proving this suite's serial-vs-
+    // parallel guarantees on the exact arithmetic the seed repo shipped.
+    // This test only *reads* the policy; mutating it here would race the
+    // other tests in this binary.
+    let env_pins_scalar = std::env::var("RTM_SIMD")
+        .ok()
+        .and_then(|s| simd::parse_policy(&s))
+        == Some(SimdPolicy::Fixed(Variant::ScalarU1));
+    if env_pins_scalar {
+        assert_eq!(simd::policy(), SimdPolicy::Fixed(Variant::ScalarU1));
+        assert_eq!(simd::active_variant(), Variant::ScalarU1);
+    }
+    // Whatever the ambient policy resolved to, every parallel path must stay
+    // bit-identical to its serial counterpart.
+    let w = bsp_weight(64, 48, 17);
+    let bspc = BspcMatrix::from_dense(&w, 4, 4).unwrap();
+    let mut rng = StdRng::seed_from_u64(29);
+    let x: Vec<f32> = (0..48).map(|_| rng.gen_f32() * 2.0 - 1.0).collect();
+    let serial = bspc.spmv(&x).unwrap();
+    for threads in THREADS {
+        let exec = Executor::new(threads);
+        assert_eq!(
+            exec.spmv_bspc(&bspc, &x).unwrap(),
+            serial,
+            "{threads} threads (variant {})",
+            simd::active_variant().name()
+        );
+    }
+}
+
+#[test]
 fn one_executor_serves_the_whole_stack() {
     // A single pool handle is reused across raw SpMV, cell steps and
     // compiled inference — the deployment shape (one pool per process).
