@@ -1,7 +1,8 @@
 //! Parallel SpMV benchmark: threads × sparsity × format sweep.
 //!
-//! Writes `BENCH_parallel_spmv.json` at the repository root. Two speedup
-//! figures are reported per configuration:
+//! Writes `BENCH_parallel_spmv.json` at the repository root (or under
+//! `target/quick/` with `--quick`, which runs a tiny smoke configuration
+//! for CI). Two speedup figures are reported per configuration:
 //!
 //! * `speedup_wall` — serial wall time / parallel wall time. Only
 //!   meaningful when the host actually has multiple cores; CI containers
@@ -15,70 +16,17 @@
 //!
 //! Dependency-free: std + workspace crates only.
 
+use rtm_bench::{
+    bench_report_path, bsp_matrix, json_array, json_row, quick_requested, time_us, JsonValue,
+};
 use rtm_exec::{bspc_rows_into, csr_rows_into, dense_rows_into, Executor, Partition};
 use rtm_sparse::{BspcMatrix, CsrMatrix};
 use rtm_tensor::rng::StdRng;
-use rtm_tensor::Matrix;
 use std::fmt::Write as _;
-use std::time::Instant;
 
-const ROWS: usize = 1024;
-const COLS: usize = 1024;
 const STRIPES: usize = 8;
 const BLOCKS: usize = 8;
 const THREADS: [usize; 4] = [1, 2, 4, 8];
-const COMPRESSIONS: [f64; 2] = [2.5, 10.0];
-
-/// BSP-patterned dense matrix: every row kept, `1/rate` of each stripe's
-/// columns kept (per-stripe random choice), nonzero uniform values.
-fn bsp_matrix(rate: f64, seed: u64) -> Matrix {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let stripe_h = ROWS.div_ceil(STRIPES);
-    let block_w = COLS.div_ceil(BLOCKS);
-    let mut col_kept = vec![false; STRIPES * COLS];
-    for s in 0..STRIPES {
-        for b in 0..BLOCKS {
-            let c0 = b * block_w;
-            let c1 = ((b + 1) * block_w).min(COLS);
-            let width = c1 - c0;
-            let keep = ((width as f64 / rate).round() as usize).clamp(1, width);
-            let mut chosen: Vec<usize> = (c0..c1).collect();
-            for i in 0..keep {
-                let j = rng.gen_range(i..chosen.len());
-                chosen.swap(i, j);
-            }
-            for &c in &chosen[..keep] {
-                col_kept[s * COLS + c] = true;
-            }
-        }
-    }
-    Matrix::from_fn(ROWS, COLS, |r, c| {
-        let s = (r / stripe_h).min(STRIPES - 1);
-        if col_kept[s * COLS + c] {
-            0.05 + (((r * 31 + c * 17) % 97) as f32) / 100.0
-        } else {
-            0.0
-        }
-    })
-}
-
-fn time_us<F: FnMut()>(iters: usize, mut f: F) -> f64 {
-    // Warm-up, then best-of-5 batches: the minimum per-iteration time is
-    // the standard scheduler-jitter-resistant microbenchmark estimator
-    // (crucial on a shared single-core CI host).
-    f();
-    let reps = 5usize;
-    let per = iters.div_ceil(reps).max(1);
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        for _ in 0..per {
-            f();
-        }
-        best = best.min(start.elapsed().as_secs_f64() * 1e6 / per as f64);
-    }
-    best
-}
 
 struct Row {
     format: &'static str,
@@ -112,19 +60,21 @@ fn critical_path_us(partition: &Partition, iters: usize, mut run_chunk: impl FnM
 }
 
 fn main() {
+    let quick = quick_requested();
+    let (rows_dim, cols_dim) = if quick { (64, 64) } else { (1024, 1024) };
+    let compressions: &[f64] = if quick { &[2.5] } else { &[2.5, 10.0] };
+    let (sparse_iters, dense_iters) = if quick { (1, 1) } else { (100, 10) };
+
     let mut rows: Vec<Row> = Vec::new();
     let host_cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
 
-    for &rate in &COMPRESSIONS {
-        let dense = bsp_matrix(rate, 42);
+    for &rate in compressions {
+        let dense = bsp_matrix(rows_dim, cols_dim, STRIPES, BLOCKS, rate, 42);
         let bspc = BspcMatrix::from_dense(&dense, STRIPES, BLOCKS).expect("valid partition");
         let csr = CsrMatrix::from_dense(&dense);
         let mut rng = StdRng::seed_from_u64(7);
-        let x: Vec<f32> = (0..COLS).map(|_| rng.gen_f32() * 2.0 - 1.0).collect();
-        let mut y = vec![0.0f32; ROWS];
-
-        let sparse_iters = 100usize;
-        let dense_iters = 10usize;
+        let x: Vec<f32> = (0..cols_dim).map(|_| rng.gen_f32() * 2.0 - 1.0).collect();
+        let mut y = vec![0.0f32; rows_dim];
 
         let bspc_serial = time_us(sparse_iters, || {
             bspc.spmv_into(&x, &mut y).expect("shapes match");
@@ -133,7 +83,7 @@ fn main() {
             csr.spmv_into(&x, &mut y).expect("shapes match");
         });
         let dense_serial = time_us(dense_iters, || {
-            dense_rows_into(&dense, &x, 0..ROWS, &mut y, 0);
+            dense_rows_into(&dense, &x, 0..rows_dim, &mut y, 0);
         });
         eprintln!(
             "[{rate:>4}x] serial us: bspc {bspc_serial:.1} csr {csr_serial:.1} dense {dense_serial:.1}"
@@ -191,7 +141,7 @@ fn main() {
                 exec.gemv_dense_into(&dense, &x, &mut y)
                     .expect("shapes match");
             });
-            let costs = vec![COLS; ROWS];
+            let costs = vec![cols_dim; rows_dim];
             let part = Partition::balanced(&costs, threads);
             let cp = critical_path_us(&part, dense_iters, |i| {
                 let c = &part.chunks()[i];
@@ -212,43 +162,47 @@ fn main() {
         }
     }
 
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            json_row(&[
+                ("format", JsonValue::Str(r.format.into())),
+                ("compression", JsonValue::Raw(r.compression.to_string())),
+                ("threads", JsonValue::Int(r.threads as i64)),
+                ("chunks", JsonValue::Int(r.chunks as i64)),
+                ("imbalance", JsonValue::F64(r.imbalance, 4)),
+                ("serial_us", JsonValue::F64(r.serial_us, 2)),
+                ("wall_us", JsonValue::F64(r.wall_us, 2)),
+                ("critical_path_us", JsonValue::F64(r.critical_path_us, 2)),
+                ("speedup_wall", JsonValue::F64(r.speedup_wall(), 3)),
+                (
+                    "speedup_critical_path",
+                    JsonValue::F64(r.speedup_critical(), 3),
+                ),
+                ("speedup", JsonValue::F64(r.speedup_critical(), 3)),
+            ])
+        })
+        .collect();
+
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"parallel_spmv\",\n");
     let _ = writeln!(
         json,
-        "  \"matrix\": {{\"rows\": {ROWS}, \"cols\": {COLS}, \"stripes\": {STRIPES}, \"blocks\": {BLOCKS}}},"
+        "  \"matrix\": {{\"rows\": {rows_dim}, \"cols\": {cols_dim}, \"stripes\": {STRIPES}, \"blocks\": {BLOCKS}}},"
     );
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
     json.push_str(
         "  \"speedup_definition\": \"speedup = speedup_critical_path = serial_us / max \
          per-chunk busy time, measured per chunk in isolation; speedup_wall is raw wall-clock \
          and is core-count-bound on this host\",\n",
     );
-    json.push_str("  \"results\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"format\": \"{}\", \"compression\": {}, \"threads\": {}, \"chunks\": {}, \
-             \"imbalance\": {:.4}, \"serial_us\": {:.2}, \"wall_us\": {:.2}, \
-             \"critical_path_us\": {:.2}, \"speedup_wall\": {:.3}, \
-             \"speedup_critical_path\": {:.3}, \"speedup\": {:.3}}}",
-            r.format,
-            r.compression,
-            r.threads,
-            r.chunks,
-            r.imbalance,
-            r.serial_us,
-            r.wall_us,
-            r.critical_path_us,
-            r.speedup_wall(),
-            r.speedup_critical(),
-            r.speedup_critical(),
-        );
-        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]\n}\n");
+    let _ = writeln!(json, "  \"results\": {}", json_array("    ", &rendered));
+    json.push_str("}\n");
 
-    std::fs::write("BENCH_parallel_spmv.json", &json).expect("write benchmark report");
+    let path = bench_report_path("BENCH_parallel_spmv.json", quick);
+    std::fs::write(&path, &json).expect("write benchmark report");
     println!("{json}");
+    eprintln!("wrote {path}");
 }

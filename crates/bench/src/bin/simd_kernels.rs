@@ -1,13 +1,14 @@
 //! SIMD kernel benchmark: scalar-vs-vector speedups per format × compression.
 //!
-//! Writes `BENCH_simd_kernels.json` at the repository root. Every kernel in
-//! the `rtm_tensor::simd` dispatch layer is timed single-threaded under each
-//! [`Variant`] by pinning the process-global policy
-//! (`SimdPolicy::Fixed(variant)`) and then calling the *normal dispatched
-//! entry points* — exactly what inference runs. The JSON records both the
-//! requested variant and the variant that actually ran (`active_variant`),
-//! because on a host without the vector ISA a `vector` request honestly
-//! downgrades to `scalar-u8`.
+//! Writes `BENCH_simd_kernels.json` at the repository root (or under
+//! `target/quick/` with `--quick`, which runs a tiny smoke configuration
+//! for CI). Every kernel in the `rtm_tensor::simd` dispatch layer is timed
+//! single-threaded under each [`Variant`] by pinning the process-global
+//! policy (`SimdPolicy::Fixed(variant)`) and then calling the *normal
+//! dispatched entry points* — exactly what inference runs. The JSON records
+//! both the requested variant and the variant that actually ran
+//! (`active_variant`), because on a host without the vector ISA a `vector`
+//! request honestly downgrades to `scalar-u8`.
 //!
 //! Sweep: dense gemv, BSPC `spmv_into` and CSR `spmv_into` on the
 //! 1024×1024 BSP-patterned matrix at 2.5× and 10× compression, plus the
@@ -17,69 +18,18 @@
 //!
 //! Dependency-free: std + workspace crates only.
 
+use rtm_bench::{
+    bench_report_path, bsp_matrix, json_array, json_row, quick_requested, time_us, JsonValue,
+};
 use rtm_sparse::{BspcMatrix, CsrMatrix};
+use rtm_tensor::gemm;
 use rtm_tensor::rng::StdRng;
 use rtm_tensor::simd::{self, SimdPolicy, Variant};
-use rtm_tensor::{gemm, Matrix};
 use std::fmt::Write as _;
 use std::hint::black_box;
-use std::time::Instant;
 
-const ROWS: usize = 1024;
-const COLS: usize = 1024;
 const STRIPES: usize = 8;
 const BLOCKS: usize = 8;
-const COMPRESSIONS: [f64; 2] = [2.5, 10.0];
-
-/// BSP-patterned dense matrix: every row kept, `1/rate` of each stripe's
-/// columns kept (per-stripe random choice), nonzero uniform values.
-fn bsp_matrix(rate: f64, seed: u64) -> Matrix {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let stripe_h = ROWS.div_ceil(STRIPES);
-    let block_w = COLS.div_ceil(BLOCKS);
-    let mut col_kept = vec![false; STRIPES * COLS];
-    for s in 0..STRIPES {
-        for b in 0..BLOCKS {
-            let c0 = b * block_w;
-            let c1 = ((b + 1) * block_w).min(COLS);
-            let width = c1 - c0;
-            let keep = ((width as f64 / rate).round() as usize).clamp(1, width);
-            let mut chosen: Vec<usize> = (c0..c1).collect();
-            for i in 0..keep {
-                let j = rng.gen_range(i..chosen.len());
-                chosen.swap(i, j);
-            }
-            for &c in &chosen[..keep] {
-                col_kept[s * COLS + c] = true;
-            }
-        }
-    }
-    Matrix::from_fn(ROWS, COLS, |r, c| {
-        let s = (r / stripe_h).min(STRIPES - 1);
-        if col_kept[s * COLS + c] {
-            0.05 + (((r * 31 + c * 17) % 97) as f32) / 100.0
-        } else {
-            0.0
-        }
-    })
-}
-
-fn time_us<F: FnMut()>(iters: usize, mut f: F) -> f64 {
-    // Warm-up, then best-of-5 batches: the minimum per-iteration time is
-    // the standard scheduler-jitter-resistant microbenchmark estimator.
-    f();
-    let reps = 5usize;
-    let per = iters.div_ceil(reps).max(1);
-    let mut best = f64::INFINITY;
-    for _ in 0..reps {
-        let start = Instant::now();
-        for _ in 0..per {
-            f();
-        }
-        best = best.min(start.elapsed().as_secs_f64() * 1e6 / per as f64);
-    }
-    best
-}
 
 struct Row {
     kernel: &'static str,
@@ -90,27 +40,32 @@ struct Row {
 }
 
 fn main() {
+    let quick = quick_requested();
+    let (rows_dim, cols_dim) = if quick { (64, 64) } else { (1024, 1024) };
+    let compressions: &[f64] = if quick { &[2.5] } else { &[2.5, 10.0] };
+    let scale = |iters: usize| if quick { 1 } else { iters };
+
     let mut rows: Vec<Row> = Vec::new();
 
     // Micro-kernel operands (mixed-sign, the differential suite's regime).
     let mut rng = StdRng::seed_from_u64(3);
-    let a: Vec<f32> = (0..COLS).map(|_| rng.gen_f32() * 2.0 - 1.0).collect();
-    let b: Vec<f32> = (0..COLS).map(|_| rng.gen_f32() * 2.0 - 1.0).collect();
+    let a: Vec<f32> = (0..cols_dim).map(|_| rng.gen_f32() * 2.0 - 1.0).collect();
+    let b: Vec<f32> = (0..cols_dim).map(|_| rng.gen_f32() * 2.0 - 1.0).collect();
 
-    for &rate in &COMPRESSIONS {
-        let dense = bsp_matrix(rate, 42);
+    for &rate in compressions {
+        let dense = bsp_matrix(rows_dim, cols_dim, STRIPES, BLOCKS, rate, 42);
         let bspc = BspcMatrix::from_dense(&dense, STRIPES, BLOCKS).expect("valid partition");
         let csr = CsrMatrix::from_dense(&dense);
         let mut rng = StdRng::seed_from_u64(7);
-        let x: Vec<f32> = (0..COLS).map(|_| rng.gen_f32() * 2.0 - 1.0).collect();
-        let mut y = vec![0.0f32; ROWS];
+        let x: Vec<f32> = (0..cols_dim).map(|_| rng.gen_f32() * 2.0 - 1.0).collect();
+        let mut y = vec![0.0f32; rows_dim];
 
         for &variant in &Variant::ALL {
             simd::set_policy(SimdPolicy::Fixed(variant));
             let requested = variant.name();
             let ran = simd::active_variant().name();
 
-            let us = time_us(20, || {
+            let us = time_us(scale(20), || {
                 gemm::gemv_into(&dense, &x, &mut y).expect("shapes match");
             });
             rows.push(Row {
@@ -121,7 +76,7 @@ fn main() {
                 us,
             });
 
-            let us = time_us(200, || {
+            let us = time_us(scale(200), || {
                 bspc.spmv_into(&x, &mut y).expect("shapes match");
             });
             rows.push(Row {
@@ -132,7 +87,7 @@ fn main() {
                 us,
             });
 
-            let us = time_us(200, || {
+            let us = time_us(scale(200), || {
                 csr.spmv_into(&x, &mut y).expect("shapes match");
             });
             rows.push(Row {
@@ -147,14 +102,14 @@ fn main() {
     }
 
     // Size-independent micro-kernels (n = 1024), reported at compression 1.
-    let mut acc = vec![0.0f32; COLS];
+    let mut acc = vec![0.0f32; cols_dim];
     let mut gates: Vec<f32> = a.clone();
     for &variant in &Variant::ALL {
         simd::set_policy(SimdPolicy::Fixed(variant));
         let requested = variant.name();
         let ran = simd::active_variant().name();
 
-        let us = time_us(2000, || {
+        let us = time_us(scale(2000), || {
             black_box(simd::dot(&a, &b));
         });
         rows.push(Row {
@@ -165,7 +120,7 @@ fn main() {
             us,
         });
 
-        let us = time_us(2000, || {
+        let us = time_us(scale(2000), || {
             simd::axpy(1e-3, &a, &mut acc);
         });
         rows.push(Row {
@@ -176,7 +131,7 @@ fn main() {
             us,
         });
 
-        let us = time_us(500, || {
+        let us = time_us(scale(500), || {
             simd::sigmoid_sweep(&mut gates);
         });
         rows.push(Row {
@@ -196,40 +151,25 @@ fn main() {
             .map(|r| r.us)
     };
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"simd_kernels\",\n");
-    let _ = writeln!(
-        json,
-        "  \"matrix\": {{\"rows\": {ROWS}, \"cols\": {COLS}, \"stripes\": {STRIPES}, \"blocks\": {BLOCKS}}},"
-    );
-    let _ = writeln!(json, "  \"vector_isa\": \"{}\",", simd::vector_isa());
-    let _ = writeln!(json, "  \"lane_width\": {},", simd::lane_width());
-    json.push_str(
-        "  \"notes\": \"Single-thread. Each variant is timed through the normal dispatched \
-         entry points with the global policy pinned; variant_ran records what actually \
-         executed (a vector request downgrades to scalar-u8 without the ISA). Sweeps apply \
-         the same scalar activation in every variant, so their variants only differ in \
-         loop structure. speedup = scalar-u1 time / vector time.\",\n",
-    );
-    json.push_str("  \"results\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"kernel\": \"{}\", \"compression\": {}, \"variant_requested\": \"{}\", \
-             \"variant_ran\": \"{}\", \"us\": {:.3}}}",
-            r.kernel, r.compression, r.requested, r.ran, r.us,
-        );
-        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ],\n");
-    json.push_str("  \"speedups\": [\n");
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            json_row(&[
+                ("kernel", JsonValue::Str(r.kernel.into())),
+                ("compression", JsonValue::Raw(r.compression.to_string())),
+                ("variant_requested", JsonValue::Str(r.requested.into())),
+                ("variant_ran", JsonValue::Str(r.ran.into())),
+                ("us", JsonValue::F64(r.us, 3)),
+            ])
+        })
+        .collect();
+
     let mut speedups: Vec<String> = Vec::new();
     for kernel in ["dense_gemv", "bspc_spmv", "csr_spmv", "dot", "axpy"] {
         let rates: &[f64] = if kernel == "dot" || kernel == "axpy" {
             &[1.0]
         } else {
-            &COMPRESSIONS
+            compressions
         };
         for &rate in rates {
             let (Some(u1), Some(vec_us)) = (
@@ -239,19 +179,38 @@ fn main() {
                 continue;
             };
             let u8_us = us_of(kernel, rate, "scalar-u8").unwrap_or(u1);
-            speedups.push(format!(
-                "    {{\"kernel\": \"{}\", \"compression\": {}, \
-                 \"vector_over_scalar_u1\": {:.3}, \"vector_over_scalar_u8\": {:.3}}}",
-                kernel,
-                rate,
-                u1 / vec_us,
-                u8_us / vec_us,
-            ));
+            speedups.push(json_row(&[
+                ("kernel", JsonValue::Str(kernel.into())),
+                ("compression", JsonValue::Raw(rate.to_string())),
+                ("vector_over_scalar_u1", JsonValue::F64(u1 / vec_us, 3)),
+                ("vector_over_scalar_u8", JsonValue::F64(u8_us / vec_us, 3)),
+            ]));
         }
     }
-    json.push_str(&speedups.join(",\n"));
-    json.push_str("\n  ]\n}\n");
 
-    std::fs::write("BENCH_simd_kernels.json", &json).expect("write benchmark report");
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"simd_kernels\",\n");
+    let _ = writeln!(
+        json,
+        "  \"matrix\": {{\"rows\": {rows_dim}, \"cols\": {cols_dim}, \"stripes\": {STRIPES}, \"blocks\": {BLOCKS}}},"
+    );
+    let _ = writeln!(json, "  \"vector_isa\": \"{}\",", simd::vector_isa());
+    let _ = writeln!(json, "  \"lane_width\": {},", simd::lane_width());
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    json.push_str(
+        "  \"notes\": \"Single-thread. Each variant is timed through the normal dispatched \
+         entry points with the global policy pinned; variant_ran records what actually \
+         executed (a vector request downgrades to scalar-u8 without the ISA). Sweeps apply \
+         the same scalar activation in every variant, so their variants only differ in \
+         loop structure. speedup = scalar-u1 time / vector time.\",\n",
+    );
+    let _ = writeln!(json, "  \"results\": {},", json_array("    ", &rendered));
+    let _ = writeln!(json, "  \"speedups\": {}", json_array("    ", &speedups));
+    json.push_str("}\n");
+
+    let path = bench_report_path("BENCH_simd_kernels.json", quick);
+    std::fs::write(&path, &json).expect("write benchmark report");
     println!("{json}");
+    eprintln!("wrote {path}");
 }

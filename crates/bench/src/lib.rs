@@ -70,6 +70,133 @@ pub fn rule(w: usize) -> String {
     "-".repeat(w)
 }
 
+/// Best-effort microbenchmark timer: warm-up call, then best-of-5 batches.
+/// The minimum per-iteration time is the standard scheduler-jitter-
+/// resistant estimator (crucial on a shared single-core CI host). Returns
+/// microseconds per iteration.
+pub fn time_us<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    f();
+    let reps = 5usize;
+    let per = iters.div_ceil(reps).max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        for _ in 0..per {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() * 1e6 / per as f64);
+    }
+    best
+}
+
+/// BSP-patterned dense matrix shared by the kernel benchmarks: every row
+/// kept, `1/rate` of each stripe's columns kept per block (random choice),
+/// nonzero uniform values.
+pub fn bsp_matrix(
+    rows: usize,
+    cols: usize,
+    stripes: usize,
+    blocks: usize,
+    rate: f64,
+    seed: u64,
+) -> rtm_tensor::Matrix {
+    let mut rng = rtm_tensor::rng::StdRng::seed_from_u64(seed);
+    let stripe_h = rows.div_ceil(stripes);
+    let block_w = cols.div_ceil(blocks);
+    let mut col_kept = vec![false; stripes * cols];
+    for s in 0..stripes {
+        for b in 0..blocks {
+            let c0 = b * block_w;
+            let c1 = ((b + 1) * block_w).min(cols);
+            let width = c1 - c0;
+            let keep = ((width as f64 / rate).round() as usize).clamp(1, width);
+            let mut chosen: Vec<usize> = (c0..c1).collect();
+            for i in 0..keep {
+                let j = rng.gen_range(i..chosen.len());
+                chosen.swap(i, j);
+            }
+            for &c in &chosen[..keep] {
+                col_kept[s * cols + c] = true;
+            }
+        }
+    }
+    rtm_tensor::Matrix::from_fn(rows, cols, |r, c| {
+        let s = (r / stripe_h).min(stripes - 1);
+        if col_kept[s * cols + c] {
+            0.05 + (((r * 31 + c * 17) % 97) as f32) / 100.0
+        } else {
+            0.0
+        }
+    })
+}
+
+/// One value in a [`json_row`]: the benchmark binaries emit their JSON by
+/// hand (no serde in the offline workspace), and this enum is the one spot
+/// that knows how each type renders.
+pub enum JsonValue {
+    /// A quoted, escaped string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float printed with the given number of decimals.
+    F64(f64, usize),
+    /// Pre-rendered JSON spliced verbatim (nested objects, bare literals).
+    Raw(String),
+}
+
+impl JsonValue {
+    fn render(&self) -> String {
+        match self {
+            JsonValue::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+            JsonValue::Int(i) => i.to_string(),
+            JsonValue::F64(v, prec) => format!("{v:.prec$}"),
+            JsonValue::Raw(r) => r.clone(),
+        }
+    }
+}
+
+/// Renders one single-line JSON object from `(key, value)` pairs.
+pub fn json_row(fields: &[(&str, JsonValue)]) -> String {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {}", v.render()))
+        .collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+/// Renders a JSON array of pre-rendered rows, one per line at `indent`,
+/// with correct comma placement.
+pub fn json_array(indent: &str, rows: &[String]) -> String {
+    if rows.is_empty() {
+        return "[]".to_string();
+    }
+    let body: Vec<String> = rows.iter().map(|r| format!("{indent}{r}")).collect();
+    format!(
+        "[\n{}\n{}]",
+        body.join(",\n"),
+        &indent[..indent.len().saturating_sub(2)]
+    )
+}
+
+/// True when `--quick` was passed on the command line: the perf benchmark
+/// binaries then run a smoke-test configuration (tiny shapes, one
+/// iteration) suitable for CI.
+pub fn quick_requested() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+/// Where a benchmark JSON report lands: the repository root normally, or
+/// `target/quick/` (created on demand, untracked) under `--quick`, so
+/// smoke runs never clobber the committed full-run artifacts.
+pub fn bench_report_path(file_name: &str, quick: bool) -> String {
+    if quick {
+        std::fs::create_dir_all("target/quick").expect("create target/quick");
+        format!("target/quick/{file_name}")
+    } else {
+        file_name.to_string()
+    }
+}
+
 /// Writes a CSV artifact under `results/` (created on demand) and returns
 /// the path. Every table/figure binary mirrors its console output here so
 /// downstream plotting never has to scrape stdout.
@@ -97,5 +224,62 @@ mod tests {
         assert_eq!(task.corpus().config, corpus_config());
         assert!(admm_config().finetune_epochs > 0);
         assert_eq!(rule(3), "---");
+    }
+
+    #[test]
+    fn json_helpers_render_valid_rows() {
+        let row = json_row(&[
+            ("kernel", JsonValue::Str("bspc \"q\"".into())),
+            ("threads", JsonValue::Int(4)),
+            ("us", JsonValue::F64(1.23456, 3)),
+            ("nested", JsonValue::Raw("{\"a\": 1}".into())),
+        ]);
+        assert_eq!(
+            row,
+            "{\"kernel\": \"bspc \\\"q\\\"\", \"threads\": 4, \"us\": 1.235, \
+             \"nested\": {\"a\": 1}}"
+        );
+        assert_eq!(json_array("    ", &[]), "[]");
+        assert_eq!(
+            json_array("    ", &["{}".into(), "{}".into()]),
+            "[\n    {},\n    {}\n  ]"
+        );
+    }
+
+    #[test]
+    fn bsp_matrix_honors_pattern_and_rate() {
+        let m = bsp_matrix(32, 32, 4, 4, 4.0, 9);
+        // Kept columns are shared within a stripe.
+        for s in 0..4 {
+            let r0 = s * 8;
+            for r in r0..r0 + 8 {
+                for c in 0..32 {
+                    assert_eq!(m[(r, c)] != 0.0, m[(r0, c)] != 0.0);
+                }
+            }
+        }
+        // Roughly 1/4 of entries survive.
+        let nnz = (0..32)
+            .flat_map(|r| (0..32).map(move |c| (r, c)))
+            .filter(|&(r, c)| m[(r, c)] != 0.0)
+            .count();
+        assert!((32 * 32 / 8..=32 * 32 / 2).contains(&nnz), "nnz {nnz}");
+    }
+
+    #[test]
+    fn bench_report_path_diverts_quick_runs() {
+        assert_eq!(bench_report_path("BENCH_x.json", false), "BENCH_x.json");
+        assert_eq!(
+            bench_report_path("BENCH_x.json", true),
+            "target/quick/BENCH_x.json"
+        );
+    }
+
+    #[test]
+    fn time_us_returns_positive() {
+        let mut acc = 0u64;
+        let us = time_us(3, || acc = acc.wrapping_add(1));
+        assert!(us >= 0.0);
+        assert!(acc > 0);
     }
 }

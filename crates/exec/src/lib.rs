@@ -47,7 +47,10 @@ pub mod spmv;
 
 pub use partition::{Chunk, Partition};
 pub use pool::{Task, WorkerPool};
-pub use spmv::{bspc_rows_into, csr_rows_into, dense_rows_into, Executor};
+pub use spmv::{
+    bspc_rows_batch_into, bspc_rows_into, csr_rows_batch_into, csr_rows_into,
+    dense_rows_batch_into, dense_rows_into, Executor,
+};
 
 #[cfg(test)]
 mod tests {
@@ -152,6 +155,40 @@ mod tests {
             for threads in THREADS {
                 let exec = Executor::new(threads);
                 assert_eq!(exec.gemv_dense(&w, &x).unwrap(), serial, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_spmm_lanes_match_serial_spmv_bit_exact() {
+        // The batched engine's contract: for every format and thread count,
+        // lane j of the parallel SpMM equals the *serial* SpMV of lane j's
+        // column, bit for bit.
+        for seed in 0..3u64 {
+            let w = bsp_random(64, 48, 4, 4, 0.3, 0.8, seed);
+            let m = BspcMatrix::from_dense(&w, 4, 4).unwrap();
+            let c = CsrMatrix::from_dense(&w);
+            for b in [1usize, 3, 8] {
+                let xs = input(48 * b, seed + 200);
+                let serial_bspc = m.spmm(&xs, b).unwrap();
+                for threads in THREADS {
+                    let exec = Executor::new(threads);
+                    let mut ys = vec![f32::NAN; 64 * b];
+                    exec.spmm_bspc_into(&m, &xs, b, &mut ys).unwrap();
+                    assert_eq!(ys, serial_bspc, "bspc seed {seed} b={b} t={threads}");
+                    let mut yc = vec![f32::NAN; 64 * b];
+                    exec.spmm_csr_into(&c, &xs, b, &mut yc).unwrap();
+                    assert_eq!(yc, c.spmm(&xs, b).unwrap(), "csr seed {seed} b={b}");
+                    let mut yd = vec![f32::NAN; 64 * b];
+                    exec.gemm_dense_into(&w, &xs, b, &mut yd).unwrap();
+                    for j in 0..b {
+                        let col: Vec<f32> = (0..48).map(|i| xs[i * b + j]).collect();
+                        let want = m.spmv(&col).unwrap();
+                        for r in 0..64 {
+                            assert_eq!(ys[r * b + j], want[r], "lane {j} row {r}");
+                        }
+                    }
+                }
             }
         }
     }

@@ -109,6 +109,112 @@ pub fn dense_rows_into(
     }
 }
 
+/// Computes `ys[(r - y_base)·b + j] = A[r] · X[:, j]` for the kept rows
+/// `kept_range` of a BSPC matrix over `b` interleaved input lanes
+/// (`xs[c·b + j]`). Rows outside the range — and pruned rows inside it —
+/// are left untouched, so the caller zero-fills.
+///
+/// Mirrors [`bspc_rows_into`]: per stripe run, the shared column stream is
+/// gathered into a lane-major `[len × b]` scratch **once**, then every row
+/// of the run does a unit-stride batched dot. The batched dense dot shares
+/// the batched indexed dot's lane structure, so each lane is bit-identical
+/// to the serial `BspcMatrix::spmm_into` — and hence to the serial SpMV of
+/// that lane's column — under every `SimdPolicy`.
+pub fn bspc_rows_batch_into(
+    m: &BspcMatrix,
+    xs: &[f32],
+    b: usize,
+    kept_range: std::ops::Range<usize>,
+    ys: &mut [f32],
+    y_base: usize,
+) {
+    let stripe_h = m.stripe_height();
+    let kept = m.kept_rows();
+    let values = m.values();
+    let variant = rtm_tensor::simd::active_variant();
+    let mut gathered: Vec<f32> = Vec::new();
+    let mut k = kept_range.start;
+    while k < kept_range.end {
+        let s = kept[k] as usize / stripe_h;
+        let mut run_end = k + 1;
+        while run_end < kept_range.end && kept[run_end] as usize / stripe_h == s {
+            run_end += 1;
+        }
+        let cols = m.stripe_kept_cols(s);
+        gathered.clear();
+        for &c in cols {
+            let base = c as usize * b;
+            gathered.extend_from_slice(&xs[base..base + b]);
+        }
+        for (kk, &row) in kept.iter().enumerate().take(run_end).skip(k) {
+            let off = m.row_offset(kk);
+            let vals = &values[off..off + cols.len()];
+            let out_base = (row as usize - y_base) * b;
+            rtm_tensor::simd::dot_batch_variant(
+                variant,
+                vals,
+                &gathered,
+                b,
+                &mut ys[out_base..out_base + b],
+            );
+        }
+        k = run_end;
+    }
+}
+
+/// Computes `ys[(r - y_base)·b + j] = A[r] · X[:, j]` for CSR rows `rows`
+/// over `b` interleaved input lanes. Every row in the range is written
+/// (empty rows get 0).
+pub fn csr_rows_batch_into(
+    m: &CsrMatrix,
+    xs: &[f32],
+    b: usize,
+    rows: std::ops::Range<usize>,
+    ys: &mut [f32],
+    y_base: usize,
+) {
+    let row_ptr = m.row_ptr();
+    let col_idx = m.col_idx();
+    let values = m.values();
+    let variant = rtm_tensor::simd::active_variant();
+    for r in rows {
+        let start = row_ptr[r] as usize;
+        let end = row_ptr[r + 1] as usize;
+        let out_base = (r - y_base) * b;
+        rtm_tensor::simd::indexed_dot_batch_variant(
+            variant,
+            &values[start..end],
+            &col_idx[start..end],
+            xs,
+            b,
+            &mut ys[out_base..out_base + b],
+        );
+    }
+}
+
+/// Computes `ys[(r - y_base)·b + j] = A[r] · X[:, j]` for dense rows `rows`
+/// over `b` interleaved input lanes.
+pub fn dense_rows_batch_into(
+    m: &Matrix,
+    xs: &[f32],
+    b: usize,
+    rows: std::ops::Range<usize>,
+    ys: &mut [f32],
+    y_base: usize,
+) {
+    let variant = rtm_tensor::simd::active_variant();
+    for r in rows {
+        let out_base = (r - y_base) * b;
+        rtm_tensor::simd::dot_batch_variant(
+            variant,
+            m.row(r),
+            xs,
+            b,
+            &mut ys[out_base..out_base + b],
+        );
+    }
+}
+
 /// The parallel execution engine: a persistent [`WorkerPool`] plus the
 /// format-specific parallel SpMV entry points.
 ///
@@ -341,6 +447,173 @@ impl Executor {
             let base = chunk.start;
             tasks.push(Box::new(move || {
                 dense_rows_into(m, x, range, slice, base);
+            }));
+            tail = rest;
+        }
+        self.pool.run(tasks);
+        Ok(())
+    }
+
+    /// Parallel BSPC SpMM over `b` interleaved input lanes, into a
+    /// caller-provided `[rows × b]` lane-major buffer. Partitioning is the
+    /// same reorder-group/nnz balance as [`spmv_bspc_into`] — a row's cost
+    /// scales by `b` uniformly, so the SpMV partition stays optimal — and
+    /// each chunk simply receives all `b` lanes of its rows.
+    ///
+    /// Bit-identical to [`BspcMatrix::spmm_into`] for every thread count,
+    /// and therefore lane-for-lane bit-identical to `b` serial SpMV runs.
+    ///
+    /// [`spmv_bspc_into`]: Executor::spmv_bspc_into
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `xs.len() != m.cols() * b` or
+    /// `ys.len() != m.rows() * b`.
+    pub fn spmm_bspc_into(
+        &self,
+        m: &BspcMatrix,
+        xs: &[f32],
+        b: usize,
+        ys: &mut [f32],
+    ) -> Result<(), ShapeError> {
+        if xs.len() != m.cols() * b || ys.len() != m.rows() * b {
+            return Err(ShapeError {
+                op: "parallel_bspc_spmm",
+                lhs: (m.rows(), m.cols()),
+                rhs: (xs.len(), b),
+            });
+        }
+        ys.fill(0.0);
+        let kept = m.kept_rows();
+        if kept.is_empty() || b == 0 {
+            return Ok(());
+        }
+        if self.threads() == 1 {
+            bspc_rows_batch_into(m, xs, b, 0..kept.len(), ys, 0);
+            return Ok(());
+        }
+        let partition = self.partition_bspc(m);
+        if partition.len() <= 1 {
+            bspc_rows_batch_into(m, xs, b, 0..kept.len(), ys, 0);
+            return Ok(());
+        }
+        // Same disjoint output ranges as the SpMV path, scaled to flat
+        // lane-major offsets: output row boundary r maps to element r·b.
+        let chunks = partition.chunks();
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(chunks.len());
+        let mut tail: &mut [f32] = ys;
+        let mut base = 0usize;
+        for (i, chunk) in chunks.iter().enumerate() {
+            let end = if i + 1 < chunks.len() {
+                kept[chunks[i + 1].start] as usize
+            } else {
+                m.rows()
+            };
+            let (slice, rest) = tail.split_at_mut((end - base) * b);
+            let range = chunk.start..chunk.end;
+            let slice_base = base;
+            tasks.push(Box::new(move || {
+                bspc_rows_batch_into(m, xs, b, range, slice, slice_base);
+            }));
+            tail = rest;
+            base = end;
+        }
+        self.pool.run(tasks);
+        Ok(())
+    }
+
+    /// Parallel CSR SpMM over `b` interleaved input lanes. Bit-identical to
+    /// [`CsrMatrix::spmm_into`] for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `xs.len() != m.cols() * b` or
+    /// `ys.len() != m.rows() * b`.
+    pub fn spmm_csr_into(
+        &self,
+        m: &CsrMatrix,
+        xs: &[f32],
+        b: usize,
+        ys: &mut [f32],
+    ) -> Result<(), ShapeError> {
+        if xs.len() != m.cols() * b || ys.len() != m.rows() * b {
+            return Err(ShapeError {
+                op: "parallel_csr_spmm",
+                lhs: (m.rows(), m.cols()),
+                rhs: (xs.len(), b),
+            });
+        }
+        if m.rows() == 0 || b == 0 {
+            return Ok(());
+        }
+        if self.threads() == 1 {
+            csr_rows_batch_into(m, xs, b, 0..m.rows(), ys, 0);
+            return Ok(());
+        }
+        let partition = self.partition_csr(m);
+        if partition.len() <= 1 {
+            csr_rows_batch_into(m, xs, b, 0..m.rows(), ys, 0);
+            return Ok(());
+        }
+        let chunks = partition.chunks();
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(chunks.len());
+        let mut tail: &mut [f32] = ys;
+        for chunk in chunks {
+            let (slice, rest) = tail.split_at_mut((chunk.end - chunk.start) * b);
+            let range = chunk.start..chunk.end;
+            let base = chunk.start;
+            tasks.push(Box::new(move || {
+                csr_rows_batch_into(m, xs, b, range, slice, base);
+            }));
+            tail = rest;
+        }
+        self.pool.run(tasks);
+        Ok(())
+    }
+
+    /// Parallel dense GEMM over `b` interleaved input lanes (the batched
+    /// counterpart of [`gemv_dense_into`](Executor::gemv_dense_into)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `xs.len() != m.cols() * b` or
+    /// `ys.len() != m.rows() * b`.
+    pub fn gemm_dense_into(
+        &self,
+        m: &Matrix,
+        xs: &[f32],
+        b: usize,
+        ys: &mut [f32],
+    ) -> Result<(), ShapeError> {
+        if xs.len() != m.cols() * b || ys.len() != m.rows() * b {
+            return Err(ShapeError {
+                op: "parallel_gemm",
+                lhs: (m.rows(), m.cols()),
+                rhs: (xs.len(), b),
+            });
+        }
+        if m.rows() == 0 || b == 0 {
+            return Ok(());
+        }
+        if self.threads() == 1 {
+            dense_rows_batch_into(m, xs, b, 0..m.rows(), ys, 0);
+            return Ok(());
+        }
+        let costs = vec![m.cols().max(1); m.rows()];
+        let partition = Partition::balanced(&costs, self.threads());
+        if partition.len() <= 1 {
+            dense_rows_batch_into(m, xs, b, 0..m.rows(), ys, 0);
+            return Ok(());
+        }
+        let chunks = partition.chunks();
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(chunks.len());
+        let mut tail: &mut [f32] = ys;
+        for chunk in chunks {
+            let (slice, rest) = tail.split_at_mut((chunk.end - chunk.start) * b);
+            let range = chunk.start..chunk.end;
+            let base = chunk.start;
+            tasks.push(Box::new(move || {
+                dense_rows_batch_into(m, xs, b, range, slice, base);
             }));
             tail = rest;
         }

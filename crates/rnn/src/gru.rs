@@ -18,7 +18,7 @@
 //! validates every gradient against central finite differences.
 
 use rtm_tensor::activations::{sigmoid_slice, tanh_slice};
-use rtm_tensor::gemm::{gemv_into, gemv_transposed, ger};
+use rtm_tensor::gemm::{gemv_batch_into, gemv_into, gemv_transposed, ger};
 use rtm_tensor::init::{rng_from_seed, xavier_uniform};
 use rtm_tensor::{Matrix, Vector};
 
@@ -239,6 +239,71 @@ impl GruCell {
         tanh_slice(&mut out.n);
 
         for (((hi, &zi), &ni), &hp) in out.h.iter_mut().zip(&out.z).zip(&out.n).zip(h_prev) {
+            *hi = (1.0 - zi) * ni + zi * hp;
+        }
+    }
+
+    /// One forward step for `b` independent streams through a single weight
+    /// pass (weight-stationary batching).
+    ///
+    /// All buffers are **lane-major**: element `i` of stream `j` lives at
+    /// index `i·b + j` (`xs` is `[input × b]`, `hs_prev` and the `out`
+    /// fields are `[hidden × b]`). Each weight matrix is walked once per
+    /// step and applied to all `b` lanes via the batched
+    /// [`simd`](rtm_tensor::simd) kernels.
+    ///
+    /// Lane contract: lane `j` of every output is **bit-identical** to
+    /// [`GruCell::step_into`] run serially on lane `j`'s columns, under
+    /// every [`SimdPolicy`](rtm_tensor::simd::SimdPolicy). This holds
+    /// because (1) the batched matvec kernels replay the serial kernels'
+    /// accumulation order per lane, (2) every `axpy` in the step uses
+    /// `α = 1`, where FMA and mul+add round identically, so applying it
+    /// across the whole lane-major buffer cannot differ from per-lane
+    /// application, and (3) activations, hadamard and the final blend are
+    /// element-wise with one rounding each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs.len() != self.input_dim() * b` or
+    /// `hs_prev.len() != self.hidden_dim() * b`.
+    pub fn step_batch_into(
+        &self,
+        xs: &[f32],
+        hs_prev: &[f32],
+        b: usize,
+        scratch: &mut GruScratch,
+        out: &mut GruStep,
+    ) {
+        assert_eq!(xs.len(), self.input_dim() * b, "input dim mismatch");
+        assert_eq!(hs_prev.len(), self.hidden_dim() * b, "hidden dim mismatch");
+        let hb = self.hidden_dim() * b;
+        out.z.resize(hb, 0.0);
+        out.r.resize(hb, 0.0);
+        out.n.resize(hb, 0.0);
+        out.h.resize(hb, 0.0);
+        scratch.tmp.resize(hb, 0.0);
+        scratch.rh.resize(hb, 0.0);
+
+        gemv_batch_into(&self.w_z, xs, b, &mut out.z).expect("shape checked");
+        gemv_batch_into(&self.u_z, hs_prev, b, &mut scratch.tmp).expect("shape checked");
+        Vector::axpy(1.0, &scratch.tmp, &mut out.z);
+        rtm_tensor::simd::broadcast_add(&self.b_z, b, &mut out.z);
+        sigmoid_slice(&mut out.z);
+
+        gemv_batch_into(&self.w_r, xs, b, &mut out.r).expect("shape checked");
+        gemv_batch_into(&self.u_r, hs_prev, b, &mut scratch.tmp).expect("shape checked");
+        Vector::axpy(1.0, &scratch.tmp, &mut out.r);
+        rtm_tensor::simd::broadcast_add(&self.b_r, b, &mut out.r);
+        sigmoid_slice(&mut out.r);
+
+        Vector::hadamard_into(&out.r, hs_prev, &mut scratch.rh);
+        gemv_batch_into(&self.w_n, xs, b, &mut out.n).expect("shape checked");
+        gemv_batch_into(&self.u_n, &scratch.rh, b, &mut scratch.tmp).expect("shape checked");
+        Vector::axpy(1.0, &scratch.tmp, &mut out.n);
+        rtm_tensor::simd::broadcast_add(&self.b_n, b, &mut out.n);
+        tanh_slice(&mut out.n);
+
+        for (((hi, &zi), &ni), &hp) in out.h.iter_mut().zip(&out.z).zip(&out.n).zip(hs_prev) {
             *hi = (1.0 - zi) * ni + zi * hp;
         }
     }
@@ -798,6 +863,42 @@ mod tests {
             cell.step_into(&x, &h, &mut scratch, &mut out);
             assert_eq!(out, fresh, "step {t}");
             h = fresh.h;
+        }
+    }
+
+    #[test]
+    fn step_batch_lanes_match_serial_steps_bit_exact() {
+        // Carry b independent hidden states through several timesteps in one
+        // lane-major buffer; every lane must stay bit-identical to a serial
+        // single-stream run of that lane's inputs.
+        let cell = GruCell::new(6, 9, 21);
+        for b in [1usize, 2, 4, 9] {
+            let mut scratch = GruScratch::new(9);
+            let mut out = GruStep::default();
+            let mut hs = vec![0.0f32; 9 * b];
+            let mut serial_h = vec![vec![0.0f32; 9]; b];
+            for t in 0..5 {
+                // Distinct input per lane, laid out lane-major.
+                let mut xs = vec![0.0f32; 6 * b];
+                for j in 0..b {
+                    for i in 0..6 {
+                        xs[i * b + j] = ((t * 100 + j * 10 + i) as f32 * 0.17).sin();
+                    }
+                }
+                cell.step_batch_into(&xs, &hs, b, &mut scratch, &mut out);
+                for j in 0..b {
+                    let x_j: Vec<f32> = (0..6).map(|i| xs[i * b + j]).collect();
+                    let want = cell.step(&x_j, &serial_h[j]);
+                    for i in 0..9 {
+                        assert_eq!(out.z[i * b + j], want.z[i], "b={b} t={t} lane {j} z[{i}]");
+                        assert_eq!(out.r[i * b + j], want.r[i], "b={b} t={t} lane {j} r[{i}]");
+                        assert_eq!(out.n[i * b + j], want.n[i], "b={b} t={t} lane {j} n[{i}]");
+                        assert_eq!(out.h[i * b + j], want.h[i], "b={b} t={t} lane {j} h[{i}]");
+                    }
+                    serial_h[j] = want.h;
+                }
+                hs.copy_from_slice(&out.h);
+            }
         }
     }
 

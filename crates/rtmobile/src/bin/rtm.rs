@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! rtm pipeline [--hidden N] [--col X] [--row Y] [--stripes S] [--blocks B]
-//!              [--seed K] [--threads T] [--simd POLICY] [--save FILE.rtm]
+//!              [--seed K] [--threads T] [--batch B] [--simd POLICY]
+//!              [--save FILE.rtm]
 //! rtm inspect FILE.rtm
 //! rtm help
 //! ```
@@ -36,9 +37,13 @@ fn print_help() {
     println!();
     println!("USAGE:");
     println!("  rtm pipeline [--hidden N] [--col X] [--row Y] [--stripes S] [--blocks B]");
-    println!("               [--seed K] [--threads T] [--simd POLICY] [--save FILE.rtm]");
+    println!("               [--seed K] [--threads T] [--batch B] [--simd POLICY]");
+    println!("               [--save FILE.rtm]");
     println!("  rtm inspect FILE.rtm");
     println!("  rtm help");
+    println!();
+    println!("  --batch scores up to B test utterances per weight pass through the");
+    println!("  multi-stream batched runtime (default 1; bit-identical results).");
     println!();
     println!("  --simd picks the kernel dispatch policy: auto (default; widest");
     println!("  realization the CPU supports), off/scalar, u4, u8, or vector.");
@@ -79,6 +84,7 @@ fn pipeline(args: &[String]) -> ExitCode {
     let blocks = get_usize("blocks", 4);
     let seed = get_usize("seed", 2020) as u64;
     let threads = get_usize("threads", 1);
+    let batch = get_usize("batch", 1);
 
     if col < 1.0 || row < 1.0 {
         eprintln!("compression rates must be >= 1");
@@ -86,6 +92,10 @@ fn pipeline(args: &[String]) -> ExitCode {
     }
     if threads == 0 {
         eprintln!("--threads must be >= 1");
+        return ExitCode::FAILURE;
+    }
+    if batch == 0 {
+        eprintln!("--batch must be >= 1");
         return ExitCode::FAILURE;
     }
     let simd = match flags.get("simd") {
@@ -101,14 +111,15 @@ fn pipeline(args: &[String]) -> ExitCode {
 
     println!(
         "Running the RTMobile pipeline: hidden {hidden}, target {col}x cols x {row}x rows, \
-         partition {stripes}x{blocks}, seed {seed}, {threads} thread(s)"
+         partition {stripes}x{blocks}, seed {seed}, {threads} thread(s), batch {batch}"
     );
     let mut builder = RtMobile::builder()
         .hidden(hidden)
         .compression(col, row)
         .partition(stripes, blocks)
         .seed(seed)
-        .threads(threads);
+        .threads(threads)
+        .batch(batch);
     if let Some(policy) = simd {
         builder = builder.simd(policy);
     }

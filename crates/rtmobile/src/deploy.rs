@@ -84,6 +84,10 @@ impl GruRuntimeScratch {
     }
 
     /// Sizes the per-gate buffers for a layer of width `hidden`.
+    ///
+    /// The batched step reuses the same workspace with
+    /// `hidden = layer_width × lanes`: every buffer is a flat lane-major
+    /// `[width × b]` plane, so sizing is the only difference.
     fn reserve(&mut self, hidden: usize) {
         self.z.resize(hidden, 0.0);
         self.r.resize(hidden, 0.0);
@@ -450,6 +454,286 @@ impl CompiledGruLayer {
         }
         quantize(h_out);
     }
+
+    /// One GRU step for `b` independent streams through a single pass over
+    /// the gate weights (weight-stationary batching). `xs`, `hs_prev` and
+    /// `hs_out` are lane-major: element `i` of stream `j` at `i·b + j`.
+    ///
+    /// Each gate SpMM walks its BSPC index structure once and applies every
+    /// row to all `b` input columns via the reorder-aware parallel engine,
+    /// so index decode and weight traffic amortize across the batch.
+    /// Lane `j` of the output is bit-identical to
+    /// [`CompiledGruLayer::step_into`] on lane `j`'s column, for every
+    /// thread count and simd policy: the SpMM kernels replay the serial
+    /// accumulation order per lane, all axpys here use `α = 1` (where FMA
+    /// and mul+add round identically), and the remaining ops are
+    /// element-wise with one rounding each.
+    #[allow(clippy::too_many_arguments)]
+    fn step_batch_into(
+        &self,
+        exec: &rtm_exec::Executor,
+        xs: &[f32],
+        hs_prev: &[f32],
+        b: usize,
+        precision: RuntimePrecision,
+        scratch: &mut GruRuntimeScratch,
+        hs_out: &mut Vec<f32>,
+    ) {
+        let quantize = |v: &mut [f32]| {
+            if precision == RuntimePrecision::F16 {
+                for e in v.iter_mut() {
+                    *e = quantize_f16(*e);
+                }
+            }
+        };
+        let hb = self.hidden * b;
+        scratch.reserve(hb);
+        hs_out.resize(hb, 0.0);
+
+        exec.spmm_bspc_into(&self.w_z, xs, b, &mut scratch.z)
+            .expect("dims");
+        exec.spmm_bspc_into(&self.u_z, hs_prev, b, &mut scratch.tmp)
+            .expect("dims");
+        Vector::axpy(1.0, &scratch.tmp, &mut scratch.z);
+        rtm_tensor::simd::broadcast_add(&self.b_z, b, &mut scratch.z);
+        sigmoid_slice(&mut scratch.z);
+        quantize(&mut scratch.z);
+
+        exec.spmm_bspc_into(&self.w_r, xs, b, &mut scratch.r)
+            .expect("dims");
+        exec.spmm_bspc_into(&self.u_r, hs_prev, b, &mut scratch.tmp)
+            .expect("dims");
+        Vector::axpy(1.0, &scratch.tmp, &mut scratch.r);
+        rtm_tensor::simd::broadcast_add(&self.b_r, b, &mut scratch.r);
+        sigmoid_slice(&mut scratch.r);
+        quantize(&mut scratch.r);
+
+        Vector::hadamard_into(&scratch.r, hs_prev, &mut scratch.rh);
+        exec.spmm_bspc_into(&self.w_n, xs, b, &mut scratch.n)
+            .expect("dims");
+        exec.spmm_bspc_into(&self.u_n, &scratch.rh, b, &mut scratch.tmp)
+            .expect("dims");
+        Vector::axpy(1.0, &scratch.tmp, &mut scratch.n);
+        rtm_tensor::simd::broadcast_add(&self.b_n, b, &mut scratch.n);
+        tanh_slice(&mut scratch.n);
+        quantize(&mut scratch.n);
+
+        for (((hi, &zi), &ni), &hp) in hs_out
+            .iter_mut()
+            .zip(&scratch.z)
+            .zip(&scratch.n)
+            .zip(hs_prev)
+        {
+            *hi = (1.0 - zi) * ni + zi * hp;
+        }
+        quantize(hs_out);
+    }
+}
+
+impl CompiledNetwork {
+    /// One batched frame through all layers and the head: `xs` holds `b`
+    /// input frames lane-major and is consumed as the inter-layer activation
+    /// buffer; `logits` receives the `[classes × b]` lane-major head output.
+    /// Lane `j` is bit-identical to one frame of
+    /// [`CompiledNetwork::forward`] on stream `j`.
+    #[allow(clippy::too_many_arguments)]
+    fn forward_frame_batch(
+        &self,
+        exec: &rtm_exec::Executor,
+        xs: &mut Vec<f32>,
+        b: usize,
+        states: &mut [Vec<f32>],
+        scratch: &mut GruRuntimeScratch,
+        hs_next: &mut Vec<f32>,
+        logits: &mut Vec<f32>,
+    ) {
+        self.maybe_quantize(xs);
+        for (layer, hs) in self.layers.iter().zip(states.iter_mut()) {
+            layer.step_batch_into(exec, xs, hs, b, self.precision, scratch, hs_next);
+            std::mem::swap(hs, hs_next);
+            xs.clear();
+            xs.extend_from_slice(hs);
+        }
+        logits.resize(self.head_b.len() * b, 0.0);
+        rtm_tensor::gemm::gemv_batch_into(&self.head_w, xs, b, logits).expect("head dims");
+        rtm_tensor::simd::broadcast_add(&self.head_b, b, logits);
+    }
+}
+
+/// Removes lane `j` from a lane-major `[rows × b]` buffer in place,
+/// shifting lanes above `j` down by one (the compaction a stream
+/// retirement triggers). Pure data movement — surviving lanes keep their
+/// exact bit patterns.
+fn remove_lane(buf: &mut Vec<f32>, b: usize, j: usize) {
+    debug_assert!(j < b && buf.len().is_multiple_of(b));
+    let rows = buf.len() / b;
+    let mut w = 0;
+    for i in 0..rows {
+        for l in 0..b {
+            if l != j {
+                buf[w] = buf[i * b + l];
+                w += 1;
+            }
+        }
+    }
+    buf.truncate(w);
+}
+
+/// Appends a zero-initialized lane to a lane-major `[rows × b]` buffer in
+/// place (admission of a fresh stream, whose hidden state starts at zero).
+fn add_lane(buf: &mut Vec<f32>, b: usize, rows: usize) {
+    debug_assert!(buf.len() == rows * b);
+    buf.resize(rows * (b + 1), 0.0);
+    for i in (0..rows).rev() {
+        buf[i * (b + 1) + b] = 0.0;
+        for l in (0..b).rev() {
+            buf[i * (b + 1) + l] = buf[i * b + l];
+        }
+    }
+}
+
+/// A multi-stream inference session: up to `capacity` utterances advance
+/// in lockstep through one weight-stationary batched pass per frame.
+///
+/// Scheduling policy: waiting streams park in arrival order; a stream is
+/// admitted to a free lane whenever one exists, runs one frame per batched
+/// step, and retires when its frames are exhausted. Retirement compacts
+/// the lane-major state buffers (surviving lanes shift down, preserving
+/// their bit patterns) so the batch never carries dead lanes, and the
+/// freed lane is immediately re-admittable — streams of different lengths
+/// therefore keep the batch full until the tail drains.
+///
+/// Lane contract: every stream's logits are bit-identical to a serial
+/// [`CompiledNetwork::forward`] of that stream alone, for any capacity,
+/// admission order, thread count and simd policy.
+pub struct BatchedSession<'a> {
+    net: &'a CompiledNetwork,
+    exec: &'a rtm_exec::Executor,
+    capacity: usize,
+    /// `lane -> index into the caller's stream list`.
+    lanes: Vec<usize>,
+    /// `lane -> next frame cursor` within its stream.
+    cursors: Vec<usize>,
+    /// Per-layer lane-major hidden states `[hidden × lanes.len()]`.
+    states: Vec<Vec<f32>>,
+    scratch: GruRuntimeScratch,
+    xs: Vec<f32>,
+    hs_next: Vec<f32>,
+    logits: Vec<f32>,
+}
+
+impl<'a> BatchedSession<'a> {
+    /// A session over `net` with at most `capacity` concurrent lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(
+        net: &'a CompiledNetwork,
+        exec: &'a rtm_exec::Executor,
+        capacity: usize,
+    ) -> BatchedSession<'a> {
+        assert!(capacity > 0, "batch capacity must be at least 1");
+        BatchedSession {
+            net,
+            exec,
+            capacity,
+            lanes: Vec::with_capacity(capacity),
+            cursors: Vec::with_capacity(capacity),
+            states: net.layers.iter().map(|_| Vec::new()).collect(),
+            scratch: GruRuntimeScratch::new(),
+            xs: Vec::new(),
+            hs_next: Vec::new(),
+            logits: Vec::new(),
+        }
+    }
+
+    /// The lane capacity this session batches up to.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Runs every stream to completion, batching up to `capacity` of them
+    /// per step, and returns per-stream per-frame logits in input order.
+    /// Empty streams yield empty logit lists.
+    pub fn run<S: AsRef<[Vec<f32>]>>(&mut self, streams: &[S]) -> Vec<Vec<Vec<f32>>> {
+        let mut out: Vec<Vec<Vec<f32>>> = streams
+            .iter()
+            .map(|s| Vec::with_capacity(s.as_ref().len()))
+            .collect();
+        self.lanes.clear();
+        self.cursors.clear();
+        for s in &mut self.states {
+            s.clear();
+        }
+        let classes = self.net.head_b.len();
+        let mut next = 0usize;
+        loop {
+            // Admit parked streams into free lanes.
+            while self.lanes.len() < self.capacity && next < streams.len() {
+                if !streams[next].as_ref().is_empty() {
+                    let b = self.lanes.len();
+                    for (state, layer) in self.states.iter_mut().zip(&self.net.layers) {
+                        add_lane(state, b, layer.hidden);
+                    }
+                    self.lanes.push(next);
+                    self.cursors.push(0);
+                }
+                next += 1;
+            }
+            let b = self.lanes.len();
+            if b == 0 {
+                break;
+            }
+            // Gather this step's frames lane-major.
+            let input_dim = streams[self.lanes[0]].as_ref()[self.cursors[0]].len();
+            self.xs.clear();
+            self.xs.resize(input_dim * b, 0.0);
+            for (j, (&s, &c)) in self.lanes.iter().zip(&self.cursors).enumerate() {
+                let frame = &streams[s].as_ref()[c];
+                assert_eq!(frame.len(), input_dim, "frame dim mismatch across streams");
+                for (i, &v) in frame.iter().enumerate() {
+                    self.xs[i * b + j] = v;
+                }
+            }
+            // One weight pass carries all lanes one frame forward.
+            self.net.forward_frame_batch(
+                self.exec,
+                &mut self.xs,
+                b,
+                &mut self.states,
+                &mut self.scratch,
+                &mut self.hs_next,
+                &mut self.logits,
+            );
+            // Scatter logits back per stream and advance cursors.
+            for (j, (&s, c)) in self.lanes.iter().zip(self.cursors.iter_mut()).enumerate() {
+                let row: Vec<f32> = (0..classes).map(|k| self.logits[k * b + j]).collect();
+                out[s].push(row);
+                *c += 1;
+            }
+            // Retire exhausted streams, compacting lane buffers.
+            for j in (0..self.lanes.len()).rev() {
+                if self.cursors[j] == streams[self.lanes[j]].as_ref().len() {
+                    let nb = self.lanes.len();
+                    for state in &mut self.states {
+                        remove_lane(state, nb, j);
+                    }
+                    self.lanes.remove(j);
+                    self.cursors.remove(j);
+                }
+            }
+        }
+        out
+    }
+
+    /// [`BatchedSession::run`] followed by per-frame argmax per stream.
+    pub fn predict<S: AsRef<[Vec<f32>]>>(&mut self, streams: &[S]) -> Vec<Vec<usize>> {
+        self.run(streams)
+            .iter()
+            .map(|logits| logits.iter().map(|l| Vector::argmax(l)).collect())
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -628,6 +912,72 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn batched_session_streams_match_serial_forward_bit_exact() {
+        // Streams of different lengths, capacity smaller than the stream
+        // count: every stream's logits must equal its serial forward bit
+        // for bit, across precisions and thread counts, despite admissions
+        // and lane compactions happening mid-run.
+        let net = net();
+        let lens = [9usize, 3, 7, 1, 5, 4];
+        let streams: Vec<Vec<Vec<f32>>> = lens
+            .iter()
+            .enumerate()
+            .map(|(s, &len)| {
+                (0..len)
+                    .map(|t| {
+                        (0..6)
+                            .map(|i| ((s * 97 + t * 6 + i) as f32 * 0.23).sin() * 0.5)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        for precision in [RuntimePrecision::F32, RuntimePrecision::F16] {
+            let compiled = CompiledNetwork::compile(&net, 4, 4, precision).unwrap();
+            let serial: Vec<Vec<Vec<f32>>> = streams.iter().map(|s| compiled.forward(s)).collect();
+            for threads in [1usize, 2, 4] {
+                let exec = rtm_exec::Executor::new(threads);
+                for capacity in [1usize, 2, 4, 8] {
+                    let mut session = BatchedSession::new(&compiled, &exec, capacity);
+                    assert_eq!(session.capacity(), capacity);
+                    let batched = session.run(&streams);
+                    assert_eq!(
+                        batched, serial,
+                        "{precision:?} capacity={capacity} threads={threads}"
+                    );
+                    // Session reuse: a second run must be identical too.
+                    assert_eq!(session.run(&streams), serial);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_session_handles_empty_streams() {
+        let net = net();
+        let compiled = CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F32).unwrap();
+        let exec = rtm_exec::Executor::new(2);
+        let mut session = BatchedSession::new(&compiled, &exec, 3);
+        let none: Vec<Vec<Vec<f32>>> = Vec::new();
+        assert!(session.run(&none).is_empty());
+        let streams = vec![vec![], frames(), vec![]];
+        let out = session.run(&streams);
+        assert!(out[0].is_empty() && out[2].is_empty());
+        assert_eq!(out[1], compiled.forward(&frames()));
+        // predict mirrors run.
+        assert_eq!(session.predict(&streams)[1], compiled.predict(&frames()));
+    }
+
+    #[test]
+    #[should_panic(expected = "batch capacity")]
+    fn zero_capacity_rejected() {
+        let net = net();
+        let compiled = CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F32).unwrap();
+        let exec = rtm_exec::Executor::new(1);
+        let _ = BatchedSession::new(&compiled, &exec, 0);
     }
 
     #[test]

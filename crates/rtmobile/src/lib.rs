@@ -34,6 +34,6 @@ pub mod model_file;
 pub mod pipeline;
 pub mod report;
 
-pub use deploy::{CompiledNetwork, FusedGruLayer, GruRuntimeScratch};
+pub use deploy::{BatchedSession, CompiledNetwork, FusedGruLayer, GruRuntimeScratch};
 pub use pipeline::RtMobile;
 pub use report::PipelineReport;

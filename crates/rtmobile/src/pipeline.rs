@@ -41,6 +41,7 @@ pub struct RtMobile {
     seed: u64,
     sim_hidden: usize,
     threads: usize,
+    batch: usize,
     simd: Option<rtm_tensor::simd::SimdPolicy>,
 }
 
@@ -66,6 +67,7 @@ impl RtMobile {
             seed: 1,
             sim_hidden: 1024,
             threads: 1,
+            batch: 1,
             simd: None,
         }
     }
@@ -137,6 +139,23 @@ impl RtMobile {
         self
     }
 
+    /// Concurrent inference lanes for the compiled runtime's scoring pass
+    /// (default 1, i.e. one utterance at a time). With `batch > 1` the
+    /// test utterances are scored through a [`crate::deploy::BatchedSession`]
+    /// that carries up to `batch` streams per weight pass. The batched path
+    /// is bit-identical to the serial per-utterance forward, so — like
+    /// [`RtMobile::threads`] — this only changes wall-clock, never any
+    /// reported accuracy number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn batch(mut self, batch: usize) -> RtMobile {
+        assert!(batch > 0, "batch capacity must be at least 1");
+        self.batch = batch;
+        self
+    }
+
     /// Kernel dispatch policy for every tensor/SpMV kernel the run touches
     /// (process-global, see [`rtm_tensor::simd::set_policy`]): `Auto` picks
     /// the widest realization the host supports, `Fixed` pins one — e.g.
@@ -196,9 +215,21 @@ impl RtMobile {
                 .expect("partition validated by BSP config");
         let exec = rtm_exec::Executor::new(self.threads);
         let mut f16_report = PerReport::default();
-        for u in task.test_utterances() {
-            let preds = compiled_f16.predict_with(&exec, &u.frames);
-            f16_report.add(&preds, &u.labels, &u.phones);
+        if self.batch > 1 {
+            // Multi-stream scoring: up to `batch` utterances share each
+            // weight pass. Bit-identical to the serial loop below.
+            let utterances = task.test_utterances();
+            let streams: Vec<&[Vec<f32>]> =
+                utterances.iter().map(|u| u.frames.as_slice()).collect();
+            let mut session = crate::deploy::BatchedSession::new(&compiled_f16, &exec, self.batch);
+            for (u, preds) in utterances.iter().zip(session.predict(&streams)) {
+                f16_report.add(&preds, &u.labels, &u.phones);
+            }
+        } else {
+            for u in task.test_utterances() {
+                let preds = compiled_f16.predict_with(&exec, &u.frames);
+                f16_report.add(&preds, &u.labels, &u.phones);
+            }
         }
 
         // 4. Paper-scale performance simulation.
@@ -292,6 +323,24 @@ mod tests {
         assert!(report.performance.gpu.time_us > 0.0);
         assert!(report.performance.cpu.time_us > report.performance.gpu.time_us);
         assert!(!report.render().is_empty());
+    }
+
+    #[test]
+    fn batched_scoring_reports_identical_accuracy() {
+        // The multi-stream scorer is bit-identical to the per-utterance
+        // loop, so every accuracy number must match exactly.
+        let serial = quick().compression(1.0, 1.0).seed(5).run();
+        let batched = quick()
+            .compression(1.0, 1.0)
+            .seed(5)
+            .batch(5)
+            .threads(2)
+            .run();
+        assert_eq!(
+            serial.accuracy.compiled_f16_per,
+            batched.accuracy.compiled_f16_per
+        );
+        assert_eq!(serial.accuracy.baseline_per, batched.accuracy.baseline_per);
     }
 
     #[test]

@@ -132,11 +132,36 @@ impl InferenceSim {
     ///
     /// Panics if the plan is invalid.
     pub fn run_frame(&self, workload: &GruWorkload, plan: &ExecutionPlan) -> FrameReport {
+        self.run_frame_batched(workload, plan, 1)
+    }
+
+    /// Prices one *batched* inference frame: `streams` independent
+    /// utterances advance one frame each through a single weight-stationary
+    /// pass (the SpMM runtime). Arithmetic, input gathers and output stores
+    /// scale with the stream count; weight values, index streams and kernel
+    /// launches are paid once per batch — the same amortization
+    /// [`scale_timesteps`] applies across timesteps, applied across lanes.
+    ///
+    /// `streams == 1` is exactly [`InferenceSim::run_frame`]. The report
+    /// covers the whole batch: divide `time_us` by `streams` for the
+    /// per-stream cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `streams == 0` or the plan is invalid.
+    pub fn run_frame_batched(
+        &self,
+        workload: &GruWorkload,
+        plan: &ExecutionPlan,
+        streams: usize,
+    ) -> FrameReport {
+        assert!(streams > 0, "need at least one stream");
         let t = workload.timesteps_per_frame.max(1);
         let mut costs = Vec::with_capacity(workload.matrices.len());
         for m in &workload.matrices {
             let mut profile = KernelProfile::analyze(m, plan);
             scale_timesteps(&mut profile, t, plan.format);
+            scale_streams(&mut profile, streams);
             let cost = match plan.target {
                 Target::MobileGpu => self.gpu.kernel_cost(&profile, plan),
                 Target::MobileCpu => self.cpu.kernel_cost(&profile, plan),
@@ -188,6 +213,17 @@ fn scale_timesteps(profile: &mut KernelProfile, t: usize, format: StorageFormat)
     if format == StorageFormat::Csr {
         profile.index_decodes *= t;
     }
+}
+
+/// Applies weight-stationary *stream* batching to a frame profile: with `b`
+/// utterances sharing each SpMM pass, arithmetic, input gathers and output
+/// stores repeat per lane while the weight and index streams (and the
+/// launch itself) are read once per batch — each decoded index row is
+/// applied to all `b` input columns.
+fn scale_streams(profile: &mut KernelProfile, b: usize) {
+    profile.flops *= b;
+    profile.input_loads *= b;
+    profile.output_stores *= b;
 }
 
 #[cfg(test)]
@@ -350,6 +386,50 @@ mod tests {
         let text = trace.render();
         assert!(text.contains("layer1.Uh"));
         assert!(text.contains("total us"));
+    }
+
+    #[test]
+    fn stream_batching_amortizes_weight_traffic() {
+        let sim = InferenceSim::new();
+        let w = workload_at(10.0, 1.0);
+        for plan in [
+            rtm_compiler::plan::ExecutionPlan::gpu_default(StorageFormat::Bspc)
+                .with_bsp_partition(8, 8),
+            rtm_compiler::plan::ExecutionPlan::cpu_default(StorageFormat::Bspc)
+                .with_bsp_partition(8, 8),
+        ] {
+            let single = sim.run_frame(&w, &plan);
+            // streams == 1 is exactly the unbatched frame.
+            assert_eq!(sim.run_frame_batched(&w, &plan, 1), single);
+            let mut prev_per_stream = f64::INFINITY;
+            for b in [2usize, 4, 8, 16] {
+                let batched = sim.run_frame_batched(&w, &plan, b);
+                // Cheaper than b serial frames (weights/index amortized)...
+                assert!(
+                    batched.time_us < single.time_us * b as f64,
+                    "b={b}: {} vs {}",
+                    batched.time_us,
+                    single.time_us * b as f64
+                );
+                // ...but not cheaper than the arithmetic lower bound.
+                assert!(batched.time_us > single.time_us);
+                // Per-stream cost falls monotonically with batch width.
+                let per_stream = batched.time_us / b as f64;
+                assert!(per_stream < prev_per_stream, "b={b}");
+                prev_per_stream = per_stream;
+                // The batch does b times the work.
+                assert!((batched.gop - single.gop * b as f64).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one stream")]
+    fn zero_streams_rejected() {
+        let sim = InferenceSim::new();
+        let w = workload_at(10.0, 1.0);
+        let plan = rtm_compiler::plan::ExecutionPlan::gpu_default(StorageFormat::Bspc);
+        sim.run_frame_batched(&w, &plan, 0);
     }
 
     #[test]

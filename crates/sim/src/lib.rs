@@ -53,5 +53,5 @@ pub use device::{measured_imbalance, CpuModel, GpuModel, KernelCost};
 pub use ese::EseReference;
 pub use frame::{FrameReport, FrameTrace, InferenceSim};
 pub use realtime::RealTimeReport;
-pub use streaming::{StreamingReport, StreamingSim};
+pub use streaming::{MultiStreamReport, StreamingReport, StreamingSim};
 pub use workload::GruWorkload;

@@ -31,6 +31,26 @@ pub struct StreamingReport {
     pub mean_latency_us: f64,
 }
 
+/// A multi-stream streaming run: `streams` concurrent utterances served by
+/// one device through batched (SpMM) inference rounds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiStreamReport {
+    /// Number of concurrent streams in the batch.
+    pub streams: usize,
+    /// The queueing behaviour of the batched rounds: one "service" is one
+    /// batched frame carrying every stream forward together.
+    pub batched: StreamingReport,
+    /// What serving the same `streams` frames one at a time would cost per
+    /// round (microseconds) — `streams ×` the single-stream frame time.
+    pub serial_service_us: f64,
+    /// Batched service time divided by the stream count: the effective
+    /// per-stream cost of one frame.
+    pub per_stream_service_us: f64,
+    /// `serial_service_us / batched.service_us` — how much weight/index
+    /// amortization buys per round.
+    pub batch_speedup: f64,
+}
+
 /// Streams `num_frames` inference frames through one device.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamingSim {
@@ -69,11 +89,48 @@ impl StreamingSim {
     ) -> StreamingReport {
         assert!(num_frames > 0, "need at least one frame");
         let frame: FrameReport = self.inner.run_frame(workload, plan);
-        let service = frame.time_us;
-        let period = workload.timesteps_per_frame.max(1) as f64 * self.hop_us;
+        self.queue(workload, frame.time_us, num_frames)
+    }
 
-        // Single-server deterministic queue: arrival k at k*period; service
-        // starts at max(arrival, previous completion).
+    /// Simulates `streams` concurrent utterances whose frames arrive on the
+    /// same cadence and are served in batched rounds: each round is one
+    /// weight-stationary SpMM pass carrying every stream one frame forward
+    /// (priced by [`InferenceSim::run_frame_batched`]). The batch is stable
+    /// when the *batched* round time beats the arrival period — which, with
+    /// weight and index traffic amortized across lanes, holds at stream
+    /// counts where one-at-a-time service (`streams × frame`) would already
+    /// have fallen behind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_frames == 0`, `streams == 0` or the plan is invalid.
+    pub fn run_streams(
+        &self,
+        workload: &GruWorkload,
+        plan: &ExecutionPlan,
+        num_frames: usize,
+        streams: usize,
+    ) -> MultiStreamReport {
+        let single = self.inner.run_frame(workload, plan).time_us;
+        let batched_service = self
+            .inner
+            .run_frame_batched(workload, plan, streams)
+            .time_us;
+        let batched = self.queue(workload, batched_service, num_frames);
+        MultiStreamReport {
+            streams,
+            serial_service_us: single * streams as f64,
+            per_stream_service_us: batched_service / streams as f64,
+            batch_speedup: single * streams as f64 / batched_service,
+            batched,
+        }
+    }
+
+    /// Single-server deterministic queue: arrival k at k·period; service
+    /// starts at `max(arrival, previous completion)`.
+    fn queue(&self, workload: &GruWorkload, service: f64, num_frames: usize) -> StreamingReport {
+        assert!(num_frames > 0, "need at least one frame");
+        let period = workload.timesteps_per_frame.max(1) as f64 * self.hop_us;
         let mut latencies = Vec::with_capacity(num_frames);
         let mut prev_done = 0.0f64;
         for k in 0..num_frames {
@@ -133,6 +190,69 @@ mod tests {
             assert!(pair[1] > pair[0]);
         }
         assert!(r.max_latency_us > r.service_us * 5.0);
+    }
+
+    #[test]
+    fn batched_streams_stay_stable_where_serial_service_would_not() {
+        let sim = StreamingSim::new();
+        let w = workload(16.0, 2.0);
+        let plan = ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8);
+        // One stream through run_streams is the plain single-stream run.
+        let one = sim.run_streams(&w, &plan, 20, 1);
+        assert_eq!(one.batched, sim.run(&w, &plan, 20));
+        assert_eq!(one.batch_speedup, 1.0);
+        // Find a stream count whose one-at-a-time service would overrun the
+        // arrival period but whose batched round still fits.
+        let period = one.batched.period_us;
+        let single = one.batched.service_us;
+        let b = (period / single).ceil() as usize + 1;
+        let multi = sim.run_streams(&w, &plan, 20, b);
+        assert!(multi.serial_service_us > period, "serial service overruns");
+        assert!(multi.batched.stable, "batched rounds keep up at b={b}");
+        assert!(multi.batch_speedup > 1.0);
+        assert!(multi.per_stream_service_us < single);
+        // Flat latency in the stable batched regime.
+        for &l in &multi.batched.latencies_us {
+            assert!((l - multi.batched.service_us).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn overloaded_batch_queue_grows_linearly() {
+        // Even with amortization, enough concurrent streams (at a tiny
+        // arrival period) overload the device and the batched queue grows.
+        let mut sim = StreamingSim::new();
+        sim.hop_us = 1.0;
+        let w = workload(16.0, 2.0);
+        let plan = ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8);
+        let r = sim.run_streams(&w, &plan, 10, 8);
+        assert!(!r.batched.stable);
+        for pair in r.batched.latencies_us.windows(2) {
+            assert!(pair[1] > pair[0], "queue must grow");
+        }
+    }
+
+    #[test]
+    fn per_stream_service_falls_with_batch_width() {
+        let sim = StreamingSim::new();
+        let w = workload(10.0, 1.0);
+        let plan = ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8);
+        let mut prev = f64::INFINITY;
+        for b in [1usize, 2, 4, 8, 16] {
+            let r = sim.run_streams(&w, &plan, 5, b);
+            assert!(r.per_stream_service_us < prev, "b={b}");
+            assert_eq!(r.streams, b);
+            prev = r.per_stream_service_us;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one stream")]
+    fn zero_streams_rejected_in_streaming() {
+        let sim = StreamingSim::new();
+        let w = workload(10.0, 1.0);
+        let plan = ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8);
+        sim.run_streams(&w, &plan, 5, 0);
     }
 
     #[test]

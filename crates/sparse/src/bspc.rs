@@ -427,6 +427,64 @@ impl BspcMatrix {
         Ok(())
     }
 
+    /// Sparse matrix × dense multi-vector `Y = A X` for `b` interleaved
+    /// input lanes (batched SpMM). `xs` holds element `c` of lane `j` at
+    /// `xs[c·b + j]`; `ys` receives row `r` of lane `j` at `ys[r·b + j]`.
+    ///
+    /// The stripe's shared column stream is decoded **once per kept row**
+    /// and applied to all `b` lanes; the vector path reads the lanes with
+    /// unit-stride loads, so even irregular stripes use full vector width.
+    /// Lane `j` of the result is bit-identical to
+    /// [`spmv_into`](BspcMatrix::spmv_into) of lane `j`'s column under the
+    /// same ambient policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `xs.len() != self.cols() * b` or
+    /// `ys.len() != self.rows() * b`.
+    pub fn spmm_into(&self, xs: &[f32], b: usize, ys: &mut [f32]) -> Result<(), ShapeError> {
+        if xs.len() != self.cols * b || ys.len() != self.rows * b {
+            return Err(ShapeError {
+                op: "bspc_spmm_into",
+                lhs: (self.rows, self.cols),
+                rhs: (xs.len(), b),
+            });
+        }
+        ys.fill(0.0);
+        if b == 0 {
+            return Ok(());
+        }
+        let stripe_h = self.stripe_height();
+        let v = rtm_tensor::simd::active_variant();
+        for (k, &r) in self.kept_rows.iter().enumerate() {
+            let r = r as usize;
+            let s = r / stripe_h;
+            let cols = &self.stripe_cols[s];
+            let off = self.row_offsets[k] as usize;
+            let vals = &self.values[off..off + cols.len()];
+            rtm_tensor::simd::indexed_dot_batch_variant(
+                v,
+                vals,
+                cols,
+                xs,
+                b,
+                &mut ys[r * b..(r + 1) * b],
+            );
+        }
+        Ok(())
+    }
+
+    /// Allocating form of [`spmm_into`](BspcMatrix::spmm_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `xs.len() != self.cols() * b`.
+    pub fn spmm(&self, xs: &[f32], b: usize) -> Result<Vec<f32>, ShapeError> {
+        let mut ys = vec![0.0f32; self.rows * b];
+        self.spmm_into(xs, b, &mut ys)?;
+        Ok(ys)
+    }
+
     /// Expands back to a dense matrix (exact round trip of the input of
     /// [`BspcMatrix::from_dense`]).
     pub fn to_dense(&self) -> Matrix {
@@ -579,6 +637,27 @@ mod tests {
         assert!(b.spmv_into(&[1.0], &mut y).is_err());
         let mut short = vec![0.0; 2];
         assert!(b.spmv_into(&x, &mut short).is_err());
+    }
+
+    #[test]
+    fn spmm_lanes_match_spmv_columns() {
+        let d = bsp_example();
+        let m = BspcMatrix::from_dense(&d, 2, 2).unwrap();
+        for b in [1usize, 2, 4, 7, 8, 11] {
+            let xs: Vec<f32> = (0..4 * b).map(|i| (i as f32 * 0.53).sin()).collect();
+            let mut ys = vec![f32::NAN; 4 * b];
+            m.spmm_into(&xs, b, &mut ys).unwrap();
+            assert_eq!(m.spmm(&xs, b).unwrap(), ys);
+            for j in 0..b {
+                let col: Vec<f32> = (0..4).map(|c| xs[c * b + j]).collect();
+                let want = m.spmv(&col).unwrap();
+                for r in 0..4 {
+                    assert_eq!(ys[r * b + j], want[r], "b={b} lane {j} row {r}");
+                }
+            }
+        }
+        assert!(m.spmm_into(&[0.0; 3], 2, &mut [0.0; 8]).is_err());
+        assert!(m.spmm_into(&[0.0; 8], 2, &mut [0.0; 3]).is_err());
     }
 
     #[test]

@@ -195,6 +195,60 @@ impl CsrMatrix {
         Ok(())
     }
 
+    /// Sparse matrix × dense multi-vector `Y = A X` for `b` interleaved
+    /// input lanes (batched SpMM). `xs` holds element `c` of lane `j` at
+    /// `xs[c·b + j]`; `ys` receives row `r` of lane `j` at `ys[r·b + j]`.
+    ///
+    /// Each row's column indices are decoded **once** and applied to all
+    /// `b` lanes — the index-traversal cost §II-B-a identifies is amortized
+    /// `b`×. Lane `j` of the result is bit-identical to [`spmv_into`] of
+    /// lane `j`'s column under the same ambient policy (see
+    /// `rtm_tensor::simd::indexed_dot_batch_variant`).
+    ///
+    /// [`spmv_into`]: CsrMatrix::spmv_into
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `xs.len() != self.cols() * b` or
+    /// `ys.len() != self.rows() * b`.
+    pub fn spmm_into(&self, xs: &[f32], b: usize, ys: &mut [f32]) -> Result<(), ShapeError> {
+        if xs.len() != self.cols * b || ys.len() != self.rows * b {
+            return Err(ShapeError {
+                op: "csr_spmm_into",
+                lhs: (self.rows, self.cols),
+                rhs: (xs.len(), b),
+            });
+        }
+        if b == 0 {
+            return Ok(());
+        }
+        let v = rtm_tensor::simd::active_variant();
+        for (r, yr) in ys.chunks_exact_mut(b).enumerate() {
+            let start = self.row_ptr[r] as usize;
+            let end = self.row_ptr[r + 1] as usize;
+            rtm_tensor::simd::indexed_dot_batch_variant(
+                v,
+                &self.values[start..end],
+                &self.col_idx[start..end],
+                xs,
+                b,
+                yr,
+            );
+        }
+        Ok(())
+    }
+
+    /// Allocating form of [`spmm_into`](CsrMatrix::spmm_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `xs.len() != self.cols() * b`.
+    pub fn spmm(&self, xs: &[f32], b: usize) -> Result<Vec<f32>, ShapeError> {
+        let mut ys = vec![0.0f32; self.rows * b];
+        self.spmm_into(xs, b, &mut ys)?;
+        Ok(ys)
+    }
+
     /// Expands back to a dense matrix.
     pub fn to_dense(&self) -> Matrix {
         let mut m = Matrix::zeros(self.rows, self.cols);
@@ -283,6 +337,27 @@ mod tests {
         // Decreasing row_ptr.
         assert!(CsrMatrix::from_parts(2, 2, vec![0, 2, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
         assert!(CsrMatrix::from_parts(2, 2, vec![2, 0, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn spmm_lanes_match_spmv_columns() {
+        let csr = CsrMatrix::from_dense(&example());
+        for b in [1usize, 2, 4, 7, 8, 9] {
+            let xs: Vec<f32> = (0..4 * b).map(|i| (i as f32 * 0.31).cos()).collect();
+            let mut ys = vec![f32::NAN; 3 * b];
+            csr.spmm_into(&xs, b, &mut ys).unwrap();
+            assert_eq!(csr.spmm(&xs, b).unwrap(), ys);
+            for j in 0..b {
+                let col: Vec<f32> = (0..4).map(|c| xs[c * b + j]).collect();
+                let want = csr.spmv(&col).unwrap();
+                for r in 0..3 {
+                    assert_eq!(ys[r * b + j], want[r], "b={b} lane {j} row {r}");
+                }
+            }
+        }
+        // Shape errors.
+        assert!(csr.spmm_into(&[0.0; 3], 2, &mut [0.0; 6]).is_err());
+        assert!(csr.spmm_into(&[0.0; 8], 2, &mut [0.0; 5]).is_err());
     }
 
     /// Randomized (seed-driven) dense↔CSR round-trip.

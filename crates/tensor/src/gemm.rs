@@ -145,6 +145,37 @@ pub fn gemv_into(a: &Matrix, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError>
     Ok(())
 }
 
+/// `Y = A * X` for `b` interleaved input lanes — the dense fallback of the
+/// batched (SpMM) inference path. `xs` holds element `c` of lane `j` at
+/// `xs[c·b + j]` and `ys` receives row `r` of lane `j` at `ys[r·b + j]`,
+/// so one walk of each weight row feeds all `b` streams.
+///
+/// Lane contract: lane `j` of the result is **bit-identical** to
+/// [`gemv_into`] of lane `j`'s column under the same ambient policy (see
+/// [`simd::dot_batch_variant`](crate::simd::dot_batch_variant)).
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] when `xs.len() != a.cols() * b` or
+/// `ys.len() != a.rows() * b`.
+pub fn gemv_batch_into(a: &Matrix, xs: &[f32], b: usize, ys: &mut [f32]) -> Result<(), ShapeError> {
+    if xs.len() != a.cols() * b || ys.len() != a.rows() * b {
+        return Err(ShapeError {
+            op: "gemv_batch",
+            lhs: a.shape(),
+            rhs: (xs.len(), b),
+        });
+    }
+    if b == 0 {
+        return Ok(());
+    }
+    let v = crate::simd::active_variant();
+    for (i, yr) in ys.chunks_exact_mut(b).enumerate() {
+        crate::simd::dot_batch_variant(v, a.row(i), xs, b, yr);
+    }
+    Ok(())
+}
+
 /// `y = Aᵀ * x` without materializing the transpose: one
 /// [`simd`](crate::simd) axpy per nonzero element of `x` (the zero-skip
 /// matters after row pruning).
@@ -266,6 +297,24 @@ mod tests {
     #[test]
     fn gemv_shape_error() {
         assert!(gemv(&Matrix::zeros(2, 3), &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn gemv_batch_lanes_match_serial_gemv() {
+        let a = seq_matrix(9, 13);
+        for b in [1usize, 2, 5, 8, 11] {
+            let xs: Vec<f32> = (0..13 * b).map(|i| (i as f32 * 0.37).sin()).collect();
+            let mut ys = vec![f32::NAN; 9 * b];
+            gemv_batch_into(&a, &xs, b, &mut ys).unwrap();
+            for j in 0..b {
+                let col: Vec<f32> = (0..13).map(|c| xs[c * b + j]).collect();
+                let want = gemv(&a, &col).unwrap();
+                for i in 0..9 {
+                    assert_eq!(ys[i * b + j], want[i], "b={b} lane {j} row {i}");
+                }
+            }
+        }
+        assert!(gemv_batch_into(&a, &[0.0; 5], 2, &mut [0.0; 18]).is_err());
     }
 
     #[test]

@@ -40,6 +40,16 @@
 //! PR 1's parallel-vs-serial bit-exactness guarantees intact under every
 //! [`SimdPolicy`].
 //!
+//! **Batched lanes.** The SpMM kernels ([`dot_batch`], [`indexed_dot_batch`])
+//! take `b` interleaved input streams (element `c` of lane `j` at
+//! `xs[c·b + j]`) and walk the row's values/indices once for all of them.
+//! Their contract is stronger than the 4-ULP reduction bound: lane `j` of a
+//! batched kernel is *bit-identical* to the single-vector kernel of the same
+//! variant applied to column `j`, because the batch realizations replay the
+//! serial kernels' accumulator layout and reduction tree per lane. That is
+//! what lets the batched inference path claim exact equivalence with `b`
+//! serial runs.
+//!
 //! Dispatch is process-global: [`active_variant`] resolves the
 //! [`SimdPolicy`] (programmatic [`set_policy`] wins over the `RTM_SIMD`
 //! environment variable, which is read once on first use) against the
@@ -393,6 +403,41 @@ fn hadamard_into_u8(a: &[f32], b: &[f32], out: &mut [f32]) {
 }
 
 // ---------------------------------------------------------------------------
+// Batched (SpMM) kernels. The input is `b` interleaved lanes — element `c`
+// of lane `j` lives at `xs[c * b + j]` — so one walk of a row's index
+// structure feeds all `b` streams, and the vector path gets unit-stride
+// loads across the batch dimension (no gathers even for irregular rows).
+//
+// Numeric contract: lane `j` of a batched kernel is **bit-identical** to
+// the single-vector kernel of the same variant applied to column `j`. The
+// three scalar unrolls share one realization (they are already bit-exact
+// with each other per lane: single accumulator, left-to-right association);
+// the vector realization keeps the serial kernel's k-sublane accumulators
+// and replays its horizontal-reduction tree element-wise per lane.
+// ---------------------------------------------------------------------------
+
+fn dot_batch_scalar(a: &[f32], xs: &[f32], b: usize, out: &mut [f32]) {
+    out.fill(0.0);
+    for (k, &w) in a.iter().enumerate() {
+        let lanes = &xs[k * b..k * b + b];
+        for (o, &xv) in out.iter_mut().zip(lanes) {
+            *o += w * xv;
+        }
+    }
+}
+
+fn indexed_dot_batch_scalar(vals: &[f32], idx: &[u32], xs: &[f32], b: usize, out: &mut [f32]) {
+    out.fill(0.0);
+    for (&w, &c) in vals.iter().zip(idx) {
+        let base = c as usize * b;
+        let lanes = &xs[base..base + b];
+        for (o, &xv) in out.iter_mut().zip(lanes) {
+            *o += w * xv;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // AVX2+FMA (x86_64). One accumulator register, fixed reduction tree,
 // in-order scalar tail. The dense dot and the indexed (gather) dot use the
 // *same* lane grouping so gathered-then-dotted sparse rows are bit-identical
@@ -489,6 +534,120 @@ mod x86 {
             out[i] = a[i] * b[i];
         }
     }
+
+    /// The `hsum256` reduction tree applied element-wise across eight
+    /// accumulator registers: per batch lane this is exactly the scalar
+    /// `((a0+a4)+(a2+a6)) + ((a1+a5)+(a3+a7))` that `hsum256` performs on
+    /// one register's eight k-sublanes.
+    #[inline]
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn tree_reduce8(acc: &[__m256; 8]) -> __m256 {
+        let q0 = _mm256_add_ps(acc[0], acc[4]);
+        let q1 = _mm256_add_ps(acc[1], acc[5]);
+        let q2 = _mm256_add_ps(acc[2], acc[6]);
+        let q3 = _mm256_add_ps(acc[3], acc[7]);
+        _mm256_add_ps(_mm256_add_ps(q0, q2), _mm256_add_ps(q1, q3))
+    }
+
+    /// Scalar replay of one batch lane of the vector dot: eight k-sublane
+    /// accumulators (hardware-FMA via `mul_add`, the same single-rounding
+    /// operation as `_mm256_fmadd_ps`), the `hsum256` tree, then the
+    /// in-order mul+add tail. `fetch(k)` returns this lane's input for
+    /// element `k`.
+    #[inline]
+    fn lane_dot<F: Fn(usize) -> f32>(a: &[f32], fetch: F) -> f32 {
+        let n = a.len();
+        let chunks = n / 8;
+        let mut acc = [0.0f32; 8];
+        for i in 0..chunks {
+            for (l, al) in acc.iter_mut().enumerate() {
+                let k = i * 8 + l;
+                *al = a[k].mul_add(fetch(k), *al);
+            }
+        }
+        let mut sum =
+            ((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]));
+        for (k, &ak) in a.iter().enumerate().skip(chunks * 8) {
+            sum += ak * fetch(k);
+        }
+        sum
+    }
+
+    /// Batched dense dot: lane `j` of `out` is bit-identical to `dot` of
+    /// `a` with column `j` of the lane-major `xs` buffer.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn dot_batch(a: &[f32], xs: &[f32], b: usize, out: &mut [f32]) {
+        let n = a.len();
+        let chunks = n / 8;
+        let xp = xs.as_ptr();
+        let op = out.as_mut_ptr();
+        let jb = b - b % 8;
+        let mut j0 = 0;
+        while j0 < jb {
+            let mut acc = [_mm256_setzero_ps(); 8];
+            for i in 0..chunks {
+                for (l, al) in acc.iter_mut().enumerate() {
+                    let k = i * 8 + l;
+                    let w = _mm256_set1_ps(a[k]);
+                    let xv = _mm256_loadu_ps(xp.add(k * b + j0));
+                    *al = _mm256_fmadd_ps(w, xv, *al);
+                }
+            }
+            let mut s = tree_reduce8(&acc);
+            for (k, &ak) in a.iter().enumerate().skip(chunks * 8) {
+                let w = _mm256_set1_ps(ak);
+                let xv = _mm256_loadu_ps(xp.add(k * b + j0));
+                s = _mm256_add_ps(s, _mm256_mul_ps(w, xv));
+            }
+            _mm256_storeu_ps(op.add(j0), s);
+            j0 += 8;
+        }
+        for j in jb..b {
+            out[j] = lane_dot(a, |k| xs[k * b + j]);
+        }
+    }
+
+    /// Batched indexed dot: lane `j` of `out` is bit-identical to
+    /// `indexed_dot` against column `j` of the lane-major `xs` buffer. One
+    /// index walk feeds all lanes; the loads across the batch dimension are
+    /// unit-stride (no gathers).
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn indexed_dot_batch(
+        vals: &[f32],
+        idx: &[u32],
+        xs: &[f32],
+        b: usize,
+        out: &mut [f32],
+    ) {
+        let n = vals.len();
+        let chunks = n / 8;
+        let xp = xs.as_ptr();
+        let op = out.as_mut_ptr();
+        let jb = b - b % 8;
+        let mut j0 = 0;
+        while j0 < jb {
+            let mut acc = [_mm256_setzero_ps(); 8];
+            for i in 0..chunks {
+                for (l, al) in acc.iter_mut().enumerate() {
+                    let k = i * 8 + l;
+                    let w = _mm256_set1_ps(vals[k]);
+                    let xv = _mm256_loadu_ps(xp.add(idx[k] as usize * b + j0));
+                    *al = _mm256_fmadd_ps(w, xv, *al);
+                }
+            }
+            let mut s = tree_reduce8(&acc);
+            for k in chunks * 8..n {
+                let w = _mm256_set1_ps(vals[k]);
+                let xv = _mm256_loadu_ps(xp.add(idx[k] as usize * b + j0));
+                s = _mm256_add_ps(s, _mm256_mul_ps(w, xv));
+            }
+            _mm256_storeu_ps(op.add(j0), s);
+            j0 += 8;
+        }
+        for j in jb..b {
+            out[j] = lane_dot(vals, |k| xs[idx[k] as usize * b + j]);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -579,6 +738,104 @@ mod neon {
             out[i] = a[i] * b[i];
         }
     }
+
+    /// Scalar replay of one batch lane of the NEON dot: four k-sublane
+    /// accumulators (`mul_add` = the same single-rounding FMA as `vfmaq`),
+    /// the `vaddvq` pairwise tree `(a0+a1)+(a2+a3)`, then the in-order
+    /// mul+add tail.
+    #[inline]
+    fn lane_dot<F: Fn(usize) -> f32>(a: &[f32], fetch: F) -> f32 {
+        let n = a.len();
+        let chunks = n / 4;
+        let mut acc = [0.0f32; 4];
+        for i in 0..chunks {
+            for (l, al) in acc.iter_mut().enumerate() {
+                let k = i * 4 + l;
+                *al = a[k].mul_add(fetch(k), *al);
+            }
+        }
+        let mut sum = (acc[0] + acc[1]) + (acc[2] + acc[3]);
+        for k in chunks * 4..n {
+            sum += a[k] * fetch(k);
+        }
+        sum
+    }
+
+    /// Batched dense dot: lane `j` of `out` is bit-identical to `dot` of
+    /// `a` with column `j` of the lane-major `xs` buffer. The reduction
+    /// applies `vaddvq`'s pairwise tree element-wise across the four
+    /// k-sublane accumulators.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn dot_batch(a: &[f32], xs: &[f32], b: usize, out: &mut [f32]) {
+        let n = a.len();
+        let chunks = n / 4;
+        let xp = xs.as_ptr();
+        let op = out.as_mut_ptr();
+        let jb = b - b % 4;
+        let mut j0 = 0;
+        while j0 < jb {
+            let mut acc = [vdupq_n_f32(0.0); 4];
+            for i in 0..chunks {
+                for (l, al) in acc.iter_mut().enumerate() {
+                    let k = i * 4 + l;
+                    let w = vdupq_n_f32(a[k]);
+                    let xv = vld1q_f32(xp.add(k * b + j0));
+                    *al = vfmaq_f32(*al, w, xv);
+                }
+            }
+            let mut s = vaddq_f32(vaddq_f32(acc[0], acc[1]), vaddq_f32(acc[2], acc[3]));
+            for k in chunks * 4..n {
+                let w = vdupq_n_f32(a[k]);
+                let xv = vld1q_f32(xp.add(k * b + j0));
+                s = vaddq_f32(s, vmulq_f32(w, xv));
+            }
+            vst1q_f32(op.add(j0), s);
+            j0 += 4;
+        }
+        for j in jb..b {
+            out[j] = lane_dot(a, |k| xs[k * b + j]);
+        }
+    }
+
+    /// Batched indexed dot: lane `j` of `out` is bit-identical to
+    /// `indexed_dot` against column `j` of the lane-major `xs` buffer.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn indexed_dot_batch(
+        vals: &[f32],
+        idx: &[u32],
+        xs: &[f32],
+        b: usize,
+        out: &mut [f32],
+    ) {
+        let n = vals.len();
+        let chunks = n / 4;
+        let xp = xs.as_ptr();
+        let op = out.as_mut_ptr();
+        let jb = b - b % 4;
+        let mut j0 = 0;
+        while j0 < jb {
+            let mut acc = [vdupq_n_f32(0.0); 4];
+            for i in 0..chunks {
+                for (l, al) in acc.iter_mut().enumerate() {
+                    let k = i * 4 + l;
+                    let w = vdupq_n_f32(vals[k]);
+                    let xv = vld1q_f32(xp.add(idx[k] as usize * b + j0));
+                    *al = vfmaq_f32(*al, w, xv);
+                }
+            }
+            let mut s = vaddq_f32(vaddq_f32(acc[0], acc[1]), vaddq_f32(acc[2], acc[3]));
+            for k in chunks * 4..n {
+                let w = vdupq_n_f32(vals[k]);
+                let xv = vld1q_f32(xp.add(idx[k] as usize * b + j0));
+                s = vaddq_f32(s, vmulq_f32(w, xv));
+            }
+            vst1q_f32(op.add(j0), s);
+            j0 += 4;
+        }
+        for j in jb..b {
+            out[j] = lane_dot(vals, |k| xs[idx[k] as usize * b + j]);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -640,6 +897,36 @@ fn hadamard_into_vector(a: &[f32], b: &[f32], out: &mut [f32]) {
         return unsafe { neon::hadamard_into(a, b, out) };
     }
     hadamard_into_u8(a, b, out)
+}
+
+fn dot_batch_vector(a: &[f32], xs: &[f32], b: usize, out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if vector_available() {
+        // SAFETY: AVX2+FMA presence verified by `vector_available`.
+        return unsafe { x86::dot_batch(a, xs, b, out) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if vector_available() {
+        // SAFETY: NEON presence verified by `vector_available`.
+        return unsafe { neon::dot_batch(a, xs, b, out) };
+    }
+    // Without the ISA the serial vector kernels degrade to scalar-u8, which
+    // is bit-exact with the shared scalar batch realization per lane.
+    dot_batch_scalar(a, xs, b, out)
+}
+
+fn indexed_dot_batch_vector(vals: &[f32], idx: &[u32], xs: &[f32], b: usize, out: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if vector_available() {
+        // SAFETY: AVX2+FMA presence verified by `vector_available`.
+        return unsafe { x86::indexed_dot_batch(vals, idx, xs, b, out) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if vector_available() {
+        // SAFETY: NEON presence verified by `vector_available`.
+        return unsafe { neon::indexed_dot_batch(vals, idx, xs, b, out) };
+    }
+    indexed_dot_batch_scalar(vals, idx, xs, b, out)
 }
 
 // ---------------------------------------------------------------------------
@@ -749,6 +1036,123 @@ pub fn hadamard_into_variant(v: Variant, a: &[f32], b: &[f32], out: &mut [f32]) 
 /// Panics if the lengths differ.
 pub fn hadamard_into(a: &[f32], b: &[f32], out: &mut [f32]) {
     hadamard_into_variant(active_variant(), a, b, out)
+}
+
+/// Batched dense dot under an explicit variant: `out[j] = Σₖ a[k]·xs[k·b+j]`
+/// for each of the `b` interleaved lanes of `xs` (element `k` of lane `j`
+/// lives at `xs[k·b + j]`).
+///
+/// Lane contract: `out[j]` is **bit-identical** to
+/// [`dot_variant`]`(v, a, column_j)` — the SpMM building block inherits the
+/// single-vector kernels' numeric behaviour per stream, in every variant.
+///
+/// # Panics
+///
+/// Panics if `out.len() != b` or `xs.len() != a.len() * b`.
+pub fn dot_batch_variant(v: Variant, a: &[f32], xs: &[f32], b: usize, out: &mut [f32]) {
+    assert_eq!(out.len(), b, "dot_batch: output length mismatch");
+    assert_eq!(
+        xs.len(),
+        a.len() * b,
+        "dot_batch: lane buffer length mismatch"
+    );
+    if b == 0 {
+        return;
+    }
+    match v {
+        Variant::ScalarU1 | Variant::ScalarU4 | Variant::ScalarU8 => {
+            dot_batch_scalar(a, xs, b, out)
+        }
+        Variant::Vector => dot_batch_vector(a, xs, b, out),
+    }
+}
+
+/// Batched dense dot under the [`active_variant`].
+///
+/// # Panics
+///
+/// Panics if `out.len() != b` or `xs.len() != a.len() * b`.
+pub fn dot_batch(a: &[f32], xs: &[f32], b: usize, out: &mut [f32]) {
+    dot_batch_variant(active_variant(), a, xs, b, out)
+}
+
+/// Batched sparse (indexed) dot under an explicit variant:
+/// `out[j] = Σᵢ vals[i] · xs[idx[i]·b + j]` — the CSR/BSPC SpMM inner loop.
+/// The index array is walked **once** for all `b` lanes, and the loads
+/// across the batch dimension are unit-stride (no gathers even on rows with
+/// irregular column patterns).
+///
+/// Lane contract: `out[j]` is **bit-identical** to
+/// [`indexed_dot_variant`]`(v, vals, idx, column_j)` in every variant.
+///
+/// # Panics
+///
+/// Panics if `vals` and `idx` lengths differ, `out.len() != b`, `xs.len()`
+/// is not a multiple of `b`, or an index is out of range for `xs.len() / b`
+/// elements.
+pub fn indexed_dot_batch_variant(
+    v: Variant,
+    vals: &[f32],
+    idx: &[u32],
+    xs: &[f32],
+    b: usize,
+    out: &mut [f32],
+) {
+    assert_eq!(vals.len(), idx.len(), "indexed_dot_batch: length mismatch");
+    assert_eq!(out.len(), b, "indexed_dot_batch: output length mismatch");
+    if b == 0 {
+        return;
+    }
+    assert_eq!(
+        xs.len() % b,
+        0,
+        "indexed_dot_batch: lane buffer not a multiple of the batch width"
+    );
+    if let Some(&max) = idx.iter().max() {
+        assert!(
+            (max as usize) < xs.len() / b,
+            "indexed_dot_batch: index out of range"
+        );
+    }
+    match v {
+        Variant::ScalarU1 | Variant::ScalarU4 | Variant::ScalarU8 => {
+            indexed_dot_batch_scalar(vals, idx, xs, b, out)
+        }
+        Variant::Vector => indexed_dot_batch_vector(vals, idx, xs, b, out),
+    }
+}
+
+/// Batched sparse (indexed) dot under the [`active_variant`].
+///
+/// # Panics
+///
+/// As [`indexed_dot_batch_variant`].
+pub fn indexed_dot_batch(vals: &[f32], idx: &[u32], xs: &[f32], b: usize, out: &mut [f32]) {
+    indexed_dot_batch_variant(active_variant(), vals, idx, xs, b, out)
+}
+
+/// Broadcasts `bias[i]` into every lane of row `i` of a lane-major buffer:
+/// `out[i·b + j] += bias[i]`.
+///
+/// One correctly-rounded add per element, so the result is bit-identical to
+/// running `axpy(1.0, bias, column_j)` per lane under *every* variant — an
+/// FMA with α = 1 rounds exactly like the plain add (`1.0 · x` is exact).
+/// This is the batched GRU step's bias application; it needs no variant
+/// parameter because all variants agree.
+///
+/// # Panics
+///
+/// Panics if `out.len() != bias.len() * b`.
+pub fn broadcast_add(bias: &[f32], b: usize, out: &mut [f32]) {
+    assert_eq!(out.len(), bias.len() * b, "broadcast_add: length mismatch");
+    if b == 0 {
+        return;
+    }
+    for (lanes, &bi) in out.chunks_exact_mut(b).zip(bias) {
+        for o in lanes {
+            *o += bi;
+        }
+    }
 }
 
 /// In-place sigmoid sweep under an explicit variant.
@@ -965,6 +1369,80 @@ mod tests {
                 let mut t = base.clone();
                 tanh_sweep_variant(v, &mut t);
                 assert_eq!(t, want_t, "tanh {} n={n}", v.name());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_dot_lanes_match_serial_columns() {
+        // The batched kernels' core contract: every lane is bit-identical to
+        // the serial kernel of the same variant on that lane's column, across
+        // ragged nnz counts AND ragged batch widths (tails on both axes).
+        let mut rng = StdRng::seed_from_u64(0xBA7C);
+        for n in [0usize, 1, 5, 8, 9, 24, 61] {
+            for b in [1usize, 2, 3, 4, 7, 8, 9, 16, 19] {
+                let a = rand_vec(n, &mut rng);
+                let xs = rand_vec(n * b, &mut rng);
+                for v in Variant::ALL {
+                    let mut out = vec![f32::NAN; b];
+                    dot_batch_variant(v, &a, &xs, b, &mut out);
+                    for (j, &oj) in out.iter().enumerate() {
+                        let col: Vec<f32> = (0..n).map(|k| xs[k * b + j]).collect();
+                        assert_eq!(
+                            oj,
+                            dot_variant(v, &a, &col),
+                            "{} n={n} b={b} lane {j}",
+                            v.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_indexed_dot_lanes_match_serial_columns() {
+        let mut rng = StdRng::seed_from_u64(0x1BA7);
+        let x_len = 90usize;
+        for n in [0usize, 2, 8, 11, 29, 57] {
+            for b in [1usize, 3, 4, 8, 13, 16] {
+                let vals = rand_vec(n, &mut rng);
+                let mut idx: Vec<u32> = (0..n).map(|_| rng.next_u32() % x_len as u32).collect();
+                idx.sort_unstable();
+                let xs = rand_vec(x_len * b, &mut rng);
+                for v in Variant::ALL {
+                    let mut out = vec![f32::NAN; b];
+                    indexed_dot_batch_variant(v, &vals, &idx, &xs, b, &mut out);
+                    for (j, &oj) in out.iter().enumerate() {
+                        let col: Vec<f32> = (0..x_len).map(|c| xs[c * b + j]).collect();
+                        assert_eq!(
+                            oj,
+                            indexed_dot_variant(v, &vals, &idx, &col),
+                            "{} nnz={n} b={b} lane {j}",
+                            v.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_add_matches_per_lane_axpy() {
+        let mut rng = StdRng::seed_from_u64(0xB1A5);
+        for (h, b) in [(1usize, 1usize), (5, 3), (8, 8), (13, 4), (32, 9)] {
+            let bias = rand_vec(h, &mut rng);
+            let base = rand_vec(h * b, &mut rng);
+            let mut got = base.clone();
+            broadcast_add(&bias, b, &mut got);
+            for v in Variant::ALL {
+                for j in 0..b {
+                    let mut col: Vec<f32> = (0..h).map(|i| base[i * b + j]).collect();
+                    axpy_variant(v, 1.0, &bias, &mut col);
+                    for i in 0..h {
+                        assert_eq!(got[i * b + j], col[i], "{} h={h} b={b}", v.name());
+                    }
+                }
             }
         }
     }

@@ -32,4 +32,15 @@ RTM_SIMD=off cargo test -q --workspace
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Smoke the perf benchmark binaries (tiny shapes, one iteration). Reports
+# land under target/quick/, never clobbering the committed BENCH_*.json.
+echo "==> benchmark smoke runs (--quick)"
+profile=()
+if [[ "$quick" -eq 0 ]]; then
+  profile=(--release)
+fi
+for bin in parallel_spmv simd_kernels batched_spmm; do
+  cargo run -q "${profile[@]}" -p rtm-bench --bin "$bin" -- --quick >/dev/null
+done
+
 echo "CI gate passed."

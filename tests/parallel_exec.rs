@@ -9,8 +9,8 @@ use rtm_rnn::model::NetworkConfig;
 use rtm_rnn::GruNetwork;
 use rtm_sparse::{BspcMatrix, CsrMatrix};
 use rtm_tensor::rng::StdRng;
-use rtm_tensor::Matrix;
-use rtmobile::deploy::{CompiledNetwork, RuntimePrecision};
+use rtm_tensor::{gemm, Matrix};
+use rtmobile::deploy::{BatchedSession, CompiledNetwork, RuntimePrecision};
 
 const THREADS: [usize; 4] = [1, 2, 3, 8];
 
@@ -139,6 +139,100 @@ fn scalar_policy_env_keeps_parallel_bit_exactness() {
             "{threads} threads (variant {})",
             simd::active_variant().name()
         );
+    }
+}
+
+#[test]
+fn batched_engine_lanes_match_serial_spmv_for_all_threads() {
+    // The parallel SpMM path (reorder-group-nnz partitioning, batched row
+    // kernels) must keep the lane contract at every thread count: lane `j`
+    // of the batched result is bit-identical to the serial single-vector
+    // matvec of input column `j`.
+    let w = bsp_weight(96, 64, 21);
+    let bspc = BspcMatrix::from_dense(&w, 4, 4).unwrap();
+    let csr = CsrMatrix::from_dense(&w);
+    let mut rng = StdRng::seed_from_u64(33);
+    for b in [1usize, 3, 8] {
+        let xs: Vec<f32> = (0..64 * b).map(|_| rng.gen_f32() * 2.0 - 1.0).collect();
+        let cols_of: Vec<Vec<f32>> = (0..b)
+            .map(|j| (0..64).map(|k| xs[k * b + j]).collect())
+            .collect();
+        for threads in [1usize, 2, 4] {
+            let exec = Executor::new(threads);
+
+            let mut ys = vec![f32::NAN; 96 * b];
+            exec.spmm_bspc_into(&bspc, &xs, b, &mut ys).unwrap();
+            for (j, col) in cols_of.iter().enumerate() {
+                let want = bspc.spmv(col).unwrap();
+                for (i, &wi) in want.iter().enumerate() {
+                    assert_eq!(ys[i * b + j], wi, "bspc b={b} lane {j}, {threads} threads");
+                }
+            }
+
+            let mut ys = vec![f32::NAN; 96 * b];
+            exec.spmm_csr_into(&csr, &xs, b, &mut ys).unwrap();
+            for (j, col) in cols_of.iter().enumerate() {
+                let want = csr.spmv(col).unwrap();
+                for (i, &wi) in want.iter().enumerate() {
+                    assert_eq!(ys[i * b + j], wi, "csr b={b} lane {j}, {threads} threads");
+                }
+            }
+
+            let mut ys = vec![f32::NAN; 96 * b];
+            exec.gemm_dense_into(&w, &xs, b, &mut ys).unwrap();
+            for (j, col) in cols_of.iter().enumerate() {
+                let mut want = vec![f32::NAN; 96];
+                gemm::gemv_into(&w, col, &mut want).unwrap();
+                for (i, &wi) in want.iter().enumerate() {
+                    assert_eq!(ys[i * b + j], wi, "dense b={b} lane {j}, {threads} threads");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_session_matches_serial_predict_across_threads() {
+    // End-to-end: the multi-stream scheduler (admit/park/retire with lane
+    // compaction) over the parallel engine reproduces serial per-utterance
+    // predictions exactly, for both precisions and every thread count.
+    let net = GruNetwork::new(
+        &NetworkConfig {
+            input_dim: 6,
+            hidden_dims: vec![12, 12],
+            num_classes: 4,
+        },
+        31,
+    );
+    let lens = [5usize, 2, 7, 1, 3];
+    let streams: Vec<Vec<Vec<f32>>> = lens
+        .iter()
+        .enumerate()
+        .map(|(s, &len)| {
+            (0..len)
+                .map(|t| {
+                    (0..6)
+                        .map(|i| (((s * 37 + t * 6 + i) as f32) * 0.23).sin() * 0.6)
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    for precision in [RuntimePrecision::F32, RuntimePrecision::F16] {
+        let compiled = CompiledNetwork::compile(&net, 4, 4, precision).unwrap();
+        for threads in [1usize, 2, 4] {
+            let exec = Executor::new(threads);
+            let serial: Vec<Vec<usize>> = streams
+                .iter()
+                .map(|s| compiled.predict_with(&exec, s))
+                .collect();
+            let mut session = BatchedSession::new(&compiled, &exec, 3);
+            assert_eq!(
+                session.predict(&streams),
+                serial,
+                "{precision:?}, {threads} threads"
+            );
+        }
     }
 }
 

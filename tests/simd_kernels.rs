@@ -23,8 +23,9 @@
 use rtm_sparse::{BspcMatrix, CsrMatrix};
 use rtm_tensor::rng::StdRng;
 use rtm_tensor::simd::{
-    self, axpy_variant, dot_variant, hadamard_into_variant, indexed_dot_variant,
-    sigmoid_sweep_variant, tanh_sweep_variant, ulp_at, Variant,
+    self, axpy_variant, dot_batch_variant, dot_variant, hadamard_into_variant,
+    indexed_dot_batch_variant, indexed_dot_variant, sigmoid_sweep_variant, tanh_sweep_variant,
+    ulp_at, Variant,
 };
 use rtm_tensor::{gemm, Matrix};
 
@@ -210,6 +211,110 @@ fn dispatched_csr_spmv_rows_are_the_active_variant_indexed_dot() {
                 "row {r} of {rows}x{cols} under {}",
                 active.name()
             );
+        }
+    }
+}
+
+#[test]
+fn batched_dot_lanes_match_serial_dot_bit_exact() {
+    // The SpMM building block's lane contract: lane `j` of the batched dot
+    // is bit-identical to the serial dot of column `j`, in *every* variant —
+    // the scalar batch kernel preserves the single-accumulator chain, and
+    // the vector batch kernel replays the vector reduction tree per lane.
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    for n in [0usize, 1, 3, 8, 17, 64, 255, 1024] {
+        for b in [1usize, 2, 3, 4, 7, 8, 16] {
+            let a = rand_vec(n, &mut rng);
+            let xs = rand_vec(n * b, &mut rng);
+            for v in Variant::ALL {
+                let mut out = vec![f32::NAN; b];
+                dot_batch_variant(v, &a, &xs, b, &mut out);
+                for (j, &got) in out.iter().enumerate() {
+                    let col: Vec<f32> = (0..n).map(|k| xs[k * b + j]).collect();
+                    assert_eq!(
+                        got,
+                        dot_variant(v, &a, &col),
+                        "{} n={n} b={b} lane {j}",
+                        v.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_indexed_dot_lanes_match_serial_bit_exact() {
+    let mut rng = StdRng::seed_from_u64(0xBA1D);
+    let width = 600usize;
+    for n in [0usize, 1, 5, 16, 33, 255] {
+        for b in [1usize, 2, 4, 8, 11] {
+            let vals = rand_vec(n, &mut rng);
+            let mut idx: Vec<u32> = (0..n).map(|_| rng.next_u32() % width as u32).collect();
+            idx.sort_unstable();
+            let xs = rand_vec(width * b, &mut rng);
+            for v in Variant::ALL {
+                let mut out = vec![f32::NAN; b];
+                indexed_dot_batch_variant(v, &vals, &idx, &xs, b, &mut out);
+                for (j, &got) in out.iter().enumerate() {
+                    let col: Vec<f32> = (0..width).map(|k| xs[k * b + j]).collect();
+                    assert_eq!(
+                        got,
+                        indexed_dot_variant(v, &vals, &idx, &col),
+                        "{} nnz={n} b={b} lane {j}",
+                        v.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn spmm_columns_match_spmv_exactly_in_every_format() {
+    // Under the ambient policy (no `set_policy` — both CI passes prove their
+    // own variant): for dense, CSR and BSPC, column `j` of the batched
+    // matmul equals the serial matvec of input column `j`, bit for bit.
+    let mut rng = StdRng::seed_from_u64(0x59AA);
+    for (rows, cols, seed) in [(32usize, 48usize, 11u64), (64, 64, 12), (96, 40, 13)] {
+        let dense = bsp_weight(rows, cols, seed);
+        let bspc = BspcMatrix::from_dense(&dense, 4, 4).unwrap();
+        let csr = CsrMatrix::from_dense(&dense);
+        for b in [1usize, 2, 5, 8] {
+            let xs = rand_vec(cols * b, &mut rng);
+            let cols_of: Vec<Vec<f32>> = (0..b)
+                .map(|j| (0..cols).map(|k| xs[k * b + j]).collect())
+                .collect();
+
+            let mut ys = vec![f32::NAN; rows * b];
+            gemm::gemv_batch_into(&dense, &xs, b, &mut ys).unwrap();
+            for (j, col) in cols_of.iter().enumerate() {
+                let mut y = vec![f32::NAN; rows];
+                gemm::gemv_into(&dense, col, &mut y).unwrap();
+                for (i, &want) in y.iter().enumerate() {
+                    assert_eq!(ys[i * b + j], want, "dense {rows}x{cols} b={b} lane {j}");
+                }
+            }
+
+            let mut ys = vec![f32::NAN; rows * b];
+            csr.spmm_into(&xs, b, &mut ys).unwrap();
+            for (j, col) in cols_of.iter().enumerate() {
+                let mut y = vec![f32::NAN; rows];
+                csr.spmv_into(col, &mut y).unwrap();
+                for (i, &want) in y.iter().enumerate() {
+                    assert_eq!(ys[i * b + j], want, "csr {rows}x{cols} b={b} lane {j}");
+                }
+            }
+
+            let mut ys = vec![f32::NAN; rows * b];
+            bspc.spmm_into(&xs, b, &mut ys).unwrap();
+            for (j, col) in cols_of.iter().enumerate() {
+                let mut y = vec![f32::NAN; rows];
+                bspc.spmv_into(col, &mut y).unwrap();
+                for (i, &want) in y.iter().enumerate() {
+                    assert_eq!(ys[i * b + j], want, "bspc {rows}x{cols} b={b} lane {j}");
+                }
+            }
         }
     }
 }
