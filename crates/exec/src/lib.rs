@@ -10,8 +10,9 @@
 //! crate makes that concrete on CPU:
 //!
 //! * [`pool`] — a persistent worker pool over `std::thread` + channels
-//!   (no registry dependencies), caller-participating, with panic
-//!   propagation and a serial fast path at `threads = 1`;
+//!   (no registry dependencies), caller-participating, with contained task
+//!   panics (a typed [`ExecError::WorkerPanicked`] instead of a re-panic,
+//!   dead workers respawned) and a serial fast path at `threads = 1`;
 //! * [`partition`] — cost-balanced contiguous chunking of the kept-row
 //!   space (balancing nonzeros, not rows), derivable directly from a
 //!   `ReorderPlan`'s pattern groups, with the *measured* imbalance factor
@@ -41,10 +42,12 @@
 //! assert_eq!(parallel, m.spmv(&x).unwrap());
 //! ```
 
+pub mod error;
 pub mod partition;
 pub mod pool;
 pub mod spmv;
 
+pub use error::ExecError;
 pub use partition::{Chunk, Partition};
 pub use pool::{Task, WorkerPool};
 pub use spmv::{

@@ -11,11 +11,22 @@
 //! Tasks borrow the caller's stack (matrix, input, output slices). The pool
 //! erases those lifetimes to ship the closures across the channel, which is
 //! sound because `run` does not return until every dispatched task has
-//! reported completion — the borrows strictly outlive their use. A panic
-//! inside any task is caught on the worker, reported over the completion
-//! channel, and re-raised on the caller *after* the batch has fully
-//! drained, so no task is ever left running against freed stack memory.
+//! reported completion — the borrows strictly outlive their use.
+//!
+//! # Fault containment
+//!
+//! A panic inside any task — dispatched *or* inline — is caught where it
+//! runs, the batch fully drains, and `run` returns
+//! [`ExecError::WorkerPanicked`] carrying the first panic payload instead
+//! of re-raising. No task is ever left running against freed stack memory,
+//! no pool state is poisoned, and the very next batch executes normally.
+//! Should a worker thread itself ever die (simulated by the fault-injection
+//! hook [`WorkerPool::sever_workers`]), the next `run` detects the dead
+//! slot and respawns it before dispatching, so the pool is guaranteed
+//! serviceable after any fault.
 
+use crate::error::ExecError;
+use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
@@ -33,15 +44,59 @@ type StaticTask = Box<dyn FnOnce() + Send + 'static>;
 #[derive(Debug)]
 pub struct WorkerPool {
     threads: usize,
-    workers: Vec<Worker>,
+    /// Worker slots 1..threads (slot 0 is the caller). Interior mutability
+    /// lets `run(&self)` respawn dead workers; the pool is already `!Sync`
+    /// (the completion `Receiver` is single-consumer), so a `RefCell` adds
+    /// no new restriction.
+    workers: RefCell<Vec<Worker>>,
     done_rx: Receiver<Option<String>>,
-    _done_tx: Sender<Option<String>>,
+    done_tx: Sender<Option<String>>,
+    respawned: Cell<usize>,
 }
 
 #[derive(Debug)]
 struct Worker {
     tx: Option<Sender<StaticTask>>,
     handle: Option<JoinHandle<()>>,
+}
+
+impl Worker {
+    fn spawn(slot: usize, done: Sender<Option<String>>) -> Worker {
+        let (tx, rx) = channel::<StaticTask>();
+        let handle = std::thread::Builder::new()
+            .name(format!("rtm-exec-{slot}"))
+            .spawn(move || {
+                while let Ok(task) = rx.recv() {
+                    let outcome = catch_unwind(AssertUnwindSafe(task))
+                        .err()
+                        .map(|e| panic_message(e.as_ref()));
+                    if done.send(outcome).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn worker thread");
+        Worker {
+            tx: Some(tx),
+            handle: Some(handle),
+        }
+    }
+
+    /// A worker is dead when its thread has exited (or was shut down): its
+    /// channel would reject sends, so the slot must be respawned first.
+    fn is_dead(&self) -> bool {
+        match (&self.tx, &self.handle) {
+            (Some(_), Some(h)) => h.is_finished(),
+            _ => true,
+        }
+    }
+
+    fn shutdown(&mut self) {
+        self.tx.take(); // closing the channel ends the worker loop
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
 }
 
 impl WorkerPool {
@@ -52,39 +107,38 @@ impl WorkerPool {
         let threads = threads.max(1);
         let (done_tx, done_rx) = channel::<Option<String>>();
         let workers = (1..threads)
-            .map(|slot| {
-                let (tx, rx) = channel::<StaticTask>();
-                let done = done_tx.clone();
-                let handle = std::thread::Builder::new()
-                    .name(format!("rtm-exec-{slot}"))
-                    .spawn(move || {
-                        while let Ok(task) = rx.recv() {
-                            let outcome = catch_unwind(AssertUnwindSafe(task))
-                                .err()
-                                .map(|e| panic_message(&e));
-                            if done.send(outcome).is_err() {
-                                break;
-                            }
-                        }
-                    })
-                    .expect("spawn worker thread");
-                Worker {
-                    tx: Some(tx),
-                    handle: Some(handle),
-                }
-            })
+            .map(|slot| Worker::spawn(slot, done_tx.clone()))
             .collect();
         WorkerPool {
             threads,
-            workers,
+            workers: RefCell::new(workers),
             done_rx,
-            _done_tx: done_tx,
+            done_tx,
+            respawned: Cell::new(0),
         }
     }
 
     /// Number of OS threads a batch runs on (including the caller).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// How many dead worker slots have been respawned over the pool's
+    /// lifetime (0 in healthy operation; task panics alone never kill a
+    /// worker thread).
+    pub fn respawned_workers(&self) -> usize {
+        self.respawned.get()
+    }
+
+    /// Fault-injection hook: tears down every worker thread (closing its
+    /// channel and joining it) while leaving the pool's configuration
+    /// intact. The next [`WorkerPool::run`] detects the dead slots and
+    /// respawns them before dispatching — this is how the fault suite
+    /// proves the pool heals after worker loss.
+    pub fn sever_workers(&self) {
+        for w in self.workers.borrow_mut().iter_mut() {
+            w.shutdown();
+        }
     }
 
     /// Executes every task in `tasks`, returning once all have finished.
@@ -94,19 +148,33 @@ impl WorkerPool {
     /// must touch disjoint data (the SpMV kernels guarantee this by
     /// construction — disjoint output slices).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Re-raises the first panic observed among the tasks, after the whole
-    /// batch has drained.
-    pub fn run(&self, tasks: Vec<Task<'_>>) {
+    /// Returns [`ExecError::WorkerPanicked`] with the first panic payload
+    /// observed among the tasks, after the whole batch has drained. The
+    /// pool remains fully serviceable afterwards.
+    pub fn run(&self, tasks: Vec<Task<'_>>) -> Result<(), ExecError> {
         if tasks.is_empty() {
-            return;
+            return Ok(());
         }
-        if self.workers.is_empty() || tasks.len() == 1 {
+        let mut first_panic: Option<String> = None;
+        if self.threads == 1 || tasks.len() == 1 {
             for task in tasks {
-                task();
+                run_contained(task, &mut first_panic);
             }
-            return;
+            return fold_outcome(first_panic);
+        }
+
+        let mut workers = self.workers.borrow_mut();
+        // Containment guarantee: a worker slot whose thread has died (e.g.
+        // torn down by `sever_workers`) is respawned before any dispatch,
+        // so sends below cannot fail.
+        for (i, w) in workers.iter_mut().enumerate() {
+            if w.is_dead() {
+                w.shutdown();
+                *w = Worker::spawn(i + 1, self.done_tx.clone());
+                self.respawned.set(self.respawned.get() + 1);
+            }
         }
 
         let slots = self.threads;
@@ -122,7 +190,7 @@ impl WorkerPool {
                 // unwind path by `DrainGuard::drop` — so the closure never
                 // outlives what it borrows.
                 let task: StaticTask = unsafe { std::mem::transmute::<Task<'_>, StaticTask>(task) };
-                let worker = &self.workers[slot - 1];
+                let worker = &workers[slot - 1];
                 worker
                     .tx
                     .as_ref()
@@ -139,25 +207,35 @@ impl WorkerPool {
             first_panic: None,
         };
         for task in inline {
-            task();
+            run_contained(task, &mut guard.first_panic);
         }
         guard.drain();
-        if let Some(msg) = guard.first_panic.take() {
-            panic!("worker task panicked: {msg}");
-        }
+        first_panic = guard.first_panic.take();
+        fold_outcome(first_panic)
     }
 }
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        for w in &mut self.workers {
-            w.tx.take(); // closing the channel ends the worker loop
+        for w in self.workers.borrow_mut().iter_mut() {
+            w.shutdown();
         }
-        for w in &mut self.workers {
-            if let Some(h) = w.handle.take() {
-                let _ = h.join();
-            }
+    }
+}
+
+/// Runs one task under `catch_unwind`, recording the first panic payload.
+fn run_contained(task: Task<'_>, first_panic: &mut Option<String>) {
+    if let Err(e) = catch_unwind(AssertUnwindSafe(task)) {
+        if first_panic.is_none() {
+            *first_panic = Some(panic_message(e.as_ref()));
         }
+    }
+}
+
+fn fold_outcome(first_panic: Option<String>) -> Result<(), ExecError> {
+    match first_panic {
+        Some(message) => Err(ExecError::WorkerPanicked { message }),
+        None => Ok(()),
     }
 }
 
@@ -220,7 +298,7 @@ mod tests {
                 }) as Task<'_>
             })
             .collect();
-        pool.run(tasks);
+        pool.run(tasks).unwrap();
         assert_eq!(counter.load(Ordering::SeqCst), 37);
     }
 
@@ -237,7 +315,7 @@ mod tests {
                     }
                 }));
             }
-            pool.run(tasks);
+            pool.run(tasks).unwrap();
         }
         assert_eq!(data, vec![1, 1, 1, 2, 2, 2, 3, 3, 3]);
     }
@@ -252,7 +330,7 @@ mod tests {
             let c = &collected;
             tasks.push(Box::new(move || c.lock().unwrap().push(i)));
         }
-        pool.run(tasks);
+        pool.run(tasks).unwrap();
         assert_eq!(*collected.lock().unwrap(), vec![0, 1, 2, 3, 4]);
     }
 
@@ -269,33 +347,35 @@ mod tests {
                     }) as Task<'_>
                 })
                 .collect();
-            pool.run(tasks);
+            pool.run(tasks).unwrap();
             assert_eq!(sum.load(Ordering::SeqCst), round * 40 + 6);
         }
     }
 
     #[test]
-    fn worker_panic_propagates_after_drain() {
+    fn worker_panic_becomes_typed_error_after_drain() {
         let pool = WorkerPool::new(2);
         let finished = AtomicUsize::new(0);
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            let tasks: Vec<Task<'_>> = (0..4)
-                .map(|i| {
-                    let finished = &finished;
-                    Box::new(move || {
-                        if i == 1 {
-                            panic!("boom {i}");
-                        }
-                        finished.fetch_add(1, Ordering::SeqCst);
-                    }) as Task<'_>
-                })
-                .collect();
-            pool.run(tasks);
-        }));
-        assert!(result.is_err(), "panic must propagate to the caller");
+        let tasks: Vec<Task<'_>> = (0..4)
+            .map(|i| {
+                let finished = &finished;
+                Box::new(move || {
+                    if i == 1 {
+                        panic!("boom {i}");
+                    }
+                    finished.fetch_add(1, Ordering::SeqCst);
+                }) as Task<'_>
+            })
+            .collect();
+        let err = pool.run(tasks).unwrap_err();
+        match &err {
+            ExecError::WorkerPanicked { message } => assert!(message.contains("boom")),
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
         // Every non-panicking task still ran (batch fully drained).
         assert_eq!(finished.load(Ordering::SeqCst), 3);
-        // The pool remains usable after a panicked batch.
+        // The pool remains usable after a panicked batch, with no respawn
+        // needed: a caught task panic never kills the worker thread.
         let ok = AtomicUsize::new(0);
         let ok_ref = &ok;
         pool.run(vec![
@@ -305,13 +385,57 @@ mod tests {
             Box::new(move || {
                 ok_ref.fetch_add(1, Ordering::SeqCst);
             }) as Task<'_>,
-        ]);
+        ])
+        .unwrap();
         assert_eq!(ok.load(Ordering::SeqCst), 2);
+        assert_eq!(pool.respawned_workers(), 0);
+    }
+
+    #[test]
+    fn inline_task_panic_is_contained_too() {
+        // Slot 0 runs on the caller; its panic must be caught, not unwind
+        // through `run`.
+        let pool = WorkerPool::new(2);
+        let done = AtomicUsize::new(0);
+        let done_ref = &done;
+        let err = pool
+            .run(vec![
+                Box::new(move || panic!("inline boom")) as Task<'_>, // slot 0
+                Box::new(move || {
+                    done_ref.fetch_add(1, Ordering::SeqCst);
+                }) as Task<'_>, // slot 1
+            ])
+            .unwrap_err();
+        assert!(matches!(err, ExecError::WorkerPanicked { .. }));
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn severed_workers_are_respawned() {
+        let pool = WorkerPool::new(4);
+        pool.sever_workers();
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Task<'_>> = (0..12)
+            .map(|_| {
+                let counter = &counter;
+                Box::new(move || {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                }) as Task<'_>
+            })
+            .collect();
+        pool.run(tasks).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 12);
+        assert_eq!(pool.respawned_workers(), 3);
+        // Severing repeatedly keeps working.
+        pool.sever_workers();
+        pool.run(vec![Box::new(|| {}) as Task<'_>, Box::new(|| {})])
+            .unwrap();
+        assert_eq!(pool.respawned_workers(), 6);
     }
 
     #[test]
     fn empty_batch_is_a_no_op() {
         let pool = WorkerPool::new(3);
-        pool.run(Vec::new());
+        pool.run(Vec::new()).unwrap();
     }
 }

@@ -22,10 +22,11 @@
 //! work in isolation; each accumulates in the same order as the serial
 //! `spmv`, so parallel results are bit-identical to serial ones.
 
+use crate::error::ExecError;
 use crate::partition::Partition;
 use crate::pool::{Task, WorkerPool};
 use rtm_sparse::{BspcMatrix, CsrMatrix};
-use rtm_tensor::{Matrix, ShapeError};
+use rtm_tensor::Matrix;
 
 /// Computes `y[r] = A[r] · x` for the kept rows `kept_range` of a BSPC
 /// matrix, writing into `y[r - y_base]`. Rows outside the range — and
@@ -248,8 +249,25 @@ impl Executor {
 
     /// Runs a batch of independent tasks on the pool (used by the RNN
     /// cells to evaluate independent gate SpMVs concurrently).
-    pub fn run(&self, tasks: Vec<Task<'_>>) {
-        self.pool.run(tasks);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::WorkerPanicked`] when any task panics; the
+    /// batch drains fully first and the engine stays serviceable.
+    pub fn run(&self, tasks: Vec<Task<'_>>) -> Result<(), ExecError> {
+        self.pool.run(tasks)
+    }
+
+    /// Fault-injection hook forwarding [`WorkerPool::sever_workers`]: tears
+    /// the worker threads down so the next call exercises the respawn path.
+    pub fn sever_workers(&self) {
+        self.pool.sever_workers();
+    }
+
+    /// Dead worker slots respawned over the engine's lifetime (see
+    /// [`WorkerPool::respawned_workers`]).
+    pub fn respawned_workers(&self) -> usize {
+        self.pool.respawned_workers()
     }
 
     /// The cost-balanced kept-row partition this engine would use for `m`
@@ -275,8 +293,8 @@ impl Executor {
     ///
     /// # Errors
     ///
-    /// Returns [`ShapeError`] when `x.len() != m.cols()`.
-    pub fn spmv_bspc(&self, m: &BspcMatrix, x: &[f32]) -> Result<Vec<f32>, ShapeError> {
+    /// Returns [`ExecError::Shape`] when `x.len() != m.cols()`.
+    pub fn spmv_bspc(&self, m: &BspcMatrix, x: &[f32]) -> Result<Vec<f32>, ExecError> {
         let mut y = vec![0.0f32; m.rows()];
         self.spmv_bspc_into(m, x, &mut y)?;
         Ok(y)
@@ -288,20 +306,20 @@ impl Executor {
     ///
     /// # Errors
     ///
-    /// Returns [`ShapeError`] when `x.len() != m.cols()` or
+    /// Returns [`ExecError::Shape`] when `x.len() != m.cols()` or
     /// `y.len() != m.rows()`.
     pub fn spmv_bspc_into(
         &self,
         m: &BspcMatrix,
         x: &[f32],
         y: &mut [f32],
-    ) -> Result<(), ShapeError> {
+    ) -> Result<(), ExecError> {
         if x.len() != m.cols() || y.len() != m.rows() {
-            return Err(ShapeError {
-                op: "parallel_bspc_spmv",
-                lhs: (m.rows(), m.cols()),
-                rhs: (x.len(), y.len()),
-            });
+            return Err(ExecError::shape(
+                "parallel_bspc_spmv",
+                (m.rows(), m.cols()),
+                (x.len(), y.len()),
+            ));
         }
         y.fill(0.0);
         let kept = m.kept_rows();
@@ -341,16 +359,15 @@ impl Executor {
             tail = rest;
             base = end;
         }
-        self.pool.run(tasks);
-        Ok(())
+        self.pool.run(tasks)
     }
 
     /// Parallel CSR SpMV, allocating the output.
     ///
     /// # Errors
     ///
-    /// Returns [`ShapeError`] when `x.len() != m.cols()`.
-    pub fn spmv_csr(&self, m: &CsrMatrix, x: &[f32]) -> Result<Vec<f32>, ShapeError> {
+    /// Returns [`ExecError::Shape`] when `x.len() != m.cols()`.
+    pub fn spmv_csr(&self, m: &CsrMatrix, x: &[f32]) -> Result<Vec<f32>, ExecError> {
         let mut y = vec![0.0f32; m.rows()];
         self.spmv_csr_into(m, x, &mut y)?;
         Ok(y)
@@ -361,15 +378,15 @@ impl Executor {
     ///
     /// # Errors
     ///
-    /// Returns [`ShapeError`] when `x.len() != m.cols()` or
+    /// Returns [`ExecError::Shape`] when `x.len() != m.cols()` or
     /// `y.len() != m.rows()`.
-    pub fn spmv_csr_into(&self, m: &CsrMatrix, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError> {
+    pub fn spmv_csr_into(&self, m: &CsrMatrix, x: &[f32], y: &mut [f32]) -> Result<(), ExecError> {
         if x.len() != m.cols() || y.len() != m.rows() {
-            return Err(ShapeError {
-                op: "parallel_csr_spmv",
-                lhs: (m.rows(), m.cols()),
-                rhs: (x.len(), y.len()),
-            });
+            return Err(ExecError::shape(
+                "parallel_csr_spmv",
+                (m.rows(), m.cols()),
+                (x.len(), y.len()),
+            ));
         }
         if m.rows() == 0 {
             return Ok(());
@@ -395,16 +412,15 @@ impl Executor {
             }));
             tail = rest;
         }
-        self.pool.run(tasks);
-        Ok(())
+        self.pool.run(tasks)
     }
 
     /// Parallel dense GEMV, allocating the output.
     ///
     /// # Errors
     ///
-    /// Returns [`ShapeError`] when `x.len() != m.cols()`.
-    pub fn gemv_dense(&self, m: &Matrix, x: &[f32]) -> Result<Vec<f32>, ShapeError> {
+    /// Returns [`ExecError::Shape`] when `x.len() != m.cols()`.
+    pub fn gemv_dense(&self, m: &Matrix, x: &[f32]) -> Result<Vec<f32>, ExecError> {
         let mut y = vec![0.0f32; m.rows()];
         self.gemv_dense_into(m, x, &mut y)?;
         Ok(y)
@@ -415,15 +431,15 @@ impl Executor {
     ///
     /// # Errors
     ///
-    /// Returns [`ShapeError`] when `x.len() != m.cols()` or
+    /// Returns [`ExecError::Shape`] when `x.len() != m.cols()` or
     /// `y.len() != m.rows()`.
-    pub fn gemv_dense_into(&self, m: &Matrix, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError> {
+    pub fn gemv_dense_into(&self, m: &Matrix, x: &[f32], y: &mut [f32]) -> Result<(), ExecError> {
         if x.len() != m.cols() || y.len() != m.rows() {
-            return Err(ShapeError {
-                op: "parallel_gemv",
-                lhs: (m.rows(), m.cols()),
-                rhs: (x.len(), y.len()),
-            });
+            return Err(ExecError::shape(
+                "parallel_gemv",
+                (m.rows(), m.cols()),
+                (x.len(), y.len()),
+            ));
         }
         if m.rows() == 0 {
             return Ok(());
@@ -450,8 +466,7 @@ impl Executor {
             }));
             tail = rest;
         }
-        self.pool.run(tasks);
-        Ok(())
+        self.pool.run(tasks)
     }
 
     /// Parallel BSPC SpMM over `b` interleaved input lanes, into a
@@ -467,7 +482,7 @@ impl Executor {
     ///
     /// # Errors
     ///
-    /// Returns [`ShapeError`] when `xs.len() != m.cols() * b` or
+    /// Returns [`ExecError::Shape`] when `xs.len() != m.cols() * b` or
     /// `ys.len() != m.rows() * b`.
     pub fn spmm_bspc_into(
         &self,
@@ -475,13 +490,13 @@ impl Executor {
         xs: &[f32],
         b: usize,
         ys: &mut [f32],
-    ) -> Result<(), ShapeError> {
+    ) -> Result<(), ExecError> {
         if xs.len() != m.cols() * b || ys.len() != m.rows() * b {
-            return Err(ShapeError {
-                op: "parallel_bspc_spmm",
-                lhs: (m.rows(), m.cols()),
-                rhs: (xs.len(), b),
-            });
+            return Err(ExecError::shape(
+                "parallel_bspc_spmm",
+                (m.rows(), m.cols()),
+                (xs.len(), b),
+            ));
         }
         ys.fill(0.0);
         let kept = m.kept_rows();
@@ -518,8 +533,7 @@ impl Executor {
             tail = rest;
             base = end;
         }
-        self.pool.run(tasks);
-        Ok(())
+        self.pool.run(tasks)
     }
 
     /// Parallel CSR SpMM over `b` interleaved input lanes. Bit-identical to
@@ -527,7 +541,7 @@ impl Executor {
     ///
     /// # Errors
     ///
-    /// Returns [`ShapeError`] when `xs.len() != m.cols() * b` or
+    /// Returns [`ExecError::Shape`] when `xs.len() != m.cols() * b` or
     /// `ys.len() != m.rows() * b`.
     pub fn spmm_csr_into(
         &self,
@@ -535,13 +549,13 @@ impl Executor {
         xs: &[f32],
         b: usize,
         ys: &mut [f32],
-    ) -> Result<(), ShapeError> {
+    ) -> Result<(), ExecError> {
         if xs.len() != m.cols() * b || ys.len() != m.rows() * b {
-            return Err(ShapeError {
-                op: "parallel_csr_spmm",
-                lhs: (m.rows(), m.cols()),
-                rhs: (xs.len(), b),
-            });
+            return Err(ExecError::shape(
+                "parallel_csr_spmm",
+                (m.rows(), m.cols()),
+                (xs.len(), b),
+            ));
         }
         if m.rows() == 0 || b == 0 {
             return Ok(());
@@ -567,8 +581,7 @@ impl Executor {
             }));
             tail = rest;
         }
-        self.pool.run(tasks);
-        Ok(())
+        self.pool.run(tasks)
     }
 
     /// Parallel dense GEMM over `b` interleaved input lanes (the batched
@@ -576,7 +589,7 @@ impl Executor {
     ///
     /// # Errors
     ///
-    /// Returns [`ShapeError`] when `xs.len() != m.cols() * b` or
+    /// Returns [`ExecError::Shape`] when `xs.len() != m.cols() * b` or
     /// `ys.len() != m.rows() * b`.
     pub fn gemm_dense_into(
         &self,
@@ -584,13 +597,13 @@ impl Executor {
         xs: &[f32],
         b: usize,
         ys: &mut [f32],
-    ) -> Result<(), ShapeError> {
+    ) -> Result<(), ExecError> {
         if xs.len() != m.cols() * b || ys.len() != m.rows() * b {
-            return Err(ShapeError {
-                op: "parallel_gemm",
-                lhs: (m.rows(), m.cols()),
-                rhs: (xs.len(), b),
-            });
+            return Err(ExecError::shape(
+                "parallel_gemm",
+                (m.rows(), m.cols()),
+                (xs.len(), b),
+            ));
         }
         if m.rows() == 0 || b == 0 {
             return Ok(());
@@ -617,7 +630,6 @@ impl Executor {
             }));
             tail = rest;
         }
-        self.pool.run(tasks);
-        Ok(())
+        self.pool.run(tasks)
     }
 }

@@ -375,7 +375,8 @@ impl GruCell {
                 Box::new(move || gate(&self.w_z, &self.u_z, &self.b_z, z_out, tmp_z)),
                 Box::new(move || gate(&self.w_r, &self.u_r, &self.b_r, r_out, tmp_r)),
                 Box::new(move || gemv_into(&self.w_n, x, n_out).expect("shape checked")),
-            ]);
+            ])
+            .expect("gate task panicked");
         }
 
         // Phase B: the candidate recurrence needs the reset gate.

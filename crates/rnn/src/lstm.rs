@@ -252,7 +252,8 @@ impl LstmCell {
                 Box::new(move || gate(&self.w_f, &self.u_f, &self.b_f, sigmoid, f_out)),
                 Box::new(move || gate(&self.w_g, &self.u_g, &self.b_g, tanh, g_out)),
                 Box::new(move || gate(&self.w_o, &self.u_o, &self.b_o, sigmoid, o_out)),
-            ]);
+            ])
+            .expect("gate task panicked");
         }
 
         let mut c = vec![0.0f32; hid];

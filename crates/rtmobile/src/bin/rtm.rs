@@ -3,7 +3,7 @@
 //! ```text
 //! rtm pipeline [--hidden N] [--col X] [--row Y] [--stripes S] [--blocks B]
 //!              [--seed K] [--threads T] [--batch B] [--simd POLICY]
-//!              [--save FILE.rtm]
+//!              [--health POLICY] [--save FILE.rtm]
 //! rtm inspect FILE.rtm
 //! rtm help
 //! ```
@@ -38,7 +38,7 @@ fn print_help() {
     println!("USAGE:");
     println!("  rtm pipeline [--hidden N] [--col X] [--row Y] [--stripes S] [--blocks B]");
     println!("               [--seed K] [--threads T] [--batch B] [--simd POLICY]");
-    println!("               [--save FILE.rtm]");
+    println!("               [--health POLICY] [--save FILE.rtm]");
     println!("  rtm inspect FILE.rtm");
     println!("  rtm help");
     println!();
@@ -48,10 +48,20 @@ fn print_help() {
     println!("  --simd picks the kernel dispatch policy: auto (default; widest");
     println!("  realization the CPU supports), off/scalar, u4, u8, or vector.");
     println!("  The RTM_SIMD environment variable sets the same knob.");
+    println!();
+    println!("  --health picks the numerical-health policy of the batched scorer");
+    println!("  and of model loading: off (default), check, or quarantine.");
+    println!("  The RTM_HEALTH environment variable sets the same knob.");
 }
 
-/// Parses `--flag value` pairs; returns `None` (after printing) on errors.
-fn parse_flags(args: &[String]) -> Option<std::collections::BTreeMap<String, String>> {
+/// Parses `--flag value` pairs against the allow-list `known`; returns
+/// `None` (after printing a user-facing message) on any malformed, unknown
+/// or repeated flag — bad input must never reach a panic or a silent
+/// default.
+fn parse_flags(
+    args: &[String],
+    known: &[&str],
+) -> Option<std::collections::BTreeMap<String, String>> {
     let mut out = std::collections::BTreeMap::new();
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -59,32 +69,63 @@ fn parse_flags(args: &[String]) -> Option<std::collections::BTreeMap<String, Str
             eprintln!("expected a --flag, got {flag}");
             return None;
         };
+        if !known.contains(&name) {
+            eprintln!("unknown flag --{name} (try `rtm help`)");
+            return None;
+        }
         let Some(value) = it.next() else {
             eprintln!("--{name} needs a value");
             return None;
         };
-        out.insert(name.to_string(), value.clone());
+        if out.insert(name.to_string(), value.clone()).is_some() {
+            eprintln!("--{name} given twice");
+            return None;
+        }
     }
     Some(out)
 }
 
+/// Parses flag `k` with `parse`, defaulting to `d` when absent; a present
+/// but unparseable value is an error, not a silent default.
+fn parse_or<T: std::str::FromStr>(
+    flags: &std::collections::BTreeMap<String, String>,
+    k: &str,
+    d: T,
+) -> Result<T, String> {
+    match flags.get(k) {
+        None => Ok(d),
+        Some(v) => v.parse().map_err(|_| format!("--{k}: cannot parse {v:?}")),
+    }
+}
+
+const PIPELINE_FLAGS: &[&str] = &[
+    "hidden", "col", "row", "stripes", "blocks", "seed", "threads", "batch", "simd", "health",
+    "save",
+];
+
 fn pipeline(args: &[String]) -> ExitCode {
-    let Some(flags) = parse_flags(args) else {
+    let Some(flags) = parse_flags(args, PIPELINE_FLAGS) else {
         return ExitCode::FAILURE;
     };
-    let get_usize =
-        |k: &str, d: usize| -> usize { flags.get(k).and_then(|v| v.parse().ok()).unwrap_or(d) };
-    let get_f64 =
-        |k: &str, d: f64| -> f64 { flags.get(k).and_then(|v| v.parse().ok()).unwrap_or(d) };
-
-    let hidden = get_usize("hidden", 48);
-    let col = get_f64("col", 10.0);
-    let row = get_f64("row", 1.0);
-    let stripes = get_usize("stripes", 4);
-    let blocks = get_usize("blocks", 4);
-    let seed = get_usize("seed", 2020) as u64;
-    let threads = get_usize("threads", 1);
-    let batch = get_usize("batch", 1);
+    let parsed = (|| -> Result<_, String> {
+        Ok((
+            parse_or(&flags, "hidden", 48usize)?,
+            parse_or(&flags, "col", 10.0f64)?,
+            parse_or(&flags, "row", 1.0f64)?,
+            parse_or(&flags, "stripes", 4usize)?,
+            parse_or(&flags, "blocks", 4usize)?,
+            parse_or(&flags, "seed", 2020u64)?,
+            parse_or(&flags, "threads", 1usize)?,
+            parse_or(&flags, "batch", 1usize)?,
+        ))
+    })();
+    let (hidden, col, row, stripes, blocks, seed, threads, batch) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     if col < 1.0 || row < 1.0 {
         eprintln!("compression rates must be >= 1");
@@ -108,6 +149,16 @@ fn pipeline(args: &[String]) -> ExitCode {
             }
         },
     };
+    let health = match flags.get("health") {
+        None => None,
+        Some(v) => match rtmobile::health::parse_policy(v) {
+            Some(p) => Some(p),
+            None => {
+                eprintln!("--health must be off, check or quarantine (got {v})");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
 
     println!(
         "Running the RTMobile pipeline: hidden {hidden}, target {col}x cols x {row}x rows, \
@@ -122,6 +173,9 @@ fn pipeline(args: &[String]) -> ExitCode {
         .batch(batch);
     if let Some(policy) = simd {
         builder = builder.simd(policy);
+    }
+    if let Some(policy) = health {
+        builder = builder.health(policy);
     }
     let (report, _net, compiled) = builder.run_keeping_model();
     println!(
@@ -156,7 +210,9 @@ fn inspect(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let net = match model_file::from_bytes(&bytes) {
+    // Load-time weight validation follows the deployment-side health knob.
+    let policy = rtmobile::health::policy_from_env();
+    let net = match model_file::from_bytes_with(&bytes, policy) {
         Ok(n) => n,
         Err(e) => {
             eprintln!("not a valid .rtm model: {e}");

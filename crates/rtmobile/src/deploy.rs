@@ -8,12 +8,16 @@
 //! [`RuntimePrecision::F16`] all weights and intermediate activations round
 //! through IEEE binary16, modelling the paper's 16-bit GPU datapath.
 
+use crate::health::HealthPolicy;
+use crate::serve::{AdmissionConfig, ServeStats, ShedPolicy, StreamFault};
 use rtm_compiler::reorder::ReorderPlan;
+use rtm_exec::ExecError;
 use rtm_rnn::GruNetwork;
 use rtm_sparse::BspcMatrix;
 use rtm_tensor::activations::{sigmoid, sigmoid_slice, tanh, tanh_slice};
 use rtm_tensor::f16::quantize_f16;
 use rtm_tensor::{Matrix, Vector};
+use std::collections::VecDeque;
 
 /// Numeric mode of the compiled runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -158,6 +162,11 @@ impl CompiledNetwork {
     /// The numeric mode.
     pub fn precision(&self) -> RuntimePrecision {
         self.precision
+    }
+
+    /// The compiled GRU layers, in execution order.
+    pub fn layers(&self) -> &[CompiledGruLayer] {
+        &self.layers
     }
 
     /// Total bytes of the compiled weight storage (values + indices) at the
@@ -427,7 +436,8 @@ impl CompiledGruLayer {
                 Box::new(move || spmv(&self.w_r, x, wrx)),
                 Box::new(move || spmv(&self.u_r, h_prev, urh)),
                 Box::new(move || spmv(&self.w_n, x, wnx)),
-            ]);
+            ])
+            .expect("gate task panicked");
         }
 
         Vector::axpy(1.0, &scratch.tmp2, &mut scratch.z);
@@ -468,8 +478,16 @@ impl CompiledGruLayer {
     /// accumulation order per lane, all axpys here use `α = 1` (where FMA
     /// and mul+add round identically), and the remaining ops are
     /// element-wise with one rounding each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] when `xs` is not `[input × b]` or
+    /// `hs_prev` is not `[hidden × b]` lane-major (nothing is dispatched
+    /// for the failing kernel), and [`ExecError::WorkerPanicked`] if a
+    /// kernel task panics. On error the scratch buffers and `hs_out` hold
+    /// unspecified — but initialized — data.
     #[allow(clippy::too_many_arguments)]
-    fn step_batch_into(
+    pub fn step_batch_into(
         &self,
         exec: &rtm_exec::Executor,
         xs: &[f32],
@@ -478,7 +496,7 @@ impl CompiledGruLayer {
         precision: RuntimePrecision,
         scratch: &mut GruRuntimeScratch,
         hs_out: &mut Vec<f32>,
-    ) {
+    ) -> Result<(), ExecError> {
         let quantize = |v: &mut [f32]| {
             if precision == RuntimePrecision::F16 {
                 for e in v.iter_mut() {
@@ -490,29 +508,23 @@ impl CompiledGruLayer {
         scratch.reserve(hb);
         hs_out.resize(hb, 0.0);
 
-        exec.spmm_bspc_into(&self.w_z, xs, b, &mut scratch.z)
-            .expect("dims");
-        exec.spmm_bspc_into(&self.u_z, hs_prev, b, &mut scratch.tmp)
-            .expect("dims");
+        exec.spmm_bspc_into(&self.w_z, xs, b, &mut scratch.z)?;
+        exec.spmm_bspc_into(&self.u_z, hs_prev, b, &mut scratch.tmp)?;
         Vector::axpy(1.0, &scratch.tmp, &mut scratch.z);
         rtm_tensor::simd::broadcast_add(&self.b_z, b, &mut scratch.z);
         sigmoid_slice(&mut scratch.z);
         quantize(&mut scratch.z);
 
-        exec.spmm_bspc_into(&self.w_r, xs, b, &mut scratch.r)
-            .expect("dims");
-        exec.spmm_bspc_into(&self.u_r, hs_prev, b, &mut scratch.tmp)
-            .expect("dims");
+        exec.spmm_bspc_into(&self.w_r, xs, b, &mut scratch.r)?;
+        exec.spmm_bspc_into(&self.u_r, hs_prev, b, &mut scratch.tmp)?;
         Vector::axpy(1.0, &scratch.tmp, &mut scratch.r);
         rtm_tensor::simd::broadcast_add(&self.b_r, b, &mut scratch.r);
         sigmoid_slice(&mut scratch.r);
         quantize(&mut scratch.r);
 
         Vector::hadamard_into(&scratch.r, hs_prev, &mut scratch.rh);
-        exec.spmm_bspc_into(&self.w_n, xs, b, &mut scratch.n)
-            .expect("dims");
-        exec.spmm_bspc_into(&self.u_n, &scratch.rh, b, &mut scratch.tmp)
-            .expect("dims");
+        exec.spmm_bspc_into(&self.w_n, xs, b, &mut scratch.n)?;
+        exec.spmm_bspc_into(&self.u_n, &scratch.rh, b, &mut scratch.tmp)?;
         Vector::axpy(1.0, &scratch.tmp, &mut scratch.n);
         rtm_tensor::simd::broadcast_add(&self.b_n, b, &mut scratch.n);
         tanh_slice(&mut scratch.n);
@@ -527,6 +539,7 @@ impl CompiledGruLayer {
             *hi = (1.0 - zi) * ni + zi * hp;
         }
         quantize(hs_out);
+        Ok(())
     }
 }
 
@@ -536,8 +549,15 @@ impl CompiledNetwork {
     /// buffer; `logits` receives the `[classes × b]` lane-major head output.
     /// Lane `j` is bit-identical to one frame of
     /// [`CompiledNetwork::forward`] on stream `j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] when `xs` or a `states` plane is not
+    /// lane-major `[dim × b]` for this network, and
+    /// [`ExecError::WorkerPanicked`] if a kernel task panics. On error the
+    /// activation buffers hold unspecified — but initialized — data.
     #[allow(clippy::too_many_arguments)]
-    fn forward_frame_batch(
+    pub fn forward_frame_batch(
         &self,
         exec: &rtm_exec::Executor,
         xs: &mut Vec<f32>,
@@ -546,17 +566,18 @@ impl CompiledNetwork {
         scratch: &mut GruRuntimeScratch,
         hs_next: &mut Vec<f32>,
         logits: &mut Vec<f32>,
-    ) {
+    ) -> Result<(), ExecError> {
         self.maybe_quantize(xs);
         for (layer, hs) in self.layers.iter().zip(states.iter_mut()) {
-            layer.step_batch_into(exec, xs, hs, b, self.precision, scratch, hs_next);
+            layer.step_batch_into(exec, xs, hs, b, self.precision, scratch, hs_next)?;
             std::mem::swap(hs, hs_next);
             xs.clear();
             xs.extend_from_slice(hs);
         }
         logits.resize(self.head_b.len() * b, 0.0);
-        rtm_tensor::gemm::gemv_batch_into(&self.head_w, xs, b, logits).expect("head dims");
+        rtm_tensor::gemm::gemv_batch_into(&self.head_w, xs, b, logits)?;
         rtm_tensor::simd::broadcast_add(&self.head_b, b, logits);
+        Ok(())
     }
 }
 
@@ -605,11 +626,25 @@ fn add_lane(buf: &mut Vec<f32>, b: usize, rows: usize) {
 ///
 /// Lane contract: every stream's logits are bit-identical to a serial
 /// [`CompiledNetwork::forward`] of that stream alone, for any capacity,
-/// admission order, thread count and simd policy.
+/// admission order, thread count and simd policy. The fault paths preserve
+/// it: quarantining lane `j` is pure data movement on the other lanes, and
+/// shedding removes a stream before it ever touches a lane.
+///
+/// Fault behaviour (DESIGN.md §10): with a scanning [`HealthPolicy`] the
+/// session checks every layer's states and the logits after each batched
+/// step; a faulty lane is recorded (`Check`) or retired (`Quarantine`)
+/// while the other lanes continue untouched. With a bounded
+/// [`AdmissionConfig`] the parked backlog is capped and the excess shed
+/// under the configured [`ShedPolicy`]; every decision lands in
+/// [`ServeStats`].
 pub struct BatchedSession<'a> {
     net: &'a CompiledNetwork,
     exec: &'a rtm_exec::Executor,
     capacity: usize,
+    health: HealthPolicy,
+    admission: AdmissionConfig,
+    stats: ServeStats,
+    faults: Vec<StreamFault>,
     /// `lane -> index into the caller's stream list`.
     lanes: Vec<usize>,
     /// `lane -> next frame cursor` within its stream.
@@ -638,6 +673,10 @@ impl<'a> BatchedSession<'a> {
             net,
             exec,
             capacity,
+            health: HealthPolicy::Off,
+            admission: AdmissionConfig::default(),
+            stats: ServeStats::default(),
+            faults: Vec::new(),
             lanes: Vec::with_capacity(capacity),
             cursors: Vec::with_capacity(capacity),
             states: net.layers.iter().map(|_| Vec::new()).collect(),
@@ -653,9 +692,35 @@ impl<'a> BatchedSession<'a> {
         self.capacity
     }
 
+    /// Sets the numerical-health policy for subsequent runs.
+    pub fn with_health(mut self, health: HealthPolicy) -> BatchedSession<'a> {
+        self.health = health;
+        self
+    }
+
+    /// Sets the admission-control bounds for subsequent runs.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> BatchedSession<'a> {
+        self.admission = admission;
+        self
+    }
+
+    /// Serving counters of the most recent [`BatchedSession::run`].
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Numeric faults the health scan attributed during the most recent
+    /// [`BatchedSession::run`] (empty under [`HealthPolicy::Off`]).
+    pub fn faults(&self) -> &[StreamFault] {
+        &self.faults
+    }
+
     /// Runs every stream to completion, batching up to `capacity` of them
     /// per step, and returns per-stream per-frame logits in input order.
-    /// Empty streams yield empty logit lists.
+    /// Empty streams yield empty logit lists, as do streams shed by
+    /// admission control; a quarantined stream's logits stop at its last
+    /// healthy frame. Counters land in [`BatchedSession::stats`], observed
+    /// faults in [`BatchedSession::faults`].
     pub fn run<S: AsRef<[Vec<f32>]>>(&mut self, streams: &[S]) -> Vec<Vec<Vec<f32>>> {
         let mut out: Vec<Vec<Vec<f32>>> = streams
             .iter()
@@ -666,20 +731,42 @@ impl<'a> BatchedSession<'a> {
         for s in &mut self.states {
             s.clear();
         }
+        self.stats = ServeStats::default();
+        self.faults.clear();
         let classes = self.net.head_b.len();
-        let mut next = 0usize;
+        // Every (non-empty) stream arrives at once in this offline replay;
+        // the parked backlog holds them in input order until a lane frees.
+        let mut parked: VecDeque<usize> = (0..streams.len())
+            .filter(|&i| !streams[i].as_ref().is_empty())
+            .collect();
+        let mut step = 0usize;
+        // Scratch for the lanes the health scan condemns this step.
+        let mut condemned: Vec<bool> = Vec::new();
         loop {
-            // Admit parked streams into free lanes.
-            while self.lanes.len() < self.capacity && next < streams.len() {
-                if !streams[next].as_ref().is_empty() {
-                    let b = self.lanes.len();
-                    for (state, layer) in self.states.iter_mut().zip(&self.net.layers) {
-                        add_lane(state, b, layer.hidden);
-                    }
-                    self.lanes.push(next);
-                    self.cursors.push(0);
+            // Admit parked streams into free lanes (oldest first).
+            while self.lanes.len() < self.capacity {
+                let Some(next) = parked.pop_front() else {
+                    break;
+                };
+                let b = self.lanes.len();
+                for (state, layer) in self.states.iter_mut().zip(&self.net.layers) {
+                    add_lane(state, b, layer.hidden);
                 }
-                next += 1;
+                self.lanes.push(next);
+                self.cursors.push(0);
+                self.stats.admitted += 1;
+                if self.admission.deadline_steps.is_some_and(|d| step > d) {
+                    self.stats.deadline_missed += 1;
+                }
+            }
+            // Overload shedding: cap the backlog that survived admission.
+            while parked.len() > self.admission.queue_depth {
+                let victim = match self.admission.shed {
+                    ShedPolicy::RejectNew => parked.pop_back(),
+                    ShedPolicy::DropOldest => parked.pop_front(),
+                };
+                debug_assert!(victim.is_some());
+                self.stats.shed += 1;
             }
             let b = self.lanes.len();
             if b == 0 {
@@ -697,32 +784,72 @@ impl<'a> BatchedSession<'a> {
                 }
             }
             // One weight pass carries all lanes one frame forward.
-            self.net.forward_frame_batch(
-                self.exec,
-                &mut self.xs,
-                b,
-                &mut self.states,
-                &mut self.scratch,
-                &mut self.hs_next,
-                &mut self.logits,
-            );
-            // Scatter logits back per stream and advance cursors.
+            self.net
+                .forward_frame_batch(
+                    self.exec,
+                    &mut self.xs,
+                    b,
+                    &mut self.states,
+                    &mut self.scratch,
+                    &mut self.hs_next,
+                    &mut self.logits,
+                )
+                .expect("batched frame dims validated at admission");
+            self.stats.frames += 1;
+            // Health scan: check each lane's layer states and logits. Lanes
+            // are arithmetically independent, so a fault in lane j implies
+            // nothing about lane k — only faulty lanes are condemned.
+            condemned.clear();
+            condemned.resize(b, false);
+            if self.health.scans() {
+                for (j, lane_condemned) in condemned.iter_mut().enumerate() {
+                    let fault = self
+                        .states
+                        .iter()
+                        .find_map(|plane| crate::health::scan_lane(plane, b, j))
+                        .or_else(|| crate::health::scan_lane(&self.logits, b, j));
+                    if let Some(fault) = fault {
+                        self.faults.push(StreamFault {
+                            stream: self.lanes[j],
+                            frame: self.cursors[j],
+                            fault,
+                        });
+                        if self.health == HealthPolicy::Quarantine {
+                            *lane_condemned = true;
+                            self.stats.quarantined += 1;
+                        }
+                    }
+                }
+            }
+            // Scatter logits back per stream and advance cursors; a
+            // condemned lane's faulty frame produces no logits.
             for (j, (&s, c)) in self.lanes.iter().zip(self.cursors.iter_mut()).enumerate() {
+                if condemned[j] {
+                    continue;
+                }
                 let row: Vec<f32> = (0..classes).map(|k| self.logits[k * b + j]).collect();
                 out[s].push(row);
                 *c += 1;
             }
-            // Retire exhausted streams, compacting lane buffers.
+            // Retire quarantined and exhausted streams, compacting lane
+            // buffers (pure data movement: surviving lanes keep their bit
+            // patterns).
             for j in (0..self.lanes.len()).rev() {
-                if self.cursors[j] == streams[self.lanes[j]].as_ref().len() {
+                let done = self.cursors[j] == streams[self.lanes[j]].as_ref().len();
+                if condemned[j] || done {
                     let nb = self.lanes.len();
                     for state in &mut self.states {
                         remove_lane(state, nb, j);
                     }
                     self.lanes.remove(j);
                     self.cursors.remove(j);
+                    condemned.remove(j);
+                    if done {
+                        self.stats.completed += 1;
+                    }
                 }
             }
+            step += 1;
         }
         out
     }
@@ -969,6 +1096,124 @@ mod tests {
         assert_eq!(out[1], compiled.forward(&frames()));
         // predict mirrors run.
         assert_eq!(session.predict(&streams)[1], compiled.predict(&frames()));
+    }
+
+    #[test]
+    fn shedding_bounds_backlog_and_counts() {
+        let net = net();
+        let compiled = CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F32).unwrap();
+        let exec = rtm_exec::Executor::new(1);
+        let streams: Vec<Vec<Vec<f32>>> = (0..6).map(|_| frames()).collect();
+        let serial = compiled.forward(&frames());
+
+        // Capacity 2, backlog capped at 1: the first two streams take the
+        // lanes, one parks, the rest shed. RejectNew sacrifices the newest.
+        let mut session = BatchedSession::new(&compiled, &exec, 2).with_admission(
+            crate::serve::AdmissionConfig::default()
+                .with_queue_depth(1)
+                .with_shed(crate::serve::ShedPolicy::RejectNew),
+        );
+        let out = session.run(&streams);
+        let stats = session.stats();
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.shed, 3);
+        assert_eq!(stats.completed, 3);
+        for (i, o) in out.iter().enumerate() {
+            if i < 3 {
+                assert_eq!(o, &serial, "served stream {i} bit-identical");
+            } else {
+                assert!(o.is_empty(), "shed stream {i} yields nothing");
+            }
+        }
+
+        // DropOldest sacrifices the head of the queue instead: streams
+        // 2, 3, 4 are dropped and the freshest arrival (5) is served.
+        let mut session = BatchedSession::new(&compiled, &exec, 2).with_admission(
+            crate::serve::AdmissionConfig::default()
+                .with_queue_depth(1)
+                .with_shed(crate::serve::ShedPolicy::DropOldest),
+        );
+        let out = session.run(&streams);
+        assert_eq!(session.stats().shed, 3);
+        for (i, o) in out.iter().enumerate() {
+            if [0usize, 1, 5].contains(&i) {
+                assert_eq!(o, &serial, "served stream {i}");
+            } else {
+                assert!(o.is_empty(), "dropped stream {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_misses_are_counted_not_hidden() {
+        let net = net();
+        let compiled = CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F32).unwrap();
+        let exec = rtm_exec::Executor::new(1);
+        let mk = |len: usize| -> Vec<Vec<f32>> { frames().into_iter().take(len).collect() };
+        let streams = [mk(5), mk(3), mk(2)];
+        // Capacity 1: stream 1 waits 5 steps, stream 2 waits 8 — both past
+        // a 4-step budget. Everything is still served in full.
+        let mut session = BatchedSession::new(&compiled, &exec, 1)
+            .with_admission(crate::serve::AdmissionConfig::default().with_deadline_steps(4));
+        let out = session.run(&streams);
+        let stats = session.stats();
+        assert_eq!(stats.deadline_missed, 2);
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.frames, 10);
+        for (o, s) in out.iter().zip(&streams) {
+            assert_eq!(o.len(), s.len());
+        }
+    }
+
+    #[test]
+    fn check_policy_records_faults_but_keeps_serving() {
+        let net = net();
+        let compiled = CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F32).unwrap();
+        let exec = rtm_exec::Executor::new(2);
+        let mut streams: Vec<Vec<Vec<f32>>> = (0..3).map(|_| frames()).collect();
+        streams[1][4][2] = f32::NAN;
+        let serial = compiled.forward(&frames());
+        let mut session = BatchedSession::new(&compiled, &exec, 3)
+            .with_health(crate::health::HealthPolicy::Check);
+        let out = session.run(&streams);
+        let stats = session.stats();
+        assert_eq!(stats.quarantined, 0, "check never retires");
+        assert!(!session.faults().is_empty());
+        assert_eq!(session.faults()[0].stream, 1);
+        assert_eq!(session.faults()[0].frame, 4);
+        // Every frame of every stream was served; the healthy streams stay
+        // bit-identical to serial.
+        assert_eq!(out[0], serial);
+        assert_eq!(out[2], serial);
+        assert_eq!(out[1].len(), streams[1].len());
+    }
+
+    #[test]
+    fn quarantine_retires_only_the_faulty_lane() {
+        let net = net();
+        let compiled = CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F32).unwrap();
+        let exec = rtm_exec::Executor::new(2);
+        let mut streams: Vec<Vec<Vec<f32>>> = (0..3).map(|_| frames()).collect();
+        streams[1][2][0] = f32::NAN;
+        let serial = compiled.forward(&frames());
+        let mut session = BatchedSession::new(&compiled, &exec, 3)
+            .with_health(crate::health::HealthPolicy::Quarantine);
+        let out = session.run(&streams);
+        let stats = session.stats();
+        assert_eq!(stats.quarantined, 1);
+        assert_eq!(stats.admitted, 3);
+        assert_eq!(stats.completed, 2, "the quarantined stream never completes");
+        // The poisoned stream's logits stop at its last healthy frame.
+        assert_eq!(out[1].len(), 2);
+        assert_eq!(out[1], serial[..2].to_vec());
+        // The surviving lanes are bit-identical to serial end to end.
+        assert_eq!(out[0], serial);
+        assert_eq!(out[2], serial);
+        assert_eq!(session.faults().len(), 1);
+        assert_eq!(session.faults()[0].stream, 1);
+        assert_eq!(session.faults()[0].frame, 2);
     }
 
     #[test]

@@ -1,0 +1,196 @@
+//! Numerical-health guards for the serving runtime.
+//!
+//! A single NaN sample in one stream must not corrupt a whole batch: the
+//! lane-major batched kernels keep lanes arithmetically independent, so a
+//! poisoned lane's garbage never *mixes* into its neighbours — but without a
+//! detector the poisoned stream keeps producing garbage logits forever, and
+//! a NaN that reaches a shipped decoder is a silent wrong answer.
+//! [`HealthPolicy`] is the knob (DESIGN.md §10): `Off` trusts the input,
+//! `Check` detects and records, `Quarantine` detects and retires the
+//! offending lane while every other lane stays bit-identical to serial.
+//!
+//! The same policy optionally hardens model *loading*: with a policy other
+//! than `Off`, [`crate::model_file::from_bytes_with`] rejects weight files
+//! carrying non-finite values.
+//!
+//! Mirrors the `RTM_SIMD` pattern: programmatic configuration wins, the
+//! `RTM_HEALTH` environment variable is the deployment-side default.
+
+use std::fmt;
+
+/// What the runtime does about numerically broken activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HealthPolicy {
+    /// No scanning: maximum throughput, garbage in → garbage out.
+    #[default]
+    Off,
+    /// Scan layer outputs every frame and record faults, but keep serving
+    /// the faulty lane (useful for observability without behaviour change).
+    Check,
+    /// Scan layer outputs every frame and retire a faulty lane immediately:
+    /// its faulty frame produces no logits, its remaining frames are
+    /// dropped, and the surviving lanes stay bit-identical to serial.
+    Quarantine,
+}
+
+/// The saturation threshold of the health scan: the largest finite IEEE
+/// binary16 value. The deployed GPU datapath is f16, so any activation
+/// beyond this magnitude has already left the representable range of the
+/// shipped numerics even if the f32 host value is still finite.
+pub const SATURATION_LIMIT: f32 = 65504.0;
+
+/// Parses an `RTM_HEALTH` value (or a `--health` CLI flag). Recognized:
+/// `off`, `check`, `quarantine` (case-insensitive).
+pub fn parse_policy(s: &str) -> Option<HealthPolicy> {
+    match s.to_ascii_lowercase().as_str() {
+        "off" | "none" => Some(HealthPolicy::Off),
+        "check" => Some(HealthPolicy::Check),
+        "quarantine" => Some(HealthPolicy::Quarantine),
+        _ => None,
+    }
+}
+
+/// The deployment-side default policy: `RTM_HEALTH` if set and parseable,
+/// otherwise [`HealthPolicy::Off`].
+pub fn policy_from_env() -> HealthPolicy {
+    std::env::var("RTM_HEALTH")
+        .ok()
+        .as_deref()
+        .and_then(parse_policy)
+        .unwrap_or_default()
+}
+
+impl fmt::Display for HealthPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HealthPolicy::Off => write!(f, "off"),
+            HealthPolicy::Check => write!(f, "check"),
+            HealthPolicy::Quarantine => write!(f, "quarantine"),
+        }
+    }
+}
+
+impl HealthPolicy {
+    /// Whether this policy scans activations at all.
+    pub fn scans(&self) -> bool {
+        !matches!(self, HealthPolicy::Off)
+    }
+}
+
+/// The fault classes the health scan distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumericFault {
+    /// A NaN sample (poisons everything it touches).
+    NaN,
+    /// An infinite sample (overflowed arithmetic).
+    Inf,
+    /// Finite but beyond [`SATURATION_LIMIT`]: out of the shipped f16
+    /// datapath's range.
+    Saturated,
+}
+
+impl fmt::Display for NumericFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericFault::NaN => write!(f, "NaN"),
+            NumericFault::Inf => write!(f, "Inf"),
+            NumericFault::Saturated => write!(f, "saturated"),
+        }
+    }
+}
+
+/// Classifies one sample; `None` means healthy.
+#[inline]
+pub fn classify(v: f32) -> Option<NumericFault> {
+    if v.is_nan() {
+        Some(NumericFault::NaN)
+    } else if v.is_infinite() {
+        Some(NumericFault::Inf)
+    } else if v.abs() > SATURATION_LIMIT {
+        Some(NumericFault::Saturated)
+    } else {
+        None
+    }
+}
+
+/// Scans a buffer serially, returning the first fault found.
+pub fn scan(buf: &[f32]) -> Option<NumericFault> {
+    buf.iter().copied().find_map(classify)
+}
+
+/// Scans lane `lane` of a lane-major `[rows × width]` buffer, returning the
+/// first fault in that lane. Other lanes are not read — the scan itself
+/// respects lane isolation.
+///
+/// # Panics
+///
+/// Panics if `lane >= width` (a scheduler bug, not an input fault).
+pub fn scan_lane(buf: &[f32], width: usize, lane: usize) -> Option<NumericFault> {
+    assert!(lane < width, "scan_lane: lane {lane} out of {width}");
+    buf[lane..]
+        .iter()
+        .step_by(width)
+        .copied()
+        .find_map(classify)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_distinguishes_fault_classes() {
+        assert_eq!(classify(0.0), None);
+        assert_eq!(classify(-65504.0), None);
+        assert_eq!(classify(65504.0), None);
+        assert_eq!(classify(f32::NAN), Some(NumericFault::NaN));
+        assert_eq!(classify(f32::INFINITY), Some(NumericFault::Inf));
+        assert_eq!(classify(f32::NEG_INFINITY), Some(NumericFault::Inf));
+        assert_eq!(classify(65505.0), Some(NumericFault::Saturated));
+        assert_eq!(classify(-1.0e6), Some(NumericFault::Saturated));
+    }
+
+    #[test]
+    fn scan_finds_first_fault() {
+        assert_eq!(scan(&[1.0, 2.0, 3.0]), None);
+        assert_eq!(scan(&[]), None);
+        assert_eq!(
+            scan(&[1.0, f32::INFINITY, f32::NAN]),
+            Some(NumericFault::Inf)
+        );
+    }
+
+    #[test]
+    fn scan_lane_isolates_lanes() {
+        // 3 rows × 4 lanes, NaN only in lane 2.
+        let mut buf = vec![0.5f32; 12];
+        buf[4 + 2] = f32::NAN;
+        for lane in 0..4 {
+            let expect = if lane == 2 {
+                Some(NumericFault::NaN)
+            } else {
+                None
+            };
+            assert_eq!(scan_lane(&buf, 4, lane), expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn policy_parses_and_displays() {
+        assert_eq!(parse_policy("off"), Some(HealthPolicy::Off));
+        assert_eq!(parse_policy("CHECK"), Some(HealthPolicy::Check));
+        assert_eq!(parse_policy("quarantine"), Some(HealthPolicy::Quarantine));
+        assert_eq!(parse_policy("nope"), None);
+        assert_eq!(HealthPolicy::Quarantine.to_string(), "quarantine");
+        assert_eq!(HealthPolicy::default(), HealthPolicy::Off);
+        assert!(!HealthPolicy::Off.scans());
+        assert!(HealthPolicy::Check.scans());
+        assert!(HealthPolicy::Quarantine.scans());
+    }
+
+    #[test]
+    #[should_panic(expected = "scan_lane")]
+    fn scan_lane_rejects_out_of_range_lane() {
+        scan_lane(&[0.0; 4], 2, 2);
+    }
+}

@@ -30,10 +30,14 @@
 //! ```
 
 pub mod deploy;
+pub mod health;
 pub mod model_file;
 pub mod pipeline;
 pub mod report;
+pub mod serve;
 
 pub use deploy::{BatchedSession, CompiledNetwork, FusedGruLayer, GruRuntimeScratch};
+pub use health::HealthPolicy;
 pub use pipeline::RtMobile;
 pub use report::PipelineReport;
+pub use serve::{AdmissionConfig, ServeStats, ShedPolicy, StreamFault};

@@ -76,6 +76,40 @@ pub fn to_bytes(net: &CompiledNetwork) -> Vec<u8> {
     out
 }
 
+/// [`from_bytes`] plus optional load-time weight validation.
+///
+/// With any scanning [`HealthPolicy`](crate::health::HealthPolicy)
+/// (`Check` or `Quarantine`) the decoded weights and biases must all be
+/// finite — a corrupted or adversarial model file carrying NaN/Inf weights
+/// is rejected at the door instead of poisoning every stream it serves.
+/// [`HealthPolicy::Off`](crate::health::HealthPolicy::Off) skips the scan
+/// and behaves exactly like [`from_bytes`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError::NonFinite`] when validation is on and any weight
+/// is NaN or infinite, and every [`from_bytes`] error otherwise.
+pub fn from_bytes_with(
+    bytes: &[u8],
+    policy: crate::health::HealthPolicy,
+) -> Result<CompiledNetwork, DecodeError> {
+    let net = from_bytes(bytes)?;
+    if policy.scans() {
+        let finite = |vals: &[f32]| vals.iter().all(|v| v.is_finite());
+        let healthy = net.layers.iter().all(|l| {
+            [&l.w_z, &l.u_z, &l.w_r, &l.u_r, &l.w_n, &l.u_n]
+                .iter()
+                .all(|m| finite(m.values()))
+                && [&l.b_z, &l.b_r, &l.b_n].iter().all(|b| finite(b))
+        }) && finite(net.head_w.as_slice())
+            && finite(&net.head_b);
+        if !healthy {
+            return Err(DecodeError::NonFinite);
+        }
+    }
+    Ok(net)
+}
+
 /// Deserializes a compiled network from `.rtm` bytes.
 ///
 /// # Errors
@@ -266,6 +300,26 @@ mod tests {
             from_bytes(&bytes).unwrap_err(),
             DecodeError::BadVersion(_)
         ));
+    }
+
+    #[test]
+    fn load_time_validation_rejects_non_finite_weights() {
+        use crate::health::HealthPolicy;
+        let mut net = compiled(RuntimePrecision::F32);
+        let good = to_bytes(&net);
+        assert!(from_bytes_with(&good, HealthPolicy::Quarantine).is_ok());
+        net.head_b[0] = f32::NAN;
+        let bad = to_bytes(&net);
+        // Off trusts the file; any scanning policy rejects it.
+        assert!(from_bytes_with(&bad, HealthPolicy::Off).is_ok());
+        assert_eq!(
+            from_bytes_with(&bad, HealthPolicy::Check).unwrap_err(),
+            DecodeError::NonFinite
+        );
+        assert_eq!(
+            from_bytes_with(&bad, HealthPolicy::Quarantine).unwrap_err(),
+            DecodeError::NonFinite
+        );
     }
 
     #[test]

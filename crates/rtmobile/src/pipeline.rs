@@ -43,6 +43,7 @@ pub struct RtMobile {
     threads: usize,
     batch: usize,
     simd: Option<rtm_tensor::simd::SimdPolicy>,
+    health: Option<crate::health::HealthPolicy>,
 }
 
 impl RtMobile {
@@ -69,6 +70,7 @@ impl RtMobile {
             threads: 1,
             batch: 1,
             simd: None,
+            health: None,
         }
     }
 
@@ -168,6 +170,18 @@ impl RtMobile {
         self
     }
 
+    /// Numerical-health policy of the batched scoring pass (see
+    /// [`crate::health::HealthPolicy`]): `Off` trusts the data, `Check`
+    /// records faults, `Quarantine` retires a faulty lane while every other
+    /// lane stays bit-identical to serial. When this knob is not set, the
+    /// `RTM_HEALTH` environment variable decides (default `Off`). The
+    /// synthetic corpus is finite, so on a healthy run this never changes
+    /// any reported number — it only adds the scan.
+    pub fn health(mut self, policy: crate::health::HealthPolicy) -> RtMobile {
+        self.health = Some(policy);
+        self
+    }
+
     /// Executes the pipeline.
     ///
     /// # Panics
@@ -214,6 +228,8 @@ impl RtMobile {
             CompiledNetwork::compile(&net, self.stripes, self.blocks, RuntimePrecision::F16)
                 .expect("partition validated by BSP config");
         let exec = rtm_exec::Executor::new(self.threads);
+        let health = self.health.unwrap_or_else(crate::health::policy_from_env);
+        let mut serve = None;
         let mut f16_report = PerReport::default();
         if self.batch > 1 {
             // Multi-stream scoring: up to `batch` utterances share each
@@ -221,10 +237,12 @@ impl RtMobile {
             let utterances = task.test_utterances();
             let streams: Vec<&[Vec<f32>]> =
                 utterances.iter().map(|u| u.frames.as_slice()).collect();
-            let mut session = crate::deploy::BatchedSession::new(&compiled_f16, &exec, self.batch);
+            let mut session = crate::deploy::BatchedSession::new(&compiled_f16, &exec, self.batch)
+                .with_health(health);
             for (u, preds) in utterances.iter().zip(session.predict(&streams)) {
                 f16_report.add(&preds, &u.labels, &u.phones);
             }
+            serve = Some(session.stats());
         } else {
             for u in task.test_utterances() {
                 let preds = compiled_f16.predict_with(&exec, &u.frames);
@@ -285,6 +303,7 @@ impl RtMobile {
                 cpu,
                 storage_bytes_f16: compiled_f16.storage_bytes(),
             },
+            serve,
         };
         (report, net, compiled_f16)
     }

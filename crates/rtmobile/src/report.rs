@@ -1,5 +1,6 @@
 //! Pipeline reports with Table-I/Table-II style rendering.
 
+use crate::serve::ServeStats;
 use rtm_pruning::schedule::CompressionTarget;
 use rtm_sim::FrameReport;
 use std::fmt::Write as _;
@@ -56,6 +57,9 @@ pub struct PipelineReport {
     pub accuracy: AccuracyReport,
     /// Simulated performance results.
     pub performance: PerformanceReport,
+    /// Serving counters of the batched scoring pass (`None` when scoring
+    /// ran serially, i.e. `batch == 1`).
+    pub serve: Option<ServeStats>,
 }
 
 impl PipelineReport {
@@ -106,6 +110,14 @@ impl PipelineReport {
             "  model storage (BSPC, f16): {:.1} KiB",
             p.storage_bytes_f16 as f64 / 1024.0
         );
+        if let Some(v) = &self.serve {
+            let _ = writeln!(
+                s,
+                "  serving: {} admitted, {} completed, {} shed, {} quarantined, \
+                 {} deadline-missed over {} batched frames",
+                v.admitted, v.completed, v.shed, v.quarantined, v.deadline_missed, v.frames
+            );
+        }
         s
     }
 }
@@ -146,6 +158,7 @@ mod tests {
                 cpu: dummy_frame(),
                 storage_bytes_f16: 2048,
             },
+            serve: None,
         }
     }
 
@@ -164,5 +177,19 @@ mod tests {
         assert!(text.contains("10.0x compression"));
         assert!(text.contains("31.70x ESE"));
         assert!(text.contains("2.0 KiB"));
+        assert!(!text.contains("serving:"));
+        let mut r = dummy();
+        r.serve = Some(ServeStats {
+            admitted: 5,
+            shed: 2,
+            quarantined: 1,
+            deadline_missed: 0,
+            frames: 40,
+            completed: 4,
+        });
+        let text = r.render();
+        assert!(text.contains("5 admitted"));
+        assert!(text.contains("2 shed"));
+        assert!(text.contains("1 quarantined"));
     }
 }

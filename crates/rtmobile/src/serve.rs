@@ -1,0 +1,131 @@
+//! Admission control and serving statistics for the batched runtime.
+//!
+//! The ROADMAP's serving contract is *sustained* faster-than-realtime
+//! operation, which breaks the moment offered load exceeds capacity: an
+//! unbounded backlog grows without bound and every stream's latency with
+//! it. [`AdmissionConfig`] bounds the backlog — excess streams are shed
+//! under a [`ShedPolicy`] instead of queued forever — and budgets a
+//! per-stream admission deadline so late service is *counted*, not hidden.
+//! [`ServeStats`] is the observable: every admission, shed, quarantine and
+//! deadline miss of a [`crate::deploy::BatchedSession`] run shows up here.
+//!
+//! The shed policies are shared with the analytical simulator
+//! ([`rtm_sim::streaming::run_streams_shed`](rtm_sim::streaming::StreamingSim::run_streams_shed)),
+//! so a deployment can price a policy in the sim and then enforce the same
+//! one in the runtime.
+
+use crate::health::NumericFault;
+
+pub use rtm_sim::streaming::ShedPolicy;
+
+/// Bounds on what a [`crate::deploy::BatchedSession`] run will accept.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum streams parked awaiting a lane at any scheduling round;
+    /// beyond it the excess is shed under [`AdmissionConfig::shed`].
+    /// `usize::MAX` (the default) never sheds.
+    pub queue_depth: usize,
+    /// Admission deadline in batched steps: a stream first admitted after
+    /// more than this many steps have run counts as a deadline miss (it is
+    /// still served — the counter is the observable, shedding is the
+    /// remedy). `None` (the default) disables the accounting.
+    pub deadline_steps: Option<usize>,
+    /// Which streams are sacrificed when the queue bound is hit.
+    pub shed: ShedPolicy,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> AdmissionConfig {
+        AdmissionConfig {
+            queue_depth: usize::MAX,
+            deadline_steps: None,
+            shed: ShedPolicy::RejectNew,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// An unbounded config (never sheds, never counts misses) — the
+    /// behaviour of a session with no admission control.
+    pub fn unbounded() -> AdmissionConfig {
+        AdmissionConfig::default()
+    }
+
+    /// Bounds the parked backlog at `depth` streams.
+    pub fn with_queue_depth(mut self, depth: usize) -> AdmissionConfig {
+        self.queue_depth = depth;
+        self
+    }
+
+    /// Sets the admission deadline budget in batched steps.
+    pub fn with_deadline_steps(mut self, steps: usize) -> AdmissionConfig {
+        self.deadline_steps = Some(steps);
+        self
+    }
+
+    /// Picks the shed policy.
+    pub fn with_shed(mut self, shed: ShedPolicy) -> AdmissionConfig {
+        self.shed = shed;
+        self
+    }
+}
+
+/// Counters from one batched serving run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeStats {
+    /// Streams admitted to a lane.
+    pub admitted: usize,
+    /// Streams shed by admission control (they produce no logits).
+    pub shed: usize,
+    /// Lanes retired by the health policy mid-stream.
+    pub quarantined: usize,
+    /// Streams admitted after their deadline budget had elapsed.
+    pub deadline_missed: usize,
+    /// Batched frames executed (scheduling steps).
+    pub frames: usize,
+    /// Streams that ran to completion (all frames produced logits).
+    pub completed: usize,
+}
+
+/// One numeric fault observed by the health scan, attributed to its stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamFault {
+    /// Index of the stream in the caller's list.
+    pub stream: usize,
+    /// Frame index within the stream at which the fault surfaced.
+    pub frame: usize,
+    /// What the scan saw.
+    pub fault: NumericFault,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_admission_is_unbounded() {
+        let c = AdmissionConfig::default();
+        assert_eq!(c.queue_depth, usize::MAX);
+        assert_eq!(c.deadline_steps, None);
+        assert_eq!(c.shed, ShedPolicy::RejectNew);
+        assert_eq!(c, AdmissionConfig::unbounded());
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let c = AdmissionConfig::default()
+            .with_queue_depth(3)
+            .with_deadline_steps(10)
+            .with_shed(ShedPolicy::DropOldest);
+        assert_eq!(c.queue_depth, 3);
+        assert_eq!(c.deadline_steps, Some(10));
+        assert_eq!(c.shed, ShedPolicy::DropOldest);
+    }
+
+    #[test]
+    fn stats_start_at_zero() {
+        let s = ServeStats::default();
+        assert_eq!(s.admitted + s.shed + s.quarantined, 0);
+        assert_eq!(s.deadline_missed + s.frames + s.completed, 0);
+    }
+}

@@ -1,0 +1,247 @@
+//! Deterministic fault-injection harness for the robustness test suite.
+//!
+//! The serving contract (DESIGN.md §10) promises containment under four
+//! fault classes: kernel panics, numerically poisoned frames, slow workers,
+//! and corrupted model bytes. [`FaultInjector`] manufactures each of them
+//! *reproducibly* — it is a thin, seeded layer over the vendored
+//! [`rtm_tensor::rng::StdRng`], so a failing fault-suite run can be replayed
+//! from its seed with zero registry dependencies. The harness produces
+//! faults; it never observes recovery — that is what
+//! `tests/fault_injection.rs` asserts against the runtime crates.
+
+use rtm_tensor::rng::StdRng;
+
+/// The fault classes the serving runtime must contain (DESIGN.md §10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// A kernel task panics mid-batch (contained by the worker pool).
+    KernelPanic,
+    /// An input frame carries NaN/Inf/saturated samples (quarantined by the
+    /// health policy).
+    NanFrame,
+    /// A worker is artificially slowed, stressing deadline accounting.
+    SlowWorker,
+    /// Model bytes are truncated or bit-flipped (rejected by the decoder).
+    TruncatedModel,
+}
+
+/// The three poison values a [`FaultInjector::poison_frame`] can plant,
+/// matching the detector classes of the health scan.
+const POISONS: [f32; 3] = [f32::NAN, f32::INFINITY, 1.0e6];
+
+/// Seeded source of injected faults.
+///
+/// Every method is deterministic in the seed and the call sequence, so any
+/// fault-suite failure reproduces exactly from `FaultInjector::new(seed)`.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    rng: StdRng,
+    seed: u64,
+    injected: usize,
+}
+
+impl FaultInjector {
+    /// A harness whose entire fault schedule is a pure function of `seed`.
+    pub fn new(seed: u64) -> FaultInjector {
+        FaultInjector {
+            rng: StdRng::seed_from_u64(seed),
+            seed,
+            injected: 0,
+        }
+    }
+
+    /// The seed this harness was built from (for failure reports).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// How many faults this harness has injected so far.
+    pub fn injected(&self) -> usize {
+        self.injected
+    }
+
+    /// Bernoulli trial: true with probability `p` (clamped to `[0, 1]`).
+    pub fn fire(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0) as f32;
+        self.rng.gen_f32() < p
+    }
+
+    /// Uniform index in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0, "pick: empty range");
+        self.rng.gen_range(0..n)
+    }
+
+    /// Poisons one sample of `frame` with a NaN, Inf, or saturated value
+    /// (rotating through the three detector classes), returning the index
+    /// and the value planted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` is empty.
+    pub fn poison_frame(&mut self, frame: &mut [f32]) -> (usize, f32) {
+        assert!(!frame.is_empty(), "poison_frame: empty frame");
+        let at = self.pick(frame.len());
+        let poison = POISONS[self.injected % POISONS.len()];
+        frame[at] = poison;
+        self.injected += 1;
+        (at, poison)
+    }
+
+    /// Poisons lane `lane` of a lane-major batch (`width` lanes per row):
+    /// one sample belonging to that lane gets a NaN. Returns the flat index
+    /// poisoned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lane >= width` or the batch holds no full row.
+    pub fn poison_lane(&mut self, batch: &mut [f32], width: usize, lane: usize) -> usize {
+        assert!(lane < width, "poison_lane: lane {lane} out of {width}");
+        let rows = batch.len() / width;
+        assert!(rows > 0, "poison_lane: batch holds no full row");
+        let row = self.pick(rows);
+        let at = row * width + lane;
+        batch[at] = f32::NAN;
+        self.injected += 1;
+        at
+    }
+
+    /// Flips one random bit of `bytes`, returning `(byte index, bit)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is empty.
+    pub fn flip_bit(&mut self, bytes: &mut [u8]) -> (usize, u8) {
+        assert!(!bytes.is_empty(), "flip_bit: empty buffer");
+        let at = self.pick(bytes.len());
+        let bit = (self.rng.next_u32() % 8) as u8;
+        bytes[at] ^= 1 << bit;
+        self.injected += 1;
+        (at, bit)
+    }
+
+    /// Picks a truncation point strictly inside `len` (so the result is a
+    /// genuinely short buffer, never the full one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn truncate_at(&mut self, len: usize) -> usize {
+        assert!(len > 0, "truncate_at: empty buffer");
+        let at = self.pick(len);
+        self.injected += 1;
+        at
+    }
+
+    /// Burns roughly `us` microseconds of wall clock on the calling thread
+    /// (a busy loop, so a "slow worker" stays on-CPU like a real stalled
+    /// kernel rather than yielding). Used to stress deadline accounting.
+    pub fn busy_wait_us(&mut self, us: u64) {
+        self.injected += 1;
+        let start = std::time::Instant::now();
+        while start.elapsed() < std::time::Duration::from_micros(us) {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = FaultInjector::new(7);
+        let mut b = FaultInjector::new(7);
+        let mut fa = vec![1.0f32; 64];
+        let mut fb = vec![1.0f32; 64];
+        for _ in 0..10 {
+            assert_eq!(a.fire(0.3), b.fire(0.3));
+            let (ia, pa) = a.poison_frame(&mut fa);
+            let (ib, pb) = b.poison_frame(&mut fb);
+            // Compare bit patterns: the planted poison may be NaN.
+            assert_eq!((ia, pa.to_bits()), (ib, pb.to_bits()));
+        }
+        assert_eq!(
+            fa.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+            fb.iter().map(|x| x.to_bits()).collect::<Vec<_>>()
+        );
+        assert_eq!(a.injected(), 10);
+        assert_eq!(a.seed(), 7);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultInjector::new(1);
+        let mut b = FaultInjector::new(2);
+        let same = (0..64).filter(|_| a.pick(1000) == b.pick(1000)).count();
+        assert!(same < 16, "seeds should decorrelate ({same}/64 collisions)");
+    }
+
+    #[test]
+    fn poison_rotates_through_detector_classes() {
+        let mut inj = FaultInjector::new(3);
+        let mut frame = vec![0.0f32; 8];
+        let (_, p0) = inj.poison_frame(&mut frame);
+        let (_, p1) = inj.poison_frame(&mut frame);
+        let (_, p2) = inj.poison_frame(&mut frame);
+        assert!(p0.is_nan());
+        assert!(p1.is_infinite());
+        assert!(p2.is_finite() && p2.abs() > 1.0e5);
+    }
+
+    #[test]
+    fn poison_lane_stays_in_lane() {
+        let mut inj = FaultInjector::new(11);
+        let width = 8;
+        for lane in 0..width {
+            let mut batch = vec![0.0f32; 4 * width];
+            let at = inj.poison_lane(&mut batch, width, lane);
+            assert_eq!(at % width, lane);
+            assert!(batch[at].is_nan());
+            // No other lane was touched.
+            for (i, &v) in batch.iter().enumerate() {
+                if i % width != lane {
+                    assert_eq!(v.to_bits(), 0.0f32.to_bits(), "lane bleed at {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        let mut inj = FaultInjector::new(5);
+        for _ in 0..50 {
+            let orig = vec![0xA5u8; 32];
+            let mut mutated = orig.clone();
+            let (at, bit) = inj.flip_bit(&mut mutated);
+            assert_eq!(mutated[at] ^ orig[at], 1 << bit);
+            let diff: u32 = orig
+                .iter()
+                .zip(&mutated)
+                .map(|(a, b)| (a ^ b).count_ones())
+                .sum();
+            assert_eq!(diff, 1);
+        }
+    }
+
+    #[test]
+    fn truncate_is_strictly_short() {
+        let mut inj = FaultInjector::new(9);
+        for _ in 0..100 {
+            let at = inj.truncate_at(64);
+            assert!(at < 64);
+        }
+    }
+
+    #[test]
+    fn fire_respects_extremes() {
+        let mut inj = FaultInjector::new(1);
+        assert!(!(0..100).any(|_| inj.fire(0.0)));
+        assert!((0..100).all(|_| inj.fire(1.0)));
+    }
+}

@@ -43,6 +43,7 @@
 
 pub mod device;
 pub mod ese;
+pub mod faults;
 pub mod frame;
 pub mod realtime;
 pub mod sensitivity;

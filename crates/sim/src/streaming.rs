@@ -51,6 +51,66 @@ pub struct MultiStreamReport {
     pub batch_speedup: f64,
 }
 
+/// What an overloaded server does with work it cannot serve in time.
+///
+/// Mirrors the runtime's `AdmissionConfig` in `rtmobile`: the sim prices the
+/// policy analytically so a deployment can pick a shed policy before ever
+/// running the real scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Arrivals beyond capacity are rejected at the door; admitted streams
+    /// keep their full history (freshest work is sacrificed).
+    #[default]
+    RejectNew,
+    /// The oldest queued streams are dropped to make room; the server always
+    /// works on the freshest arrivals (stalest work is sacrificed).
+    DropOldest,
+}
+
+impl ShedPolicy {
+    /// Parses a shed policy name (`reject-new` / `drop-oldest`).
+    pub fn parse(s: &str) -> Option<ShedPolicy> {
+        match s {
+            "reject-new" | "reject" => Some(ShedPolicy::RejectNew),
+            "drop-oldest" | "drop" => Some(ShedPolicy::DropOldest),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for ShedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedPolicy::RejectNew => write!(f, "reject-new"),
+            ShedPolicy::DropOldest => write!(f, "drop-oldest"),
+        }
+    }
+}
+
+/// An overload run: `offered` streams per round arrive at a server whose
+/// batch capacity is `capacity`, with the excess shed under a [`ShedPolicy`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShedReport {
+    /// Streams offered per round.
+    pub offered: usize,
+    /// Maximum lanes the server batches per round.
+    pub capacity: usize,
+    /// Streams actually served per round (`min(offered, capacity)`).
+    pub served: usize,
+    /// Streams shed per round (`offered - served`).
+    pub shed_per_round: usize,
+    /// The policy deciding *which* streams are shed.
+    pub policy: ShedPolicy,
+    /// Queueing behaviour of the capped (post-shed) batch.
+    pub batched: StreamingReport,
+    /// What one un-shed round (all `offered` lanes batched together) would
+    /// cost, microseconds — the service time shedding avoided.
+    pub unshed_service_us: f64,
+    /// Whether the un-shed batch would have kept up with the arrival period
+    /// (when false, shedding is what keeps the queue stable).
+    pub unshed_stable: bool,
+}
+
 /// Streams `num_frames` inference frames through one device.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StreamingSim {
@@ -123,6 +183,50 @@ impl StreamingSim {
             per_stream_service_us: batched_service / streams as f64,
             batch_speedup: single * streams as f64 / batched_service,
             batched,
+        }
+    }
+
+    /// Simulates overload: `offered` streams arrive each round but the
+    /// server only batches `capacity` lanes, shedding the rest under
+    /// `policy`. The report prices both sides of the trade — the capped
+    /// batch that actually runs (and whether its queue is stable) and the
+    /// un-shed batch that would have run without admission control (and
+    /// whether *it* would have been stable). When `offered <= capacity`
+    /// nothing is shed and the capped run equals a plain
+    /// [`StreamingSim::run_streams`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_frames == 0`, `offered == 0`, `capacity == 0` or the
+    /// plan is invalid.
+    pub fn run_streams_shed(
+        &self,
+        workload: &GruWorkload,
+        plan: &ExecutionPlan,
+        num_frames: usize,
+        offered: usize,
+        capacity: usize,
+        policy: ShedPolicy,
+    ) -> ShedReport {
+        assert!(offered > 0, "need at least one stream");
+        assert!(capacity > 0, "need at least one lane of capacity");
+        let served = offered.min(capacity);
+        let capped = self.inner.run_frame_batched(workload, plan, served).time_us;
+        let unshed = self
+            .inner
+            .run_frame_batched(workload, plan, offered)
+            .time_us;
+        let batched = self.queue(workload, capped, num_frames);
+        let period = batched.period_us;
+        ShedReport {
+            offered,
+            capacity,
+            served,
+            shed_per_round: offered - served,
+            policy,
+            batched,
+            unshed_service_us: unshed,
+            unshed_stable: unshed < period,
         }
     }
 
@@ -253,6 +357,60 @@ mod tests {
         let w = workload(10.0, 1.0);
         let plan = ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8);
         sim.run_streams(&w, &plan, 5, 0);
+    }
+
+    #[test]
+    fn shedding_restores_stability_under_overload() {
+        let sim = StreamingSim::new();
+        let w = workload(16.0, 2.0);
+        let plan = ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8);
+        // Find an offered load whose full batch overruns the period, then
+        // cap capacity at the widest stable batch.
+        let period = sim.run(&w, &plan, 2).period_us;
+        let mut offered = 2;
+        while sim.inner.run_frame_batched(&w, &plan, offered).time_us < period {
+            offered *= 2;
+        }
+        let mut capacity = offered;
+        while capacity > 1 && sim.inner.run_frame_batched(&w, &plan, capacity).time_us >= period {
+            capacity /= 2;
+        }
+        let r = sim.run_streams_shed(&w, &plan, 20, offered, capacity, ShedPolicy::RejectNew);
+        assert!(!r.unshed_stable, "offered load must overrun");
+        assert!(r.batched.stable, "capped batch must keep up");
+        assert_eq!(r.served, capacity);
+        assert_eq!(r.shed_per_round, offered - capacity);
+        assert!(r.unshed_service_us > r.batched.service_us);
+        // Stable: flat latency after shedding.
+        for &l in &r.batched.latencies_us {
+            assert!((l - r.batched.service_us).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_shedding_below_capacity_matches_plain_run() {
+        let sim = StreamingSim::new();
+        let w = workload(16.0, 2.0);
+        let plan = ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8);
+        let r = sim.run_streams_shed(&w, &plan, 10, 4, 8, ShedPolicy::DropOldest);
+        assert_eq!(r.shed_per_round, 0);
+        assert_eq!(r.served, 4);
+        assert_eq!(r.batched, sim.run_streams(&w, &plan, 10, 4).batched);
+        assert_eq!(r.policy, ShedPolicy::DropOldest);
+    }
+
+    #[test]
+    fn shed_policy_parses_and_displays() {
+        assert_eq!(ShedPolicy::parse("reject-new"), Some(ShedPolicy::RejectNew));
+        assert_eq!(
+            ShedPolicy::parse("drop-oldest"),
+            Some(ShedPolicy::DropOldest)
+        );
+        assert_eq!(ShedPolicy::parse("drop"), Some(ShedPolicy::DropOldest));
+        assert_eq!(ShedPolicy::parse("nope"), None);
+        assert_eq!(ShedPolicy::RejectNew.to_string(), "reject-new");
+        assert_eq!(ShedPolicy::DropOldest.to_string(), "drop-oldest");
+        assert_eq!(ShedPolicy::default(), ShedPolicy::RejectNew);
     }
 
     #[test]

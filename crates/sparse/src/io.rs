@@ -45,6 +45,9 @@ pub enum DecodeError {
     BadPrecision(u8),
     /// The decoded structure failed validation.
     Invalid(BspcError),
+    /// A decoded weight value is NaN or infinite (rejected when the caller
+    /// asks for load-time finiteness validation).
+    NonFinite,
 }
 
 impl fmt::Display for DecodeError {
@@ -55,6 +58,7 @@ impl fmt::Display for DecodeError {
             DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
             DecodeError::BadPrecision(p) => write!(f, "unknown precision tag {p}"),
             DecodeError::Invalid(e) => write!(f, "invalid structure: {e}"),
+            DecodeError::NonFinite => write!(f, "non-finite weight value"),
         }
     }
 }

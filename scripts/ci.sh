@@ -20,7 +20,13 @@ if [[ "$quick" -eq 0 ]]; then
   cargo build --release --workspace
 fi
 
-echo "==> cargo test -q"
+# The fault-injection suite's decoder fuzz runs 10k seeded mutations by
+# default; --quick trims it to 1k (same seeds, shorter schedule).
+if [[ "$quick" -eq 1 ]]; then
+  export RTM_FUZZ_ITERS=1000
+fi
+
+echo "==> cargo test -q (includes fault_injection + batched_contracts)"
 cargo test -q --workspace
 
 # Second pass with the SIMD dispatcher pinned to the scalar-u1 reference:
