@@ -24,13 +24,10 @@
 //!
 //! Dependency-free: std + workspace crates only.
 
-use rtm_bench::{
-    bench_report_path, bsp_matrix, json_array, json_row, quick_requested, time_us, JsonValue,
-};
+use rtm_bench::{bsp_matrix, emit_bench_report, json_row, quick_requested, time_us, JsonValue};
 use rtm_exec::Executor;
 use rtm_sparse::{BspcMatrix, CsrMatrix};
 use rtm_tensor::rng::StdRng;
-use std::fmt::Write as _;
 
 const STRIPES: usize = 8;
 const BLOCKS: usize = 8;
@@ -129,37 +126,37 @@ fn main() {
         })
         .collect();
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"batched_spmm\",\n");
-    let _ = writeln!(
-        json,
-        "  \"matrix\": {{\"rows\": {rows_dim}, \"cols\": {cols_dim}, \"stripes\": {STRIPES}, \
-         \"blocks\": {BLOCKS}, \"compression\": {RATE}}},"
+    emit_bench_report(
+        "batched_spmm",
+        quick,
+        &[
+            (
+                "matrix",
+                JsonValue::Raw(format!(
+                    "{{\"rows\": {rows_dim}, \"cols\": {cols_dim}, \"stripes\": {STRIPES}, \
+                     \"blocks\": {BLOCKS}, \"compression\": {RATE}}}"
+                )),
+            ),
+            (
+                "host_cpus",
+                JsonValue::Int(std::thread::available_parallelism().map_or(1, |n| n.get()) as i64),
+            ),
+            (
+                "vector_isa",
+                JsonValue::Str(rtm_tensor::simd::vector_isa().into()),
+            ),
+            (
+                "notes",
+                JsonValue::Str(
+                    "Lane-major batched SpMM through the parallel engine; per_stream_us = \
+                     wall_us / b, per_stream_speedup = per-stream time at b=1 / per-stream \
+                     time at b. Weight values and index structure are read once per row \
+                     regardless of b, so per-stream cost falls as the batch widens. Lane j \
+                     of every result is bit-identical to the serial SpMV of input column j."
+                        .into(),
+                ),
+            ),
+        ],
+        &[("results", rendered)],
     );
-    let _ = writeln!(
-        json,
-        "  \"host_cpus\": {},",
-        std::thread::available_parallelism().map_or(1, |n| n.get())
-    );
-    let _ = writeln!(
-        json,
-        "  \"vector_isa\": \"{}\",",
-        rtm_tensor::simd::vector_isa()
-    );
-    let _ = writeln!(json, "  \"quick\": {quick},");
-    json.push_str(
-        "  \"notes\": \"Lane-major batched SpMM through the parallel engine; per_stream_us = \
-         wall_us / b, per_stream_speedup = per-stream time at b=1 / per-stream time at b. \
-         Weight values and index structure are read once per row regardless of b, so \
-         per-stream cost falls as the batch widens. Lane j of every result is bit-identical \
-         to the serial SpMV of input column j.\",\n",
-    );
-    let _ = writeln!(json, "  \"results\": {}", json_array("    ", &rendered));
-    json.push_str("}\n");
-
-    let path = bench_report_path("BENCH_batched_spmm.json", quick);
-    std::fs::write(&path, &json).expect("write benchmark report");
-    println!("{json}");
-    eprintln!("wrote {path}");
 }

@@ -16,13 +16,10 @@
 //!
 //! Dependency-free: std + workspace crates only.
 
-use rtm_bench::{
-    bench_report_path, bsp_matrix, json_array, json_row, quick_requested, time_us, JsonValue,
-};
+use rtm_bench::{bsp_matrix, emit_bench_report, json_row, quick_requested, time_us, JsonValue};
 use rtm_exec::{bspc_rows_into, csr_rows_into, dense_rows_into, Executor, Partition};
 use rtm_sparse::{BspcMatrix, CsrMatrix};
 use rtm_tensor::rng::StdRng;
-use std::fmt::Write as _;
 
 const STRIPES: usize = 8;
 const BLOCKS: usize = 8;
@@ -184,25 +181,28 @@ fn main() {
         })
         .collect();
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"parallel_spmv\",\n");
-    let _ = writeln!(
-        json,
-        "  \"matrix\": {{\"rows\": {rows_dim}, \"cols\": {cols_dim}, \"stripes\": {STRIPES}, \"blocks\": {BLOCKS}}},"
+    emit_bench_report(
+        "parallel_spmv",
+        quick,
+        &[
+            (
+                "matrix",
+                JsonValue::Raw(format!(
+                    "{{\"rows\": {rows_dim}, \"cols\": {cols_dim}, \
+                     \"stripes\": {STRIPES}, \"blocks\": {BLOCKS}}}"
+                )),
+            ),
+            ("host_cpus", JsonValue::Int(host_cpus as i64)),
+            (
+                "speedup_definition",
+                JsonValue::Str(
+                    "speedup = speedup_critical_path = serial_us / max per-chunk busy time, \
+                     measured per chunk in isolation; speedup_wall is raw wall-clock and is \
+                     core-count-bound on this host"
+                        .into(),
+                ),
+            ),
+        ],
+        &[("results", rendered)],
     );
-    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
-    let _ = writeln!(json, "  \"quick\": {quick},");
-    json.push_str(
-        "  \"speedup_definition\": \"speedup = speedup_critical_path = serial_us / max \
-         per-chunk busy time, measured per chunk in isolation; speedup_wall is raw wall-clock \
-         and is core-count-bound on this host\",\n",
-    );
-    let _ = writeln!(json, "  \"results\": {}", json_array("    ", &rendered));
-    json.push_str("}\n");
-
-    let path = bench_report_path("BENCH_parallel_spmv.json", quick);
-    std::fs::write(&path, &json).expect("write benchmark report");
-    println!("{json}");
-    eprintln!("wrote {path}");
 }

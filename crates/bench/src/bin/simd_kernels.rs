@@ -18,14 +18,11 @@
 //!
 //! Dependency-free: std + workspace crates only.
 
-use rtm_bench::{
-    bench_report_path, bsp_matrix, json_array, json_row, quick_requested, time_us, JsonValue,
-};
+use rtm_bench::{bsp_matrix, emit_bench_report, json_row, quick_requested, time_us, JsonValue};
 use rtm_sparse::{BspcMatrix, CsrMatrix};
 use rtm_tensor::gemm;
 use rtm_tensor::rng::StdRng;
 use rtm_tensor::simd::{self, SimdPolicy, Variant};
-use std::fmt::Write as _;
 use std::hint::black_box;
 
 const STRIPES: usize = 8;
@@ -188,29 +185,32 @@ fn main() {
         }
     }
 
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"bench\": \"simd_kernels\",\n");
-    let _ = writeln!(
-        json,
-        "  \"matrix\": {{\"rows\": {rows_dim}, \"cols\": {cols_dim}, \"stripes\": {STRIPES}, \"blocks\": {BLOCKS}}},"
+    emit_bench_report(
+        "simd_kernels",
+        quick,
+        &[
+            (
+                "matrix",
+                JsonValue::Raw(format!(
+                    "{{\"rows\": {rows_dim}, \"cols\": {cols_dim}, \
+                     \"stripes\": {STRIPES}, \"blocks\": {BLOCKS}}}"
+                )),
+            ),
+            ("vector_isa", JsonValue::Str(simd::vector_isa().into())),
+            ("lane_width", JsonValue::Int(simd::lane_width() as i64)),
+            (
+                "notes",
+                JsonValue::Str(
+                    "Single-thread. Each variant is timed through the normal dispatched \
+                     entry points with the global policy pinned; variant_ran records what \
+                     actually executed (a vector request downgrades to scalar-u8 without \
+                     the ISA). Sweeps apply the same scalar activation in every variant, \
+                     so their variants only differ in loop structure. speedup = scalar-u1 \
+                     time / vector time."
+                        .into(),
+                ),
+            ),
+        ],
+        &[("results", rendered), ("speedups", speedups)],
     );
-    let _ = writeln!(json, "  \"vector_isa\": \"{}\",", simd::vector_isa());
-    let _ = writeln!(json, "  \"lane_width\": {},", simd::lane_width());
-    let _ = writeln!(json, "  \"quick\": {quick},");
-    json.push_str(
-        "  \"notes\": \"Single-thread. Each variant is timed through the normal dispatched \
-         entry points with the global policy pinned; variant_ran records what actually \
-         executed (a vector request downgrades to scalar-u8 without the ISA). Sweeps apply \
-         the same scalar activation in every variant, so their variants only differ in \
-         loop structure. speedup = scalar-u1 time / vector time.\",\n",
-    );
-    let _ = writeln!(json, "  \"results\": {},", json_array("    ", &rendered));
-    let _ = writeln!(json, "  \"speedups\": {}", json_array("    ", &speedups));
-    json.push_str("}\n");
-
-    let path = bench_report_path("BENCH_simd_kernels.json", quick);
-    std::fs::write(&path, &json).expect("write benchmark report");
-    println!("{json}");
-    eprintln!("wrote {path}");
 }

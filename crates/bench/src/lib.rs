@@ -19,6 +19,7 @@
 use rtm_pruning::admm::AdmmConfig;
 use rtm_speech::corpus::CorpusConfig;
 use rtm_speech::task::SpeechTask;
+use std::fmt::Write as _;
 
 /// The shared experiment seed; every binary uses it so runs are
 /// reproducible and mutually consistent.
@@ -130,52 +131,40 @@ pub fn bsp_matrix(
     })
 }
 
-/// One value in a [`json_row`]: the benchmark binaries emit their JSON by
-/// hand (no serde in the offline workspace), and this enum is the one spot
-/// that knows how each type renders.
-pub enum JsonValue {
-    /// A quoted, escaped string.
-    Str(String),
-    /// An integer.
-    Int(i64),
-    /// A float printed with the given number of decimals.
-    F64(f64, usize),
-    /// Pre-rendered JSON spliced verbatim (nested objects, bare literals).
-    Raw(String),
-}
+// The hand-rolled JSON helpers moved to `rtm_trace::json` so the metrics
+// exporters and the benchmark artifacts share one escaping/formatting
+// routine; re-exported here so the benchmark binaries keep their imports.
+pub use rtm_trace::json::{json_array, json_row, JsonValue};
 
-impl JsonValue {
-    fn render(&self) -> String {
-        match self {
-            JsonValue::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
-            JsonValue::Int(i) => i.to_string(),
-            JsonValue::F64(v, prec) => format!("{v:.prec$}"),
-            JsonValue::Raw(r) => r.clone(),
-        }
+/// Writes one `BENCH_<bench>.json` artifact through the shared layout every
+/// benchmark binary uses: a `"bench"` tag, the caller's metadata fields,
+/// the `"quick"` marker, then one JSON array per `(name, rows)` section
+/// (typically just `"results"`). Prints the JSON to stdout, logs the path
+/// to stderr and returns it.
+pub fn emit_bench_report(
+    bench: &str,
+    quick: bool,
+    meta: &[(&str, JsonValue)],
+    sections: &[(&str, Vec<String>)],
+) -> String {
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"{bench}\",");
+    for (k, v) in meta {
+        let _ = writeln!(json, "  \"{k}\": {},", v.render());
     }
-}
-
-/// Renders one single-line JSON object from `(key, value)` pairs.
-pub fn json_row(fields: &[(&str, JsonValue)]) -> String {
-    let body: Vec<String> = fields
-        .iter()
-        .map(|(k, v)| format!("\"{k}\": {}", v.render()))
-        .collect();
-    format!("{{{}}}", body.join(", "))
-}
-
-/// Renders a JSON array of pre-rendered rows, one per line at `indent`,
-/// with correct comma placement.
-pub fn json_array(indent: &str, rows: &[String]) -> String {
-    if rows.is_empty() {
-        return "[]".to_string();
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    for (i, (name, rows)) in sections.iter().enumerate() {
+        let comma = if i + 1 < sections.len() { "," } else { "" };
+        let _ = writeln!(json, "  \"{name}\": {}{comma}", json_array("    ", rows));
     }
-    let body: Vec<String> = rows.iter().map(|r| format!("{indent}{r}")).collect();
-    format!(
-        "[\n{}\n{}]",
-        body.join(",\n"),
-        &indent[..indent.len().saturating_sub(2)]
-    )
+    json.push_str("}\n");
+
+    let path = bench_report_path(&format!("BENCH_{bench}.json"), quick);
+    std::fs::write(&path, &json).expect("write benchmark report");
+    println!("{json}");
+    eprintln!("wrote {path}");
+    path
 }
 
 /// True when `--quick` was passed on the command line: the perf benchmark
@@ -227,23 +216,13 @@ mod tests {
     }
 
     #[test]
-    fn json_helpers_render_valid_rows() {
-        let row = json_row(&[
-            ("kernel", JsonValue::Str("bspc \"q\"".into())),
-            ("threads", JsonValue::Int(4)),
-            ("us", JsonValue::F64(1.23456, 3)),
-            ("nested", JsonValue::Raw("{\"a\": 1}".into())),
-        ]);
-        assert_eq!(
-            row,
-            "{\"kernel\": \"bspc \\\"q\\\"\", \"threads\": 4, \"us\": 1.235, \
-             \"nested\": {\"a\": 1}}"
-        );
+    fn json_helpers_are_the_trace_ones() {
+        // The renderers themselves are unit-tested in rtm-trace; this
+        // pins the re-export so the benchmark binaries keep compiling
+        // against the shared path.
+        let row = json_row(&[("threads", JsonValue::Int(4))]);
+        assert_eq!(row, "{\"threads\": 4}");
         assert_eq!(json_array("    ", &[]), "[]");
-        assert_eq!(
-            json_array("    ", &["{}".into(), "{}".into()]),
-            "[\n    {},\n    {}\n  ]"
-        );
     }
 
     #[test]

@@ -228,6 +228,11 @@ pub fn measure_unroll_costs(
     unrolls: &[usize],
     iters: usize,
 ) -> Vec<UnrollCost> {
+    // The tuner records into the same registry it reads: each candidate's
+    // measured cost lands as a `tuner.unroll_cost_us.u<N>` gauge under a
+    // `tuner.measure_unroll_costs` span, so a traced pipeline run shows
+    // both what the tuner measured and how long measuring took.
+    let _span = rtm_trace::span("tuner.measure_unroll_costs");
     let mut rng = rtm_tensor::init::rng_from_seed(0x5eed_cafe);
     let a = rtm_tensor::init::uniform(rows, cols, -1.0, 1.0, &mut rng);
     let x: Vec<f32> = (0..cols).map(|_| rng.gen_f32() * 2.0 - 1.0).collect();
@@ -248,11 +253,20 @@ pub fn measure_unroll_costs(
                 sweep(&mut y);
                 std::hint::black_box(&y);
             }
-            UnrollCost {
+            let cost = UnrollCost {
                 unroll,
                 variant,
                 seconds: t0.elapsed().as_secs_f64() / iters as f64,
+            };
+            if rtm_trace::enabled() {
+                let reg = rtm_trace::global();
+                reg.gauge_set(
+                    &format!("tuner.unroll_cost_us.u{unroll}"),
+                    cost.seconds * 1e6,
+                );
+                reg.counter_add(rtm_trace::key::TUNER_MEASUREMENTS, 1);
             }
+            cost
         })
         .collect()
 }

@@ -28,8 +28,11 @@
 use crate::error::ExecError;
 use std::cell::{Cell, RefCell};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A unit of work submitted to the pool: a closure that may borrow from the
 /// caller's stack for the duration of the batch.
@@ -52,6 +55,11 @@ pub struct WorkerPool {
     done_rx: Receiver<Option<String>>,
     done_tx: Sender<Option<String>>,
     respawned: Cell<usize>,
+    /// Cumulative task-execution nanoseconds per thread slot (slot 0 is the
+    /// caller), accumulated only while tracing is enabled. Shared with the
+    /// worker threads; the completion channel's happens-before makes the
+    /// caller's post-batch reads see every worker's update.
+    busy_ns: Arc<Vec<AtomicU64>>,
 }
 
 #[derive(Debug)]
@@ -61,15 +69,19 @@ struct Worker {
 }
 
 impl Worker {
-    fn spawn(slot: usize, done: Sender<Option<String>>) -> Worker {
+    fn spawn(slot: usize, done: Sender<Option<String>>, busy_ns: Arc<Vec<AtomicU64>>) -> Worker {
         let (tx, rx) = channel::<StaticTask>();
         let handle = std::thread::Builder::new()
             .name(format!("rtm-exec-{slot}"))
             .spawn(move || {
                 while let Ok(task) = rx.recv() {
+                    let t0 = rtm_trace::enabled().then(Instant::now);
                     let outcome = catch_unwind(AssertUnwindSafe(task))
                         .err()
                         .map(|e| panic_message(e.as_ref()));
+                    if let Some(t0) = t0 {
+                        busy_ns[slot].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    }
                     if done.send(outcome).is_err() {
                         break;
                     }
@@ -106,8 +118,10 @@ impl WorkerPool {
     pub fn new(threads: usize) -> WorkerPool {
         let threads = threads.max(1);
         let (done_tx, done_rx) = channel::<Option<String>>();
+        let busy_ns: Arc<Vec<AtomicU64>> =
+            Arc::new((0..threads).map(|_| AtomicU64::new(0)).collect());
         let workers = (1..threads)
-            .map(|slot| Worker::spawn(slot, done_tx.clone()))
+            .map(|slot| Worker::spawn(slot, done_tx.clone(), Arc::clone(&busy_ns)))
             .collect();
         WorkerPool {
             threads,
@@ -115,6 +129,7 @@ impl WorkerPool {
             done_rx,
             done_tx,
             respawned: Cell::new(0),
+            busy_ns,
         }
     }
 
@@ -128,6 +143,39 @@ impl WorkerPool {
     /// worker thread).
     pub fn respawned_workers(&self) -> usize {
         self.respawned.get()
+    }
+
+    /// Cumulative per-slot busy time in nanoseconds (slot 0 is the calling
+    /// thread), accumulated only while tracing is enabled. The live
+    /// counterpart of the cost model's balance prediction: the ratio
+    /// max/mean over the active slots is the `exec.pool.imbalance` gauge.
+    pub fn worker_busy_ns(&self) -> Vec<u64> {
+        self.busy_ns
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Records one drained batch into the trace registry: task/batch
+    /// counters plus the live busy-time imbalance gauge over every slot
+    /// that has executed work so far.
+    fn record_batch_metrics(&self, tasks: usize) {
+        let reg = rtm_trace::global();
+        reg.counter_add_many(&[
+            (rtm_trace::key::EXEC_TASKS, tasks as u64),
+            (rtm_trace::key::EXEC_BATCHES, 1),
+        ]);
+        let active: Vec<u64> = self
+            .worker_busy_ns()
+            .into_iter()
+            .filter(|&b| b > 0)
+            .collect();
+        if let Some(&max) = active.iter().max() {
+            let mean = active.iter().sum::<u64>() as f64 / active.len() as f64;
+            if mean > 0.0 {
+                reg.gauge_set(rtm_trace::key::EXEC_IMBALANCE, max as f64 / mean);
+            }
+        }
     }
 
     /// Fault-injection hook: tears down every worker thread (closing its
@@ -157,10 +205,17 @@ impl WorkerPool {
         if tasks.is_empty() {
             return Ok(());
         }
+        let n_tasks = tasks.len();
+        let trace = rtm_trace::enabled();
         let mut first_panic: Option<String> = None;
         if self.threads == 1 || tasks.len() == 1 {
+            let t0 = trace.then(Instant::now);
             for task in tasks {
                 run_contained(task, &mut first_panic);
+            }
+            if let Some(t0) = t0 {
+                self.busy_ns[0].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                self.record_batch_metrics(n_tasks);
             }
             return fold_outcome(first_panic);
         }
@@ -172,7 +227,7 @@ impl WorkerPool {
         for (i, w) in workers.iter_mut().enumerate() {
             if w.is_dead() {
                 w.shutdown();
-                *w = Worker::spawn(i + 1, self.done_tx.clone());
+                *w = Worker::spawn(i + 1, self.done_tx.clone(), Arc::clone(&self.busy_ns));
                 self.respawned.set(self.respawned.get() + 1);
             }
         }
@@ -206,11 +261,18 @@ impl WorkerPool {
             remaining: dispatched,
             first_panic: None,
         };
+        let t0 = trace.then(Instant::now);
         for task in inline {
             run_contained(task, &mut guard.first_panic);
         }
+        if let Some(t0) = t0 {
+            self.busy_ns[0].fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
         guard.drain();
         first_panic = guard.first_panic.take();
+        if trace {
+            self.record_batch_metrics(n_tasks);
+        }
         fold_outcome(first_panic)
     }
 }

@@ -270,6 +270,12 @@ impl Executor {
         self.pool.respawned_workers()
     }
 
+    /// Cumulative per-slot busy nanoseconds (see
+    /// [`WorkerPool::worker_busy_ns`]); all zero unless tracing is enabled.
+    pub fn worker_busy_ns(&self) -> Vec<u64> {
+        self.pool.worker_busy_ns()
+    }
+
     /// The cost-balanced kept-row partition this engine would use for `m`
     /// (exposed for benchmarks and the device model's measured-imbalance
     /// path).
@@ -323,6 +329,11 @@ impl Executor {
         }
         y.fill(0.0);
         let kept = m.kept_rows();
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMV_BSPC, 1),
+            (rtm_trace::key::KERNEL_ROWS, kept.len() as u64),
+            (rtm_trace::key::KERNEL_NNZ, m.stored_len() as u64),
+        ]);
         if kept.is_empty() {
             return Ok(());
         }
@@ -388,6 +399,11 @@ impl Executor {
                 (x.len(), y.len()),
             ));
         }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMV_CSR, 1),
+            (rtm_trace::key::KERNEL_ROWS, m.rows() as u64),
+            (rtm_trace::key::KERNEL_NNZ, m.nnz() as u64),
+        ]);
         if m.rows() == 0 {
             return Ok(());
         }
@@ -441,6 +457,11 @@ impl Executor {
                 (x.len(), y.len()),
             ));
         }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::GEMV_DENSE, 1),
+            (rtm_trace::key::KERNEL_ROWS, m.rows() as u64),
+            (rtm_trace::key::KERNEL_NNZ, (m.rows() * m.cols()) as u64),
+        ]);
         if m.rows() == 0 {
             return Ok(());
         }
@@ -500,6 +521,11 @@ impl Executor {
         }
         ys.fill(0.0);
         let kept = m.kept_rows();
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMM_BSPC, 1),
+            (rtm_trace::key::KERNEL_ROWS, kept.len() as u64),
+            (rtm_trace::key::KERNEL_NNZ, m.stored_len() as u64),
+        ]);
         if kept.is_empty() || b == 0 {
             return Ok(());
         }
@@ -557,6 +583,11 @@ impl Executor {
                 (xs.len(), b),
             ));
         }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMM_CSR, 1),
+            (rtm_trace::key::KERNEL_ROWS, m.rows() as u64),
+            (rtm_trace::key::KERNEL_NNZ, m.nnz() as u64),
+        ]);
         if m.rows() == 0 || b == 0 {
             return Ok(());
         }
@@ -605,6 +636,11 @@ impl Executor {
                 (xs.len(), b),
             ));
         }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::GEMM_DENSE, 1),
+            (rtm_trace::key::KERNEL_ROWS, m.rows() as u64),
+            (rtm_trace::key::KERNEL_NNZ, (m.rows() * m.cols()) as u64),
+        ]);
         if m.rows() == 0 || b == 0 {
             return Ok(());
         }

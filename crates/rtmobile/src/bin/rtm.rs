@@ -3,16 +3,21 @@
 //! ```text
 //! rtm pipeline [--hidden N] [--col X] [--row Y] [--stripes S] [--blocks B]
 //!              [--seed K] [--threads T] [--batch B] [--simd POLICY]
-//!              [--health POLICY] [--save FILE.rtm]
+//!              [--health POLICY] [--trace OUT.json] [--save FILE.rtm]
 //! rtm inspect FILE.rtm
 //! rtm help
 //! ```
 //!
 //! `pipeline` runs the full train → BSP-prune → compile → simulate flow and
 //! optionally writes the compiled f16 model to a `.rtm` file; `inspect`
-//! summarizes a saved model.
+//! summarizes a saved model. Every runtime knob flows through one
+//! [`rtmobile::RuntimeConfig`], seeded from the `RTM_*` environment
+//! variables and overridden by the flags. `--trace OUT.json` enables the
+//! observability registry and writes a Chrome `trace_event` file to
+//! `OUT.json` plus the metrics dump (counters/gauges/histograms) next to
+//! it as `OUT.metrics.json`.
 
-use rtmobile::{model_file, RtMobile};
+use rtmobile::{model_file, RtMobile, RuntimeConfig, TraceConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -38,7 +43,7 @@ fn print_help() {
     println!("USAGE:");
     println!("  rtm pipeline [--hidden N] [--col X] [--row Y] [--stripes S] [--blocks B]");
     println!("               [--seed K] [--threads T] [--batch B] [--simd POLICY]");
-    println!("               [--health POLICY] [--save FILE.rtm]");
+    println!("               [--health POLICY] [--trace OUT.json] [--save FILE.rtm]");
     println!("  rtm inspect FILE.rtm");
     println!("  rtm help");
     println!();
@@ -52,6 +57,11 @@ fn print_help() {
     println!("  --health picks the numerical-health policy of the batched scorer");
     println!("  and of model loading: off (default), check, or quarantine.");
     println!("  The RTM_HEALTH environment variable sets the same knob.");
+    println!();
+    println!("  --trace enables the observability registry (RTM_TRACE sets the same");
+    println!("  knob without an output file) and writes a Chrome trace_event file");
+    println!("  to OUT.json plus the metrics dump to OUT.metrics.json. Tracing");
+    println!("  never changes any computed number.");
 }
 
 /// Parses `--flag value` pairs against the allow-list `known`; returns
@@ -100,8 +110,18 @@ fn parse_or<T: std::str::FromStr>(
 
 const PIPELINE_FLAGS: &[&str] = &[
     "hidden", "col", "row", "stripes", "blocks", "seed", "threads", "batch", "simd", "health",
-    "save",
+    "trace", "save",
 ];
+
+/// Where the metrics dump lands next to a `--trace` output path:
+/// `out.json` → `out.metrics.json` (a non-`.json` path just gets the
+/// suffix appended).
+fn metrics_path_for(trace_path: &str) -> String {
+    match trace_path.strip_suffix(".json") {
+        Some(stem) => format!("{stem}.metrics.json"),
+        None => format!("{trace_path}.metrics.json"),
+    }
+}
 
 fn pipeline(args: &[String]) -> ExitCode {
     let Some(flags) = parse_flags(args, PIPELINE_FLAGS) else {
@@ -139,44 +159,53 @@ fn pipeline(args: &[String]) -> ExitCode {
         eprintln!("--batch must be >= 1");
         return ExitCode::FAILURE;
     }
-    let simd = match flags.get("simd") {
-        None => None,
+
+    // One RuntimeConfig carries every knob: environment defaults first
+    // (a set-but-garbage RTM_* variable is an error, not a silent
+    // fallback), then the explicit flags on top.
+    let mut runtime = match RuntimeConfig::from_env() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    runtime = runtime.with_threads(threads).with_batch(batch);
+    match flags.get("simd") {
+        None => {}
         Some(v) => match rtm_tensor::simd::parse_policy(v) {
-            Some(p) => Some(p),
+            Some(p) => runtime = runtime.with_simd(p),
             None => {
                 eprintln!("--simd must be auto, off, scalar, u4, u8 or vector (got {v})");
                 return ExitCode::FAILURE;
             }
         },
-    };
-    let health = match flags.get("health") {
-        None => None,
+    }
+    match flags.get("health") {
+        None => {}
         Some(v) => match rtmobile::health::parse_policy(v) {
-            Some(p) => Some(p),
+            Some(p) => runtime = runtime.with_health(p),
             None => {
                 eprintln!("--health must be off, check or quarantine (got {v})");
                 return ExitCode::FAILURE;
             }
         },
-    };
+    }
+    let trace_path = flags.get("trace");
+    if trace_path.is_some() {
+        runtime = runtime.with_trace(TraceConfig::on());
+    }
 
     println!(
         "Running the RTMobile pipeline: hidden {hidden}, target {col}x cols x {row}x rows, \
          partition {stripes}x{blocks}, seed {seed}, {threads} thread(s), batch {batch}"
     );
-    let mut builder = RtMobile::builder()
+    let builder = RtMobile::builder()
         .hidden(hidden)
         .compression(col, row)
         .partition(stripes, blocks)
         .seed(seed)
-        .threads(threads)
-        .batch(batch);
-    if let Some(policy) = simd {
-        builder = builder.simd(policy);
-    }
-    if let Some(policy) = health {
-        builder = builder.health(policy);
-    }
+        .runtime(runtime);
     let (report, _net, compiled) = builder.run_keeping_model();
     println!(
         "Kernel dispatch: {} (vector ISA: {})",
@@ -184,6 +213,21 @@ fn pipeline(args: &[String]) -> ExitCode {
         rtm_tensor::simd::vector_isa()
     );
     println!("{}", report.render());
+
+    if let Some(path) = trace_path {
+        let reg = rtm_trace::global();
+        let metrics_path = metrics_path_for(path);
+        for (p, contents) in [
+            (path.as_str(), reg.chrome_trace_json()),
+            (metrics_path.as_str(), reg.metrics_json()),
+        ] {
+            if let Err(e) = std::fs::write(p, &contents) {
+                eprintln!("failed to write {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("wrote {path} (Chrome trace_event) and {metrics_path} (metrics)");
+    }
 
     if let Some(path) = flags.get("save") {
         let bytes = model_file::to_bytes(&compiled);

@@ -1,0 +1,188 @@
+//! The unified runtime configuration.
+//!
+//! The serving stack grew one knob at a time — threads, batch, SIMD
+//! dispatch, health policy, admission control, tracing — each with its own
+//! builder method, environment variable or CLI flag. [`RuntimeConfig`]
+//! consolidates them into one serde-free struct that the
+//! [`RtMobile`](crate::RtMobile) builder, the `rtm` CLI and the
+//! environment ([`RuntimeConfig::from_env`], via [`crate::env`]) all flow
+//! through, so "how is this process configured?" has a single answer.
+//!
+//! The `Option` knobs (`simd`, `health`, `trace`) distinguish "explicitly
+//! chosen" from "let the environment variable decide": a `None` leaves the
+//! corresponding process-global default (`RTM_SIMD`, `RTM_HEALTH`,
+//! `RTM_TRACE`) in charge, exactly as the pre-consolidation builder
+//! methods did.
+
+use crate::health::HealthPolicy;
+use crate::serve::AdmissionConfig;
+use rtm_tensor::simd::SimdPolicy;
+use rtm_trace::TraceConfig;
+
+/// Every runtime knob of the serving stack in one place.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Worker threads for the compiled runtime's inference pass (≥ 1;
+    /// parallel execution is bit-identical to serial).
+    pub threads: usize,
+    /// Concurrent inference lanes of the batched scoring pass (≥ 1; the
+    /// batched path is bit-identical to the serial per-utterance loop).
+    pub batch: usize,
+    /// Kernel dispatch policy; `None` defers to `RTM_SIMD`.
+    pub simd: Option<SimdPolicy>,
+    /// Numerical-health policy; `None` defers to `RTM_HEALTH`.
+    pub health: Option<HealthPolicy>,
+    /// Observability switch; `None` defers to `RTM_TRACE`.
+    pub trace: Option<TraceConfig>,
+    /// Admission control of the batched scheduler (unbounded by default).
+    pub admission: AdmissionConfig,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        RuntimeConfig {
+            threads: 1,
+            batch: 1,
+            simd: None,
+            health: None,
+            trace: None,
+            admission: AdmissionConfig::unbounded(),
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// The default configuration with every environment-settable knob
+    /// resolved from its variable (`RTM_SIMD`, `RTM_HEALTH`, `RTM_TRACE`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`crate::env::EnvError`] for a variable that is
+    /// set but unparseable — a deployment typo surfaces as a typed error
+    /// instead of a silently ignored setting.
+    pub fn from_env() -> Result<RuntimeConfig, crate::env::EnvError> {
+        Ok(RuntimeConfig {
+            simd: crate::env::simd_policy()?,
+            health: crate::env::health_policy()?,
+            trace: crate::env::trace_config()?,
+            ..RuntimeConfig::default()
+        })
+    }
+
+    /// Sets the worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> RuntimeConfig {
+        assert!(threads > 0, "thread count must be positive");
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the batched-lane capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch == 0`.
+    pub fn with_batch(mut self, batch: usize) -> RuntimeConfig {
+        assert!(batch > 0, "batch capacity must be at least 1");
+        self.batch = batch;
+        self
+    }
+
+    /// Pins the kernel dispatch policy (overrides `RTM_SIMD`).
+    pub fn with_simd(mut self, policy: SimdPolicy) -> RuntimeConfig {
+        self.simd = Some(policy);
+        self
+    }
+
+    /// Pins the numerical-health policy (overrides `RTM_HEALTH`).
+    pub fn with_health(mut self, policy: HealthPolicy) -> RuntimeConfig {
+        self.health = Some(policy);
+        self
+    }
+
+    /// Pins the observability switch (overrides `RTM_TRACE`).
+    pub fn with_trace(mut self, trace: TraceConfig) -> RuntimeConfig {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Sets the batched scheduler's admission control.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> RuntimeConfig {
+        self.admission = admission;
+        self
+    }
+
+    /// The health policy a run resolves to: the pinned one, otherwise the
+    /// `RTM_HEALTH` deployment default.
+    pub fn resolved_health(&self) -> HealthPolicy {
+        self.health.unwrap_or_else(crate::health::policy_from_env)
+    }
+
+    /// Installs the process-global knobs this config pins: the SIMD
+    /// dispatch policy ([`rtm_tensor::simd::set_policy`]) and the trace
+    /// switch ([`rtm_trace::set_config`]). `None` knobs leave the ambient
+    /// (environment-derived) globals untouched.
+    pub fn apply_globals(&self) {
+        if let Some(policy) = self.simd {
+            rtm_tensor::simd::set_policy(policy);
+        }
+        if let Some(trace) = self.trace {
+            rtm_trace::set_config(trace);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::ShedPolicy;
+    use rtm_tensor::simd::Variant;
+
+    #[test]
+    fn default_matches_legacy_builder_defaults() {
+        let c = RuntimeConfig::default();
+        assert_eq!(c.threads, 1);
+        assert_eq!(c.batch, 1);
+        assert_eq!(c.simd, None);
+        assert_eq!(c.health, None);
+        assert_eq!(c.trace, None);
+        assert_eq!(c.admission, AdmissionConfig::unbounded());
+    }
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let c = RuntimeConfig::default()
+            .with_threads(4)
+            .with_batch(8)
+            .with_simd(SimdPolicy::Fixed(Variant::ScalarU1))
+            .with_health(HealthPolicy::Quarantine)
+            .with_trace(rtm_trace::TraceConfig::on())
+            .with_admission(
+                AdmissionConfig::unbounded()
+                    .with_queue_depth(3)
+                    .with_shed(ShedPolicy::DropOldest),
+            );
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.batch, 8);
+        assert_eq!(c.simd, Some(SimdPolicy::Fixed(Variant::ScalarU1)));
+        assert_eq!(c.health, Some(HealthPolicy::Quarantine));
+        assert_eq!(c.trace, Some(rtm_trace::TraceConfig::on()));
+        assert_eq!(c.admission.queue_depth, 3);
+        assert_eq!(c.resolved_health(), HealthPolicy::Quarantine);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn zero_threads_is_rejected() {
+        let _ = RuntimeConfig::default().with_threads(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch capacity")]
+    fn zero_batch_is_rejected() {
+        let _ = RuntimeConfig::default().with_batch(0);
+    }
+}

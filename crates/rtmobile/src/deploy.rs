@@ -742,6 +742,8 @@ impl<'a> BatchedSession<'a> {
         let mut step = 0usize;
         // Scratch for the lanes the health scan condemns this step.
         let mut condemned: Vec<bool> = Vec::new();
+        // Resolve the trace switch once — this is the serving hot loop.
+        let trace = rtm_trace::enabled();
         loop {
             // Admit parked streams into free lanes (oldest first).
             while self.lanes.len() < self.capacity {
@@ -768,6 +770,10 @@ impl<'a> BatchedSession<'a> {
                 debug_assert!(victim.is_some());
                 self.stats.shed += 1;
             }
+            if trace {
+                rtm_trace::global()
+                    .gauge_set(rtm_trace::key::SERVE_QUEUE_DEPTH, parked.len() as f64);
+            }
             let b = self.lanes.len();
             if b == 0 {
                 break;
@@ -784,6 +790,7 @@ impl<'a> BatchedSession<'a> {
                 }
             }
             // One weight pass carries all lanes one frame forward.
+            let t0 = trace.then(std::time::Instant::now);
             self.net
                 .forward_frame_batch(
                     self.exec,
@@ -795,6 +802,12 @@ impl<'a> BatchedSession<'a> {
                     &mut self.logits,
                 )
                 .expect("batched frame dims validated at admission");
+            if let Some(t0) = t0 {
+                rtm_trace::global().hist_record(
+                    rtm_trace::key::SERVE_FRAME_US,
+                    t0.elapsed().as_secs_f64() * 1e6,
+                );
+            }
             self.stats.frames += 1;
             // Health scan: check each lane's layer states and logits. Lanes
             // are arithmetically independent, so a fault in lane j implies
@@ -850,6 +863,23 @@ impl<'a> BatchedSession<'a> {
                 }
             }
             step += 1;
+        }
+        if trace {
+            // Counters accumulate across runs in the process registry even
+            // though `self.stats` resets per run, so add each run's deltas
+            // exactly once, here.
+            rtm_trace::global().counter_add_many(&[
+                (rtm_trace::key::SERVE_ADMITTED, self.stats.admitted as u64),
+                (rtm_trace::key::SERVE_SHED, self.stats.shed as u64),
+                (
+                    rtm_trace::key::SERVE_QUARANTINED,
+                    self.stats.quarantined as u64,
+                ),
+                (
+                    rtm_trace::key::SERVE_DEADLINE_MISSED,
+                    self.stats.deadline_missed as u64,
+                ),
+            ]);
         }
         out
     }

@@ -51,12 +51,13 @@ pub fn parse_policy(s: &str) -> Option<HealthPolicy> {
 }
 
 /// The deployment-side default policy: `RTM_HEALTH` if set and parseable,
-/// otherwise [`HealthPolicy::Off`].
+/// otherwise [`HealthPolicy::Off`]. Deliberately lenient — a typo in a
+/// deployment environment degrades to the safe default rather than
+/// aborting; use [`crate::env::health_policy`] to surface the typo.
 pub fn policy_from_env() -> HealthPolicy {
-    std::env::var("RTM_HEALTH")
+    crate::env::health_policy()
         .ok()
-        .as_deref()
-        .and_then(parse_policy)
+        .flatten()
         .unwrap_or_default()
 }
 

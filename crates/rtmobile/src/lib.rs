@@ -14,7 +14,13 @@
 //!   speech task, dense training, BSP pruning with ADMM retraining, the
 //!   compiler analyses and the SoC simulator into one call;
 //! * [`report`] — the accuracy/performance report with Table-I/Table-II
-//!   style rendering.
+//!   style rendering, plus the [`report::Report`] trait: the one JSON
+//!   emission path every structured result shares;
+//! * [`config`] — [`config::RuntimeConfig`], the unified runtime knob
+//!   struct (threads, batch, simd, health, trace, admission) that the
+//!   builder, the `rtm` CLI and the environment all flow through;
+//! * [`env`] — the single parse point for the `RTM_*` environment
+//!   variables, with typed errors.
 //!
 //! # Example
 //!
@@ -29,15 +35,19 @@
 //! println!("{}", report.render());
 //! ```
 
+pub mod config;
 pub mod deploy;
+pub mod env;
 pub mod health;
 pub mod model_file;
 pub mod pipeline;
 pub mod report;
 pub mod serve;
 
+pub use config::RuntimeConfig;
 pub use deploy::{BatchedSession, CompiledNetwork, FusedGruLayer, GruRuntimeScratch};
 pub use health::HealthPolicy;
 pub use pipeline::RtMobile;
-pub use report::PipelineReport;
+pub use report::{PipelineReport, Report};
+pub use rtm_trace::TraceConfig;
 pub use serve::{AdmissionConfig, ServeStats, ShedPolicy, StreamFault};

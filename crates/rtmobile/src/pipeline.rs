@@ -16,6 +16,7 @@
 //!
 //! The builder exposes every knob with laptop-scale defaults.
 
+use crate::config::RuntimeConfig;
 use crate::deploy::{CompiledNetwork, RuntimePrecision};
 use crate::report::{AccuracyReport, PerformanceReport, PipelineReport};
 use rtm_compiler::plan::{ExecutionPlan, StorageFormat};
@@ -40,10 +41,7 @@ pub struct RtMobile {
     admm: AdmmConfig,
     seed: u64,
     sim_hidden: usize,
-    threads: usize,
-    batch: usize,
-    simd: Option<rtm_tensor::simd::SimdPolicy>,
-    health: Option<crate::health::HealthPolicy>,
+    runtime: RuntimeConfig,
 }
 
 impl RtMobile {
@@ -67,10 +65,7 @@ impl RtMobile {
             },
             seed: 1,
             sim_hidden: 1024,
-            threads: 1,
-            batch: 1,
-            simd: None,
-            health: None,
+            runtime: RuntimeConfig::default(),
         }
     }
 
@@ -128,6 +123,22 @@ impl RtMobile {
         self
     }
 
+    /// Replaces the whole [`RuntimeConfig`] at once — the preferred entry
+    /// point for callers that already assembled one (e.g. the `rtm` CLI or
+    /// [`RuntimeConfig::from_env`]). The per-knob methods below
+    /// ([`RtMobile::threads`], [`RtMobile::batch`], [`RtMobile::simd`],
+    /// [`RtMobile::health`], [`RtMobile::trace`]) are thin wrappers over
+    /// the same struct.
+    pub fn runtime(mut self, runtime: RuntimeConfig) -> RtMobile {
+        self.runtime = runtime;
+        self
+    }
+
+    /// The currently configured [`RuntimeConfig`].
+    pub fn runtime_config(&self) -> &RuntimeConfig {
+        &self.runtime
+    }
+
     /// Worker threads for the compiled runtime's inference pass (default 1,
     /// i.e. serial). The parallel path is bit-identical to serial, so this
     /// only changes wall-clock, never any reported accuracy number.
@@ -136,8 +147,7 @@ impl RtMobile {
     ///
     /// Panics if `threads == 0`.
     pub fn threads(mut self, threads: usize) -> RtMobile {
-        assert!(threads > 0, "thread count must be positive");
-        self.threads = threads;
+        self.runtime = self.runtime.with_threads(threads);
         self
     }
 
@@ -153,8 +163,7 @@ impl RtMobile {
     ///
     /// Panics if `batch == 0`.
     pub fn batch(mut self, batch: usize) -> RtMobile {
-        assert!(batch > 0, "batch capacity must be at least 1");
-        self.batch = batch;
+        self.runtime = self.runtime.with_batch(batch);
         self
     }
 
@@ -166,7 +175,7 @@ impl RtMobile {
     /// Scalar and vector paths differ only in float summation order, never
     /// in any reported accuracy metric's meaning.
     pub fn simd(mut self, policy: rtm_tensor::simd::SimdPolicy) -> RtMobile {
-        self.simd = Some(policy);
+        self.runtime = self.runtime.with_simd(policy);
         self
     }
 
@@ -178,7 +187,17 @@ impl RtMobile {
     /// synthetic corpus is finite, so on a healthy run this never changes
     /// any reported number — it only adds the scan.
     pub fn health(mut self, policy: crate::health::HealthPolicy) -> RtMobile {
-        self.health = Some(policy);
+        self.runtime = self.runtime.with_health(policy);
+        self
+    }
+
+    /// Observability switch (see [`rtm_trace::TraceConfig`]): `on` records
+    /// kernel counters, stage spans and serving histograms into the
+    /// process-global [`rtm_trace`] registry. When this knob is not set,
+    /// the `RTM_TRACE` environment variable decides (default off). Tracing
+    /// never changes any computed number — outputs stay bit-identical.
+    pub fn trace(mut self, trace: rtm_trace::TraceConfig) -> RtMobile {
+        self.runtime = self.runtime.with_trace(trace);
         self
     }
 
@@ -199,17 +218,19 @@ impl RtMobile {
     ///
     /// Panics on internal shape errors (a bug) or invalid configuration.
     pub fn run_keeping_model(self) -> (PipelineReport, rtm_rnn::GruNetwork, CompiledNetwork) {
-        if let Some(policy) = self.simd {
-            rtm_tensor::simd::set_policy(policy);
-        }
+        self.runtime.apply_globals();
+        let pipeline_span = rtm_trace::span("pipeline");
 
         // 1. Task + dense training.
+        let train_span = rtm_trace::span("pipeline.train");
         let task = SpeechTask::new(&self.corpus, self.seed);
         let mut net = task.new_network(self.hidden, self.seed.wrapping_add(1));
         task.train(&mut net, self.dense_epochs, self.dense_lr);
         let baseline = task.evaluate(&net);
+        drop(train_span);
 
         // 2. BSP pruning with ADMM retraining.
+        let prune_span = rtm_trace::span("pipeline.prune");
         let (pruned, bsp_report) = if self.target.is_dense() {
             (baseline, None)
         } else {
@@ -222,23 +243,30 @@ impl RtMobile {
             let report = pruner.prune(&mut net, &task.training_data());
             (task.evaluate(&net), Some(report))
         };
+        drop(prune_span);
 
         // 3. Compile to the runtime and score the f16 path.
+        let compile_span = rtm_trace::span("pipeline.compile");
         let compiled_f16 =
             CompiledNetwork::compile(&net, self.stripes, self.blocks, RuntimePrecision::F16)
                 .expect("partition validated by BSP config");
-        let exec = rtm_exec::Executor::new(self.threads);
-        let health = self.health.unwrap_or_else(crate::health::policy_from_env);
+        let exec = rtm_exec::Executor::new(self.runtime.threads);
+        drop(compile_span);
+
+        let deploy_span = rtm_trace::span("pipeline.deploy");
+        let health = self.runtime.resolved_health();
         let mut serve = None;
         let mut f16_report = PerReport::default();
-        if self.batch > 1 {
+        if self.runtime.batch > 1 {
             // Multi-stream scoring: up to `batch` utterances share each
             // weight pass. Bit-identical to the serial loop below.
             let utterances = task.test_utterances();
             let streams: Vec<&[Vec<f32>]> =
                 utterances.iter().map(|u| u.frames.as_slice()).collect();
-            let mut session = crate::deploy::BatchedSession::new(&compiled_f16, &exec, self.batch)
-                .with_health(health);
+            let mut session =
+                crate::deploy::BatchedSession::new(&compiled_f16, &exec, self.runtime.batch)
+                    .with_health(health)
+                    .with_admission(self.runtime.admission);
             for (u, preds) in utterances.iter().zip(session.predict(&streams)) {
                 f16_report.add(&preds, &u.labels, &u.phones);
             }
@@ -249,8 +277,10 @@ impl RtMobile {
                 f16_report.add(&preds, &u.labels, &u.phones);
             }
         }
+        drop(deploy_span);
 
         // 4. Paper-scale performance simulation.
+        let sim_span = rtm_trace::span("pipeline.simulate");
         let workload = GruWorkload::with_bsp_pattern(
             40,
             self.sim_hidden,
@@ -275,6 +305,7 @@ impl RtMobile {
         };
         let gpu = sim.run_frame(&workload, &gpu_plan);
         let cpu = sim.run_frame(&workload, &cpu_plan);
+        drop(sim_span);
 
         let (achieved_rate, kept, total) = match &bsp_report {
             Some(r) => (r.achieved_rate, r.kept_params, r.total_params),
@@ -305,6 +336,7 @@ impl RtMobile {
             },
             serve,
         };
+        drop(pipeline_span);
         (report, net, compiled_f16)
     }
 }

@@ -1,8 +1,14 @@
-//! Pipeline reports with Table-I/Table-II style rendering.
+//! Pipeline reports with Table-I/Table-II style rendering, and the shared
+//! [`Report`] trait: one JSON-emission path for every structured result
+//! the stack produces (pipeline runs, serving counters, streaming-sim
+//! reports), built on the same hand-rolled [`rtm_trace::json`] helpers the
+//! benchmark artifacts use.
 
 use crate::serve::ServeStats;
 use rtm_pruning::schedule::CompressionTarget;
+use rtm_sim::streaming::{MultiStreamReport, ShedReport, StreamingReport};
 use rtm_sim::FrameReport;
+use rtm_trace::json::{json_row, JsonValue};
 use std::fmt::Write as _;
 
 /// The accuracy half of a pipeline run (Table I's columns).
@@ -122,6 +128,169 @@ impl PipelineReport {
     }
 }
 
+/// A structured result that renders itself through the one shared JSON
+/// path ([`rtm_trace::json`], the same helpers behind every `BENCH_*.json`
+/// artifact). Implemented for the pipeline report, the serving counters
+/// and the streaming-simulation reports, so every JSON the stack emits
+/// goes through a single escaping/formatting routine instead of a
+/// per-binary copy.
+pub trait Report {
+    /// Machine-readable kind tag (`"pipeline"`, `"serve_stats"`, …),
+    /// emitted as the leading `"report"` field.
+    fn kind(&self) -> &'static str;
+
+    /// The `(key, value)` pairs of the JSON object, in emission order.
+    fn fields(&self) -> Vec<(&'static str, JsonValue)>;
+
+    /// Renders one single-line JSON object: `{"report": kind, ...fields}`.
+    fn to_json(&self) -> String {
+        let mut all: Vec<(&str, JsonValue)> = vec![("report", JsonValue::Str(self.kind().into()))];
+        all.extend(self.fields());
+        json_row(&all)
+    }
+}
+
+/// Nested JSON for one simulated frame (shared by the GPU and CPU halves).
+fn frame_json(f: &FrameReport) -> String {
+    json_row(&[
+        ("time_us", JsonValue::F64(f.time_us, 2)),
+        ("gop_per_s", JsonValue::F64(f.gop_per_s, 2)),
+        ("energy_uj", JsonValue::F64(f.energy_uj, 2)),
+        ("efficiency_vs_ese", JsonValue::F64(f.efficiency_vs_ese, 3)),
+        ("kernels", JsonValue::Int(f.kernels as i64)),
+        (
+            "memory_bound_fraction",
+            JsonValue::F64(f.memory_bound_fraction, 3),
+        ),
+    ])
+}
+
+/// Nested JSON for one queueing result (shared by the streaming reports).
+fn streaming_json(r: &StreamingReport) -> String {
+    json_row(&[
+        ("period_us", JsonValue::F64(r.period_us, 2)),
+        ("service_us", JsonValue::F64(r.service_us, 2)),
+        ("stable", JsonValue::Raw(r.stable.to_string())),
+        ("frames", JsonValue::Int(r.latencies_us.len() as i64)),
+        ("max_latency_us", JsonValue::F64(r.max_latency_us, 2)),
+        ("mean_latency_us", JsonValue::F64(r.mean_latency_us, 2)),
+    ])
+}
+
+impl Report for PipelineReport {
+    fn kind(&self) -> &'static str {
+        "pipeline"
+    }
+
+    fn fields(&self) -> Vec<(&'static str, JsonValue)> {
+        let a = &self.accuracy;
+        let p = &self.performance;
+        vec![
+            (
+                "accuracy",
+                JsonValue::Raw(json_row(&[
+                    ("baseline_per", JsonValue::F64(a.baseline_per, 3)),
+                    ("pruned_per", JsonValue::F64(a.pruned_per, 3)),
+                    ("compiled_f16_per", JsonValue::F64(a.compiled_f16_per, 3)),
+                    ("degradation", JsonValue::F64(a.degradation(), 3)),
+                    ("achieved_rate", JsonValue::F64(a.achieved_rate, 2)),
+                    ("kept_params", JsonValue::Int(a.kept_params as i64)),
+                    ("total_params", JsonValue::Int(a.total_params as i64)),
+                ])),
+            ),
+            (
+                "performance",
+                JsonValue::Raw(json_row(&[
+                    ("col_rate", JsonValue::Raw(p.target.col_rate.to_string())),
+                    ("row_rate", JsonValue::Raw(p.target.row_rate.to_string())),
+                    ("workload_rate", JsonValue::F64(p.workload_rate, 2)),
+                    ("gop", JsonValue::F64(p.gop, 4)),
+                    ("gpu", JsonValue::Raw(frame_json(&p.gpu))),
+                    ("cpu", JsonValue::Raw(frame_json(&p.cpu))),
+                    (
+                        "storage_bytes_f16",
+                        JsonValue::Int(p.storage_bytes_f16 as i64),
+                    ),
+                ])),
+            ),
+            (
+                "serve",
+                match &self.serve {
+                    Some(s) => JsonValue::Raw(s.to_json()),
+                    None => JsonValue::Raw("null".to_string()),
+                },
+            ),
+        ]
+    }
+}
+
+impl Report for ServeStats {
+    fn kind(&self) -> &'static str {
+        "serve_stats"
+    }
+
+    fn fields(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("admitted", JsonValue::Int(self.admitted as i64)),
+            ("completed", JsonValue::Int(self.completed as i64)),
+            ("shed", JsonValue::Int(self.shed as i64)),
+            ("quarantined", JsonValue::Int(self.quarantined as i64)),
+            (
+                "deadline_missed",
+                JsonValue::Int(self.deadline_missed as i64),
+            ),
+            ("frames", JsonValue::Int(self.frames as i64)),
+        ]
+    }
+}
+
+impl Report for MultiStreamReport {
+    fn kind(&self) -> &'static str {
+        "multi_stream"
+    }
+
+    fn fields(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("streams", JsonValue::Int(self.streams as i64)),
+            ("batched", JsonValue::Raw(streaming_json(&self.batched))),
+            (
+                "serial_service_us",
+                JsonValue::F64(self.serial_service_us, 2),
+            ),
+            (
+                "per_stream_service_us",
+                JsonValue::F64(self.per_stream_service_us, 2),
+            ),
+            ("batch_speedup", JsonValue::F64(self.batch_speedup, 3)),
+        ]
+    }
+}
+
+impl Report for ShedReport {
+    fn kind(&self) -> &'static str {
+        "shed"
+    }
+
+    fn fields(&self) -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("offered", JsonValue::Int(self.offered as i64)),
+            ("capacity", JsonValue::Int(self.capacity as i64)),
+            ("served", JsonValue::Int(self.served as i64)),
+            ("shed_per_round", JsonValue::Int(self.shed_per_round as i64)),
+            ("policy", JsonValue::Str(self.policy.to_string())),
+            ("batched", JsonValue::Raw(streaming_json(&self.batched))),
+            (
+                "unshed_service_us",
+                JsonValue::F64(self.unshed_service_us, 2),
+            ),
+            (
+                "unshed_stable",
+                JsonValue::Raw(self.unshed_stable.to_string()),
+            ),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +360,69 @@ mod tests {
         assert!(text.contains("5 admitted"));
         assert!(text.contains("2 shed"));
         assert!(text.contains("1 quarantined"));
+    }
+
+    #[test]
+    fn report_trait_emits_tagged_json() {
+        let mut r = dummy();
+        let json = r.to_json();
+        assert!(json.starts_with("{\"report\": \"pipeline\""), "{json}");
+        assert!(json.contains("\"accuracy\": {\"baseline_per\": 12.000"));
+        assert!(json.contains("\"gpu\": {\"time_us\": 100.00"));
+        assert!(json.contains("\"serve\": null"));
+
+        let stats = ServeStats {
+            admitted: 5,
+            shed: 2,
+            quarantined: 1,
+            deadline_missed: 0,
+            frames: 40,
+            completed: 4,
+        };
+        let sj = stats.to_json();
+        assert!(sj.starts_with("{\"report\": \"serve_stats\""), "{sj}");
+        assert!(sj.contains("\"admitted\": 5"));
+        r.serve = Some(stats);
+        assert!(r
+            .to_json()
+            .contains("\"serve\": {\"report\": \"serve_stats\""));
+    }
+
+    #[test]
+    fn streaming_reports_emit_tagged_json() {
+        let batched = StreamingReport {
+            period_us: 250.0,
+            service_us: 100.0,
+            stable: true,
+            latencies_us: vec![100.0, 100.0],
+            max_latency_us: 100.0,
+            mean_latency_us: 100.0,
+        };
+        let ms = MultiStreamReport {
+            streams: 4,
+            batched: batched.clone(),
+            serial_service_us: 400.0,
+            per_stream_service_us: 25.0,
+            batch_speedup: 4.0,
+        };
+        let j = ms.to_json();
+        assert!(j.starts_with("{\"report\": \"multi_stream\""), "{j}");
+        assert!(j.contains("\"batched\": {\"period_us\": 250.00"));
+        assert!(j.contains("\"stable\": true"));
+
+        let shed = ShedReport {
+            offered: 8,
+            capacity: 4,
+            served: 4,
+            shed_per_round: 4,
+            policy: rtm_sim::streaming::ShedPolicy::DropOldest,
+            batched,
+            unshed_service_us: 180.0,
+            unshed_stable: false,
+        };
+        let j = shed.to_json();
+        assert!(j.starts_with("{\"report\": \"shed\""), "{j}");
+        assert!(j.contains("\"policy\": \"drop-oldest\""));
+        assert!(j.contains("\"unshed_stable\": false"));
     }
 }

@@ -253,7 +253,12 @@ pub fn measured_imbalance(w: &rtm_tensor::Matrix, threads: usize) -> f64 {
     let costs: Vec<usize> = (0..w.rows())
         .map(|r| w.row(r).iter().filter(|&&v| v != 0.0).count())
         .collect();
-    rtm_exec::Partition::balanced(&costs, threads).imbalance()
+    let imbalance = rtm_exec::Partition::balanced(&costs, threads).imbalance();
+    // Recorded next to the pool's live busy-time gauge
+    // (`exec.pool.imbalance`) so a traced run can cross-check the cost
+    // model's prediction against what the engine actually measured.
+    rtm_trace::gauge(rtm_trace::key::SIM_IMBALANCE, imbalance);
+    imbalance
 }
 
 #[cfg(test)]

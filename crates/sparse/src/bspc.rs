@@ -409,6 +409,11 @@ impl BspcMatrix {
             });
         }
         y.fill(0.0);
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMV_BSPC, 1),
+            (rtm_trace::key::KERNEL_ROWS, self.kept_rows.len() as u64),
+            (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
+        ]);
         let stripe_h = self.stripe_height();
         // One indexed dot over the stripe's shared column stream per kept
         // row, through the simd kernel layer. The vector realization
@@ -454,6 +459,11 @@ impl BspcMatrix {
         if b == 0 {
             return Ok(());
         }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMM_BSPC, 1),
+            (rtm_trace::key::KERNEL_ROWS, self.kept_rows.len() as u64),
+            (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
+        ]);
         let stripe_h = self.stripe_height();
         let v = rtm_tensor::simd::active_variant();
         for (k, &r) in self.kept_rows.iter().enumerate() {

@@ -178,6 +178,11 @@ impl CsrMatrix {
                 rhs: (x.len(), y.len()),
             });
         }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMV_CSR, 1),
+            (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
+            (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
+        ]);
         // One indexed dot per row through the simd kernel layer (AVX2 runs
         // the column gather in-register); the variant is hoisted so every
         // row of a call uses the same realization.
@@ -222,6 +227,11 @@ impl CsrMatrix {
         if b == 0 {
             return Ok(());
         }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMM_CSR, 1),
+            (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
+            (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
+        ]);
         let v = rtm_tensor::simd::active_variant();
         for (r, yr) in ys.chunks_exact_mut(b).enumerate() {
             let start = self.row_ptr[r] as usize;

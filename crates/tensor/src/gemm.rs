@@ -138,6 +138,11 @@ pub fn gemv_into(a: &Matrix, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError>
             rhs: (x.len(), 1),
         });
     }
+    rtm_trace::count_many(&[
+        (rtm_trace::key::GEMV_DENSE, 1),
+        (rtm_trace::key::KERNEL_ROWS, a.rows() as u64),
+        (rtm_trace::key::KERNEL_NNZ, (a.rows() * a.cols()) as u64),
+    ]);
     let v = crate::simd::active_variant();
     for (i, yi) in y.iter_mut().enumerate() {
         *yi = crate::simd::dot_variant(v, a.row(i), x);
@@ -169,6 +174,11 @@ pub fn gemv_batch_into(a: &Matrix, xs: &[f32], b: usize, ys: &mut [f32]) -> Resu
     if b == 0 {
         return Ok(());
     }
+    rtm_trace::count_many(&[
+        (rtm_trace::key::GEMM_DENSE, 1),
+        (rtm_trace::key::KERNEL_ROWS, a.rows() as u64),
+        (rtm_trace::key::KERNEL_NNZ, (a.rows() * a.cols()) as u64),
+    ]);
     let v = crate::simd::active_variant();
     for (i, yr) in ys.chunks_exact_mut(b).enumerate() {
         crate::simd::dot_batch_variant(v, a.row(i), xs, b, yr);

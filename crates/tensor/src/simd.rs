@@ -172,9 +172,9 @@ pub fn policy() -> SimdPolicy {
     if v != P_UNSET {
         return decode(v);
     }
-    let p = std::env::var("RTM_SIMD")
-        .ok()
-        .and_then(|s| parse_policy(&s))
+    let p = rtm_trace::env::raw("RTM_SIMD")
+        .as_deref()
+        .and_then(parse_policy)
         .unwrap_or(SimdPolicy::Auto);
     let _ = POLICY.compare_exchange(P_UNSET, encode(p), Ordering::Relaxed, Ordering::Relaxed);
     decode(POLICY.load(Ordering::Relaxed))
@@ -182,8 +182,13 @@ pub fn policy() -> SimdPolicy {
 
 /// The variant the dispatched entry points (`dot`, `axpy`, …) will run
 /// right now, after resolving [`policy`] against CPU support.
+///
+/// When tracing is enabled, every resolution bumps the per-variant
+/// dispatch counter named by [`dispatch_key`] — each kernel call resolves
+/// the variant exactly once (hoisted out of its row loop), so the counters
+/// count dispatched kernel calls per realization.
 pub fn active_variant() -> Variant {
-    match policy() {
+    let v = match policy() {
         SimdPolicy::Auto | SimdPolicy::Fixed(Variant::Vector) => {
             if vector_available() {
                 Variant::Vector
@@ -192,6 +197,21 @@ pub fn active_variant() -> Variant {
             }
         }
         SimdPolicy::Fixed(v) => v,
+    };
+    if rtm_trace::enabled() {
+        rtm_trace::global().counter_add(dispatch_key(v), 1);
+    }
+    v
+}
+
+/// The registry counter a dispatch of `v` increments:
+/// `simd.dispatch.<variant-name>`.
+pub fn dispatch_key(v: Variant) -> &'static str {
+    match v {
+        Variant::ScalarU1 => "simd.dispatch.scalar-u1",
+        Variant::ScalarU4 => "simd.dispatch.scalar-u4",
+        Variant::ScalarU8 => "simd.dispatch.scalar-u8",
+        Variant::Vector => "simd.dispatch.vector",
     }
 }
 

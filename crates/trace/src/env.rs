@@ -1,0 +1,84 @@
+//! Typed environment-variable access.
+//!
+//! The deployment-side knobs (`RTM_SIMD`, `RTM_HEALTH`, `RTM_TRACE`,
+//! `RTM_FUZZ_ITERS`) all flow through these two helpers, so "unset",
+//! "set and valid" and "set but garbage" are distinguished in one place
+//! with one error type instead of scattered `std::env::var(..).ok()`
+//! chains that silently swallow typos. `rtmobile::env` builds its
+//! per-variable accessors on top.
+
+use std::fmt;
+
+/// A set-but-unparseable environment variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvError {
+    /// The variable's name.
+    pub var: String,
+    /// The rejected value.
+    pub value: String,
+    /// Human-readable description of what would have been accepted.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}={:?} is invalid (expected {})",
+            self.var, self.value, self.expected
+        )
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// The raw value of `var`, or `None` when unset (or not valid UTF-8).
+pub fn raw(var: &str) -> Option<String> {
+    std::env::var(var).ok()
+}
+
+/// Reads and parses `var`: `Ok(None)` when unset, `Ok(Some(v))` when
+/// `parse` accepts the value, and a typed [`EnvError`] naming `expected`
+/// when the variable is set but `parse` rejects it.
+pub fn parsed<T>(
+    var: &str,
+    expected: &'static str,
+    parse: impl FnOnce(&str) -> Option<T>,
+) -> Result<Option<T>, EnvError> {
+    match raw(var) {
+        None => Ok(None),
+        Some(s) => match parse(&s) {
+            Some(v) => Ok(Some(v)),
+            None => Err(EnvError {
+                var: var.to_string(),
+                value: s,
+                expected,
+            }),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parsed_distinguishes_unset_valid_and_garbage() {
+        // The variable name is unique to this test, so the mutation cannot
+        // race any other test in this binary.
+        let var = "RTM_TRACE_TEST_ENV_VAR";
+        std::env::remove_var(var);
+        assert_eq!(parsed(var, "a digit", |s| s.parse::<u32>().ok()), Ok(None));
+        std::env::set_var(var, "42");
+        assert_eq!(
+            parsed(var, "a digit", |s| s.parse::<u32>().ok()),
+            Ok(Some(42))
+        );
+        std::env::set_var(var, "nope");
+        let err = parsed(var, "a digit", |s| s.parse::<u32>().ok()).unwrap_err();
+        assert_eq!(err.var, var);
+        assert_eq!(err.value, "nope");
+        assert!(err.to_string().contains("expected a digit"));
+        std::env::remove_var(var);
+    }
+}

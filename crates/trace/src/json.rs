@@ -1,0 +1,81 @@
+//! Hand-rolled JSON rendering (no serde in the offline workspace).
+//!
+//! One spot in the workspace knows how each value type renders: the
+//! registry's exporters, the pipeline's [`Report`]-trait emission and the
+//! benchmark binaries' artifact writers all build their documents from
+//! these three helpers, so every JSON the stack emits shares one escaping
+//! and formatting policy.
+//!
+//! [`Report`]: https://docs.rs/rtmobile (the `rtmobile::report::Report` trait)
+
+/// One value in a [`json_row`].
+pub enum JsonValue {
+    /// A quoted, escaped string.
+    Str(String),
+    /// An integer.
+    Int(i64),
+    /// A float printed with the given number of decimals.
+    F64(f64, usize),
+    /// Pre-rendered JSON spliced verbatim (nested objects, bare literals).
+    Raw(String),
+}
+
+impl JsonValue {
+    /// Renders this value as a JSON fragment.
+    pub fn render(&self) -> String {
+        match self {
+            JsonValue::Str(s) => format!("\"{}\"", s.replace('\\', "\\\\").replace('"', "\\\"")),
+            JsonValue::Int(i) => i.to_string(),
+            JsonValue::F64(v, prec) => format!("{v:.prec$}"),
+            JsonValue::Raw(r) => r.clone(),
+        }
+    }
+}
+
+/// Renders one single-line JSON object from `(key, value)` pairs.
+pub fn json_row(fields: &[(&str, JsonValue)]) -> String {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("\"{k}\": {}", v.render()))
+        .collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+/// Renders a JSON array of pre-rendered rows, one per line at `indent`,
+/// with correct comma placement.
+pub fn json_array(indent: &str, rows: &[String]) -> String {
+    if rows.is_empty() {
+        return "[]".to_string();
+    }
+    let body: Vec<String> = rows.iter().map(|r| format!("{indent}{r}")).collect();
+    format!(
+        "[\n{}\n{}]",
+        body.join(",\n"),
+        &indent[..indent.len().saturating_sub(2)]
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_helpers_render_valid_rows() {
+        let row = json_row(&[
+            ("kernel", JsonValue::Str("bspc \"q\"".into())),
+            ("threads", JsonValue::Int(4)),
+            ("us", JsonValue::F64(1.23456, 3)),
+            ("nested", JsonValue::Raw("{\"a\": 1}".into())),
+        ]);
+        assert_eq!(
+            row,
+            "{\"kernel\": \"bspc \\\"q\\\"\", \"threads\": 4, \"us\": 1.235, \
+             \"nested\": {\"a\": 1}}"
+        );
+        assert_eq!(json_array("    ", &[]), "[]");
+        assert_eq!(
+            json_array("    ", &["{}".into(), "{}".into()]),
+            "[\n    {},\n    {}\n  ]"
+        );
+    }
+}

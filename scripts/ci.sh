@@ -35,6 +35,12 @@ cargo test -q --workspace
 echo "==> cargo test -q (RTM_SIMD=off)"
 RTM_SIMD=off cargo test -q --workspace
 
+# Third pass with tracing globally enabled: the instrumented paths must
+# not change any result (trace_contract proves bit-identity for one model;
+# this proves the whole suite holds with every counter/span hot).
+echo "==> cargo test -q (RTM_TRACE=on)"
+RTM_TRACE=on cargo test -q --workspace
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -45,7 +51,7 @@ profile=()
 if [[ "$quick" -eq 0 ]]; then
   profile=(--release)
 fi
-for bin in parallel_spmv simd_kernels batched_spmm; do
+for bin in parallel_spmv simd_kernels batched_spmm trace_overhead; do
   cargo run -q "${profile[@]}" -p rtm-bench --bin "$bin" -- --quick >/dev/null
 done
 

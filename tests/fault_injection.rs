@@ -237,10 +237,7 @@ fn check_mode_observes_the_fault_without_dropping_it() {
 /// — every outcome is `Ok` or a typed `DecodeError`.
 #[test]
 fn model_decoder_survives_bitflip_and_truncation_fuzz() {
-    let iters: usize = std::env::var("RTM_FUZZ_ITERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(10_000);
+    let iters: usize = rtmobile::env::fuzz_iters().ok().flatten().unwrap_or(10_000);
     let compiled = CompiledNetwork::compile(&net(), 4, 4, RuntimePrecision::F16).unwrap();
     let pristine = model_file::to_bytes(&compiled);
     let mut inj = FaultInjector::new(0xFE11);
