@@ -25,7 +25,7 @@
 use crate::error::ExecError;
 use crate::partition::Partition;
 use crate::pool::{Task, WorkerPool};
-use rtm_sparse::{BspcMatrix, CsrMatrix};
+use rtm_sparse::{BspcMatrix, CsrMatrix, Precision};
 use rtm_tensor::Matrix;
 
 /// Computes `y[r] = A[r] · x` for the kept rows `kept_range` of a BSPC
@@ -295,6 +295,93 @@ impl Executor {
         Partition::balanced(&costs, self.threads())
     }
 
+    /// Fans a BSPC row-range kernel out over the cost-balanced kept-row
+    /// partition. `kernel(range, slice, base)` computes output rows
+    /// `[base, …)` of the kept slots `range` into `slice` (lane-major when
+    /// `lane_width > 1`). Chunk boundaries in the ascending kept-row space
+    /// map to disjoint output ranges, handed out via `split_at_mut` — the
+    /// lock-free scheme every precision shares.
+    fn run_bspc_chunks<F>(
+        &self,
+        m: &BspcMatrix,
+        y: &mut [f32],
+        lane_width: usize,
+        kernel: F,
+    ) -> Result<(), ExecError>
+    where
+        F: Fn(std::ops::Range<usize>, &mut [f32], usize) + Send + Sync,
+    {
+        let kept = m.kept_rows();
+        if self.threads() == 1 {
+            kernel(0..kept.len(), y, 0);
+            return Ok(());
+        }
+        let partition = self.partition_bspc(m);
+        if partition.len() <= 1 {
+            kernel(0..kept.len(), y, 0);
+            return Ok(());
+        }
+        // Chunk i owns output rows [boundary_i, boundary_{i+1}), where a
+        // boundary is the first kept row of the chunk (chunk 0 extends to
+        // row 0; the last chunk extends to m.rows()). Kept rows ascend, so
+        // the ranges are disjoint and ordered.
+        let chunks = partition.chunks();
+        let kernel = &kernel;
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(chunks.len());
+        let mut tail: &mut [f32] = y;
+        let mut base = 0usize;
+        for (i, chunk) in chunks.iter().enumerate() {
+            let end = if i + 1 < chunks.len() {
+                kept[chunks[i + 1].start] as usize
+            } else {
+                m.rows()
+            };
+            let (slice, rest) = tail.split_at_mut((end - base) * lane_width);
+            let range = chunk.start..chunk.end;
+            let slice_base = base;
+            tasks.push(Box::new(move || kernel(range, slice, slice_base)));
+            tail = rest;
+            base = end;
+        }
+        self.pool.run(tasks)
+    }
+
+    /// Fans a CSR row-range kernel out over the cost-balanced row
+    /// partition (see [`run_bspc_chunks`](Executor::run_bspc_chunks) for
+    /// the conventions; CSR chunks own their row range directly).
+    fn run_csr_chunks<F>(
+        &self,
+        m: &CsrMatrix,
+        y: &mut [f32],
+        lane_width: usize,
+        kernel: F,
+    ) -> Result<(), ExecError>
+    where
+        F: Fn(std::ops::Range<usize>, &mut [f32], usize) + Send + Sync,
+    {
+        if self.threads() == 1 {
+            kernel(0..m.rows(), y, 0);
+            return Ok(());
+        }
+        let partition = self.partition_csr(m);
+        if partition.len() <= 1 {
+            kernel(0..m.rows(), y, 0);
+            return Ok(());
+        }
+        let chunks = partition.chunks();
+        let kernel = &kernel;
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(chunks.len());
+        let mut tail: &mut [f32] = y;
+        for chunk in chunks {
+            let (slice, rest) = tail.split_at_mut((chunk.end - chunk.start) * lane_width);
+            let range = chunk.start..chunk.end;
+            let base = chunk.start;
+            tasks.push(Box::new(move || kernel(range, slice, base)));
+            tail = rest;
+        }
+        self.pool.run(tasks)
+    }
+
     /// Parallel BSPC SpMV, allocating the output.
     ///
     /// # Errors
@@ -328,49 +415,78 @@ impl Executor {
             ));
         }
         y.fill(0.0);
-        let kept = m.kept_rows();
         rtm_trace::count_many(&[
             (rtm_trace::key::SPMV_BSPC, 1),
-            (rtm_trace::key::KERNEL_ROWS, kept.len() as u64),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMV_BSPC, "f32"),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, m.kept_rows().len() as u64),
             (rtm_trace::key::KERNEL_NNZ, m.stored_len() as u64),
         ]);
-        if kept.is_empty() {
+        if m.kept_rows().is_empty() {
             return Ok(());
         }
-        if self.threads() == 1 {
-            bspc_rows_into(m, x, 0..kept.len(), y, 0);
+        self.run_bspc_chunks(m, y, 1, |range, slice, base| {
+            bspc_rows_into(m, x, range, slice, base)
+        })
+    }
+
+    /// Precision-dispatched parallel BSPC SpMV. [`Precision::F32`] is
+    /// exactly [`spmv_bspc_into`](Executor::spmv_bspc_into); f16 and int8
+    /// fan the corresponding `rtm_sparse` row-range kernels out over the
+    /// same cost-balanced partition. Int8 quantizes the activation vector
+    /// **once** at this entry — every chunk shares the codes — so results
+    /// are bit-identical to the serial
+    /// [`BspcMatrix::spmv_prec_into`] for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] when `x.len() != m.cols()` or
+    /// `y.len() != m.rows()`.
+    pub fn spmv_bspc_prec_into(
+        &self,
+        m: &BspcMatrix,
+        prec: Precision,
+        x: &[f32],
+        y: &mut [f32],
+    ) -> Result<(), ExecError> {
+        if prec == Precision::F32 {
+            return self.spmv_bspc_into(m, x, y);
+        }
+        if x.len() != m.cols() || y.len() != m.rows() {
+            return Err(ExecError::shape(
+                "parallel_bspc_spmv",
+                (m.rows(), m.cols()),
+                (x.len(), y.len()),
+            ));
+        }
+        y.fill(0.0);
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMV_BSPC, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMV_BSPC, prec.tag()),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, m.kept_rows().len() as u64),
+            (rtm_trace::key::KERNEL_NNZ, m.stored_len() as u64),
+        ]);
+        if m.kept_rows().is_empty() {
             return Ok(());
         }
-        let partition = self.partition_bspc(m);
-        if partition.len() <= 1 {
-            bspc_rows_into(m, x, 0..kept.len(), y, 0);
-            return Ok(());
+        match prec {
+            Precision::F16 => self.run_bspc_chunks(m, y, 1, |range, slice, base| {
+                m.spmv_rows_f16_into(x, range, slice, base)
+            }),
+            Precision::Int8 => {
+                let mut xq = Vec::with_capacity(x.len());
+                let sx = rtm_tensor::simd_i8::quantize_activations(x, &mut xq);
+                self.run_bspc_chunks(m, y, 1, |range, slice, base| {
+                    m.spmv_rows_i8_into(&xq, sx, range, slice, base)
+                })
+            }
+            Precision::F32 => unreachable!("handled above"),
         }
-        // Chunk i owns output rows [boundary_i, boundary_{i+1}), where a
-        // boundary is the first kept row of the chunk (chunk 0 extends to
-        // row 0; the last chunk extends to m.rows()). Kept rows ascend, so
-        // the ranges are disjoint and ordered — split_at_mut hands each
-        // task its own lock-free slice.
-        let chunks = partition.chunks();
-        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(chunks.len());
-        let mut tail: &mut [f32] = y;
-        let mut base = 0usize;
-        for (i, chunk) in chunks.iter().enumerate() {
-            let end = if i + 1 < chunks.len() {
-                kept[chunks[i + 1].start] as usize
-            } else {
-                m.rows()
-            };
-            let (slice, rest) = tail.split_at_mut(end - base);
-            let range = chunk.start..chunk.end;
-            let slice_base = base;
-            tasks.push(Box::new(move || {
-                bspc_rows_into(m, x, range, slice, slice_base);
-            }));
-            tail = rest;
-            base = end;
-        }
-        self.pool.run(tasks)
     }
 
     /// Parallel CSR SpMV, allocating the output.
@@ -401,34 +517,72 @@ impl Executor {
         }
         rtm_trace::count_many(&[
             (rtm_trace::key::SPMV_CSR, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMV_CSR, "f32"),
+                1,
+            ),
             (rtm_trace::key::KERNEL_ROWS, m.rows() as u64),
             (rtm_trace::key::KERNEL_NNZ, m.nnz() as u64),
         ]);
         if m.rows() == 0 {
             return Ok(());
         }
-        if self.threads() == 1 {
-            csr_rows_into(m, x, 0..m.rows(), y, 0);
+        self.run_csr_chunks(m, y, 1, |range, slice, base| {
+            csr_rows_into(m, x, range, slice, base)
+        })
+    }
+
+    /// Precision-dispatched parallel CSR SpMV (see
+    /// [`spmv_bspc_prec_into`](Executor::spmv_bspc_prec_into) for the
+    /// contract: bit-identical to the serial
+    /// [`CsrMatrix::spmv_prec_into`] at every thread count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] when `x.len() != m.cols()` or
+    /// `y.len() != m.rows()`.
+    pub fn spmv_csr_prec_into(
+        &self,
+        m: &CsrMatrix,
+        prec: Precision,
+        x: &[f32],
+        y: &mut [f32],
+    ) -> Result<(), ExecError> {
+        if prec == Precision::F32 {
+            return self.spmv_csr_into(m, x, y);
+        }
+        if x.len() != m.cols() || y.len() != m.rows() {
+            return Err(ExecError::shape(
+                "parallel_csr_spmv",
+                (m.rows(), m.cols()),
+                (x.len(), y.len()),
+            ));
+        }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMV_CSR, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMV_CSR, prec.tag()),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, m.rows() as u64),
+            (rtm_trace::key::KERNEL_NNZ, m.nnz() as u64),
+        ]);
+        if m.rows() == 0 {
             return Ok(());
         }
-        let partition = self.partition_csr(m);
-        if partition.len() <= 1 {
-            csr_rows_into(m, x, 0..m.rows(), y, 0);
-            return Ok(());
+        match prec {
+            Precision::F16 => self.run_csr_chunks(m, y, 1, |range, slice, base| {
+                m.spmv_rows_f16_into(x, range, slice, base)
+            }),
+            Precision::Int8 => {
+                let mut xq = Vec::with_capacity(x.len());
+                let sx = rtm_tensor::simd_i8::quantize_activations(x, &mut xq);
+                self.run_csr_chunks(m, y, 1, |range, slice, base| {
+                    m.spmv_rows_i8_into(&xq, sx, range, slice, base)
+                })
+            }
+            Precision::F32 => unreachable!("handled above"),
         }
-        let chunks = partition.chunks();
-        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(chunks.len());
-        let mut tail: &mut [f32] = y;
-        for chunk in chunks {
-            let (slice, rest) = tail.split_at_mut(chunk.end - chunk.start);
-            let range = chunk.start..chunk.end;
-            let base = chunk.start;
-            tasks.push(Box::new(move || {
-                csr_rows_into(m, x, range, slice, base);
-            }));
-            tail = rest;
-        }
-        self.pool.run(tasks)
     }
 
     /// Parallel dense GEMV, allocating the output.
@@ -520,46 +674,83 @@ impl Executor {
             ));
         }
         ys.fill(0.0);
-        let kept = m.kept_rows();
         rtm_trace::count_many(&[
             (rtm_trace::key::SPMM_BSPC, 1),
-            (rtm_trace::key::KERNEL_ROWS, kept.len() as u64),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMM_BSPC, "f32"),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, m.kept_rows().len() as u64),
             (rtm_trace::key::KERNEL_NNZ, m.stored_len() as u64),
         ]);
-        if kept.is_empty() || b == 0 {
-            return Ok(());
-        }
-        if self.threads() == 1 {
-            bspc_rows_batch_into(m, xs, b, 0..kept.len(), ys, 0);
-            return Ok(());
-        }
-        let partition = self.partition_bspc(m);
-        if partition.len() <= 1 {
-            bspc_rows_batch_into(m, xs, b, 0..kept.len(), ys, 0);
+        if m.kept_rows().is_empty() || b == 0 {
             return Ok(());
         }
         // Same disjoint output ranges as the SpMV path, scaled to flat
         // lane-major offsets: output row boundary r maps to element r·b.
-        let chunks = partition.chunks();
-        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(chunks.len());
-        let mut tail: &mut [f32] = ys;
-        let mut base = 0usize;
-        for (i, chunk) in chunks.iter().enumerate() {
-            let end = if i + 1 < chunks.len() {
-                kept[chunks[i + 1].start] as usize
-            } else {
-                m.rows()
-            };
-            let (slice, rest) = tail.split_at_mut((end - base) * b);
-            let range = chunk.start..chunk.end;
-            let slice_base = base;
-            tasks.push(Box::new(move || {
-                bspc_rows_batch_into(m, xs, b, range, slice, slice_base);
-            }));
-            tail = rest;
-            base = end;
+        self.run_bspc_chunks(m, ys, b, |range, slice, base| {
+            bspc_rows_batch_into(m, xs, b, range, slice, base)
+        })
+    }
+
+    /// Precision-dispatched parallel BSPC SpMM. Int8 quantizes each of the
+    /// `b` lanes once at this entry (per-lane scales), so every lane is
+    /// bit-identical to the serial [`BspcMatrix::spmm_prec_into`] — and, by
+    /// the sparse-level contract, to that precision's serial SpMV of the
+    /// lane's column — at every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] when `xs.len() != m.cols() * b` or
+    /// `ys.len() != m.rows() * b`.
+    pub fn spmm_bspc_prec_into(
+        &self,
+        m: &BspcMatrix,
+        prec: Precision,
+        xs: &[f32],
+        b: usize,
+        ys: &mut [f32],
+    ) -> Result<(), ExecError> {
+        if prec == Precision::F32 {
+            return self.spmm_bspc_into(m, xs, b, ys);
         }
-        self.pool.run(tasks)
+        if xs.len() != m.cols() * b || ys.len() != m.rows() * b {
+            return Err(ExecError::shape(
+                "parallel_bspc_spmm",
+                (m.rows(), m.cols()),
+                (xs.len(), b),
+            ));
+        }
+        ys.fill(0.0);
+        if b == 0 {
+            return Ok(());
+        }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMM_BSPC, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMM_BSPC, prec.tag()),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, m.kept_rows().len() as u64),
+            (rtm_trace::key::KERNEL_NNZ, m.stored_len() as u64),
+        ]);
+        if m.kept_rows().is_empty() {
+            return Ok(());
+        }
+        match prec {
+            Precision::F16 => self.run_bspc_chunks(m, ys, b, |range, slice, base| {
+                m.spmm_rows_f16_into(xs, b, range, slice, base)
+            }),
+            Precision::Int8 => {
+                let mut xq = Vec::with_capacity(xs.len());
+                let mut sxs = Vec::with_capacity(b);
+                rtm_tensor::simd_i8::quantize_activations_lanes(xs, b, &mut xq, &mut sxs);
+                self.run_bspc_chunks(m, ys, b, |range, slice, base| {
+                    m.spmm_rows_i8_into(&xq, &sxs, b, range, slice, base)
+                })
+            }
+            Precision::F32 => unreachable!("handled above"),
+        }
     }
 
     /// Parallel CSR SpMM over `b` interleaved input lanes. Bit-identical to
@@ -585,34 +776,76 @@ impl Executor {
         }
         rtm_trace::count_many(&[
             (rtm_trace::key::SPMM_CSR, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMM_CSR, "f32"),
+                1,
+            ),
             (rtm_trace::key::KERNEL_ROWS, m.rows() as u64),
             (rtm_trace::key::KERNEL_NNZ, m.nnz() as u64),
         ]);
         if m.rows() == 0 || b == 0 {
             return Ok(());
         }
-        if self.threads() == 1 {
-            csr_rows_batch_into(m, xs, b, 0..m.rows(), ys, 0);
+        self.run_csr_chunks(m, ys, b, |range, slice, base| {
+            csr_rows_batch_into(m, xs, b, range, slice, base)
+        })
+    }
+
+    /// Precision-dispatched parallel CSR SpMM (same contract as
+    /// [`spmm_bspc_prec_into`](Executor::spmm_bspc_prec_into)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] when `xs.len() != m.cols() * b` or
+    /// `ys.len() != m.rows() * b`.
+    pub fn spmm_csr_prec_into(
+        &self,
+        m: &CsrMatrix,
+        prec: Precision,
+        xs: &[f32],
+        b: usize,
+        ys: &mut [f32],
+    ) -> Result<(), ExecError> {
+        if prec == Precision::F32 {
+            return self.spmm_csr_into(m, xs, b, ys);
+        }
+        if xs.len() != m.cols() * b || ys.len() != m.rows() * b {
+            return Err(ExecError::shape(
+                "parallel_csr_spmm",
+                (m.rows(), m.cols()),
+                (xs.len(), b),
+            ));
+        }
+        ys.fill(0.0);
+        if b == 0 {
             return Ok(());
         }
-        let partition = self.partition_csr(m);
-        if partition.len() <= 1 {
-            csr_rows_batch_into(m, xs, b, 0..m.rows(), ys, 0);
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMM_CSR, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMM_CSR, prec.tag()),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, m.rows() as u64),
+            (rtm_trace::key::KERNEL_NNZ, m.nnz() as u64),
+        ]);
+        if m.rows() == 0 {
             return Ok(());
         }
-        let chunks = partition.chunks();
-        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(chunks.len());
-        let mut tail: &mut [f32] = ys;
-        for chunk in chunks {
-            let (slice, rest) = tail.split_at_mut((chunk.end - chunk.start) * b);
-            let range = chunk.start..chunk.end;
-            let base = chunk.start;
-            tasks.push(Box::new(move || {
-                csr_rows_batch_into(m, xs, b, range, slice, base);
-            }));
-            tail = rest;
+        match prec {
+            Precision::F16 => self.run_csr_chunks(m, ys, b, |range, slice, base| {
+                m.spmm_rows_f16_into(xs, b, range, slice, base)
+            }),
+            Precision::Int8 => {
+                let mut xq = Vec::with_capacity(xs.len());
+                let mut sxs = Vec::with_capacity(b);
+                rtm_tensor::simd_i8::quantize_activations_lanes(xs, b, &mut xq, &mut sxs);
+                self.run_csr_chunks(m, ys, b, |range, slice, base| {
+                    m.spmm_rows_i8_into(&xq, &sxs, b, range, slice, base)
+                })
+            }
+            Precision::F32 => unreachable!("handled above"),
         }
-        self.pool.run(tasks)
     }
 
     /// Parallel dense GEMM over `b` interleaved input lanes (the batched

@@ -3,7 +3,8 @@
 //! ```text
 //! rtm pipeline [--hidden N] [--col X] [--row Y] [--stripes S] [--blocks B]
 //!              [--seed K] [--threads T] [--batch B] [--simd POLICY]
-//!              [--health POLICY] [--trace OUT.json] [--save FILE.rtm]
+//!              [--health POLICY] [--precision CHOICE] [--trace OUT.json]
+//!              [--save FILE.rtm]
 //! rtm inspect FILE.rtm
 //! rtm help
 //! ```
@@ -43,7 +44,8 @@ fn print_help() {
     println!("USAGE:");
     println!("  rtm pipeline [--hidden N] [--col X] [--row Y] [--stripes S] [--blocks B]");
     println!("               [--seed K] [--threads T] [--batch B] [--simd POLICY]");
-    println!("               [--health POLICY] [--trace OUT.json] [--save FILE.rtm]");
+    println!("               [--health POLICY] [--precision CHOICE] [--trace OUT.json]");
+    println!("               [--save FILE.rtm]");
     println!("  rtm inspect FILE.rtm");
     println!("  rtm help");
     println!();
@@ -57,6 +59,12 @@ fn print_help() {
     println!("  --health picks the numerical-health policy of the batched scorer");
     println!("  and of model loading: off (default), check, or quarantine.");
     println!("  The RTM_HEALTH environment variable sets the same knob.");
+    println!();
+    println!("  --precision picks the weight storage precision of the compiled");
+    println!("  runtime: f32, f16 (default; the paper's mobile-GPU datapath), int8,");
+    println!("  or auto (measure the kernels per layer and pick the fastest, with");
+    println!("  a PER-degradation guard). The RTM_PRECISION environment variable");
+    println!("  sets the same knob.");
     println!();
     println!("  --trace enables the observability registry (RTM_TRACE sets the same");
     println!("  knob without an output file) and writes a Chrome trace_event file");
@@ -109,8 +117,19 @@ fn parse_or<T: std::str::FromStr>(
 }
 
 const PIPELINE_FLAGS: &[&str] = &[
-    "hidden", "col", "row", "stripes", "blocks", "seed", "threads", "batch", "simd", "health",
-    "trace", "save",
+    "hidden",
+    "col",
+    "row",
+    "stripes",
+    "blocks",
+    "seed",
+    "threads",
+    "batch",
+    "simd",
+    "health",
+    "precision",
+    "trace",
+    "save",
 ];
 
 /// Where the metrics dump lands next to a `--trace` output path:
@@ -187,6 +206,16 @@ fn pipeline(args: &[String]) -> ExitCode {
             Some(p) => runtime = runtime.with_health(p),
             None => {
                 eprintln!("--health must be off, check or quarantine (got {v})");
+                return ExitCode::FAILURE;
+            }
+        },
+    }
+    match flags.get("precision") {
+        None => {}
+        Some(v) => match rtmobile::PrecisionChoice::parse(v) {
+            Some(p) => runtime = runtime.with_precision(p),
+            None => {
+                eprintln!("--precision must be f32, f16, int8 or auto (got {v})");
                 return ExitCode::FAILURE;
             }
         },

@@ -14,10 +14,43 @@
 //! `RTM_TRACE`) in charge, exactly as the pre-consolidation builder
 //! methods did.
 
+use crate::deploy::RuntimePrecision;
 use crate::health::HealthPolicy;
 use crate::serve::AdmissionConfig;
 use rtm_tensor::simd::SimdPolicy;
 use rtm_trace::TraceConfig;
+
+/// How the pipeline picks the storage precision of the compiled weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrecisionChoice {
+    /// Compile every layer at this precision.
+    Fixed(RuntimePrecision),
+    /// Measure the f32/f16/int8 kernels per layer shape and pick the
+    /// fastest per layer, subject to the pipeline's accuracy guard (a
+    /// PER-degradation bound versus the f32 baseline; violations fall back
+    /// to all-f32).
+    Auto,
+}
+
+impl PrecisionChoice {
+    /// Parses `"f32"`, `"f16"`, `"int8"` or `"auto"` (the `RTM_PRECISION`
+    /// / `--precision` grammar).
+    pub fn parse(s: &str) -> Option<PrecisionChoice> {
+        if s == "auto" {
+            Some(PrecisionChoice::Auto)
+        } else {
+            RuntimePrecision::parse(s).map(PrecisionChoice::Fixed)
+        }
+    }
+
+    /// The label [`PrecisionChoice::parse`] accepts for this value.
+    pub fn tag(self) -> &'static str {
+        match self {
+            PrecisionChoice::Fixed(p) => p.tag(),
+            PrecisionChoice::Auto => "auto",
+        }
+    }
+}
 
 /// Every runtime knob of the serving stack in one place.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +67,9 @@ pub struct RuntimeConfig {
     pub health: Option<HealthPolicy>,
     /// Observability switch; `None` defers to `RTM_TRACE`.
     pub trace: Option<TraceConfig>,
+    /// Weight storage precision; `None` defers to `RTM_PRECISION` (and the
+    /// pipeline's f16 default when that is unset too).
+    pub precision: Option<PrecisionChoice>,
     /// Admission control of the batched scheduler (unbounded by default).
     pub admission: AdmissionConfig,
 }
@@ -46,6 +82,7 @@ impl Default for RuntimeConfig {
             simd: None,
             health: None,
             trace: None,
+            precision: None,
             admission: AdmissionConfig::unbounded(),
         }
     }
@@ -65,6 +102,7 @@ impl RuntimeConfig {
             simd: crate::env::simd_policy()?,
             health: crate::env::health_policy()?,
             trace: crate::env::trace_config()?,
+            precision: crate::env::precision_choice()?,
             ..RuntimeConfig::default()
         })
     }
@@ -109,10 +147,25 @@ impl RuntimeConfig {
         self
     }
 
+    /// Pins the weight storage precision (overrides `RTM_PRECISION`).
+    pub fn with_precision(mut self, precision: PrecisionChoice) -> RuntimeConfig {
+        self.precision = Some(precision);
+        self
+    }
+
     /// Sets the batched scheduler's admission control.
     pub fn with_admission(mut self, admission: AdmissionConfig) -> RuntimeConfig {
         self.admission = admission;
         self
+    }
+
+    /// The precision choice a run resolves to: the pinned one, otherwise
+    /// the `RTM_PRECISION` deployment default, otherwise the pipeline's
+    /// f16 default (the paper's mobile-GPU datapath).
+    pub fn resolved_precision(&self) -> PrecisionChoice {
+        self.precision
+            .or_else(|| crate::env::precision_choice().ok().flatten())
+            .unwrap_or(PrecisionChoice::Fixed(RuntimePrecision::F16))
     }
 
     /// The health policy a run resolves to: the pinned one, otherwise the
@@ -149,7 +202,25 @@ mod tests {
         assert_eq!(c.simd, None);
         assert_eq!(c.health, None);
         assert_eq!(c.trace, None);
+        assert_eq!(c.precision, None);
         assert_eq!(c.admission, AdmissionConfig::unbounded());
+    }
+
+    #[test]
+    fn precision_choice_parses_and_roundtrips() {
+        use crate::deploy::RuntimePrecision;
+        for choice in [
+            PrecisionChoice::Fixed(RuntimePrecision::F32),
+            PrecisionChoice::Fixed(RuntimePrecision::F16),
+            PrecisionChoice::Fixed(RuntimePrecision::Int8),
+            PrecisionChoice::Auto,
+        ] {
+            assert_eq!(PrecisionChoice::parse(choice.tag()), Some(choice));
+        }
+        assert_eq!(PrecisionChoice::parse("fp64"), None);
+        let c = RuntimeConfig::default().with_precision(PrecisionChoice::Auto);
+        assert_eq!(c.precision, Some(PrecisionChoice::Auto));
+        assert_eq!(c.resolved_precision(), PrecisionChoice::Auto);
     }
 
     #[test]

@@ -20,19 +20,59 @@ use rtm_tensor::{Matrix, Vector};
 use std::collections::VecDeque;
 
 /// Numeric mode of the compiled runtime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RuntimePrecision {
     /// Full f32 (CPU path).
     #[default]
     F32,
-    /// Round weights and activations through binary16 (GPU path).
+    /// Round weights and activations through binary16 (GPU path); the gate
+    /// kernels then stream the 2-byte stored form and accumulate in f32.
     F16,
-    /// Symmetric int8 *weight-only* quantization (the DESIGN.md §6 what-if
-    /// CPU path): weights round through int8, activations stay f32.
+    /// Symmetric int8 storage: gate weights keep their f32 values but the
+    /// kernels stream the per-stripe-block int8 sidecar, quantize the
+    /// activation vector per call, and accumulate in i32 (one dequantize
+    /// at store).
     Int8,
 }
 
-/// One compiled GRU layer: six BSPC gate matrices plus biases.
+impl RuntimePrecision {
+    /// The sparse storage precision this runtime mode streams.
+    pub fn storage(self) -> rtm_sparse::Precision {
+        match self {
+            RuntimePrecision::F32 => rtm_sparse::Precision::F32,
+            RuntimePrecision::F16 => rtm_sparse::Precision::F16,
+            RuntimePrecision::Int8 => rtm_sparse::Precision::Int8,
+        }
+    }
+
+    /// Short lowercase label ("f32" / "f16" / "int8").
+    pub fn tag(self) -> &'static str {
+        self.storage().tag()
+    }
+
+    /// The runtime mode that streams `storage`
+    /// ([`RuntimePrecision::storage`] inverse).
+    pub fn from_storage(storage: rtm_sparse::Precision) -> RuntimePrecision {
+        match storage {
+            rtm_sparse::Precision::F32 => RuntimePrecision::F32,
+            rtm_sparse::Precision::F16 => RuntimePrecision::F16,
+            rtm_sparse::Precision::Int8 => RuntimePrecision::Int8,
+        }
+    }
+
+    /// Parses the lowercase label back ([`RuntimePrecision::tag`] inverse).
+    pub fn parse(s: &str) -> Option<RuntimePrecision> {
+        match s {
+            "f32" => Some(RuntimePrecision::F32),
+            "f16" => Some(RuntimePrecision::F16),
+            "int8" => Some(RuntimePrecision::Int8),
+            _ => None,
+        }
+    }
+}
+
+/// One compiled GRU layer: six BSPC gate matrices plus biases, executed at
+/// its own storage precision (per-layer selection is the tuner's job).
 #[derive(Debug, Clone)]
 pub struct CompiledGruLayer {
     pub(crate) w_z: BspcMatrix,
@@ -45,6 +85,7 @@ pub struct CompiledGruLayer {
     pub(crate) u_n: BspcMatrix,
     pub(crate) b_n: Vec<f32>,
     pub(crate) hidden: usize,
+    pub(crate) precision: RuntimePrecision,
 }
 
 /// A GRU network compiled to BSPC sparse storage.
@@ -120,15 +161,41 @@ impl CompiledNetwork {
         blocks: usize,
         precision: RuntimePrecision,
     ) -> Result<CompiledNetwork, rtm_sparse::BspcError> {
-        let quant = |m: &Matrix| -> Matrix {
+        CompiledNetwork::compile_with_precisions(net, stripes, blocks, &[], precision)
+    }
+
+    /// [`CompiledNetwork::compile`] with a per-layer precision override:
+    /// layer `i` compiles and runs at `per_layer[i]` (layers past the end
+    /// of the slice use `default`). `default` also sets the network-level
+    /// activation rounding and head precision. This is the deployment hook
+    /// for the tuner's measured per-layer precision selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`rtm_sparse::BspcError`] when the partition
+    /// does not fit a tensor.
+    pub fn compile_with_precisions(
+        net: &GruNetwork,
+        stripes: usize,
+        blocks: usize,
+        per_layer: &[RuntimePrecision],
+        default: RuntimePrecision,
+    ) -> Result<CompiledNetwork, rtm_sparse::BspcError> {
+        // What the stored weights look like per precision: f16 pre-rounds
+        // (the 2-byte sidecar is then exact, so the f16 kernels match the
+        // f32 kernels bit for bit on these values); int8 keeps the original
+        // f32 values — the BSPC int8 sidecar derived from them is what the
+        // kernels stream, and dequantizing here would round the codes twice.
+        let quant = |m: &Matrix, precision: RuntimePrecision| -> Matrix {
             match precision {
-                RuntimePrecision::F32 => m.clone(),
+                RuntimePrecision::F32 | RuntimePrecision::Int8 => m.clone(),
                 RuntimePrecision::F16 => m.map(quantize_f16),
-                RuntimePrecision::Int8 => rtm_tensor::QuantizedMatrix::quantize(m).dequantize(),
             }
         };
-        let lower = |m: &Matrix| -> Result<BspcMatrix, rtm_sparse::BspcError> {
-            let q = quant(m);
+        let lower = |m: &Matrix,
+                     precision: RuntimePrecision|
+         -> Result<BspcMatrix, rtm_sparse::BspcError> {
+            let q = quant(m, precision);
             let s = stripes.min(q.rows().max(1));
             let b = blocks.min(q.cols().max(1));
             let reorder = ReorderPlan::compute(&q, 8);
@@ -137,31 +204,48 @@ impl CompiledNetwork {
         };
 
         let mut layers = Vec::with_capacity(net.layers.len());
-        for cell in &net.layers {
+        for (i, cell) in net.layers.iter().enumerate() {
+            let precision = per_layer.get(i).copied().unwrap_or(default);
             layers.push(CompiledGruLayer {
-                w_z: lower(&cell.w_z)?,
-                u_z: lower(&cell.u_z)?,
+                w_z: lower(&cell.w_z, precision)?,
+                u_z: lower(&cell.u_z, precision)?,
                 b_z: cell.b_z.clone(),
-                w_r: lower(&cell.w_r)?,
-                u_r: lower(&cell.u_r)?,
+                w_r: lower(&cell.w_r, precision)?,
+                u_r: lower(&cell.u_r, precision)?,
                 b_r: cell.b_r.clone(),
-                w_n: lower(&cell.w_n)?,
-                u_n: lower(&cell.u_n)?,
+                w_n: lower(&cell.w_n, precision)?,
+                u_n: lower(&cell.u_n, precision)?,
                 b_n: cell.b_n.clone(),
                 hidden: cell.hidden_dim(),
+                precision,
             });
         }
+        // The head stays a dense f32 gemv; int8 models weight-only
+        // per-tensor quantization there (the DESIGN.md §6 what-if).
+        let head_w = match default {
+            RuntimePrecision::F32 => net.head.w.clone(),
+            RuntimePrecision::F16 => net.head.w.map(quantize_f16),
+            RuntimePrecision::Int8 => {
+                rtm_tensor::QuantizedMatrix::quantize(&net.head.w).dequantize()
+            }
+        };
         Ok(CompiledNetwork {
             layers,
-            head_w: quant(&net.head.w),
+            head_w,
             head_b: net.head.b.clone(),
-            precision,
+            precision: default,
         })
     }
 
-    /// The numeric mode.
+    /// The network-level numeric mode (per-layer overrides may differ; see
+    /// [`CompiledNetwork::layer_precisions`]).
     pub fn precision(&self) -> RuntimePrecision {
         self.precision
+    }
+
+    /// The storage precision each compiled layer runs at, in layer order.
+    pub fn layer_precisions(&self) -> Vec<RuntimePrecision> {
+        self.layers.iter().map(|l| l.precision).collect()
     }
 
     /// The compiled GRU layers, in execution order.
@@ -169,19 +253,16 @@ impl CompiledNetwork {
         &self.layers
     }
 
-    /// Total bytes of the compiled weight storage (values + indices) at the
-    /// runtime precision.
+    /// Total bytes of the compiled weight storage (values + indices +
+    /// quantization scale metadata) at each layer's runtime precision.
     pub fn storage_bytes(&self) -> usize {
-        use rtm_sparse::footprint::{Footprint, Precision};
-        let prec = match self.precision {
-            RuntimePrecision::F32 => Precision::F32,
-            RuntimePrecision::F16 => Precision::F16,
-            RuntimePrecision::Int8 => Precision::Int8,
-        };
+        use rtm_sparse::footprint::Footprint;
         self.layers
             .iter()
-            .flat_map(|l| [&l.w_z, &l.u_z, &l.w_r, &l.u_r, &l.w_n, &l.u_n])
-            .map(|m| Footprint::bspc(m, prec).total())
+            .flat_map(|l| {
+                [&l.w_z, &l.u_z, &l.w_r, &l.u_r, &l.w_n, &l.u_n]
+                    .map(|m| Footprint::bspc(m, l.precision.storage()).total())
+            })
             .sum()
     }
 
@@ -213,7 +294,7 @@ impl CompiledNetwork {
             x.extend_from_slice(frame);
             self.maybe_quantize(&mut x);
             for (layer, h) in self.layers.iter().zip(states.iter_mut()) {
-                layer.step_into(&x, h, self.precision, &mut scratch, &mut h_next);
+                layer.step_into(&x, h, &mut scratch, &mut h_next);
                 std::mem::swap(h, &mut h_next);
                 x.clear();
                 x.extend_from_slice(h);
@@ -252,7 +333,7 @@ impl CompiledNetwork {
             x.extend_from_slice(frame);
             self.maybe_quantize(&mut x);
             for (layer, h) in self.layers.iter().zip(states.iter_mut()) {
-                layer.step_with_into(exec, &x, h, self.precision, &mut scratch, &mut h_next);
+                layer.step_with_into(exec, &x, h, &mut scratch, &mut h_next);
                 std::mem::swap(h, &mut h_next);
                 x.clear();
                 x.extend_from_slice(h);
@@ -342,44 +423,60 @@ impl FusedGruLayer {
 }
 
 impl CompiledGruLayer {
+    /// The storage precision this layer's gate kernels stream.
+    pub fn precision(&self) -> RuntimePrecision {
+        self.precision
+    }
+
     /// One serial GRU step, allocation-free: gates and temporaries live in
-    /// `scratch`, the fresh state lands in `h_out` (resized on entry).
+    /// `scratch`, the fresh state lands in `h_out` (resized on entry). Every
+    /// gate SpMV streams the layer's compiled storage precision.
     fn step_into(
         &self,
         x: &[f32],
         h_prev: &[f32],
-        precision: RuntimePrecision,
         scratch: &mut GruRuntimeScratch,
         h_out: &mut Vec<f32>,
     ) {
         let quantize = |v: &mut [f32]| {
-            if precision == RuntimePrecision::F16 {
+            if self.precision == RuntimePrecision::F16 {
                 for e in v.iter_mut() {
                     *e = quantize_f16(*e);
                 }
             }
         };
+        let prec = self.precision.storage();
         scratch.reserve(self.hidden);
         h_out.resize(self.hidden, 0.0);
 
-        self.w_z.spmv_into(x, &mut scratch.z).expect("dims");
-        self.u_z.spmv_into(h_prev, &mut scratch.tmp).expect("dims");
+        self.w_z
+            .spmv_prec_into(prec, x, &mut scratch.z)
+            .expect("dims");
+        self.u_z
+            .spmv_prec_into(prec, h_prev, &mut scratch.tmp)
+            .expect("dims");
         Vector::axpy(1.0, &scratch.tmp, &mut scratch.z);
         Vector::axpy(1.0, &self.b_z, &mut scratch.z);
         sigmoid_slice(&mut scratch.z);
         quantize(&mut scratch.z);
 
-        self.w_r.spmv_into(x, &mut scratch.r).expect("dims");
-        self.u_r.spmv_into(h_prev, &mut scratch.tmp).expect("dims");
+        self.w_r
+            .spmv_prec_into(prec, x, &mut scratch.r)
+            .expect("dims");
+        self.u_r
+            .spmv_prec_into(prec, h_prev, &mut scratch.tmp)
+            .expect("dims");
         Vector::axpy(1.0, &scratch.tmp, &mut scratch.r);
         Vector::axpy(1.0, &self.b_r, &mut scratch.r);
         sigmoid_slice(&mut scratch.r);
         quantize(&mut scratch.r);
 
         Vector::hadamard_into(&scratch.r, h_prev, &mut scratch.rh);
-        self.w_n.spmv_into(x, &mut scratch.n).expect("dims");
+        self.w_n
+            .spmv_prec_into(prec, x, &mut scratch.n)
+            .expect("dims");
         self.u_n
-            .spmv_into(&scratch.rh, &mut scratch.tmp)
+            .spmv_prec_into(prec, &scratch.rh, &mut scratch.tmp)
             .expect("dims");
         Vector::axpy(1.0, &scratch.tmp, &mut scratch.n);
         Vector::axpy(1.0, &self.b_n, &mut scratch.n);
@@ -405,25 +502,28 @@ impl CompiledGruLayer {
         exec: &rtm_exec::Executor,
         x: &[f32],
         h_prev: &[f32],
-        precision: RuntimePrecision,
         scratch: &mut GruRuntimeScratch,
         h_out: &mut Vec<f32>,
     ) {
         let quantize = |v: &mut [f32]| {
-            if precision == RuntimePrecision::F16 {
+            if self.precision == RuntimePrecision::F16 {
                 for e in v.iter_mut() {
                     *e = quantize_f16(*e);
                 }
             }
         };
+        let prec = self.precision.storage();
         scratch.reserve(self.hidden);
         h_out.resize(self.hidden, 0.0);
 
         // Phase A: everything that only needs x and h_prev. The gate input
-        // terms land in z/r/n, the recurrent terms in tmp2/tmp3.
+        // terms land in z/r/n, the recurrent terms in tmp2/tmp3. Each task
+        // runs the serial precision entry — activation quantization for int8
+        // happens per task, but it is a deterministic pure function of the
+        // input vector, so the codes match the serial step's exactly.
         {
             let spmv = |m: &BspcMatrix, v: &[f32], out: &mut [f32]| {
-                m.spmv_into(v, out).expect("dims");
+                m.spmv_prec_into(prec, v, out).expect("dims");
             };
             let wzx = &mut scratch.z;
             let uzh = &mut scratch.tmp2;
@@ -452,7 +552,7 @@ impl CompiledGruLayer {
 
         // Phase B: the candidate recurrence, row-parallel across the pool.
         Vector::hadamard_into(&scratch.r, h_prev, &mut scratch.rh);
-        exec.spmv_bspc_into(&self.u_n, &scratch.rh, &mut scratch.tmp)
+        exec.spmv_bspc_prec_into(&self.u_n, prec, &scratch.rh, &mut scratch.tmp)
             .expect("dims");
         Vector::axpy(1.0, &scratch.tmp, &mut scratch.n);
         Vector::axpy(1.0, &self.b_n, &mut scratch.n);
@@ -477,7 +577,14 @@ impl CompiledGruLayer {
     /// thread count and simd policy: the SpMM kernels replay the serial
     /// accumulation order per lane, all axpys here use `α = 1` (where FMA
     /// and mul+add round identically), and the remaining ops are
-    /// element-wise with one rounding each.
+    /// element-wise with one rounding each. Under int8 the lane contract
+    /// holds exactly: the batched kernel quantizes each lane's activation
+    /// column with its own scale, reproducing the serial step's codes.
+    ///
+    /// `precision` is normally the layer's compiled
+    /// [`precision`](CompiledGruLayer::precision); passing another value
+    /// runs the gate kernels in that mode instead (the f32 weights are
+    /// always present, and the f16/int8 sidecars ride along).
     ///
     /// # Errors
     ///
@@ -504,27 +611,28 @@ impl CompiledGruLayer {
                 }
             }
         };
+        let prec = precision.storage();
         let hb = self.hidden * b;
         scratch.reserve(hb);
         hs_out.resize(hb, 0.0);
 
-        exec.spmm_bspc_into(&self.w_z, xs, b, &mut scratch.z)?;
-        exec.spmm_bspc_into(&self.u_z, hs_prev, b, &mut scratch.tmp)?;
+        exec.spmm_bspc_prec_into(&self.w_z, prec, xs, b, &mut scratch.z)?;
+        exec.spmm_bspc_prec_into(&self.u_z, prec, hs_prev, b, &mut scratch.tmp)?;
         Vector::axpy(1.0, &scratch.tmp, &mut scratch.z);
         rtm_tensor::simd::broadcast_add(&self.b_z, b, &mut scratch.z);
         sigmoid_slice(&mut scratch.z);
         quantize(&mut scratch.z);
 
-        exec.spmm_bspc_into(&self.w_r, xs, b, &mut scratch.r)?;
-        exec.spmm_bspc_into(&self.u_r, hs_prev, b, &mut scratch.tmp)?;
+        exec.spmm_bspc_prec_into(&self.w_r, prec, xs, b, &mut scratch.r)?;
+        exec.spmm_bspc_prec_into(&self.u_r, prec, hs_prev, b, &mut scratch.tmp)?;
         Vector::axpy(1.0, &scratch.tmp, &mut scratch.r);
         rtm_tensor::simd::broadcast_add(&self.b_r, b, &mut scratch.r);
         sigmoid_slice(&mut scratch.r);
         quantize(&mut scratch.r);
 
         Vector::hadamard_into(&scratch.r, hs_prev, &mut scratch.rh);
-        exec.spmm_bspc_into(&self.w_n, xs, b, &mut scratch.n)?;
-        exec.spmm_bspc_into(&self.u_n, &scratch.rh, b, &mut scratch.tmp)?;
+        exec.spmm_bspc_prec_into(&self.w_n, prec, xs, b, &mut scratch.n)?;
+        exec.spmm_bspc_prec_into(&self.u_n, prec, &scratch.rh, b, &mut scratch.tmp)?;
         Vector::axpy(1.0, &scratch.tmp, &mut scratch.n);
         rtm_tensor::simd::broadcast_add(&self.b_n, b, &mut scratch.n);
         tanh_slice(&mut scratch.n);
@@ -569,7 +677,7 @@ impl CompiledNetwork {
     ) -> Result<(), ExecError> {
         self.maybe_quantize(xs);
         for (layer, hs) in self.layers.iter().zip(states.iter_mut()) {
-            layer.step_batch_into(exec, xs, hs, b, self.precision, scratch, hs_next)?;
+            layer.step_batch_into(exec, xs, hs, b, layer.precision, scratch, hs_next)?;
             std::mem::swap(hs, hs_next);
             xs.clear();
             xs.extend_from_slice(hs);

@@ -62,6 +62,20 @@ pub fn trace_config() -> Result<Option<TraceConfig>, EnvError> {
     )
 }
 
+/// `RTM_PRECISION`: the weight storage precision of the compiled pipeline.
+///
+/// # Errors
+///
+/// [`EnvError`] if the variable is set to something
+/// [`crate::config::PrecisionChoice::parse`] rejects.
+pub fn precision_choice() -> Result<Option<crate::config::PrecisionChoice>, EnvError> {
+    rtm_trace::env::parsed(
+        "RTM_PRECISION",
+        "f32, f16, int8 or auto",
+        crate::config::PrecisionChoice::parse,
+    )
+}
+
 /// `RTM_FUZZ_ITERS`: iteration budget of the fault-injection harness.
 ///
 /// # Errors

@@ -44,8 +44,10 @@ pub mod pipeline;
 pub mod report;
 pub mod serve;
 
-pub use config::RuntimeConfig;
-pub use deploy::{BatchedSession, CompiledNetwork, FusedGruLayer, GruRuntimeScratch};
+pub use config::{PrecisionChoice, RuntimeConfig};
+pub use deploy::{
+    BatchedSession, CompiledNetwork, FusedGruLayer, GruRuntimeScratch, RuntimePrecision,
+};
 pub use health::HealthPolicy;
 pub use pipeline::RtMobile;
 pub use report::{PipelineReport, Report};

@@ -9,11 +9,18 @@
 //! Layout (little-endian):
 //!
 //! ```text
-//! magic "RTMF" 4 B, version u16, precision u8, layer_count u32
-//! per layer: hidden u32, 6 x BSPC blobs (w_z u_z w_r u_r w_n u_n),
+//! magic "RTMF" 4 B, version u16, precision u8 (network default),
+//! layer_count u32
+//! per layer: hidden u32, precision u8,
+//!            6 x BSPC blobs (w_z u_z w_r u_r w_n u_n) at the layer's
+//!            storage precision (int8 layers ship native codes + scales),
 //!            3 x bias runs (len u32 + f32s)
 //! head: rows u32, cols u32, f32 weights, f32 bias
 //! ```
+//!
+//! Version 2 added the per-layer precision byte and native int8 blobs;
+//! version-1 files are rejected with
+//! [`DecodeError::BadVersion`](rtm_sparse::io::DecodeError::BadVersion).
 
 use crate::deploy::{CompiledGruLayer, CompiledNetwork, RuntimePrecision};
 use rtm_sparse::footprint::Precision;
@@ -26,32 +33,41 @@ use rtm_tensor::Matrix;
 pub const MAGIC: &[u8; 4] = b"RTMF";
 
 /// Current model-file version.
-pub const VERSION: u16 = 1;
+pub const VERSION: u16 = 2;
 
-/// Serializes a compiled network to the `.rtm` byte format.
-///
-/// Values are stored at the network's runtime precision (f16 halves the
-/// file on the GPU path).
-pub fn to_bytes(net: &CompiledNetwork) -> Vec<u8> {
-    // Int8 compiled networks hold dequantized f32 weights (weight-only
-    // quantization); the file stores them as f16 — an extra rounding of at
-    // most 2^-11 relative, negligible next to the int8 quantization step
-    // already accepted.
-    let prec = match net.precision {
-        RuntimePrecision::F32 => Precision::F32,
-        RuntimePrecision::F16 | RuntimePrecision::Int8 => Precision::F16,
-    };
-    let mut out = Vec::new();
-    out.put_slice(MAGIC);
-    out.put_u16_le(VERSION);
-    out.put_u8(match net.precision {
+fn precision_code(p: RuntimePrecision) -> u8 {
+    match p {
         RuntimePrecision::F32 => 0,
         RuntimePrecision::F16 => 1,
         RuntimePrecision::Int8 => 2,
-    });
+    }
+}
+
+fn precision_from_code(code: u8) -> Result<RuntimePrecision, DecodeError> {
+    match code {
+        0 => Ok(RuntimePrecision::F32),
+        1 => Ok(RuntimePrecision::F16),
+        2 => Ok(RuntimePrecision::Int8),
+        other => Err(DecodeError::BadPrecision(other)),
+    }
+}
+
+/// Serializes a compiled network to the `.rtm` byte format.
+///
+/// Each layer's gate blobs are stored at that layer's runtime precision:
+/// f16 halves the value bytes, int8 ships the native per-stripe-block codes
+/// and scales — the decoded network's int8 kernels stream the exact same
+/// sidecar, so the functional roundtrip is bit-exact for every precision.
+pub fn to_bytes(net: &CompiledNetwork) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.put_slice(MAGIC);
+    out.put_u16_le(VERSION);
+    out.put_u8(precision_code(net.precision));
     out.put_u32_le(net.layers.len() as u32);
     for layer in &net.layers {
         out.put_u32_le(layer.hidden as u32);
+        out.put_u8(precision_code(layer.precision));
+        let prec: Precision = layer.precision.storage();
         for m in [
             &layer.w_z, &layer.u_z, &layer.w_r, &layer.u_r, &layer.w_n, &layer.u_n,
         ] {
@@ -137,12 +153,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CompiledNetwork, DecodeError> {
     if version != VERSION {
         return Err(DecodeError::BadVersion(version));
     }
-    let precision = match buf.get_u8() {
-        0 => RuntimePrecision::F32,
-        1 => RuntimePrecision::F16,
-        2 => RuntimePrecision::Int8,
-        other => return Err(DecodeError::BadPrecision(other)),
-    };
+    let precision = precision_from_code(buf.get_u8())?;
 
     need(buf, 4)?;
     let layer_count = buf.get_u32_le() as usize;
@@ -153,8 +164,9 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CompiledNetwork, DecodeError> {
     }
     let mut layers = Vec::new();
     for _ in 0..layer_count {
-        need(buf, 4)?;
+        need(buf, 5)?;
         let hidden = buf.get_u32_le() as usize;
+        let layer_precision = precision_from_code(buf.get_u8())?;
         let mut mats: Vec<BspcMatrix> = Vec::with_capacity(6);
         for _ in 0..6 {
             let (m, used) = BspcMatrix::read_from(buf)?;
@@ -188,6 +200,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CompiledNetwork, DecodeError> {
             u_n,
             b_n,
             hidden,
+            precision: layer_precision,
         });
     }
 
@@ -262,27 +275,54 @@ mod tests {
     }
 
     #[test]
-    fn int8_model_roundtrips_within_f16_tolerance() {
+    fn int8_model_roundtrips_bit_exact() {
+        // The int8 blobs ship the native codes and scales, and the int8
+        // kernels read only that sidecar — so the functional roundtrip is
+        // exact, not merely close.
         let net = compiled(RuntimePrecision::Int8);
         let bytes = to_bytes(&net);
         let decoded = from_bytes(&bytes).expect("decodes");
         assert_eq!(decoded.precision(), RuntimePrecision::Int8);
-        let a = net.forward(&frames());
-        let b = decoded.forward(&frames());
-        for (fa, fb) in a.iter().zip(&b) {
-            for (x, y) in fa.iter().zip(fb) {
-                assert!((x - y).abs() < 5e-3, "{x} vs {y}");
-            }
-        }
+        assert_eq!(decoded.layer_precisions(), net.layer_precisions());
+        assert_eq!(net.forward(&frames()), decoded.forward(&frames()));
     }
 
     #[test]
-    fn f16_file_is_smaller() {
+    fn mixed_precision_layers_roundtrip_bit_exact() {
+        let base = GruNetwork::new(
+            &NetworkConfig {
+                input_dim: 5,
+                hidden_dims: vec![8, 8],
+                num_classes: 3,
+            },
+            31,
+        );
+        let net = CompiledNetwork::compile_with_precisions(
+            &base,
+            4,
+            2,
+            &[RuntimePrecision::Int8, RuntimePrecision::F16],
+            RuntimePrecision::F32,
+        )
+        .expect("partition fits");
+        let decoded = from_bytes(&to_bytes(&net)).expect("decodes");
+        assert_eq!(
+            decoded.layer_precisions(),
+            vec![RuntimePrecision::Int8, RuntimePrecision::F16]
+        );
+        assert_eq!(decoded.precision(), RuntimePrecision::F32);
+        assert_eq!(net.forward(&frames()), decoded.forward(&frames()));
+    }
+
+    #[test]
+    fn lower_precision_files_are_smaller() {
         let f32_bytes = to_bytes(&compiled(RuntimePrecision::F32));
         let f16_bytes = to_bytes(&compiled(RuntimePrecision::F16));
+        let int8_bytes = to_bytes(&compiled(RuntimePrecision::Int8));
         assert!(
-            f16_bytes.len() < f32_bytes.len(),
-            "{} vs {}",
+            int8_bytes.len() < f16_bytes.len() && f16_bytes.len() < f32_bytes.len(),
+            "{} vs {} vs {}",
+            int8_bytes.len(),
             f16_bytes.len(),
             f32_bytes.len()
         );

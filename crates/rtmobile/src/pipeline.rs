@@ -6,19 +6,21 @@
 //!    PER — Table I's "w/o pruning" row);
 //! 2. run BSP: ADMM-driven column-block pruning, then row pruning, then
 //!    masked fine-tuning (pruned PER and achieved compression rate);
-//! 3. compile the pruned network to BSPC with matrix reorder, in both the
-//!    f32 (CPU) and f16 (GPU) runtime precisions, and re-score the PER
-//!    through the *compiled f16* path — the accuracy actually shipped to
-//!    the device;
+//! 3. compile the pruned network to BSPC with matrix reorder at the
+//!    resolved storage precision (f32, f16, int8 or per-layer `auto`
+//!    selection from measured kernel costs, guarded by a PER-degradation
+//!    bound), and re-score the PER through the *compiled* path — the
+//!    accuracy actually shipped to the device;
 //! 4. price one inference frame of the paper-scale workload (hidden 1024)
 //!    at the same compression on the simulated Adreno-640 GPU and
 //!    Kryo-485 CPU.
 //!
 //! The builder exposes every knob with laptop-scale defaults.
 
-use crate::config::RuntimeConfig;
+use crate::config::{PrecisionChoice, RuntimeConfig};
 use crate::deploy::{CompiledNetwork, RuntimePrecision};
 use crate::report::{AccuracyReport, PerformanceReport, PipelineReport};
+use crate::serve::ServeStats;
 use rtm_compiler::plan::{ExecutionPlan, StorageFormat};
 use rtm_pruning::admm::AdmmConfig;
 use rtm_pruning::bsp::{BspConfig, BspPruner};
@@ -42,6 +44,7 @@ pub struct RtMobile {
     seed: u64,
     sim_hidden: usize,
     runtime: RuntimeConfig,
+    precision_guard: f64,
 }
 
 impl RtMobile {
@@ -66,6 +69,7 @@ impl RtMobile {
             seed: 1,
             sim_hidden: 1024,
             runtime: RuntimeConfig::default(),
+            precision_guard: 2.0,
         }
     }
 
@@ -191,6 +195,27 @@ impl RtMobile {
         self
     }
 
+    /// Weight storage precision of the compiled runtime (see
+    /// [`PrecisionChoice`]): a fixed `f32`/`f16`/`int8`, or `auto` to let
+    /// the tuner measure the three kernel precisions per layer shape and
+    /// pick the fastest, guarded by [`RtMobile::precision_guard`]. When
+    /// this knob is not set, the `RTM_PRECISION` environment variable
+    /// decides (default `f16`, the paper's mobile-GPU datapath).
+    pub fn precision(mut self, choice: PrecisionChoice) -> RtMobile {
+        self.runtime = self.runtime.with_precision(choice);
+        self
+    }
+
+    /// The accuracy guard of the `auto` precision selector: if the
+    /// measured-fastest per-layer mix degrades PER by more than this many
+    /// percentage points versus an all-f32 compile of the same pruned
+    /// network, the pipeline ships the all-f32 compile instead (default
+    /// 2.0). Ignored for fixed precision choices.
+    pub fn precision_guard(mut self, points: f64) -> RtMobile {
+        self.precision_guard = points;
+        self
+    }
+
     /// Observability switch (see [`rtm_trace::TraceConfig`]): `on` records
     /// kernel counters, stage spans and serving histograms into the
     /// process-global [`rtm_trace`] registry. When this knob is not set,
@@ -211,8 +236,8 @@ impl RtMobile {
     }
 
     /// Executes the pipeline and additionally returns the pruned network
-    /// and its f16-compiled runtime (e.g. for saving with
-    /// [`crate::model_file`]).
+    /// and its compiled runtime at the resolved precision (e.g. for saving
+    /// with [`crate::model_file`]).
     ///
     /// # Panics
     ///
@@ -245,36 +270,94 @@ impl RtMobile {
         };
         drop(prune_span);
 
-        // 3. Compile to the runtime and score the f16 path.
+        // 3. Compile to the runtime at the resolved precision and score
+        //    the compiled path.
         let compile_span = rtm_trace::span("pipeline.compile");
-        let compiled_f16 =
-            CompiledNetwork::compile(&net, self.stripes, self.blocks, RuntimePrecision::F16)
-                .expect("partition validated by BSP config");
+        let choice = self.runtime.resolved_precision();
+        let mut compiled = match choice {
+            PrecisionChoice::Fixed(p) => {
+                CompiledNetwork::compile(&net, self.stripes, self.blocks, p)
+                    .expect("partition validated by BSP config")
+            }
+            PrecisionChoice::Auto => {
+                // Per layer, time the f32/f16/int8 SpMV kernels at the
+                // layer's gate shape (inflated to at least 256 so timing
+                // noise does not dominate the tiny laptop-scale widths)
+                // and keep the fastest.
+                let per_layer: Vec<RuntimePrecision> = net
+                    .layers
+                    .iter()
+                    .map(|cell| {
+                        let costs = rtm_compiler::tuner::measure_precision_costs(
+                            cell.hidden_dim().max(256),
+                            cell.input_dim().max(256),
+                            self.stripes,
+                            self.blocks,
+                            4,
+                        );
+                        RuntimePrecision::from_storage(rtm_compiler::tuner::select_precision(
+                            &costs,
+                        ))
+                    })
+                    .collect();
+                CompiledNetwork::compile_with_precisions(
+                    &net,
+                    self.stripes,
+                    self.blocks,
+                    &per_layer,
+                    RuntimePrecision::F32,
+                )
+                .expect("partition validated by BSP config")
+            }
+        };
         let exec = rtm_exec::Executor::new(self.runtime.threads);
         drop(compile_span);
 
         let deploy_span = rtm_trace::span("pipeline.deploy");
         let health = self.runtime.resolved_health();
-        let mut serve = None;
-        let mut f16_report = PerReport::default();
-        if self.runtime.batch > 1 {
-            // Multi-stream scoring: up to `batch` utterances share each
-            // weight pass. Bit-identical to the serial loop below.
-            let utterances = task.test_utterances();
-            let streams: Vec<&[Vec<f32>]> =
-                utterances.iter().map(|u| u.frames.as_slice()).collect();
-            let mut session =
-                crate::deploy::BatchedSession::new(&compiled_f16, &exec, self.runtime.batch)
-                    .with_health(health)
-                    .with_admission(self.runtime.admission);
-            for (u, preds) in utterances.iter().zip(session.predict(&streams)) {
-                f16_report.add(&preds, &u.labels, &u.phones);
+        let score = |compiled: &CompiledNetwork| -> (PerReport, Option<ServeStats>) {
+            let mut report = PerReport::default();
+            if self.runtime.batch > 1 {
+                // Multi-stream scoring: up to `batch` utterances share
+                // each weight pass. Bit-identical to the serial loop
+                // below.
+                let utterances = task.test_utterances();
+                let streams: Vec<&[Vec<f32>]> =
+                    utterances.iter().map(|u| u.frames.as_slice()).collect();
+                let mut session =
+                    crate::deploy::BatchedSession::new(compiled, &exec, self.runtime.batch)
+                        .with_health(health)
+                        .with_admission(self.runtime.admission);
+                for (u, preds) in utterances.iter().zip(session.predict(&streams)) {
+                    report.add(&preds, &u.labels, &u.phones);
+                }
+                (report, Some(session.stats()))
+            } else {
+                for u in task.test_utterances() {
+                    let preds = compiled.predict_with(&exec, &u.frames);
+                    report.add(&preds, &u.labels, &u.phones);
+                }
+                (report, None)
             }
-            serve = Some(session.stats());
-        } else {
-            for u in task.test_utterances() {
-                let preds = compiled_f16.predict_with(&exec, &u.frames);
-                f16_report.add(&preds, &u.labels, &u.phones);
+        };
+        let (mut compiled_report, mut serve) = score(&compiled);
+        // Accuracy guard of the auto selector: if the measured-fastest
+        // per-layer mix degrades PER beyond the bound versus an all-f32
+        // compile of the same pruned network, ship the f32 compile.
+        if choice == PrecisionChoice::Auto
+            && compiled
+                .layer_precisions()
+                .iter()
+                .any(|p| *p != RuntimePrecision::F32)
+        {
+            let f32_compiled =
+                CompiledNetwork::compile(&net, self.stripes, self.blocks, RuntimePrecision::F32)
+                    .expect("partition validated by BSP config");
+            let (f32_report, f32_serve) = score(&f32_compiled);
+            if compiled_report.per_percent() - f32_report.per_percent() > self.precision_guard {
+                compiled = f32_compiled;
+                compiled_report = f32_report;
+                serve = f32_serve;
             }
         }
         drop(deploy_span);
@@ -315,11 +398,13 @@ impl RtMobile {
             }
         };
 
+        let layer_precisions = compiled.layer_precisions();
+        let count = |p: RuntimePrecision| layer_precisions.iter().filter(|&&q| q == p).count();
         let report = PipelineReport {
             accuracy: AccuracyReport {
                 baseline_per: baseline.per_percent(),
                 pruned_per: pruned.per_percent(),
-                compiled_f16_per: f16_report.per_percent(),
+                compiled_per: compiled_report.per_percent(),
                 baseline_frame_accuracy: baseline.frame_accuracy(),
                 pruned_frame_accuracy: pruned.frame_accuracy(),
                 achieved_rate,
@@ -332,12 +417,16 @@ impl RtMobile {
                 gop: gpu.gop,
                 gpu,
                 cpu,
-                storage_bytes_f16: compiled_f16.storage_bytes(),
+                precision: choice.tag(),
+                layers_f32: count(RuntimePrecision::F32),
+                layers_f16: count(RuntimePrecision::F16),
+                layers_int8: count(RuntimePrecision::Int8),
+                storage_bytes: compiled.storage_bytes(),
             },
             serve,
         };
         drop(pipeline_span);
-        (report, net, compiled_f16)
+        (report, net, compiled)
     }
 }
 
@@ -387,11 +476,38 @@ mod tests {
             .batch(5)
             .threads(2)
             .run();
-        assert_eq!(
-            serial.accuracy.compiled_f16_per,
-            batched.accuracy.compiled_f16_per
-        );
+        assert_eq!(serial.accuracy.compiled_per, batched.accuracy.compiled_per);
         assert_eq!(serial.accuracy.baseline_per, batched.accuracy.baseline_per);
+    }
+
+    #[test]
+    fn fixed_precision_choice_flows_into_report() {
+        let report = quick()
+            .compression(1.0, 1.0)
+            .seed(5)
+            .precision(PrecisionChoice::Fixed(RuntimePrecision::Int8))
+            .run();
+        assert_eq!(report.performance.precision, "int8");
+        assert_eq!(report.performance.layers_f32, 0);
+        assert_eq!(report.performance.layers_f16, 0);
+        assert_eq!(report.performance.layers_int8, 2);
+        assert!(report.performance.storage_bytes > 0);
+        // Weight-only int8 stays close to the dense-scored accuracy on
+        // this easy task.
+        let f32_run = quick()
+            .compression(1.0, 1.0)
+            .seed(5)
+            .precision(PrecisionChoice::Fixed(RuntimePrecision::F32))
+            .run();
+        assert_eq!(f32_run.performance.precision, "f32");
+        assert!(
+            (report.accuracy.compiled_per - f32_run.accuracy.compiled_per).abs() < 15.0,
+            "int8 {} f32 {}",
+            report.accuracy.compiled_per,
+            f32_run.accuracy.compiled_per
+        );
+        // int8 storage is strictly smaller than the f32 compile.
+        assert!(report.performance.storage_bytes < f32_run.performance.storage_bytes);
     }
 
     #[test]
@@ -411,12 +527,12 @@ mod tests {
             report.accuracy.baseline_per,
             report.accuracy.pruned_per
         );
-        // The compiled f16 path tracks the pruned accuracy.
+        // The compiled (default f16) path tracks the pruned accuracy.
         assert!(
-            (report.accuracy.compiled_f16_per - report.accuracy.pruned_per).abs() < 15.0,
-            "pruned {} f16 {}",
+            (report.accuracy.compiled_per - report.accuracy.pruned_per).abs() < 15.0,
+            "pruned {} compiled {}",
             report.accuracy.pruned_per,
-            report.accuracy.compiled_f16_per
+            report.accuracy.compiled_per
         );
         // Pruned inference is faster than the dense run.
         let dense = quick().compression(1.0, 1.0).seed(6).run();

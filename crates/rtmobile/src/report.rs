@@ -18,8 +18,9 @@ pub struct AccuracyReport {
     pub baseline_per: f64,
     /// PER after BSP pruning and fine-tuning.
     pub pruned_per: f64,
-    /// PER of the compiled f16 runtime (what ships to the GPU).
-    pub compiled_f16_per: f64,
+    /// PER of the compiled runtime at the deployed precision (what ships
+    /// to the device).
+    pub compiled_per: f64,
     /// Dense frame accuracy.
     pub baseline_frame_accuracy: f64,
     /// Pruned frame accuracy.
@@ -52,8 +53,18 @@ pub struct PerformanceReport {
     pub gpu: FrameReport,
     /// Simulated mobile-CPU frame report.
     pub cpu: FrameReport,
-    /// Compiled f16 model storage in bytes.
-    pub storage_bytes_f16: usize,
+    /// The precision choice the run resolved to (`"f32"`, `"f16"`,
+    /// `"int8"` or `"auto"`).
+    pub precision: &'static str,
+    /// Layers compiled at f32 storage.
+    pub layers_f32: usize,
+    /// Layers compiled at f16 storage.
+    pub layers_f16: usize,
+    /// Layers compiled at int8 storage.
+    pub layers_int8: usize,
+    /// Compiled model storage in bytes at the deployed precisions
+    /// (BSPC index structure plus values and scale metadata).
+    pub storage_bytes: usize,
 }
 
 /// Full result of one [`RtMobile`](crate::RtMobile) run.
@@ -86,11 +97,11 @@ impl PipelineReport {
         let _ = writeln!(s, "  -- accuracy (synthetic TIMIT-like task) --");
         let _ = writeln!(
             s,
-            "  PER: {:.2}% -> {:.2}% (degradation {:+.2} pts), f16 runtime {:.2}%",
+            "  PER: {:.2}% -> {:.2}% (degradation {:+.2} pts), compiled runtime {:.2}%",
             a.baseline_per,
             a.pruned_per,
             a.degradation(),
-            a.compiled_f16_per
+            a.compiled_per
         );
         let _ = writeln!(
             s,
@@ -113,8 +124,13 @@ impl PipelineReport {
         );
         let _ = writeln!(
             s,
-            "  model storage (BSPC, f16): {:.1} KiB",
-            p.storage_bytes_f16 as f64 / 1024.0
+            "  precision: {} ({} f32 / {} f16 / {} int8 layers)",
+            p.precision, p.layers_f32, p.layers_f16, p.layers_int8
+        );
+        let _ = writeln!(
+            s,
+            "  model storage (BSPC): {:.1} KiB",
+            p.storage_bytes as f64 / 1024.0
         );
         if let Some(v) = &self.serve {
             let _ = writeln!(
@@ -191,7 +207,7 @@ impl Report for PipelineReport {
                 JsonValue::Raw(json_row(&[
                     ("baseline_per", JsonValue::F64(a.baseline_per, 3)),
                     ("pruned_per", JsonValue::F64(a.pruned_per, 3)),
-                    ("compiled_f16_per", JsonValue::F64(a.compiled_f16_per, 3)),
+                    ("compiled_per", JsonValue::F64(a.compiled_per, 3)),
                     ("degradation", JsonValue::F64(a.degradation(), 3)),
                     ("achieved_rate", JsonValue::F64(a.achieved_rate, 2)),
                     ("kept_params", JsonValue::Int(a.kept_params as i64)),
@@ -207,10 +223,11 @@ impl Report for PipelineReport {
                     ("gop", JsonValue::F64(p.gop, 4)),
                     ("gpu", JsonValue::Raw(frame_json(&p.gpu))),
                     ("cpu", JsonValue::Raw(frame_json(&p.cpu))),
-                    (
-                        "storage_bytes_f16",
-                        JsonValue::Int(p.storage_bytes_f16 as i64),
-                    ),
+                    ("precision", JsonValue::Str(p.precision.into())),
+                    ("layers_f32", JsonValue::Int(p.layers_f32 as i64)),
+                    ("layers_f16", JsonValue::Int(p.layers_f16 as i64)),
+                    ("layers_int8", JsonValue::Int(p.layers_int8 as i64)),
+                    ("storage_bytes", JsonValue::Int(p.storage_bytes as i64)),
                 ])),
             ),
             (
@@ -312,7 +329,7 @@ mod tests {
             accuracy: AccuracyReport {
                 baseline_per: 12.0,
                 pruned_per: 13.5,
-                compiled_f16_per: 13.6,
+                compiled_per: 13.6,
                 baseline_frame_accuracy: 0.9,
                 pruned_frame_accuracy: 0.88,
                 achieved_rate: 10.0,
@@ -325,7 +342,11 @@ mod tests {
                 gop: 0.058,
                 gpu: dummy_frame(),
                 cpu: dummy_frame(),
-                storage_bytes_f16: 2048,
+                precision: "f16",
+                layers_f32: 0,
+                layers_f16: 2,
+                layers_int8: 0,
+                storage_bytes: 2048,
             },
             serve: None,
         }
@@ -345,6 +366,7 @@ mod tests {
         assert!(text.contains("+1.50"));
         assert!(text.contains("10.0x compression"));
         assert!(text.contains("31.70x ESE"));
+        assert!(text.contains("precision: f16 (0 f32 / 2 f16 / 0 int8 layers)"));
         assert!(text.contains("2.0 KiB"));
         assert!(!text.contains("serving:"));
         let mut r = dummy();
@@ -369,6 +391,9 @@ mod tests {
         assert!(json.starts_with("{\"report\": \"pipeline\""), "{json}");
         assert!(json.contains("\"accuracy\": {\"baseline_per\": 12.000"));
         assert!(json.contains("\"gpu\": {\"time_us\": 100.00"));
+        assert!(json.contains("\"precision\": \"f16\""));
+        assert!(json.contains("\"layers_int8\": 0"));
+        assert!(json.contains("\"storage_bytes\": 2048"));
         assert!(json.contains("\"serve\": null"));
 
         let stats = ServeStats {

@@ -19,9 +19,61 @@
 //! `rtm_compiler::reorder`) so the runtime can match the reordered rows back
 //! to the original output ordering, as the paper specifies.
 
+use crate::footprint::Precision;
 use rtm_tensor::{Matrix, ShapeError};
+use std::cell::RefCell;
 use std::error::Error;
 use std::fmt;
+use std::ops::Range;
+
+// Thread-local scratch for the quantized kernels: activation codes for the
+// serial entry points, and gather/convert/accumulator buffers for the
+// row-range kernels. Worker-pool threads each get their own set, so the
+// steady state of every quantized kernel is allocation-free and the
+// parallel engine can run row-range chunks concurrently without sharing.
+thread_local! {
+    static TLS_ACT: RefCell<(Vec<i8>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    static TLS_KERNEL: RefCell<KernelScratch> = const { RefCell::new(KernelScratch::new()) };
+}
+
+struct KernelScratch {
+    /// Gathered int8 activations (stripe-local, serial or lane-major).
+    gi8: Vec<i8>,
+    /// Gathered f32 activations (stripe-local, serial or lane-major).
+    gf32: Vec<f32>,
+    /// One row's f16 values converted to f32.
+    conv: Vec<f32>,
+    /// Per-lane i32 accumulators for one block segment.
+    acc: Vec<i32>,
+    /// Per-lane dequantized partial sums for one row.
+    partial: Vec<f32>,
+    /// Per-block segment lengths of the current stripe (int8 row kernel).
+    seg: Vec<u32>,
+}
+
+impl KernelScratch {
+    const fn new() -> KernelScratch {
+        KernelScratch {
+            gi8: Vec::new(),
+            gf32: Vec::new(),
+            conv: Vec::new(),
+            acc: Vec::new(),
+            partial: Vec::new(),
+            seg: Vec::new(),
+        }
+    }
+}
+
+/// One kept row's contiguous value segment belonging to a single
+/// (stripe, block) — the granularity the int8 scales live at.
+struct BlockSegment<'a> {
+    /// Flat stripe-block index `stripe * num_blocks + block`.
+    block: usize,
+    /// Segment start inside the packed value array.
+    offset: usize,
+    /// The segment's values.
+    values: &'a [f32],
+}
 
 /// Error building a [`BspcMatrix`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,6 +89,9 @@ pub enum BspcError {
     },
     /// A supplied permutation was not a valid permutation of `0..rows`.
     BadPermutation,
+    /// A supplied int8 sidecar did not match the matrix shape (one code per
+    /// stored value, one scale per stripe-block).
+    SidecarMismatch,
 }
 
 impl fmt::Display for BspcError {
@@ -49,6 +104,9 @@ impl fmt::Display for BspcError {
                 requested.0, requested.1, shape.0, shape.1
             ),
             BspcError::BadPermutation => write!(f, "row permutation is not a bijection"),
+            BspcError::SidecarMismatch => {
+                write!(f, "int8 sidecar does not match the stored pattern")
+            }
         }
     }
 }
@@ -77,6 +135,12 @@ pub struct BspcMatrix {
     /// Optional reorder permutation: `reorder[i]` is the *original* row index
     /// executed at position `i`.
     reorder: Option<Vec<u32>>,
+    /// `values` as raw f16 bit patterns (fp16 weight-storage sidecar).
+    values_f16: Vec<u16>,
+    /// `values` as int8 codes under the per-(stripe, block) scales.
+    values_i8: Vec<i8>,
+    /// Symmetric int8 scale per `stripe * num_blocks + block`.
+    scales_i8: Vec<f32>,
 }
 
 impl BspcMatrix {
@@ -166,7 +230,7 @@ impl BspcMatrix {
             }
         }
 
-        Ok(BspcMatrix {
+        let mut m = BspcMatrix {
             rows,
             cols,
             num_stripes,
@@ -177,7 +241,82 @@ impl BspcMatrix {
             row_offsets,
             values,
             reorder: None,
-        })
+            values_f16: Vec::new(),
+            values_i8: Vec::new(),
+            scales_i8: Vec::new(),
+        };
+        m.build_sidecars();
+        Ok(m)
+    }
+
+    /// Rebuilds the f16 and int8 storage sidecars from `values`.
+    ///
+    /// The derivation is deterministic — sidecars are a pure function of the
+    /// structural fields plus `values` — so two matrices with equal values
+    /// always compare equal, and the f32 wire round trip stays bit-exact.
+    ///
+    /// Int8 uses one symmetric scale per (stripe, block): within each kept
+    /// row, the value run splits into contiguous block segments (the stripe
+    /// column stream is the concatenation of its block lists), and every
+    /// segment of block `(s, b)` shares `scale = max|v| / 127` over the whole
+    /// stripe-block. All-zero blocks get scale 1.0.
+    fn build_sidecars(&mut self) {
+        self.values_f16 = rtm_tensor::f16::f32_to_f16_bits(&self.values);
+        let nb = self.num_blocks;
+        let mut max_abs = vec![0.0f32; self.num_stripes * nb];
+        self.for_each_block_segment(|sb, _| {
+            let m = &mut max_abs[sb.block];
+            for &v in sb.values {
+                // f32::max ignores a NaN operand, so non-finite weights
+                // (rejected later by model validation anyway) cannot poison
+                // the scale.
+                *m = m.max(v.abs());
+            }
+        });
+        let scales: Vec<f32> = max_abs
+            .iter()
+            .map(|&m| {
+                if m > 0.0 && m.is_finite() {
+                    m / 127.0
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        let mut codes = vec![0i8; self.values.len()];
+        self.for_each_block_segment(|sb, _| {
+            let scale = scales[sb.block];
+            for (i, &v) in sb.values.iter().enumerate() {
+                codes[sb.offset + i] = (v / scale).round().clamp(-127.0, 127.0) as i8;
+            }
+        });
+        self.scales_i8 = scales;
+        self.values_i8 = codes;
+    }
+
+    /// Walks every kept row's contiguous block segments in storage order.
+    ///
+    /// The callback receives the segment descriptor and the kept-row index.
+    fn for_each_block_segment(&self, mut f: impl FnMut(BlockSegment<'_>, usize)) {
+        let stripe_h = self.stripe_height();
+        for (k, &r) in self.kept_rows.iter().enumerate() {
+            let s = ((r as usize) / stripe_h).min(self.num_stripes - 1);
+            let mut off = self.row_offsets[k] as usize;
+            for b in 0..self.num_blocks {
+                let len = self.block_cols[s * self.num_blocks + b].len();
+                if len > 0 {
+                    f(
+                        BlockSegment {
+                            block: s * self.num_blocks + b,
+                            offset: off,
+                            values: &self.values[off..off + len],
+                        },
+                        k,
+                    );
+                }
+                off += len;
+            }
+        }
     }
 
     /// Attaches a matrix-reorder permutation (original row index per
@@ -277,6 +416,25 @@ impl BspcMatrix {
         self.row_offsets[k] as usize
     }
 
+    /// The packed values as raw f16 bit patterns (same layout as
+    /// [`BspcMatrix::values`]). Decoding each bit pattern back to f32 is
+    /// exact, so the f16 kernels match the f32 kernels run on pre-rounded
+    /// values bit for bit.
+    pub fn values_f16(&self) -> &[u16] {
+        &self.values_f16
+    }
+
+    /// The packed values as int8 codes (same layout as
+    /// [`BspcMatrix::values`]) under [`BspcMatrix::int8_scales`].
+    pub fn values_i8(&self) -> &[i8] {
+        &self.values_i8
+    }
+
+    /// Symmetric int8 scale per `stripe * num_blocks + block`.
+    pub fn int8_scales(&self) -> &[f32] {
+        &self.scales_i8
+    }
+
     /// Reassembles a matrix from raw parts (the deserialization path).
     ///
     /// # Errors
@@ -343,7 +501,7 @@ impl BspcMatrix {
         if expected != values.len() {
             return Err(bad());
         }
-        let m = BspcMatrix {
+        let mut m = BspcMatrix {
             rows,
             cols,
             num_stripes,
@@ -354,11 +512,36 @@ impl BspcMatrix {
             row_offsets,
             values,
             reorder: None,
+            values_f16: Vec::new(),
+            values_i8: Vec::new(),
+            scales_i8: Vec::new(),
         };
+        m.build_sidecars();
         match reorder {
             Some(perm) => m.with_reorder(perm),
             None => Ok(m),
         }
+    }
+
+    /// Replaces the derived int8 sidecar with an authoritative one (the
+    /// deserialization path for int8-precision wire data, where the stored
+    /// codes — not a float re-derivation — are the source of truth).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BspcError::SidecarMismatch`] when `codes` does not have one
+    /// entry per stored value or `scales` one entry per stripe-block.
+    pub fn with_int8_sidecar(
+        mut self,
+        codes: Vec<i8>,
+        scales: Vec<f32>,
+    ) -> Result<BspcMatrix, BspcError> {
+        if codes.len() != self.values.len() || scales.len() != self.num_stripes * self.num_blocks {
+            return Err(BspcError::SidecarMismatch);
+        }
+        self.values_i8 = codes;
+        self.scales_i8 = scales;
+        Ok(self)
     }
 
     /// Count of explicit index words stored (`u32` units): kept rows + one
@@ -411,6 +594,10 @@ impl BspcMatrix {
         y.fill(0.0);
         rtm_trace::count_many(&[
             (rtm_trace::key::SPMV_BSPC, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMV_BSPC, "f32"),
+                1,
+            ),
             (rtm_trace::key::KERNEL_ROWS, self.kept_rows.len() as u64),
             (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
         ]);
@@ -461,6 +648,10 @@ impl BspcMatrix {
         }
         rtm_trace::count_many(&[
             (rtm_trace::key::SPMM_BSPC, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMM_BSPC, "f32"),
+                1,
+            ),
             (rtm_trace::key::KERNEL_ROWS, self.kept_rows.len() as u64),
             (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
         ]);
@@ -493,6 +684,407 @@ impl BspcMatrix {
         let mut ys = vec![0.0f32; self.rows * b];
         self.spmm_into(xs, b, &mut ys)?;
         Ok(ys)
+    }
+
+    /// Precision-dispatched SpMV.
+    ///
+    /// * [`Precision::F32`] is exactly [`spmv_into`](BspcMatrix::spmv_into).
+    /// * [`Precision::F16`] decodes the fp16 weight sidecar per row; because
+    ///   f16 → f32 decoding is exact, the result is bit-identical to the f32
+    ///   kernel run on f16-rounded values under every SIMD policy.
+    /// * [`Precision::Int8`] quantizes the activation vector once
+    ///   (`sx = max|x| / 127`), runs int8 × int8 → i32 block dots (exact —
+    ///   no accumulation rounding), and dequantizes at the store:
+    ///   `y[r] = sx · Σ_b scale_sb · acc_b` in block order. The i32
+    ///   accumulation makes the result bit-identical across SIMD variants
+    ///   and thread counts by construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x.len() != self.cols()` or
+    /// `y.len() != self.rows()`.
+    pub fn spmv_prec_into(
+        &self,
+        prec: Precision,
+        x: &[f32],
+        y: &mut [f32],
+    ) -> Result<(), ShapeError> {
+        match prec {
+            Precision::F32 => self.spmv_into(x, y),
+            Precision::F16 => self.spmv_f16_into(x, y),
+            Precision::Int8 => self.spmv_i8_into(x, y),
+        }
+    }
+
+    /// Precision-dispatched batched SpMM (same lane layout as
+    /// [`spmm_into`](BspcMatrix::spmm_into)). Int8 quantizes each lane with
+    /// its own activation scale, so lane `j` stays bit-identical to the
+    /// serial int8 SpMV of lane `j`'s column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `xs.len() != self.cols() * b` or
+    /// `ys.len() != self.rows() * b`.
+    pub fn spmm_prec_into(
+        &self,
+        prec: Precision,
+        xs: &[f32],
+        b: usize,
+        ys: &mut [f32],
+    ) -> Result<(), ShapeError> {
+        match prec {
+            Precision::F32 => self.spmm_into(xs, b, ys),
+            Precision::F16 => self.spmm_f16_into(xs, b, ys),
+            Precision::Int8 => self.spmm_i8_into(xs, b, ys),
+        }
+    }
+
+    fn spmv_f16_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(ShapeError {
+                op: "bspc_spmv_f16_into",
+                lhs: (self.rows, self.cols),
+                rhs: (x.len(), y.len()),
+            });
+        }
+        y.fill(0.0);
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMV_BSPC, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMV_BSPC, "f16"),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, self.kept_rows.len() as u64),
+            (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
+        ]);
+        self.spmv_rows_f16_into(x, 0..self.kept_rows.len(), y, 0);
+        Ok(())
+    }
+
+    fn spmv_i8_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(ShapeError {
+                op: "bspc_spmv_i8_into",
+                lhs: (self.rows, self.cols),
+                rhs: (x.len(), y.len()),
+            });
+        }
+        y.fill(0.0);
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMV_BSPC, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMV_BSPC, "int8"),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, self.kept_rows.len() as u64),
+            (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
+        ]);
+        TLS_ACT.with(|cell| {
+            let act = &mut *cell.borrow_mut();
+            let sx = rtm_tensor::simd_i8::quantize_activations(x, &mut act.0);
+            self.spmv_rows_i8_into(&act.0, sx, 0..self.kept_rows.len(), y, 0);
+        });
+        Ok(())
+    }
+
+    fn spmm_f16_into(&self, xs: &[f32], b: usize, ys: &mut [f32]) -> Result<(), ShapeError> {
+        if xs.len() != self.cols * b || ys.len() != self.rows * b {
+            return Err(ShapeError {
+                op: "bspc_spmm_f16_into",
+                lhs: (self.rows, self.cols),
+                rhs: (xs.len(), b),
+            });
+        }
+        ys.fill(0.0);
+        if b == 0 {
+            return Ok(());
+        }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMM_BSPC, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMM_BSPC, "f16"),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, self.kept_rows.len() as u64),
+            (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
+        ]);
+        self.spmm_rows_f16_into(xs, b, 0..self.kept_rows.len(), ys, 0);
+        Ok(())
+    }
+
+    fn spmm_i8_into(&self, xs: &[f32], b: usize, ys: &mut [f32]) -> Result<(), ShapeError> {
+        if xs.len() != self.cols * b || ys.len() != self.rows * b {
+            return Err(ShapeError {
+                op: "bspc_spmm_i8_into",
+                lhs: (self.rows, self.cols),
+                rhs: (xs.len(), b),
+            });
+        }
+        ys.fill(0.0);
+        if b == 0 {
+            return Ok(());
+        }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMM_BSPC, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMM_BSPC, "int8"),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, self.kept_rows.len() as u64),
+            (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
+        ]);
+        TLS_ACT.with(|cell| {
+            let act = &mut *cell.borrow_mut();
+            let (xq, sxs) = (&mut act.0, &mut act.1);
+            rtm_tensor::simd_i8::quantize_activations_lanes(xs, b, xq, sxs);
+            self.spmm_rows_i8_into(xq, sxs, b, 0..self.kept_rows.len(), ys, 0);
+        });
+        Ok(())
+    }
+
+    /// f16 SpMV over the kept-row slots `kept` (engine hook shared by the
+    /// serial path and the parallel executor's row chunks). `y` starts at
+    /// logical row `y_base`; output rows land at `y[row - y_base]`.
+    ///
+    /// No tracing here — the entry point that dispatched the work counts the
+    /// kernel once, mirroring the executor's chunk-kernel convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range `kept` slots or an output buffer that does not
+    /// cover the chunk's rows; the public entry points validate shapes first.
+    pub fn spmv_rows_f16_into(&self, x: &[f32], kept: Range<usize>, y: &mut [f32], y_base: usize) {
+        let stripe_h = self.stripe_height();
+        let v = rtm_tensor::simd::active_variant();
+        TLS_KERNEL.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let mut k = kept.start;
+            while k < kept.end {
+                let s = (self.kept_rows[k] as usize) / stripe_h;
+                let mut end = k + 1;
+                while end < kept.end && (self.kept_rows[end] as usize) / stripe_h == s {
+                    end += 1;
+                }
+                let cols = &self.stripe_cols[s];
+                scratch.gf32.clear();
+                scratch.gf32.extend(cols.iter().map(|&c| x[c as usize]));
+                for kk in k..end {
+                    let off = self.row_offsets[kk] as usize;
+                    rtm_tensor::f16::f16_bits_to_f32(
+                        &self.values_f16[off..off + cols.len()],
+                        &mut scratch.conv,
+                    );
+                    y[self.kept_rows[kk] as usize - y_base] =
+                        rtm_tensor::simd::dot_variant(v, &scratch.conv, &scratch.gf32);
+                }
+                k = end;
+            }
+        });
+    }
+
+    /// Int8 SpMV over the kept-row slots `kept` on pre-quantized activations
+    /// `xq` with activation scale `sx` (engine hook; see
+    /// [`spmv_rows_f16_into`](BspcMatrix::spmv_rows_f16_into) for the output
+    /// and tracing conventions). The caller quantizes the activation vector
+    /// exactly once — parallel chunks share the same codes, which is what
+    /// keeps serial and pooled int8 results bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range `kept` slots, a short `xq`, or a short output
+    /// buffer.
+    pub fn spmv_rows_i8_into(
+        &self,
+        xq: &[i8],
+        sx: f32,
+        kept: Range<usize>,
+        y: &mut [f32],
+        y_base: usize,
+    ) {
+        let stripe_h = self.stripe_height();
+        let v = rtm_tensor::simd::active_variant();
+        TLS_KERNEL.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let mut k = kept.start;
+            while k < kept.end {
+                let s = (self.kept_rows[k] as usize) / stripe_h;
+                let mut end = k + 1;
+                while end < kept.end && (self.kept_rows[end] as usize) / stripe_h == s {
+                    end += 1;
+                }
+                let cols = &self.stripe_cols[s];
+                scratch.gi8.clear();
+                scratch.gi8.extend(cols.iter().map(|&c| xq[c as usize]));
+                scratch.seg.clear();
+                scratch.seg.extend(
+                    (0..self.num_blocks)
+                        .map(|blk| self.block_cols[s * self.num_blocks + blk].len() as u32),
+                );
+                let scales = &self.scales_i8[s * self.num_blocks..(s + 1) * self.num_blocks];
+                // Four rows at a time: the quad kernel widens each
+                // gathered-activation segment once and shares it across
+                // four value streams, with exact i32 accumulation and
+                // block-order dequantization identical to the single-row
+                // path.
+                let nnz = cols.len();
+                let row_vals = |kk: usize| {
+                    let off = self.row_offsets[kk] as usize;
+                    &self.values_i8[off..off + nnz]
+                };
+                let mut kk = k;
+                while kk + 4 <= end {
+                    let quad = rtm_tensor::simd_i8::row_quad_block_dots_i8(
+                        v,
+                        [
+                            row_vals(kk),
+                            row_vals(kk + 1),
+                            row_vals(kk + 2),
+                            row_vals(kk + 3),
+                        ],
+                        &scratch.gi8,
+                        &scratch.seg,
+                        scales,
+                    );
+                    for (i, acc_f) in quad.into_iter().enumerate() {
+                        y[self.kept_rows[kk + i] as usize - y_base] = sx * acc_f;
+                    }
+                    kk += 4;
+                }
+                while kk < end {
+                    let acc_f = rtm_tensor::simd_i8::row_block_dots_i8(
+                        v,
+                        row_vals(kk),
+                        &scratch.gi8,
+                        &scratch.seg,
+                        scales,
+                    );
+                    y[self.kept_rows[kk] as usize - y_base] = sx * acc_f;
+                    kk += 1;
+                }
+                k = end;
+            }
+        });
+    }
+
+    /// f16 batched SpMM over the kept-row slots `kept` (engine hook; lane
+    /// layout as [`spmm_into`](BspcMatrix::spmm_into), output row `r` lands
+    /// at `ys[(r - y_base) · b ..]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range `kept` slots or short buffers; `b` must be
+    /// positive (the entry points early-return on `b == 0`).
+    pub fn spmm_rows_f16_into(
+        &self,
+        xs: &[f32],
+        b: usize,
+        kept: Range<usize>,
+        ys: &mut [f32],
+        y_base: usize,
+    ) {
+        let stripe_h = self.stripe_height();
+        let v = rtm_tensor::simd::active_variant();
+        TLS_KERNEL.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let mut k = kept.start;
+            while k < kept.end {
+                let s = (self.kept_rows[k] as usize) / stripe_h;
+                let mut end = k + 1;
+                while end < kept.end && (self.kept_rows[end] as usize) / stripe_h == s {
+                    end += 1;
+                }
+                let cols = &self.stripe_cols[s];
+                // Lane-major gather: gathered element i, lane j at [i·b + j].
+                scratch.gf32.clear();
+                for &c in cols {
+                    let c = c as usize;
+                    scratch.gf32.extend_from_slice(&xs[c * b..(c + 1) * b]);
+                }
+                for kk in k..end {
+                    let off = self.row_offsets[kk] as usize;
+                    rtm_tensor::f16::f16_bits_to_f32(
+                        &self.values_f16[off..off + cols.len()],
+                        &mut scratch.conv,
+                    );
+                    let r = self.kept_rows[kk] as usize - y_base;
+                    rtm_tensor::simd::dot_batch_variant(
+                        v,
+                        &scratch.conv,
+                        &scratch.gf32,
+                        b,
+                        &mut ys[r * b..(r + 1) * b],
+                    );
+                }
+                k = end;
+            }
+        });
+    }
+
+    /// Int8 batched SpMM over the kept-row slots `kept` on pre-quantized
+    /// lane-major activations `xq` with per-lane scales `sxs` (engine hook;
+    /// conventions as [`spmm_rows_f16_into`](BspcMatrix::spmm_rows_f16_into)).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range `kept` slots or short buffers; `b` must be
+    /// positive and `sxs.len() == b`.
+    pub fn spmm_rows_i8_into(
+        &self,
+        xq: &[i8],
+        sxs: &[f32],
+        b: usize,
+        kept: Range<usize>,
+        ys: &mut [f32],
+        y_base: usize,
+    ) {
+        assert_eq!(sxs.len(), b, "one activation scale per lane");
+        let stripe_h = self.stripe_height();
+        TLS_KERNEL.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            scratch.acc.resize(b, 0);
+            scratch.partial.resize(b, 0.0);
+            let mut k = kept.start;
+            while k < kept.end {
+                let s = (self.kept_rows[k] as usize) / stripe_h;
+                let mut end = k + 1;
+                while end < kept.end && (self.kept_rows[end] as usize) / stripe_h == s {
+                    end += 1;
+                }
+                let cols = &self.stripe_cols[s];
+                scratch.gi8.clear();
+                for &c in cols {
+                    let c = c as usize;
+                    scratch.gi8.extend_from_slice(&xq[c * b..(c + 1) * b]);
+                }
+                for kk in k..end {
+                    let off = self.row_offsets[kk] as usize;
+                    scratch.partial.fill(0.0);
+                    let mut seg = 0usize;
+                    for blk in 0..self.num_blocks {
+                        let len = self.block_cols[s * self.num_blocks + blk].len();
+                        if len > 0 {
+                            scratch.acc.fill(0);
+                            rtm_tensor::simd_i8::dot_batch_i8_accumulate(
+                                &self.values_i8[off + seg..off + seg + len],
+                                &scratch.gi8[seg * b..(seg + len) * b],
+                                b,
+                                &mut scratch.acc,
+                            );
+                            let scale = self.scales_i8[s * self.num_blocks + blk];
+                            for (p, &a) in scratch.partial.iter_mut().zip(&scratch.acc) {
+                                *p += a as f32 * scale;
+                            }
+                        }
+                        seg += len;
+                    }
+                    let r = self.kept_rows[kk] as usize - y_base;
+                    for (j, (&p, &sx)) in scratch.partial.iter().zip(sxs).enumerate() {
+                        ys[r * b + j] = sx * p;
+                    }
+                }
+                k = end;
+            }
+        });
     }
 
     /// Expands back to a dense matrix (exact round trip of the input of
@@ -716,6 +1308,174 @@ mod tests {
         };
         assert!(format!("{e}").contains("9x9"));
         assert!(!format!("{}", BspcError::BadPermutation).is_empty());
+    }
+
+    #[test]
+    fn sidecars_derived_deterministically() {
+        let d = bsp_example();
+        let a = BspcMatrix::from_dense(&d, 2, 2).unwrap();
+        // from_parts on the same raw parts derives identical sidecars, so
+        // the PartialEq derive (which includes them) still holds.
+        let b = BspcMatrix::from_parts(
+            a.rows(),
+            a.cols(),
+            a.num_stripes(),
+            a.num_blocks(),
+            a.kept_rows().to_vec(),
+            (0..4)
+                .map(|i| a.block_kept_cols(i / 2, i % 2).to_vec())
+                .collect(),
+            (0..a.kept_rows().len())
+                .map(|k| a.row_offset(k) as u32)
+                .collect(),
+            a.values().to_vec(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.values_f16().len(), a.stored_len());
+        assert_eq!(a.values_i8().len(), a.stored_len());
+        assert_eq!(a.int8_scales().len(), 4);
+        // Stripe 0 block 0 holds values {1, 3} -> scale 3/127; the max code
+        // in each nonempty block is exactly ±127.
+        assert!((a.int8_scales()[0] - 3.0 / 127.0).abs() < 1e-7);
+        assert!(a.values_i8().contains(&127));
+    }
+
+    #[test]
+    fn f16_spmv_matches_f32_on_rounded_values() {
+        // Round the dense weights through f16 first: then the f16 sidecar is
+        // exact and the f16 kernel must match the f32 kernel bit for bit.
+        let mut rng = rtm_tensor::init::rng_from_seed(21);
+        let d = rtm_tensor::init::uniform(24, 16, -1.0, 1.0, &mut rng).map(|v| {
+            if v.abs() < 0.4 {
+                0.0
+            } else {
+                rtm_tensor::f16::quantize_f16(v)
+            }
+        });
+        let m = BspcMatrix::from_dense(&d, 3, 2).unwrap();
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.37).cos()).collect();
+        let mut want = vec![0.0f32; 24];
+        m.spmv_into(&x, &mut want).unwrap();
+        let mut got = vec![f32::NAN; 24];
+        m.spmv_prec_into(Precision::F16, &x, &mut got).unwrap();
+        assert_eq!(got, want);
+        // Batched f16: every lane bit-identical to the serial f16 SpMV.
+        for b in [1usize, 3, 8] {
+            let xs: Vec<f32> = (0..16 * b).map(|i| (i as f32 * 0.29).sin()).collect();
+            let mut ys = vec![f32::NAN; 24 * b];
+            m.spmm_prec_into(Precision::F16, &xs, b, &mut ys).unwrap();
+            for j in 0..b {
+                let col: Vec<f32> = (0..16).map(|c| xs[c * b + j]).collect();
+                let mut yy = vec![0.0f32; 24];
+                m.spmv_prec_into(Precision::F16, &col, &mut yy).unwrap();
+                for r in 0..24 {
+                    assert_eq!(ys[r * b + j], yy[r], "b={b} lane {j} row {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn i8_spmv_error_bounded_against_dense() {
+        let mut rng = rtm_tensor::init::rng_from_seed(33);
+        let d = rtm_tensor::init::uniform(20, 18, -1.0, 1.0, &mut rng).map(|v| {
+            if v.abs() < 0.3 {
+                0.0
+            } else {
+                v
+            }
+        });
+        let m = BspcMatrix::from_dense(&d, 4, 3).unwrap();
+        let x: Vec<f32> = (0..18).map(|i| (i as f32 * 0.51).sin()).collect();
+        let want = gemm::gemv(&d, &x).unwrap();
+        let mut got = vec![0.0f32; 20];
+        m.spmv_prec_into(Precision::Int8, &x, &mut got).unwrap();
+        // Worst case per output: each of the `cols` terms contributes a
+        // weight rounding error (scale/2 · |x|) plus an activation rounding
+        // error (sx/2 · |w|) plus the cross term.
+        let wmax = d.as_slice().iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let xmax = x.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let smax = m.int8_scales().iter().fold(0.0f32, |a, v| a.max(*v));
+        let sx = xmax / 127.0;
+        let bound = 18.0 * (0.5 * smax * xmax + 0.5 * sx * wmax + 0.25 * smax * sx) + 1e-4;
+        for (w, g) in want.iter().zip(&got) {
+            assert!((w - g).abs() <= bound, "{w} vs {g} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn i8_spmm_lanes_match_i8_spmv_exactly() {
+        let mut rng = rtm_tensor::init::rng_from_seed(45);
+        let d = rtm_tensor::init::uniform(12, 10, -2.0, 2.0, &mut rng).map(|v| {
+            if v.abs() < 0.5 {
+                0.0
+            } else {
+                v
+            }
+        });
+        let m = BspcMatrix::from_dense(&d, 3, 2).unwrap();
+        for b in [1usize, 2, 5, 8] {
+            let xs: Vec<f32> = (0..10 * b).map(|i| (i as f32 * 0.73).cos()).collect();
+            let mut ys = vec![f32::NAN; 12 * b];
+            m.spmm_prec_into(Precision::Int8, &xs, b, &mut ys).unwrap();
+            for j in 0..b {
+                let col: Vec<f32> = (0..10).map(|c| xs[c * b + j]).collect();
+                let mut yy = vec![0.0f32; 12];
+                m.spmv_prec_into(Precision::Int8, &col, &mut yy).unwrap();
+                for r in 0..12 {
+                    // Per-lane activation scales make lane j's quantization
+                    // identical to the serial quantization of its column, so
+                    // this equality is exact, not approximate.
+                    assert_eq!(ys[r * b + j], yy[r], "b={b} lane {j} row {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int8_sidecar_replacement_validated() {
+        let m = BspcMatrix::from_dense(&bsp_example(), 2, 2).unwrap();
+        let codes = m.values_i8().to_vec();
+        let scales = m.int8_scales().to_vec();
+        assert!(m
+            .clone()
+            .with_int8_sidecar(codes.clone(), scales.clone())
+            .is_ok());
+        assert_eq!(
+            m.clone()
+                .with_int8_sidecar(vec![0; 1], scales.clone())
+                .unwrap_err(),
+            BspcError::SidecarMismatch
+        );
+        assert_eq!(
+            m.clone().with_int8_sidecar(codes, vec![1.0]).unwrap_err(),
+            BspcError::SidecarMismatch
+        );
+    }
+
+    #[test]
+    fn quantized_kernels_handle_degenerate_inputs() {
+        // Empty matrix: all three precisions accept the empty product.
+        let e = BspcMatrix::from_dense(&Matrix::zeros(0, 0), 1, 1).unwrap();
+        for p in [Precision::F32, Precision::F16, Precision::Int8] {
+            e.spmv_prec_into(p, &[], &mut []).unwrap();
+            e.spmm_prec_into(p, &[], 0, &mut []).unwrap();
+        }
+        // Zero activations: int8 picks the neutral scale and stays exact.
+        let m = BspcMatrix::from_dense(&bsp_example(), 2, 2).unwrap();
+        let mut y = vec![1.0f32; 4];
+        m.spmv_prec_into(Precision::Int8, &[0.0; 4], &mut y)
+            .unwrap();
+        assert_eq!(y, vec![0.0; 4]);
+        // Shape errors propagate through the dispatcher.
+        assert!(m
+            .spmv_prec_into(Precision::Int8, &[0.0; 2], &mut y)
+            .is_err());
+        assert!(m
+            .spmm_prec_into(Precision::F16, &[0.0; 3], 2, &mut [0.0; 8])
+            .is_err());
     }
 
     /// Randomized (seed-driven) round-trip + SpMV property over arbitrary

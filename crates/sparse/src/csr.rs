@@ -5,7 +5,19 @@
 //! performs an indirect gather through those indices — the "decoding of each
 //! stored index" overhead §II-B-a calls out.
 
+use crate::footprint::Precision;
 use rtm_tensor::{Matrix, ShapeError};
+use std::cell::RefCell;
+use std::ops::Range;
+
+// Thread-local scratch for the quantized CSR kernels (see `bspc.rs` for the
+// rationale — worker threads get independent buffers, so the steady state is
+// allocation-free and row chunks can run concurrently).
+thread_local! {
+    static TLS_ACT: RefCell<(Vec<i8>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    static TLS_KERNEL: RefCell<(Vec<f32>, Vec<i8>, Vec<i32>)> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new())) };
+}
 
 /// A sparse matrix in compressed-sparse-row format.
 ///
@@ -20,6 +32,12 @@ pub struct CsrMatrix {
     row_ptr: Vec<u32>,
     col_idx: Vec<u32>,
     values: Vec<f32>,
+    /// `values` as raw f16 bit patterns (fp16 weight-storage sidecar).
+    values_f16: Vec<u16>,
+    /// `values` as int8 codes under the per-row-block scales.
+    values_i8: Vec<i8>,
+    /// Symmetric int8 scale per block of [`CsrMatrix::ROW_BLOCK`] rows.
+    scales_i8: Vec<f32>,
 }
 
 impl CsrMatrix {
@@ -41,12 +59,55 @@ impl CsrMatrix {
             }
             row_ptr.push(values.len() as u32);
         }
-        CsrMatrix {
+        let mut m = CsrMatrix {
             rows,
             cols,
             row_ptr,
             col_idx,
             values,
+            values_f16: Vec::new(),
+            values_i8: Vec::new(),
+            scales_i8: Vec::new(),
+        };
+        m.build_sidecars();
+        m
+    }
+
+    /// Rows sharing one symmetric int8 scale. CSR has no stripe structure to
+    /// hang scales on, so the int8 sidecar uses fixed blocks of 8 rows — the
+    /// same granularity ESE-style row batching uses.
+    pub const ROW_BLOCK: usize = 8;
+
+    /// Rebuilds the f16 and int8 sidecars from `values` (deterministic, so
+    /// the `PartialEq` derive and serialization round trips are unaffected).
+    fn build_sidecars(&mut self) {
+        self.values_f16 = rtm_tensor::f16::f32_to_f16_bits(&self.values);
+        let nb = self.rows.div_ceil(Self::ROW_BLOCK);
+        let mut max_abs = vec![0.0f32; nb];
+        for r in 0..self.rows {
+            let (start, end) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            let m = &mut max_abs[r / Self::ROW_BLOCK];
+            for &v in &self.values[start..end] {
+                *m = m.max(v.abs());
+            }
+        }
+        self.scales_i8 = max_abs
+            .iter()
+            .map(|&m| {
+                if m > 0.0 && m.is_finite() {
+                    m / 127.0
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        self.values_i8 = vec![0; self.values.len()];
+        for r in 0..self.rows {
+            let (start, end) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            let scale = self.scales_i8[r / Self::ROW_BLOCK];
+            for i in start..end {
+                self.values_i8[i] = (self.values[i] / scale).round().clamp(-127.0, 127.0) as i8;
+            }
         }
     }
 
@@ -81,13 +142,34 @@ impl CsrMatrix {
         if col_idx.iter().any(|&c| c as usize >= cols) && !values.is_empty() {
             return Err(bad());
         }
-        Ok(CsrMatrix {
+        let mut m = CsrMatrix {
             rows,
             cols,
             row_ptr,
             col_idx,
             values,
-        })
+            values_f16: Vec::new(),
+            values_i8: Vec::new(),
+            scales_i8: Vec::new(),
+        };
+        m.build_sidecars();
+        Ok(m)
+    }
+
+    /// The nonzero values as raw f16 bit patterns (same layout as
+    /// [`CsrMatrix::values`]).
+    pub fn values_f16(&self) -> &[u16] {
+        &self.values_f16
+    }
+
+    /// The nonzero values as int8 codes under [`CsrMatrix::int8_scales`].
+    pub fn values_i8(&self) -> &[i8] {
+        &self.values_i8
+    }
+
+    /// Symmetric int8 scale per block of [`CsrMatrix::ROW_BLOCK`] rows.
+    pub fn int8_scales(&self) -> &[f32] {
+        &self.scales_i8
     }
 
     /// Number of rows.
@@ -180,6 +262,10 @@ impl CsrMatrix {
         }
         rtm_trace::count_many(&[
             (rtm_trace::key::SPMV_CSR, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMV_CSR, "f32"),
+                1,
+            ),
             (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
             (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
         ]);
@@ -229,6 +315,10 @@ impl CsrMatrix {
         }
         rtm_trace::count_many(&[
             (rtm_trace::key::SPMM_CSR, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMM_CSR, "f32"),
+                1,
+            ),
             (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
             (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
         ]);
@@ -257,6 +347,277 @@ impl CsrMatrix {
         let mut ys = vec![0.0f32; self.rows * b];
         self.spmm_into(xs, b, &mut ys)?;
         Ok(ys)
+    }
+
+    /// Precision-dispatched SpMV (see `BspcMatrix::spmv_prec_into` for the
+    /// numeric contracts; CSR int8 uses one scale per
+    /// [`CsrMatrix::ROW_BLOCK`] rows and a scalar gathered dot with exact
+    /// i32 accumulation, so results are bit-identical across SIMD variants
+    /// and thread counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x.len() != self.cols()` or
+    /// `y.len() != self.rows()`.
+    pub fn spmv_prec_into(
+        &self,
+        prec: Precision,
+        x: &[f32],
+        y: &mut [f32],
+    ) -> Result<(), ShapeError> {
+        match prec {
+            Precision::F32 => self.spmv_into(x, y),
+            Precision::F16 => self.spmv_f16_into(x, y),
+            Precision::Int8 => self.spmv_i8_into(x, y),
+        }
+    }
+
+    /// Precision-dispatched batched SpMM (lane layout as
+    /// [`spmm_into`](CsrMatrix::spmm_into); int8 quantizes each lane with
+    /// its own scale, so lane `j` matches the serial int8 SpMV of lane `j`'s
+    /// column exactly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `xs.len() != self.cols() * b` or
+    /// `ys.len() != self.rows() * b`.
+    pub fn spmm_prec_into(
+        &self,
+        prec: Precision,
+        xs: &[f32],
+        b: usize,
+        ys: &mut [f32],
+    ) -> Result<(), ShapeError> {
+        match prec {
+            Precision::F32 => self.spmm_into(xs, b, ys),
+            Precision::F16 => self.spmm_f16_into(xs, b, ys),
+            Precision::Int8 => self.spmm_i8_into(xs, b, ys),
+        }
+    }
+
+    fn spmv_f16_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(ShapeError {
+                op: "csr_spmv_f16_into",
+                lhs: (self.rows, self.cols),
+                rhs: (x.len(), y.len()),
+            });
+        }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMV_CSR, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMV_CSR, "f16"),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
+            (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
+        ]);
+        self.spmv_rows_f16_into(x, 0..self.rows, y, 0);
+        Ok(())
+    }
+
+    fn spmv_i8_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(ShapeError {
+                op: "csr_spmv_i8_into",
+                lhs: (self.rows, self.cols),
+                rhs: (x.len(), y.len()),
+            });
+        }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMV_CSR, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMV_CSR, "int8"),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
+            (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
+        ]);
+        TLS_ACT.with(|cell| {
+            let act = &mut *cell.borrow_mut();
+            let sx = rtm_tensor::simd_i8::quantize_activations(x, &mut act.0);
+            self.spmv_rows_i8_into(&act.0, sx, 0..self.rows, y, 0);
+        });
+        Ok(())
+    }
+
+    fn spmm_f16_into(&self, xs: &[f32], b: usize, ys: &mut [f32]) -> Result<(), ShapeError> {
+        if xs.len() != self.cols * b || ys.len() != self.rows * b {
+            return Err(ShapeError {
+                op: "csr_spmm_f16_into",
+                lhs: (self.rows, self.cols),
+                rhs: (xs.len(), b),
+            });
+        }
+        if b == 0 {
+            return Ok(());
+        }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMM_CSR, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMM_CSR, "f16"),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
+            (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
+        ]);
+        self.spmm_rows_f16_into(xs, b, 0..self.rows, ys, 0);
+        Ok(())
+    }
+
+    fn spmm_i8_into(&self, xs: &[f32], b: usize, ys: &mut [f32]) -> Result<(), ShapeError> {
+        if xs.len() != self.cols * b || ys.len() != self.rows * b {
+            return Err(ShapeError {
+                op: "csr_spmm_i8_into",
+                lhs: (self.rows, self.cols),
+                rhs: (xs.len(), b),
+            });
+        }
+        if b == 0 {
+            return Ok(());
+        }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMM_CSR, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMM_CSR, "int8"),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
+            (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
+        ]);
+        TLS_ACT.with(|cell| {
+            let act = &mut *cell.borrow_mut();
+            let (xq, sxs) = (&mut act.0, &mut act.1);
+            rtm_tensor::simd_i8::quantize_activations_lanes(xs, b, xq, sxs);
+            self.spmm_rows_i8_into(xq, sxs, b, 0..self.rows, ys, 0);
+        });
+        Ok(())
+    }
+
+    /// f16 SpMV over the row range `rows` (engine hook shared by the serial
+    /// path and the executor's row chunks; output row `r` lands at
+    /// `y[r - y_base]`, no tracing — the dispatching entry point counts).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range rows or short buffers; the public entry points
+    /// validate shapes first.
+    pub fn spmv_rows_f16_into(&self, x: &[f32], rows: Range<usize>, y: &mut [f32], y_base: usize) {
+        let v = rtm_tensor::simd::active_variant();
+        TLS_KERNEL.with(|cell| {
+            let (conv, _, _) = &mut *cell.borrow_mut();
+            for r in rows {
+                let (start, end) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+                rtm_tensor::f16::f16_bits_to_f32(&self.values_f16[start..end], conv);
+                y[r - y_base] =
+                    rtm_tensor::simd::indexed_dot_variant(v, conv, &self.col_idx[start..end], x);
+            }
+        });
+    }
+
+    /// Int8 SpMV over the row range `rows` on pre-quantized activations
+    /// (conventions as [`spmv_rows_f16_into`](CsrMatrix::spmv_rows_f16_into);
+    /// the caller quantizes once so parallel chunks share the same codes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range rows or short buffers.
+    pub fn spmv_rows_i8_into(
+        &self,
+        xq: &[i8],
+        sx: f32,
+        rows: Range<usize>,
+        y: &mut [f32],
+        y_base: usize,
+    ) {
+        let v = rtm_tensor::simd::active_variant();
+        for r in rows {
+            let (start, end) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            let acc = rtm_tensor::simd_i8::indexed_dot_i8_variant(
+                v,
+                &self.values_i8[start..end],
+                &self.col_idx[start..end],
+                xq,
+            );
+            y[r - y_base] = sx * self.scales_i8[r / Self::ROW_BLOCK] * acc as f32;
+        }
+    }
+
+    /// f16 batched SpMM over the row range `rows` (engine hook; output row
+    /// `r` lands at `ys[(r - y_base) · b ..]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range rows or short buffers; `b` must be positive.
+    pub fn spmm_rows_f16_into(
+        &self,
+        xs: &[f32],
+        b: usize,
+        rows: Range<usize>,
+        ys: &mut [f32],
+        y_base: usize,
+    ) {
+        let v = rtm_tensor::simd::active_variant();
+        TLS_KERNEL.with(|cell| {
+            let (conv, _, _) = &mut *cell.borrow_mut();
+            for r in rows {
+                let (start, end) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+                rtm_tensor::f16::f16_bits_to_f32(&self.values_f16[start..end], conv);
+                let o = r - y_base;
+                rtm_tensor::simd::indexed_dot_batch_variant(
+                    v,
+                    conv,
+                    &self.col_idx[start..end],
+                    xs,
+                    b,
+                    &mut ys[o * b..(o + 1) * b],
+                );
+            }
+        });
+    }
+
+    /// Int8 batched SpMM over the row range `rows` on pre-quantized
+    /// lane-major activations with per-lane scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range rows or short buffers; `sxs.len()` must equal
+    /// `b` and `b` must be positive.
+    pub fn spmm_rows_i8_into(
+        &self,
+        xq: &[i8],
+        sxs: &[f32],
+        b: usize,
+        rows: Range<usize>,
+        ys: &mut [f32],
+        y_base: usize,
+    ) {
+        assert_eq!(sxs.len(), b, "one activation scale per lane");
+        TLS_KERNEL.with(|cell| {
+            let (_, gi8, acc) = &mut *cell.borrow_mut();
+            acc.resize(b, 0);
+            for r in rows {
+                let (start, end) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+                // Gather this row's activation lanes once, lane-major.
+                gi8.clear();
+                for &c in &self.col_idx[start..end] {
+                    let c = c as usize;
+                    gi8.extend_from_slice(&xq[c * b..(c + 1) * b]);
+                }
+                acc.fill(0);
+                rtm_tensor::simd_i8::dot_batch_i8_accumulate(
+                    &self.values_i8[start..end],
+                    gi8,
+                    b,
+                    acc,
+                );
+                let scale = self.scales_i8[r / Self::ROW_BLOCK];
+                let o = r - y_base;
+                for (j, (&a, &sx)) in acc.iter().zip(sxs.iter()).enumerate() {
+                    ys[o * b + j] = sx * scale * a as f32;
+                }
+            }
+        });
     }
 
     /// Expands back to a dense matrix.
@@ -368,6 +729,74 @@ mod tests {
         // Shape errors.
         assert!(csr.spmm_into(&[0.0; 3], 2, &mut [0.0; 6]).is_err());
         assert!(csr.spmm_into(&[0.0; 8], 2, &mut [0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn f16_kernels_match_f32_on_rounded_values() {
+        let mut rng = rtm_tensor::init::rng_from_seed(51);
+        let d = rtm_tensor::init::uniform(20, 14, -1.0, 1.0, &mut rng).map(|v| {
+            if v.abs() < 0.4 {
+                0.0
+            } else {
+                rtm_tensor::f16::quantize_f16(v)
+            }
+        });
+        let m = CsrMatrix::from_dense(&d);
+        let x: Vec<f32> = (0..14).map(|i| (i as f32 * 0.43).sin()).collect();
+        let want = m.spmv(&x).unwrap();
+        let mut got = vec![f32::NAN; 20];
+        m.spmv_prec_into(Precision::F16, &x, &mut got).unwrap();
+        assert_eq!(got, want);
+        let b = 4usize;
+        let xs: Vec<f32> = (0..14 * b).map(|i| (i as f32 * 0.19).cos()).collect();
+        let mut ys = vec![f32::NAN; 20 * b];
+        m.spmm_prec_into(Precision::F16, &xs, b, &mut ys).unwrap();
+        let mut want_m = vec![0.0f32; 20 * b];
+        m.spmm_into(&xs, b, &mut want_m).unwrap();
+        assert_eq!(ys, want_m);
+    }
+
+    #[test]
+    fn i8_kernels_bounded_and_lane_consistent() {
+        let mut rng = rtm_tensor::init::rng_from_seed(62);
+        let d = rtm_tensor::init::uniform(19, 13, -1.5, 1.5, &mut rng).map(|v| {
+            if v.abs() < 0.4 {
+                0.0
+            } else {
+                v
+            }
+        });
+        let m = CsrMatrix::from_dense(&d);
+        assert_eq!(
+            m.int8_scales().len(),
+            19usize.div_ceil(CsrMatrix::ROW_BLOCK)
+        );
+        let x: Vec<f32> = (0..13).map(|i| (i as f32 * 0.61).sin()).collect();
+        let want = gemm::gemv(&d, &x).unwrap();
+        let mut got = vec![0.0f32; 19];
+        m.spmv_prec_into(Precision::Int8, &x, &mut got).unwrap();
+        let wmax = d.as_slice().iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let xmax = x.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let smax = m.int8_scales().iter().fold(0.0f32, |a, v| a.max(*v));
+        let sx = xmax / 127.0;
+        let bound = 13.0 * (0.5 * smax * xmax + 0.5 * sx * wmax + 0.25 * smax * sx) + 1e-4;
+        for (w, g) in want.iter().zip(&got) {
+            assert!((w - g).abs() <= bound, "{w} vs {g} (bound {bound})");
+        }
+        // Batched int8 lanes are exactly the serial int8 columns.
+        for b in [1usize, 3, 6] {
+            let xs: Vec<f32> = (0..13 * b).map(|i| (i as f32 * 0.83).cos()).collect();
+            let mut ys = vec![f32::NAN; 19 * b];
+            m.spmm_prec_into(Precision::Int8, &xs, b, &mut ys).unwrap();
+            for j in 0..b {
+                let col: Vec<f32> = (0..13).map(|c| xs[c * b + j]).collect();
+                let mut yy = vec![0.0f32; 19];
+                m.spmv_prec_into(Precision::Int8, &col, &mut yy).unwrap();
+                for r in 0..19 {
+                    assert_eq!(ys[r * b + j], yy[r], "b={b} lane {j} row {r}");
+                }
+            }
+        }
     }
 
     /// Randomized (seed-driven) dense↔CSR round-trip.

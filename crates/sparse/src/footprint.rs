@@ -17,8 +17,9 @@ pub enum Precision {
     F32,
     /// 16-bit float (the paper's mobile-GPU path).
     F16,
-    /// Symmetric int8 weights (the DESIGN.md §6 what-if CPU path; one
-    /// byte per weight, per-tensor scale amortized to nothing).
+    /// Symmetric int8 weights (one byte per weight plus explicit f32 scale
+    /// metadata — per stripe-block for BSPC, per row block for CSR/CSC, one
+    /// per tensor for dense).
     Int8,
 }
 
@@ -31,6 +32,16 @@ impl Precision {
             Precision::Int8 => 1,
         }
     }
+
+    /// Short lowercase label ("f32" / "f16" / "int8") — used for trace keys,
+    /// report fields and CLI round trips.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Precision::F32 => "f32",
+            Precision::F16 => "f16",
+            Precision::Int8 => "int8",
+        }
+    }
 }
 
 /// Byte breakdown of one stored matrix.
@@ -40,45 +51,68 @@ pub struct Footprint {
     pub value_bytes: usize,
     /// Bytes holding structural indices (column ids, pointers, permutations).
     pub index_bytes: usize,
+    /// Bytes holding quantization scale metadata (int8 only: one f32 per
+    /// scale group; zero for f32/f16 storage).
+    pub scale_bytes: usize,
 }
 
 impl Footprint {
     /// Total bytes.
     pub fn total(&self) -> usize {
-        self.value_bytes + self.index_bytes
+        self.value_bytes + self.index_bytes + self.scale_bytes
     }
 
-    /// Footprint of a dense matrix: `rows*cols` scalars and no indices.
+    /// Footprint of a dense matrix: `rows*cols` scalars and no indices;
+    /// int8 adds the single per-tensor scale.
     pub fn dense(m: &Matrix, prec: Precision) -> Footprint {
         Footprint {
             value_bytes: m.len() * prec.bytes(),
             index_bytes: 0,
+            scale_bytes: if prec == Precision::Int8 { 4 } else { 0 },
         }
     }
 
     /// Footprint of a CSR matrix: one scalar and one `u32` column index per
-    /// nonzero plus the `rows + 1` row-pointer array.
+    /// nonzero plus the `rows + 1` row-pointer array; int8 adds one f32
+    /// scale per [`CsrMatrix::ROW_BLOCK`] rows.
     pub fn csr(m: &CsrMatrix, prec: Precision) -> Footprint {
         Footprint {
             value_bytes: m.nnz() * prec.bytes(),
             index_bytes: (m.nnz() + m.row_ptr().len()) * 4,
+            scale_bytes: if prec == Precision::Int8 {
+                m.rows().div_ceil(CsrMatrix::ROW_BLOCK) * 4
+            } else {
+                0
+            },
         }
     }
 
-    /// Footprint of a CSC matrix (mirror of CSR).
+    /// Footprint of a CSC matrix (mirror of CSR; int8 scales go per column
+    /// block of the same width).
     pub fn csc(m: &CscMatrix, prec: Precision) -> Footprint {
         Footprint {
             value_bytes: m.nnz() * prec.bytes(),
             index_bytes: (m.nnz() + m.col_ptr().len()) * 4,
+            scale_bytes: if prec == Precision::Int8 {
+                m.cols().div_ceil(CsrMatrix::ROW_BLOCK) * 4
+            } else {
+                0
+            },
         }
     }
 
     /// Footprint of a BSPC matrix: stored pattern values plus the shared
-    /// per-stripe-block index words (see [`BspcMatrix::index_words`]).
+    /// per-stripe-block index words (see [`BspcMatrix::index_words`]); int8
+    /// adds one f32 scale per (stripe, block).
     pub fn bspc(m: &BspcMatrix, prec: Precision) -> Footprint {
         Footprint {
             value_bytes: m.stored_len() * prec.bytes(),
             index_bytes: m.index_words() * 4,
+            scale_bytes: if prec == Precision::Int8 {
+                m.num_stripes() * m.num_blocks() * 4
+            } else {
+                0
+            },
         }
     }
 
@@ -114,6 +148,32 @@ mod tests {
         assert_eq!(Precision::F16.bytes(), 2);
         assert_eq!(Precision::Int8.bytes(), 1);
         assert_eq!(Precision::default(), Precision::F32);
+        assert_eq!(Precision::F32.tag(), "f32");
+        assert_eq!(Precision::F16.tag(), "f16");
+        assert_eq!(Precision::Int8.tag(), "int8");
+    }
+
+    #[test]
+    fn int8_charges_scale_metadata() {
+        let m = structured(64, 64, 4, 8);
+        let bspc = BspcMatrix::from_dense(&m, 4, 4).unwrap();
+        let fp = Footprint::bspc(&bspc, Precision::Int8);
+        assert_eq!(fp.scale_bytes, 4 * 4 * 4); // stripes * blocks * f32
+        assert_eq!(fp.total(), fp.value_bytes + fp.index_bytes + fp.scale_bytes);
+        // f32/f16 storage carries no scale metadata.
+        assert_eq!(Footprint::bspc(&bspc, Precision::F16).scale_bytes, 0);
+        let csr = CsrMatrix::from_dense(&m);
+        let fp_csr = Footprint::csr(&csr, Precision::Int8);
+        assert_eq!(
+            fp_csr.scale_bytes,
+            64usize.div_ceil(CsrMatrix::ROW_BLOCK) * 4
+        );
+        assert_eq!(Footprint::csr(&csr, Precision::F32).scale_bytes, 0);
+        let csc = Footprint::csc(&CscMatrix::from_dense(&m), Precision::Int8);
+        assert_eq!(csc.scale_bytes, fp_csr.scale_bytes); // square matrix
+        assert_eq!(Footprint::dense(&m, Precision::Int8).scale_bytes, 4);
+        // Int8 still wins on total bytes despite the metadata.
+        assert!(fp.total() < Footprint::bspc(&bspc, Precision::F16).total());
     }
 
     #[test]

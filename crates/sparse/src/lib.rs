@@ -46,7 +46,7 @@ pub mod io;
 pub use bspc::{BspcError, BspcMatrix};
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
-pub use footprint::Footprint;
+pub use footprint::{Footprint, Precision};
 pub use io::DecodeError;
 
 #[cfg(test)]

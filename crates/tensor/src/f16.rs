@@ -179,6 +179,82 @@ pub fn quantize_f16_slice(xs: &mut [f32]) {
     }
 }
 
+/// Encodes a slice of `f32` values as raw f16 bit patterns.
+///
+/// This is the storage direction of the fp16 weight path: values round
+/// through binary16 once here; [`f16_bits_to_f32`] restores them exactly.
+pub fn f32_to_f16_bits(xs: &[f32]) -> Vec<u16> {
+    xs.iter().map(|&v| F16::from_f32(v).to_bits()).collect()
+}
+
+/// Decodes raw f16 bit patterns into `dst` (resized to `src.len()`).
+///
+/// The conversion is exact — every f16 is representable in f32 — so a
+/// kernel that decodes f16 storage and runs the f32 arithmetic produces
+/// bit-identical results to the same f32 kernel on pre-rounded values.
+///
+/// On x86-64 hosts with F16C this uses the hardware `vcvtph2ps` widening
+/// (8 elements per step); it computes the same IEEE-defined exact map as
+/// the software path — including quieted-NaN payloads — so the choice is
+/// invisible to every bit-exactness contract. The decode is the inner-loop
+/// cost of the f16 weight path, which is why it gets the hardware
+/// treatment even though the policy layer treats it as "scalar".
+pub fn f16_bits_to_f32(src: &[u16], dst: &mut Vec<f32>) {
+    dst.clear();
+    dst.reserve(src.len());
+    #[cfg(target_arch = "x86_64")]
+    {
+        if f16c_available() {
+            // Safety: the feature check gates the target_feature fn; dst
+            // was reserved to src.len() above.
+            unsafe { x86_decode::convert_into(src, dst) };
+            return;
+        }
+    }
+    dst.extend(src.iter().map(|&b| F16::from_bits(b).to_f32()));
+}
+
+/// Whether the hardware f16 decode path is compiled in and available.
+#[cfg(target_arch = "x86_64")]
+fn f16c_available() -> bool {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    static STATE: AtomicU8 = AtomicU8::new(0);
+    match STATE.load(Ordering::Relaxed) {
+        0 => {
+            let yes = std::arch::is_x86_feature_detected!("f16c");
+            STATE.store(if yes { 2 } else { 1 }, Ordering::Relaxed);
+            yes
+        }
+        1 => false,
+        _ => true,
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86_decode {
+    use std::arch::x86_64::*;
+
+    /// F16C bulk decode: appends `src.len()` converted values to `dst`
+    /// (capacity already reserved by the caller).
+    #[target_feature(enable = "f16c")]
+    pub unsafe fn convert_into(src: &[u16], dst: &mut Vec<f32>) {
+        let n = src.len();
+        let base = dst.len();
+        let out = dst.as_mut_ptr().add(base);
+        let mut k = 0usize;
+        while k + 8 <= n {
+            let h = _mm_loadu_si128(src.as_ptr().add(k) as *const __m128i);
+            _mm256_storeu_ps(out.add(k), _mm256_cvtph_ps(h));
+            k += 8;
+        }
+        while k < n {
+            *out.add(k) = super::F16::from_bits(*src.get_unchecked(k)).to_f32();
+            k += 1;
+        }
+        dst.set_len(base + n);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +349,30 @@ mod tests {
             let rel = ((q - x * 1.000_3) / (x * 1.000_3)).abs();
             assert!(rel <= 2.0f32.powi(-11) + 1e-7, "x={x} rel={rel}");
             x *= 1.7;
+        }
+    }
+
+    #[test]
+    fn bulk_decode_matches_software_for_every_pattern_class() {
+        // Normals, subnormals, zeros, infinities and NaN payloads, at
+        // lengths that hit the 8-wide hardware step and its scalar tail.
+        let patterns: Vec<u16> = vec![
+            0x0000, 0x8000, 0x0001, 0x8001, 0x03FF, 0x0400, 0x3C00, 0xBC00, 0x7BFF, 0xFBFF, 0x7C00,
+            0xFC00, 0x7C01, 0x7E00, 0xFE55, 0x1234, 0xABCD, 0x5555,
+        ];
+        for len in [0usize, 1, 7, 8, 9, 16, 18] {
+            let src: Vec<u16> = (0..len).map(|i| patterns[i % patterns.len()]).collect();
+            let mut dst = Vec::new();
+            f16_bits_to_f32(&src, &mut dst);
+            assert_eq!(dst.len(), len);
+            for (i, (&bits, &got)) in src.iter().zip(&dst).enumerate() {
+                let want = F16::from_bits(bits).to_f32();
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "len {len} idx {i} pattern {bits:#06x}"
+                );
+            }
         }
     }
 

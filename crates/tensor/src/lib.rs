@@ -45,6 +45,7 @@ pub mod matrix;
 pub mod quant;
 pub mod rng;
 pub mod simd;
+pub mod simd_i8;
 pub mod stats;
 pub mod vector;
 pub mod wire;

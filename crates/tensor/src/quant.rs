@@ -25,7 +25,44 @@ impl QuantizedMatrix {
     /// An all-zero matrix gets scale 1.0 (every entry quantizes to 0).
     pub fn quantize(m: &Matrix) -> QuantizedMatrix {
         let max_abs = m.as_slice().iter().fold(0.0f32, |acc, v| acc.max(v.abs()));
-        let scale = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+        QuantizedMatrix::with_scale(m, if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 })
+    }
+
+    /// Quantizes with a percentile-clipped (saturating) scale: the scale is
+    /// set from the `percentile`-th largest absolute weight instead of the
+    /// maximum, and the tail beyond it saturates to ±127.
+    ///
+    /// A heavy-tailed weight matrix — a handful of outliers atop a tight
+    /// bulk — wastes almost the whole int8 range on the outliers under
+    /// [`QuantizedMatrix::quantize`]: `scale = max|w|/127` makes the step
+    /// huge for the 99% of weights near zero. Clipping at, say, the 99.5th
+    /// percentile shrinks the step for the bulk at the cost of a bounded
+    /// saturation error on the few clipped weights, tightening the overall
+    /// reconstruction error (see the heavy-tail unit test).
+    ///
+    /// `percentile` is a fraction in `(0, 1]`; `1.0` reproduces
+    /// [`QuantizedMatrix::quantize`] exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `percentile` is not in `(0, 1]`.
+    pub fn quantize_clipped(m: &Matrix, percentile: f32) -> QuantizedMatrix {
+        assert!(
+            percentile > 0.0 && percentile <= 1.0,
+            "percentile must be in (0, 1], got {percentile}"
+        );
+        let mut mags: Vec<f32> = m.as_slice().iter().map(|v| v.abs()).collect();
+        mags.sort_by(|a, b| a.partial_cmp(b).expect("finite weights"));
+        let clip = if mags.is_empty() {
+            0.0
+        } else {
+            let rank = ((mags.len() as f32 * percentile).ceil() as usize).clamp(1, mags.len());
+            mags[rank - 1]
+        };
+        QuantizedMatrix::with_scale(m, if clip > 0.0 { clip / 127.0 } else { 1.0 })
+    }
+
+    fn with_scale(m: &Matrix, scale: f32) -> QuantizedMatrix {
         let data = m
             .as_slice()
             .iter()
@@ -169,6 +206,71 @@ mod tests {
         assert_eq!(q.storage_bytes(), 104);
         assert_eq!(q.rows(), 10);
         assert_eq!(q.cols(), 10);
+    }
+
+    #[test]
+    fn clipped_scale_tightens_heavy_tailed_error() {
+        // A tight bulk plus a few large outliers: the classic failure mode
+        // of max-abs scaling.
+        let mut rng = crate::init::rng_from_seed(11);
+        let mut m = crate::init::uniform(24, 24, -0.1, 0.1, &mut rng);
+        for (i, v) in [(5usize, 4.0f32), (100, -3.5), (400, 5.0)] {
+            let (r, c) = (i / 24, i % 24);
+            m[(r, c)] = v;
+        }
+        let plain = QuantizedMatrix::quantize(&m);
+        let clipped = QuantizedMatrix::quantize_clipped(&m, 0.99);
+
+        // The clipped step is an order of magnitude smaller.
+        assert!(
+            clipped.scale() < plain.scale() / 10.0,
+            "clip {} vs max-abs {}",
+            clipped.scale(),
+            plain.scale()
+        );
+        // Every *bulk* weight reconstructs within the (much tighter)
+        // clipped bound; the outliers saturate to ±clip.
+        let clip = clipped.scale() * 127.0;
+        let dc = clipped.dequantize();
+        for (a, b) in m.as_slice().iter().zip(dc.as_slice()) {
+            if a.abs() <= clip {
+                assert!((a - b).abs() <= clipped.error_bound() + 1e-6, "{a} vs {b}");
+            } else {
+                assert!((b.abs() - clip).abs() <= clipped.error_bound() + 1e-6);
+            }
+        }
+        // The per-weight error bound tightens by the same order — this is
+        // the bound the kernel error analyses consume.
+        assert!(clipped.error_bound() < plain.error_bound() / 10.0);
+        // And the bulk (everything inside the clip, 99%+ of the weights)
+        // reconstructs far more accurately than under max-abs scaling.
+        let bulk_err = |q: &QuantizedMatrix| {
+            let d = q.dequantize();
+            let (sum, n) = m
+                .as_slice()
+                .iter()
+                .zip(d.as_slice())
+                .filter(|(a, _)| a.abs() <= clip)
+                .fold((0.0f32, 0usize), |(s, n), (a, b)| {
+                    (s + (a - b).abs(), n + 1)
+                });
+            sum / n as f32
+        };
+        assert!(
+            bulk_err(&clipped) < bulk_err(&plain) / 4.0,
+            "clipped {} vs plain {}",
+            bulk_err(&clipped),
+            bulk_err(&plain)
+        );
+        // percentile = 1.0 reproduces the max-abs scheme exactly.
+        let full = QuantizedMatrix::quantize_clipped(&m, 1.0);
+        assert_eq!(full, plain);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn clipped_rejects_bad_percentile() {
+        let _ = QuantizedMatrix::quantize_clipped(&Matrix::zeros(2, 2), 0.0);
     }
 
     #[test]

@@ -1,0 +1,727 @@
+//! Int8 dot-product kernels behind the [`crate::simd`] dispatch layer.
+//!
+//! The quantized inference path stores weights as `i8` codes and quantizes
+//! activations per call (`q = round(x / sx)` with `sx = max|x| / 127`), so
+//! every kernel here multiplies two int8 operands and accumulates in `i32`.
+//! Integer accumulation is *exact*: unlike the f32 kernels, every variant —
+//! scalar at any unroll, AVX2 `maddubs`-style widening — returns the same
+//! `i32` for the same inputs, so the bit-exactness contract of the f32
+//! layer holds trivially (and more strongly) here. Dequantization happens
+//! once, at the store site in the sparse kernels, never inside these.
+//!
+//! Overflow: a single `i8 × i8` product is at most `127 × 127 = 16129`, so
+//! an `i32` accumulator absorbs over 130 000 terms before it could wrap.
+//! The AVX2 path pairs products into `i16 × i16 → i32` lanes via
+//! `_mm256_madd_epi16` after sign-extending both operands, which is exact
+//! for the same reason (each madd term is at most `2 × 16129`).
+
+use crate::simd::Variant;
+
+/// Exact integer dot product `Σ a[i]·b[i]` with `i32` accumulation.
+///
+/// Every variant returns the same value; the variant only selects how much
+/// instruction-level parallelism the loop exposes.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn dot_i8_variant(v: Variant, a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "dot_i8 length mismatch");
+    match v {
+        Variant::ScalarU1 | Variant::ScalarU4 | Variant::ScalarU8 => dot_i8_scalar(a, b),
+        Variant::Vector => dot_i8_vector(a, b),
+    }
+}
+
+/// [`dot_i8_variant`] at the policy-selected variant.
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    dot_i8_variant(crate::simd::active_variant(), a, b)
+}
+
+fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
+    let mut acc = 0i32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x as i32 * y as i32;
+    }
+    acc
+}
+
+fn dot_i8_vector(a: &[i8], b: &[i8]) -> i32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::simd::vector_available() {
+            // Safety: vector_available() verified avx2 support at runtime.
+            return unsafe { x86::dot_i8(a, b) };
+        }
+    }
+    dot_i8_scalar(a, b)
+}
+
+/// Fused per-row BSPC int8 kernel: the row's values and gathered
+/// activations are split into consecutive segments of `seg_lens[i]`
+/// elements (one per column block), each segment gets an exact i32 dot,
+/// and the result is `Σ_i scales[i] · (dot_i as f32)` accumulated in
+/// segment order. One call replaces a dispatched [`dot_i8_variant`] per
+/// block — at high compression the blocks are a handful of elements each,
+/// so the per-call overhead used to dominate the actual multiplies.
+///
+/// Every variant returns the same value: the per-segment i32 dots are
+/// exact regardless of vectorization, and the f32 combination happens in
+/// the same segment order everywhere.
+///
+/// # Panics
+///
+/// Panics when `vals`/`gathered` differ in length, `seg_lens`/`scales`
+/// differ in length, or the segment lengths do not sum to `vals.len()`.
+pub fn row_block_dots_i8(
+    v: Variant,
+    vals: &[i8],
+    gathered: &[i8],
+    seg_lens: &[u32],
+    scales: &[f32],
+) -> f32 {
+    assert_eq!(vals.len(), gathered.len(), "row_block_dots_i8 row length");
+    assert_eq!(seg_lens.len(), scales.len(), "one scale per segment");
+    assert_eq!(
+        seg_lens.iter().map(|&l| l as usize).sum::<usize>(),
+        vals.len(),
+        "segment lengths cover the row"
+    );
+    match v {
+        Variant::ScalarU1 | Variant::ScalarU4 | Variant::ScalarU8 => {
+            row_block_dots_i8_scalar(vals, gathered, seg_lens, scales)
+        }
+        Variant::Vector => row_block_dots_i8_vector(vals, gathered, seg_lens, scales),
+    }
+}
+
+fn row_block_dots_i8_scalar(vals: &[i8], gathered: &[i8], seg_lens: &[u32], scales: &[f32]) -> f32 {
+    let mut acc_f = 0.0f32;
+    let mut off = 0usize;
+    for (&len, &scale) in seg_lens.iter().zip(scales) {
+        let len = len as usize;
+        if len > 0 {
+            let acc = dot_i8_scalar(&vals[off..off + len], &gathered[off..off + len]);
+            acc_f += acc as f32 * scale;
+        }
+        off += len;
+    }
+    acc_f
+}
+
+fn row_block_dots_i8_vector(vals: &[i8], gathered: &[i8], seg_lens: &[u32], scales: &[f32]) -> f32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::simd::vector_available() {
+            // Safety: vector_available() verified avx2 support at runtime.
+            return unsafe { x86::row_block_dots_i8(vals, gathered, seg_lens, scales) };
+        }
+    }
+    row_block_dots_i8_scalar(vals, gathered, seg_lens, scales)
+}
+
+/// Four-row [`row_block_dots_i8`]: the rows share one gathered activation
+/// vector (BSP rows of the same stripe read the same kept columns), so the
+/// vector path loads and widens each activation segment once and runs four
+/// madds against it — the register-blocking that makes the int8 SpMV
+/// faster than f32 even when blocks shrink to a dozen values. Exactness is
+/// per row, identical to four single-row calls on every variant.
+///
+/// # Panics
+///
+/// Panics when any row's length differs from `gathered.len()`, when
+/// `seg_lens`/`scales` differ in length, or when the segment lengths do
+/// not sum to the row length.
+pub fn row_quad_block_dots_i8(
+    v: Variant,
+    rows: [&[i8]; 4],
+    gathered: &[i8],
+    seg_lens: &[u32],
+    scales: &[f32],
+) -> [f32; 4] {
+    for r in rows {
+        assert_eq!(r.len(), gathered.len(), "row_quad_block_dots_i8 row length");
+    }
+    assert_eq!(seg_lens.len(), scales.len(), "one scale per segment");
+    assert_eq!(
+        seg_lens.iter().map(|&l| l as usize).sum::<usize>(),
+        gathered.len(),
+        "segment lengths cover the row"
+    );
+    #[cfg(target_arch = "x86_64")]
+    {
+        if v == Variant::Vector && crate::simd::vector_available() {
+            // Safety: vector_available() verified avx2 support at runtime.
+            return unsafe { x86::row_quad_block_dots_i8(rows, gathered, seg_lens, scales) };
+        }
+    }
+    let _ = v;
+    rows.map(|r| row_block_dots_i8_scalar(r, gathered, seg_lens, scales))
+}
+
+/// Exact integer indexed dot `Σ vals[k]·x[idx[k]]` (the CSR/BSPC row shape).
+///
+/// The gather is scalar on every variant — integer accumulation is
+/// order-insensitive, so there is nothing to keep bit-compatible and the
+/// gather latency dominates any SIMD multiply.
+///
+/// # Panics
+///
+/// Panics if `vals` and `idx` differ in length or an index is out of range.
+pub fn indexed_dot_i8_variant(_v: Variant, vals: &[i8], idx: &[u32], x: &[i8]) -> i32 {
+    assert_eq!(vals.len(), idx.len(), "indexed_dot_i8 length mismatch");
+    let mut acc = 0i32;
+    for (&q, &i) in vals.iter().zip(idx) {
+        acc += q as i32 * x[i as usize] as i32;
+    }
+    acc
+}
+
+/// Batched exact integer dot: `out[j] += Σ_k a[k]·xs[k·b + j]` for each of
+/// the `b` lane-major columns of `xs`. Callers zero or seed `out`.
+///
+/// Dispatches on the process-global SIMD policy; every variant produces
+/// the same `i32` lane sums (integer accumulation is exact and
+/// order-insensitive), so this never affects any bit-exactness contract.
+///
+/// # Panics
+///
+/// Panics when `xs` is not `[a.len() × b]` or `out` is not `b` long.
+pub fn dot_batch_i8_accumulate(a: &[i8], xs: &[i8], b: usize, out: &mut [i32]) {
+    assert_eq!(out.len(), b, "dot_batch_i8 output length");
+    assert_eq!(xs.len(), a.len() * b, "dot_batch_i8 input plane");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if crate::simd::active_variant() == Variant::Vector
+            && crate::simd::vector_available()
+            && b >= 8
+        {
+            // Safety: vector_available() verified avx2 support at runtime.
+            unsafe { x86::dot_batch_i8_accumulate(a, xs, b, out) };
+            return;
+        }
+    }
+    dot_batch_i8_scalar(a, xs, b, out);
+}
+
+fn dot_batch_i8_scalar(a: &[i8], xs: &[i8], b: usize, out: &mut [i32]) {
+    for (k, &w) in a.iter().enumerate() {
+        let w = w as i32;
+        let lanes = &xs[k * b..(k + 1) * b];
+        for (o, &x) in out.iter_mut().zip(lanes) {
+            *o += w * x as i32;
+        }
+    }
+}
+
+/// Quantizes activations symmetrically: `sx = max|x| / 127`,
+/// `q = round(x / sx)` clamped to `[-127, 127]`, written into `out`
+/// (resized to `x.len()`). Returns the scale `sx`.
+///
+/// An all-zero (or empty) input gets scale 1.0 and all-zero codes. Non-finite
+/// inputs saturate to ±127 like any other out-of-range value, so a NaN/Inf
+/// activation cannot poison the integer kernels (the health layer still sees
+/// the fault in the f32 buffers it scans).
+pub fn quantize_activations(x: &[f32], out: &mut Vec<i8>) -> f32 {
+    let max_abs = x.iter().fold(
+        0.0f32,
+        |m, v| {
+            if v.is_finite() {
+                m.max(v.abs())
+            } else {
+                m
+            }
+        },
+    );
+    let sx = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+    out.clear();
+    out.extend(x.iter().map(|&v| {
+        let q = (v / sx).round();
+        if q.is_nan() {
+            0
+        } else {
+            q.clamp(-127.0, 127.0) as i8
+        }
+    }));
+    sx
+}
+
+/// Per-lane [`quantize_activations`] over a lane-major `[rows × b]` plane:
+/// lane `j`'s scale is computed from column `j` alone, so lane `j`'s codes
+/// are identical to a serial [`quantize_activations`] of that column — the
+/// batched int8 kernels inherit the serial-vs-batched bit-exactness
+/// contract from this.
+///
+/// `scales` is resized to `b`, `out` to `xs.len()`.
+///
+/// # Panics
+///
+/// Panics when `xs.len()` is not a multiple of `b` (with `b > 0`).
+pub fn quantize_activations_lanes(xs: &[f32], b: usize, out: &mut Vec<i8>, scales: &mut Vec<f32>) {
+    assert!(
+        b > 0 && xs.len().is_multiple_of(b),
+        "lane-major plane shape"
+    );
+    let rows = xs.len() / b;
+    scales.clear();
+    scales.resize(b, 1.0);
+    for (j, s) in scales.iter_mut().enumerate() {
+        let mut max_abs = 0.0f32;
+        for r in 0..rows {
+            let v = xs[r * b + j];
+            if v.is_finite() {
+                max_abs = max_abs.max(v.abs());
+            }
+        }
+        if max_abs > 0.0 {
+            *s = max_abs / 127.0;
+        }
+    }
+    out.clear();
+    out.resize(xs.len(), 0);
+    for r in 0..rows {
+        for j in 0..b {
+            let v = xs[r * b + j];
+            let q = (v / scales[j]).round();
+            out[r * b + j] = if q.is_nan() {
+                0
+            } else {
+                q.clamp(-127.0, 127.0) as i8
+            };
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// AVX2 int8 dot: 16 products per step through sign-extend to i16 and
+    /// `_mm256_madd_epi16` (the signed sibling of the `maddubs` idiom),
+    /// accumulated in eight i32 lanes. Exact — integer adds commute.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        let n = a.len();
+        let mut acc = _mm256_setzero_si256();
+        let mut k = 0usize;
+        while k + 16 <= n {
+            let va = _mm_loadu_si128(a.as_ptr().add(k) as *const __m128i);
+            let vb = _mm_loadu_si128(b.as_ptr().add(k) as *const __m128i);
+            let wa = _mm256_cvtepi8_epi16(va);
+            let wb = _mm256_cvtepi8_epi16(vb);
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(wa, wb));
+            k += 16;
+        }
+        let mut lanes = [0i32; 8];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc);
+        let mut total: i32 = lanes.iter().sum();
+        while k < n {
+            total += *a.get_unchecked(k) as i32 * *b.get_unchecked(k) as i32;
+            k += 1;
+        }
+        total
+    }
+
+    /// One i32 dot of `a[off..off+len]`·`b[off..off+len]` with 16-wide,
+    /// 8-wide, 4-wide and scalar steps. Exact — integer adds commute. The
+    /// short-segment path matters: at 10× compression a BSP block holds a
+    /// dozen-odd values, so the 256-bit reduction is skipped entirely and
+    /// the tail runs through one zero-extended 4-wide madd instead of four
+    /// scalar multiplies.
+    #[target_feature(enable = "avx2")]
+    unsafe fn segment_dot(a: &[i8], b: &[i8], off: usize, len: usize) -> i32 {
+        let mut k = off;
+        let end = off + len;
+        let mut acc128 = _mm_setzero_si128();
+        if len >= 16 {
+            let mut acc = _mm256_setzero_si256();
+            while k + 16 <= end {
+                let va = _mm_loadu_si128(a.as_ptr().add(k) as *const __m128i);
+                let vb = _mm_loadu_si128(b.as_ptr().add(k) as *const __m128i);
+                acc = _mm256_add_epi32(
+                    acc,
+                    _mm256_madd_epi16(_mm256_cvtepi8_epi16(va), _mm256_cvtepi8_epi16(vb)),
+                );
+                k += 16;
+            }
+            acc128 = _mm_add_epi32(
+                _mm256_castsi256_si128(acc),
+                _mm256_extracti128_si256(acc, 1),
+            );
+        }
+        if k + 8 <= end {
+            let va = _mm_loadl_epi64(a.as_ptr().add(k) as *const __m128i);
+            let vb = _mm_loadl_epi64(b.as_ptr().add(k) as *const __m128i);
+            acc128 = _mm_add_epi32(
+                acc128,
+                _mm_madd_epi16(_mm_cvtepi8_epi16(va), _mm_cvtepi8_epi16(vb)),
+            );
+            k += 8;
+        }
+        if k + 4 <= end {
+            // 4 bytes zero-extended into the low lanes; the upper i16
+            // lanes are zero so they contribute nothing to the madd.
+            let la = (a.as_ptr().add(k) as *const i32).read_unaligned();
+            let lb = (b.as_ptr().add(k) as *const i32).read_unaligned();
+            acc128 = _mm_add_epi32(
+                acc128,
+                _mm_madd_epi16(
+                    _mm_cvtepi8_epi16(_mm_cvtsi32_si128(la)),
+                    _mm_cvtepi8_epi16(_mm_cvtsi32_si128(lb)),
+                ),
+            );
+            k += 4;
+        }
+        let mut lanes = [0i32; 4];
+        _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, acc128);
+        let mut total: i32 = lanes.iter().sum();
+        while k < end {
+            total += *a.get_unchecked(k) as i32 * *b.get_unchecked(k) as i32;
+            k += 1;
+        }
+        total
+    }
+
+    /// AVX2 fused per-row block dots (see the dispatching wrapper for the
+    /// contract). One `#[target_feature]` entry for the whole row keeps the
+    /// per-segment cost at a few instructions even when high compression
+    /// shrinks each block to a handful of elements.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn row_block_dots_i8(
+        vals: &[i8],
+        gathered: &[i8],
+        seg_lens: &[u32],
+        scales: &[f32],
+    ) -> f32 {
+        let mut acc_f = 0.0f32;
+        let mut off = 0usize;
+        for (&len, &scale) in seg_lens.iter().zip(scales) {
+            let len = len as usize;
+            if len > 0 {
+                acc_f += segment_dot(vals, gathered, off, len) as f32 * scale;
+            }
+            off += len;
+        }
+        acc_f
+    }
+
+    /// Shared-activation four-row segment dot: widens each `b` step once
+    /// and runs four madds against it. Per-row sums are identical to four
+    /// [`segment_dot`] calls (integer adds commute).
+    #[target_feature(enable = "avx2")]
+    unsafe fn segment_dot4(rows: [&[i8]; 4], b: &[i8], off: usize, len: usize) -> [i32; 4] {
+        let mut k = off;
+        let end = off + len;
+        let mut acc128 = [_mm_setzero_si128(); 4];
+        if len >= 16 {
+            let mut acc = [_mm256_setzero_si256(); 4];
+            while k + 16 <= end {
+                let wb = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(k) as *const __m128i));
+                for (a, r) in acc.iter_mut().zip(rows) {
+                    let wa =
+                        _mm256_cvtepi8_epi16(_mm_loadu_si128(r.as_ptr().add(k) as *const __m128i));
+                    *a = _mm256_add_epi32(*a, _mm256_madd_epi16(wa, wb));
+                }
+                k += 16;
+            }
+            for (n, a) in acc128.iter_mut().zip(acc) {
+                *n = _mm_add_epi32(_mm256_castsi256_si128(a), _mm256_extracti128_si256(a, 1));
+            }
+        }
+        if k + 8 <= end {
+            let wb = _mm_cvtepi8_epi16(_mm_loadl_epi64(b.as_ptr().add(k) as *const __m128i));
+            for (a, r) in acc128.iter_mut().zip(rows) {
+                let wa = _mm_cvtepi8_epi16(_mm_loadl_epi64(r.as_ptr().add(k) as *const __m128i));
+                *a = _mm_add_epi32(*a, _mm_madd_epi16(wa, wb));
+            }
+            k += 8;
+        }
+        if k + 4 <= end {
+            let lb = (b.as_ptr().add(k) as *const i32).read_unaligned();
+            let wb = _mm_cvtepi8_epi16(_mm_cvtsi32_si128(lb));
+            for (a, r) in acc128.iter_mut().zip(rows) {
+                let la = (r.as_ptr().add(k) as *const i32).read_unaligned();
+                *a = _mm_add_epi32(
+                    *a,
+                    _mm_madd_epi16(_mm_cvtepi8_epi16(_mm_cvtsi32_si128(la)), wb),
+                );
+            }
+            k += 4;
+        }
+        let mut out = [0i32; 4];
+        for (o, a) in out.iter_mut().zip(acc128) {
+            let mut lanes = [0i32; 4];
+            _mm_storeu_si128(lanes.as_mut_ptr() as *mut __m128i, a);
+            *o = lanes.iter().sum();
+        }
+        while k < end {
+            let xb = *b.get_unchecked(k) as i32;
+            for (o, r) in out.iter_mut().zip(rows) {
+                *o += *r.get_unchecked(k) as i32 * xb;
+            }
+            k += 1;
+        }
+        out
+    }
+
+    /// AVX2 four-row fused block dots (see the dispatching wrapper for the
+    /// contract).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn row_quad_block_dots_i8(
+        rows: [&[i8]; 4],
+        gathered: &[i8],
+        seg_lens: &[u32],
+        scales: &[f32],
+    ) -> [f32; 4] {
+        let mut out = [0.0f32; 4];
+        let mut off = 0usize;
+        for (&len, &scale) in seg_lens.iter().zip(scales) {
+            let len = len as usize;
+            if len > 0 {
+                let d = segment_dot4(rows, gathered, off, len);
+                for (o, di) in out.iter_mut().zip(d) {
+                    *o += di as f32 * scale;
+                }
+            }
+            off += len;
+        }
+        out
+    }
+
+    /// AVX2 batched int8 accumulate: 8 i32 lanes per step; the weight is
+    /// broadcast and widened once per element. Exact (`|w·x| ≤ 16129`
+    /// fits i32, `_mm256_mullo_epi32` is a full 32-bit multiply).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dot_batch_i8_accumulate(a: &[i8], xs: &[i8], b: usize, out: &mut [i32]) {
+        let chunks = b / 8 * 8;
+        for (k, &w) in a.iter().enumerate() {
+            let wv = _mm256_set1_epi32(w as i32);
+            let lanes = xs.as_ptr().add(k * b);
+            let mut j = 0usize;
+            while j < chunks {
+                let x = _mm256_cvtepi8_epi32(_mm_loadl_epi64(lanes.add(j) as *const __m128i));
+                let o = out.as_mut_ptr().add(j) as *mut __m256i;
+                _mm256_storeu_si256(
+                    o,
+                    _mm256_add_epi32(_mm256_loadu_si256(o), _mm256_mullo_epi32(wv, x)),
+                );
+                j += 8;
+            }
+            while j < b {
+                *out.get_unchecked_mut(j) += w as i32 * *lanes.add(j) as i32;
+                j += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simd::Variant;
+
+    fn codes(n: usize, seed: i32) -> Vec<i8> {
+        (0..n)
+            .map(|i| (((i as i32 * 37 + seed * 101) % 255) - 127) as i8)
+            .collect()
+    }
+
+    #[test]
+    fn all_variants_agree_exactly() {
+        for n in [0usize, 1, 7, 15, 16, 17, 33, 100, 257] {
+            let a = codes(n, 1);
+            let b = codes(n, 2);
+            let reference = dot_i8_variant(Variant::ScalarU1, &a, &b);
+            for v in Variant::ALL {
+                assert_eq!(dot_i8_variant(v, &a, &b), reference, "n={n} {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_codes_do_not_overflow() {
+        // 4096 maxed-out products: 4096 * 16129 ≈ 6.6e7, far inside i32.
+        let a = vec![127i8; 4096];
+        let b = vec![-127i8; 4096];
+        let want = -(127i32 * 127) * 4096;
+        for v in Variant::ALL {
+            assert_eq!(dot_i8_variant(v, &a, &b), want, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn indexed_matches_gathered_dense() {
+        let vals = codes(50, 3);
+        let x = codes(80, 4);
+        let idx: Vec<u32> = (0..50).map(|i| ((i * 13) % 80) as u32).collect();
+        let gathered: Vec<i8> = idx.iter().map(|&i| x[i as usize]).collect();
+        for v in Variant::ALL {
+            assert_eq!(
+                indexed_dot_i8_variant(v, &vals, &idx, &x),
+                dot_i8_variant(v, &vals, &gathered),
+                "{v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn row_block_dots_matches_per_block_reference() {
+        // Segment lengths straddle every SIMD step width (16, 8, tails).
+        let seg_lens: Vec<u32> = vec![0, 3, 16, 13, 8, 1, 40, 0, 25];
+        let n: usize = seg_lens.iter().map(|&l| l as usize).sum();
+        let vals = codes(n, 7);
+        let gathered = codes(n, 8);
+        let scales: Vec<f32> = (0..seg_lens.len())
+            .map(|i| 0.01 + 0.003 * i as f32)
+            .collect();
+        let mut want = 0.0f32;
+        let mut off = 0usize;
+        for (&len, &scale) in seg_lens.iter().zip(&scales) {
+            let len = len as usize;
+            if len > 0 {
+                let d = dot_i8_variant(
+                    Variant::ScalarU1,
+                    &vals[off..off + len],
+                    &gathered[off..off + len],
+                );
+                want += d as f32 * scale;
+            }
+            off += len;
+        }
+        for v in Variant::ALL {
+            let got = row_block_dots_i8(v, &vals, &gathered, &seg_lens, &scales);
+            assert_eq!(got.to_bits(), want.to_bits(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn quad_row_dots_match_four_single_rows_exactly() {
+        // Same segment structure as the single-row test; the quad kernel
+        // must be bit-identical to four independent single-row calls on
+        // every variant (exact i32 accumulation, identical dequantize
+        // order).
+        let seg_lens: Vec<u32> = vec![0, 3, 16, 13, 8, 1, 40, 0, 25, 4, 12];
+        let n: usize = seg_lens.iter().map(|&l| l as usize).sum();
+        let gathered = codes(n, 21);
+        let scales: Vec<f32> = (0..seg_lens.len())
+            .map(|i| 0.02 + 0.005 * i as f32)
+            .collect();
+        let rows: Vec<Vec<i8>> = (0..4).map(|i| codes(n, 30 + i)).collect();
+        let row_refs = [
+            rows[0].as_slice(),
+            rows[1].as_slice(),
+            rows[2].as_slice(),
+            rows[3].as_slice(),
+        ];
+        for v in Variant::ALL {
+            let want: Vec<f32> = rows
+                .iter()
+                .map(|r| row_block_dots_i8(v, r, &gathered, &seg_lens, &scales))
+                .collect();
+            let got = row_quad_block_dots_i8(v, row_refs, &gathered, &seg_lens, &scales);
+            for (g, w) in got.iter().zip(&want) {
+                assert_eq!(g.to_bits(), w.to_bits(), "{v:?}");
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if crate::simd::vector_available() {
+                let want: Vec<f32> = rows
+                    .iter()
+                    .map(|r| row_block_dots_i8_scalar(r, &gathered, &seg_lens, &scales))
+                    .collect();
+                let hw =
+                    unsafe { x86::row_quad_block_dots_i8(row_refs, &gathered, &seg_lens, &scales) };
+                for (g, w) in hw.iter().zip(&want) {
+                    assert_eq!(g.to_bits(), w.to_bits(), "direct avx2");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_accumulate_variants_agree_exactly() {
+        // Lane counts around the 8-wide AVX2 step, element counts with tails.
+        for (n, b) in [
+            (1usize, 1usize),
+            (5, 7),
+            (33, 8),
+            (40, 9),
+            (17, 16),
+            (3, 24),
+        ] {
+            let a = codes(n, 9);
+            let xs = codes(n * b, 10);
+            let mut want = vec![0i32; b];
+            dot_batch_i8_scalar(&a, &xs, b, &mut want);
+            let mut got = vec![0i32; b];
+            dot_batch_i8_accumulate(&a, &xs, b, &mut got);
+            assert_eq!(got, want, "n={n} b={b}");
+            #[cfg(target_arch = "x86_64")]
+            {
+                if crate::simd::vector_available() {
+                    let mut hw = vec![0i32; b];
+                    unsafe { x86::dot_batch_i8_accumulate(&a, &xs, b, &mut hw) };
+                    assert_eq!(hw, want, "avx2 n={n} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_lane_matches_serial_column() {
+        let a = codes(40, 5);
+        let b = 6usize;
+        let xs = codes(40 * b, 6);
+        let mut out = vec![0i32; b];
+        dot_batch_i8_accumulate(&a, &xs, b, &mut out);
+        for j in 0..b {
+            let col: Vec<i8> = (0..40).map(|k| xs[k * b + j]).collect();
+            assert_eq!(
+                out[j],
+                dot_i8_variant(Variant::ScalarU8, &a, &col),
+                "lane {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn activation_quantization_contract() {
+        let x: Vec<f32> = (0..33).map(|i| ((i as f32) * 0.7).sin() * 2.5).collect();
+        let mut q = Vec::new();
+        let sx = quantize_activations(&x, &mut q);
+        let max_abs = x.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!((sx - max_abs / 127.0).abs() < 1e-9);
+        for (&xi, &qi) in x.iter().zip(&q) {
+            assert!((qi as f32 * sx - xi).abs() <= sx * 0.5 + 1e-6);
+        }
+        // Zero input: safe scale, zero codes.
+        let sx = quantize_activations(&[0.0, 0.0], &mut q);
+        assert_eq!(sx, 1.0);
+        assert_eq!(q, vec![0, 0]);
+        // Non-finite values saturate instead of poisoning the codes.
+        let sx = quantize_activations(&[1.0, f32::INFINITY, f32::NAN], &mut q);
+        assert_eq!(sx, 1.0 / 127.0);
+        assert_eq!(q, vec![127, 127, 0]);
+    }
+
+    #[test]
+    fn lane_quantization_matches_serial_per_column() {
+        let rows = 20usize;
+        let b = 5usize;
+        let xs: Vec<f32> = (0..rows * b)
+            .map(|i| ((i as f32) * 0.31).cos() * (1.0 + (i % b) as f32))
+            .collect();
+        let mut q = Vec::new();
+        let mut scales = Vec::new();
+        quantize_activations_lanes(&xs, b, &mut q, &mut scales);
+        for j in 0..b {
+            let col: Vec<f32> = (0..rows).map(|r| xs[r * b + j]).collect();
+            let mut qc = Vec::new();
+            let s = quantize_activations(&col, &mut qc);
+            assert_eq!(scales[j], s, "lane {j} scale");
+            let lane: Vec<i8> = (0..rows).map(|r| q[r * b + j]).collect();
+            assert_eq!(lane, qc, "lane {j} codes");
+        }
+    }
+}

@@ -195,6 +195,34 @@ pub mod key {
     pub const SERVE_DEADLINE_MISSED: &str = "serve.deadline_missed";
     /// Unroll candidates timed by the tuner's measured-cost hook.
     pub const TUNER_MEASUREMENTS: &str = "tuner.unroll_measurements";
+    /// Precision candidates timed by the tuner's per-layer precision hook.
+    pub const TUNER_PRECISION_MEASUREMENTS: &str = "tuner.precision_measurements";
+
+    /// The precision-suffixed companion of a sparse kernel-dispatch key.
+    ///
+    /// The base keys above count every call of a kernel entry point
+    /// regardless of value precision; the suffixed keys split that count by
+    /// the precision that actually ran (`f32`, `f16` or `int8`), shared by
+    /// the serial and pooled paths exactly like the base keys. Unknown
+    /// `(base, precision)` pairs return the base key unchanged, so callers
+    /// never manufacture unregistered metric names.
+    pub fn with_precision(base: &'static str, precision: &'static str) -> &'static str {
+        match (base, precision) {
+            (SPMV_BSPC, "f32") => "kernel.spmv.bspc.f32",
+            (SPMV_BSPC, "f16") => "kernel.spmv.bspc.f16",
+            (SPMV_BSPC, "int8") => "kernel.spmv.bspc.int8",
+            (SPMV_CSR, "f32") => "kernel.spmv.csr.f32",
+            (SPMV_CSR, "f16") => "kernel.spmv.csr.f16",
+            (SPMV_CSR, "int8") => "kernel.spmv.csr.int8",
+            (SPMM_BSPC, "f32") => "kernel.spmm.bspc.f32",
+            (SPMM_BSPC, "f16") => "kernel.spmm.bspc.f16",
+            (SPMM_BSPC, "int8") => "kernel.spmm.bspc.int8",
+            (SPMM_CSR, "f32") => "kernel.spmm.csr.f32",
+            (SPMM_CSR, "f16") => "kernel.spmm.csr.f16",
+            (SPMM_CSR, "int8") => "kernel.spmm.csr.int8",
+            _ => base,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

@@ -41,6 +41,13 @@ RTM_SIMD=off cargo test -q --workspace
 echo "==> cargo test -q (RTM_TRACE=on)"
 RTM_TRACE=on cargo test -q --workspace
 
+# Fourth pass with the runtime precision forced to int8: every pipeline /
+# end-to-end test must hold when the compiled model stores quantized
+# weights (the precision-specific differential suites run in every pass;
+# this pass additionally reroutes every default-precision compile).
+echo "==> cargo test -q (RTM_PRECISION=int8)"
+RTM_PRECISION=int8 cargo test -q --workspace
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -51,7 +58,7 @@ profile=()
 if [[ "$quick" -eq 0 ]]; then
   profile=(--release)
 fi
-for bin in parallel_spmv simd_kernels batched_spmm trace_overhead; do
+for bin in parallel_spmv simd_kernels batched_spmm trace_overhead quant_kernels; do
   cargo run -q "${profile[@]}" -p rtm-bench --bin "$bin" -- --quick >/dev/null
 done
 

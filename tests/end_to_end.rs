@@ -157,13 +157,18 @@ fn pipeline_report_is_coherent() {
     assert!(a.achieved_rate > 3.0, "achieved {}", a.achieved_rate);
     assert!(a.kept_params < a.total_params);
     assert!(a.baseline_per >= 0.0 && a.pruned_per >= 0.0);
-    // f16 runtime is close to the pruned f32 accuracy.
-    assert!((a.compiled_f16_per - a.pruned_per).abs() < 20.0);
+    // The compiled runtime is close to the pruned f32 accuracy.
+    assert!((a.compiled_per - a.pruned_per).abs() < 20.0);
 
     let p = &report.performance;
     assert!(p.gpu.time_us < p.cpu.time_us, "GPU faster than CPU");
     assert!(p.gpu.efficiency_vs_ese > p.cpu.efficiency_vs_ese * 0.5);
-    assert!(p.storage_bytes_f16 > 0);
+    assert!(p.storage_bytes > 0);
+    assert_eq!(
+        p.layers_f32 + p.layers_f16 + p.layers_int8,
+        2,
+        "every layer reports a storage precision"
+    );
     assert!(report.render().contains("RTMobile pipeline report"));
 }
 
