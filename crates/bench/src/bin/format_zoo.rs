@@ -1,0 +1,362 @@
+//! Sparse-format zoo benchmark: BSPC vs CSR vs BBS vs CSB kernels.
+//!
+//! Writes `BENCH_format_zoo.json` at the repository root (or under
+//! `target/quick/` with `--quick`). Times the precision-dispatched serial
+//! SpMV and batched SpMM entry points — exactly what the compiled runtime
+//! calls — for every storage format at every precision, over two sparsity
+//! families at the same compression rate:
+//!
+//! * `bsp` — the BSP-patterned matrix BSPC was designed for (kept columns
+//!   shared per stripe): BSPC's home turf, where its dense stripe×block
+//!   panels and reordered streams should win;
+//! * `unstructured` — per-row random column survival at the same nnz
+//!   budget: the stripe-wide column union approaches the full width, so
+//!   BSPC degenerates toward dense compute while the nnz-exact formats
+//!   (CSR, BBS, CSB) stream only the survivors.
+//!
+//! The `speedups` section divides the BSPC time by each rival format's
+//! time per (family × kernel × compression × precision) — values above 1
+//! are shapes where the zoo beats the paper's format at equal compression.
+//!
+//! The `tuner` section runs the real per-layer selector
+//! ([`rtm_compiler::tuner::measure_format_costs`] /
+//! [`select_format`](rtm_compiler::tuner::select_format)) over a reference
+//! two-layer BiGRU whose first layer is BSP-pruned and whose second is
+//! unstructured-pruned, and records the per-layer winner plus the summed
+//! `auto` cost against the all-BSPC cost — `auto` picks the per-layer
+//! minimum of a candidate set that includes BSPC, so it can never come out
+//! slower than all-BSPC in the same sweep.
+//!
+//! Dependency-free: std + workspace crates only.
+
+use rtm_bench::{bsp_matrix, emit_bench_report, json_row, quick_requested, time_us, JsonValue};
+use rtm_compiler::plan::StorageFormat;
+use rtm_sparse::{BbsMatrix, BspcMatrix, CsbMatrix, CsrMatrix, Footprint, Precision};
+use rtm_tensor::rng::StdRng;
+use rtm_tensor::Matrix;
+
+const STRIPES: usize = 8;
+const BLOCKS: usize = 8;
+const LANES: usize = 8;
+
+/// Per-row random column survival at `1/rate` density: the structure BSP
+/// pruning would have destroyed, and the worst case for a stripe-union
+/// storage scheme.
+fn unstructured_matrix(rows: usize, cols: usize, rate: f64, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let keep = ((cols as f64 / rate).round() as usize).clamp(1, cols);
+    let mut kept = vec![false; rows * cols];
+    for r in 0..rows {
+        let mut chosen: Vec<usize> = (0..cols).collect();
+        for i in 0..keep {
+            let j = rng.gen_range(i..chosen.len());
+            chosen.swap(i, j);
+        }
+        for &c in &chosen[..keep] {
+            kept[r * cols + c] = true;
+        }
+    }
+    Matrix::from_fn(rows, cols, |r, c| {
+        if kept[r * cols + c] {
+            0.05 + (((r * 29 + c * 13) % 89) as f32) / 100.0
+        } else {
+            0.0
+        }
+    })
+}
+
+struct Row {
+    family: &'static str,
+    kernel: &'static str,
+    format: &'static str,
+    compression: f64,
+    precision: &'static str,
+    bytes: usize,
+    us: f64,
+}
+
+enum Encoded {
+    Bspc(BspcMatrix),
+    Csr(CsrMatrix),
+    Bbs(BbsMatrix),
+    Csb(CsbMatrix),
+}
+
+impl Encoded {
+    fn tag(&self) -> &'static str {
+        match self {
+            Encoded::Bspc(_) => "bspc",
+            Encoded::Csr(_) => "csr",
+            Encoded::Bbs(_) => "bbs",
+            Encoded::Csb(_) => "csb",
+        }
+    }
+
+    fn bytes(&self, prec: Precision) -> usize {
+        match self {
+            Encoded::Bspc(m) => Footprint::bspc(m, prec).total(),
+            Encoded::Csr(m) => Footprint::csr(m, prec).total(),
+            Encoded::Bbs(m) => Footprint::bbs(m, prec).total(),
+            Encoded::Csb(m) => Footprint::csb(m, prec).total(),
+        }
+    }
+
+    fn spmv(&self, prec: Precision, x: &[f32], y: &mut [f32]) {
+        match self {
+            Encoded::Bspc(m) => m.spmv_prec_into(prec, x, y).expect("shapes match"),
+            Encoded::Csr(m) => m.spmv_prec_into(prec, x, y).expect("shapes match"),
+            Encoded::Bbs(m) => m.spmv_prec_into(prec, x, y).expect("shapes match"),
+            Encoded::Csb(m) => m.spmv_prec_into(prec, x, y).expect("shapes match"),
+        }
+    }
+
+    fn spmm(&self, prec: Precision, xs: &[f32], lanes: usize, ys: &mut [f32]) {
+        match self {
+            Encoded::Bspc(m) => m.spmm_prec_into(prec, xs, lanes, ys).expect("shapes match"),
+            Encoded::Csr(m) => m.spmm_prec_into(prec, xs, lanes, ys).expect("shapes match"),
+            Encoded::Bbs(m) => m.spmm_prec_into(prec, xs, lanes, ys).expect("shapes match"),
+            Encoded::Csb(m) => m.spmm_prec_into(prec, xs, lanes, ys).expect("shapes match"),
+        }
+    }
+}
+
+fn encode_all(dense: &Matrix) -> Vec<Encoded> {
+    let (rows, cols) = dense.shape();
+    vec![
+        Encoded::Bspc(BspcMatrix::from_dense(dense, STRIPES, BLOCKS).expect("valid partition")),
+        Encoded::Csr(CsrMatrix::from_dense(dense)),
+        Encoded::Bbs(BbsMatrix::from_dense(dense, BLOCKS.min(cols.max(1))).expect("valid banks")),
+        Encoded::Csb(
+            CsbMatrix::from_dense(dense, rows.div_ceil(STRIPES), cols.div_ceil(BLOCKS))
+                .expect("valid blocks"),
+        ),
+    ]
+}
+
+fn main() {
+    let quick = quick_requested();
+    let (rows_dim, cols_dim) = if quick { (64, 64) } else { (1024, 1024) };
+    let compressions: &[f64] = if quick { &[2.5] } else { &[2.5, 10.0] };
+    let scale = |iters: usize| if quick { 1 } else { iters };
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    for &rate in compressions {
+        let families: [(&'static str, Matrix); 2] = [
+            (
+                "bsp",
+                bsp_matrix(rows_dim, cols_dim, STRIPES, BLOCKS, rate, 42),
+            ),
+            (
+                "unstructured",
+                unstructured_matrix(rows_dim, cols_dim, rate, 43),
+            ),
+        ];
+        for (family, dense) in families {
+            let encoded = encode_all(&dense);
+            let mut rng = StdRng::seed_from_u64(7);
+            let x: Vec<f32> = (0..cols_dim).map(|_| rng.gen_f32() * 2.0 - 1.0).collect();
+            let xs: Vec<f32> = (0..cols_dim * LANES)
+                .map(|_| rng.gen_f32() * 2.0 - 1.0)
+                .collect();
+            let mut y = vec![0.0f32; rows_dim];
+            let mut ys = vec![0.0f32; rows_dim * LANES];
+
+            for prec in [Precision::F32, Precision::F16, Precision::Int8] {
+                for m in &encoded {
+                    let bytes = m.bytes(prec);
+                    let us = time_us(scale(200), || m.spmv(prec, &x, &mut y));
+                    rows.push(Row {
+                        family,
+                        kernel: "spmv",
+                        format: m.tag(),
+                        compression: rate,
+                        precision: prec.tag(),
+                        bytes,
+                        us,
+                    });
+                    let us = time_us(scale(40), || m.spmm(prec, &xs, LANES, &mut ys));
+                    rows.push(Row {
+                        family,
+                        kernel: "spmm",
+                        format: m.tag(),
+                        compression: rate,
+                        precision: prec.tag(),
+                        bytes,
+                        us,
+                    });
+                }
+            }
+            eprintln!("[{rate:>4}x] {family} family done");
+        }
+    }
+
+    let us_of = |family: &str, kernel: &str, format: &str, rate: f64, prec: &str| -> Option<f64> {
+        rows.iter()
+            .find(|r| {
+                r.family == family
+                    && r.kernel == kernel
+                    && r.format == format
+                    && r.compression == rate
+                    && r.precision == prec
+            })
+            .map(|r| r.us)
+    };
+
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            json_row(&[
+                ("family", JsonValue::Str(r.family.into())),
+                ("kernel", JsonValue::Str(r.kernel.into())),
+                ("format", JsonValue::Str(r.format.into())),
+                ("compression", JsonValue::Raw(r.compression.to_string())),
+                ("precision", JsonValue::Str(r.precision.into())),
+                ("bytes", JsonValue::Int(r.bytes as i64)),
+                ("us", JsonValue::F64(r.us, 3)),
+            ])
+        })
+        .collect();
+
+    let mut speedups: Vec<String> = Vec::new();
+    for family in ["bsp", "unstructured"] {
+        for kernel in ["spmv", "spmm"] {
+            for &rate in compressions {
+                for prec in ["f32", "f16", "int8"] {
+                    let Some(bspc_us) = us_of(family, kernel, "bspc", rate, prec) else {
+                        continue;
+                    };
+                    let ratio = |fmt: &str| {
+                        us_of(family, kernel, fmt, rate, prec)
+                            .map(|us| JsonValue::F64(bspc_us / us, 3))
+                            .unwrap_or(JsonValue::Raw("null".into()))
+                    };
+                    speedups.push(json_row(&[
+                        ("family", JsonValue::Str(family.into())),
+                        ("kernel", JsonValue::Str(kernel.into())),
+                        ("compression", JsonValue::Raw(rate.to_string())),
+                        ("precision", JsonValue::Str(prec.into())),
+                        ("csr_over_bspc", ratio("csr")),
+                        ("bbs_over_bspc", ratio("bbs")),
+                        ("csb_over_bspc", ratio("csb")),
+                    ]));
+                }
+            }
+        }
+    }
+
+    // The real per-layer selector over a reference two-layer BiGRU: layer 0
+    // BSP-pruned (BSPC's home turf), layer 1 unstructured-pruned (where the
+    // nnz-exact formats win). `auto` = per-layer minimum over the candidate
+    // set (which includes BSPC), so sum(auto) <= sum(bspc) by construction
+    // in the same sweep.
+    let tuner_rate = *compressions.last().expect("at least one rate");
+    let layers = [
+        (
+            "bigru_l0_bsp",
+            bsp_matrix(rows_dim, cols_dim, STRIPES, BLOCKS, tuner_rate, 17),
+        ),
+        (
+            "bigru_l1_unstructured",
+            unstructured_matrix(rows_dim, cols_dim, tuner_rate, 18),
+        ),
+    ];
+    let candidates = [
+        StorageFormat::Bspc,
+        StorageFormat::Csr,
+        StorageFormat::Bbs,
+        StorageFormat::Csb,
+    ];
+    let mut tuner_rows: Vec<String> = Vec::new();
+    let mut auto_total = 0.0f64;
+    let mut bspc_total = 0.0f64;
+    for (name, w) in &layers {
+        let costs = rtm_compiler::tuner::measure_format_costs(
+            w,
+            &candidates,
+            Precision::F16,
+            STRIPES,
+            BLOCKS,
+            LANES,
+            scale(20),
+        );
+        let winner = rtm_compiler::tuner::select_format(&costs);
+        let us = |f: StorageFormat| {
+            costs
+                .iter()
+                .find(|c| c.format == f)
+                .map(|c| c.seconds * 1e6)
+                .unwrap_or(f64::NAN)
+        };
+        let best = costs
+            .iter()
+            .filter(|c| c.seconds.is_finite())
+            .map(|c| c.seconds * 1e6)
+            .fold(f64::INFINITY, f64::min);
+        auto_total += best;
+        bspc_total += us(StorageFormat::Bspc);
+        tuner_rows.push(json_row(&[
+            ("layer", JsonValue::Str((*name).into())),
+            ("compression", JsonValue::Raw(tuner_rate.to_string())),
+            ("precision", JsonValue::Str("f16".into())),
+            (
+                "winner",
+                JsonValue::Str(format!("{winner:?}").to_lowercase()),
+            ),
+            ("bspc_us", JsonValue::F64(us(StorageFormat::Bspc), 3)),
+            ("csr_us", JsonValue::F64(us(StorageFormat::Csr), 3)),
+            ("bbs_us", JsonValue::F64(us(StorageFormat::Bbs), 3)),
+            ("csb_us", JsonValue::F64(us(StorageFormat::Csb), 3)),
+        ]));
+    }
+    tuner_rows.push(json_row(&[
+        ("layer", JsonValue::Str("total".into())),
+        ("auto_us", JsonValue::F64(auto_total, 3)),
+        ("all_bspc_us", JsonValue::F64(bspc_total, 3)),
+        (
+            "auto_over_bspc",
+            JsonValue::F64(bspc_total / auto_total.max(f64::MIN_POSITIVE), 3),
+        ),
+    ]));
+    eprintln!(
+        "tuner: auto {auto_total:.1} us vs all-BSPC {bspc_total:.1} us over {} layers",
+        layers.len()
+    );
+
+    emit_bench_report(
+        "format_zoo",
+        quick,
+        &[
+            (
+                "matrix",
+                JsonValue::Raw(format!(
+                    "{{\"rows\": {rows_dim}, \"cols\": {cols_dim}, \
+                     \"stripes\": {STRIPES}, \"blocks\": {BLOCKS}, \"lanes\": {LANES}}}"
+                )),
+            ),
+            (
+                "vector_isa",
+                JsonValue::Str(rtm_tensor::simd::vector_isa().into()),
+            ),
+            (
+                "notes",
+                JsonValue::Str(
+                    "Single-thread, Auto SIMD policy, precision-dispatched serial entry \
+                     points (what the compiled runtime calls). Both families hold nnz at \
+                     1/compression of the dense size; `bsp` shares kept columns per \
+                     stripe (BSPC's design target), `unstructured` survives columns per \
+                     row at random, so the stripe-union makes BSPC store near-dense. \
+                     speedup = bspc time / format time; above 1 the zoo wins at equal \
+                     compression. tuner = the pipeline's per-layer selector at f16 over \
+                     a reference BiGRU, batched at 8 lanes."
+                        .into(),
+                ),
+            ),
+        ],
+        &[
+            ("results", rendered),
+            ("speedups", speedups),
+            ("tuner", tuner_rows),
+        ],
+    );
+}

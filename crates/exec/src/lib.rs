@@ -58,7 +58,7 @@ pub use spmv::{
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rtm_sparse::{BspcMatrix, CsrMatrix};
+    use rtm_sparse::{BbsMatrix, BspcMatrix, CsbMatrix, CsrMatrix, Precision};
     use rtm_tensor::rng::StdRng;
     use rtm_tensor::Matrix;
 
@@ -194,6 +194,81 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn bbs_parallel_matches_serial_every_precision() {
+        for seed in 0..3u64 {
+            let w = bsp_random(61, 47, 3, 3, 0.35, 0.8, seed);
+            let m = BbsMatrix::from_dense(&w, 4).unwrap();
+            let x = input(47, seed + 11);
+            for prec in [Precision::F32, Precision::F16, Precision::Int8] {
+                let mut serial = vec![0.0f32; 61];
+                m.spmv_prec_into(prec, &x, &mut serial).unwrap();
+                for threads in THREADS {
+                    let exec = Executor::new(threads);
+                    let mut y = vec![f32::NAN; 61];
+                    exec.spmv_bbs_prec_into(&m, prec, &x, &mut y).unwrap();
+                    assert_eq!(y, serial, "seed {seed} {prec:?} t={threads}");
+                }
+                for b in [1usize, 3, 8] {
+                    let xs = input(47 * b, seed + 300);
+                    let mut sm = vec![0.0f32; 61 * b];
+                    m.spmm_prec_into(prec, &xs, b, &mut sm).unwrap();
+                    for threads in THREADS {
+                        let exec = Executor::new(threads);
+                        let mut ys = vec![f32::NAN; 61 * b];
+                        exec.spmm_bbs_prec_into(&m, prec, &xs, b, &mut ys).unwrap();
+                        assert_eq!(ys, sm, "seed {seed} {prec:?} b={b} t={threads}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn csb_parallel_matches_serial_every_precision() {
+        for seed in 0..3u64 {
+            let w = bsp_random(53, 39, 3, 3, 0.35, 0.8, seed);
+            let m = CsbMatrix::from_dense(&w, 6, 5).unwrap();
+            let x = input(39, seed + 17);
+            for prec in [Precision::F32, Precision::F16, Precision::Int8] {
+                let mut serial = vec![0.0f32; 53];
+                m.spmv_prec_into(prec, &x, &mut serial).unwrap();
+                for threads in THREADS {
+                    let exec = Executor::new(threads);
+                    let mut y = vec![f32::NAN; 53];
+                    exec.spmv_csb_prec_into(&m, prec, &x, &mut y).unwrap();
+                    assert_eq!(y, serial, "seed {seed} {prec:?} t={threads}");
+                }
+                for b in [1usize, 3, 8] {
+                    let xs = input(39 * b, seed + 400);
+                    let mut sm = vec![0.0f32; 53 * b];
+                    m.spmm_prec_into(prec, &xs, b, &mut sm).unwrap();
+                    for threads in THREADS {
+                        let exec = Executor::new(threads);
+                        let mut ys = vec![f32::NAN; 53 * b];
+                        exec.spmm_csb_prec_into(&m, prec, &xs, b, &mut ys).unwrap();
+                        assert_eq!(ys, sm, "seed {seed} {prec:?} b={b} t={threads}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bbs_csb_empty_and_shape_errors() {
+        let w = Matrix::zeros(8, 8);
+        let bb = BbsMatrix::from_dense(&w, 2).unwrap();
+        let cb = CsbMatrix::from_dense(&w, 2, 2).unwrap();
+        let exec = Executor::new(4);
+        assert_eq!(exec.spmv_bbs(&bb, &[1.0; 8]).unwrap(), vec![0.0; 8]);
+        assert_eq!(exec.spmv_csb(&cb, &[1.0; 8]).unwrap(), vec![0.0; 8]);
+        assert!(exec.spmv_bbs(&bb, &[0.0; 7]).is_err());
+        assert!(exec.spmv_csb(&cb, &[0.0; 7]).is_err());
+        let mut bad = vec![0.0; 9];
+        assert!(exec.spmm_bbs_into(&bb, &[0.0; 8], 1, &mut bad).is_err());
+        assert!(exec.spmm_csb_into(&cb, &[0.0; 8], 1, &mut bad).is_err());
     }
 
     #[test]

@@ -25,7 +25,7 @@
 use crate::error::ExecError;
 use crate::partition::Partition;
 use crate::pool::{Task, WorkerPool};
-use rtm_sparse::{BspcMatrix, CsrMatrix, Precision};
+use rtm_sparse::{BbsMatrix, BspcMatrix, CsbMatrix, CsrMatrix, Precision};
 use rtm_tensor::Matrix;
 
 /// Computes `y[r] = A[r] · x` for the kept rows `kept_range` of a BSPC
@@ -845,6 +845,395 @@ impl Executor {
                 })
             }
             Precision::F32 => unreachable!("handled above"),
+        }
+    }
+
+    /// The row partition for a bank-balanced matrix. Every BBS row stores
+    /// the same slot count, so costs are uniform by construction and the
+    /// balance degenerates to an even row split.
+    pub fn partition_bbs(&self, m: &BbsMatrix) -> Partition {
+        let costs = vec![m.row_stride().max(1); m.rows()];
+        Partition::balanced(&costs, self.threads())
+    }
+
+    /// The cost-balanced block-row partition for a CSB matrix (cost of a
+    /// block row = its stored values).
+    pub fn partition_csb(&self, m: &CsbMatrix) -> Partition {
+        let costs: Vec<usize> = (0..m.num_block_rows())
+            .map(|br| m.block_row_cost(br))
+            .collect();
+        Partition::balanced(&costs, self.threads())
+    }
+
+    /// Fans a BBS row-range kernel out over the uniform row partition
+    /// (see [`run_csr_chunks`](Executor::run_csr_chunks) — BBS chunks own
+    /// their row range directly, the same disjoint `split_at_mut` scheme).
+    fn run_bbs_chunks<F>(
+        &self,
+        m: &BbsMatrix,
+        y: &mut [f32],
+        lane_width: usize,
+        kernel: F,
+    ) -> Result<(), ExecError>
+    where
+        F: Fn(std::ops::Range<usize>, &mut [f32], usize) + Send + Sync,
+    {
+        if self.threads() == 1 {
+            kernel(0..m.rows(), y, 0);
+            return Ok(());
+        }
+        let partition = self.partition_bbs(m);
+        if partition.len() <= 1 {
+            kernel(0..m.rows(), y, 0);
+            return Ok(());
+        }
+        let chunks = partition.chunks();
+        let kernel = &kernel;
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(chunks.len());
+        let mut tail: &mut [f32] = y;
+        for chunk in chunks {
+            let (slice, rest) = tail.split_at_mut((chunk.end - chunk.start) * lane_width);
+            let range = chunk.start..chunk.end;
+            let base = chunk.start;
+            tasks.push(Box::new(move || kernel(range, slice, base)));
+            tail = rest;
+        }
+        self.pool.run(tasks)
+    }
+
+    /// Fans a CSB block-row-range kernel out over the cost-balanced
+    /// block-row partition. A chunk of block rows `[s, e)` owns output
+    /// rows `[s · block_h, min(e · block_h, rows))` — block rows tile the
+    /// output contiguously, so the ranges are disjoint and ordered and the
+    /// usual `split_at_mut` hand-out applies.
+    fn run_csb_chunks<F>(
+        &self,
+        m: &CsbMatrix,
+        y: &mut [f32],
+        lane_width: usize,
+        kernel: F,
+    ) -> Result<(), ExecError>
+    where
+        F: Fn(std::ops::Range<usize>, &mut [f32], usize) + Send + Sync,
+    {
+        let nbr = m.num_block_rows();
+        if self.threads() == 1 {
+            kernel(0..nbr, y, 0);
+            return Ok(());
+        }
+        let partition = self.partition_csb(m);
+        if partition.len() <= 1 {
+            kernel(0..nbr, y, 0);
+            return Ok(());
+        }
+        let chunks = partition.chunks();
+        let kernel = &kernel;
+        let mut tasks: Vec<Task<'_>> = Vec::with_capacity(chunks.len());
+        let mut tail: &mut [f32] = y;
+        let mut base = 0usize;
+        for chunk in chunks {
+            let row_end = (chunk.end * m.block_h()).min(m.rows());
+            let (slice, rest) = tail.split_at_mut((row_end - base) * lane_width);
+            let range = chunk.start..chunk.end;
+            let slice_base = base;
+            tasks.push(Box::new(move || kernel(range, slice, slice_base)));
+            tail = rest;
+            base = row_end;
+        }
+        self.pool.run(tasks)
+    }
+
+    /// Parallel BBS SpMV, allocating the output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] when `x.len() != m.cols()`.
+    pub fn spmv_bbs(&self, m: &BbsMatrix, x: &[f32]) -> Result<Vec<f32>, ExecError> {
+        let mut y = vec![0.0f32; m.rows()];
+        self.spmv_bbs_into(m, x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Parallel BBS SpMV into a caller-provided buffer. Bit-identical to
+    /// [`BbsMatrix::spmv_into`] for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] when `x.len() != m.cols()` or
+    /// `y.len() != m.rows()`.
+    pub fn spmv_bbs_into(&self, m: &BbsMatrix, x: &[f32], y: &mut [f32]) -> Result<(), ExecError> {
+        self.spmv_bbs_prec_into(m, Precision::F32, x, y)
+    }
+
+    /// Precision-dispatched parallel BBS SpMV (contract as
+    /// [`spmv_bspc_prec_into`](Executor::spmv_bspc_prec_into): int8
+    /// quantizes once at this entry, results are bit-identical to the
+    /// serial [`BbsMatrix::spmv_prec_into`] at every thread count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] when `x.len() != m.cols()` or
+    /// `y.len() != m.rows()`.
+    pub fn spmv_bbs_prec_into(
+        &self,
+        m: &BbsMatrix,
+        prec: Precision,
+        x: &[f32],
+        y: &mut [f32],
+    ) -> Result<(), ExecError> {
+        if x.len() != m.cols() || y.len() != m.rows() {
+            return Err(ExecError::shape(
+                "parallel_bbs_spmv",
+                (m.rows(), m.cols()),
+                (x.len(), y.len()),
+            ));
+        }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMV_BBS, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMV_BBS, prec.tag()),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, m.rows() as u64),
+            (rtm_trace::key::KERNEL_NNZ, m.stored_len() as u64),
+        ]);
+        if m.rows() == 0 {
+            return Ok(());
+        }
+        match prec {
+            Precision::F32 => self.run_bbs_chunks(m, y, 1, |range, slice, base| {
+                m.spmv_rows_into(x, range, slice, base)
+            }),
+            Precision::F16 => self.run_bbs_chunks(m, y, 1, |range, slice, base| {
+                m.spmv_rows_f16_into(x, range, slice, base)
+            }),
+            Precision::Int8 => {
+                let mut xq = Vec::with_capacity(x.len());
+                let sx = rtm_tensor::simd_i8::quantize_activations(x, &mut xq);
+                self.run_bbs_chunks(m, y, 1, |range, slice, base| {
+                    m.spmv_rows_i8_into(&xq, sx, range, slice, base)
+                })
+            }
+        }
+    }
+
+    /// Parallel BBS SpMM over `b` interleaved input lanes. Bit-identical
+    /// to [`BbsMatrix::spmm_into`] for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] when `xs.len() != m.cols() * b` or
+    /// `ys.len() != m.rows() * b`.
+    pub fn spmm_bbs_into(
+        &self,
+        m: &BbsMatrix,
+        xs: &[f32],
+        b: usize,
+        ys: &mut [f32],
+    ) -> Result<(), ExecError> {
+        self.spmm_bbs_prec_into(m, Precision::F32, xs, b, ys)
+    }
+
+    /// Precision-dispatched parallel BBS SpMM (contract as
+    /// [`spmm_bspc_prec_into`](Executor::spmm_bspc_prec_into)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] when `xs.len() != m.cols() * b` or
+    /// `ys.len() != m.rows() * b`.
+    pub fn spmm_bbs_prec_into(
+        &self,
+        m: &BbsMatrix,
+        prec: Precision,
+        xs: &[f32],
+        b: usize,
+        ys: &mut [f32],
+    ) -> Result<(), ExecError> {
+        if xs.len() != m.cols() * b || ys.len() != m.rows() * b {
+            return Err(ExecError::shape(
+                "parallel_bbs_spmm",
+                (m.rows(), m.cols()),
+                (xs.len(), b),
+            ));
+        }
+        if b == 0 {
+            return Ok(());
+        }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMM_BBS, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMM_BBS, prec.tag()),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, m.rows() as u64),
+            (rtm_trace::key::KERNEL_NNZ, m.stored_len() as u64),
+        ]);
+        if m.rows() == 0 {
+            return Ok(());
+        }
+        match prec {
+            Precision::F32 => self.run_bbs_chunks(m, ys, b, |range, slice, base| {
+                m.spmm_rows_into(xs, b, range, slice, base)
+            }),
+            Precision::F16 => self.run_bbs_chunks(m, ys, b, |range, slice, base| {
+                m.spmm_rows_f16_into(xs, b, range, slice, base)
+            }),
+            Precision::Int8 => {
+                let mut xq = Vec::with_capacity(xs.len());
+                let mut sxs = Vec::with_capacity(b);
+                rtm_tensor::simd_i8::quantize_activations_lanes(xs, b, &mut xq, &mut sxs);
+                self.run_bbs_chunks(m, ys, b, |range, slice, base| {
+                    m.spmm_rows_i8_into(&xq, &sxs, b, range, slice, base)
+                })
+            }
+        }
+    }
+
+    /// Parallel CSB SpMV, allocating the output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] when `x.len() != m.cols()`.
+    pub fn spmv_csb(&self, m: &CsbMatrix, x: &[f32]) -> Result<Vec<f32>, ExecError> {
+        let mut y = vec![0.0f32; m.rows()];
+        self.spmv_csb_into(m, x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Parallel CSB SpMV into a caller-provided buffer. Bit-identical to
+    /// [`CsbMatrix::spmv_into`] for every thread count: chunks own whole
+    /// block rows, and within a block row blocks accumulate in the same
+    /// storage order as the serial kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] when `x.len() != m.cols()` or
+    /// `y.len() != m.rows()`.
+    pub fn spmv_csb_into(&self, m: &CsbMatrix, x: &[f32], y: &mut [f32]) -> Result<(), ExecError> {
+        self.spmv_csb_prec_into(m, Precision::F32, x, y)
+    }
+
+    /// Precision-dispatched parallel CSB SpMV (contract as
+    /// [`spmv_bspc_prec_into`](Executor::spmv_bspc_prec_into)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] when `x.len() != m.cols()` or
+    /// `y.len() != m.rows()`.
+    pub fn spmv_csb_prec_into(
+        &self,
+        m: &CsbMatrix,
+        prec: Precision,
+        x: &[f32],
+        y: &mut [f32],
+    ) -> Result<(), ExecError> {
+        if x.len() != m.cols() || y.len() != m.rows() {
+            return Err(ExecError::shape(
+                "parallel_csb_spmv",
+                (m.rows(), m.cols()),
+                (x.len(), y.len()),
+            ));
+        }
+        y.fill(0.0);
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMV_CSB, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMV_CSB, prec.tag()),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, m.rows() as u64),
+            (rtm_trace::key::KERNEL_NNZ, m.stored_len() as u64),
+        ]);
+        if m.rows() == 0 {
+            return Ok(());
+        }
+        match prec {
+            Precision::F32 => self.run_csb_chunks(m, y, 1, |range, slice, base| {
+                m.spmv_block_rows_into(x, range, slice, base)
+            }),
+            Precision::F16 => self.run_csb_chunks(m, y, 1, |range, slice, base| {
+                m.spmv_block_rows_f16_into(x, range, slice, base)
+            }),
+            Precision::Int8 => {
+                let mut xq = Vec::with_capacity(x.len());
+                let sx = rtm_tensor::simd_i8::quantize_activations(x, &mut xq);
+                self.run_csb_chunks(m, y, 1, |range, slice, base| {
+                    m.spmv_block_rows_i8_into(&xq, sx, range, slice, base)
+                })
+            }
+        }
+    }
+
+    /// Parallel CSB SpMM over `b` interleaved input lanes. Bit-identical
+    /// to [`CsbMatrix::spmm_into`] for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] when `xs.len() != m.cols() * b` or
+    /// `ys.len() != m.rows() * b`.
+    pub fn spmm_csb_into(
+        &self,
+        m: &CsbMatrix,
+        xs: &[f32],
+        b: usize,
+        ys: &mut [f32],
+    ) -> Result<(), ExecError> {
+        self.spmm_csb_prec_into(m, Precision::F32, xs, b, ys)
+    }
+
+    /// Precision-dispatched parallel CSB SpMM (contract as
+    /// [`spmm_bspc_prec_into`](Executor::spmm_bspc_prec_into)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] when `xs.len() != m.cols() * b` or
+    /// `ys.len() != m.rows() * b`.
+    pub fn spmm_csb_prec_into(
+        &self,
+        m: &CsbMatrix,
+        prec: Precision,
+        xs: &[f32],
+        b: usize,
+        ys: &mut [f32],
+    ) -> Result<(), ExecError> {
+        if xs.len() != m.cols() * b || ys.len() != m.rows() * b {
+            return Err(ExecError::shape(
+                "parallel_csb_spmm",
+                (m.rows(), m.cols()),
+                (xs.len(), b),
+            ));
+        }
+        ys.fill(0.0);
+        if b == 0 {
+            return Ok(());
+        }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMM_CSB, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMM_CSB, prec.tag()),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, m.rows() as u64),
+            (rtm_trace::key::KERNEL_NNZ, m.stored_len() as u64),
+        ]);
+        if m.rows() == 0 {
+            return Ok(());
+        }
+        match prec {
+            Precision::F32 => self.run_csb_chunks(m, ys, b, |range, slice, base| {
+                m.spmm_block_rows_into(xs, b, range, slice, base)
+            }),
+            Precision::F16 => self.run_csb_chunks(m, ys, b, |range, slice, base| {
+                m.spmm_block_rows_f16_into(xs, b, range, slice, base)
+            }),
+            Precision::Int8 => {
+                let mut xq = Vec::with_capacity(xs.len());
+                let mut sxs = Vec::with_capacity(b);
+                rtm_tensor::simd_i8::quantize_activations_lanes(xs, b, &mut xq, &mut sxs);
+                self.run_csb_chunks(m, ys, b, |range, slice, base| {
+                    m.spmm_block_rows_i8_into(&xq, &sxs, b, range, slice, base)
+                })
+            }
         }
     }
 

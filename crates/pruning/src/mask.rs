@@ -239,7 +239,8 @@ mod tests {
 mod prop_tests {
     use super::*;
     use crate::projection::{
-        BankBalanced, BspColumnBlock, ColumnPrune, Projection, RowPrune, UnstructuredMagnitude,
+        BankBalanced, BspColumnBlock, ColumnPrune, PatternMask, Projection, RowPrune,
+        UnstructuredMagnitude,
     };
 
     /// Mask algebra: intersection is commutative, idempotent, and
@@ -279,6 +280,7 @@ mod prop_tests {
                 Box::new(RowPrune::new(0.5)),
                 Box::new(ColumnPrune::new(0.5)),
                 Box::new(BankBalanced::new(2, 0.5)),
+                Box::new(PatternMask::new(4, 2, 6)),
             ];
             for p in &projections {
                 let z = p.project(&w);

@@ -16,6 +16,7 @@
 //! | BBS | [`BankBalanced`] |
 //! | Wang | [`ColumnPrune`] (+ [`RowPrune`]) |
 //! | C-LSTM | [`BlockCirculant`] |
+//! | PatDNN | [`PatternMask`] |
 
 use rtm_tensor::stats::{block_col_norms, col_norms, kth_largest_abs, row_norms, top_k_indices};
 use rtm_tensor::Matrix;
@@ -344,6 +345,150 @@ impl Projection for BankBalanced {
     }
 }
 
+/// Pattern-based pruning (PatDNN, Niu et al. ASPLOS'20): every row is cut
+/// into `block_w`-wide blocks and each block keeps exactly `pattern_nnz`
+/// entries, but only at column offsets drawn from a small learned
+/// dictionary of at most `num_patterns` offset patterns. The dictionary is
+/// built by frequency: each block votes for its own top-`pattern_nnz`
+/// offset set, the most popular sets win (lexicographically smallest first
+/// on ties, so runs are deterministic), and every block then adopts the
+/// dictionary pattern that retains the most energy (Σv²).
+///
+/// The resulting support is exactly what [`CsbMatrix`](rtm_sparse) likes:
+/// whole small blocks share one of a few kept-column lists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternMask {
+    block_w: usize,
+    pattern_nnz: usize,
+    num_patterns: usize,
+}
+
+impl PatternMask {
+    /// Creates the projection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any of `block_w`, `pattern_nnz`, `num_patterns` is zero,
+    /// or if `pattern_nnz > block_w`.
+    pub fn new(block_w: usize, pattern_nnz: usize, num_patterns: usize) -> PatternMask {
+        assert!(block_w > 0, "block width must be positive");
+        assert!(
+            pattern_nnz > 0 && pattern_nnz <= block_w,
+            "pattern nnz must be in [1, block_w]"
+        );
+        assert!(num_patterns > 0, "pattern dictionary must be non-empty");
+        PatternMask {
+            block_w,
+            pattern_nnz,
+            num_patterns,
+        }
+    }
+
+    /// Block width the patterns span.
+    pub fn block_w(&self) -> usize {
+        self.block_w
+    }
+
+    /// Entries kept per block.
+    pub fn pattern_nnz(&self) -> usize {
+        self.pattern_nnz
+    }
+
+    /// Dictionary capacity.
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// The frequency-ranked offset-pattern dictionary this matrix votes
+    /// for (at most `num_patterns` entries, each a sorted offset list).
+    pub fn dictionary(&self, w: &Matrix) -> Vec<Vec<usize>> {
+        let (rows, cols) = w.shape();
+        if rows == 0 || cols == 0 {
+            return Vec::new();
+        }
+        let bw = self.block_w.min(cols);
+        // Votes from full-width blocks only: ragged tail blocks cannot
+        // express every offset, so they adopt but do not elect patterns.
+        let mut counts: std::collections::BTreeMap<Vec<usize>, usize> =
+            std::collections::BTreeMap::new();
+        for r in 0..rows {
+            let row = w.row(r);
+            let mut c0 = 0;
+            while c0 + bw <= cols {
+                let mags: Vec<f32> = row[c0..c0 + bw].iter().map(|v| v.abs()).collect();
+                let mut offs = top_k_indices(&mags, self.pattern_nnz.min(bw));
+                offs.sort_unstable();
+                *counts.entry(offs).or_insert(0) += 1;
+                c0 += bw;
+            }
+        }
+        // BTreeMap iterates patterns in ascending lexicographic order, so a
+        // stable sort by descending count breaks ties toward the smaller
+        // pattern — deterministic across runs.
+        let mut ranked: Vec<(Vec<usize>, usize)> = counts.into_iter().collect();
+        ranked.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+        ranked.truncate(self.num_patterns);
+        ranked.into_iter().map(|(p, _)| p).collect()
+    }
+}
+
+impl Projection for PatternMask {
+    fn project(&self, w: &Matrix) -> Matrix {
+        let (rows, cols) = w.shape();
+        if rows == 0 || cols == 0 {
+            return w.clone();
+        }
+        let bw = self.block_w.min(cols);
+        let dict = self.dictionary(w);
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let row = w.row(r);
+            for c0 in (0..cols).step_by(bw) {
+                let width = (cols - c0).min(bw);
+                // Pick the dictionary pattern retaining the most energy in
+                // this block; offsets past a ragged edge retain nothing.
+                let best = dict
+                    .iter()
+                    .max_by(|a, b| {
+                        let ea: f32 = a
+                            .iter()
+                            .filter(|&&o| o < width)
+                            .map(|&o| row[c0 + o] * row[c0 + o])
+                            .sum();
+                        let eb: f32 = b
+                            .iter()
+                            .filter(|&&o| o < width)
+                            .map(|&o| row[c0 + o] * row[c0 + o])
+                            .sum();
+                        // max_by keeps the *last* max on ties; compare with
+                        // the earlier (more frequent) pattern winning them.
+                        ea.partial_cmp(&eb)
+                            .expect("finite energies")
+                            .then(std::cmp::Ordering::Greater)
+                    })
+                    .cloned();
+                if let Some(pat) = best {
+                    for &o in pat.iter().filter(|&&o| o < width) {
+                        out[(r, c0 + o)] = row[c0 + o];
+                    }
+                } else {
+                    // Empty dictionary (no full-width block anywhere): fall
+                    // back to per-block magnitude top-k.
+                    let mags: Vec<f32> = row[c0..c0 + width].iter().map(|v| v.abs()).collect();
+                    for o in top_k_indices(&mags, self.pattern_nnz.min(width)) {
+                        out[(r, c0 + o)] = row[c0 + o];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "pattern-mask"
+    }
+}
+
 /// Block-circulant projection (C-LSTM, Wang et al. FPGA'18): each
 /// `block_size × block_size` block is replaced by its nearest circulant
 /// matrix — every wrapped diagonal is averaged. A full block then stores only
@@ -587,6 +732,53 @@ mod tests {
     }
 
     #[test]
+    fn pattern_mask_blocks_use_dictionary_patterns() {
+        let w = test_matrix();
+        let p = PatternMask::new(4, 2, 3);
+        let dict = p.dictionary(&w);
+        assert!(!dict.is_empty() && dict.len() <= 3);
+        let z = p.project(&w);
+        // Every full block's kept-offset set must be one of the dictionary
+        // patterns (restricted to offsets the block actually kept).
+        for r in 0..8 {
+            for c0 in (0..8).step_by(4) {
+                let offs: Vec<usize> = (0..4).filter(|&o| z[(r, c0 + o)] != 0.0).collect();
+                assert!(
+                    dict.iter().any(|p| offs.iter().all(|o| p.contains(o))),
+                    "row {r} block {c0}: offsets {offs:?} not from dictionary {dict:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_mask_uniform_rows_share_one_pattern() {
+        // Every row identical → one pattern dominates and every block
+        // keeps exactly the same offsets.
+        let w = Matrix::from_fn(6, 8, |_, c| [0.1, 9.0, 0.2, 8.0, 0.1, 9.0, 0.2, 8.0][c]);
+        let p = PatternMask::new(4, 2, 2);
+        let dict = p.dictionary(&w);
+        assert_eq!(dict[0], vec![1, 3]);
+        let z = p.project(&w);
+        for r in 0..6 {
+            assert_eq!(z.row(r), &[0.0, 9.0, 0.0, 8.0, 0.0, 9.0, 0.0, 8.0]);
+        }
+    }
+
+    #[test]
+    fn pattern_mask_ragged_tail_handled() {
+        // 10 columns with block_w 4: the last block is 2 wide and must
+        // still prune without panicking or keeping out-of-range offsets.
+        let w = Matrix::from_fn(3, 10, |r, c| 1.0 + (r * 10 + c) as f32 / 10.0);
+        let z = PatternMask::new(4, 2, 4).project(&w);
+        assert_eq!(z.shape(), (3, 10));
+        for r in 0..3 {
+            let nnz = z.row(r).iter().filter(|&&v| v != 0.0).count();
+            assert!(nnz <= 6, "row {r} kept {nnz}");
+        }
+    }
+
+    #[test]
     fn projection_names() {
         assert_eq!(
             UnstructuredMagnitude::new(0.5).name(),
@@ -596,6 +788,7 @@ mod tests {
         assert_eq!(RowPrune::new(0.5).name(), "row-prune");
         assert_eq!(ColumnPrune::new(0.5).name(), "column-prune");
         assert_eq!(BankBalanced::new(2, 0.5).name(), "bank-balanced");
+        assert_eq!(PatternMask::new(4, 2, 8).name(), "pattern-mask");
         assert_eq!(BlockCirculant::new(2).name(), "block-circulant");
     }
 
@@ -605,6 +798,9 @@ mod tests {
         assert!(std::panic::catch_unwind(|| UnstructuredMagnitude::new(1.5)).is_err());
         assert!(std::panic::catch_unwind(|| BspColumnBlock::new(0, 1, 0.5)).is_err());
         assert!(std::panic::catch_unwind(|| BankBalanced::new(0, 0.5)).is_err());
+        assert!(std::panic::catch_unwind(|| PatternMask::new(0, 1, 4)).is_err());
+        assert!(std::panic::catch_unwind(|| PatternMask::new(4, 5, 4)).is_err());
+        assert!(std::panic::catch_unwind(|| PatternMask::new(4, 2, 0)).is_err());
         assert!(std::panic::catch_unwind(|| BlockCirculant::new(0)).is_err());
     }
 
@@ -620,6 +816,7 @@ mod tests {
             Box::new(RowPrune::new(0.5)),
             Box::new(ColumnPrune::new(0.25)),
             Box::new(BankBalanced::new(4, 0.5)),
+            Box::new(PatternMask::new(4, 2, 6)),
         ];
         for p in &projections {
             let z = p.project(&w);
@@ -644,6 +841,7 @@ mod tests {
                 Box::new(RowPrune::new(0.5)),
                 Box::new(ColumnPrune::new(0.5)),
                 Box::new(BankBalanced::new(2, 0.5)),
+                Box::new(PatternMask::new(4, 2, 6)),
                 Box::new(BlockCirculant::new(4)),
             ];
             for p in &projections {

@@ -3,8 +3,8 @@
 //! ```text
 //! rtm pipeline [--hidden N] [--col X] [--row Y] [--stripes S] [--blocks B]
 //!              [--seed K] [--threads T] [--batch B] [--simd POLICY]
-//!              [--health POLICY] [--precision CHOICE] [--trace OUT.json]
-//!              [--save FILE.rtm]
+//!              [--health POLICY] [--precision CHOICE] [--format CHOICE]
+//!              [--trace OUT.json] [--save FILE.rtm]
 //! rtm inspect FILE.rtm
 //! rtm help
 //! ```
@@ -44,8 +44,8 @@ fn print_help() {
     println!("USAGE:");
     println!("  rtm pipeline [--hidden N] [--col X] [--row Y] [--stripes S] [--blocks B]");
     println!("               [--seed K] [--threads T] [--batch B] [--simd POLICY]");
-    println!("               [--health POLICY] [--precision CHOICE] [--trace OUT.json]");
-    println!("               [--save FILE.rtm]");
+    println!("               [--health POLICY] [--precision CHOICE] [--format CHOICE]");
+    println!("               [--trace OUT.json] [--save FILE.rtm]");
     println!("  rtm inspect FILE.rtm");
     println!("  rtm help");
     println!();
@@ -65,6 +65,13 @@ fn print_help() {
     println!("  or auto (measure the kernels per layer and pick the fastest, with");
     println!("  a PER-degradation guard). The RTM_PRECISION environment variable");
     println!("  sets the same knob.");
+    println!();
+    println!("  --format picks the sparse storage format of the compiled runtime:");
+    println!("  bspc (default; the paper's block-based structured pruning format),");
+    println!("  csr, bbs, csb, or auto (time the four formats against each layer's");
+    println!("  actual pruned weights and pick the fastest per layer, with a");
+    println!("  PER-degradation guard). The RTM_FORMAT environment variable sets");
+    println!("  the same knob.");
     println!();
     println!("  --trace enables the observability registry (RTM_TRACE sets the same");
     println!("  knob without an output file) and writes a Chrome trace_event file");
@@ -128,6 +135,7 @@ const PIPELINE_FLAGS: &[&str] = &[
     "simd",
     "health",
     "precision",
+    "format",
     "trace",
     "save",
 ];
@@ -220,6 +228,16 @@ fn pipeline(args: &[String]) -> ExitCode {
             }
         },
     }
+    match flags.get("format") {
+        None => {}
+        Some(v) => match rtmobile::FormatChoice::parse(v) {
+            Some(f) => runtime = runtime.with_format(f),
+            None => {
+                eprintln!("--format must be bspc, csr, bbs, csb or auto (got {v})");
+                return ExitCode::FAILURE;
+            }
+        },
+    }
     let trace_path = flags.get("trace");
     if trace_path.is_some() {
         runtime = runtime.with_trace(TraceConfig::on());
@@ -294,8 +312,14 @@ fn inspect(args: &[String]) -> ExitCode {
     };
     println!("{path}: {} bytes on disk", bytes.len());
     println!("  precision     : {:?}", net.precision());
+    let formats: Vec<&str> = net.layer_formats().iter().map(|f| f.tag()).collect();
     println!(
-        "  BSPC storage  : {:.1} KiB",
+        "  format        : {} (layers: {})",
+        net.format().tag(),
+        formats.join(", ")
+    );
+    println!(
+        "  sparse storage: {:.1} KiB",
         net.storage_bytes() as f64 / 1024.0
     );
     ExitCode::SUCCESS

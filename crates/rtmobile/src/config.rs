@@ -14,7 +14,7 @@
 //! `RTM_TRACE`) in charge, exactly as the pre-consolidation builder
 //! methods did.
 
-use crate::deploy::RuntimePrecision;
+use crate::deploy::{RuntimeFormat, RuntimePrecision};
 use crate::health::HealthPolicy;
 use crate::serve::AdmissionConfig;
 use rtm_tensor::simd::SimdPolicy;
@@ -52,6 +52,39 @@ impl PrecisionChoice {
     }
 }
 
+/// How the pipeline picks the sparse storage format of the compiled
+/// weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormatChoice {
+    /// Compile every layer into this format.
+    Fixed(RuntimeFormat),
+    /// Measure the BSPC/CSR/BBS/CSB kernels per layer shape and pick the
+    /// fastest per layer, subject to the pipeline's accuracy guard (a
+    /// PER-degradation bound versus the all-BSPC baseline; violations fall
+    /// back to all-BSPC).
+    Auto,
+}
+
+impl FormatChoice {
+    /// Parses `"bspc"`, `"csr"`, `"bbs"`, `"csb"` or `"auto"` (the
+    /// `RTM_FORMAT` / `--format` grammar).
+    pub fn parse(s: &str) -> Option<FormatChoice> {
+        if s == "auto" {
+            Some(FormatChoice::Auto)
+        } else {
+            RuntimeFormat::parse(s).map(FormatChoice::Fixed)
+        }
+    }
+
+    /// The label [`FormatChoice::parse`] accepts for this value.
+    pub fn tag(self) -> &'static str {
+        match self {
+            FormatChoice::Fixed(f) => f.tag(),
+            FormatChoice::Auto => "auto",
+        }
+    }
+}
+
 /// Every runtime knob of the serving stack in one place.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuntimeConfig {
@@ -70,6 +103,9 @@ pub struct RuntimeConfig {
     /// Weight storage precision; `None` defers to `RTM_PRECISION` (and the
     /// pipeline's f16 default when that is unset too).
     pub precision: Option<PrecisionChoice>,
+    /// Sparse weight storage format; `None` defers to `RTM_FORMAT` (and
+    /// the pipeline's BSPC default when that is unset too).
+    pub format: Option<FormatChoice>,
     /// Admission control of the batched scheduler (unbounded by default).
     pub admission: AdmissionConfig,
 }
@@ -83,6 +119,7 @@ impl Default for RuntimeConfig {
             health: None,
             trace: None,
             precision: None,
+            format: None,
             admission: AdmissionConfig::unbounded(),
         }
     }
@@ -103,6 +140,7 @@ impl RuntimeConfig {
             health: crate::env::health_policy()?,
             trace: crate::env::trace_config()?,
             precision: crate::env::precision_choice()?,
+            format: crate::env::format_choice()?,
             ..RuntimeConfig::default()
         })
     }
@@ -153,6 +191,12 @@ impl RuntimeConfig {
         self
     }
 
+    /// Pins the sparse weight storage format (overrides `RTM_FORMAT`).
+    pub fn with_format(mut self, format: FormatChoice) -> RuntimeConfig {
+        self.format = Some(format);
+        self
+    }
+
     /// Sets the batched scheduler's admission control.
     pub fn with_admission(mut self, admission: AdmissionConfig) -> RuntimeConfig {
         self.admission = admission;
@@ -166,6 +210,15 @@ impl RuntimeConfig {
         self.precision
             .or_else(|| crate::env::precision_choice().ok().flatten())
             .unwrap_or(PrecisionChoice::Fixed(RuntimePrecision::F16))
+    }
+
+    /// The format choice a run resolves to: the pinned one, otherwise the
+    /// `RTM_FORMAT` deployment default, otherwise the pipeline's BSPC
+    /// default (the paper's block-based structured pruning format).
+    pub fn resolved_format(&self) -> FormatChoice {
+        self.format
+            .or_else(|| crate::env::format_choice().ok().flatten())
+            .unwrap_or(FormatChoice::Fixed(RuntimeFormat::Bspc))
     }
 
     /// The health policy a run resolves to: the pinned one, otherwise the
@@ -203,7 +256,27 @@ mod tests {
         assert_eq!(c.health, None);
         assert_eq!(c.trace, None);
         assert_eq!(c.precision, None);
+        assert_eq!(c.format, None);
         assert_eq!(c.admission, AdmissionConfig::unbounded());
+    }
+
+    #[test]
+    fn format_choice_parses_and_roundtrips() {
+        use crate::deploy::RuntimeFormat;
+        for choice in [
+            FormatChoice::Fixed(RuntimeFormat::Bspc),
+            FormatChoice::Fixed(RuntimeFormat::Csr),
+            FormatChoice::Fixed(RuntimeFormat::Bbs),
+            FormatChoice::Fixed(RuntimeFormat::Csb),
+            FormatChoice::Auto,
+        ] {
+            assert_eq!(FormatChoice::parse(choice.tag()), Some(choice));
+        }
+        assert_eq!(FormatChoice::parse("coo"), None);
+        assert_eq!(FormatChoice::parse("dense"), None);
+        let c = RuntimeConfig::default().with_format(FormatChoice::Auto);
+        assert_eq!(c.format, Some(FormatChoice::Auto));
+        assert_eq!(c.resolved_format(), FormatChoice::Auto);
     }
 
     #[test]
@@ -231,6 +304,7 @@ mod tests {
             .with_simd(SimdPolicy::Fixed(Variant::ScalarU1))
             .with_health(HealthPolicy::Quarantine)
             .with_trace(rtm_trace::TraceConfig::on())
+            .with_format(FormatChoice::Fixed(crate::deploy::RuntimeFormat::Csb))
             .with_admission(
                 AdmissionConfig::unbounded()
                     .with_queue_depth(3)
@@ -241,6 +315,10 @@ mod tests {
         assert_eq!(c.simd, Some(SimdPolicy::Fixed(Variant::ScalarU1)));
         assert_eq!(c.health, Some(HealthPolicy::Quarantine));
         assert_eq!(c.trace, Some(rtm_trace::TraceConfig::on()));
+        assert_eq!(
+            c.format,
+            Some(FormatChoice::Fixed(crate::deploy::RuntimeFormat::Csb))
+        );
         assert_eq!(c.admission.queue_depth, 3);
         assert_eq!(c.resolved_health(), HealthPolicy::Quarantine);
     }

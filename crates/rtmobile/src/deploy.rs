@@ -11,9 +11,12 @@
 use crate::health::HealthPolicy;
 use crate::serve::{AdmissionConfig, ServeStats, ShedPolicy, StreamFault};
 use rtm_compiler::reorder::ReorderPlan;
+use rtm_compiler::StorageFormat;
 use rtm_exec::ExecError;
 use rtm_rnn::GruNetwork;
-use rtm_sparse::BspcMatrix;
+use rtm_sparse::footprint::Footprint;
+use rtm_sparse::io::DecodeError;
+use rtm_sparse::{BbsMatrix, BspcMatrix, CsbMatrix, CsrMatrix};
 use rtm_tensor::activations::{sigmoid, sigmoid_slice, tanh, tanh_slice};
 use rtm_tensor::f16::quantize_f16;
 use rtm_tensor::{Matrix, Vector};
@@ -71,30 +74,299 @@ impl RuntimePrecision {
     }
 }
 
-/// One compiled GRU layer: six BSPC gate matrices plus biases, executed at
-/// its own storage precision (per-layer selection is the tuner's job).
+/// Sparse storage format the compiled runtime's gate kernels walk.
+///
+/// The paper's BSPC is the default; the zoo adds the ESE-style CSR
+/// baseline, bank-balanced BBS, and block-panel CSB so the tuner can pick
+/// per layer (see [`CompiledNetwork::compile_with_formats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RuntimeFormat {
+    /// Block-based structured pruning compact storage (the paper's format).
+    #[default]
+    Bspc,
+    /// Compressed sparse row — the unstructured baseline with a per-nonzero
+    /// index decode.
+    Csr,
+    /// Bank-balanced sparse: padded ELL with a uniform per-row slot budget,
+    /// load-balanced by construction.
+    Bbs,
+    /// Compressed structured blocks: CSR over dense-ish block panels,
+    /// suited to pattern-pruned weights.
+    Csb,
+}
+
+impl RuntimeFormat {
+    /// The compiler-plan storage format this runtime mode executes.
+    pub fn storage(self) -> StorageFormat {
+        match self {
+            RuntimeFormat::Bspc => StorageFormat::Bspc,
+            RuntimeFormat::Csr => StorageFormat::Csr,
+            RuntimeFormat::Bbs => StorageFormat::Bbs,
+            RuntimeFormat::Csb => StorageFormat::Csb,
+        }
+    }
+
+    /// Short lowercase label ("bspc" / "csr" / "bbs" / "csb").
+    pub fn tag(self) -> &'static str {
+        match self {
+            RuntimeFormat::Bspc => "bspc",
+            RuntimeFormat::Csr => "csr",
+            RuntimeFormat::Bbs => "bbs",
+            RuntimeFormat::Csb => "csb",
+        }
+    }
+
+    /// The runtime mode executing `storage`, if the runtime has kernels for
+    /// it ([`RuntimeFormat::storage`] inverse; `Dense` has no sparse
+    /// runtime and maps to `None`).
+    pub fn from_storage(storage: StorageFormat) -> Option<RuntimeFormat> {
+        match storage {
+            StorageFormat::Bspc => Some(RuntimeFormat::Bspc),
+            StorageFormat::Csr => Some(RuntimeFormat::Csr),
+            StorageFormat::Bbs => Some(RuntimeFormat::Bbs),
+            StorageFormat::Csb => Some(RuntimeFormat::Csb),
+            StorageFormat::Dense => None,
+        }
+    }
+
+    /// Parses the lowercase label back ([`RuntimeFormat::tag`] inverse).
+    pub fn parse(s: &str) -> Option<RuntimeFormat> {
+        match s {
+            "bspc" => Some(RuntimeFormat::Bspc),
+            "csr" => Some(RuntimeFormat::Csr),
+            "bbs" => Some(RuntimeFormat::Bbs),
+            "csb" => Some(RuntimeFormat::Csb),
+            _ => None,
+        }
+    }
+}
+
+/// One compiled gate matrix in its selected storage format.
+///
+/// Every variant carries the same f32 values plus the f16/int8 sidecars;
+/// the format decides the index structure the kernels walk. The serial,
+/// pooled and batched entries of every variant share the bit-exactness
+/// contract the executor tests pin down, so swapping the format never
+/// changes a computed number at f32/f16 (int8 codes differ per format
+/// because the scale granularity differs — per stripe-block, row block,
+/// row, or block panel).
+#[derive(Debug, Clone)]
+pub enum GateMatrix {
+    /// BSPC storage (may carry the matrix-reorder permutation).
+    Bspc(BspcMatrix),
+    /// CSR storage.
+    Csr(CsrMatrix),
+    /// Bank-balanced ELL storage.
+    Bbs(BbsMatrix),
+    /// Compressed-structured-block storage.
+    Csb(CsbMatrix),
+}
+
+impl GateMatrix {
+    /// The storage format of this gate.
+    pub fn format(&self) -> RuntimeFormat {
+        match self {
+            GateMatrix::Bspc(_) => RuntimeFormat::Bspc,
+            GateMatrix::Csr(_) => RuntimeFormat::Csr,
+            GateMatrix::Bbs(_) => RuntimeFormat::Bbs,
+            GateMatrix::Csb(_) => RuntimeFormat::Csb,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            GateMatrix::Bspc(m) => m.rows(),
+            GateMatrix::Csr(m) => m.rows(),
+            GateMatrix::Bbs(m) => m.rows(),
+            GateMatrix::Csb(m) => m.rows(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        match self {
+            GateMatrix::Bspc(m) => m.cols(),
+            GateMatrix::Csr(m) => m.cols(),
+            GateMatrix::Bbs(m) => m.cols(),
+            GateMatrix::Csb(m) => m.cols(),
+        }
+    }
+
+    /// The stored f32 values (layout is format-specific; used for
+    /// load-time finiteness scans, not for indexing).
+    pub fn values(&self) -> &[f32] {
+        match self {
+            GateMatrix::Bspc(m) => m.values(),
+            GateMatrix::Csr(m) => m.values(),
+            GateMatrix::Bbs(m) => m.values(),
+            GateMatrix::Csb(m) => m.values(),
+        }
+    }
+
+    /// Serial SpMV at the given storage precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rtm_tensor::ShapeError`] on dimension mismatches.
+    pub fn spmv_prec_into(
+        &self,
+        prec: rtm_sparse::Precision,
+        x: &[f32],
+        y: &mut [f32],
+    ) -> Result<(), rtm_tensor::ShapeError> {
+        match self {
+            GateMatrix::Bspc(m) => m.spmv_prec_into(prec, x, y),
+            GateMatrix::Csr(m) => m.spmv_prec_into(prec, x, y),
+            GateMatrix::Bbs(m) => m.spmv_prec_into(prec, x, y),
+            GateMatrix::Csb(m) => m.spmv_prec_into(prec, x, y),
+        }
+    }
+
+    /// Serial lane-major SpMM at the given storage precision.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`rtm_tensor::ShapeError`] on dimension mismatches.
+    pub fn spmm_prec_into(
+        &self,
+        prec: rtm_sparse::Precision,
+        xs: &[f32],
+        b: usize,
+        ys: &mut [f32],
+    ) -> Result<(), rtm_tensor::ShapeError> {
+        match self {
+            GateMatrix::Bspc(m) => m.spmm_prec_into(prec, xs, b, ys),
+            GateMatrix::Csr(m) => m.spmm_prec_into(prec, xs, b, ys),
+            GateMatrix::Bbs(m) => m.spmm_prec_into(prec, xs, b, ys),
+            GateMatrix::Csb(m) => m.spmm_prec_into(prec, xs, b, ys),
+        }
+    }
+
+    /// Row-parallel SpMV through the executor (bit-identical to the serial
+    /// entry for every format, precision and thread count).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on dimension mismatches or a worker panic.
+    pub fn exec_spmv_prec_into(
+        &self,
+        exec: &rtm_exec::Executor,
+        prec: rtm_sparse::Precision,
+        x: &[f32],
+        y: &mut [f32],
+    ) -> Result<(), ExecError> {
+        match self {
+            GateMatrix::Bspc(m) => exec.spmv_bspc_prec_into(m, prec, x, y),
+            GateMatrix::Csr(m) => exec.spmv_csr_prec_into(m, prec, x, y),
+            GateMatrix::Bbs(m) => exec.spmv_bbs_prec_into(m, prec, x, y),
+            GateMatrix::Csb(m) => exec.spmv_csb_prec_into(m, prec, x, y),
+        }
+    }
+
+    /// Row-parallel lane-major SpMM through the executor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on dimension mismatches or a worker panic.
+    pub fn exec_spmm_prec_into(
+        &self,
+        exec: &rtm_exec::Executor,
+        prec: rtm_sparse::Precision,
+        xs: &[f32],
+        b: usize,
+        ys: &mut [f32],
+    ) -> Result<(), ExecError> {
+        match self {
+            GateMatrix::Bspc(m) => exec.spmm_bspc_prec_into(m, prec, xs, b, ys),
+            GateMatrix::Csr(m) => exec.spmm_csr_prec_into(m, prec, xs, b, ys),
+            GateMatrix::Bbs(m) => exec.spmm_bbs_prec_into(m, prec, xs, b, ys),
+            GateMatrix::Csb(m) => exec.spmm_csb_prec_into(m, prec, xs, b, ys),
+        }
+    }
+
+    /// Storage footprint at the given value precision.
+    pub fn footprint(&self, prec: rtm_sparse::Precision) -> Footprint {
+        match self {
+            GateMatrix::Bspc(m) => Footprint::bspc(m, prec),
+            GateMatrix::Csr(m) => Footprint::csr(m, prec),
+            GateMatrix::Bbs(m) => Footprint::bbs(m, prec),
+            GateMatrix::Csb(m) => Footprint::csb(m, prec),
+        }
+    }
+
+    /// Serializes this gate in its format's wire codec (the format tag
+    /// itself travels in the container, e.g. the `.rtm` layer header).
+    pub fn write_to(&self, out: &mut Vec<u8>, prec: rtm_sparse::Precision) {
+        match self {
+            GateMatrix::Bspc(m) => m.write_to(out, prec),
+            GateMatrix::Csr(m) => m.write_to(out, prec),
+            GateMatrix::Bbs(m) => m.write_to(out, prec),
+            GateMatrix::Csb(m) => m.write_to(out, prec),
+        }
+    }
+
+    /// Decodes one gate of the given format from the front of `bytes`,
+    /// returning it with the number of bytes consumed. Each codec checks
+    /// its own magic, so a format byte pointing at the wrong blob fails
+    /// with [`DecodeError::BadMagic`] instead of misparsing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on any structural problem.
+    pub fn read_from(
+        bytes: &[u8],
+        format: RuntimeFormat,
+    ) -> Result<(GateMatrix, usize), DecodeError> {
+        Ok(match format {
+            RuntimeFormat::Bspc => {
+                let (m, used) = BspcMatrix::read_from(bytes)?;
+                (GateMatrix::Bspc(m), used)
+            }
+            RuntimeFormat::Csr => {
+                let (m, used) = CsrMatrix::read_from(bytes)?;
+                (GateMatrix::Csr(m), used)
+            }
+            RuntimeFormat::Bbs => {
+                let (m, used) = BbsMatrix::read_from(bytes)?;
+                (GateMatrix::Bbs(m), used)
+            }
+            RuntimeFormat::Csb => {
+                let (m, used) = CsbMatrix::read_from(bytes)?;
+                (GateMatrix::Csb(m), used)
+            }
+        })
+    }
+}
+
+/// One compiled GRU layer: six sparse gate matrices plus biases, executed
+/// at the layer's own storage precision and format (per-layer selection is
+/// the tuner's job).
 #[derive(Debug, Clone)]
 pub struct CompiledGruLayer {
-    pub(crate) w_z: BspcMatrix,
-    pub(crate) u_z: BspcMatrix,
+    pub(crate) w_z: GateMatrix,
+    pub(crate) u_z: GateMatrix,
     pub(crate) b_z: Vec<f32>,
-    pub(crate) w_r: BspcMatrix,
-    pub(crate) u_r: BspcMatrix,
+    pub(crate) w_r: GateMatrix,
+    pub(crate) u_r: GateMatrix,
     pub(crate) b_r: Vec<f32>,
-    pub(crate) w_n: BspcMatrix,
-    pub(crate) u_n: BspcMatrix,
+    pub(crate) w_n: GateMatrix,
+    pub(crate) u_n: GateMatrix,
     pub(crate) b_n: Vec<f32>,
     pub(crate) hidden: usize,
     pub(crate) precision: RuntimePrecision,
+    pub(crate) format: RuntimeFormat,
 }
 
-/// A GRU network compiled to BSPC sparse storage.
+/// A GRU network compiled to sparse storage (BSPC by default; the format
+/// zoo's CSR/BBS/CSB per layer when selected).
 #[derive(Debug, Clone)]
 pub struct CompiledNetwork {
     pub(crate) layers: Vec<CompiledGruLayer>,
     pub(crate) head_w: Matrix,
     pub(crate) head_b: Vec<f32>,
     pub(crate) precision: RuntimePrecision,
+    pub(crate) format: RuntimeFormat,
 }
 
 /// Reusable workspace for the compiled streaming loop.
@@ -181,10 +453,47 @@ impl CompiledNetwork {
         per_layer: &[RuntimePrecision],
         default: RuntimePrecision,
     ) -> Result<CompiledNetwork, rtm_sparse::BspcError> {
+        CompiledNetwork::compile_with_formats(
+            net,
+            stripes,
+            blocks,
+            per_layer,
+            default,
+            &[],
+            RuntimeFormat::Bspc,
+        )
+    }
+
+    /// [`CompiledNetwork::compile_with_precisions`] with a per-layer
+    /// storage-format override on top: layer `i` compiles its six gates
+    /// into `per_layer_format[i]` (layers past the end use
+    /// `default_format`). The `(stripes, blocks)` partition maps onto each
+    /// format the same way the compiler's profiler prices them: BSPC uses
+    /// it directly, BBS takes `blocks` banks, CSB tiles `stripes × blocks`
+    /// block panels, CSR ignores it. This is the deployment hook for the
+    /// tuner's measured per-layer format selection.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`rtm_sparse::BspcError`] when the partition
+    /// does not fit a tensor (a zero `stripes`/`blocks` is rejected for
+    /// every format so the partition contract stays format-independent).
+    pub fn compile_with_formats(
+        net: &GruNetwork,
+        stripes: usize,
+        blocks: usize,
+        per_layer: &[RuntimePrecision],
+        default: RuntimePrecision,
+        per_layer_format: &[RuntimeFormat],
+        default_format: RuntimeFormat,
+    ) -> Result<CompiledNetwork, rtm_sparse::BspcError> {
+        if stripes == 0 || blocks == 0 {
+            return Err(rtm_sparse::BspcError::ZeroPartition);
+        }
         // What the stored weights look like per precision: f16 pre-rounds
         // (the 2-byte sidecar is then exact, so the f16 kernels match the
         // f32 kernels bit for bit on these values); int8 keeps the original
-        // f32 values — the BSPC int8 sidecar derived from them is what the
+        // f32 values — the int8 sidecar derived from them is what the
         // kernels stream, and dequantizing here would round the codes twice.
         let quant = |m: &Matrix, precision: RuntimePrecision| -> Matrix {
             match precision {
@@ -193,31 +502,57 @@ impl CompiledNetwork {
             }
         };
         let lower = |m: &Matrix,
-                     precision: RuntimePrecision|
-         -> Result<BspcMatrix, rtm_sparse::BspcError> {
+                     precision: RuntimePrecision,
+                     format: RuntimeFormat|
+         -> Result<GateMatrix, rtm_sparse::BspcError> {
             let q = quant(m, precision);
-            let s = stripes.min(q.rows().max(1));
-            let b = blocks.min(q.cols().max(1));
-            let reorder = ReorderPlan::compute(&q, 8);
-            let perm: Vec<u32> = reorder.perm.iter().map(|&r| r as u32).collect();
-            BspcMatrix::from_dense(&q, s, b)?.with_reorder(perm)
+            let (rows, cols) = (q.rows(), q.cols());
+            Ok(match format {
+                RuntimeFormat::Bspc => {
+                    let s = stripes.min(rows.max(1));
+                    let b = blocks.min(cols.max(1));
+                    let reorder = ReorderPlan::compute(&q, 8);
+                    let perm: Vec<u32> = reorder.perm.iter().map(|&r| r as u32).collect();
+                    GateMatrix::Bspc(BspcMatrix::from_dense(&q, s, b)?.with_reorder(perm)?)
+                }
+                RuntimeFormat::Csr => GateMatrix::Csr(CsrMatrix::from_dense(&q)),
+                // The clamps below mirror the compiler profile's pricing
+                // geometry exactly, so the tuner's measured costs describe
+                // the matrices actually deployed. Clamped geometry always
+                // fits the shape, hence the expects.
+                RuntimeFormat::Bbs => {
+                    let banks = blocks.min(cols.max(1)).max(1);
+                    GateMatrix::Bbs(
+                        BbsMatrix::from_dense(&q, banks).expect("banks clamped to shape"),
+                    )
+                }
+                RuntimeFormat::Csb => {
+                    let bh = rows.div_ceil(stripes.min(rows.max(1)).max(1));
+                    let bw = cols.div_ceil(blocks.min(cols.max(1)).max(1));
+                    GateMatrix::Csb(
+                        CsbMatrix::from_dense(&q, bh, bw).expect("blocks clamped to shape"),
+                    )
+                }
+            })
         };
 
         let mut layers = Vec::with_capacity(net.layers.len());
         for (i, cell) in net.layers.iter().enumerate() {
             let precision = per_layer.get(i).copied().unwrap_or(default);
+            let format = per_layer_format.get(i).copied().unwrap_or(default_format);
             layers.push(CompiledGruLayer {
-                w_z: lower(&cell.w_z, precision)?,
-                u_z: lower(&cell.u_z, precision)?,
+                w_z: lower(&cell.w_z, precision, format)?,
+                u_z: lower(&cell.u_z, precision, format)?,
                 b_z: cell.b_z.clone(),
-                w_r: lower(&cell.w_r, precision)?,
-                u_r: lower(&cell.u_r, precision)?,
+                w_r: lower(&cell.w_r, precision, format)?,
+                u_r: lower(&cell.u_r, precision, format)?,
                 b_r: cell.b_r.clone(),
-                w_n: lower(&cell.w_n, precision)?,
-                u_n: lower(&cell.u_n, precision)?,
+                w_n: lower(&cell.w_n, precision, format)?,
+                u_n: lower(&cell.u_n, precision, format)?,
                 b_n: cell.b_n.clone(),
                 hidden: cell.hidden_dim(),
                 precision,
+                format,
             });
         }
         // The head stays a dense f32 gemv; int8 models weight-only
@@ -234,6 +569,7 @@ impl CompiledNetwork {
             head_w,
             head_b: net.head.b.clone(),
             precision: default,
+            format: default_format,
         })
     }
 
@@ -248,20 +584,31 @@ impl CompiledNetwork {
         self.layers.iter().map(|l| l.precision).collect()
     }
 
+    /// The network-level storage format (per-layer overrides may differ;
+    /// see [`CompiledNetwork::layer_formats`]).
+    pub fn format(&self) -> RuntimeFormat {
+        self.format
+    }
+
+    /// The storage format each compiled layer's gates walk, in layer order.
+    pub fn layer_formats(&self) -> Vec<RuntimeFormat> {
+        self.layers.iter().map(|l| l.format).collect()
+    }
+
     /// The compiled GRU layers, in execution order.
     pub fn layers(&self) -> &[CompiledGruLayer] {
         &self.layers
     }
 
     /// Total bytes of the compiled weight storage (values + indices +
-    /// quantization scale metadata) at each layer's runtime precision.
+    /// quantization scale metadata) at each layer's runtime precision and
+    /// format.
     pub fn storage_bytes(&self) -> usize {
-        use rtm_sparse::footprint::Footprint;
         self.layers
             .iter()
             .flat_map(|l| {
                 [&l.w_z, &l.u_z, &l.w_r, &l.u_r, &l.w_n, &l.u_n]
-                    .map(|m| Footprint::bspc(m, l.precision.storage()).total())
+                    .map(|m| m.footprint(l.precision.storage()).total())
             })
             .sum()
     }
@@ -428,6 +775,11 @@ impl CompiledGruLayer {
         self.precision
     }
 
+    /// The storage format this layer's gate kernels walk.
+    pub fn format(&self) -> RuntimeFormat {
+        self.format
+    }
+
     /// One serial GRU step, allocation-free: gates and temporaries live in
     /// `scratch`, the fresh state lands in `h_out` (resized on entry). Every
     /// gate SpMV streams the layer's compiled storage precision.
@@ -522,7 +874,7 @@ impl CompiledGruLayer {
         // happens per task, but it is a deterministic pure function of the
         // input vector, so the codes match the serial step's exactly.
         {
-            let spmv = |m: &BspcMatrix, v: &[f32], out: &mut [f32]| {
+            let spmv = |m: &GateMatrix, v: &[f32], out: &mut [f32]| {
                 m.spmv_prec_into(prec, v, out).expect("dims");
             };
             let wzx = &mut scratch.z;
@@ -552,7 +904,8 @@ impl CompiledGruLayer {
 
         // Phase B: the candidate recurrence, row-parallel across the pool.
         Vector::hadamard_into(&scratch.r, h_prev, &mut scratch.rh);
-        exec.spmv_bspc_prec_into(&self.u_n, prec, &scratch.rh, &mut scratch.tmp)
+        self.u_n
+            .exec_spmv_prec_into(exec, prec, &scratch.rh, &mut scratch.tmp)
             .expect("dims");
         Vector::axpy(1.0, &scratch.tmp, &mut scratch.n);
         Vector::axpy(1.0, &self.b_n, &mut scratch.n);
@@ -616,23 +969,29 @@ impl CompiledGruLayer {
         scratch.reserve(hb);
         hs_out.resize(hb, 0.0);
 
-        exec.spmm_bspc_prec_into(&self.w_z, prec, xs, b, &mut scratch.z)?;
-        exec.spmm_bspc_prec_into(&self.u_z, prec, hs_prev, b, &mut scratch.tmp)?;
+        self.w_z
+            .exec_spmm_prec_into(exec, prec, xs, b, &mut scratch.z)?;
+        self.u_z
+            .exec_spmm_prec_into(exec, prec, hs_prev, b, &mut scratch.tmp)?;
         Vector::axpy(1.0, &scratch.tmp, &mut scratch.z);
         rtm_tensor::simd::broadcast_add(&self.b_z, b, &mut scratch.z);
         sigmoid_slice(&mut scratch.z);
         quantize(&mut scratch.z);
 
-        exec.spmm_bspc_prec_into(&self.w_r, prec, xs, b, &mut scratch.r)?;
-        exec.spmm_bspc_prec_into(&self.u_r, prec, hs_prev, b, &mut scratch.tmp)?;
+        self.w_r
+            .exec_spmm_prec_into(exec, prec, xs, b, &mut scratch.r)?;
+        self.u_r
+            .exec_spmm_prec_into(exec, prec, hs_prev, b, &mut scratch.tmp)?;
         Vector::axpy(1.0, &scratch.tmp, &mut scratch.r);
         rtm_tensor::simd::broadcast_add(&self.b_r, b, &mut scratch.r);
         sigmoid_slice(&mut scratch.r);
         quantize(&mut scratch.r);
 
         Vector::hadamard_into(&scratch.r, hs_prev, &mut scratch.rh);
-        exec.spmm_bspc_prec_into(&self.w_n, prec, xs, b, &mut scratch.n)?;
-        exec.spmm_bspc_prec_into(&self.u_n, prec, &scratch.rh, b, &mut scratch.tmp)?;
+        self.w_n
+            .exec_spmm_prec_into(exec, prec, xs, b, &mut scratch.n)?;
+        self.u_n
+            .exec_spmm_prec_into(exec, prec, &scratch.rh, b, &mut scratch.tmp)?;
         Vector::axpy(1.0, &scratch.tmp, &mut scratch.n);
         rtm_tensor::simd::broadcast_add(&self.b_n, b, &mut scratch.n);
         tanh_slice(&mut scratch.n);
@@ -1152,6 +1511,177 @@ mod tests {
             .storage_bytes();
         assert!(p32 < d32 / 2, "pruning shrinks storage: {p32} vs {d32}");
         assert!(p16 < p32, "f16 shrinks storage further: {p16} vs {p32}");
+    }
+
+    const ALL_FORMATS: [RuntimeFormat; 4] = [
+        RuntimeFormat::Bspc,
+        RuntimeFormat::Csr,
+        RuntimeFormat::Bbs,
+        RuntimeFormat::Csb,
+    ];
+
+    #[test]
+    fn every_format_compiles_and_matches_dense() {
+        let net = net();
+        let dense = net.forward(&frames());
+        for format in ALL_FORMATS {
+            let compiled = CompiledNetwork::compile_with_formats(
+                &net,
+                4,
+                4,
+                &[],
+                RuntimePrecision::F32,
+                &[],
+                format,
+            )
+            .unwrap();
+            assert_eq!(compiled.format(), format);
+            assert_eq!(compiled.layer_formats(), vec![format; 2]);
+            let sparse = compiled.forward(&frames());
+            for (d, s) in dense.iter().zip(&sparse) {
+                for (a, b) in d.iter().zip(s) {
+                    assert!((a - b).abs() < 1e-5, "{format:?}: {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_format_layers_compile_and_run() {
+        let net = net();
+        let compiled = CompiledNetwork::compile_with_formats(
+            &net,
+            4,
+            4,
+            &[],
+            RuntimePrecision::F32,
+            &[RuntimeFormat::Bbs, RuntimeFormat::Csb],
+            RuntimeFormat::Bspc,
+        )
+        .unwrap();
+        assert_eq!(
+            compiled.layer_formats(),
+            vec![RuntimeFormat::Bbs, RuntimeFormat::Csb]
+        );
+        let dense = net.forward(&frames());
+        for (d, s) in dense.iter().zip(&compiled.forward(&frames())) {
+            for (a, b) in d.iter().zip(s) {
+                assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_with_matches_forward_every_format_and_precision() {
+        let net = net();
+        for format in ALL_FORMATS {
+            for precision in [
+                RuntimePrecision::F32,
+                RuntimePrecision::F16,
+                RuntimePrecision::Int8,
+            ] {
+                let compiled =
+                    CompiledNetwork::compile_with_formats(&net, 4, 4, &[], precision, &[], format)
+                        .unwrap();
+                let serial = compiled.forward(&frames());
+                for threads in [1usize, 3] {
+                    let exec = rtm_exec::Executor::new(threads);
+                    assert_eq!(
+                        compiled.forward_with(&exec, &frames()),
+                        serial,
+                        "{format:?} {precision:?} {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_session_lane_contract_holds_every_format() {
+        let net = net();
+        let streams: Vec<Vec<Vec<f32>>> = [5usize, 9, 3]
+            .iter()
+            .enumerate()
+            .map(|(s, &len)| {
+                (0..len)
+                    .map(|t| {
+                        (0..6)
+                            .map(|i| ((s * 89 + t * 6 + i) as f32 * 0.31).sin() * 0.5)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let exec = rtm_exec::Executor::new(2);
+        for format in ALL_FORMATS {
+            let compiled = CompiledNetwork::compile_with_formats(
+                &net,
+                4,
+                4,
+                &[],
+                RuntimePrecision::F16,
+                &[],
+                format,
+            )
+            .unwrap();
+            let serial: Vec<Vec<Vec<f32>>> = streams.iter().map(|s| compiled.forward(s)).collect();
+            let mut session = BatchedSession::new(&compiled, &exec, 2);
+            assert_eq!(session.run(&streams), serial, "{format:?} lane contract");
+        }
+    }
+
+    #[test]
+    fn format_zoo_storage_accounting_differs_per_format() {
+        // Same pruned weights, four formats: each format's byte accounting
+        // reflects its own index structure, and every one prices all six
+        // gates of both layers.
+        let mut net = net();
+        for (_, m) in net.prunable_mut() {
+            let cols = m.cols();
+            for r in 0..m.rows() {
+                for c in 0..cols {
+                    if (r + c) % 3 != 0 {
+                        m[(r, c)] = 0.0;
+                    }
+                }
+            }
+        }
+        let bytes: Vec<usize> = ALL_FORMATS
+            .iter()
+            .map(|&f| {
+                CompiledNetwork::compile_with_formats(
+                    &net,
+                    4,
+                    4,
+                    &[],
+                    RuntimePrecision::F32,
+                    &[],
+                    f,
+                )
+                .unwrap()
+                .storage_bytes()
+            })
+            .collect();
+        for &b in &bytes {
+            assert!(b > 0);
+        }
+        assert!(
+            bytes.windows(2).any(|w| w[0] != w[1]),
+            "formats must not all price identically: {bytes:?}"
+        );
+    }
+
+    #[test]
+    fn runtime_format_tags_roundtrip() {
+        for format in ALL_FORMATS {
+            assert_eq!(RuntimeFormat::parse(format.tag()), Some(format));
+            assert_eq!(RuntimeFormat::from_storage(format.storage()), Some(format));
+        }
+        assert_eq!(RuntimeFormat::parse("dense"), None);
+        assert_eq!(
+            RuntimeFormat::from_storage(rtm_compiler::StorageFormat::Dense),
+            None
+        );
     }
 
     #[test]

@@ -76,6 +76,21 @@ pub fn precision_choice() -> Result<Option<crate::config::PrecisionChoice>, EnvE
     )
 }
 
+/// `RTM_FORMAT`: the sparse weight storage format of the compiled
+/// pipeline.
+///
+/// # Errors
+///
+/// [`EnvError`] if the variable is set to something
+/// [`crate::config::FormatChoice::parse`] rejects.
+pub fn format_choice() -> Result<Option<crate::config::FormatChoice>, EnvError> {
+    rtm_trace::env::parsed(
+        "RTM_FORMAT",
+        "bspc, csr, bbs, csb or auto",
+        crate::config::FormatChoice::parse,
+    )
+}
+
 /// `RTM_FUZZ_ITERS`: iteration budget of the fault-injection harness.
 ///
 /// # Errors

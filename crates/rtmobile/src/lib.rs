@@ -44,9 +44,10 @@ pub mod pipeline;
 pub mod report;
 pub mod serve;
 
-pub use config::{PrecisionChoice, RuntimeConfig};
+pub use config::{FormatChoice, PrecisionChoice, RuntimeConfig};
 pub use deploy::{
-    BatchedSession, CompiledNetwork, FusedGruLayer, GruRuntimeScratch, RuntimePrecision,
+    BatchedSession, CompiledNetwork, FusedGruLayer, GateMatrix, GruRuntimeScratch, RuntimeFormat,
+    RuntimePrecision,
 };
 pub use health::HealthPolicy;
 pub use pipeline::RtMobile;

@@ -9,23 +9,27 @@
 //! Layout (little-endian):
 //!
 //! ```text
-//! magic "RTMF" 4 B, version u16, precision u8 (network default),
-//! layer_count u32
-//! per layer: hidden u32, precision u8,
-//!            6 x BSPC blobs (w_z u_z w_r u_r w_n u_n) at the layer's
-//!            storage precision (int8 layers ship native codes + scales),
+//! magic "RTMF" 4 B, version u16, precision u8, format u8 (network
+//! defaults), layer_count u32
+//! per layer: hidden u32, precision u8, format u8,
+//!            6 x gate blobs (w_z u_z w_r u_r w_n u_n) in the layer's
+//!            storage format's wire codec at the layer's storage precision
+//!            (int8 layers ship native codes + scales),
 //!            3 x bias runs (len u32 + f32s)
 //! head: rows u32, cols u32, f32 weights, f32 bias
 //! ```
 //!
 //! Version 2 added the per-layer precision byte and native int8 blobs;
-//! version-1 files are rejected with
+//! version 3 added the per-layer storage-format byte (0 = BSPC, 1 = CSR,
+//! 2 = BBS, 3 = CSB) with format-dispatched gate blobs. Older files are
+//! rejected with
 //! [`DecodeError::BadVersion`](rtm_sparse::io::DecodeError::BadVersion).
 
-use crate::deploy::{CompiledGruLayer, CompiledNetwork, RuntimePrecision};
+use crate::deploy::{
+    CompiledGruLayer, CompiledNetwork, GateMatrix, RuntimeFormat, RuntimePrecision,
+};
 use rtm_sparse::footprint::Precision;
 use rtm_sparse::io::DecodeError;
-use rtm_sparse::BspcMatrix;
 use rtm_tensor::wire::{Buf, BufMut};
 use rtm_tensor::Matrix;
 
@@ -33,7 +37,7 @@ use rtm_tensor::Matrix;
 pub const MAGIC: &[u8; 4] = b"RTMF";
 
 /// Current model-file version.
-pub const VERSION: u16 = 2;
+pub const VERSION: u16 = 3;
 
 fn precision_code(p: RuntimePrecision) -> u8 {
     match p {
@@ -52,6 +56,25 @@ fn precision_from_code(code: u8) -> Result<RuntimePrecision, DecodeError> {
     }
 }
 
+fn format_code(f: RuntimeFormat) -> u8 {
+    match f {
+        RuntimeFormat::Bspc => 0,
+        RuntimeFormat::Csr => 1,
+        RuntimeFormat::Bbs => 2,
+        RuntimeFormat::Csb => 3,
+    }
+}
+
+fn format_from_code(code: u8) -> Result<RuntimeFormat, DecodeError> {
+    match code {
+        0 => Ok(RuntimeFormat::Bspc),
+        1 => Ok(RuntimeFormat::Csr),
+        2 => Ok(RuntimeFormat::Bbs),
+        3 => Ok(RuntimeFormat::Csb),
+        other => Err(DecodeError::BadFormat(other)),
+    }
+}
+
 /// Serializes a compiled network to the `.rtm` byte format.
 ///
 /// Each layer's gate blobs are stored at that layer's runtime precision:
@@ -63,10 +86,12 @@ pub fn to_bytes(net: &CompiledNetwork) -> Vec<u8> {
     out.put_slice(MAGIC);
     out.put_u16_le(VERSION);
     out.put_u8(precision_code(net.precision));
+    out.put_u8(format_code(net.format));
     out.put_u32_le(net.layers.len() as u32);
     for layer in &net.layers {
         out.put_u32_le(layer.hidden as u32);
         out.put_u8(precision_code(layer.precision));
+        out.put_u8(format_code(layer.format));
         let prec: Precision = layer.precision.storage();
         for m in [
             &layer.w_z, &layer.u_z, &layer.w_r, &layer.u_r, &layer.w_n, &layer.u_n,
@@ -148,28 +173,30 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CompiledNetwork, DecodeError> {
     if &magic != MAGIC {
         return Err(DecodeError::BadMagic);
     }
-    need(buf, 3)?;
+    need(buf, 4)?;
     let version = buf.get_u16_le();
     if version != VERSION {
         return Err(DecodeError::BadVersion(version));
     }
     let precision = precision_from_code(buf.get_u8())?;
+    let format = format_from_code(buf.get_u8())?;
 
     need(buf, 4)?;
     let layer_count = buf.get_u32_le() as usize;
-    // Each layer needs at least its hidden-width word plus six BSPC blobs;
+    // Each layer needs at least its hidden-width word plus six gate blobs;
     // reject counts the buffer cannot possibly hold before allocating.
     if layer_count > buf.remaining() / 4 {
         return Err(DecodeError::Truncated);
     }
     let mut layers = Vec::new();
     for _ in 0..layer_count {
-        need(buf, 5)?;
+        need(buf, 6)?;
         let hidden = buf.get_u32_le() as usize;
         let layer_precision = precision_from_code(buf.get_u8())?;
-        let mut mats: Vec<BspcMatrix> = Vec::with_capacity(6);
+        let layer_format = format_from_code(buf.get_u8())?;
+        let mut mats: Vec<GateMatrix> = Vec::with_capacity(6);
         for _ in 0..6 {
-            let (m, used) = BspcMatrix::read_from(buf)?;
+            let (m, used) = GateMatrix::read_from(buf, layer_format)?;
             buf.advance(used);
             mats.push(m);
         }
@@ -201,6 +228,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CompiledNetwork, DecodeError> {
             b_n,
             hidden,
             precision: layer_precision,
+            format: layer_format,
         });
     }
 
@@ -224,6 +252,7 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CompiledNetwork, DecodeError> {
         head_w,
         head_b,
         precision,
+        format,
     })
 }
 
@@ -312,6 +341,80 @@ mod tests {
         );
         assert_eq!(decoded.precision(), RuntimePrecision::F32);
         assert_eq!(net.forward(&frames()), decoded.forward(&frames()));
+    }
+
+    #[test]
+    fn every_format_roundtrips_functionally_every_precision() {
+        let base = GruNetwork::new(
+            &NetworkConfig {
+                input_dim: 5,
+                hidden_dims: vec![8, 8],
+                num_classes: 3,
+            },
+            31,
+        );
+        for format in [
+            RuntimeFormat::Bspc,
+            RuntimeFormat::Csr,
+            RuntimeFormat::Bbs,
+            RuntimeFormat::Csb,
+        ] {
+            for precision in [
+                RuntimePrecision::F32,
+                RuntimePrecision::F16,
+                RuntimePrecision::Int8,
+            ] {
+                let net =
+                    CompiledNetwork::compile_with_formats(&base, 4, 2, &[], precision, &[], format)
+                        .expect("partition fits");
+                let decoded = from_bytes(&to_bytes(&net)).expect("decodes");
+                assert_eq!(decoded.format(), format);
+                assert_eq!(decoded.layer_formats(), net.layer_formats());
+                assert_eq!(
+                    net.forward(&frames()),
+                    decoded.forward(&frames()),
+                    "{format:?} {precision:?} file roundtrip must be functionally exact"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_format_layers_roundtrip_bit_exact() {
+        let base = GruNetwork::new(
+            &NetworkConfig {
+                input_dim: 5,
+                hidden_dims: vec![8, 8],
+                num_classes: 3,
+            },
+            31,
+        );
+        let net = CompiledNetwork::compile_with_formats(
+            &base,
+            4,
+            2,
+            &[],
+            RuntimePrecision::F32,
+            &[RuntimeFormat::Bbs, RuntimeFormat::Csb],
+            RuntimeFormat::Bspc,
+        )
+        .expect("partition fits");
+        let decoded = from_bytes(&to_bytes(&net)).expect("decodes");
+        assert_eq!(
+            decoded.layer_formats(),
+            vec![RuntimeFormat::Bbs, RuntimeFormat::Csb]
+        );
+        assert_eq!(decoded.format(), RuntimeFormat::Bspc);
+        assert_eq!(net.forward(&frames()), decoded.forward(&frames()));
+    }
+
+    #[test]
+    fn rejects_unknown_format_byte() {
+        let mut bytes = to_bytes(&compiled(RuntimePrecision::F32));
+        // magic(4) + version(2) + precision(1) puts the network format
+        // byte at offset 7.
+        bytes[7] = 9;
+        assert_eq!(from_bytes(&bytes).unwrap_err(), DecodeError::BadFormat(9));
     }
 
     #[test]

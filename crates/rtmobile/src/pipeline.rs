@@ -17,8 +17,8 @@
 //!
 //! The builder exposes every knob with laptop-scale defaults.
 
-use crate::config::{PrecisionChoice, RuntimeConfig};
-use crate::deploy::{CompiledNetwork, RuntimePrecision};
+use crate::config::{FormatChoice, PrecisionChoice, RuntimeConfig};
+use crate::deploy::{CompiledNetwork, RuntimeFormat, RuntimePrecision};
 use crate::report::{AccuracyReport, PerformanceReport, PipelineReport};
 use crate::serve::ServeStats;
 use rtm_compiler::plan::{ExecutionPlan, StorageFormat};
@@ -206,13 +206,26 @@ impl RtMobile {
         self
     }
 
-    /// The accuracy guard of the `auto` precision selector: if the
-    /// measured-fastest per-layer mix degrades PER by more than this many
-    /// percentage points versus an all-f32 compile of the same pruned
-    /// network, the pipeline ships the all-f32 compile instead (default
-    /// 2.0). Ignored for fixed precision choices.
+    /// The accuracy guard of the `auto` precision and format selectors: if
+    /// a measured-fastest per-layer mix degrades PER by more than this many
+    /// percentage points versus the reference compile of the same pruned
+    /// network (all-f32 for the precision axis, all-BSPC for the format
+    /// axis), the pipeline ships the reference compile instead (default
+    /// 2.0). Ignored for fixed choices.
     pub fn precision_guard(mut self, points: f64) -> RtMobile {
         self.precision_guard = points;
+        self
+    }
+
+    /// Sparse weight storage format of the compiled runtime (see
+    /// [`FormatChoice`]): a fixed `bspc`/`csr`/`bbs`/`csb`, or `auto` to
+    /// let the tuner time the four formats against each layer's actual
+    /// pruned weights and pick the fastest per layer, guarded by
+    /// [`RtMobile::precision_guard`]. When this knob is not set, the
+    /// `RTM_FORMAT` environment variable decides (default `bspc`, the
+    /// paper's block-based structured pruning format).
+    pub fn format(mut self, choice: FormatChoice) -> RtMobile {
+        self.runtime = self.runtime.with_format(choice);
         self
     }
 
@@ -270,21 +283,20 @@ impl RtMobile {
         };
         drop(prune_span);
 
-        // 3. Compile to the runtime at the resolved precision and score
-        //    the compiled path.
+        // 3. Compile to the runtime at the resolved precision and storage
+        //    format, and score the compiled path.
         let compile_span = rtm_trace::span("pipeline.compile");
         let choice = self.runtime.resolved_precision();
-        let mut compiled = match choice {
-            PrecisionChoice::Fixed(p) => {
-                CompiledNetwork::compile(&net, self.stripes, self.blocks, p)
-                    .expect("partition validated by BSP config")
-            }
+        let format_choice = self.runtime.resolved_format();
+        // Precision axis: a fixed choice compiles uniformly; `auto` times
+        // the f32/f16/int8 SpMV kernels at each layer's gate shape
+        // (inflated to at least 256 so timing noise does not dominate the
+        // tiny laptop-scale widths) and keeps the fastest per layer.
+        let (default_prec, per_layer_prec): (RuntimePrecision, Vec<RuntimePrecision>) = match choice
+        {
+            PrecisionChoice::Fixed(p) => (p, Vec::new()),
             PrecisionChoice::Auto => {
-                // Per layer, time the f32/f16/int8 SpMV kernels at the
-                // layer's gate shape (inflated to at least 256 so timing
-                // noise does not dominate the tiny laptop-scale widths)
-                // and keep the fastest.
-                let per_layer: Vec<RuntimePrecision> = net
+                let per_layer = net
                     .layers
                     .iter()
                     .map(|cell| {
@@ -300,16 +312,55 @@ impl RtMobile {
                         ))
                     })
                     .collect();
-                CompiledNetwork::compile_with_precisions(
-                    &net,
-                    self.stripes,
-                    self.blocks,
-                    &per_layer,
-                    RuntimePrecision::F32,
-                )
-                .expect("partition validated by BSP config")
+                (RuntimePrecision::F32, per_layer)
             }
         };
+        // Format axis: a fixed choice compiles uniformly; `auto` encodes
+        // each layer's actual pruned recurrent gate in all four formats at
+        // the layer's resolved precision, times a real SpMV (and batched
+        // SpMM when `batch > 1`) sweep, and keeps the fastest per layer.
+        let format_candidates = [
+            StorageFormat::Bspc,
+            StorageFormat::Csr,
+            StorageFormat::Bbs,
+            StorageFormat::Csb,
+        ];
+        let (default_format, per_layer_format): (RuntimeFormat, Vec<RuntimeFormat>) =
+            match format_choice {
+                FormatChoice::Fixed(f) => (f, Vec::new()),
+                FormatChoice::Auto => {
+                    let per_layer = net
+                        .layers
+                        .iter()
+                        .enumerate()
+                        .map(|(i, cell)| {
+                            let prec = per_layer_prec.get(i).copied().unwrap_or(default_prec);
+                            let costs = rtm_compiler::tuner::measure_format_costs(
+                                &cell.u_z,
+                                &format_candidates,
+                                prec.storage(),
+                                self.stripes,
+                                self.blocks,
+                                self.runtime.batch,
+                                4,
+                            );
+                            RuntimeFormat::from_storage(rtm_compiler::tuner::select_format(&costs))
+                                .unwrap_or(RuntimeFormat::Bspc)
+                        })
+                        .collect();
+                    (RuntimeFormat::Bspc, per_layer)
+                }
+            };
+        let mut compiled = CompiledNetwork::compile_with_formats(
+            &net,
+            self.stripes,
+            self.blocks,
+            &per_layer_prec,
+            default_prec,
+            &per_layer_format,
+            default_format,
+        )
+        .expect("partition validated by BSP config");
         let exec = rtm_exec::Executor::new(self.runtime.threads);
         drop(compile_span);
 
@@ -341,23 +392,60 @@ impl RtMobile {
             }
         };
         let (mut compiled_report, mut serve) = score(&compiled);
-        // Accuracy guard of the auto selector: if the measured-fastest
-        // per-layer mix degrades PER beyond the bound versus an all-f32
-        // compile of the same pruned network, ship the f32 compile.
+        // Accuracy guard of the auto precision selector: if the
+        // measured-fastest per-layer mix degrades PER beyond the bound
+        // versus an all-f32 compile of the same pruned network (at the same
+        // per-layer formats), ship the f32 compile.
         if choice == PrecisionChoice::Auto
             && compiled
                 .layer_precisions()
                 .iter()
                 .any(|p| *p != RuntimePrecision::F32)
         {
-            let f32_compiled =
-                CompiledNetwork::compile(&net, self.stripes, self.blocks, RuntimePrecision::F32)
-                    .expect("partition validated by BSP config");
+            let f32_compiled = CompiledNetwork::compile_with_formats(
+                &net,
+                self.stripes,
+                self.blocks,
+                &[],
+                RuntimePrecision::F32,
+                &per_layer_format,
+                default_format,
+            )
+            .expect("partition validated by BSP config");
             let (f32_report, f32_serve) = score(&f32_compiled);
             if compiled_report.per_percent() - f32_report.per_percent() > self.precision_guard {
                 compiled = f32_compiled;
                 compiled_report = f32_report;
                 serve = f32_serve;
+            }
+        }
+        // Accuracy guard of the auto format selector: every format stores
+        // the same quantized values, so this should never fire — but the
+        // contract is measured, not assumed. If the per-layer format mix
+        // degrades PER beyond the bound versus an all-BSPC compile at the
+        // same per-layer precisions, ship the BSPC compile.
+        if format_choice == FormatChoice::Auto
+            && compiled
+                .layer_formats()
+                .iter()
+                .any(|f| *f != RuntimeFormat::Bspc)
+        {
+            let layer_precs = compiled.layer_precisions();
+            let bspc_compiled = CompiledNetwork::compile_with_formats(
+                &net,
+                self.stripes,
+                self.blocks,
+                &layer_precs,
+                default_prec,
+                &[],
+                RuntimeFormat::Bspc,
+            )
+            .expect("partition validated by BSP config");
+            let (bspc_report, bspc_serve) = score(&bspc_compiled);
+            if compiled_report.per_percent() - bspc_report.per_percent() > self.precision_guard {
+                compiled = bspc_compiled;
+                compiled_report = bspc_report;
+                serve = bspc_serve;
             }
         }
         drop(deploy_span);
@@ -400,6 +488,8 @@ impl RtMobile {
 
         let layer_precisions = compiled.layer_precisions();
         let count = |p: RuntimePrecision| layer_precisions.iter().filter(|&&q| q == p).count();
+        let layer_formats = compiled.layer_formats();
+        let count_fmt = |f: RuntimeFormat| layer_formats.iter().filter(|&&g| g == f).count();
         let report = PipelineReport {
             accuracy: AccuracyReport {
                 baseline_per: baseline.per_percent(),
@@ -421,6 +511,11 @@ impl RtMobile {
                 layers_f32: count(RuntimePrecision::F32),
                 layers_f16: count(RuntimePrecision::F16),
                 layers_int8: count(RuntimePrecision::Int8),
+                format: format_choice.tag(),
+                layers_bspc: count_fmt(RuntimeFormat::Bspc),
+                layers_csr: count_fmt(RuntimeFormat::Csr),
+                layers_bbs: count_fmt(RuntimeFormat::Bbs),
+                layers_csb: count_fmt(RuntimeFormat::Csb),
                 storage_bytes: compiled.storage_bytes(),
             },
             serve,

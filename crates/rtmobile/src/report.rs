@@ -62,8 +62,19 @@ pub struct PerformanceReport {
     pub layers_f16: usize,
     /// Layers compiled at int8 storage.
     pub layers_int8: usize,
-    /// Compiled model storage in bytes at the deployed precisions
-    /// (BSPC index structure plus values and scale metadata).
+    /// The storage-format choice the run resolved to (`"bspc"`, `"csr"`,
+    /// `"bbs"`, `"csb"` or `"auto"`).
+    pub format: &'static str,
+    /// Layers compiled to BSPC storage.
+    pub layers_bspc: usize,
+    /// Layers compiled to CSR storage.
+    pub layers_csr: usize,
+    /// Layers compiled to BBS storage.
+    pub layers_bbs: usize,
+    /// Layers compiled to CSB storage.
+    pub layers_csb: usize,
+    /// Compiled model storage in bytes at the deployed precisions and
+    /// formats (sparse index structure plus values and scale metadata).
     pub storage_bytes: usize,
 }
 
@@ -129,7 +140,12 @@ impl PipelineReport {
         );
         let _ = writeln!(
             s,
-            "  model storage (BSPC): {:.1} KiB",
+            "  format: {} ({} bspc / {} csr / {} bbs / {} csb layers)",
+            p.format, p.layers_bspc, p.layers_csr, p.layers_bbs, p.layers_csb
+        );
+        let _ = writeln!(
+            s,
+            "  model storage: {:.1} KiB",
             p.storage_bytes as f64 / 1024.0
         );
         if let Some(v) = &self.serve {
@@ -227,6 +243,11 @@ impl Report for PipelineReport {
                     ("layers_f32", JsonValue::Int(p.layers_f32 as i64)),
                     ("layers_f16", JsonValue::Int(p.layers_f16 as i64)),
                     ("layers_int8", JsonValue::Int(p.layers_int8 as i64)),
+                    ("format", JsonValue::Str(p.format.into())),
+                    ("layers_bspc", JsonValue::Int(p.layers_bspc as i64)),
+                    ("layers_csr", JsonValue::Int(p.layers_csr as i64)),
+                    ("layers_bbs", JsonValue::Int(p.layers_bbs as i64)),
+                    ("layers_csb", JsonValue::Int(p.layers_csb as i64)),
                     ("storage_bytes", JsonValue::Int(p.storage_bytes as i64)),
                 ])),
             ),
@@ -346,6 +367,11 @@ mod tests {
                 layers_f32: 0,
                 layers_f16: 2,
                 layers_int8: 0,
+                format: "bbs",
+                layers_bspc: 0,
+                layers_csr: 0,
+                layers_bbs: 2,
+                layers_csb: 0,
                 storage_bytes: 2048,
             },
             serve: None,
@@ -367,6 +393,7 @@ mod tests {
         assert!(text.contains("10.0x compression"));
         assert!(text.contains("31.70x ESE"));
         assert!(text.contains("precision: f16 (0 f32 / 2 f16 / 0 int8 layers)"));
+        assert!(text.contains("format: bbs (0 bspc / 0 csr / 2 bbs / 0 csb layers)"));
         assert!(text.contains("2.0 KiB"));
         assert!(!text.contains("serving:"));
         let mut r = dummy();
@@ -393,6 +420,8 @@ mod tests {
         assert!(json.contains("\"gpu\": {\"time_us\": 100.00"));
         assert!(json.contains("\"precision\": \"f16\""));
         assert!(json.contains("\"layers_int8\": 0"));
+        assert!(json.contains("\"format\": \"bbs\""));
+        assert!(json.contains("\"layers_bbs\": 2"));
         assert!(json.contains("\"storage_bytes\": 2048"));
         assert!(json.contains("\"serve\": null"));
 

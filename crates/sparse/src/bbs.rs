@@ -1,99 +1,144 @@
-//! Compressed Sparse Row storage.
+//! Bank-Balanced Sparsity storage (the BBS scheme of Cao et al., which
+//! RTMobile's Table I compares against).
 //!
-//! CSR is the format the paper's unstructured baselines (ESE) must use: every
-//! nonzero carries an explicit `u32` column index, and each SpMV row walk
-//! performs an indirect gather through those indices — the "decoding of each
-//! stored index" overhead §II-B-a calls out.
+//! Each row is split into `num_banks` equal-width column banks and every
+//! bank stores exactly `bank_nnz` entries (the maximum any bank needs;
+//! lighter banks are padded with explicit zeros). The payoff is a fully
+//! regular layout: every row owns `num_banks · bank_nnz` contiguous
+//! `(value, column)` slots, so the inner loop needs no per-row pointer
+//! chasing and the executor can partition by plain row count — per-row
+//! cost is uniform by construction. The price is the padding: a matrix
+//! whose nonzeros cluster in few banks stores (and multiplies) zeros for
+//! the empty ones, which is exactly the trade the tuner measures when it
+//! weighs BBS against BSPC/CSR per layer.
 
 use crate::footprint::Precision;
 use rtm_tensor::{Matrix, ShapeError};
 use std::cell::RefCell;
 use std::ops::Range;
 
-// Thread-local scratch for the quantized CSR kernels (see `bspc.rs` for the
-// rationale — worker threads get independent buffers, so the steady state is
-// allocation-free and row chunks can run concurrently).
+// Thread-local scratch for the quantized kernels (see `bspc.rs` — worker
+// threads get independent buffers, so the steady state is allocation-free
+// and row chunks can run concurrently).
 thread_local! {
     static TLS_ACT: RefCell<(Vec<i8>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
     static TLS_KERNEL: RefCell<(Vec<f32>, Vec<i8>)> =
         const { RefCell::new((Vec::new(), Vec::new())) };
 }
 
-/// A sparse matrix in compressed-sparse-row format.
+/// A sparse matrix in bank-balanced (padded ELL) format.
 ///
-/// Invariants (maintained by construction, checked by `debug_assert`s):
-/// `row_ptr.len() == rows + 1`, `row_ptr` is non-decreasing,
-/// `row_ptr[rows] == values.len() == col_idx.len()`, and column indices are
-/// strictly increasing within each row.
+/// Invariants (maintained by construction, checked in `from_parts`):
+/// `values.len() == col_idx.len() == rows · num_banks · bank_nnz`, every
+/// stored column index is `< cols`, and within a row the slots of bank `k`
+/// occupy positions `[k · bank_nnz, (k+1) · bank_nnz)`. Padded slots carry
+/// value `0.0` and a clamped in-range column, so every kernel can treat
+/// all slots uniformly.
 #[derive(Debug, Clone, PartialEq)]
-pub struct CsrMatrix {
+pub struct BbsMatrix {
     rows: usize,
     cols: usize,
-    row_ptr: Vec<u32>,
+    num_banks: usize,
+    bank_nnz: usize,
+    /// Column of every slot, row-major (`rows × num_banks × bank_nnz`).
     col_idx: Vec<u32>,
+    /// Value of every slot (padding slots store `0.0`).
     values: Vec<f32>,
     /// `values` as raw f16 bit patterns (fp16 weight-storage sidecar).
     values_f16: Vec<u16>,
-    /// `values` as int8 codes under the per-row-block scales.
-    values_i8: Vec<i8>,
-    /// Symmetric int8 scale per block of [`CsrMatrix::ROW_BLOCK`] rows.
+    /// `values` as int8 codes under the per-row scales.
     scales_i8: Vec<f32>,
+    values_i8: Vec<i8>,
 }
 
-impl CsrMatrix {
-    /// Builds a CSR matrix from a dense one, keeping entries that are not
-    /// exactly zero.
-    pub fn from_dense(dense: &Matrix) -> CsrMatrix {
-        let rows = dense.rows();
-        let cols = dense.cols();
-        let mut row_ptr = Vec::with_capacity(rows + 1);
-        let mut col_idx = Vec::new();
-        let mut values = Vec::new();
-        row_ptr.push(0u32);
+impl BbsMatrix {
+    /// Builds a bank-balanced matrix from a dense one, keeping entries
+    /// that are not exactly zero. `bank_nnz` becomes the largest per-bank
+    /// nonzero count any row needs; all other banks are zero-padded up to
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `num_banks` is zero or exceeds the
+    /// column count.
+    pub fn from_dense(dense: &Matrix, num_banks: usize) -> Result<BbsMatrix, ShapeError> {
+        let (rows, cols) = dense.shape();
+        if num_banks == 0 || num_banks > cols.max(1) {
+            return Err(ShapeError {
+                op: "bbs_from_dense",
+                lhs: (rows, cols),
+                rhs: (num_banks, 0),
+            });
+        }
+        let bank_w = cols.div_ceil(num_banks).max(1);
+        // Pass 1: the balance point — the largest per-(row, bank) count.
+        let mut bank_nnz = 0usize;
         for r in 0..rows {
+            let mut counts = vec![0usize; num_banks];
             for (c, &v) in dense.row(r).iter().enumerate() {
                 if v != 0.0 {
-                    col_idx.push(c as u32);
-                    values.push(v);
+                    counts[c / bank_w] += 1;
                 }
             }
-            row_ptr.push(values.len() as u32);
+            for &n in &counts {
+                bank_nnz = bank_nnz.max(n);
+            }
         }
-        let mut m = CsrMatrix {
+        // Pass 2: pack row-major, bank by bank, padding with explicit
+        // zeros at a clamped in-bank column (any valid column works: the
+        // padded value is 0.0, so the slot contributes nothing).
+        let slots = rows * num_banks * bank_nnz;
+        let mut col_idx = Vec::with_capacity(slots);
+        let mut values = Vec::with_capacity(slots);
+        for r in 0..rows {
+            let row = dense.row(r);
+            for bank in 0..num_banks {
+                let lo = bank * bank_w;
+                let hi = ((bank + 1) * bank_w).min(cols);
+                let mut stored = 0usize;
+                // `lo` can exceed `hi` for a bank past the last column
+                // (hi clamps to `cols`); such banks hold only padding.
+                for (off, &v) in row[lo.min(hi)..hi].iter().enumerate() {
+                    if v != 0.0 {
+                        col_idx.push((lo + off) as u32);
+                        values.push(v);
+                        stored += 1;
+                    }
+                }
+                let pad_col = lo.min(cols.saturating_sub(1)) as u32;
+                for _ in stored..bank_nnz {
+                    col_idx.push(pad_col);
+                    values.push(0.0);
+                }
+            }
+        }
+        let mut m = BbsMatrix {
             rows,
             cols,
-            row_ptr,
+            num_banks,
+            bank_nnz,
             col_idx,
             values,
             values_f16: Vec::new(),
-            values_i8: Vec::new(),
             scales_i8: Vec::new(),
+            values_i8: Vec::new(),
         };
         m.build_sidecars();
-        m
+        Ok(m)
     }
 
-    /// Rows sharing one symmetric int8 scale. CSR has no stripe structure to
-    /// hang scales on, so the int8 sidecar uses fixed blocks of 8 rows — the
-    /// same granularity ESE-style row batching uses.
-    pub const ROW_BLOCK: usize = 8;
-
-    /// Rebuilds the f16 and int8 sidecars from `values` (deterministic, so
-    /// the `PartialEq` derive and serialization round trips are unaffected).
+    /// Rebuilds the f16 and int8 sidecars from `values`. BBS rows are the
+    /// natural scale granularity (each row is one uniform slab), so the
+    /// int8 sidecar carries one symmetric scale per row; padded slots
+    /// quantize to code 0 and stay exact.
     fn build_sidecars(&mut self) {
         self.values_f16 = rtm_tensor::f16::f32_to_f16_bits(&self.values);
-        let nb = self.rows.div_ceil(Self::ROW_BLOCK);
-        let mut max_abs = vec![0.0f32; nb];
-        for r in 0..self.rows {
-            let (start, end) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
-            let m = &mut max_abs[r / Self::ROW_BLOCK];
-            for &v in &self.values[start..end] {
-                *m = m.max(v.abs());
-            }
-        }
-        self.scales_i8 = max_abs
-            .iter()
-            .map(|&m| {
+        let stride = self.row_stride();
+        self.scales_i8 = (0..self.rows)
+            .map(|r| {
+                let m = self.values[r * stride..(r + 1) * stride]
+                    .iter()
+                    .fold(0.0f32, |a, v| a.max(v.abs()));
                 if m > 0.0 && m.is_finite() {
                     m / 127.0
                 } else {
@@ -103,76 +148,79 @@ impl CsrMatrix {
             .collect();
         self.values_i8 = vec![0; self.values.len()];
         for r in 0..self.rows {
-            let (start, end) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
-            let scale = self.scales_i8[r / Self::ROW_BLOCK];
-            for i in start..end {
+            let scale = self.scales_i8[r];
+            for i in r * stride..(r + 1) * stride {
                 self.values_i8[i] = (self.values[i] / scale).round().clamp(-127.0, 127.0) as i8;
             }
         }
     }
 
-    /// Builds from raw parts.
+    /// Builds from raw parts (the deserialization path).
     ///
     /// # Errors
     ///
-    /// Returns [`ShapeError`] if the arrays are inconsistent (wrong `row_ptr`
-    /// length, mismatched value/index lengths, out-of-range columns, or a
-    /// decreasing `row_ptr`).
+    /// Returns [`ShapeError`] if the arrays are inconsistent: bad bank
+    /// count, slot arrays whose length is not `rows · num_banks · bank_nnz`,
+    /// or an out-of-range column. (Bank membership of each slot is a
+    /// construction property, not revalidated — padded slots may carry a
+    /// clamped out-of-bank column.)
     pub fn from_parts(
         rows: usize,
         cols: usize,
-        row_ptr: Vec<u32>,
+        num_banks: usize,
+        bank_nnz: usize,
         col_idx: Vec<u32>,
         values: Vec<f32>,
-    ) -> Result<CsrMatrix, ShapeError> {
+    ) -> Result<BbsMatrix, ShapeError> {
         let bad = || ShapeError {
-            op: "csr_from_parts",
+            op: "bbs_from_parts",
             lhs: (rows, cols),
-            rhs: (row_ptr.len(), values.len()),
+            rhs: (num_banks, bank_nnz),
         };
-        if row_ptr.len() != rows + 1
-            || col_idx.len() != values.len()
-            || row_ptr.last().copied().unwrap_or(0) as usize != values.len()
-        {
+        if num_banks == 0 || num_banks > cols.max(1) {
             return Err(bad());
         }
-        if row_ptr.windows(2).any(|w| w[0] > w[1]) {
+        let slots = rows
+            .checked_mul(num_banks)
+            .and_then(|n| n.checked_mul(bank_nnz))
+            .ok_or_else(bad)?;
+        if col_idx.len() != slots || values.len() != slots {
             return Err(bad());
         }
-        if col_idx.iter().any(|&c| c as usize >= cols) && !values.is_empty() {
+        if col_idx.iter().any(|&c| c as usize >= cols) {
             return Err(bad());
         }
-        let mut m = CsrMatrix {
+        let mut m = BbsMatrix {
             rows,
             cols,
-            row_ptr,
+            num_banks,
+            bank_nnz,
             col_idx,
             values,
             values_f16: Vec::new(),
-            values_i8: Vec::new(),
             scales_i8: Vec::new(),
+            values_i8: Vec::new(),
         };
         m.build_sidecars();
         Ok(m)
     }
 
     /// Replaces the int8 sidecar with externally supplied codes and
-    /// per-row-block scales (used by the wire decoder so stored codes
-    /// round-trip bit-exactly instead of being re-derived from floats).
+    /// per-row scales (used by the decoder so stored codes round-trip
+    /// bit-exactly instead of being re-derived from floats).
     ///
     /// # Errors
     ///
     /// Returns [`ShapeError`] when `codes` does not have one entry per
-    /// stored value or `scales` one entry per [`CsrMatrix::ROW_BLOCK`]
-    /// row block.
+    /// stored slot or `scales` one entry per row.
     pub fn with_int8_sidecar(
         mut self,
         codes: Vec<i8>,
         scales: Vec<f32>,
-    ) -> Result<CsrMatrix, ShapeError> {
-        if codes.len() != self.values.len() || scales.len() != self.rows.div_ceil(Self::ROW_BLOCK) {
+    ) -> Result<BbsMatrix, ShapeError> {
+        if codes.len() != self.values.len() || scales.len() != self.rows {
             return Err(ShapeError {
-                op: "csr_int8_sidecar",
+                op: "bbs_int8_sidecar",
                 lhs: (self.rows, self.cols),
                 rhs: (codes.len(), scales.len()),
             });
@@ -180,22 +228,6 @@ impl CsrMatrix {
         self.values_i8 = codes;
         self.scales_i8 = scales;
         Ok(self)
-    }
-
-    /// The nonzero values as raw f16 bit patterns (same layout as
-    /// [`CsrMatrix::values`]).
-    pub fn values_f16(&self) -> &[u16] {
-        &self.values_f16
-    }
-
-    /// The nonzero values as int8 codes under [`CsrMatrix::int8_scales`].
-    pub fn values_i8(&self) -> &[i8] {
-        &self.values_i8
-    }
-
-    /// Symmetric int8 scale per block of [`CsrMatrix::ROW_BLOCK`] rows.
-    pub fn int8_scales(&self) -> &[f32] {
-        &self.scales_i8
     }
 
     /// Number of rows.
@@ -208,49 +240,55 @@ impl CsrMatrix {
         self.cols
     }
 
-    /// Number of stored nonzeros.
-    pub fn nnz(&self) -> usize {
+    /// Number of column banks per row.
+    pub fn num_banks(&self) -> usize {
+        self.num_banks
+    }
+
+    /// Stored entries per bank (identical for every row and bank).
+    pub fn bank_nnz(&self) -> usize {
+        self.bank_nnz
+    }
+
+    /// Columns spanned by each bank (the last bank may cover fewer).
+    pub fn bank_width(&self) -> usize {
+        self.cols.div_ceil(self.num_banks).max(1)
+    }
+
+    /// Stored slots per row (`num_banks · bank_nnz`).
+    pub fn row_stride(&self) -> usize {
+        self.num_banks * self.bank_nnz
+    }
+
+    /// Total stored slots, padding included — what the format actually
+    /// streams, and hence what [`crate::Footprint`] prices.
+    pub fn stored_len(&self) -> usize {
         self.values.len()
     }
 
-    /// Row-pointer array (`rows + 1` entries).
-    pub fn row_ptr(&self) -> &[u32] {
-        &self.row_ptr
-    }
-
-    /// Column index of every nonzero, row-major.
+    /// Column index of every slot, row-major.
     pub fn col_idx(&self) -> &[u32] {
         &self.col_idx
     }
 
-    /// Value of every nonzero, row-major.
+    /// Value of every slot, row-major (padding slots are `0.0`).
     pub fn values(&self) -> &[f32] {
         &self.values
     }
 
-    /// Nonzero count of row `r`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `r >= self.rows()`.
-    pub fn row_nnz(&self, r: usize) -> usize {
-        assert!(r < self.rows, "row out of bounds");
-        (self.row_ptr[r + 1] - self.row_ptr[r]) as usize
+    /// The slot values as raw f16 bit patterns.
+    pub fn values_f16(&self) -> &[u16] {
+        &self.values_f16
     }
 
-    /// The `(column, value)` pairs of row `r`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `r >= self.rows()`.
-    pub fn row_entries(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
-        assert!(r < self.rows, "row out of bounds");
-        let start = self.row_ptr[r] as usize;
-        let end = self.row_ptr[r + 1] as usize;
-        self.col_idx[start..end]
-            .iter()
-            .zip(&self.values[start..end])
-            .map(|(&c, &v)| (c as usize, v))
+    /// The slot values as int8 codes under [`BbsMatrix::int8_scales`].
+    pub fn values_i8(&self) -> &[i8] {
+        &self.values_i8
+    }
+
+    /// Symmetric int8 scale per row.
+    pub fn int8_scales(&self) -> &[f32] {
+        &self.scales_i8
     }
 
     /// Sparse matrix-vector product `y = A x`.
@@ -259,20 +297,12 @@ impl CsrMatrix {
     ///
     /// Returns [`ShapeError`] when `x.len() != self.cols()`.
     pub fn spmv(&self, x: &[f32]) -> Result<Vec<f32>, ShapeError> {
-        if x.len() != self.cols {
-            return Err(ShapeError {
-                op: "csr_spmv",
-                lhs: (self.rows, self.cols),
-                rhs: (x.len(), 1),
-            });
-        }
         let mut y = vec![0.0f32; self.rows];
         self.spmv_into(x, &mut y)?;
         Ok(y)
     }
 
-    /// Allocation-free SpMV into a caller-provided buffer — the hot-loop
-    /// form (serial and parallel runtimes reuse the output across calls).
+    /// Allocation-free SpMV into a caller-provided buffer.
     ///
     /// # Errors
     ///
@@ -281,48 +311,30 @@ impl CsrMatrix {
     pub fn spmv_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError> {
         if x.len() != self.cols || y.len() != self.rows {
             return Err(ShapeError {
-                op: "csr_spmv_into",
+                op: "bbs_spmv_into",
                 lhs: (self.rows, self.cols),
                 rhs: (x.len(), y.len()),
             });
         }
         rtm_trace::count_many(&[
-            (rtm_trace::key::SPMV_CSR, 1),
+            (rtm_trace::key::SPMV_BBS, 1),
             (
-                rtm_trace::key::with_precision(rtm_trace::key::SPMV_CSR, "f32"),
+                rtm_trace::key::with_precision(rtm_trace::key::SPMV_BBS, "f32"),
                 1,
             ),
             (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
             (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
         ]);
-        // One indexed dot per row through the simd kernel layer (AVX2 runs
-        // the column gather in-register); the variant is hoisted so every
-        // row of a call uses the same realization.
-        let v = rtm_tensor::simd::active_variant();
-        for (r, yr) in y.iter_mut().enumerate() {
-            let start = self.row_ptr[r] as usize;
-            let end = self.row_ptr[r + 1] as usize;
-            *yr = rtm_tensor::simd::indexed_dot_variant(
-                v,
-                &self.values[start..end],
-                &self.col_idx[start..end],
-                x,
-            );
-        }
+        self.spmv_rows_into(x, 0..self.rows, y, 0);
         Ok(())
     }
 
     /// Sparse matrix × dense multi-vector `Y = A X` for `b` interleaved
-    /// input lanes (batched SpMM). `xs` holds element `c` of lane `j` at
-    /// `xs[c·b + j]`; `ys` receives row `r` of lane `j` at `ys[r·b + j]`.
+    /// input lanes (layout as `CsrMatrix::spmm_into`: `xs[c·b + j]`,
+    /// `ys[r·b + j]`). Lane `j` is bit-identical to [`spmv_into`] of lane
+    /// `j`'s column.
     ///
-    /// Each row's column indices are decoded **once** and applied to all
-    /// `b` lanes — the index-traversal cost §II-B-a identifies is amortized
-    /// `b`×. Lane `j` of the result is bit-identical to [`spmv_into`] of
-    /// lane `j`'s column under the same ambient policy (see
-    /// `rtm_tensor::simd::indexed_dot_batch_variant`).
-    ///
-    /// [`spmv_into`]: CsrMatrix::spmv_into
+    /// [`spmv_into`]: BbsMatrix::spmv_into
     ///
     /// # Errors
     ///
@@ -331,7 +343,7 @@ impl CsrMatrix {
     pub fn spmm_into(&self, xs: &[f32], b: usize, ys: &mut [f32]) -> Result<(), ShapeError> {
         if xs.len() != self.cols * b || ys.len() != self.rows * b {
             return Err(ShapeError {
-                op: "csr_spmm_into",
+                op: "bbs_spmm_into",
                 lhs: (self.rows, self.cols),
                 rhs: (xs.len(), b),
             });
@@ -340,31 +352,19 @@ impl CsrMatrix {
             return Ok(());
         }
         rtm_trace::count_many(&[
-            (rtm_trace::key::SPMM_CSR, 1),
+            (rtm_trace::key::SPMM_BBS, 1),
             (
-                rtm_trace::key::with_precision(rtm_trace::key::SPMM_CSR, "f32"),
+                rtm_trace::key::with_precision(rtm_trace::key::SPMM_BBS, "f32"),
                 1,
             ),
             (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
             (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
         ]);
-        let v = rtm_tensor::simd::active_variant();
-        for (r, yr) in ys.chunks_exact_mut(b).enumerate() {
-            let start = self.row_ptr[r] as usize;
-            let end = self.row_ptr[r + 1] as usize;
-            rtm_tensor::simd::indexed_dot_batch_variant(
-                v,
-                &self.values[start..end],
-                &self.col_idx[start..end],
-                xs,
-                b,
-                yr,
-            );
-        }
+        self.spmm_rows_into(xs, b, 0..self.rows, ys, 0);
         Ok(())
     }
 
-    /// Allocating form of [`spmm_into`](CsrMatrix::spmm_into).
+    /// Allocating form of [`spmm_into`](BbsMatrix::spmm_into).
     ///
     /// # Errors
     ///
@@ -375,11 +375,10 @@ impl CsrMatrix {
         Ok(ys)
     }
 
-    /// Precision-dispatched SpMV (see `BspcMatrix::spmv_prec_into` for the
-    /// numeric contracts; CSR int8 uses one scale per
-    /// [`CsrMatrix::ROW_BLOCK`] rows and a scalar gathered dot with exact
-    /// i32 accumulation, so results are bit-identical across SIMD variants
-    /// and thread counts).
+    /// Precision-dispatched SpMV (numeric contracts as
+    /// `BspcMatrix::spmv_prec_into`; int8 uses one scale per row with
+    /// exact i32 accumulation, so results are bit-identical across SIMD
+    /// variants and thread counts).
     ///
     /// # Errors
     ///
@@ -398,9 +397,8 @@ impl CsrMatrix {
         }
     }
 
-    /// Precision-dispatched batched SpMM (lane layout as
-    /// [`spmm_into`](CsrMatrix::spmm_into); int8 quantizes each lane with
-    /// its own scale, so lane `j` matches the serial int8 SpMV of lane `j`'s
+    /// Precision-dispatched batched SpMM (int8 quantizes each lane with
+    /// its own scale; lane `j` matches the serial int8 SpMV of lane `j`'s
     /// column exactly).
     ///
     /// # Errors
@@ -424,15 +422,15 @@ impl CsrMatrix {
     fn spmv_f16_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError> {
         if x.len() != self.cols || y.len() != self.rows {
             return Err(ShapeError {
-                op: "csr_spmv_f16_into",
+                op: "bbs_spmv_f16_into",
                 lhs: (self.rows, self.cols),
                 rhs: (x.len(), y.len()),
             });
         }
         rtm_trace::count_many(&[
-            (rtm_trace::key::SPMV_CSR, 1),
+            (rtm_trace::key::SPMV_BBS, 1),
             (
-                rtm_trace::key::with_precision(rtm_trace::key::SPMV_CSR, "f16"),
+                rtm_trace::key::with_precision(rtm_trace::key::SPMV_BBS, "f16"),
                 1,
             ),
             (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
@@ -445,15 +443,15 @@ impl CsrMatrix {
     fn spmv_i8_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError> {
         if x.len() != self.cols || y.len() != self.rows {
             return Err(ShapeError {
-                op: "csr_spmv_i8_into",
+                op: "bbs_spmv_i8_into",
                 lhs: (self.rows, self.cols),
                 rhs: (x.len(), y.len()),
             });
         }
         rtm_trace::count_many(&[
-            (rtm_trace::key::SPMV_CSR, 1),
+            (rtm_trace::key::SPMV_BBS, 1),
             (
-                rtm_trace::key::with_precision(rtm_trace::key::SPMV_CSR, "int8"),
+                rtm_trace::key::with_precision(rtm_trace::key::SPMV_BBS, "int8"),
                 1,
             ),
             (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
@@ -470,7 +468,7 @@ impl CsrMatrix {
     fn spmm_f16_into(&self, xs: &[f32], b: usize, ys: &mut [f32]) -> Result<(), ShapeError> {
         if xs.len() != self.cols * b || ys.len() != self.rows * b {
             return Err(ShapeError {
-                op: "csr_spmm_f16_into",
+                op: "bbs_spmm_f16_into",
                 lhs: (self.rows, self.cols),
                 rhs: (xs.len(), b),
             });
@@ -479,9 +477,9 @@ impl CsrMatrix {
             return Ok(());
         }
         rtm_trace::count_many(&[
-            (rtm_trace::key::SPMM_CSR, 1),
+            (rtm_trace::key::SPMM_BBS, 1),
             (
-                rtm_trace::key::with_precision(rtm_trace::key::SPMM_CSR, "f16"),
+                rtm_trace::key::with_precision(rtm_trace::key::SPMM_BBS, "f16"),
                 1,
             ),
             (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
@@ -494,7 +492,7 @@ impl CsrMatrix {
     fn spmm_i8_into(&self, xs: &[f32], b: usize, ys: &mut [f32]) -> Result<(), ShapeError> {
         if xs.len() != self.cols * b || ys.len() != self.rows * b {
             return Err(ShapeError {
-                op: "csr_spmm_i8_into",
+                op: "bbs_spmm_i8_into",
                 lhs: (self.rows, self.cols),
                 rhs: (xs.len(), b),
             });
@@ -503,9 +501,9 @@ impl CsrMatrix {
             return Ok(());
         }
         rtm_trace::count_many(&[
-            (rtm_trace::key::SPMM_CSR, 1),
+            (rtm_trace::key::SPMM_BBS, 1),
             (
-                rtm_trace::key::with_precision(rtm_trace::key::SPMM_CSR, "int8"),
+                rtm_trace::key::with_precision(rtm_trace::key::SPMM_BBS, "int8"),
                 1,
             ),
             (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
@@ -520,20 +518,41 @@ impl CsrMatrix {
         Ok(())
     }
 
-    /// f16 SpMV over the row range `rows` (engine hook shared by the serial
-    /// path and the executor's row chunks; output row `r` lands at
+    /// f32 SpMV over the row range `rows` (engine hook shared by the
+    /// serial path and the executor's row chunks; output row `r` lands at
     /// `y[r - y_base]`, no tracing — the dispatching entry point counts).
     ///
     /// # Panics
     ///
-    /// Panics on out-of-range rows or short buffers; the public entry points
-    /// validate shapes first.
+    /// Panics on out-of-range rows or short buffers; the public entry
+    /// points validate shapes first.
+    pub fn spmv_rows_into(&self, x: &[f32], rows: Range<usize>, y: &mut [f32], y_base: usize) {
+        let v = rtm_tensor::simd::active_variant();
+        let stride = self.row_stride();
+        for r in rows {
+            let (start, end) = (r * stride, (r + 1) * stride);
+            y[r - y_base] = rtm_tensor::simd::indexed_dot_variant(
+                v,
+                &self.values[start..end],
+                &self.col_idx[start..end],
+                x,
+            );
+        }
+    }
+
+    /// f16 SpMV over the row range `rows` (conventions as
+    /// [`spmv_rows_into`](BbsMatrix::spmv_rows_into)).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range rows or short buffers.
     pub fn spmv_rows_f16_into(&self, x: &[f32], rows: Range<usize>, y: &mut [f32], y_base: usize) {
         let v = rtm_tensor::simd::active_variant();
+        let stride = self.row_stride();
         TLS_KERNEL.with(|cell| {
             let (conv, _) = &mut *cell.borrow_mut();
             for r in rows {
-                let (start, end) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+                let (start, end) = (r * stride, (r + 1) * stride);
                 rtm_tensor::f16::f16_bits_to_f32(&self.values_f16[start..end], conv);
                 y[r - y_base] =
                     rtm_tensor::simd::indexed_dot_variant(v, conv, &self.col_idx[start..end], x);
@@ -542,8 +561,8 @@ impl CsrMatrix {
     }
 
     /// Int8 SpMV over the row range `rows` on pre-quantized activations
-    /// (conventions as [`spmv_rows_f16_into`](CsrMatrix::spmv_rows_f16_into);
-    /// the caller quantizes once so parallel chunks share the same codes).
+    /// (the caller quantizes once so parallel chunks share the same
+    /// codes).
     ///
     /// # Panics
     ///
@@ -557,22 +576,52 @@ impl CsrMatrix {
         y_base: usize,
     ) {
         let v = rtm_tensor::simd::active_variant();
+        let stride = self.row_stride();
         for r in rows {
-            let (start, end) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+            let (start, end) = (r * stride, (r + 1) * stride);
             let acc = rtm_tensor::simd_i8::indexed_dot_i8_variant(
                 v,
                 &self.values_i8[start..end],
                 &self.col_idx[start..end],
                 xq,
             );
-            // `sx · (acc · scale)` — the same association order the fused
-            // batched register tile uses, so lane results stay bit-identical.
-            y[r - y_base] = sx * (acc as f32 * self.scales_i8[r / Self::ROW_BLOCK]);
+            // `sx · (acc · scale)` — the association order of the fused
+            // batched register tile, so lane results stay bit-identical.
+            y[r - y_base] = sx * (acc as f32 * self.scales_i8[r]);
         }
     }
 
-    /// f16 batched SpMM over the row range `rows` (engine hook; output row
+    /// f32 batched SpMM over the row range `rows` (engine hook; output row
     /// `r` lands at `ys[(r - y_base) · b ..]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range rows or short buffers; `b` must be positive.
+    pub fn spmm_rows_into(
+        &self,
+        xs: &[f32],
+        b: usize,
+        rows: Range<usize>,
+        ys: &mut [f32],
+        y_base: usize,
+    ) {
+        let v = rtm_tensor::simd::active_variant();
+        let stride = self.row_stride();
+        for r in rows {
+            let (start, end) = (r * stride, (r + 1) * stride);
+            let o = r - y_base;
+            rtm_tensor::simd::indexed_dot_batch_variant(
+                v,
+                &self.values[start..end],
+                &self.col_idx[start..end],
+                xs,
+                b,
+                &mut ys[o * b..(o + 1) * b],
+            );
+        }
+    }
+
+    /// f16 batched SpMM over the row range `rows` (engine hook).
     ///
     /// # Panics
     ///
@@ -586,10 +635,11 @@ impl CsrMatrix {
         y_base: usize,
     ) {
         let v = rtm_tensor::simd::active_variant();
+        let stride = self.row_stride();
         TLS_KERNEL.with(|cell| {
             let (conv, _) = &mut *cell.borrow_mut();
             for r in rows {
-                let (start, end) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+                let (start, end) = (r * stride, (r + 1) * stride);
                 rtm_tensor::f16::f16_bits_to_f32(&self.values_f16[start..end], conv);
                 let o = r - y_base;
                 rtm_tensor::simd::indexed_dot_batch_variant(
@@ -609,8 +659,8 @@ impl CsrMatrix {
     ///
     /// # Panics
     ///
-    /// Panics on out-of-range rows or short buffers; `sxs.len()` must equal
-    /// `b` and `b` must be positive.
+    /// Panics on out-of-range rows or short buffers; `sxs.len()` must
+    /// equal `b` and `b` must be positive.
     pub fn spmm_rows_i8_into(
         &self,
         xq: &[i8],
@@ -622,21 +672,21 @@ impl CsrMatrix {
     ) {
         assert_eq!(sxs.len(), b, "one activation scale per lane");
         let v = rtm_tensor::simd::active_variant();
+        let stride = self.row_stride();
         TLS_KERNEL.with(|cell| {
             let (_, gi8) = &mut *cell.borrow_mut();
             for r in rows {
-                let (start, end) = (self.row_ptr[r] as usize, self.row_ptr[r + 1] as usize);
+                let (start, end) = (r * stride, (r + 1) * stride);
                 // Gather this row's activation lanes once, lane-major.
                 gi8.clear();
                 for &c in &self.col_idx[start..end] {
                     let c = c as usize;
                     gi8.extend_from_slice(&xq[c * b..(c + 1) * b]);
                 }
-                // One fused register-tile call per row: a CSR row is a
-                // single scale segment, so the tile's `sx·(acc·scale)`
-                // matches the serial hook's association order exactly.
-                let seg = [(end - start) as u32];
-                let scales = [self.scales_i8[r / Self::ROW_BLOCK]];
+                // A BBS row is one uniform slab under a single scale, so
+                // the whole row is one segment of the fused register tile.
+                let seg = [stride as u32];
+                let scales = [self.scales_i8[r]];
                 let o = r - y_base;
                 rtm_tensor::simd_i8::row_block_dots_batch_i8(
                     v,
@@ -652,12 +702,18 @@ impl CsrMatrix {
         });
     }
 
-    /// Expands back to a dense matrix.
+    /// Expands back to a dense matrix. Padded slots (value `0.0`) are
+    /// skipped, so a padding column that collides with a stored entry
+    /// cannot clobber it.
     pub fn to_dense(&self) -> Matrix {
         let mut m = Matrix::zeros(self.rows, self.cols);
+        let stride = self.row_stride();
         for r in 0..self.rows {
-            for (c, v) in self.row_entries(r) {
-                m[(r, c)] = v;
+            for i in r * stride..(r + 1) * stride {
+                let v = self.values[i];
+                if v != 0.0 {
+                    m[(r, self.col_idx[i] as usize)] = v;
+                }
             }
         }
         m
@@ -671,96 +727,98 @@ mod tests {
 
     fn example() -> Matrix {
         Matrix::from_rows(&[
-            &[1.0, 0.0, 2.0, 0.0],
-            &[0.0, 0.0, 0.0, 0.0],
-            &[0.0, 3.0, 0.0, 4.0],
+            &[1.0, 0.0, 2.0, 0.0, 0.0, 5.0],
+            &[0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            &[0.0, 3.0, 0.0, 4.0, 6.0, 0.0],
         ])
         .unwrap()
     }
 
     #[test]
-    fn from_dense_roundtrip() {
+    fn from_dense_roundtrip_and_balance() {
         let d = example();
-        let csr = CsrMatrix::from_dense(&d);
-        assert_eq!(csr.nnz(), 4);
-        assert_eq!(csr.rows(), 3);
-        assert_eq!(csr.cols(), 4);
-        assert_eq!(csr.to_dense(), d);
+        let m = BbsMatrix::from_dense(&d, 2).unwrap();
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 6);
+        assert_eq!(m.num_banks(), 2);
+        assert_eq!(m.bank_width(), 3);
+        // Row 2 has 2 nonzeros in each bank → bank_nnz = 2, every row
+        // stores exactly 2 banks × 2 slots.
+        assert_eq!(m.bank_nnz(), 2);
+        assert_eq!(m.row_stride(), 4);
+        assert_eq!(m.stored_len(), 12);
+        assert_eq!(m.to_dense(), d);
     }
 
     #[test]
-    fn row_structure() {
-        let csr = CsrMatrix::from_dense(&example());
-        assert_eq!(csr.row_nnz(0), 2);
-        assert_eq!(csr.row_nnz(1), 0);
-        assert_eq!(csr.row_nnz(2), 2);
-        let entries: Vec<_> = csr.row_entries(2).collect();
-        assert_eq!(entries, vec![(1, 3.0), (3, 4.0)]);
+    fn bank_partition_validation() {
+        let d = example();
+        assert!(BbsMatrix::from_dense(&d, 0).is_err());
+        assert!(BbsMatrix::from_dense(&d, 7).is_err());
+        assert!(BbsMatrix::from_dense(&d, 6).is_ok());
+        // A 0-column matrix accepts one (empty) bank.
+        assert!(BbsMatrix::from_dense(&Matrix::zeros(2, 0), 1).is_ok());
     }
 
     #[test]
     fn spmv_matches_dense() {
         let d = example();
-        let csr = CsrMatrix::from_dense(&d);
-        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let m = BbsMatrix::from_dense(&d, 3).unwrap();
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
         let want = gemm::gemv(&d, &x).unwrap();
-        assert_eq!(csr.spmv(&x).unwrap(), want);
-    }
-
-    #[test]
-    fn spmv_shape_error() {
-        let csr = CsrMatrix::from_dense(&example());
-        assert!(csr.spmv(&[1.0]).is_err());
-    }
-
-    #[test]
-    fn empty_matrix() {
-        let csr = CsrMatrix::from_dense(&Matrix::zeros(0, 0));
-        assert_eq!(csr.nnz(), 0);
-        assert_eq!(csr.spmv(&[]).unwrap(), Vec::<f32>::new());
-    }
-
-    #[test]
-    fn all_zero_matrix() {
-        let csr = CsrMatrix::from_dense(&Matrix::zeros(3, 3));
-        assert_eq!(csr.nnz(), 0);
-        assert_eq!(csr.spmv(&[1.0, 1.0, 1.0]).unwrap(), vec![0.0; 3]);
+        let got = m.spmv(&x).unwrap();
+        for (w, g) in want.iter().zip(&got) {
+            assert!((w - g).abs() < 1e-5, "{w} vs {g}");
+        }
+        assert!(m.spmv(&[1.0]).is_err());
     }
 
     #[test]
     fn from_parts_validation() {
-        // Good.
-        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
-        // Wrong row_ptr length.
-        assert!(CsrMatrix::from_parts(2, 2, vec![0, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
+        // Good: 2 rows × 1 bank × 1 slot.
+        assert!(BbsMatrix::from_parts(2, 2, 1, 1, vec![0, 1], vec![1.0, 2.0]).is_ok());
+        // Wrong slot count.
+        assert!(BbsMatrix::from_parts(2, 2, 1, 1, vec![0], vec![1.0]).is_err());
         // Mismatched idx/value lengths.
-        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![0], vec![1.0, 2.0]).is_err());
+        assert!(BbsMatrix::from_parts(2, 2, 1, 1, vec![0, 1], vec![1.0]).is_err());
         // Column out of range.
-        assert!(CsrMatrix::from_parts(2, 2, vec![0, 1, 2], vec![0, 5], vec![1.0, 2.0]).is_err());
-        // Decreasing row_ptr.
-        assert!(CsrMatrix::from_parts(2, 2, vec![0, 2, 2], vec![0, 1], vec![1.0, 2.0]).is_ok());
-        assert!(CsrMatrix::from_parts(2, 2, vec![2, 0, 2], vec![0, 1], vec![1.0, 2.0]).is_err());
+        assert!(BbsMatrix::from_parts(2, 2, 1, 1, vec![0, 5], vec![1.0, 2.0]).is_err());
+        // Zero banks.
+        assert!(BbsMatrix::from_parts(2, 2, 0, 1, vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn int8_sidecar_install() {
+        let m = BbsMatrix::from_dense(&example(), 2).unwrap();
+        let codes = m.values_i8().to_vec();
+        let scales = m.int8_scales().to_vec();
+        let m2 = m.clone().with_int8_sidecar(codes, scales).unwrap();
+        assert_eq!(m2, m);
+        assert!(m
+            .clone()
+            .with_int8_sidecar(vec![0; 1], vec![1.0; 3])
+            .is_err());
+        assert!(m.with_int8_sidecar(vec![0; 12], vec![1.0]).is_err());
     }
 
     #[test]
     fn spmm_lanes_match_spmv_columns() {
-        let csr = CsrMatrix::from_dense(&example());
+        let m = BbsMatrix::from_dense(&example(), 2).unwrap();
         for b in [1usize, 2, 4, 7, 8, 9] {
-            let xs: Vec<f32> = (0..4 * b).map(|i| (i as f32 * 0.31).cos()).collect();
+            let xs: Vec<f32> = (0..6 * b).map(|i| (i as f32 * 0.31).cos()).collect();
             let mut ys = vec![f32::NAN; 3 * b];
-            csr.spmm_into(&xs, b, &mut ys).unwrap();
-            assert_eq!(csr.spmm(&xs, b).unwrap(), ys);
+            m.spmm_into(&xs, b, &mut ys).unwrap();
+            assert_eq!(m.spmm(&xs, b).unwrap(), ys);
             for j in 0..b {
-                let col: Vec<f32> = (0..4).map(|c| xs[c * b + j]).collect();
-                let want = csr.spmv(&col).unwrap();
+                let col: Vec<f32> = (0..6).map(|c| xs[c * b + j]).collect();
+                let want = m.spmv(&col).unwrap();
                 for r in 0..3 {
                     assert_eq!(ys[r * b + j], want[r], "b={b} lane {j} row {r}");
                 }
             }
         }
-        // Shape errors.
-        assert!(csr.spmm_into(&[0.0; 3], 2, &mut [0.0; 6]).is_err());
-        assert!(csr.spmm_into(&[0.0; 8], 2, &mut [0.0; 5]).is_err());
+        assert!(m.spmm_into(&[0.0; 3], 2, &mut [0.0; 6]).is_err());
+        assert!(m.spmm_into(&[0.0; 12], 2, &mut [0.0; 5]).is_err());
     }
 
     #[test]
@@ -773,7 +831,7 @@ mod tests {
                 rtm_tensor::f16::quantize_f16(v)
             }
         });
-        let m = CsrMatrix::from_dense(&d);
+        let m = BbsMatrix::from_dense(&d, 4).unwrap();
         let x: Vec<f32> = (0..14).map(|i| (i as f32 * 0.43).sin()).collect();
         let want = m.spmv(&x).unwrap();
         let mut got = vec![f32::NAN; 20];
@@ -798,11 +856,8 @@ mod tests {
                 v
             }
         });
-        let m = CsrMatrix::from_dense(&d);
-        assert_eq!(
-            m.int8_scales().len(),
-            19usize.div_ceil(CsrMatrix::ROW_BLOCK)
-        );
+        let m = BbsMatrix::from_dense(&d, 3).unwrap();
+        assert_eq!(m.int8_scales().len(), 19);
         let x: Vec<f32> = (0..13).map(|i| (i as f32 * 0.61).sin()).collect();
         let want = gemm::gemv(&d, &x).unwrap();
         let mut got = vec![0.0f32; 19];
@@ -816,7 +871,7 @@ mod tests {
             assert!((w - g).abs() <= bound, "{w} vs {g} (bound {bound})");
         }
         // Batched int8 lanes are exactly the serial int8 columns.
-        for b in [1usize, 3, 6] {
+        for b in [1usize, 3, 6, 8, 11] {
             let xs: Vec<f32> = (0..13 * b).map(|i| (i as f32 * 0.83).cos()).collect();
             let mut ys = vec![f32::NAN; 19 * b];
             m.spmm_prec_into(Precision::Int8, &xs, b, &mut ys).unwrap();
@@ -831,13 +886,14 @@ mod tests {
         }
     }
 
-    /// Randomized (seed-driven) dense↔CSR round-trip.
+    /// Randomized dense↔BBS round-trip across bank counts.
     #[test]
     fn prop_roundtrip() {
         for seed in 0u64..300 {
             let mut rng = rtm_tensor::init::rng_from_seed(seed);
             let rows = rng.gen_range(1usize..12);
             let cols = rng.gen_range(1usize..12);
+            let banks = rng.gen_range(1usize..5).min(cols);
             let dense = rtm_tensor::init::uniform(rows, cols, -1.0, 1.0, &mut rng).map(|v| {
                 if v.abs() < 0.5 {
                     0.0
@@ -845,9 +901,9 @@ mod tests {
                     v
                 }
             });
-            let csr = CsrMatrix::from_dense(&dense);
-            assert_eq!(csr.to_dense(), dense, "seed {seed}");
-            assert_eq!(csr.nnz(), dense.count_nonzero(), "seed {seed}");
+            let m = BbsMatrix::from_dense(&dense, banks).unwrap();
+            assert_eq!(m.to_dense(), dense, "seed {seed}");
+            assert_eq!(m.stored_len(), rows * banks * m.bank_nnz(), "seed {seed}");
         }
     }
 
@@ -858,6 +914,7 @@ mod tests {
             let mut rng = rtm_tensor::init::rng_from_seed(seed);
             let rows = rng.gen_range(1usize..10);
             let cols = rng.gen_range(1usize..10);
+            let banks = rng.gen_range(1usize..4).min(cols);
             let dense = rtm_tensor::init::uniform(rows, cols, -1.0, 1.0, &mut rng).map(|v| {
                 if v.abs() < 0.3 {
                     0.0
@@ -867,7 +924,10 @@ mod tests {
             });
             let x: Vec<f32> = (0..cols).map(|i| (i as f32).sin()).collect();
             let want = gemm::gemv(&dense, &x).unwrap();
-            let got = CsrMatrix::from_dense(&dense).spmv(&x).unwrap();
+            let got = BbsMatrix::from_dense(&dense, banks)
+                .unwrap()
+                .spmv(&x)
+                .unwrap();
             for (w, g) in want.iter().zip(&got) {
                 assert!((w - g).abs() < 1e-4, "seed {seed}");
             }

@@ -43,11 +43,7 @@ struct KernelScratch {
     gf32: Vec<f32>,
     /// One row's f16 values converted to f32.
     conv: Vec<f32>,
-    /// Per-lane i32 accumulators for one block segment.
-    acc: Vec<i32>,
-    /// Per-lane dequantized partial sums for one row.
-    partial: Vec<f32>,
-    /// Per-block segment lengths of the current stripe (int8 row kernel).
+    /// Per-block segment lengths of the current stripe (int8 row kernels).
     seg: Vec<u32>,
 }
 
@@ -57,8 +53,6 @@ impl KernelScratch {
             gi8: Vec::new(),
             gf32: Vec::new(),
             conv: Vec::new(),
-            acc: Vec::new(),
-            partial: Vec::new(),
             seg: Vec::new(),
         }
     }
@@ -1039,10 +1033,9 @@ impl BspcMatrix {
     ) {
         assert_eq!(sxs.len(), b, "one activation scale per lane");
         let stripe_h = self.stripe_height();
+        let v = rtm_tensor::simd::active_variant();
         TLS_KERNEL.with(|cell| {
             let scratch = &mut *cell.borrow_mut();
-            scratch.acc.resize(b, 0);
-            scratch.partial.resize(b, 0.0);
             let mut k = kept.start;
             while k < kept.end {
                 let s = (self.kept_rows[k] as usize) / stripe_h;
@@ -1056,31 +1049,59 @@ impl BspcMatrix {
                     let c = c as usize;
                     scratch.gi8.extend_from_slice(&xq[c * b..(c + 1) * b]);
                 }
-                for kk in k..end {
+                scratch.seg.clear();
+                scratch.seg.extend(
+                    (0..self.num_blocks)
+                        .map(|blk| self.block_cols[s * self.num_blocks + blk].len() as u32),
+                );
+                let scales = &self.scales_i8[s * self.num_blocks..(s + 1) * self.num_blocks];
+                let nnz = cols.len();
+                let row_vals = |kk: usize| {
                     let off = self.row_offsets[kk] as usize;
-                    scratch.partial.fill(0.0);
-                    let mut seg = 0usize;
-                    for blk in 0..self.num_blocks {
-                        let len = self.block_cols[s * self.num_blocks + blk].len();
-                        if len > 0 {
-                            scratch.acc.fill(0);
-                            rtm_tensor::simd_i8::dot_batch_i8_accumulate(
-                                &self.values_i8[off + seg..off + seg + len],
-                                &scratch.gi8[seg * b..(seg + len) * b],
-                                b,
-                                &mut scratch.acc,
-                            );
-                            let scale = self.scales_i8[s * self.num_blocks + blk];
-                            for (p, &a) in scratch.partial.iter_mut().zip(&scratch.acc) {
-                                *p += a as f32 * scale;
-                            }
-                        }
-                        seg += len;
+                    &self.values_i8[off..off + nnz]
+                };
+                // Four rows at a time through the lane-major register tile:
+                // the widened activation pairs are shared across the four
+                // value streams and the i32/f32 accumulators stay in
+                // registers for the whole row, with the same block-order
+                // dequantize as the serial path.
+                scratch.conv.resize(4 * b, 0.0);
+                let mut kk = k;
+                while kk + 4 <= end {
+                    rtm_tensor::simd_i8::row_quad_block_dots_batch_i8(
+                        v,
+                        [
+                            row_vals(kk),
+                            row_vals(kk + 1),
+                            row_vals(kk + 2),
+                            row_vals(kk + 3),
+                        ],
+                        &scratch.gi8,
+                        b,
+                        &scratch.seg,
+                        scales,
+                        sxs,
+                        &mut scratch.conv,
+                    );
+                    for i in 0..4 {
+                        let r = self.kept_rows[kk + i] as usize - y_base;
+                        ys[r * b..(r + 1) * b].copy_from_slice(&scratch.conv[i * b..(i + 1) * b]);
                     }
+                    kk += 4;
+                }
+                while kk < end {
                     let r = self.kept_rows[kk] as usize - y_base;
-                    for (j, (&p, &sx)) in scratch.partial.iter().zip(sxs).enumerate() {
-                        ys[r * b + j] = sx * p;
-                    }
+                    rtm_tensor::simd_i8::row_block_dots_batch_i8(
+                        v,
+                        row_vals(kk),
+                        &scratch.gi8,
+                        b,
+                        &scratch.seg,
+                        scales,
+                        sxs,
+                        &mut ys[r * b..(r + 1) * b],
+                    );
+                    kk += 1;
                 }
                 k = end;
             }

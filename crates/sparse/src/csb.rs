@@ -1,0 +1,1172 @@
+//! Compressed Structured Block storage (the CSB-RNN family of formats —
+//! see PAPERS.md — which RTMobile's scheme-vs-scheme comparison targets).
+//!
+//! The matrix is tiled into `block_h × block_w` blocks. A block that
+//! contains any nonzero is *stored*: it records the union of its nonzero
+//! columns once (`cols_idx`, shared by all rows of the block) and a dense
+//! `rows_in_block × kept_cols` value panel. Blocks with no nonzeros cost
+//! nothing. Compared with BSPC — whose column unions span a full stripe of
+//! rows — CSB's unions span only `block_h` rows, so a matrix whose nonzero
+//! columns vary quickly down the rows (e.g. pattern-pruned weights) stores
+//! far fewer explicit zeros; the price is per-block index metadata and a
+//! shorter unit-stride inner loop. The tuner weighs exactly that trade.
+
+use crate::footprint::Precision;
+use rtm_tensor::{Matrix, ShapeError};
+use std::cell::RefCell;
+use std::ops::Range;
+
+// Thread-local scratch: f32 gather, f16→f32 conversion, int8 gather, and
+// a per-row lane accumulator for the batched kernels. Worker threads get
+// independent buffers, so chunks run concurrently without allocation.
+type KernelScratch = (Vec<f32>, Vec<f32>, Vec<i8>, Vec<f32>);
+thread_local! {
+    static TLS_ACT: RefCell<(Vec<i8>, Vec<f32>)> = const { RefCell::new((Vec::new(), Vec::new())) };
+    static TLS_KERNEL: RefCell<KernelScratch> =
+        const { RefCell::new((Vec::new(), Vec::new(), Vec::new(), Vec::new())) };
+}
+
+/// A sparse matrix in compressed-structured-block format.
+///
+/// Invariants (maintained by construction, checked by `from_parts`):
+/// `block_ptr` has `num_block_rows + 1` non-decreasing entries ending at
+/// `block_col.len()`; within a block row the stored `block_col`s ascend
+/// strictly; `col_ptr`/`val_ptr` are non-decreasing prefix arrays over
+/// `cols_idx`/`values`; each stored block's `cols_idx` run ascends
+/// strictly inside the block's column span and its value panel holds
+/// exactly `rows_in_block × kept_cols` entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsbMatrix {
+    rows: usize,
+    cols: usize,
+    block_h: usize,
+    block_w: usize,
+    /// Stored-block extent per block row (`num_block_rows + 1` entries).
+    block_ptr: Vec<u32>,
+    /// Block-column coordinate of every stored block.
+    block_col: Vec<u32>,
+    /// Prefix offsets into `cols_idx` (`stored_blocks + 1` entries).
+    col_ptr: Vec<u32>,
+    /// Absolute kept columns of every stored block, ascending per block.
+    cols_idx: Vec<u32>,
+    /// Prefix offsets into `values` (`stored_blocks + 1` entries).
+    val_ptr: Vec<u32>,
+    /// Per-block dense panels, row-major within each block.
+    values: Vec<f32>,
+    /// `values` as raw f16 bit patterns.
+    values_f16: Vec<u16>,
+    /// Symmetric int8 scale per stored block.
+    scales_i8: Vec<f32>,
+    /// `values` as int8 codes under the per-block scales.
+    values_i8: Vec<i8>,
+}
+
+impl CsbMatrix {
+    /// Builds a CSB matrix from a dense one. A `block_h × block_w` block
+    /// is stored iff it contains a nonzero; its kept columns are the union
+    /// of nonzero columns over the block's rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `block_h` or `block_w` is zero.
+    pub fn from_dense(
+        dense: &Matrix,
+        block_h: usize,
+        block_w: usize,
+    ) -> Result<CsbMatrix, ShapeError> {
+        let (rows, cols) = dense.shape();
+        if block_h == 0 || block_w == 0 {
+            return Err(ShapeError {
+                op: "csb_from_dense",
+                lhs: (rows, cols),
+                rhs: (block_h, block_w),
+            });
+        }
+        let nbr = rows.div_ceil(block_h);
+        let nbc = cols.div_ceil(block_w);
+        let mut block_ptr = Vec::with_capacity(nbr + 1);
+        let mut block_col = Vec::new();
+        let mut col_ptr = vec![0u32];
+        let mut cols_idx = Vec::new();
+        let mut val_ptr = vec![0u32];
+        let mut values = Vec::new();
+        block_ptr.push(0u32);
+        for br in 0..nbr {
+            let r0 = br * block_h;
+            let bh_eff = block_h.min(rows - r0);
+            for bc in 0..nbc {
+                let c0 = bc * block_w;
+                let c1 = ((bc + 1) * block_w).min(cols);
+                // Union of nonzero columns over the block's rows.
+                let mut kept: Vec<u32> = Vec::new();
+                for c in c0..c1 {
+                    if (0..bh_eff).any(|lr| dense[(r0 + lr, c)] != 0.0) {
+                        kept.push(c as u32);
+                    }
+                }
+                if kept.is_empty() {
+                    continue;
+                }
+                for lr in 0..bh_eff {
+                    for &c in &kept {
+                        values.push(dense[(r0 + lr, c as usize)]);
+                    }
+                }
+                cols_idx.extend_from_slice(&kept);
+                block_col.push(bc as u32);
+                col_ptr.push(cols_idx.len() as u32);
+                val_ptr.push(values.len() as u32);
+            }
+            block_ptr.push(block_col.len() as u32);
+        }
+        let mut m = CsbMatrix {
+            rows,
+            cols,
+            block_h,
+            block_w,
+            block_ptr,
+            block_col,
+            col_ptr,
+            cols_idx,
+            val_ptr,
+            values,
+            values_f16: Vec::new(),
+            scales_i8: Vec::new(),
+            values_i8: Vec::new(),
+        };
+        m.build_sidecars();
+        Ok(m)
+    }
+
+    /// Rebuilds the f16 and int8 sidecars from `values`; int8 carries one
+    /// symmetric scale per stored block.
+    fn build_sidecars(&mut self) {
+        self.values_f16 = rtm_tensor::f16::f32_to_f16_bits(&self.values);
+        let nblocks = self.block_col.len();
+        self.scales_i8 = (0..nblocks)
+            .map(|blk| {
+                let (vs, ve) = (self.val_ptr[blk] as usize, self.val_ptr[blk + 1] as usize);
+                let m = self.values[vs..ve]
+                    .iter()
+                    .fold(0.0f32, |a, v| a.max(v.abs()));
+                if m > 0.0 && m.is_finite() {
+                    m / 127.0
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        self.values_i8 = vec![0; self.values.len()];
+        for blk in 0..nblocks {
+            let (vs, ve) = (self.val_ptr[blk] as usize, self.val_ptr[blk + 1] as usize);
+            let scale = self.scales_i8[blk];
+            for i in vs..ve {
+                self.values_i8[i] = (self.values[i] / scale).round().clamp(-127.0, 127.0) as i8;
+            }
+        }
+    }
+
+    /// Builds from raw parts (the deserialization path).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the arrays are structurally inconsistent:
+    /// zero block sizes, wrong pointer-array lengths, decreasing prefix
+    /// arrays, out-of-span or non-ascending block/kept columns, or a value
+    /// panel whose length is not `rows_in_block × kept_cols`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        block_h: usize,
+        block_w: usize,
+        block_ptr: Vec<u32>,
+        block_col: Vec<u32>,
+        col_ptr: Vec<u32>,
+        cols_idx: Vec<u32>,
+        val_ptr: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<CsbMatrix, ShapeError> {
+        let bad = || ShapeError {
+            op: "csb_from_parts",
+            lhs: (rows, cols),
+            rhs: (block_h, block_w),
+        };
+        if block_h == 0 || block_w == 0 {
+            return Err(bad());
+        }
+        let nbr = rows.div_ceil(block_h);
+        let nbc = cols.div_ceil(block_w);
+        let nblocks = block_col.len();
+        if block_ptr.len() != nbr + 1
+            || block_ptr.first().copied().unwrap_or(1) != 0
+            || block_ptr.last().copied().unwrap_or(1) as usize != nblocks
+            || block_ptr.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(bad());
+        }
+        if col_ptr.len() != nblocks + 1
+            || col_ptr[0] != 0
+            || col_ptr[nblocks] as usize != cols_idx.len()
+            || col_ptr.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(bad());
+        }
+        if val_ptr.len() != nblocks + 1
+            || val_ptr[0] != 0
+            || val_ptr[nblocks] as usize != values.len()
+            || val_ptr.windows(2).any(|w| w[0] > w[1])
+        {
+            return Err(bad());
+        }
+        for br in 0..nbr {
+            let bh_eff = block_h.min(rows - br * block_h);
+            let (bs, be) = (block_ptr[br] as usize, block_ptr[br + 1] as usize);
+            for blk in bs..be {
+                let bc = block_col[blk] as usize;
+                if bc >= nbc || (blk > bs && block_col[blk - 1] >= block_col[blk]) {
+                    return Err(bad());
+                }
+                let (cs, ce) = (col_ptr[blk] as usize, col_ptr[blk + 1] as usize);
+                let kc = ce - cs;
+                let span = (bc * block_w, ((bc + 1) * block_w).min(cols));
+                for i in cs..ce {
+                    let c = cols_idx[i] as usize;
+                    if c < span.0 || c >= span.1 || (i > cs && cols_idx[i - 1] >= cols_idx[i]) {
+                        return Err(bad());
+                    }
+                }
+                if (val_ptr[blk + 1] - val_ptr[blk]) as usize != bh_eff * kc {
+                    return Err(bad());
+                }
+            }
+        }
+        let mut m = CsbMatrix {
+            rows,
+            cols,
+            block_h,
+            block_w,
+            block_ptr,
+            block_col,
+            col_ptr,
+            cols_idx,
+            val_ptr,
+            values,
+            values_f16: Vec::new(),
+            scales_i8: Vec::new(),
+            values_i8: Vec::new(),
+        };
+        m.build_sidecars();
+        Ok(m)
+    }
+
+    /// Replaces the int8 sidecar with externally supplied codes and
+    /// per-block scales (decoder path — stored codes round-trip
+    /// bit-exactly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `codes` does not have one entry per
+    /// stored value or `scales` one entry per stored block.
+    pub fn with_int8_sidecar(
+        mut self,
+        codes: Vec<i8>,
+        scales: Vec<f32>,
+    ) -> Result<CsbMatrix, ShapeError> {
+        if codes.len() != self.values.len() || scales.len() != self.block_col.len() {
+            return Err(ShapeError {
+                op: "csb_int8_sidecar",
+                lhs: (self.rows, self.cols),
+                rhs: (codes.len(), scales.len()),
+            });
+        }
+        self.values_i8 = codes;
+        self.scales_i8 = scales;
+        Ok(self)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Block height (rows per block; the last block row may be shorter).
+    pub fn block_h(&self) -> usize {
+        self.block_h
+    }
+
+    /// Block width (columns per block; the last block column may be
+    /// narrower).
+    pub fn block_w(&self) -> usize {
+        self.block_w
+    }
+
+    /// Number of block rows.
+    pub fn num_block_rows(&self) -> usize {
+        self.rows.div_ceil(self.block_h)
+    }
+
+    /// Number of block columns.
+    pub fn num_block_cols(&self) -> usize {
+        self.cols.div_ceil(self.block_w)
+    }
+
+    /// Number of stored (non-empty) blocks.
+    pub fn stored_blocks(&self) -> usize {
+        self.block_col.len()
+    }
+
+    /// Total stored values (explicit zeros inside kept columns included).
+    pub fn stored_len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Stored-block extent per block row (`num_block_rows + 1` entries).
+    pub fn block_ptr(&self) -> &[u32] {
+        &self.block_ptr
+    }
+
+    /// Block-column coordinate of every stored block.
+    pub fn block_col(&self) -> &[u32] {
+        &self.block_col
+    }
+
+    /// Prefix offsets into [`CsbMatrix::cols_idx`].
+    pub fn col_ptr(&self) -> &[u32] {
+        &self.col_ptr
+    }
+
+    /// Absolute kept columns of every stored block.
+    pub fn cols_idx(&self) -> &[u32] {
+        &self.cols_idx
+    }
+
+    /// Prefix offsets into [`CsbMatrix::values`].
+    pub fn val_ptr(&self) -> &[u32] {
+        &self.val_ptr
+    }
+
+    /// Stored values, block panel by block panel.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// The stored values as raw f16 bit patterns.
+    pub fn values_f16(&self) -> &[u16] {
+        &self.values_f16
+    }
+
+    /// The stored values as int8 codes under [`CsbMatrix::int8_scales`].
+    pub fn values_i8(&self) -> &[i8] {
+        &self.values_i8
+    }
+
+    /// Symmetric int8 scale per stored block.
+    pub fn int8_scales(&self) -> &[f32] {
+        &self.scales_i8
+    }
+
+    /// Stored values in block row `br` — the executor's cost measure for
+    /// partitioning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `br >= self.num_block_rows()`.
+    pub fn block_row_cost(&self, br: usize) -> usize {
+        let (bs, be) = (self.block_ptr[br] as usize, self.block_ptr[br + 1] as usize);
+        (self.val_ptr[be] - self.val_ptr[bs]) as usize
+    }
+
+    /// Sparse matrix-vector product `y = A x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x.len() != self.cols()`.
+    pub fn spmv(&self, x: &[f32]) -> Result<Vec<f32>, ShapeError> {
+        let mut y = vec![0.0f32; self.rows];
+        self.spmv_into(x, &mut y)?;
+        Ok(y)
+    }
+
+    /// Allocation-free SpMV into a caller-provided buffer. The output is
+    /// overwritten (rows accumulate block by block over a zeroed buffer).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x.len() != self.cols()` or
+    /// `y.len() != self.rows()`.
+    pub fn spmv_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(ShapeError {
+                op: "csb_spmv_into",
+                lhs: (self.rows, self.cols),
+                rhs: (x.len(), y.len()),
+            });
+        }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMV_CSB, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMV_CSB, "f32"),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
+            (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
+        ]);
+        y.fill(0.0);
+        self.spmv_block_rows_into(x, 0..self.num_block_rows(), y, 0);
+        Ok(())
+    }
+
+    /// Sparse matrix × dense multi-vector `Y = A X` for `b` interleaved
+    /// input lanes (layout as `CsrMatrix::spmm_into`). Lane `j` is
+    /// bit-identical to [`spmv_into`] of lane `j`'s column.
+    ///
+    /// [`spmv_into`]: CsbMatrix::spmv_into
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `xs.len() != self.cols() * b` or
+    /// `ys.len() != self.rows() * b`.
+    pub fn spmm_into(&self, xs: &[f32], b: usize, ys: &mut [f32]) -> Result<(), ShapeError> {
+        if xs.len() != self.cols * b || ys.len() != self.rows * b {
+            return Err(ShapeError {
+                op: "csb_spmm_into",
+                lhs: (self.rows, self.cols),
+                rhs: (xs.len(), b),
+            });
+        }
+        if b == 0 {
+            return Ok(());
+        }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMM_CSB, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMM_CSB, "f32"),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
+            (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
+        ]);
+        ys.fill(0.0);
+        self.spmm_block_rows_into(xs, b, 0..self.num_block_rows(), ys, 0);
+        Ok(())
+    }
+
+    /// Allocating form of [`spmm_into`](CsbMatrix::spmm_into).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `xs.len() != self.cols() * b`.
+    pub fn spmm(&self, xs: &[f32], b: usize) -> Result<Vec<f32>, ShapeError> {
+        let mut ys = vec![0.0f32; self.rows * b];
+        self.spmm_into(xs, b, &mut ys)?;
+        Ok(ys)
+    }
+
+    /// Precision-dispatched SpMV (numeric contracts as
+    /// `BspcMatrix::spmv_prec_into`; int8 uses one scale per stored block
+    /// with exact i32 accumulation per block, so results are bit-identical
+    /// across SIMD variants and thread counts).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `x.len() != self.cols()` or
+    /// `y.len() != self.rows()`.
+    pub fn spmv_prec_into(
+        &self,
+        prec: Precision,
+        x: &[f32],
+        y: &mut [f32],
+    ) -> Result<(), ShapeError> {
+        match prec {
+            Precision::F32 => self.spmv_into(x, y),
+            Precision::F16 => self.spmv_f16_into(x, y),
+            Precision::Int8 => self.spmv_i8_into(x, y),
+        }
+    }
+
+    /// Precision-dispatched batched SpMM (int8 quantizes each lane with
+    /// its own scale; lane `j` matches the serial int8 SpMV of lane `j`'s
+    /// column exactly).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] when `xs.len() != self.cols() * b` or
+    /// `ys.len() != self.rows() * b`.
+    pub fn spmm_prec_into(
+        &self,
+        prec: Precision,
+        xs: &[f32],
+        b: usize,
+        ys: &mut [f32],
+    ) -> Result<(), ShapeError> {
+        match prec {
+            Precision::F32 => self.spmm_into(xs, b, ys),
+            Precision::F16 => self.spmm_f16_into(xs, b, ys),
+            Precision::Int8 => self.spmm_i8_into(xs, b, ys),
+        }
+    }
+
+    fn spmv_f16_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(ShapeError {
+                op: "csb_spmv_f16_into",
+                lhs: (self.rows, self.cols),
+                rhs: (x.len(), y.len()),
+            });
+        }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMV_CSB, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMV_CSB, "f16"),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
+            (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
+        ]);
+        y.fill(0.0);
+        self.spmv_block_rows_f16_into(x, 0..self.num_block_rows(), y, 0);
+        Ok(())
+    }
+
+    fn spmv_i8_into(&self, x: &[f32], y: &mut [f32]) -> Result<(), ShapeError> {
+        if x.len() != self.cols || y.len() != self.rows {
+            return Err(ShapeError {
+                op: "csb_spmv_i8_into",
+                lhs: (self.rows, self.cols),
+                rhs: (x.len(), y.len()),
+            });
+        }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMV_CSB, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMV_CSB, "int8"),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
+            (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
+        ]);
+        y.fill(0.0);
+        TLS_ACT.with(|cell| {
+            let act = &mut *cell.borrow_mut();
+            let sx = rtm_tensor::simd_i8::quantize_activations(x, &mut act.0);
+            self.spmv_block_rows_i8_into(&act.0, sx, 0..self.num_block_rows(), y, 0);
+        });
+        Ok(())
+    }
+
+    fn spmm_f16_into(&self, xs: &[f32], b: usize, ys: &mut [f32]) -> Result<(), ShapeError> {
+        if xs.len() != self.cols * b || ys.len() != self.rows * b {
+            return Err(ShapeError {
+                op: "csb_spmm_f16_into",
+                lhs: (self.rows, self.cols),
+                rhs: (xs.len(), b),
+            });
+        }
+        if b == 0 {
+            return Ok(());
+        }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMM_CSB, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMM_CSB, "f16"),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
+            (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
+        ]);
+        ys.fill(0.0);
+        self.spmm_block_rows_f16_into(xs, b, 0..self.num_block_rows(), ys, 0);
+        Ok(())
+    }
+
+    fn spmm_i8_into(&self, xs: &[f32], b: usize, ys: &mut [f32]) -> Result<(), ShapeError> {
+        if xs.len() != self.cols * b || ys.len() != self.rows * b {
+            return Err(ShapeError {
+                op: "csb_spmm_i8_into",
+                lhs: (self.rows, self.cols),
+                rhs: (xs.len(), b),
+            });
+        }
+        if b == 0 {
+            return Ok(());
+        }
+        rtm_trace::count_many(&[
+            (rtm_trace::key::SPMM_CSB, 1),
+            (
+                rtm_trace::key::with_precision(rtm_trace::key::SPMM_CSB, "int8"),
+                1,
+            ),
+            (rtm_trace::key::KERNEL_ROWS, self.rows as u64),
+            (rtm_trace::key::KERNEL_NNZ, self.values.len() as u64),
+        ]);
+        ys.fill(0.0);
+        TLS_ACT.with(|cell| {
+            let act = &mut *cell.borrow_mut();
+            let (xq, sxs) = (&mut act.0, &mut act.1);
+            rtm_tensor::simd_i8::quantize_activations_lanes(xs, b, xq, sxs);
+            self.spmm_block_rows_i8_into(xq, sxs, b, 0..self.num_block_rows(), ys, 0);
+        });
+        Ok(())
+    }
+
+    /// f32 SpMV over the block-row range `brs` (engine hook shared by the
+    /// serial path and the executor's chunks). Output row `r` accumulates
+    /// at `y[r - y_base]` — the caller provides a **zeroed** slice; rows
+    /// accumulate block by block in storage order, so serial, pooled and
+    /// batched realizations add in the same sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range block rows or short buffers; the public
+    /// entry points validate shapes first.
+    pub fn spmv_block_rows_into(&self, x: &[f32], brs: Range<usize>, y: &mut [f32], y_base: usize) {
+        let v = rtm_tensor::simd::active_variant();
+        TLS_KERNEL.with(|cell| {
+            let (gf32, _, _, _) = &mut *cell.borrow_mut();
+            for br in brs {
+                let r0 = br * self.block_h;
+                let bh_eff = self.block_h.min(self.rows - r0);
+                let (bs, be) = (self.block_ptr[br] as usize, self.block_ptr[br + 1] as usize);
+                for blk in bs..be {
+                    let (cs, ce) = (self.col_ptr[blk] as usize, self.col_ptr[blk + 1] as usize);
+                    let kc = ce - cs;
+                    gf32.clear();
+                    gf32.extend(self.cols_idx[cs..ce].iter().map(|&c| x[c as usize]));
+                    let vb = self.val_ptr[blk] as usize;
+                    for lr in 0..bh_eff {
+                        let vals = &self.values[vb + lr * kc..vb + (lr + 1) * kc];
+                        y[r0 + lr - y_base] += rtm_tensor::simd::dot_variant(v, vals, gf32);
+                    }
+                }
+            }
+        });
+    }
+
+    /// f16 SpMV over the block-row range `brs` (conventions as
+    /// [`spmv_block_rows_into`](CsbMatrix::spmv_block_rows_into)).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range block rows or short buffers.
+    pub fn spmv_block_rows_f16_into(
+        &self,
+        x: &[f32],
+        brs: Range<usize>,
+        y: &mut [f32],
+        y_base: usize,
+    ) {
+        let v = rtm_tensor::simd::active_variant();
+        TLS_KERNEL.with(|cell| {
+            let (gf32, conv, _, _) = &mut *cell.borrow_mut();
+            for br in brs {
+                let r0 = br * self.block_h;
+                let bh_eff = self.block_h.min(self.rows - r0);
+                let (bs, be) = (self.block_ptr[br] as usize, self.block_ptr[br + 1] as usize);
+                for blk in bs..be {
+                    let (cs, ce) = (self.col_ptr[blk] as usize, self.col_ptr[blk + 1] as usize);
+                    let kc = ce - cs;
+                    gf32.clear();
+                    gf32.extend(self.cols_idx[cs..ce].iter().map(|&c| x[c as usize]));
+                    let (vb, ve) = (self.val_ptr[blk] as usize, self.val_ptr[blk + 1] as usize);
+                    rtm_tensor::f16::f16_bits_to_f32(&self.values_f16[vb..ve], conv);
+                    for lr in 0..bh_eff {
+                        let vals = &conv[lr * kc..(lr + 1) * kc];
+                        y[r0 + lr - y_base] += rtm_tensor::simd::dot_variant(v, vals, gf32);
+                    }
+                }
+            }
+        });
+    }
+
+    /// Int8 SpMV over the block-row range `brs` on pre-quantized
+    /// activations (the caller quantizes once so parallel chunks share the
+    /// same codes).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range block rows or short buffers.
+    pub fn spmv_block_rows_i8_into(
+        &self,
+        xq: &[i8],
+        sx: f32,
+        brs: Range<usize>,
+        y: &mut [f32],
+        y_base: usize,
+    ) {
+        let v = rtm_tensor::simd::active_variant();
+        TLS_KERNEL.with(|cell| {
+            let (_, _, gi8, _) = &mut *cell.borrow_mut();
+            for br in brs {
+                let r0 = br * self.block_h;
+                let bh_eff = self.block_h.min(self.rows - r0);
+                let (bs, be) = (self.block_ptr[br] as usize, self.block_ptr[br + 1] as usize);
+                for blk in bs..be {
+                    let (cs, ce) = (self.col_ptr[blk] as usize, self.col_ptr[blk + 1] as usize);
+                    let kc = ce - cs;
+                    gi8.clear();
+                    gi8.extend(self.cols_idx[cs..ce].iter().map(|&c| xq[c as usize]));
+                    let vb = self.val_ptr[blk] as usize;
+                    let scale = self.scales_i8[blk];
+                    for lr in 0..bh_eff {
+                        let vals = &self.values_i8[vb + lr * kc..vb + (lr + 1) * kc];
+                        let acc = rtm_tensor::simd_i8::dot_i8_variant(v, vals, gi8);
+                        // `sx · (acc · scale)` — the association order of
+                        // the fused batched register tile.
+                        y[r0 + lr - y_base] += sx * (acc as f32 * scale);
+                    }
+                }
+            }
+        });
+    }
+
+    /// f32 batched SpMM over the block-row range `brs` (engine hook;
+    /// output row `r` accumulates at `ys[(r - y_base) · b ..]` over a
+    /// zeroed slice).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range block rows or short buffers; `b` must be
+    /// positive.
+    pub fn spmm_block_rows_into(
+        &self,
+        xs: &[f32],
+        b: usize,
+        brs: Range<usize>,
+        ys: &mut [f32],
+        y_base: usize,
+    ) {
+        let v = rtm_tensor::simd::active_variant();
+        TLS_KERNEL.with(|cell| {
+            let (gf32, _, _, tmp) = &mut *cell.borrow_mut();
+            tmp.resize(b, 0.0);
+            for br in brs {
+                let r0 = br * self.block_h;
+                let bh_eff = self.block_h.min(self.rows - r0);
+                let (bs, be) = (self.block_ptr[br] as usize, self.block_ptr[br + 1] as usize);
+                for blk in bs..be {
+                    let (cs, ce) = (self.col_ptr[blk] as usize, self.col_ptr[blk + 1] as usize);
+                    let kc = ce - cs;
+                    // Gather the block's activation lanes once, lane-major.
+                    gf32.clear();
+                    for &c in &self.cols_idx[cs..ce] {
+                        let base = c as usize * b;
+                        gf32.extend_from_slice(&xs[base..base + b]);
+                    }
+                    let vb = self.val_ptr[blk] as usize;
+                    for lr in 0..bh_eff {
+                        let vals = &self.values[vb + lr * kc..vb + (lr + 1) * kc];
+                        rtm_tensor::simd::dot_batch_variant(v, vals, gf32, b, tmp);
+                        let o = (r0 + lr - y_base) * b;
+                        for (yj, tj) in ys[o..o + b].iter_mut().zip(tmp.iter()) {
+                            *yj += tj;
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// f16 batched SpMM over the block-row range `brs` (engine hook).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range block rows or short buffers; `b` must be
+    /// positive.
+    pub fn spmm_block_rows_f16_into(
+        &self,
+        xs: &[f32],
+        b: usize,
+        brs: Range<usize>,
+        ys: &mut [f32],
+        y_base: usize,
+    ) {
+        let v = rtm_tensor::simd::active_variant();
+        TLS_KERNEL.with(|cell| {
+            let (gf32, conv, _, tmp) = &mut *cell.borrow_mut();
+            tmp.resize(b, 0.0);
+            for br in brs {
+                let r0 = br * self.block_h;
+                let bh_eff = self.block_h.min(self.rows - r0);
+                let (bs, be) = (self.block_ptr[br] as usize, self.block_ptr[br + 1] as usize);
+                for blk in bs..be {
+                    let (cs, ce) = (self.col_ptr[blk] as usize, self.col_ptr[blk + 1] as usize);
+                    let kc = ce - cs;
+                    gf32.clear();
+                    for &c in &self.cols_idx[cs..ce] {
+                        let base = c as usize * b;
+                        gf32.extend_from_slice(&xs[base..base + b]);
+                    }
+                    let (vb, ve) = (self.val_ptr[blk] as usize, self.val_ptr[blk + 1] as usize);
+                    rtm_tensor::f16::f16_bits_to_f32(&self.values_f16[vb..ve], conv);
+                    for lr in 0..bh_eff {
+                        let vals = &conv[lr * kc..(lr + 1) * kc];
+                        rtm_tensor::simd::dot_batch_variant(v, vals, gf32, b, tmp);
+                        let o = (r0 + lr - y_base) * b;
+                        for (yj, tj) in ys[o..o + b].iter_mut().zip(tmp.iter()) {
+                            *yj += tj;
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// Int8 batched SpMM over the block-row range `brs` on pre-quantized
+    /// lane-major activations with per-lane scales.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range block rows or short buffers; `sxs.len()`
+    /// must equal `b` and `b` must be positive.
+    pub fn spmm_block_rows_i8_into(
+        &self,
+        xq: &[i8],
+        sxs: &[f32],
+        b: usize,
+        brs: Range<usize>,
+        ys: &mut [f32],
+        y_base: usize,
+    ) {
+        assert_eq!(sxs.len(), b, "one activation scale per lane");
+        let v = rtm_tensor::simd::active_variant();
+        TLS_KERNEL.with(|cell| {
+            let (_, _, gi8, tmp) = &mut *cell.borrow_mut();
+            tmp.resize(b, 0.0);
+            for br in brs {
+                let r0 = br * self.block_h;
+                let bh_eff = self.block_h.min(self.rows - r0);
+                let (bs, be) = (self.block_ptr[br] as usize, self.block_ptr[br + 1] as usize);
+                for blk in bs..be {
+                    let (cs, ce) = (self.col_ptr[blk] as usize, self.col_ptr[blk + 1] as usize);
+                    let kc = ce - cs;
+                    gi8.clear();
+                    for &c in &self.cols_idx[cs..ce] {
+                        let base = c as usize * b;
+                        gi8.extend_from_slice(&xq[base..base + b]);
+                    }
+                    let vb = self.val_ptr[blk] as usize;
+                    let seg = [kc as u32];
+                    let scales = [self.scales_i8[blk]];
+                    for lr in 0..bh_eff {
+                        let vals = &self.values_i8[vb + lr * kc..vb + (lr + 1) * kc];
+                        // The fused tile yields `sxs[j] · (acc_j · scale)`
+                        // per lane — the serial hook's exact expression —
+                        // which then accumulates in the same block order.
+                        rtm_tensor::simd_i8::row_block_dots_batch_i8(
+                            v, vals, gi8, b, &seg, &scales, sxs, tmp,
+                        );
+                        let o = (r0 + lr - y_base) * b;
+                        for (yj, tj) in ys[o..o + b].iter_mut().zip(tmp.iter()) {
+                            *yj += tj;
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    /// Expands back to a dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::zeros(self.rows, self.cols);
+        for br in 0..self.num_block_rows() {
+            let r0 = br * self.block_h;
+            let bh_eff = self.block_h.min(self.rows - r0);
+            let (bs, be) = (self.block_ptr[br] as usize, self.block_ptr[br + 1] as usize);
+            for blk in bs..be {
+                let (cs, ce) = (self.col_ptr[blk] as usize, self.col_ptr[blk + 1] as usize);
+                let kc = ce - cs;
+                let vb = self.val_ptr[blk] as usize;
+                for lr in 0..bh_eff {
+                    for (i, &c) in self.cols_idx[cs..ce].iter().enumerate() {
+                        m[(r0 + lr, c as usize)] = self.values[vb + lr * kc + i];
+                    }
+                }
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtm_tensor::gemm;
+
+    fn example() -> Matrix {
+        Matrix::from_rows(&[
+            &[1.0, 0.0, 2.0, 0.0, 0.0, 5.0],
+            &[0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            &[0.0, 3.0, 0.0, 4.0, 6.0, 0.0],
+            &[0.5, 0.0, 0.0, 0.0, 0.0, -1.0],
+            &[0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn from_dense_roundtrip_and_structure() {
+        let d = example();
+        let m = CsbMatrix::from_dense(&d, 2, 3).unwrap();
+        assert_eq!(m.rows(), 5);
+        assert_eq!(m.cols(), 6);
+        assert_eq!(m.num_block_rows(), 3);
+        assert_eq!(m.num_block_cols(), 2);
+        assert_eq!(m.to_dense(), d);
+        // Empty blocks cost nothing: block row 2 (rows 4..5) is all zero.
+        assert_eq!(m.block_row_cost(2), 0);
+        assert!(m.block_row_cost(0) > 0);
+    }
+
+    #[test]
+    fn block_size_validation() {
+        let d = example();
+        assert!(CsbMatrix::from_dense(&d, 0, 2).is_err());
+        assert!(CsbMatrix::from_dense(&d, 2, 0).is_err());
+        // Oversized blocks are fine — one block covers everything.
+        assert!(CsbMatrix::from_dense(&d, 100, 100).is_ok());
+        assert_eq!(CsbMatrix::from_dense(&d, 100, 100).unwrap().to_dense(), d);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let d = example();
+        let m = CsbMatrix::from_dense(&d, 2, 2).unwrap();
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let want = gemm::gemv(&d, &x).unwrap();
+        let got = m.spmv(&x).unwrap();
+        for (w, g) in want.iter().zip(&got) {
+            assert!((w - g).abs() < 1e-5, "{w} vs {g}");
+        }
+        assert!(m.spmv(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn from_parts_validation() {
+        let m = CsbMatrix::from_dense(&example(), 2, 3).unwrap();
+        // Reassembling from its own parts round-trips.
+        let re = CsbMatrix::from_parts(
+            m.rows(),
+            m.cols(),
+            m.block_h(),
+            m.block_w(),
+            m.block_ptr().to_vec(),
+            m.block_col().to_vec(),
+            m.col_ptr().to_vec(),
+            m.cols_idx().to_vec(),
+            m.val_ptr().to_vec(),
+            m.values().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(re, m);
+        // Zero block sizes.
+        assert!(CsbMatrix::from_parts(
+            2,
+            2,
+            0,
+            1,
+            vec![0, 0],
+            vec![],
+            vec![0],
+            vec![],
+            vec![0],
+            vec![]
+        )
+        .is_err());
+        // Wrong block_ptr length.
+        assert!(CsbMatrix::from_parts(
+            m.rows(),
+            m.cols(),
+            m.block_h(),
+            m.block_w(),
+            vec![0],
+            m.block_col().to_vec(),
+            m.col_ptr().to_vec(),
+            m.cols_idx().to_vec(),
+            m.val_ptr().to_vec(),
+            m.values().to_vec(),
+        )
+        .is_err());
+        // Out-of-span kept column.
+        let mut bad_cols = m.cols_idx().to_vec();
+        bad_cols[0] = 5;
+        assert!(CsbMatrix::from_parts(
+            m.rows(),
+            m.cols(),
+            m.block_h(),
+            m.block_w(),
+            m.block_ptr().to_vec(),
+            m.block_col().to_vec(),
+            m.col_ptr().to_vec(),
+            bad_cols,
+            m.val_ptr().to_vec(),
+            m.values().to_vec(),
+        )
+        .is_err());
+        // Panel length mismatch.
+        let mut bad_vals = m.values().to_vec();
+        bad_vals.pop();
+        assert!(CsbMatrix::from_parts(
+            m.rows(),
+            m.cols(),
+            m.block_h(),
+            m.block_w(),
+            m.block_ptr().to_vec(),
+            m.block_col().to_vec(),
+            m.col_ptr().to_vec(),
+            m.cols_idx().to_vec(),
+            m.val_ptr().to_vec(),
+            bad_vals,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn int8_sidecar_install() {
+        let m = CsbMatrix::from_dense(&example(), 2, 2).unwrap();
+        let codes = m.values_i8().to_vec();
+        let scales = m.int8_scales().to_vec();
+        let m2 = m.clone().with_int8_sidecar(codes, scales).unwrap();
+        assert_eq!(m2, m);
+        assert!(m.clone().with_int8_sidecar(vec![0; 1], vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn spmm_lanes_match_spmv_columns() {
+        let m = CsbMatrix::from_dense(&example(), 2, 3).unwrap();
+        for b in [1usize, 2, 4, 7, 8, 9] {
+            let xs: Vec<f32> = (0..6 * b).map(|i| (i as f32 * 0.31).cos()).collect();
+            let mut ys = vec![f32::NAN; 5 * b];
+            m.spmm_into(&xs, b, &mut ys).unwrap();
+            assert_eq!(m.spmm(&xs, b).unwrap(), ys);
+            for j in 0..b {
+                let col: Vec<f32> = (0..6).map(|c| xs[c * b + j]).collect();
+                let want = m.spmv(&col).unwrap();
+                for r in 0..5 {
+                    assert_eq!(ys[r * b + j], want[r], "b={b} lane {j} row {r}");
+                }
+            }
+        }
+        assert!(m.spmm_into(&[0.0; 3], 2, &mut [0.0; 10]).is_err());
+        assert!(m.spmm_into(&[0.0; 12], 2, &mut [0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn f16_kernels_match_f32_on_rounded_values() {
+        let mut rng = rtm_tensor::init::rng_from_seed(51);
+        let d = rtm_tensor::init::uniform(20, 14, -1.0, 1.0, &mut rng).map(|v| {
+            if v.abs() < 0.4 {
+                0.0
+            } else {
+                rtm_tensor::f16::quantize_f16(v)
+            }
+        });
+        let m = CsbMatrix::from_dense(&d, 4, 4).unwrap();
+        let x: Vec<f32> = (0..14).map(|i| (i as f32 * 0.43).sin()).collect();
+        let want = m.spmv(&x).unwrap();
+        let mut got = vec![f32::NAN; 20];
+        m.spmv_prec_into(Precision::F16, &x, &mut got).unwrap();
+        assert_eq!(got, want);
+        let b = 4usize;
+        let xs: Vec<f32> = (0..14 * b).map(|i| (i as f32 * 0.19).cos()).collect();
+        let mut ys = vec![f32::NAN; 20 * b];
+        m.spmm_prec_into(Precision::F16, &xs, b, &mut ys).unwrap();
+        let mut want_m = vec![0.0f32; 20 * b];
+        m.spmm_into(&xs, b, &mut want_m).unwrap();
+        assert_eq!(ys, want_m);
+    }
+
+    #[test]
+    fn i8_kernels_bounded_and_lane_consistent() {
+        let mut rng = rtm_tensor::init::rng_from_seed(62);
+        let d = rtm_tensor::init::uniform(19, 13, -1.5, 1.5, &mut rng).map(|v| {
+            if v.abs() < 0.4 {
+                0.0
+            } else {
+                v
+            }
+        });
+        let m = CsbMatrix::from_dense(&d, 4, 4).unwrap();
+        assert_eq!(m.int8_scales().len(), m.stored_blocks());
+        let x: Vec<f32> = (0..13).map(|i| (i as f32 * 0.61).sin()).collect();
+        let want = gemm::gemv(&d, &x).unwrap();
+        let mut got = vec![0.0f32; 19];
+        m.spmv_prec_into(Precision::Int8, &x, &mut got).unwrap();
+        let wmax = d.as_slice().iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let xmax = x.iter().fold(0.0f32, |a, v| a.max(v.abs()));
+        let smax = m.int8_scales().iter().fold(0.0f32, |a, v| a.max(*v));
+        let sx = xmax / 127.0;
+        let bound = 13.0 * (0.5 * smax * xmax + 0.5 * sx * wmax + 0.25 * smax * sx) + 1e-4;
+        for (w, g) in want.iter().zip(&got) {
+            assert!((w - g).abs() <= bound, "{w} vs {g} (bound {bound})");
+        }
+        // Batched int8 lanes are exactly the serial int8 columns.
+        for b in [1usize, 3, 6, 8, 11] {
+            let xs: Vec<f32> = (0..13 * b).map(|i| (i as f32 * 0.83).cos()).collect();
+            let mut ys = vec![f32::NAN; 19 * b];
+            m.spmm_prec_into(Precision::Int8, &xs, b, &mut ys).unwrap();
+            for j in 0..b {
+                let col: Vec<f32> = (0..13).map(|c| xs[c * b + j]).collect();
+                let mut yy = vec![0.0f32; 19];
+                m.spmv_prec_into(Precision::Int8, &col, &mut yy).unwrap();
+                for r in 0..19 {
+                    assert_eq!(ys[r * b + j], yy[r], "b={b} lane {j} row {r}");
+                }
+            }
+        }
+    }
+
+    /// Randomized dense↔CSB round-trip across block shapes.
+    #[test]
+    fn prop_roundtrip() {
+        for seed in 0u64..300 {
+            let mut rng = rtm_tensor::init::rng_from_seed(seed);
+            let rows = rng.gen_range(1usize..12);
+            let cols = rng.gen_range(1usize..12);
+            let bh = rng.gen_range(1usize..6);
+            let bw = rng.gen_range(1usize..6);
+            let dense = rtm_tensor::init::uniform(rows, cols, -1.0, 1.0, &mut rng).map(|v| {
+                if v.abs() < 0.5 {
+                    0.0
+                } else {
+                    v
+                }
+            });
+            let m = CsbMatrix::from_dense(&dense, bh, bw).unwrap();
+            assert_eq!(m.to_dense(), dense, "seed {seed}");
+        }
+    }
+
+    /// Randomized SpMV-vs-GEMV agreement.
+    #[test]
+    fn prop_spmv_equals_gemv() {
+        for seed in 0u64..200 {
+            let mut rng = rtm_tensor::init::rng_from_seed(seed);
+            let rows = rng.gen_range(1usize..10);
+            let cols = rng.gen_range(1usize..10);
+            let bh = rng.gen_range(1usize..5);
+            let bw = rng.gen_range(1usize..5);
+            let dense = rtm_tensor::init::uniform(rows, cols, -1.0, 1.0, &mut rng).map(|v| {
+                if v.abs() < 0.3 {
+                    0.0
+                } else {
+                    v
+                }
+            });
+            let x: Vec<f32> = (0..cols).map(|i| (i as f32).sin()).collect();
+            let want = gemm::gemv(&dense, &x).unwrap();
+            let got = CsbMatrix::from_dense(&dense, bh, bw)
+                .unwrap()
+                .spmv(&x)
+                .unwrap();
+            for (w, g) in want.iter().zip(&got) {
+                assert!((w - g).abs() < 1e-4, "seed {seed}");
+            }
+        }
+    }
+}

@@ -25,15 +25,27 @@
 //! and installs the stored codes as the authoritative int8 sidecar — the
 //! codes, not a float re-derivation, round-trip bit-exactly.
 
+use crate::bbs::BbsMatrix;
 use crate::bspc::{BspcError, BspcMatrix};
+use crate::csb::CsbMatrix;
+use crate::csr::CsrMatrix;
 use crate::footprint::Precision;
 use rtm_tensor::wire::{Buf, BufMut};
-use rtm_tensor::F16;
+use rtm_tensor::{ShapeError, F16};
 use std::error::Error;
 use std::fmt;
 
 /// Magic bytes opening every serialized BSPC matrix.
 pub const MAGIC: &[u8; 4] = b"BSPC";
+
+/// Magic bytes opening every serialized BBS matrix.
+pub const MAGIC_BBS: &[u8; 4] = b"BBSM";
+
+/// Magic bytes opening every serialized CSB matrix.
+pub const MAGIC_CSB: &[u8; 4] = b"CSBM";
+
+/// Magic bytes opening every serialized CSR matrix.
+pub const MAGIC_CSR: &[u8; 4] = b"CSRM";
 
 /// Current format version.
 pub const VERSION: u16 = 1;
@@ -49,8 +61,14 @@ pub enum DecodeError {
     BadVersion(u16),
     /// Unknown precision tag.
     BadPrecision(u8),
+    /// Unknown storage-format tag (used by containers that embed
+    /// format-dispatched matrix blobs, e.g. `.rtm` model files).
+    BadFormat(u8),
     /// The decoded structure failed validation.
     Invalid(BspcError),
+    /// The decoded structure of a shape-validated format (BBS/CSB) failed
+    /// validation.
+    InvalidShape(ShapeError),
     /// A decoded weight value is NaN or infinite (rejected when the caller
     /// asks for load-time finiteness validation).
     NonFinite,
@@ -63,7 +81,9 @@ impl fmt::Display for DecodeError {
             DecodeError::BadMagic => write!(f, "bad magic bytes"),
             DecodeError::BadVersion(v) => write!(f, "unsupported version {v}"),
             DecodeError::BadPrecision(p) => write!(f, "unknown precision tag {p}"),
+            DecodeError::BadFormat(t) => write!(f, "unknown storage-format tag {t}"),
             DecodeError::Invalid(e) => write!(f, "invalid structure: {e}"),
+            DecodeError::InvalidShape(e) => write!(f, "invalid structure: {e}"),
             DecodeError::NonFinite => write!(f, "non-finite weight value"),
         }
     }
@@ -74,6 +94,12 @@ impl Error for DecodeError {}
 impl From<BspcError> for DecodeError {
     fn from(e: BspcError) -> DecodeError {
         DecodeError::Invalid(e)
+    }
+}
+
+impl From<ShapeError> for DecodeError {
+    fn from(e: ShapeError) -> DecodeError {
+        DecodeError::InvalidShape(e)
     }
 }
 
@@ -300,6 +326,471 @@ impl BspcMatrix {
     }
 }
 
+fn put_precision_tag(out: &mut Vec<u8>, precision: Precision) {
+    out.put_u8(match precision {
+        Precision::F32 => 0,
+        Precision::F16 => 1,
+        Precision::Int8 => 2,
+    });
+}
+
+impl BbsMatrix {
+    /// Serializes into `out` at the given value precision.
+    ///
+    /// Layout (little-endian): `"BBSM"`, version `u16`, precision `u8`,
+    /// `rows/cols/num_banks/bank_nnz` as 4 × `u32`, the slot column
+    /// indices, then the value payload — f32 scalars, f16 bit patterns, or
+    /// per-row f32 scales followed by one-byte codes for int8.
+    pub fn write_to(&self, out: &mut Vec<u8>, precision: Precision) {
+        out.put_slice(MAGIC_BBS);
+        out.put_u16_le(VERSION);
+        put_precision_tag(out, precision);
+        out.put_u32_le(self.rows() as u32);
+        out.put_u32_le(self.cols() as u32);
+        out.put_u32_le(self.num_banks() as u32);
+        out.put_u32_le(self.bank_nnz() as u32);
+        for &c in self.col_idx() {
+            out.put_u32_le(c);
+        }
+        match precision {
+            Precision::F32 => {
+                for &v in self.values() {
+                    out.put_f32_le(v);
+                }
+            }
+            Precision::F16 => {
+                for &v in self.values() {
+                    out.put_u16_le(F16::from_f32(v).to_bits());
+                }
+            }
+            Precision::Int8 => {
+                for &s in self.int8_scales() {
+                    out.put_f32_le(s);
+                }
+                for &q in self.values_i8() {
+                    out.put_u8(q as u8);
+                }
+            }
+        }
+    }
+
+    /// Serializes into a fresh buffer.
+    pub fn to_bytes(&self, precision: Precision) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_to(&mut out, precision);
+        out
+    }
+
+    /// Decodes one matrix from the front of `bytes`, returning it together
+    /// with the number of bytes consumed. Int8 payloads install the stored
+    /// codes as the authoritative sidecar (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation, bad magic/version/precision,
+    /// or a structurally invalid payload.
+    pub fn read_from(bytes: &[u8]) -> Result<(BbsMatrix, usize), DecodeError> {
+        let mut buf = bytes;
+        let need = |buf: &[u8], n: usize| -> Result<(), DecodeError> {
+            if buf.remaining() < n {
+                Err(DecodeError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+
+        need(buf, 4)?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC_BBS {
+            return Err(DecodeError::BadMagic);
+        }
+        need(buf, 3)?;
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let precision = match buf.get_u8() {
+            0 => Precision::F32,
+            1 => Precision::F16,
+            2 => Precision::Int8,
+            other => return Err(DecodeError::BadPrecision(other)),
+        };
+
+        need(buf, 16)?;
+        let rows = buf.get_u32_le() as usize;
+        let cols = buf.get_u32_le() as usize;
+        let num_banks = buf.get_u32_le() as usize;
+        let bank_nnz = buf.get_u32_le() as usize;
+        // The slot count is derived, never read from the wire; `need`
+        // guards every batch read against the actual byte budget, so a
+        // corrupted header fails cleanly instead of over-allocating.
+        let slots = rows
+            .checked_mul(num_banks)
+            .and_then(|n| n.checked_mul(bank_nnz))
+            .ok_or(DecodeError::Truncated)?;
+        need(buf, slots.saturating_mul(4))?;
+        let col_idx: Vec<u32> = (0..slots).map(|_| buf.get_u32_le()).collect();
+
+        let mut int8_sidecar: Option<(Vec<i8>, Vec<f32>)> = None;
+        let values: Vec<f32> = match precision {
+            Precision::F32 => {
+                need(buf, slots.saturating_mul(4))?;
+                (0..slots).map(|_| buf.get_f32_le()).collect()
+            }
+            Precision::F16 => {
+                need(buf, slots.saturating_mul(2))?;
+                (0..slots)
+                    .map(|_| F16::from_bits(buf.get_u16_le()).to_f32())
+                    .collect()
+            }
+            Precision::Int8 => {
+                need(buf, rows.saturating_mul(4))?;
+                let scales: Vec<f32> = (0..rows).map(|_| buf.get_f32_le()).collect();
+                need(buf, slots)?;
+                let codes: Vec<i8> = (0..slots).map(|_| buf.get_u8() as i8).collect();
+                let stride = num_banks * bank_nnz;
+                let values = codes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &q)| q as f32 * scales[i / stride.max(1)])
+                    .collect();
+                int8_sidecar = Some((codes, scales));
+                values
+            }
+        };
+
+        let consumed = bytes.len() - buf.remaining();
+        let matrix = BbsMatrix::from_parts(rows, cols, num_banks, bank_nnz, col_idx, values)?;
+        let matrix = match int8_sidecar {
+            Some((codes, scales)) => matrix.with_int8_sidecar(codes, scales)?,
+            None => matrix,
+        };
+        Ok((matrix, consumed))
+    }
+}
+
+impl CsbMatrix {
+    /// Serializes into `out` at the given value precision.
+    ///
+    /// Layout (little-endian): `"CSBM"`, version `u16`, precision `u8`,
+    /// `rows/cols/block_h/block_w` as 4 × `u32`, stored-block count `u32`,
+    /// `block_ptr`, `block_col`, `col_ptr`, `cols_idx`, `val_ptr`, then
+    /// the value payload (per-block f32 scales before the codes for int8).
+    pub fn write_to(&self, out: &mut Vec<u8>, precision: Precision) {
+        out.put_slice(MAGIC_CSB);
+        out.put_u16_le(VERSION);
+        put_precision_tag(out, precision);
+        out.put_u32_le(self.rows() as u32);
+        out.put_u32_le(self.cols() as u32);
+        out.put_u32_le(self.block_h() as u32);
+        out.put_u32_le(self.block_w() as u32);
+        out.put_u32_le(self.stored_blocks() as u32);
+        for &p in self.block_ptr() {
+            out.put_u32_le(p);
+        }
+        for &c in self.block_col() {
+            out.put_u32_le(c);
+        }
+        for &p in self.col_ptr() {
+            out.put_u32_le(p);
+        }
+        for &c in self.cols_idx() {
+            out.put_u32_le(c);
+        }
+        for &p in self.val_ptr() {
+            out.put_u32_le(p);
+        }
+        match precision {
+            Precision::F32 => {
+                for &v in self.values() {
+                    out.put_f32_le(v);
+                }
+            }
+            Precision::F16 => {
+                for &v in self.values() {
+                    out.put_u16_le(F16::from_f32(v).to_bits());
+                }
+            }
+            Precision::Int8 => {
+                for &s in self.int8_scales() {
+                    out.put_f32_le(s);
+                }
+                for &q in self.values_i8() {
+                    out.put_u8(q as u8);
+                }
+            }
+        }
+    }
+
+    /// Serializes into a fresh buffer.
+    pub fn to_bytes(&self, precision: Precision) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_to(&mut out, precision);
+        out
+    }
+
+    /// Decodes one matrix from the front of `bytes`, returning it together
+    /// with the number of bytes consumed. Int8 payloads install the stored
+    /// codes as the authoritative sidecar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation, bad magic/version/precision,
+    /// or a structurally invalid payload.
+    pub fn read_from(bytes: &[u8]) -> Result<(CsbMatrix, usize), DecodeError> {
+        let mut buf = bytes;
+        let need = |buf: &[u8], n: usize| -> Result<(), DecodeError> {
+            if buf.remaining() < n {
+                Err(DecodeError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+
+        need(buf, 4)?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC_CSB {
+            return Err(DecodeError::BadMagic);
+        }
+        need(buf, 3)?;
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let precision = match buf.get_u8() {
+            0 => Precision::F32,
+            1 => Precision::F16,
+            2 => Precision::Int8,
+            other => return Err(DecodeError::BadPrecision(other)),
+        };
+
+        need(buf, 20)?;
+        let rows = buf.get_u32_le() as usize;
+        let cols = buf.get_u32_le() as usize;
+        let block_h = buf.get_u32_le() as usize;
+        let block_w = buf.get_u32_le() as usize;
+        let nblocks = buf.get_u32_le() as usize;
+        // Validate before trusting any count for a division or allocation.
+        if block_h == 0 || block_w == 0 {
+            return Err(DecodeError::InvalidShape(ShapeError {
+                op: "csb_decode",
+                lhs: (rows, cols),
+                rhs: (block_h, block_w),
+            }));
+        }
+        let nbr = rows.div_ceil(block_h);
+        // A block row stores at most `num_block_cols` blocks.
+        if nblocks > nbr.saturating_mul(cols.div_ceil(block_w)) {
+            return Err(DecodeError::Truncated);
+        }
+
+        need(buf, (nbr + 1).saturating_mul(4))?;
+        let block_ptr: Vec<u32> = (0..nbr + 1).map(|_| buf.get_u32_le()).collect();
+        need(buf, nblocks.saturating_mul(4))?;
+        let block_col: Vec<u32> = (0..nblocks).map(|_| buf.get_u32_le()).collect();
+        need(buf, (nblocks + 1).saturating_mul(4))?;
+        let col_ptr: Vec<u32> = (0..nblocks + 1).map(|_| buf.get_u32_le()).collect();
+        let ncols_idx = col_ptr.last().copied().unwrap_or(0) as usize;
+        need(buf, ncols_idx.saturating_mul(4))?;
+        let cols_idx: Vec<u32> = (0..ncols_idx).map(|_| buf.get_u32_le()).collect();
+        need(buf, (nblocks + 1).saturating_mul(4))?;
+        let val_ptr: Vec<u32> = (0..nblocks + 1).map(|_| buf.get_u32_le()).collect();
+        if val_ptr[0] != 0 || val_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(DecodeError::InvalidShape(ShapeError {
+                op: "csb_decode",
+                lhs: (rows, cols),
+                rhs: (block_h, block_w),
+            }));
+        }
+        let value_count = val_ptr[nblocks] as usize;
+
+        let mut int8_sidecar: Option<(Vec<i8>, Vec<f32>)> = None;
+        let values: Vec<f32> = match precision {
+            Precision::F32 => {
+                need(buf, value_count.saturating_mul(4))?;
+                (0..value_count).map(|_| buf.get_f32_le()).collect()
+            }
+            Precision::F16 => {
+                need(buf, value_count.saturating_mul(2))?;
+                (0..value_count)
+                    .map(|_| F16::from_bits(buf.get_u16_le()).to_f32())
+                    .collect()
+            }
+            Precision::Int8 => {
+                need(buf, nblocks.saturating_mul(4))?;
+                let scales: Vec<f32> = (0..nblocks).map(|_| buf.get_f32_le()).collect();
+                need(buf, value_count)?;
+                let codes: Vec<i8> = (0..value_count).map(|_| buf.get_u8() as i8).collect();
+                let mut values = vec![0.0f32; value_count];
+                for blk in 0..nblocks {
+                    let (vs, ve) = (val_ptr[blk] as usize, val_ptr[blk + 1] as usize);
+                    for i in vs..ve {
+                        values[i] = codes[i] as f32 * scales[blk];
+                    }
+                }
+                int8_sidecar = Some((codes, scales));
+                values
+            }
+        };
+
+        let consumed = bytes.len() - buf.remaining();
+        let matrix = CsbMatrix::from_parts(
+            rows, cols, block_h, block_w, block_ptr, block_col, col_ptr, cols_idx, val_ptr, values,
+        )?;
+        let matrix = match int8_sidecar {
+            Some((codes, scales)) => matrix.with_int8_sidecar(codes, scales)?,
+            None => matrix,
+        };
+        Ok((matrix, consumed))
+    }
+}
+
+impl CsrMatrix {
+    /// Serializes into `out` at the given value precision.
+    ///
+    /// Layout (little-endian): `"CSRM"`, version `u16`, precision `u8`,
+    /// `rows/cols` as 2 × `u32`, `row_ptr` (`rows + 1` × `u32`), `col_idx`
+    /// (`nnz` × `u32`), then the value payload — f32 scalars, f16 bit
+    /// patterns, or per-row-block f32 scales followed by one-byte codes
+    /// for int8.
+    pub fn write_to(&self, out: &mut Vec<u8>, precision: Precision) {
+        out.put_slice(MAGIC_CSR);
+        out.put_u16_le(VERSION);
+        put_precision_tag(out, precision);
+        out.put_u32_le(self.rows() as u32);
+        out.put_u32_le(self.cols() as u32);
+        for &p in self.row_ptr() {
+            out.put_u32_le(p);
+        }
+        for &c in self.col_idx() {
+            out.put_u32_le(c);
+        }
+        match precision {
+            Precision::F32 => {
+                for &v in self.values() {
+                    out.put_f32_le(v);
+                }
+            }
+            Precision::F16 => {
+                for &v in self.values() {
+                    out.put_u16_le(F16::from_f32(v).to_bits());
+                }
+            }
+            Precision::Int8 => {
+                for &s in self.int8_scales() {
+                    out.put_f32_le(s);
+                }
+                for &q in self.values_i8() {
+                    out.put_u8(q as u8);
+                }
+            }
+        }
+    }
+
+    /// Serializes into a fresh buffer.
+    pub fn to_bytes(&self, precision: Precision) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.write_to(&mut out, precision);
+        out
+    }
+
+    /// Decodes one matrix from the front of `bytes`, returning it together
+    /// with the number of bytes consumed. Int8 payloads install the stored
+    /// codes as the authoritative sidecar.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncation, bad magic/version/precision,
+    /// or a structurally invalid payload.
+    pub fn read_from(bytes: &[u8]) -> Result<(CsrMatrix, usize), DecodeError> {
+        let mut buf = bytes;
+        let need = |buf: &[u8], n: usize| -> Result<(), DecodeError> {
+            if buf.remaining() < n {
+                Err(DecodeError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+
+        need(buf, 4)?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC_CSR {
+            return Err(DecodeError::BadMagic);
+        }
+        need(buf, 3)?;
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let precision = match buf.get_u8() {
+            0 => Precision::F32,
+            1 => Precision::F16,
+            2 => Precision::Int8,
+            other => return Err(DecodeError::BadPrecision(other)),
+        };
+
+        need(buf, 8)?;
+        let rows = buf.get_u32_le() as usize;
+        let cols = buf.get_u32_le() as usize;
+        need(buf, (rows + 1).saturating_mul(4))?;
+        let row_ptr: Vec<u32> = (0..rows + 1).map(|_| buf.get_u32_le()).collect();
+        if row_ptr[0] != 0 || row_ptr.windows(2).any(|w| w[0] > w[1]) {
+            return Err(DecodeError::InvalidShape(ShapeError {
+                op: "csr_decode",
+                lhs: (rows, cols),
+                rhs: (row_ptr.len(), 0),
+            }));
+        }
+        // The nonzero count is derived from the validated row pointers,
+        // never read from the wire; `need` guards every batch read.
+        let nnz = row_ptr[rows] as usize;
+        need(buf, nnz.saturating_mul(4))?;
+        let col_idx: Vec<u32> = (0..nnz).map(|_| buf.get_u32_le()).collect();
+
+        let mut int8_sidecar: Option<(Vec<i8>, Vec<f32>)> = None;
+        let values: Vec<f32> = match precision {
+            Precision::F32 => {
+                need(buf, nnz.saturating_mul(4))?;
+                (0..nnz).map(|_| buf.get_f32_le()).collect()
+            }
+            Precision::F16 => {
+                need(buf, nnz.saturating_mul(2))?;
+                (0..nnz)
+                    .map(|_| F16::from_bits(buf.get_u16_le()).to_f32())
+                    .collect()
+            }
+            Precision::Int8 => {
+                let nscales = rows.div_ceil(CsrMatrix::ROW_BLOCK);
+                need(buf, nscales.saturating_mul(4))?;
+                let scales: Vec<f32> = (0..nscales).map(|_| buf.get_f32_le()).collect();
+                need(buf, nnz)?;
+                let codes: Vec<i8> = (0..nnz).map(|_| buf.get_u8() as i8).collect();
+                let mut values = vec![0.0f32; nnz];
+                for r in 0..rows {
+                    let (s, e) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
+                    let scale = scales[r / CsrMatrix::ROW_BLOCK];
+                    for i in s..e {
+                        values[i] = codes[i] as f32 * scale;
+                    }
+                }
+                int8_sidecar = Some((codes, scales));
+                values
+            }
+        };
+
+        let consumed = bytes.len() - buf.remaining();
+        let matrix = CsrMatrix::from_parts(rows, cols, row_ptr, col_idx, values)?;
+        let matrix = match int8_sidecar {
+            Some((codes, scales)) => matrix.with_int8_sidecar(codes, scales)?,
+            None => matrix,
+        };
+        Ok((matrix, consumed))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -485,6 +976,196 @@ mod tests {
             let valid = m.to_bytes(Precision::F32);
             let cut = rng.gen_range(0usize..valid.len());
             let _ = BspcMatrix::read_from(&valid[..cut]);
+        }
+    }
+
+    mod bbs_csb {
+        use super::*;
+        use crate::{BbsMatrix, CsbMatrix};
+
+        fn sample_dense() -> Matrix {
+            Matrix::from_fn(9, 8, |r, c| {
+                if (r * 7 + c * 3) % 5 < 2 {
+                    0.2 + (r * 8 + c) as f32 * 0.01
+                } else {
+                    0.0
+                }
+            })
+        }
+
+        #[test]
+        fn bbs_roundtrips_all_precisions() {
+            let m = BbsMatrix::from_dense(&sample_dense(), 2).unwrap();
+            let bytes = m.to_bytes(Precision::F32);
+            let (d, used) = BbsMatrix::read_from(&bytes).expect("decodes");
+            assert_eq!(used, bytes.len());
+            assert_eq!(d, m);
+
+            let bytes = m.to_bytes(Precision::F16);
+            let (d, _) = BbsMatrix::read_from(&bytes).expect("decodes");
+            assert_eq!(d.col_idx(), m.col_idx());
+            for (a, b) in m.values().iter().zip(d.values()) {
+                assert!((a - b).abs() <= a.abs() * 1e-3 + 1e-4, "{a} vs {b}");
+            }
+
+            let bytes = m.to_bytes(Precision::Int8);
+            let (d, used) = BbsMatrix::read_from(&bytes).expect("decodes");
+            assert_eq!(used, bytes.len());
+            assert_eq!(d.values_i8(), m.values_i8());
+            assert_eq!(d.int8_scales(), m.int8_scales());
+            // Re-encode is byte-identical — the sidecar install guarantees it.
+            assert_eq!(d.to_bytes(Precision::Int8), bytes);
+        }
+
+        #[test]
+        fn csb_roundtrips_all_precisions() {
+            let m = CsbMatrix::from_dense(&sample_dense(), 3, 4).unwrap();
+            let bytes = m.to_bytes(Precision::F32);
+            let (d, used) = CsbMatrix::read_from(&bytes).expect("decodes");
+            assert_eq!(used, bytes.len());
+            assert_eq!(d, m);
+
+            let bytes = m.to_bytes(Precision::F16);
+            let (d, _) = CsbMatrix::read_from(&bytes).expect("decodes");
+            assert_eq!(d.cols_idx(), m.cols_idx());
+            for (a, b) in m.values().iter().zip(d.values()) {
+                assert!((a - b).abs() <= a.abs() * 1e-3 + 1e-4, "{a} vs {b}");
+            }
+
+            let bytes = m.to_bytes(Precision::Int8);
+            let (d, used) = CsbMatrix::read_from(&bytes).expect("decodes");
+            assert_eq!(used, bytes.len());
+            assert_eq!(d.values_i8(), m.values_i8());
+            assert_eq!(d.int8_scales(), m.int8_scales());
+            assert_eq!(d.to_bytes(Precision::Int8), bytes);
+        }
+
+        #[test]
+        fn csr_roundtrips_all_precisions() {
+            let m = CsrMatrix::from_dense(&sample_dense());
+            let bytes = m.to_bytes(Precision::F32);
+            let (d, used) = CsrMatrix::read_from(&bytes).expect("decodes");
+            assert_eq!(used, bytes.len());
+            assert_eq!(d, m);
+
+            let bytes = m.to_bytes(Precision::F16);
+            let (d, _) = CsrMatrix::read_from(&bytes).expect("decodes");
+            assert_eq!(d.col_idx(), m.col_idx());
+            for (a, b) in m.values().iter().zip(d.values()) {
+                assert!((a - b).abs() <= a.abs() * 1e-3 + 1e-4, "{a} vs {b}");
+            }
+
+            let bytes = m.to_bytes(Precision::Int8);
+            let (d, used) = CsrMatrix::read_from(&bytes).expect("decodes");
+            assert_eq!(used, bytes.len());
+            assert_eq!(d.values_i8(), m.values_i8());
+            assert_eq!(d.int8_scales(), m.int8_scales());
+            assert_eq!(d.to_bytes(Precision::Int8), bytes);
+
+            for prec in [Precision::F32, Precision::F16, Precision::Int8] {
+                let bytes = m.to_bytes(prec);
+                for n in 0..bytes.len() {
+                    assert!(CsrMatrix::read_from(&bytes[..n]).is_err(), "prefix {n}");
+                }
+            }
+            assert_eq!(
+                CsrMatrix::read_from(&m.to_bytes(Precision::F32)[4..]).unwrap_err(),
+                DecodeError::BadMagic
+            );
+        }
+
+        #[test]
+        fn magics_are_disjoint() {
+            let m = BbsMatrix::from_dense(&sample_dense(), 2).unwrap();
+            let bytes = m.to_bytes(Precision::F32);
+            assert_eq!(
+                CsbMatrix::read_from(&bytes).unwrap_err(),
+                DecodeError::BadMagic
+            );
+            assert_eq!(
+                BspcMatrix::read_from(&bytes).unwrap_err(),
+                DecodeError::BadMagic
+            );
+            let c = CsbMatrix::from_dense(&sample_dense(), 3, 3).unwrap();
+            assert_eq!(
+                BbsMatrix::read_from(&c.to_bytes(Precision::F32)).unwrap_err(),
+                DecodeError::BadMagic
+            );
+        }
+
+        #[test]
+        fn decode_rejects_truncation_everywhere() {
+            let b = BbsMatrix::from_dense(&sample_dense(), 2).unwrap();
+            for prec in [Precision::F32, Precision::F16, Precision::Int8] {
+                let bytes = b.to_bytes(prec);
+                for n in 0..bytes.len() {
+                    assert!(BbsMatrix::read_from(&bytes[..n]).is_err(), "prefix {n}");
+                }
+                assert!(BbsMatrix::read_from(&bytes).is_ok());
+            }
+            let c = CsbMatrix::from_dense(&sample_dense(), 3, 4).unwrap();
+            for prec in [Precision::F32, Precision::F16, Precision::Int8] {
+                let bytes = c.to_bytes(prec);
+                for n in 0..bytes.len() {
+                    assert!(CsbMatrix::read_from(&bytes[..n]).is_err(), "prefix {n}");
+                }
+                assert!(CsbMatrix::read_from(&bytes).is_ok());
+            }
+        }
+
+        /// Arbitrary byte soup never panics either new decoder.
+        #[test]
+        fn prop_decoders_never_panic() {
+            for seed in 0u64..300 {
+                let mut rng = rtm_tensor::rng::StdRng::seed_from_u64(seed);
+                let len = rng.gen_range(0usize..256);
+                let mut bytes = vec![0u8; len];
+                rng.fill_bytes(&mut bytes);
+                let _ = BbsMatrix::read_from(&bytes);
+                let _ = CsbMatrix::read_from(&bytes);
+                // Corrupting a valid stream must also fail cleanly.
+                let m = BbsMatrix::from_dense(&sample_dense(), 2).unwrap();
+                let mut valid = m.to_bytes(Precision::F32);
+                let at = rng.gen_range(0usize..valid.len());
+                valid[at] ^= 1 << rng.gen_range(0usize..8) as u8;
+                let _ = BbsMatrix::read_from(&valid);
+                let m = CsbMatrix::from_dense(&sample_dense(), 2, 3).unwrap();
+                let mut valid = m.to_bytes(Precision::Int8);
+                let at = rng.gen_range(0usize..valid.len());
+                valid[at] ^= 1 << rng.gen_range(0usize..8) as u8;
+                let _ = CsbMatrix::read_from(&valid);
+            }
+        }
+
+        /// Random matrices round-trip at f32 exactly for arbitrary
+        /// bank/block geometry.
+        #[test]
+        fn prop_wire_roundtrip() {
+            for seed in 0u64..150 {
+                let mut rng = rtm_tensor::init::rng_from_seed(seed);
+                let rows = rng.gen_range(1usize..12);
+                let cols = rng.gen_range(1usize..12);
+                let banks = rng.gen_range(1usize..4).min(cols);
+                let bh = rng.gen_range(1usize..5);
+                let bw = rng.gen_range(1usize..5);
+                let dense = rtm_tensor::init::uniform(rows, cols, -1.0, 1.0, &mut rng).map(|v| {
+                    if v.abs() < 0.5 {
+                        0.0
+                    } else {
+                        v
+                    }
+                });
+                let m = BbsMatrix::from_dense(&dense, banks).unwrap();
+                let bytes = m.to_bytes(Precision::F32);
+                let (d, used) = BbsMatrix::read_from(&bytes).expect("decodes");
+                assert_eq!(used, bytes.len(), "seed {seed}");
+                assert_eq!(d, m, "seed {seed}");
+                let m = CsbMatrix::from_dense(&dense, bh, bw).unwrap();
+                let bytes = m.to_bytes(Precision::F32);
+                let (d, used) = CsbMatrix::read_from(&bytes).expect("decodes");
+                assert_eq!(used, bytes.len(), "seed {seed}");
+                assert_eq!(d, m, "seed {seed}");
+            }
         }
     }
 }

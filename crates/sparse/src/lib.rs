@@ -17,7 +17,13 @@
 //!   are shared by *all rows in a stripe* and need to be stored only once per
 //!   block, shrinking the index array by roughly the stripe height. BSPC also
 //!   carries the matrix-reorder permutation so the input feature map can be
-//!   matched to reordered rows.
+//!   matched to reordered rows;
+//! * **BBS** ([`BbsMatrix`]) — bank-balanced rows (the BBS scheme of Table I):
+//!   every row stores a fixed nonzero count per equal-width column bank, so
+//!   the layout is fully regular and the per-row cost uniform;
+//! * **CSB** ([`CsbMatrix`]) — compressed structured blocks (CSB-RNN family):
+//!   per-block column unions over short `block_h`-row spans, the middle ground
+//!   between CSR's per-entry indices and BSPC's per-stripe unions.
 //!
 //! [`footprint`] accounts the exact byte cost of each representation — the
 //! quantity behind the paper's memory-bound analysis in Table II.
@@ -37,13 +43,17 @@
 //! # }
 //! ```
 
+pub mod bbs;
 pub mod bspc;
+pub mod csb;
 pub mod csc;
 pub mod csr;
 pub mod footprint;
 pub mod io;
 
+pub use bbs::BbsMatrix;
 pub use bspc::{BspcError, BspcMatrix};
+pub use csb::CsbMatrix;
 pub use csc::CscMatrix;
 pub use csr::CsrMatrix;
 pub use footprint::{Footprint, Precision};

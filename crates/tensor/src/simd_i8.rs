@@ -214,6 +214,170 @@ fn dot_batch_i8_scalar(a: &[i8], xs: &[i8], b: usize, out: &mut [i32]) {
     }
 }
 
+/// Fused per-row *batched* int8 kernel — the lane-major register tile.
+///
+/// `gathered` is the row's activation plane, lane-major (`[len × b]` with
+/// element `k` of lane `j` at `gathered[k·b + j]`), split into consecutive
+/// segments of `seg_lens[i]` elements (one per column block). For every
+/// lane `j`:
+///
+/// ```text
+/// out[j] = sxs[j] · Σ_i scales[i] · (Σ_k vals[k]·gathered[k·b + j] over segment i)
+/// ```
+///
+/// accumulated in segment order with empty segments skipped — exactly the
+/// value the serial int8 SpMV produces for lane `j`'s column, so the
+/// batched engines inherit the serial≡batched bit-exactness contract from
+/// this one call.
+///
+/// This replaces the old three-pass shape (zero an `i32` scratch row, run
+/// [`dot_batch_i8_accumulate`] through memory, fold a `partial` array per
+/// block): lanes are processed in tiles of 8, the integer accumulator and
+/// the f32 partial both live in registers for the whole row, and the
+/// per-block scale fold touches memory once per row instead of once per
+/// block. Every variant returns the same bits (exact i32 dots; identical
+/// f32 combination order).
+///
+/// # Panics
+///
+/// Panics when `gathered` is not `[vals.len() × b]`, `seg_lens`/`scales`
+/// differ in length, the segment lengths do not sum to `vals.len()`, or
+/// `sxs`/`out` are not `b` long.
+#[allow(clippy::too_many_arguments)]
+pub fn row_block_dots_batch_i8(
+    v: Variant,
+    vals: &[i8],
+    gathered: &[i8],
+    b: usize,
+    seg_lens: &[u32],
+    scales: &[f32],
+    sxs: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(gathered.len(), vals.len() * b, "lane-major plane shape");
+    assert_eq!(seg_lens.len(), scales.len(), "one scale per segment");
+    assert_eq!(
+        seg_lens.iter().map(|&l| l as usize).sum::<usize>(),
+        vals.len(),
+        "segment lengths cover the row"
+    );
+    assert_eq!(sxs.len(), b, "one activation scale per lane");
+    assert_eq!(out.len(), b, "one output per lane");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if v == Variant::Vector && crate::simd::vector_available() && b >= 8 {
+            // Safety: vector_available() verified avx2 support at runtime.
+            unsafe { x86::row_block_dots_batch_i8(vals, gathered, b, seg_lens, scales, sxs, out) };
+            return;
+        }
+    }
+    let _ = v;
+    row_block_dots_batch_i8_scalar(vals, gathered, b, seg_lens, scales, sxs, out, 0);
+}
+
+/// Four-row [`row_block_dots_batch_i8`]: the rows share one lane-major
+/// gathered activation plane (BSP rows of the same stripe read the same
+/// kept columns), so the vector path widens and pair-interleaves each
+/// 8-lane activation step once and runs one `madd` per row against it —
+/// two stored elements per instruction, the same element-pairing that
+/// makes the serial int8 SpMV faster than f32. `out` is row-major
+/// `[4 × b]`: row `i`, lane `j` at `out[i·b + j]`. Exactness is per
+/// (row, lane), identical to four single-row calls on every variant.
+///
+/// # Panics
+///
+/// Panics on the same shape mismatches as [`row_block_dots_batch_i8`],
+/// checked against every row, with `out` expected to be `4·b` long.
+#[allow(clippy::too_many_arguments)]
+pub fn row_quad_block_dots_batch_i8(
+    v: Variant,
+    rows: [&[i8]; 4],
+    gathered: &[i8],
+    b: usize,
+    seg_lens: &[u32],
+    scales: &[f32],
+    sxs: &[f32],
+    out: &mut [f32],
+) {
+    for r in rows {
+        assert_eq!(gathered.len(), r.len() * b, "lane-major plane shape");
+    }
+    assert_eq!(seg_lens.len(), scales.len(), "one scale per segment");
+    assert_eq!(
+        seg_lens.iter().map(|&l| l as usize).sum::<usize>() * b,
+        gathered.len(),
+        "segment lengths cover the row"
+    );
+    assert_eq!(sxs.len(), b, "one activation scale per lane");
+    assert_eq!(out.len(), 4 * b, "one output per row per lane");
+    #[cfg(target_arch = "x86_64")]
+    {
+        if v == Variant::Vector && crate::simd::vector_available() && b >= 8 {
+            // Safety: vector_available() verified avx2 support at runtime.
+            unsafe {
+                x86::row_quad_block_dots_batch_i8(rows, gathered, b, seg_lens, scales, sxs, out)
+            };
+            return;
+        }
+    }
+    let _ = v;
+    for (i, r) in rows.into_iter().enumerate() {
+        row_block_dots_batch_i8_scalar(
+            r,
+            gathered,
+            b,
+            seg_lens,
+            scales,
+            sxs,
+            &mut out[i * b..(i + 1) * b],
+            0,
+        );
+    }
+}
+
+/// Scalar lane-tile realization of [`row_block_dots_batch_i8`] covering
+/// lanes `j0..b`; the AVX2 path reuses it for the sub-8 lane tail so both
+/// paths fold scales in the same order.
+#[allow(clippy::too_many_arguments)]
+fn row_block_dots_batch_i8_scalar(
+    vals: &[i8],
+    gathered: &[i8],
+    b: usize,
+    seg_lens: &[u32],
+    scales: &[f32],
+    sxs: &[f32],
+    out: &mut [f32],
+    j0: usize,
+) {
+    let mut j0 = j0;
+    while j0 < b {
+        let t = (b - j0).min(8);
+        let mut partial = [0.0f32; 8];
+        let mut off = 0usize;
+        for (&len, &scale) in seg_lens.iter().zip(scales) {
+            let len = len as usize;
+            if len > 0 {
+                let mut acc = [0i32; 8];
+                for k in off..off + len {
+                    let w = vals[k] as i32;
+                    let lanes = &gathered[k * b + j0..k * b + j0 + t];
+                    for (a, &x) in acc[..t].iter_mut().zip(lanes) {
+                        *a += w * x as i32;
+                    }
+                }
+                for (p, &a) in partial[..t].iter_mut().zip(&acc[..t]) {
+                    *p += a as f32 * scale;
+                }
+            }
+            off += len;
+        }
+        for i in 0..t {
+            out[j0 + i] = sxs[j0 + i] * partial[i];
+        }
+        j0 += t;
+    }
+}
+
 /// Quantizes activations symmetrically: `sx = max|x| / 127`,
 /// `q = round(x / sx)` clamped to `[-127, 127]`, written into `out`
 /// (resized to `x.len()`). Returns the scale `sx`.
@@ -488,6 +652,189 @@ mod x86 {
         out
     }
 
+    /// AVX2 lane-major register tile (see the dispatching wrapper for the
+    /// contract). Eight lanes per tile: the i32 accumulator is zeroed per
+    /// segment and the f32 partial per row, both staying in ymm registers —
+    /// the output is touched exactly once per row per lane, versus the old
+    /// load/store round trip per stored element the memory-bound
+    /// [`dot_batch_i8_accumulate`] shape paid.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn row_block_dots_batch_i8(
+        vals: &[i8],
+        gathered: &[i8],
+        b: usize,
+        seg_lens: &[u32],
+        scales: &[f32],
+        sxs: &[f32],
+        out: &mut [f32],
+    ) {
+        let tiles = b / 8 * 8;
+        let mut j0 = 0usize;
+        while j0 < tiles {
+            let mut partial = _mm256_setzero_ps();
+            let mut off = 0usize;
+            for (&len, &scale) in seg_lens.iter().zip(scales) {
+                let len = len as usize;
+                if len > 0 {
+                    let mut acc = _mm256_setzero_si256();
+                    for k in off..off + len {
+                        let w = _mm256_set1_epi32(*vals.get_unchecked(k) as i32);
+                        let x = _mm256_cvtepi8_epi32(_mm_loadl_epi64(
+                            gathered.as_ptr().add(k * b + j0) as *const __m128i,
+                        ));
+                        acc = _mm256_add_epi32(acc, _mm256_mullo_epi32(w, x));
+                    }
+                    partial = _mm256_add_ps(
+                        partial,
+                        _mm256_mul_ps(_mm256_cvtepi32_ps(acc), _mm256_set1_ps(scale)),
+                    );
+                }
+                off += len;
+            }
+            let s = _mm256_loadu_ps(sxs.as_ptr().add(j0));
+            _mm256_storeu_ps(out.as_mut_ptr().add(j0), _mm256_mul_ps(s, partial));
+            j0 += 8;
+        }
+        if j0 < b {
+            super::row_block_dots_batch_i8_scalar(
+                vals, gathered, b, seg_lens, scales, sxs, out, j0,
+            );
+        }
+    }
+
+    /// AVX2 four-row lane-major register tile (see the dispatching wrapper
+    /// for the contract). Per 8-lane tile the segment loop walks stored
+    /// elements in *pairs*: the two elements' activation bytes are widened
+    /// to i16 and interleaved once (`(x_k, x_{k+1})` adjacent per lane),
+    /// then each row contributes one `_mm256_madd_epi16` against its
+    /// broadcast `(w_k, w_{k+1})` word — two multiplies per instruction,
+    /// with the activation prep shared by all four value streams. Exact:
+    /// each madd lane is `w_k·x_k + w_{k+1}·x_{k+1}` in i32 (|terms| ≤
+    /// 2·16129), and integer adds commute.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn row_quad_block_dots_batch_i8(
+        rows: [&[i8]; 4],
+        gathered: &[i8],
+        b: usize,
+        seg_lens: &[u32],
+        scales: &[f32],
+        sxs: &[f32],
+        out: &mut [f32],
+    ) {
+        let tiles = b / 8 * 8;
+        let n = rows[0].len();
+        let gp = gathered.as_ptr();
+        let mut j0 = 0usize;
+        while j0 < tiles {
+            let mut partial = [_mm256_setzero_ps(); 4];
+            let mut off = 0usize;
+            for (&len, &scale) in seg_lens.iter().zip(scales) {
+                let len = len as usize;
+                if len > 0 {
+                    let mut acc = [_mm256_setzero_si256(); 4];
+                    let end = off + len;
+                    let mut k = off;
+                    // Interleave two elements' lane bytes, then one widen:
+                    // 16-bit pair 2j/2j+1 holds (x_k[j], x_{k+1}[j]) — two
+                    // shuffle uops of activation prep per pair, shared by
+                    // all four value streams.
+                    let pair_x = |k: usize| {
+                        let xa = _mm_loadl_epi64(gp.add(k * b + j0) as *const __m128i);
+                        let xb = _mm_loadl_epi64(gp.add((k + 1) * b + j0) as *const __m128i);
+                        _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(xa, xb))
+                    };
+                    // Eight elements (four pairs) at a time: each row's
+                    // eight weight bytes widen to four i16 pair-words with
+                    // one load + one shuffle, and each pair-word broadcasts
+                    // with a single vpshufd — no scalar pair assembly on
+                    // the hot path.
+                    while k + 8 <= end {
+                        let x0 = pair_x(k);
+                        let x1 = pair_x(k + 2);
+                        let x2 = pair_x(k + 4);
+                        let x3 = pair_x(k + 6);
+                        for (a, r) in acc.iter_mut().zip(rows) {
+                            let wq = _mm_cvtepi8_epi16(_mm_loadl_epi64(
+                                r.as_ptr().add(k) as *const __m128i
+                            ));
+                            let wy = _mm256_inserti128_si256(_mm256_castsi128_si256(wq), wq, 1);
+                            let t0 = _mm256_madd_epi16(x0, _mm256_shuffle_epi32(wy, 0b0000_0000));
+                            let t1 = _mm256_madd_epi16(x1, _mm256_shuffle_epi32(wy, 0b0101_0101));
+                            let t2 = _mm256_madd_epi16(x2, _mm256_shuffle_epi32(wy, 0b1010_1010));
+                            let t3 = _mm256_madd_epi16(x3, _mm256_shuffle_epi32(wy, 0b1111_1111));
+                            let t = _mm256_add_epi32(
+                                _mm256_add_epi32(t0, t1),
+                                _mm256_add_epi32(t2, t3),
+                            );
+                            *a = _mm256_add_epi32(*a, t);
+                        }
+                        k += 8;
+                    }
+                    while k + 2 <= end {
+                        let x = pair_x(k);
+                        for (a, r) in acc.iter_mut().zip(rows) {
+                            let w0 = *r.get_unchecked(k) as i16 as u16 as u32;
+                            let w1 = *r.get_unchecked(k + 1) as i16 as u16 as u32;
+                            let w = _mm256_set1_epi32((w0 | (w1 << 16)) as i32);
+                            *a = _mm256_add_epi32(*a, _mm256_madd_epi16(x, w));
+                        }
+                        k += 2;
+                    }
+                    if k < end {
+                        if k + 1 < n {
+                            // Zero-padded pair: the partner element belongs
+                            // to the next segment (or is garbage within
+                            // bounds) but its weight is 0, so the madd term
+                            // is exactly w_k·x_k.
+                            let xa = _mm_loadl_epi64(gp.add(k * b + j0) as *const __m128i);
+                            let xb = _mm_loadl_epi64(gp.add((k + 1) * b + j0) as *const __m128i);
+                            let x = _mm256_cvtepi8_epi16(_mm_unpacklo_epi8(xa, xb));
+                            for (a, r) in acc.iter_mut().zip(rows) {
+                                let w0 = *r.get_unchecked(k) as i16 as u16 as u32;
+                                let w = _mm256_set1_epi32(w0 as i32);
+                                *a = _mm256_add_epi32(*a, _mm256_madd_epi16(x, w));
+                            }
+                        } else {
+                            let x = _mm256_cvtepi8_epi32(_mm_loadl_epi64(
+                                gp.add(k * b + j0) as *const __m128i
+                            ));
+                            for (a, r) in acc.iter_mut().zip(rows) {
+                                let w = _mm256_set1_epi32(*r.get_unchecked(k) as i32);
+                                *a = _mm256_add_epi32(*a, _mm256_mullo_epi32(w, x));
+                            }
+                        }
+                    }
+                    let sv = _mm256_set1_ps(scale);
+                    for (p, a) in partial.iter_mut().zip(acc) {
+                        *p = _mm256_add_ps(*p, _mm256_mul_ps(_mm256_cvtepi32_ps(a), sv));
+                    }
+                }
+                off += len;
+            }
+            let s = _mm256_loadu_ps(sxs.as_ptr().add(j0));
+            for (i, p) in partial.into_iter().enumerate() {
+                _mm256_storeu_ps(out.as_mut_ptr().add(i * b + j0), _mm256_mul_ps(s, p));
+            }
+            j0 += 8;
+        }
+        if j0 < b {
+            for (i, r) in rows.into_iter().enumerate() {
+                super::row_block_dots_batch_i8_scalar(
+                    r,
+                    gathered,
+                    b,
+                    seg_lens,
+                    scales,
+                    sxs,
+                    &mut out[i * b..(i + 1) * b],
+                    j0,
+                );
+            }
+        }
+    }
+
     /// AVX2 batched int8 accumulate: 8 i32 lanes per step; the weight is
     /// broadcast and widened once per element. Exact (`|w·x| ≤ 16129`
     /// fits i32, `_mm256_mullo_epi32` is a full 32-bit multiply).
@@ -663,6 +1010,98 @@ mod tests {
                     let mut hw = vec![0i32; b];
                     unsafe { x86::dot_batch_i8_accumulate(&a, &xs, b, &mut hw) };
                     assert_eq!(hw, want, "avx2 n={n} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_batch_lane_matches_serial_row_dots() {
+        // Segment lengths straddle the 8-element weight blocks, the pair
+        // step, the zero-padded odd tail and the final-element scalar path.
+        let seg_lens: Vec<u32> = vec![0, 3, 16, 13, 8, 1, 40, 0, 25, 9];
+        let n: usize = seg_lens.iter().map(|&l| l as usize).sum();
+        let vals = codes(n, 11);
+        let scales: Vec<f32> = (0..seg_lens.len())
+            .map(|i| 0.015 + 0.004 * i as f32)
+            .collect();
+        for b in [1usize, 5, 7, 8, 9, 16, 24] {
+            let gathered = codes(n * b, 12);
+            let sxs: Vec<f32> = (0..b).map(|j| 0.02 + 0.001 * j as f32).collect();
+            for v in Variant::ALL {
+                let mut out = vec![f32::NAN; b];
+                row_block_dots_batch_i8(v, &vals, &gathered, b, &seg_lens, &scales, &sxs, &mut out);
+                for j in 0..b {
+                    let col: Vec<i8> = (0..n).map(|k| gathered[k * b + j]).collect();
+                    let want = sxs[j]
+                        * row_block_dots_i8(Variant::ScalarU1, &vals, &col, &seg_lens, &scales);
+                    assert_eq!(out[j].to_bits(), want.to_bits(), "{v:?} b={b} lane {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_quad_batch_matches_four_single_rows_exactly() {
+        let seg_lens: Vec<u32> = vec![2, 17, 0, 8, 5, 17, 33, 1];
+        let n: usize = seg_lens.iter().map(|&l| l as usize).sum();
+        let scales: Vec<f32> = (0..seg_lens.len())
+            .map(|i| 0.01 + 0.006 * i as f32)
+            .collect();
+        let rows: Vec<Vec<i8>> = (0..4).map(|i| codes(n, 40 + i)).collect();
+        let row_refs = [
+            rows[0].as_slice(),
+            rows[1].as_slice(),
+            rows[2].as_slice(),
+            rows[3].as_slice(),
+        ];
+        for b in [1usize, 8, 11, 16] {
+            let gathered = codes(n * b, 44);
+            let sxs: Vec<f32> = (0..b).map(|j| 0.03 + 0.002 * j as f32).collect();
+            for v in Variant::ALL {
+                let mut got = vec![f32::NAN; 4 * b];
+                row_quad_block_dots_batch_i8(
+                    v, row_refs, &gathered, b, &seg_lens, &scales, &sxs, &mut got,
+                );
+                for (i, r) in rows.iter().enumerate() {
+                    let mut want = vec![f32::NAN; b];
+                    row_block_dots_batch_i8(
+                        v, r, &gathered, b, &seg_lens, &scales, &sxs, &mut want,
+                    );
+                    for j in 0..b {
+                        assert_eq!(
+                            got[i * b + j].to_bits(),
+                            want[j].to_bits(),
+                            "{v:?} b={b} row {i} lane {j}"
+                        );
+                    }
+                }
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        {
+            if crate::simd::vector_available() {
+                let b = 8usize;
+                let gathered = codes(n * b, 44);
+                let sxs: Vec<f32> = (0..b).map(|j| 0.03 + 0.002 * j as f32).collect();
+                let mut hw = vec![f32::NAN; 4 * b];
+                unsafe {
+                    x86::row_quad_block_dots_batch_i8(
+                        row_refs, &gathered, b, &seg_lens, &scales, &sxs, &mut hw,
+                    )
+                };
+                for (i, r) in rows.iter().enumerate() {
+                    let mut want = vec![f32::NAN; b];
+                    row_block_dots_batch_i8_scalar(
+                        r, &gathered, b, &seg_lens, &scales, &sxs, &mut want, 0,
+                    );
+                    for j in 0..b {
+                        assert_eq!(
+                            hw[i * b + j].to_bits(),
+                            want[j].to_bits(),
+                            "direct avx2 row {i} lane {j}"
+                        );
+                    }
                 }
             }
         }

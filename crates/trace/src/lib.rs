@@ -162,6 +162,14 @@ pub mod key {
     pub const SPMM_BSPC: &str = "kernel.spmm.bspc";
     /// CSR SpMM calls (serial + parallel).
     pub const SPMM_CSR: &str = "kernel.spmm.csr";
+    /// BBS (bank-balanced) SpMV calls (serial + parallel).
+    pub const SPMV_BBS: &str = "kernel.spmv.bbs";
+    /// BBS SpMM calls (serial + parallel).
+    pub const SPMM_BBS: &str = "kernel.spmm.bbs";
+    /// CSB (compressed structured blocks) SpMV calls (serial + parallel).
+    pub const SPMV_CSB: &str = "kernel.spmv.csb";
+    /// CSB SpMM calls (serial + parallel).
+    pub const SPMM_CSB: &str = "kernel.spmm.csb";
     /// Dense GEMV calls (serial `gemv_into` + parallel `gemv_dense_into`).
     pub const GEMV_DENSE: &str = "kernel.gemv.dense";
     /// Dense batched GEMV/GEMM calls (`gemv_batch_into` + `gemm_dense_into`).
@@ -197,6 +205,9 @@ pub mod key {
     pub const TUNER_MEASUREMENTS: &str = "tuner.unroll_measurements";
     /// Precision candidates timed by the tuner's per-layer precision hook.
     pub const TUNER_PRECISION_MEASUREMENTS: &str = "tuner.precision_measurements";
+    /// (format × precision) candidates timed by the tuner's per-layer
+    /// format hook.
+    pub const TUNER_FORMAT_MEASUREMENTS: &str = "tuner.format_measurements";
 
     /// The precision-suffixed companion of a sparse kernel-dispatch key.
     ///
@@ -220,6 +231,18 @@ pub mod key {
             (SPMM_CSR, "f32") => "kernel.spmm.csr.f32",
             (SPMM_CSR, "f16") => "kernel.spmm.csr.f16",
             (SPMM_CSR, "int8") => "kernel.spmm.csr.int8",
+            (SPMV_BBS, "f32") => "kernel.spmv.bbs.f32",
+            (SPMV_BBS, "f16") => "kernel.spmv.bbs.f16",
+            (SPMV_BBS, "int8") => "kernel.spmv.bbs.int8",
+            (SPMM_BBS, "f32") => "kernel.spmm.bbs.f32",
+            (SPMM_BBS, "f16") => "kernel.spmm.bbs.f16",
+            (SPMM_BBS, "int8") => "kernel.spmm.bbs.int8",
+            (SPMV_CSB, "f32") => "kernel.spmv.csb.f32",
+            (SPMV_CSB, "f16") => "kernel.spmv.csb.f16",
+            (SPMV_CSB, "int8") => "kernel.spmv.csb.int8",
+            (SPMM_CSB, "f32") => "kernel.spmm.csb.f32",
+            (SPMM_CSB, "f16") => "kernel.spmm.csb.f16",
+            (SPMM_CSB, "int8") => "kernel.spmm.csb.int8",
             _ => base,
         }
     }

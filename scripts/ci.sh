@@ -48,6 +48,12 @@ RTM_TRACE=on cargo test -q --workspace
 echo "==> cargo test -q (RTM_PRECISION=int8)"
 RTM_PRECISION=int8 cargo test -q --workspace
 
+# Fifth pass with the storage format resolved by the per-layer tuner:
+# every pipeline / end-to-end test must hold when each layer's weights can
+# land in any of the four formats (BSPC/CSR/BBS/CSB) behind the PER guard.
+echo "==> cargo test -q (RTM_FORMAT=auto)"
+RTM_FORMAT=auto cargo test -q --workspace
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -58,7 +64,7 @@ profile=()
 if [[ "$quick" -eq 0 ]]; then
   profile=(--release)
 fi
-for bin in parallel_spmv simd_kernels batched_spmm trace_overhead quant_kernels; do
+for bin in parallel_spmv simd_kernels batched_spmm trace_overhead quant_kernels format_zoo; do
   cargo run -q "${profile[@]}" -p rtm-bench --bin "$bin" -- --quick >/dev/null
 done
 

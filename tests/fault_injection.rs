@@ -275,3 +275,52 @@ fn model_decoder_survives_bitflip_and_truncation_fuzz() {
     // And the pristine bytes still decode under full validation.
     assert!(model_file::from_bytes_with(&pristine, HealthPolicy::Quarantine).is_ok());
 }
+
+/// The same bit-flip/truncation fuzz over a v3 model whose layers use the
+/// non-default storage formats (BBS and CSB at int8): every per-format
+/// wire codec behind the format-dispatched gate blobs must reject
+/// corruption with a typed `DecodeError`, never a panic — and a flipped
+/// format tag byte must surface as `BadFormat`/`BadMagic`, not as a
+/// mis-dispatched decode.
+#[test]
+fn format_zoo_decoder_survives_bitflip_and_truncation_fuzz() {
+    use rtmobile::RuntimeFormat;
+    let iters: usize = rtmobile::env::fuzz_iters().ok().flatten().unwrap_or(10_000);
+    let compiled = CompiledNetwork::compile_with_formats(
+        &net(),
+        4,
+        4,
+        &[],
+        RuntimePrecision::Int8,
+        &[RuntimeFormat::Bbs, RuntimeFormat::Csb],
+        RuntimeFormat::Csr,
+    )
+    .unwrap();
+    let pristine = model_file::to_bytes(&compiled);
+    let mut inj = FaultInjector::new(0xF0F0);
+    let mut decoded_ok = 0usize;
+    let mut rejected = 0usize;
+    for i in 0..iters {
+        let mut bytes = pristine.clone();
+        if inj.fire(0.25) {
+            let at = inj.truncate_at(bytes.len());
+            bytes.truncate(at);
+        } else {
+            for _ in 0..=inj.pick(3) {
+                inj.flip_bit(&mut bytes);
+            }
+        }
+        let result = if i % 2 == 0 {
+            model_file::from_bytes(&bytes).map(|_| ())
+        } else {
+            model_file::from_bytes_with(&bytes, HealthPolicy::Quarantine).map(|_| ())
+        };
+        match result {
+            Ok(()) => decoded_ok += 1,
+            Err(_) => rejected += 1,
+        }
+    }
+    assert_eq!(decoded_ok + rejected, iters);
+    assert!(rejected > iters / 4, "only {rejected}/{iters} rejected");
+    assert!(model_file::from_bytes_with(&pristine, HealthPolicy::Quarantine).is_ok());
+}
