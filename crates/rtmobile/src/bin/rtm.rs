@@ -5,26 +5,33 @@
 //!              [--seed K] [--threads T] [--batch B] [--simd POLICY]
 //!              [--health POLICY] [--precision CHOICE] [--format CHOICE]
 //!              [--trace OUT.json] [--save FILE.rtm]
+//! rtm serve FILE.rtm [--port P] [--max-conns N] [--tenant-quota Q]
+//!           [--max-streams N] [--threads T] [--batch B] [--queue-depth D]
+//!           [--shed POLICY] [--simd POLICY] [--health POLICY]
+//!           [--trace OUT.json] [--smoke N]
 //! rtm inspect FILE.rtm
 //! rtm help
 //! ```
 //!
 //! `pipeline` runs the full train → BSP-prune → compile → simulate flow and
-//! optionally writes the compiled f16 model to a `.rtm` file; `inspect`
-//! summarizes a saved model. Every runtime knob flows through one
-//! [`rtmobile::RuntimeConfig`], seeded from the `RTM_*` environment
-//! variables and overridden by the flags. `--trace OUT.json` enables the
-//! observability registry and writes a Chrome `trace_event` file to
-//! `OUT.json` plus the metrics dump (counters/gauges/histograms) next to
-//! it as `OUT.metrics.json`.
+//! optionally writes the compiled f16 model to a `.rtm` file; `serve`
+//! loads a saved model and runs the continuous-batching TCP front end on
+//! loopback (DESIGN.md §14); `inspect` summarizes a saved model. Every
+//! runtime knob flows through one [`rtmobile::RuntimeConfig`], seeded from
+//! the `RTM_*` environment variables and overridden by the flags.
+//! `--trace OUT.json` enables the observability registry and writes a
+//! Chrome `trace_event` file to `OUT.json` plus the metrics dump
+//! (counters/gauges/histograms) next to it as `OUT.metrics.json`.
 
-use rtmobile::{model_file, RtMobile, RuntimeConfig, TraceConfig};
+use rtmobile::serve::{ServeOptions, Server, ShedPolicy, StreamClient};
+use rtmobile::{model_file, AdmissionConfig, RtMobile, RuntimeConfig, TraceConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("pipeline") => pipeline(&args[1..]),
+        Some("serve") => serve(&args[1..]),
         Some("inspect") => inspect(&args[1..]),
         Some("help") | None => {
             print_help();
@@ -46,8 +53,24 @@ fn print_help() {
     println!("               [--seed K] [--threads T] [--batch B] [--simd POLICY]");
     println!("               [--health POLICY] [--precision CHOICE] [--format CHOICE]");
     println!("               [--trace OUT.json] [--save FILE.rtm]");
+    println!("  rtm serve FILE.rtm [--port P] [--max-conns N] [--tenant-quota Q]");
+    println!("            [--max-streams N] [--threads T] [--batch B] [--queue-depth D]");
+    println!("            [--shed POLICY] [--simd POLICY] [--health POLICY]");
+    println!("            [--trace OUT.json] [--smoke N]");
     println!("  rtm inspect FILE.rtm");
     println!("  rtm help");
+    println!();
+    println!("  serve binds a loopback TCP port (--port 0, the default, picks an");
+    println!("  ephemeral one and prints it), loads FILE.rtm and feeds concurrent");
+    println!("  connections through the continuous-batching runtime: --batch lanes");
+    println!("  are shared mid-flight, --max-conns bounds the connection table,");
+    println!("  --tenant-quota bounds concurrent streams per tenant, --queue-depth");
+    println!("  bounds the parked backlog (shed under --shed reject-new|drop-oldest)");
+    println!("  and --max-streams serves N streams then exits (omit to serve until");
+    println!("  interrupted). Every stream's logits are bit-identical to a serial");
+    println!("  run of the same frames. --smoke N drives the server from an");
+    println!("  in-process client (N synthetic streams over loopback), verifies");
+    println!("  bit-identity and exits — the CI self-test.");
     println!();
     println!("  --batch scores up to B test utterances per weight pass through the");
     println!("  multi-stream batched runtime (default 1; bit-identical results).");
@@ -289,6 +312,277 @@ fn pipeline(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+const SERVE_FLAGS: &[&str] = &[
+    "port",
+    "max-conns",
+    "tenant-quota",
+    "max-streams",
+    "threads",
+    "batch",
+    "queue-depth",
+    "shed",
+    "simd",
+    "health",
+    "trace",
+    "smoke",
+];
+
+fn serve(args: &[String]) -> ExitCode {
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: rtm serve FILE.rtm [flags] (try `rtm help`)");
+        return ExitCode::FAILURE;
+    };
+    let Some(flags) = parse_flags(&args[1..], SERVE_FLAGS) else {
+        return ExitCode::FAILURE;
+    };
+    let parsed = (|| -> Result<_, String> {
+        Ok((
+            parse_or(&flags, "port", 0u16)?,
+            parse_or(&flags, "max-conns", 64usize)?,
+            parse_or(&flags, "tenant-quota", usize::MAX)?,
+            parse_or(&flags, "threads", 1usize)?,
+            parse_or(&flags, "batch", 8usize)?,
+            parse_or(&flags, "queue-depth", usize::MAX)?,
+        ))
+    })();
+    let (port, max_conns, tenant_quota, threads, batch, queue_depth) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let smoke = match flags.get("smoke") {
+        None => None,
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => Some(n),
+            Ok(_) => {
+                eprintln!("--smoke must be >= 1");
+                return ExitCode::FAILURE;
+            }
+            Err(_) => {
+                eprintln!("--smoke: cannot parse {v:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    if max_conns == 0 {
+        eprintln!("--max-conns must be >= 1");
+        return ExitCode::FAILURE;
+    }
+    if threads == 0 {
+        eprintln!("--threads must be >= 1");
+        return ExitCode::FAILURE;
+    }
+    if batch == 0 {
+        eprintln!("--batch must be >= 1");
+        return ExitCode::FAILURE;
+    }
+
+    let mut runtime = match RuntimeConfig::from_env() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut admission = AdmissionConfig::unbounded().with_queue_depth(queue_depth);
+    match flags.get("shed").map(String::as_str) {
+        None => {}
+        Some("reject-new") => admission = admission.with_shed(ShedPolicy::RejectNew),
+        Some("drop-oldest") => admission = admission.with_shed(ShedPolicy::DropOldest),
+        Some(v) => {
+            eprintln!("--shed must be reject-new or drop-oldest (got {v})");
+            return ExitCode::FAILURE;
+        }
+    }
+    let mut serve_opts = ServeOptions::default()
+        .with_port(port)
+        .with_max_conns(max_conns)
+        .with_tenant_quota(tenant_quota);
+    match flags.get("max-streams") {
+        None => {}
+        Some(v) => match v.parse::<usize>() {
+            Ok(n) => serve_opts = serve_opts.with_max_streams(n),
+            Err(_) => {
+                eprintln!("--max-streams: cannot parse {v:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+    }
+    // The smoke run is self-driving: it serves exactly its own streams,
+    // then drains — whatever --max-streams said.
+    if let Some(n) = smoke {
+        serve_opts = serve_opts.with_max_streams(n);
+    }
+    runtime = runtime
+        .with_threads(threads)
+        .with_batch(batch)
+        .with_admission(admission)
+        .with_serve(serve_opts);
+    match flags.get("simd") {
+        None => {}
+        Some(v) => match rtm_tensor::simd::parse_policy(v) {
+            Some(p) => runtime = runtime.with_simd(p),
+            None => {
+                eprintln!("--simd must be auto, off, scalar, u4, u8 or vector (got {v})");
+                return ExitCode::FAILURE;
+            }
+        },
+    }
+    match flags.get("health") {
+        None => {}
+        Some(v) => match rtmobile::health::parse_policy(v) {
+            Some(p) => runtime = runtime.with_health(p),
+            None => {
+                eprintln!("--health must be off, check or quarantine (got {v})");
+                return ExitCode::FAILURE;
+            }
+        },
+    }
+    let trace_path = flags.get("trace");
+    if trace_path.is_some() {
+        runtime = runtime.with_trace(TraceConfig::on());
+    }
+    runtime.apply_globals();
+
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let net = match model_file::from_bytes(&bytes) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("not a valid .rtm model: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !net.tuner_costs().is_empty() {
+        println!(
+            "tuner costs loaded from model ({} layers) — no serve-side kernel probe",
+            net.tuner_costs().len()
+        );
+    }
+
+    let exec = rtm_exec::Executor::new(runtime.threads);
+    let mut server = match Server::bind(&net, &exec, &runtime) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("failed to bind port {port}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The smoke scripts parse this line for the ephemeral port.
+    println!("listening on {}", server.local_addr());
+    println!(
+        "model {path}: {} -> {} dims, {} lanes, {} thread(s)",
+        net.input_dim(),
+        net.num_classes(),
+        runtime.batch,
+        runtime.threads
+    );
+
+    // --smoke N: drive the server from an in-process client thread — N
+    // synthetic streams over the real loopback socket — then verify every
+    // returned logits row against a serial forward once the loop drains.
+    type SmokeStream = (Vec<Vec<f32>>, Vec<Vec<f32>>);
+    let smoke_client = smoke.map(|n| {
+        let addr = server.local_addr();
+        let input_dim = net.input_dim();
+        std::thread::spawn(move || -> Result<Vec<SmokeStream>, String> {
+            let err = |what: &'static str| move |e| format!("smoke client {what}: {e}");
+            (0..n)
+                .map(|s| {
+                    let frames: Vec<Vec<f32>> = (0..16)
+                        .map(|t| {
+                            (0..input_dim)
+                                .map(|i| (((s * 997 + t * input_dim + i) as f32) * 0.31).sin())
+                                .collect()
+                        })
+                        .collect();
+                    let mut client = StreamClient::connect(addr).map_err(err("connect"))?;
+                    client.start(s as u32).map_err(err("start"))?;
+                    let mut logits = Vec::with_capacity(frames.len());
+                    for f in &frames {
+                        logits.push(client.infer(f).map_err(err("infer"))?);
+                    }
+                    client.finish().map_err(err("finish"))?;
+                    Ok((frames, logits))
+                })
+                .collect()
+        })
+    });
+
+    let stats = match server.run() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("serve loop failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "served: {} admitted, {} completed, {} shed, {} quarantined, {} deadline missed, \
+         {} batched steps",
+        stats.admitted,
+        stats.completed,
+        stats.shed,
+        stats.quarantined,
+        stats.deadline_missed,
+        stats.frames
+    );
+
+    if let Some(handle) = smoke_client {
+        let streams = match handle.join() {
+            Ok(Ok(s)) => s,
+            Ok(Err(e)) => {
+                eprintln!("serve smoke FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+            Err(_) => {
+                eprintln!("serve smoke FAILED: client thread panicked");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut frames_total = 0usize;
+        for (s, (frames, logits)) in streams.iter().enumerate() {
+            let serial = net.forward(frames);
+            let identical = serial.len() == logits.len()
+                && serial.iter().zip(logits).all(|(a, b)| {
+                    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+                });
+            if !identical {
+                eprintln!("serve smoke FAILED: stream {s} differs from serial forward");
+                return ExitCode::FAILURE;
+            }
+            frames_total += logits.len();
+        }
+        println!(
+            "serve smoke ok: {} stream(s), {} frames, bit-identical to serial",
+            streams.len(),
+            frames_total
+        );
+    }
+
+    if let Some(tp) = trace_path {
+        let reg = rtm_trace::global();
+        let metrics_path = metrics_path_for(tp);
+        for (p, contents) in [
+            (tp.as_str(), reg.chrome_trace_json()),
+            (metrics_path.as_str(), reg.metrics_json()),
+        ] {
+            if let Err(e) = std::fs::write(p, &contents) {
+                eprintln!("failed to write {p}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        println!("wrote {tp} (Chrome trace_event) and {metrics_path} (metrics)");
+    }
+    ExitCode::SUCCESS
+}
+
 fn inspect(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         eprintln!("usage: rtm inspect FILE.rtm");
@@ -322,5 +616,19 @@ fn inspect(args: &[String]) -> ExitCode {
         "  sparse storage: {:.1} KiB",
         net.storage_bytes() as f64 / 1024.0
     );
+    if net.tuner_costs().is_empty() {
+        println!("  tuner costs   : none (fixed-choice compile)");
+    } else {
+        println!("  tuner costs   :");
+        for c in net.tuner_costs() {
+            println!(
+                "    layer {}: {}/{} measured {:.1} us",
+                c.layer,
+                c.format.tag(),
+                c.precision.tag(),
+                c.micros
+            );
+        }
+    }
     ExitCode::SUCCESS
 }

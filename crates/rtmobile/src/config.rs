@@ -16,7 +16,7 @@
 
 use crate::deploy::{RuntimeFormat, RuntimePrecision};
 use crate::health::HealthPolicy;
-use crate::serve::AdmissionConfig;
+use crate::serve::{AdmissionConfig, ServeOptions};
 use rtm_tensor::simd::SimdPolicy;
 use rtm_trace::TraceConfig;
 
@@ -108,6 +108,9 @@ pub struct RuntimeConfig {
     pub format: Option<FormatChoice>,
     /// Admission control of the batched scheduler (unbounded by default).
     pub admission: AdmissionConfig,
+    /// Socket-layer bounds of the `rtm serve` front end (ephemeral port,
+    /// 64 connections, no tenant quota by default).
+    pub serve: ServeOptions,
 }
 
 impl Default for RuntimeConfig {
@@ -121,6 +124,7 @@ impl Default for RuntimeConfig {
             precision: None,
             format: None,
             admission: AdmissionConfig::unbounded(),
+            serve: ServeOptions::default(),
         }
     }
 }
@@ -203,6 +207,12 @@ impl RuntimeConfig {
         self
     }
 
+    /// Sets the `rtm serve` socket-layer bounds.
+    pub fn with_serve(mut self, serve: ServeOptions) -> RuntimeConfig {
+        self.serve = serve;
+        self
+    }
+
     /// The precision choice a run resolves to: the pinned one, otherwise
     /// the `RTM_PRECISION` deployment default, otherwise the pipeline's
     /// f16 default (the paper's mobile-GPU datapath).
@@ -258,6 +268,9 @@ mod tests {
         assert_eq!(c.precision, None);
         assert_eq!(c.format, None);
         assert_eq!(c.admission, AdmissionConfig::unbounded());
+        assert_eq!(c.serve, ServeOptions::default());
+        assert_eq!(c.serve.port, 0, "default serve port is ephemeral");
+        assert_eq!(c.serve.max_conns, 64);
     }
 
     #[test]
@@ -309,6 +322,14 @@ mod tests {
                 AdmissionConfig::unbounded()
                     .with_queue_depth(3)
                     .with_shed(ShedPolicy::DropOldest),
+            )
+            .with_serve(
+                ServeOptions::default()
+                    .with_port(9099)
+                    .with_max_conns(8)
+                    .with_tenant_quota(2)
+                    .with_max_streams(100)
+                    .with_idle_sleep_us(250),
             );
         assert_eq!(c.threads, 4);
         assert_eq!(c.batch, 8);
@@ -320,6 +341,11 @@ mod tests {
             Some(FormatChoice::Fixed(crate::deploy::RuntimeFormat::Csb))
         );
         assert_eq!(c.admission.queue_depth, 3);
+        assert_eq!(c.serve.port, 9099);
+        assert_eq!(c.serve.max_conns, 8);
+        assert_eq!(c.serve.tenant_quota, 2);
+        assert_eq!(c.serve.max_streams, Some(100));
+        assert_eq!(c.serve.idle_sleep_us, 250);
         assert_eq!(c.resolved_health(), HealthPolicy::Quarantine);
     }
 

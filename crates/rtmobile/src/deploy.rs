@@ -358,6 +358,23 @@ pub struct CompiledGruLayer {
     pub(crate) format: RuntimeFormat,
 }
 
+/// One tuner measurement riding along with a compiled model: the seconds
+/// the compile-time kernel probe measured for the format × precision a
+/// layer was deployed at (stored as microseconds). Persisting these in the
+/// model file lets a serving-side load answer "what did the tuner see?"
+/// without re-running the probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TunerCost {
+    /// Layer index the measurement belongs to.
+    pub layer: usize,
+    /// Storage format the probe timed.
+    pub format: RuntimeFormat,
+    /// Storage precision the probe timed.
+    pub precision: RuntimePrecision,
+    /// Measured per-step kernel cost in microseconds.
+    pub micros: f32,
+}
+
 /// A GRU network compiled to sparse storage (BSPC by default; the format
 /// zoo's CSR/BBS/CSB per layer when selected).
 #[derive(Debug, Clone)]
@@ -367,6 +384,9 @@ pub struct CompiledNetwork {
     pub(crate) head_b: Vec<f32>,
     pub(crate) precision: RuntimePrecision,
     pub(crate) format: RuntimeFormat,
+    /// Tuner probe measurements (empty unless an Auto compile recorded
+    /// them; see [`CompiledNetwork::with_tuner_costs`]).
+    pub(crate) tuner_costs: Vec<TunerCost>,
 }
 
 /// Reusable workspace for the compiled streaming loop.
@@ -570,7 +590,34 @@ impl CompiledNetwork {
             head_b: net.head.b.clone(),
             precision: default,
             format: default_format,
+            tuner_costs: Vec::new(),
         })
+    }
+
+    /// Attaches tuner probe measurements to travel with the model (they
+    /// serialize into the `.rtm` v4 cost section).
+    pub fn with_tuner_costs(mut self, costs: Vec<TunerCost>) -> CompiledNetwork {
+        self.tuner_costs = costs;
+        self
+    }
+
+    /// Tuner probe measurements recorded at compile time (empty when the
+    /// model was compiled with explicit, un-probed settings).
+    pub fn tuner_costs(&self) -> &[TunerCost] {
+        &self.tuner_costs
+    }
+
+    /// Input frame dimension the compiled model expects.
+    pub fn input_dim(&self) -> usize {
+        self.layers
+            .first()
+            .map(|l| l.w_z.cols())
+            .unwrap_or_else(|| self.head_w.cols())
+    }
+
+    /// Number of output classes (logit rows per frame).
+    pub fn num_classes(&self) -> usize {
+        self.head_b.len()
     }
 
     /// The network-level numeric mode (per-layer overrides may differ; see
@@ -1111,17 +1158,36 @@ pub struct BatchedSession<'a> {
     health: HealthPolicy,
     admission: AdmissionConfig,
     stats: ServeStats,
+    /// Counter values already flushed to the trace registry (so repeated
+    /// [`BatchedSession::trace_flush`] calls add each delta exactly once).
+    trace_flushed: ServeStats,
     faults: Vec<StreamFault>,
-    /// `lane -> index into the caller's stream list`.
+    /// `lane -> caller token` (the stream index in [`BatchedSession::run`],
+    /// a connection id under the incremental API).
     lanes: Vec<usize>,
-    /// `lane -> next frame cursor` within its stream.
+    /// `lane -> frames served so far` (the next frame cursor).
     cursors: Vec<usize>,
     /// Per-layer lane-major hidden states `[hidden × lanes.len()]`.
     states: Vec<Vec<f32>>,
+    /// Per-layer gathered sub-batch states for steps where only a subset
+    /// of lanes has a frame ready.
+    sub_states: Vec<Vec<f32>>,
     scratch: GruRuntimeScratch,
     xs: Vec<f32>,
     hs_next: Vec<f32>,
     logits: Vec<f32>,
+}
+
+/// What one incremental [`BatchedSession::step`] produced.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StepOutput {
+    /// `(token, logit row)` for every frame served this step, in the order
+    /// the frames were passed. A quarantined token's faulty frame yields no
+    /// row.
+    pub logits: Vec<(usize, Vec<f32>)>,
+    /// Tokens whose lanes the health policy retired this step (their
+    /// state is gone; do not step them again).
+    pub quarantined: Vec<usize>,
 }
 
 impl<'a> BatchedSession<'a> {
@@ -1143,10 +1209,12 @@ impl<'a> BatchedSession<'a> {
             health: HealthPolicy::Off,
             admission: AdmissionConfig::default(),
             stats: ServeStats::default(),
+            trace_flushed: ServeStats::default(),
             faults: Vec::new(),
             lanes: Vec::with_capacity(capacity),
             cursors: Vec::with_capacity(capacity),
             states: net.layers.iter().map(|_| Vec::new()).collect(),
+            sub_states: net.layers.iter().map(|_| Vec::new()).collect(),
             scratch: GruRuntimeScratch::new(),
             xs: Vec::new(),
             hs_next: Vec::new(),
@@ -1171,6 +1239,11 @@ impl<'a> BatchedSession<'a> {
         self
     }
 
+    /// The admission-control bounds in force.
+    pub fn admission(&self) -> AdmissionConfig {
+        self.admission
+    }
+
     /// Serving counters of the most recent [`BatchedSession::run`].
     pub fn stats(&self) -> ServeStats {
         self.stats
@@ -1182,50 +1255,320 @@ impl<'a> BatchedSession<'a> {
         &self.faults
     }
 
+    /// Lanes currently in flight.
+    pub fn active_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Whether every lane is taken.
+    pub fn is_full(&self) -> bool {
+        self.lanes.len() >= self.capacity
+    }
+
+    /// The tokens currently holding lanes, in lane order.
+    pub fn tokens(&self) -> &[usize] {
+        &self.lanes
+    }
+
+    /// Frames served so far for `token`'s lane, `None` if it holds none.
+    pub fn frames_served(&self, token: usize) -> Option<usize> {
+        self.lane_of(token).map(|j| self.cursors[j])
+    }
+
+    fn lane_of(&self, token: usize) -> Option<usize> {
+        self.lanes.iter().position(|&t| t == token)
+    }
+
+    /// Admits `token` into a free lane with zero hidden state. Returns
+    /// `false` (and changes nothing) when the session is full. Counts into
+    /// [`ServeStats::admitted`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token` already holds a lane — tokens address lanes, so a
+    /// duplicate would make [`BatchedSession::step`] ambiguous.
+    pub fn admit(&mut self, token: usize) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        assert!(
+            self.lane_of(token).is_none(),
+            "token {token} already holds a lane"
+        );
+        let b = self.lanes.len();
+        for (state, layer) in self.states.iter_mut().zip(&self.net.layers) {
+            add_lane(state, b, layer.hidden);
+        }
+        self.lanes.push(token);
+        self.cursors.push(0);
+        self.stats.admitted += 1;
+        true
+    }
+
+    /// Retires `token`'s lane, compacting the state planes (pure data
+    /// movement — the other lanes keep their bit patterns). Returns whether
+    /// the token held a lane. Completion is the caller's call: pair with
+    /// [`BatchedSession::mark_completed`] when the stream finished cleanly.
+    pub fn retire(&mut self, token: usize) -> bool {
+        let Some(j) = self.lane_of(token) else {
+            return false;
+        };
+        let nb = self.lanes.len();
+        for state in &mut self.states {
+            remove_lane(state, nb, j);
+        }
+        self.lanes.remove(j);
+        self.cursors.remove(j);
+        true
+    }
+
+    /// Retires every lane at once (shutdown), returning the evicted tokens
+    /// in lane order.
+    pub fn drain(&mut self) -> Vec<usize> {
+        for s in &mut self.states {
+            s.clear();
+        }
+        self.cursors.clear();
+        std::mem::take(&mut self.lanes)
+    }
+
+    /// Counts a cleanly finished stream into [`ServeStats::completed`].
+    pub fn mark_completed(&mut self) {
+        self.stats.completed += 1;
+    }
+
+    /// Counts a stream shed at admission into [`ServeStats::shed`].
+    pub fn mark_shed(&mut self) {
+        self.stats.shed += 1;
+    }
+
+    /// Counts a stream admitted past its deadline budget into
+    /// [`ServeStats::deadline_missed`].
+    pub fn mark_deadline_missed(&mut self) {
+        self.stats.deadline_missed += 1;
+    }
+
+    /// Advances the given lanes one frame each through a single batched
+    /// weight pass. `frames` pairs each token with its next input frame —
+    /// pass only the lanes that have one ready (a continuous-batching
+    /// scheduler calls this with whatever arrived since the last tick;
+    /// lanes left out simply keep their state). Admission order, subset
+    /// choice and capacity never change a served lane's numbers: each
+    /// lane's logits stay bit-identical to a serial
+    /// [`CompiledNetwork::forward`] of that stream alone, because the
+    /// batched kernels honour the per-lane contract at any width and the
+    /// gather/scatter between the resident planes and the stepped sub-batch
+    /// is pure data movement.
+    ///
+    /// Under a scanning [`HealthPolicy`] the stepped lanes' states and
+    /// logits are checked; `Quarantine` retires a faulty lane on the spot
+    /// (reported in [`StepOutput::quarantined`], counted in
+    /// [`ServeStats::quarantined`], recorded in [`BatchedSession::faults`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Shape`] when a frame's width disagrees with the
+    /// model and [`ExecError::WorkerPanicked`] if a kernel task panics; the
+    /// lanes' states are unspecified afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a token holds no lane or appears twice in `frames`.
+    pub fn step(&mut self, frames: &[(usize, &[f32])]) -> Result<StepOutput, ExecError> {
+        let mut out = StepOutput::default();
+        let r = frames.len();
+        if r == 0 {
+            return Ok(out);
+        }
+        let b = self.lanes.len();
+        let classes = self.net.head_b.len();
+        let lane_of: Vec<usize> = frames
+            .iter()
+            .map(|&(token, _)| self.lane_of(token).expect("token holds no lane"))
+            .collect();
+        // The all-lanes-in-order case (every lockstep caller, and any tick
+        // where all streams kept up) steps the resident planes directly;
+        // a proper subset steps through gathered sub-batch planes.
+        let aligned = r == b && lane_of.iter().enumerate().all(|(jj, &j)| jj == j);
+        if !aligned {
+            let mut seen = vec![false; b];
+            for &j in &lane_of {
+                assert!(!seen[j], "token {} stepped twice", self.lanes[j]);
+                seen[j] = true;
+            }
+            for (plane, sub) in self.states.iter().zip(self.sub_states.iter_mut()) {
+                let rows = plane.len() / b;
+                sub.clear();
+                sub.resize(rows * r, 0.0);
+                for i in 0..rows {
+                    for (jj, &j) in lane_of.iter().enumerate() {
+                        sub[i * r + jj] = plane[i * b + j];
+                    }
+                }
+            }
+        }
+        // Gather this step's frames lane-major.
+        let input_dim = frames[0].1.len();
+        self.xs.clear();
+        self.xs.resize(input_dim * r, 0.0);
+        for (jj, &(_, frame)) in frames.iter().enumerate() {
+            if frame.len() != input_dim {
+                return Err(ExecError::Shape(rtm_tensor::ShapeError {
+                    op: "batched step frame",
+                    lhs: (input_dim, 1),
+                    rhs: (frame.len(), 1),
+                }));
+            }
+            for (i, &v) in frame.iter().enumerate() {
+                self.xs[i * r + jj] = v;
+            }
+        }
+        // One weight pass carries the ready lanes one frame forward.
+        let trace = rtm_trace::enabled();
+        let t0 = trace.then(std::time::Instant::now);
+        let net = self.net;
+        let stepped = if aligned {
+            &mut self.states
+        } else {
+            &mut self.sub_states
+        };
+        net.forward_frame_batch(
+            self.exec,
+            &mut self.xs,
+            r,
+            stepped,
+            &mut self.scratch,
+            &mut self.hs_next,
+            &mut self.logits,
+        )?;
+        if let Some(t0) = t0 {
+            rtm_trace::global().hist_record(
+                rtm_trace::key::SERVE_FRAME_US,
+                t0.elapsed().as_secs_f64() * 1e6,
+            );
+        }
+        self.stats.frames += 1;
+        if !aligned {
+            // Scatter the advanced states back into the resident planes.
+            for (plane, sub) in self.states.iter_mut().zip(&self.sub_states) {
+                let rows = plane.len() / b;
+                for i in 0..rows {
+                    for (jj, &j) in lane_of.iter().enumerate() {
+                        plane[i * b + j] = sub[i * r + jj];
+                    }
+                }
+            }
+        }
+        // Health scan over the stepped lanes' planes and logits. Lanes are
+        // arithmetically independent, so a fault in one implies nothing
+        // about the others — only faulty lanes are condemned.
+        let mut condemned = vec![false; r];
+        if self.health.scans() {
+            let stepped: &[Vec<f32>] = if aligned {
+                &self.states
+            } else {
+                &self.sub_states
+            };
+            for (jj, lane_condemned) in condemned.iter_mut().enumerate() {
+                let fault = stepped
+                    .iter()
+                    .find_map(|plane| crate::health::scan_lane(plane, r, jj))
+                    .or_else(|| crate::health::scan_lane(&self.logits, r, jj));
+                if let Some(fault) = fault {
+                    self.faults.push(StreamFault {
+                        stream: frames[jj].0,
+                        frame: self.cursors[lane_of[jj]],
+                        fault,
+                    });
+                    if self.health == HealthPolicy::Quarantine {
+                        *lane_condemned = true;
+                        self.stats.quarantined += 1;
+                    }
+                }
+            }
+        }
+        // Scatter logits per token and advance cursors; a condemned lane's
+        // faulty frame produces no logits.
+        for (jj, &(token, _)) in frames.iter().enumerate() {
+            if condemned[jj] {
+                out.quarantined.push(token);
+                continue;
+            }
+            let row: Vec<f32> = (0..classes).map(|k| self.logits[k * r + jj]).collect();
+            out.logits.push((token, row));
+            self.cursors[lane_of[jj]] += 1;
+        }
+        for &token in &out.quarantined {
+            self.retire(token);
+        }
+        Ok(out)
+    }
+
+    /// Adds the counter deltas accumulated since the last flush to the
+    /// process trace registry (no-op while tracing is off). Counters
+    /// accumulate across runs in the registry even though
+    /// [`BatchedSession::stats`] resets per run, so each delta is added
+    /// exactly once. [`BatchedSession::run`] flushes automatically; callers
+    /// of the incremental API flush at their own cadence.
+    pub fn trace_flush(&mut self) {
+        if !rtm_trace::enabled() {
+            return;
+        }
+        let (s, f) = (self.stats, self.trace_flushed);
+        rtm_trace::global().counter_add_many(&[
+            (
+                rtm_trace::key::SERVE_ADMITTED,
+                (s.admitted - f.admitted) as u64,
+            ),
+            (rtm_trace::key::SERVE_SHED, (s.shed - f.shed) as u64),
+            (
+                rtm_trace::key::SERVE_QUARANTINED,
+                (s.quarantined - f.quarantined) as u64,
+            ),
+            (
+                rtm_trace::key::SERVE_DEADLINE_MISSED,
+                (s.deadline_missed - f.deadline_missed) as u64,
+            ),
+        ]);
+        self.trace_flushed = s;
+    }
+
     /// Runs every stream to completion, batching up to `capacity` of them
     /// per step, and returns per-stream per-frame logits in input order.
     /// Empty streams yield empty logit lists, as do streams shed by
     /// admission control; a quarantined stream's logits stop at its last
     /// healthy frame. Counters land in [`BatchedSession::stats`], observed
     /// faults in [`BatchedSession::faults`].
+    ///
+    /// This is the offline lockstep replay of the incremental API: every
+    /// stream arrives at once, every admitted lane has a frame ready at
+    /// every step.
     pub fn run<S: AsRef<[Vec<f32>]>>(&mut self, streams: &[S]) -> Vec<Vec<Vec<f32>>> {
         let mut out: Vec<Vec<Vec<f32>>> = streams
             .iter()
             .map(|s| Vec::with_capacity(s.as_ref().len()))
             .collect();
-        self.lanes.clear();
-        self.cursors.clear();
-        for s in &mut self.states {
-            s.clear();
-        }
+        self.drain();
         self.stats = ServeStats::default();
+        self.trace_flushed = ServeStats::default();
         self.faults.clear();
-        let classes = self.net.head_b.len();
         // Every (non-empty) stream arrives at once in this offline replay;
         // the parked backlog holds them in input order until a lane frees.
         let mut parked: VecDeque<usize> = (0..streams.len())
             .filter(|&i| !streams[i].as_ref().is_empty())
             .collect();
         let mut step = 0usize;
-        // Scratch for the lanes the health scan condemns this step.
-        let mut condemned: Vec<bool> = Vec::new();
         // Resolve the trace switch once — this is the serving hot loop.
         let trace = rtm_trace::enabled();
         loop {
             // Admit parked streams into free lanes (oldest first).
-            while self.lanes.len() < self.capacity {
+            while !self.is_full() {
                 let Some(next) = parked.pop_front() else {
                     break;
                 };
-                let b = self.lanes.len();
-                for (state, layer) in self.states.iter_mut().zip(&self.net.layers) {
-                    add_lane(state, b, layer.hidden);
-                }
-                self.lanes.push(next);
-                self.cursors.push(0);
-                self.stats.admitted += 1;
+                self.admit(next);
                 if self.admission.deadline_steps.is_some_and(|d| step > d) {
-                    self.stats.deadline_missed += 1;
+                    self.mark_deadline_missed();
                 }
             }
             // Overload shedding: cap the backlog that survived admission.
@@ -1235,119 +1578,41 @@ impl<'a> BatchedSession<'a> {
                     ShedPolicy::DropOldest => parked.pop_front(),
                 };
                 debug_assert!(victim.is_some());
-                self.stats.shed += 1;
+                self.mark_shed();
             }
             if trace {
                 rtm_trace::global()
                     .gauge_set(rtm_trace::key::SERVE_QUEUE_DEPTH, parked.len() as f64);
             }
-            let b = self.lanes.len();
-            if b == 0 {
+            if self.lanes.is_empty() {
                 break;
             }
-            // Gather this step's frames lane-major.
-            let input_dim = streams[self.lanes[0]].as_ref()[self.cursors[0]].len();
-            self.xs.clear();
-            self.xs.resize(input_dim * b, 0.0);
-            for (j, (&s, &c)) in self.lanes.iter().zip(&self.cursors).enumerate() {
-                let frame = &streams[s].as_ref()[c];
-                assert_eq!(frame.len(), input_dim, "frame dim mismatch across streams");
-                for (i, &v) in frame.iter().enumerate() {
-                    self.xs[i * b + j] = v;
-                }
-            }
-            // One weight pass carries all lanes one frame forward.
-            let t0 = trace.then(std::time::Instant::now);
-            self.net
-                .forward_frame_batch(
-                    self.exec,
-                    &mut self.xs,
-                    b,
-                    &mut self.states,
-                    &mut self.scratch,
-                    &mut self.hs_next,
-                    &mut self.logits,
-                )
-                .expect("batched frame dims validated at admission");
-            if let Some(t0) = t0 {
-                rtm_trace::global().hist_record(
-                    rtm_trace::key::SERVE_FRAME_US,
-                    t0.elapsed().as_secs_f64() * 1e6,
-                );
-            }
-            self.stats.frames += 1;
-            // Health scan: check each lane's layer states and logits. Lanes
-            // are arithmetically independent, so a fault in lane j implies
-            // nothing about lane k — only faulty lanes are condemned.
-            condemned.clear();
-            condemned.resize(b, false);
-            if self.health.scans() {
-                for (j, lane_condemned) in condemned.iter_mut().enumerate() {
-                    let fault = self
-                        .states
-                        .iter()
-                        .find_map(|plane| crate::health::scan_lane(plane, b, j))
-                        .or_else(|| crate::health::scan_lane(&self.logits, b, j));
-                    if let Some(fault) = fault {
-                        self.faults.push(StreamFault {
-                            stream: self.lanes[j],
-                            frame: self.cursors[j],
-                            fault,
-                        });
-                        if self.health == HealthPolicy::Quarantine {
-                            *lane_condemned = true;
-                            self.stats.quarantined += 1;
-                        }
-                    }
-                }
-            }
-            // Scatter logits back per stream and advance cursors; a
-            // condemned lane's faulty frame produces no logits.
-            for (j, (&s, c)) in self.lanes.iter().zip(self.cursors.iter_mut()).enumerate() {
-                if condemned[j] {
-                    continue;
-                }
-                let row: Vec<f32> = (0..classes).map(|k| self.logits[k * b + j]).collect();
+            // Every lane has a frame ready in lockstep replay.
+            let ready: Vec<(usize, &[f32])> = self
+                .lanes
+                .iter()
+                .zip(&self.cursors)
+                .map(|(&s, &c)| (s, streams[s].as_ref()[c].as_slice()))
+                .collect();
+            let served = match self.step(&ready) {
+                Ok(served) => served,
+                Err(ExecError::Shape(e)) => panic!("frame dim mismatch across streams: {e}"),
+                Err(e) => panic!("batched step failed: {e:?}"),
+            };
+            for (s, row) in served.logits {
                 out[s].push(row);
-                *c += 1;
             }
-            // Retire quarantined and exhausted streams, compacting lane
-            // buffers (pure data movement: surviving lanes keep their bit
-            // patterns).
+            // Retire exhausted streams (quarantined lanes already left).
             for j in (0..self.lanes.len()).rev() {
-                let done = self.cursors[j] == streams[self.lanes[j]].as_ref().len();
-                if condemned[j] || done {
-                    let nb = self.lanes.len();
-                    for state in &mut self.states {
-                        remove_lane(state, nb, j);
-                    }
-                    self.lanes.remove(j);
-                    self.cursors.remove(j);
-                    condemned.remove(j);
-                    if done {
-                        self.stats.completed += 1;
-                    }
+                if self.cursors[j] == streams[self.lanes[j]].as_ref().len() {
+                    let token = self.lanes[j];
+                    self.retire(token);
+                    self.mark_completed();
                 }
             }
             step += 1;
         }
-        if trace {
-            // Counters accumulate across runs in the process registry even
-            // though `self.stats` resets per run, so add each run's deltas
-            // exactly once, here.
-            rtm_trace::global().counter_add_many(&[
-                (rtm_trace::key::SERVE_ADMITTED, self.stats.admitted as u64),
-                (rtm_trace::key::SERVE_SHED, self.stats.shed as u64),
-                (
-                    rtm_trace::key::SERVE_QUARANTINED,
-                    self.stats.quarantined as u64,
-                ),
-                (
-                    rtm_trace::key::SERVE_DEADLINE_MISSED,
-                    self.stats.deadline_missed as u64,
-                ),
-            ]);
-        }
+        self.trace_flush();
         out
     }
 
@@ -1882,6 +2147,133 @@ mod tests {
         assert_eq!(session.faults().len(), 1);
         assert_eq!(session.faults()[0].stream, 1);
         assert_eq!(session.faults()[0].frame, 2);
+    }
+
+    #[test]
+    fn incremental_subset_stepping_matches_serial_bit_exact() {
+        // Continuous batching's core contract: lanes stepped in ragged
+        // subsets — some streams lagging, some bursting — produce logits
+        // bit-identical to each stream's serial forward.
+        let net = net();
+        let streams: Vec<Vec<Vec<f32>>> = (0..4)
+            .map(|s| {
+                (0..8)
+                    .map(|t| {
+                        (0..6)
+                            .map(|i| ((s * 71 + t * 6 + i) as f32 * 0.27).sin() * 0.5)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        for precision in [RuntimePrecision::F32, RuntimePrecision::F16] {
+            let compiled = CompiledNetwork::compile(&net, 4, 4, precision).unwrap();
+            let serial: Vec<Vec<Vec<f32>>> = streams.iter().map(|s| compiled.forward(s)).collect();
+            for threads in [1usize, 3] {
+                let exec = rtm_exec::Executor::new(threads);
+                let mut session = BatchedSession::new(&compiled, &exec, 4);
+                let mut cursors = [0usize; 4];
+                let mut out: Vec<Vec<Vec<f32>>> = vec![Vec::new(); 4];
+                for s in 0..4 {
+                    assert!(session.admit(s));
+                }
+                assert!(session.is_full());
+                // A fixed ragged schedule: each tick advances a different
+                // subset, including out-of-lane-order subsets.
+                let schedule: [&[usize]; 12] = [
+                    &[0, 1, 2, 3],
+                    &[3, 1],
+                    &[0],
+                    &[2, 0, 1],
+                    &[3, 2],
+                    &[1, 0, 3],
+                    &[2],
+                    &[0, 1, 2, 3],
+                    &[3, 2, 1, 0],
+                    &[0, 1],
+                    &[2, 3],
+                    &[0, 1, 2, 3],
+                ];
+                for subset in schedule {
+                    let ready: Vec<(usize, &[f32])> = subset
+                        .iter()
+                        .filter(|&&s| cursors[s] < streams[s].len())
+                        .map(|&s| (s, streams[s][cursors[s]].as_slice()))
+                        .collect();
+                    let served = session.step(&ready).unwrap();
+                    for (s, row) in served.logits {
+                        out[s].push(row);
+                        cursors[s] += 1;
+                    }
+                }
+                for s in 0..4 {
+                    assert_eq!(session.frames_served(s), Some(cursors[s]));
+                    assert_eq!(
+                        out[s],
+                        serial[s][..cursors[s]].to_vec(),
+                        "{precision:?} threads={threads} stream {s} ragged schedule"
+                    );
+                }
+                assert_eq!(session.drain(), vec![0, 1, 2, 3]);
+                assert_eq!(session.active_lanes(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_admit_retire_midflight_matches_serial() {
+        // A lane retiring mid-flight and a fresh stream taking its place —
+        // the continuous-batching lifecycle — never disturbs the others.
+        let net = net();
+        let compiled = CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F16).unwrap();
+        let exec = rtm_exec::Executor::new(2);
+        let mk = |seed: usize, len: usize| -> Vec<Vec<f32>> {
+            (0..len)
+                .map(|t| {
+                    (0..6)
+                        .map(|i| ((seed * 53 + t * 6 + i) as f32 * 0.33).sin() * 0.5)
+                        .collect()
+                })
+                .collect()
+        };
+        let streams = [mk(0, 6), mk(1, 3), mk(2, 5)];
+        let serial: Vec<Vec<Vec<f32>>> = streams.iter().map(|s| compiled.forward(s)).collect();
+
+        let mut session = BatchedSession::new(&compiled, &exec, 2);
+        let mut out: Vec<Vec<Vec<f32>>> = vec![Vec::new(); 3];
+        let mut cursors = [0usize; 3];
+        assert!(session.admit(0) && session.admit(1));
+        assert!(!session.admit(2), "session is full");
+        loop {
+            let ready: Vec<(usize, &[f32])> = session
+                .tokens()
+                .to_vec()
+                .into_iter()
+                .filter(|&s| cursors[s] < streams[s].len())
+                .map(|s| (s, streams[s][cursors[s]].as_slice()))
+                .collect();
+            if ready.is_empty() {
+                break;
+            }
+            for (s, row) in session.step(&ready).unwrap().logits {
+                out[s].push(row);
+                cursors[s] += 1;
+            }
+            // Retire exhausted lanes and backfill with the waiting stream.
+            for s in session.tokens().to_vec() {
+                if cursors[s] == streams[s].len() {
+                    assert!(session.retire(s));
+                    session.mark_completed();
+                }
+            }
+            if !session.is_full() && session.frames_served(2).is_none() && cursors[2] == 0 {
+                assert!(session.admit(2));
+            }
+        }
+        assert_eq!(out.to_vec(), serial, "mid-flight churn keeps bit-identity");
+        assert_eq!(session.stats().admitted, 3);
+        assert_eq!(session.stats().completed, 3);
+        assert!(!session.retire(7), "unknown token retires nothing");
     }
 
     #[test]

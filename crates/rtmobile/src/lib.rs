@@ -53,4 +53,6 @@ pub use health::HealthPolicy;
 pub use pipeline::RtMobile;
 pub use report::{PipelineReport, Report};
 pub use rtm_trace::TraceConfig;
-pub use serve::{AdmissionConfig, ServeStats, ShedPolicy, StreamFault};
+pub use serve::{
+    AdmissionConfig, ServeOptions, ServeStats, Server, ShedPolicy, StreamClient, StreamFault,
+};

@@ -17,16 +17,20 @@
 //!            (int8 layers ship native codes + scales),
 //!            3 x bias runs (len u32 + f32s)
 //! head: rows u32, cols u32, f32 weights, f32 bias
+//! tuner costs: count u32, per entry layer u32, format u8, precision u8,
+//!              micros f32
 //! ```
 //!
 //! Version 2 added the per-layer precision byte and native int8 blobs;
 //! version 3 added the per-layer storage-format byte (0 = BSPC, 1 = CSR,
-//! 2 = BBS, 3 = CSB) with format-dispatched gate blobs. Older files are
-//! rejected with
+//! 2 = BBS, 3 = CSB) with format-dispatched gate blobs; version 4 appended
+//! the tuner-cost section, so a serving-side load can report what the
+//! compile-time kernel probe measured without re-running it. Older files
+//! are rejected with
 //! [`DecodeError::BadVersion`](rtm_sparse::io::DecodeError::BadVersion).
 
 use crate::deploy::{
-    CompiledGruLayer, CompiledNetwork, GateMatrix, RuntimeFormat, RuntimePrecision,
+    CompiledGruLayer, CompiledNetwork, GateMatrix, RuntimeFormat, RuntimePrecision, TunerCost,
 };
 use rtm_sparse::footprint::Precision;
 use rtm_sparse::io::DecodeError;
@@ -37,7 +41,7 @@ use rtm_tensor::Matrix;
 pub const MAGIC: &[u8; 4] = b"RTMF";
 
 /// Current model-file version.
-pub const VERSION: u16 = 3;
+pub const VERSION: u16 = 4;
 
 fn precision_code(p: RuntimePrecision) -> u8 {
     match p {
@@ -113,6 +117,14 @@ pub fn to_bytes(net: &CompiledNetwork) -> Vec<u8> {
     out.put_u32_le(net.head_b.len() as u32);
     for &v in &net.head_b {
         out.put_f32_le(v);
+    }
+    let costs = net.tuner_costs();
+    out.put_u32_le(costs.len() as u32);
+    for c in costs {
+        out.put_u32_le(c.layer as u32);
+        out.put_u8(precision_code(c.precision));
+        out.put_u8(format_code(c.format));
+        out.put_f32_le(c.micros);
     }
     out
 }
@@ -247,12 +259,35 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CompiledNetwork, DecodeError> {
     need(buf, nb.saturating_mul(4))?;
     let head_b: Vec<f32> = (0..nb).map(|_| buf.get_f32_le()).collect();
 
+    need(buf, 4)?;
+    let cost_count = buf.get_u32_le() as usize;
+    // 10 bytes per entry; reject counts the buffer cannot hold before
+    // allocating.
+    if cost_count > buf.remaining() / 10 {
+        return Err(DecodeError::Truncated);
+    }
+    let mut tuner_costs = Vec::with_capacity(cost_count);
+    for _ in 0..cost_count {
+        need(buf, 10)?;
+        let layer = buf.get_u32_le() as usize;
+        let precision = precision_from_code(buf.get_u8())?;
+        let format = format_from_code(buf.get_u8())?;
+        let micros = buf.get_f32_le();
+        tuner_costs.push(TunerCost {
+            layer,
+            format,
+            precision,
+            micros,
+        });
+    }
+
     Ok(CompiledNetwork {
         layers,
         head_w,
         head_b,
         precision,
         format,
+        tuner_costs,
     })
 }
 
@@ -406,6 +441,40 @@ mod tests {
         );
         assert_eq!(decoded.format(), RuntimeFormat::Bspc);
         assert_eq!(net.forward(&frames()), decoded.forward(&frames()));
+    }
+
+    #[test]
+    fn tuner_costs_roundtrip_and_default_empty() {
+        let plain = compiled(RuntimePrecision::F16);
+        let decoded = from_bytes(&to_bytes(&plain)).expect("decodes");
+        assert!(decoded.tuner_costs().is_empty());
+
+        let costs = vec![
+            TunerCost {
+                layer: 0,
+                format: RuntimeFormat::Bbs,
+                precision: RuntimePrecision::Int8,
+                micros: 12.5,
+            },
+            TunerCost {
+                layer: 1,
+                format: RuntimeFormat::Bspc,
+                precision: RuntimePrecision::F16,
+                micros: 7.25,
+            },
+        ];
+        let tuned = compiled(RuntimePrecision::F16).with_tuner_costs(costs.clone());
+        let bytes = to_bytes(&tuned);
+        let decoded = from_bytes(&bytes).expect("decodes");
+        assert_eq!(decoded.tuner_costs(), &costs[..]);
+        // The probe metadata never changes the numbers the model computes.
+        assert_eq!(decoded.forward(&frames()), tuned.forward(&frames()));
+        // A corrupt cost count cannot force an allocation the buffer
+        // cannot back.
+        let n = bytes.len();
+        let mut corrupt = bytes.clone();
+        corrupt[n - 24..n - 20].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(from_bytes(&corrupt).unwrap_err(), DecodeError::Truncated);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! The builder exposes every knob with laptop-scale defaults.
 
 use crate::config::{FormatChoice, PrecisionChoice, RuntimeConfig};
-use crate::deploy::{CompiledNetwork, RuntimeFormat, RuntimePrecision};
+use crate::deploy::{CompiledNetwork, RuntimeFormat, RuntimePrecision, TunerCost};
 use crate::report::{AccuracyReport, PerformanceReport, PipelineReport};
 use crate::serve::ServeStats;
 use rtm_compiler::plan::{ExecutionPlan, StorageFormat};
@@ -292,6 +292,10 @@ impl RtMobile {
         // the f32/f16/int8 SpMV kernels at each layer's gate shape
         // (inflated to at least 256 so timing noise does not dominate the
         // tiny laptop-scale widths) and keeps the fastest per layer.
+        // Probe measurements recorded along the way ride with the shipped
+        // model (`.rtm` v4 cost section), so a serving-side load reports
+        // what the tuner saw without re-running the probe.
+        let mut tuner_costs: Vec<TunerCost> = Vec::new();
         let (default_prec, per_layer_prec): (RuntimePrecision, Vec<RuntimePrecision>) = match choice
         {
             PrecisionChoice::Fixed(p) => (p, Vec::new()),
@@ -299,7 +303,8 @@ impl RtMobile {
                 let per_layer = net
                     .layers
                     .iter()
-                    .map(|cell| {
+                    .enumerate()
+                    .map(|(i, cell)| {
                         let costs = rtm_compiler::tuner::measure_precision_costs(
                             cell.hidden_dim().max(256),
                             cell.input_dim().max(256),
@@ -307,9 +312,16 @@ impl RtMobile {
                             self.blocks,
                             4,
                         );
-                        RuntimePrecision::from_storage(rtm_compiler::tuner::select_precision(
-                            &costs,
-                        ))
+                        let storage = rtm_compiler::tuner::select_precision(&costs);
+                        if let Some(c) = costs.iter().find(|c| c.precision == storage) {
+                            tuner_costs.push(TunerCost {
+                                layer: i,
+                                format: RuntimeFormat::Bspc,
+                                precision: RuntimePrecision::from_storage(storage),
+                                micros: (c.seconds * 1e6) as f32,
+                            });
+                        }
+                        RuntimePrecision::from_storage(storage)
                     })
                     .collect();
                 (RuntimePrecision::F32, per_layer)
@@ -344,8 +356,18 @@ impl RtMobile {
                                 self.runtime.batch,
                                 4,
                             );
-                            RuntimeFormat::from_storage(rtm_compiler::tuner::select_format(&costs))
-                                .unwrap_or(RuntimeFormat::Bspc)
+                            let storage = rtm_compiler::tuner::select_format(&costs);
+                            let format =
+                                RuntimeFormat::from_storage(storage).unwrap_or(RuntimeFormat::Bspc);
+                            if let Some(c) = costs.iter().find(|c| c.format == storage) {
+                                tuner_costs.push(TunerCost {
+                                    layer: i,
+                                    format,
+                                    precision: RuntimePrecision::from_storage(c.precision),
+                                    micros: (c.seconds * 1e6) as f32,
+                                });
+                            }
+                            format
                         })
                         .collect();
                     (RuntimeFormat::Bspc, per_layer)
@@ -448,6 +470,8 @@ impl RtMobile {
                 serve = bspc_serve;
             }
         }
+        // Whichever compile the guards shipped carries the probe record.
+        compiled = compiled.with_tuner_costs(tuner_costs);
         drop(deploy_span);
 
         // 4. Paper-scale performance simulation.

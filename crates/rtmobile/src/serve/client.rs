@@ -1,0 +1,163 @@
+//! Blocking client for the `rtm serve` wire protocol — the counterpart
+//! the integration tests, the `serve_load` bench and the CI smoke use to
+//! drive a [`super::Server`] over loopback.
+//!
+//! The client is deliberately synchronous: one [`StreamClient`] is one
+//! stream, `send`/`recv` block, and the closed-loop `infer` round-trip is
+//! exactly what the load generator times. Protocol-level surprises
+//! (malformed server frames, early EOF) surface as
+//! [`std::io::ErrorKind::InvalidData`] / `UnexpectedEof` errors.
+
+use std::io::{Error, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+use rtm_tensor::wire::FrameDecoder;
+
+use super::protocol::{put_client_msg, ClientMsg, RejectCode, ServerMsg};
+
+/// One client-side stream: connect, `start`, feed frames, `finish`.
+#[derive(Debug)]
+pub struct StreamClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Frame width the server's model expects (from `Hello`).
+    pub input_dim: usize,
+    /// Logit width the server produces (from `Hello`).
+    pub classes: usize,
+}
+
+fn invalid<E: std::error::Error + Send + Sync + 'static>(e: E) -> Error {
+    Error::new(ErrorKind::InvalidData, e)
+}
+
+impl StreamClient {
+    /// Connects and consumes the server's `Hello` greeting.
+    ///
+    /// # Errors
+    ///
+    /// Connection errors pass through; a non-`Hello` first message is
+    /// `InvalidData`.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<StreamClient> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        let mut client = StreamClient {
+            stream,
+            decoder: FrameDecoder::new(),
+            input_dim: 0,
+            classes: 0,
+        };
+        match client.recv()? {
+            ServerMsg::Hello { input_dim, classes } => {
+                client.input_dim = input_dim as usize;
+                client.classes = classes as usize;
+                Ok(client)
+            }
+            other => Err(Error::new(
+                ErrorKind::InvalidData,
+                format!("expected Hello, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Sends one protocol message.
+    ///
+    /// # Errors
+    ///
+    /// Socket write errors pass through.
+    pub fn send(&mut self, msg: &ClientMsg) -> std::io::Result<()> {
+        let mut out = Vec::new();
+        put_client_msg(&mut out, msg);
+        self.stream.write_all(&out)
+    }
+
+    /// Blocks until the next server message arrives.
+    ///
+    /// # Errors
+    ///
+    /// `UnexpectedEof` when the server closes first; `InvalidData` for
+    /// unframeable or undecodable bytes; other socket errors pass through.
+    pub fn recv(&mut self) -> std::io::Result<ServerMsg> {
+        let mut buf = [0u8; 4096];
+        loop {
+            if let Some(payload) = self.decoder.next_frame().map_err(invalid)? {
+                return ServerMsg::decode(&payload).map_err(invalid);
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                Ok(n) => self.decoder.push(&buf[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Joins the admission queue under `tenant`. The outcome (a lane, or a
+    /// `Reject`) arrives with the first `recv`/`infer` response.
+    ///
+    /// # Errors
+    ///
+    /// Socket write errors pass through.
+    pub fn start(&mut self, tenant: u32) -> std::io::Result<()> {
+        self.send(&ClientMsg::Start { tenant })
+    }
+
+    /// The closed-loop round trip the load generator times: sends one
+    /// frame and blocks for its logits.
+    ///
+    /// # Errors
+    ///
+    /// A `Reject` comes back as a [`RejectedError`] wrapped in
+    /// `InvalidData` (inspect via [`std::io::Error::get_ref`]); any other
+    /// non-`Logits` reply is `InvalidData` too.
+    pub fn infer(&mut self, frame: &[f32]) -> std::io::Result<Vec<f32>> {
+        self.send(&ClientMsg::Frame(frame.to_vec()))?;
+        match self.recv()? {
+            ServerMsg::Logits(row) => Ok(row),
+            ServerMsg::Reject { code } => Err(invalid(RejectedError { code })),
+            other => Err(Error::new(
+                ErrorKind::InvalidData,
+                format!("expected Logits, got {other:?}"),
+            )),
+        }
+    }
+
+    /// Ends the stream and blocks for `Done`, returning the frame count
+    /// the server reports.
+    ///
+    /// # Errors
+    ///
+    /// A `Reject` maps to [`RejectedError`] as in
+    /// [`infer`](StreamClient::infer); any other non-`Done` reply is
+    /// `InvalidData`.
+    pub fn finish(&mut self) -> std::io::Result<u32> {
+        self.send(&ClientMsg::End)?;
+        match self.recv()? {
+            ServerMsg::Done { frames } => Ok(frames),
+            ServerMsg::Reject { code } => Err(invalid(RejectedError { code })),
+            other => Err(Error::new(
+                ErrorKind::InvalidData,
+                format!("expected Done, got {other:?}"),
+            )),
+        }
+    }
+}
+
+/// The server refused (or stopped) serving this stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RejectedError {
+    /// The server's reason.
+    pub code: RejectCode,
+}
+
+impl std::fmt::Display for RejectedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stream rejected: {}", self.code.tag())
+    }
+}
+
+impl std::error::Error for RejectedError {}

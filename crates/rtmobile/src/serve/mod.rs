@@ -1,4 +1,13 @@
-//! Admission control and serving statistics for the batched runtime.
+//! The serving stack: admission control, serving statistics, and the
+//! `rtm serve` TCP front end.
+//!
+//! Three submodules turn the batched runtime into a network service
+//! (DESIGN.md §14): [`protocol`] defines the length-prefixed wire messages
+//! over the [`rtm_tensor::wire`] codec, [`server`] runs a std-only
+//! non-blocking readiness loop that feeds connections into
+//! [`crate::deploy::BatchedSession`] lanes (continuous batching), and
+//! [`client`] is the blocking counterpart used by tests, the bench load
+//! generator and CI smokes.
 //!
 //! The ROADMAP's serving contract is *sustained* faster-than-realtime
 //! operation, which breaks the moment offered load exceeds capacity: an
@@ -16,7 +25,14 @@
 
 use crate::health::NumericFault;
 
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::StreamClient;
+pub use protocol::{ClientMsg, ProtocolError, RejectCode, ServerMsg};
 pub use rtm_sim::streaming::ShedPolicy;
+pub use server::{ServeOptions, Server};
 
 /// Bounds on what a [`crate::deploy::BatchedSession`] run will accept.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -1,0 +1,595 @@
+//! The `rtm serve` front end: a std-only, non-blocking TCP server with
+//! continuous batching.
+//!
+//! One thread owns everything — the listener, every connection, and the
+//! [`BatchedSession`] — and spins a readiness loop: accept until the
+//! listener would block, read every socket until it would block, admit
+//! parked streams into free lanes, run **one** batched step over whichever
+//! active streams have a frame buffered (the continuous-batching core:
+//! lanes join and retire mid-flight, the batch never waits for stragglers),
+//! then flush outboxes until they would block. No `epoll`/`mio`/`tokio` —
+//! `TcpListener::set_nonblocking` plus a bounded idle sleep is the whole
+//! event mechanism, which keeps the server offline-safe and registry-free.
+//!
+//! Back-pressure and failure containment:
+//! - the connection table is bounded ([`ServeOptions::max_conns`]); excess
+//!   connections are greeted, rejected and closed,
+//! - per-tenant concurrent streams are bounded
+//!   ([`ServeOptions::tenant_quota`]),
+//! - the parked backlog is bounded by the session's
+//!   [`AdmissionConfig`](super::AdmissionConfig) under its
+//!   [`ShedPolicy`](super::ShedPolicy),
+//! - a malformed message, an oversized length prefix or a wrong-width
+//!   frame drops *that* connection (and frees its lane); every other
+//!   stream's logits are untouched — the bit-exactness contract of
+//!   [`BatchedSession::step`] holds per lane regardless of which
+//!   neighbours come and go.
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use rtm_tensor::wire::FrameDecoder;
+use rtm_trace::key;
+
+use super::protocol::{put_server_msg, ClientMsg, RejectCode, ServerMsg};
+use super::ServeStats;
+use crate::config::RuntimeConfig;
+use crate::deploy::{BatchedSession, CompiledNetwork};
+
+/// Knobs of the TCP front end (the batching/admission knobs live in
+/// [`RuntimeConfig`]; these bound the socket layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Loopback port to bind; `0` (the default) asks the OS for an
+    /// ephemeral port — read it back from [`Server::local_addr`].
+    pub port: u16,
+    /// Maximum simultaneously open connections; beyond it a new connection
+    /// is greeted, sent [`RejectCode::Capacity`] and closed.
+    pub max_conns: usize,
+    /// Maximum concurrent streams (parked or active) per tenant id;
+    /// `usize::MAX` (the default) disables the quota.
+    pub tenant_quota: usize,
+    /// Stop serving after this many streams finish (complete, shed,
+    /// quarantined or disconnected): the listener closes to new work and
+    /// [`Server::run`] returns once in-flight connections drain. `None`
+    /// (the default) serves until the stop flag.
+    pub max_streams: Option<usize>,
+    /// Event-loop sleep when a pass makes no progress, in microseconds —
+    /// the poll interval of the readiness loop.
+    pub idle_sleep_us: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            port: 0,
+            max_conns: 64,
+            tenant_quota: usize::MAX,
+            max_streams: None,
+            idle_sleep_us: 500,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Binds a specific port instead of an OS-assigned one.
+    pub fn with_port(mut self, port: u16) -> ServeOptions {
+        self.port = port;
+        self
+    }
+
+    /// Bounds the connection table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_conns == 0`.
+    pub fn with_max_conns(mut self, max_conns: usize) -> ServeOptions {
+        assert!(max_conns > 0, "connection bound must be positive");
+        self.max_conns = max_conns;
+        self
+    }
+
+    /// Bounds concurrent streams per tenant.
+    pub fn with_tenant_quota(mut self, quota: usize) -> ServeOptions {
+        self.tenant_quota = quota;
+        self
+    }
+
+    /// Serves `n` streams, then shuts down cleanly.
+    pub fn with_max_streams(mut self, n: usize) -> ServeOptions {
+        self.max_streams = Some(n);
+        self
+    }
+
+    /// Sets the idle-poll interval.
+    pub fn with_idle_sleep_us(mut self, us: u64) -> ServeOptions {
+        self.idle_sleep_us = us;
+        self
+    }
+}
+
+/// Connection lifecycle. `Parked` and `Active` are the started states that
+/// count against the tenant quota.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Greeted; waiting for `Start`.
+    AwaitStart,
+    /// Started; waiting in the admission queue for a lane.
+    Parked,
+    /// Holding a batching lane.
+    Active,
+    /// Terminal messages queued; drop once the outbox flushes.
+    Closing,
+}
+
+struct Conn {
+    stream: TcpStream,
+    token: usize,
+    tenant: u32,
+    phase: Phase,
+    decoder: FrameDecoder,
+    /// Decoded frames not yet stepped (the per-stream input queue the
+    /// batcher pulls from, one frame per step).
+    inbox: VecDeque<Vec<f32>>,
+    outbox: Vec<u8>,
+    out_pos: usize,
+    /// Client sent `End`; `Done` goes out once the inbox drains.
+    ended: bool,
+    frames_out: u32,
+    /// Socket unusable (EOF, reset, protocol error): drop without
+    /// flushing.
+    dead: bool,
+    /// Keeps the connection's lifetime visible in the trace timeline.
+    _span: rtm_trace::SpanGuard,
+}
+
+impl Conn {
+    /// Started streams are quota-relevant and count as "finished" when
+    /// they terminate.
+    fn started(&self) -> bool {
+        matches!(self.phase, Phase::Parked | Phase::Active)
+    }
+
+    fn queue_msg(&mut self, msg: &ServerMsg) {
+        put_server_msg(&mut self.outbox, msg);
+    }
+}
+
+/// The `rtm serve` server: bind once, then [`run`](Server::run) the
+/// readiness loop to completion.
+pub struct Server<'a> {
+    listener: TcpListener,
+    addr: SocketAddr,
+    session: BatchedSession<'a>,
+    opts: ServeOptions,
+    conns: Vec<Conn>,
+    /// Tokens of started streams awaiting a lane, in admission order.
+    parked: VecDeque<usize>,
+    next_token: usize,
+    /// Scheduling steps run (the deadline-accounting clock).
+    steps: usize,
+    /// Streams that reached a terminal state (served, shed, quarantined
+    /// or disconnected) — the [`ServeOptions::max_streams`] clock.
+    finished: usize,
+    input_dim: usize,
+    classes: usize,
+}
+
+impl<'a> Server<'a> {
+    /// Binds a loopback listener and prepares a batched session, all sized
+    /// by `config`: lanes = `config.batch`, admission = `config.admission`,
+    /// health = `config.resolved_health()`, socket bounds = `config.serve`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind/configure `io::Error`.
+    pub fn bind(
+        net: &'a CompiledNetwork,
+        exec: &'a rtm_exec::Executor,
+        config: &RuntimeConfig,
+    ) -> std::io::Result<Server<'a>> {
+        let opts = config.serve;
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, opts.port))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let session = BatchedSession::new(net, exec, config.batch)
+            .with_admission(config.admission)
+            .with_health(config.resolved_health());
+        Ok(Server {
+            listener,
+            addr,
+            session,
+            opts,
+            conns: Vec::new(),
+            parked: VecDeque::new(),
+            next_token: 0,
+            steps: 0,
+            finished: 0,
+            input_dim: net.input_dim(),
+            classes: net.num_classes(),
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> ServeStats {
+        self.session.stats()
+    }
+
+    /// Runs the readiness loop until [`ServeOptions::max_streams`] streams
+    /// have finished and drained (forever when unset).
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener `io::Error`s (per-connection socket errors are
+    /// handled as disconnects, not propagated).
+    pub fn run(&mut self) -> std::io::Result<ServeStats> {
+        self.run_until(&AtomicBool::new(false))
+    }
+
+    /// [`run`](Server::run), but also returns promptly once `stop` is set
+    /// (in-flight streams are abandoned, sockets closed).
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener `io::Error`s.
+    pub fn run_until(&mut self, stop: &AtomicBool) -> std::io::Result<ServeStats> {
+        let _span = rtm_trace::span("serve.run");
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                break;
+            }
+            let draining = self.opts.max_streams.is_some_and(|n| self.finished >= n);
+            let mut progress = false;
+            if !draining {
+                progress |= self.accept_ready()?;
+            }
+            progress |= self.read_ready();
+            self.admit_and_shed();
+            progress |= self.step_once();
+            progress |= self.write_ready();
+            self.reap();
+            if rtm_trace::enabled() {
+                self.session.trace_flush();
+                rtm_trace::gauge(key::SERVE_QUEUE_DEPTH, self.parked.len() as f64);
+                rtm_trace::gauge(key::SERVE_CONNS, self.conns.len() as f64);
+            }
+            if draining && self.conns.is_empty() {
+                break;
+            }
+            if !progress {
+                std::thread::sleep(Duration::from_micros(self.opts.idle_sleep_us));
+            }
+        }
+        self.session.drain();
+        self.session.trace_flush();
+        Ok(self.session.stats())
+    }
+
+    /// Accepts until the listener would block; over-capacity connections
+    /// are greeted, rejected and queued for close.
+    fn accept_ready(&mut self) -> std::io::Result<bool> {
+        let mut any = false;
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            any = true;
+            stream.set_nonblocking(true)?;
+            // Latency over throughput for 4-byte-prefixed frames.
+            let _ = stream.set_nodelay(true);
+            let token = self.next_token;
+            self.next_token += 1;
+            let mut conn = Conn {
+                stream,
+                token,
+                tenant: 0,
+                phase: Phase::AwaitStart,
+                decoder: FrameDecoder::new(),
+                inbox: VecDeque::new(),
+                outbox: Vec::new(),
+                out_pos: 0,
+                ended: false,
+                frames_out: 0,
+                dead: false,
+                _span: rtm_trace::span("serve.conn"),
+            };
+            conn.queue_msg(&ServerMsg::Hello {
+                input_dim: self.input_dim as u32,
+                classes: self.classes as u32,
+            });
+            if self.conns.len() >= self.opts.max_conns {
+                conn.queue_msg(&ServerMsg::Reject {
+                    code: RejectCode::Capacity,
+                });
+                conn.phase = Phase::Closing;
+                self.session.mark_shed();
+            }
+            self.conns.push(conn);
+        }
+        Ok(any)
+    }
+
+    /// Reads every socket until it would block and decodes buffered bytes
+    /// into protocol messages. A connection that misbehaves (bad framing,
+    /// bad message, wrong frame width, messages out of phase) is killed in
+    /// place; its lane, if any, is freed for the next parked stream.
+    fn read_ready(&mut self) -> bool {
+        let mut any = false;
+        let mut buf = [0u8; 8192];
+        // `Closing` connections are still read (and their messages
+        // discarded): leaving bytes unread would turn the eventual close
+        // into a TCP reset that can destroy the in-flight `Reject`/`Done`.
+        for i in 0..self.conns.len() {
+            if self.conns[i].dead {
+                continue;
+            }
+            let mut eof = false;
+            loop {
+                match self.conns[i].stream.read(&mut buf) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        any = true;
+                        rtm_trace::count(key::SERVE_BYTES_IN, n as u64);
+                        self.conns[i].decoder.push(&buf[..n]);
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        eof = true;
+                        break;
+                    }
+                }
+            }
+            let mut violation = false;
+            loop {
+                match self.conns[i].decoder.next_frame() {
+                    Ok(Some(payload)) => match ClientMsg::decode(&payload) {
+                        Ok(msg) => {
+                            if !self.apply_msg(i, msg) {
+                                violation = true;
+                                break;
+                            }
+                        }
+                        Err(_) => {
+                            violation = true;
+                            break;
+                        }
+                    },
+                    Ok(None) => break,
+                    Err(_) => {
+                        violation = true;
+                        break;
+                    }
+                }
+            }
+            if violation {
+                rtm_trace::count(key::SERVE_PROTOCOL_ERRORS, 1);
+                self.kill(i);
+            } else if eof {
+                // EOF after `End` (or after the server already queued the
+                // stream's terminal message) is the client closing
+                // politely; anything earlier is a mid-stream disconnect.
+                if !self.conns[i].ended && self.conns[i].phase != Phase::Closing {
+                    rtm_trace::count(key::SERVE_DISCONNECTS, 1);
+                }
+                self.kill(i);
+            }
+        }
+        any
+    }
+
+    /// Applies one decoded message to connection `i`; `false` means the
+    /// message was illegal in the connection's phase (a protocol
+    /// violation).
+    fn apply_msg(&mut self, i: usize, msg: ClientMsg) -> bool {
+        if self.conns[i].phase == Phase::Closing {
+            // The stream's fate is already sealed (rejected or done);
+            // whatever the client pipelined behind it is moot, not a
+            // violation — discard so the terminal message still flushes.
+            return true;
+        }
+        match msg {
+            ClientMsg::Start { tenant } => {
+                if self.conns[i].phase != Phase::AwaitStart {
+                    return false;
+                }
+                let held = self
+                    .conns
+                    .iter()
+                    .filter(|c| !c.dead && c.started() && c.tenant == tenant)
+                    .count();
+                if held >= self.opts.tenant_quota {
+                    self.conns[i].queue_msg(&ServerMsg::Reject {
+                        code: RejectCode::TenantQuota,
+                    });
+                    self.conns[i].phase = Phase::Closing;
+                    self.session.mark_shed();
+                    self.finished += 1;
+                } else {
+                    self.conns[i].tenant = tenant;
+                    self.conns[i].phase = Phase::Parked;
+                    self.parked.push_back(self.conns[i].token);
+                }
+                true
+            }
+            ClientMsg::Frame(xs) => {
+                let c = &mut self.conns[i];
+                if !c.started() || c.ended || xs.len() != self.input_dim {
+                    return false;
+                }
+                c.inbox.push_back(xs);
+                true
+            }
+            ClientMsg::End => {
+                let c = &mut self.conns[i];
+                if !c.started() || c.ended {
+                    return false;
+                }
+                c.ended = true;
+                true
+            }
+        }
+    }
+
+    /// Moves parked streams into free lanes (continuous batching: a lane
+    /// freed this step is refilled before the next), then sheds whatever
+    /// backlog exceeds the admission queue depth.
+    fn admit_and_shed(&mut self) {
+        while !self.session.is_full() {
+            let Some(token) = self.parked.pop_front() else {
+                break;
+            };
+            let Some(i) = self.conn_index(token) else {
+                continue;
+            };
+            self.session.admit(token);
+            self.conns[i].phase = Phase::Active;
+            if self
+                .session
+                .admission()
+                .deadline_steps
+                .is_some_and(|d| self.steps > d)
+            {
+                self.session.mark_deadline_missed();
+            }
+        }
+        while self.parked.len() > self.session.admission().queue_depth {
+            let victim = match self.session.admission().shed {
+                super::ShedPolicy::RejectNew => self.parked.pop_back(),
+                super::ShedPolicy::DropOldest => self.parked.pop_front(),
+            };
+            let Some(i) = victim.and_then(|t| self.conn_index(t)) else {
+                continue;
+            };
+            self.conns[i].queue_msg(&ServerMsg::Reject {
+                code: RejectCode::Capacity,
+            });
+            self.conns[i].phase = Phase::Closing;
+            self.session.mark_shed();
+            self.finished += 1;
+        }
+    }
+
+    /// Runs one batched step over every active stream with a buffered
+    /// frame and routes the logits back to their connections. Streams
+    /// whose inbox is drained after `End` retire and get `Done`.
+    fn step_once(&mut self) -> bool {
+        let mut ready: Vec<(usize, &[f32])> = Vec::new();
+        for c in &self.conns {
+            if c.phase == Phase::Active && !c.dead {
+                if let Some(frame) = c.inbox.front() {
+                    ready.push((c.token, frame.as_slice()));
+                }
+            }
+        }
+        let stepped = !ready.is_empty();
+        if stepped {
+            // Frame widths were validated at receive time, so the only
+            // step errors left are executor-internal; those are fatal to
+            // the process, not to a connection.
+            let out = self.session.step(&ready).expect("batched step failed");
+            self.steps += 1;
+            for (token, row) in out.logits {
+                if let Some(i) = self.conn_index(token) {
+                    self.conns[i].inbox.pop_front();
+                    self.conns[i].frames_out += 1;
+                    self.conns[i].queue_msg(&ServerMsg::Logits(row));
+                }
+            }
+            for token in out.quarantined {
+                if let Some(i) = self.conn_index(token) {
+                    self.conns[i].queue_msg(&ServerMsg::Reject {
+                        code: RejectCode::Quarantined,
+                    });
+                    self.conns[i].phase = Phase::Closing;
+                    self.finished += 1;
+                }
+            }
+        }
+        // Retire streams that have answered everything they will be sent.
+        for i in 0..self.conns.len() {
+            let c = &self.conns[i];
+            if c.phase == Phase::Active && c.ended && c.inbox.is_empty() {
+                self.session.retire(c.token);
+                self.session.mark_completed();
+                let frames = c.frames_out;
+                self.conns[i].queue_msg(&ServerMsg::Done { frames });
+                self.conns[i].phase = Phase::Closing;
+                self.finished += 1;
+            }
+        }
+        stepped
+    }
+
+    /// Flushes every outbox until the socket would block.
+    fn write_ready(&mut self) -> bool {
+        let mut any = false;
+        for c in &mut self.conns {
+            if c.dead {
+                continue;
+            }
+            while c.out_pos < c.outbox.len() {
+                match c.stream.write(&c.outbox[c.out_pos..]) {
+                    Ok(0) => {
+                        c.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        any = true;
+                        rtm_trace::count(key::SERVE_BYTES_OUT, n as u64);
+                        c.out_pos += n;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        c.dead = true;
+                        break;
+                    }
+                }
+            }
+            if c.out_pos == c.outbox.len() && c.out_pos > 0 {
+                c.outbox.clear();
+                c.out_pos = 0;
+            }
+        }
+        any
+    }
+
+    /// Marks connection `i` unusable and releases everything it holds: its
+    /// lane (if active), its parked slot, and its finished-stream tick.
+    fn kill(&mut self, i: usize) {
+        let token = self.conns[i].token;
+        if self.conns[i].phase == Phase::Active {
+            self.session.retire(token);
+        }
+        if self.conns[i].started() {
+            self.finished += 1;
+        }
+        self.parked.retain(|&t| t != token);
+        self.conns[i].dead = true;
+    }
+
+    /// Drops dead connections and flushed `Closing` connections.
+    fn reap(&mut self) {
+        self.conns
+            .retain(|c| !(c.dead || c.phase == Phase::Closing && c.out_pos == c.outbox.len()));
+    }
+
+    fn conn_index(&self, token: usize) -> Option<usize> {
+        self.conns.iter().position(|c| c.token == token)
+    }
+}

@@ -201,6 +201,19 @@ pub mod key {
     pub const SERVE_QUARANTINED: &str = "serve.quarantined";
     /// Streams admitted after their deadline budget elapsed.
     pub const SERVE_DEADLINE_MISSED: &str = "serve.deadline_missed";
+    /// Gauge: open TCP connections on the serve front end.
+    pub const SERVE_CONNS: &str = "serve.conns";
+    /// Bytes read from serve connections.
+    pub const SERVE_BYTES_IN: &str = "serve.bytes_in";
+    /// Bytes written to serve connections.
+    pub const SERVE_BYTES_OUT: &str = "serve.bytes_out";
+    /// Connections that vanished mid-stream (EOF/reset before `End`).
+    pub const SERVE_DISCONNECTS: &str = "serve.disconnects";
+    /// Connections dropped for a malformed or oversized wire message.
+    pub const SERVE_PROTOCOL_ERRORS: &str = "serve.protocol_errors";
+    /// Histogram: client-observed per-frame round-trip latency in
+    /// microseconds (recorded by the loopback load generator).
+    pub const SERVE_CLIENT_RTT_US: &str = "serve.client_rtt_us";
     /// Unroll candidates timed by the tuner's measured-cost hook.
     pub const TUNER_MEASUREMENTS: &str = "tuner.unroll_measurements";
     /// Precision candidates timed by the tuner's per-layer precision hook.

@@ -64,8 +64,18 @@ profile=()
 if [[ "$quick" -eq 0 ]]; then
   profile=(--release)
 fi
-for bin in parallel_spmv simd_kernels batched_spmm trace_overhead quant_kernels format_zoo; do
+for bin in parallel_spmv simd_kernels batched_spmm trace_overhead quant_kernels format_zoo serve_load; do
   cargo run -q "${profile[@]}" -p rtm-bench --bin "$bin" -- --quick >/dev/null
 done
+
+# Serve smoke: train-and-save a tiny model, then run the real `rtm serve`
+# binary against it — ephemeral loopback port, one stream driven by the
+# in-process smoke client, bit-identity check, clean shutdown.
+echo "==> rtm serve smoke (ephemeral port, one stream, clean shutdown)"
+mkdir -p target/quick
+cargo run -q "${profile[@]}" -p rtmobile --bin rtm -- \
+  pipeline --hidden 12 --save target/quick/serve_smoke.rtm >/dev/null
+cargo run -q "${profile[@]}" -p rtmobile --bin rtm -- \
+  serve target/quick/serve_smoke.rtm --smoke 1 | grep -q "serve smoke ok"
 
 echo "CI gate passed."

@@ -1,11 +1,18 @@
 //! Fault-injection suite: the serving runtime survives every fault class of
 //! DESIGN.md §10 — kernel panics, NaN-poisoned frames, severed workers,
-//! slow workers, and corrupted model bytes — with containment the contract:
-//! the fault surfaces as a typed value, the blast radius is one task / one
-//! lane / one load, and everything else stays bit-identical to serial.
+//! slow workers, and corrupted model bytes — plus the connection-level
+//! faults of the §14 TCP front end (torn length prefixes, mid-stream
+//! disconnects, slow writers) — with containment the contract: the fault
+//! surfaces as a typed value, the blast radius is one task / one lane /
+//! one connection, and everything else stays bit-identical to serial.
 //!
-//! Every fault is manufactured by the seeded [`rtm_sim::faults`] harness,
-//! so any failure here reproduces exactly from its seed.
+//! Every randomized fault is manufactured by the seeded
+//! [`rtm_sim::faults`] harness, so any failure here reproduces exactly
+//! from its seed.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
 
 use rtm_exec::{ExecError, Executor};
 use rtm_rnn::model::NetworkConfig;
@@ -13,10 +20,14 @@ use rtm_rnn::GruNetwork;
 use rtm_sim::faults::FaultInjector;
 use rtm_sparse::BspcMatrix;
 use rtm_tensor::rng::StdRng;
+use rtm_tensor::wire::FrameDecoder;
 use rtm_tensor::Matrix;
 use rtmobile::deploy::{BatchedSession, CompiledNetwork, RuntimePrecision};
 use rtmobile::health::{HealthPolicy, NumericFault};
 use rtmobile::model_file;
+use rtmobile::serve::protocol::put_client_msg;
+use rtmobile::serve::{ClientMsg, ServerMsg};
+use rtmobile::{RuntimeConfig, ServeStats, Server, StreamClient};
 
 fn bsp_weight(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -323,4 +334,260 @@ fn format_zoo_decoder_survives_bitflip_and_truncation_fuzz() {
     assert_eq!(decoded_ok + rejected, iters);
     assert!(rejected > iters / 4, "only {rejected}/{iters} rejected");
     assert!(model_file::from_bytes_with(&pristine, HealthPolicy::Quarantine).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Connection-level faults against the `rtm serve` front end (DESIGN.md §14).
+// ---------------------------------------------------------------------------
+
+/// Runs a serve loop on its own thread until `body` returns, then raises
+/// the stop flag and hands back the final stats. The stop flag (rather
+/// than `max_streams`) keeps drain accounting out of fault scenarios where
+/// how many streams "finish" is exactly what's under test.
+fn serve_faulted<R>(
+    net: &CompiledNetwork,
+    config: RuntimeConfig,
+    body: impl FnOnce(SocketAddr) -> R,
+) -> (ServeStats, R) {
+    /// Raises the stop flag even if `body` panics — otherwise the scope
+    /// would hang forever joining a server that was never told to stop,
+    /// turning an assertion failure into a timeout.
+    struct StopOnDrop<'a>(&'a AtomicBool);
+    impl Drop for StopOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let (net, stop) = (net, &stop);
+        let handle = scope.spawn(move || {
+            let exec = Executor::new(config.threads);
+            let mut server = Server::bind(net, &exec, &config).expect("bind");
+            tx.send(server.local_addr()).expect("addr handoff");
+            server.run_until(stop).expect("serve")
+        });
+        let addr = rx.recv().expect("server bound");
+        let out = {
+            let _guard = StopOnDrop(stop);
+            body(addr)
+        };
+        (handle.join().expect("server thread"), out)
+    })
+}
+
+/// Streams an utterance through a well-behaved client, closed-loop.
+fn serve_stream(addr: SocketAddr, tenant: u32, frames: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    let mut client = StreamClient::connect(addr).expect("connect");
+    client.start(tenant).expect("start");
+    let logits = frames
+        .iter()
+        .map(|f| client.infer(f).expect("infer"))
+        .collect();
+    client.finish().expect("finish");
+    logits
+}
+
+/// Blocking-reads one server message from a raw socket.
+fn read_server_msg(stream: &mut TcpStream, dec: &mut FrameDecoder) -> ServerMsg {
+    let mut buf = [0u8; 1024];
+    loop {
+        if let Some(payload) = dec.next_frame().expect("well-formed server frame") {
+            return ServerMsg::decode(&payload).expect("typed server message");
+        }
+        let n = stream.read(&mut buf).expect("read");
+        assert!(n > 0, "server closed mid-message");
+        dec.push(&buf[..n]);
+    }
+}
+
+fn assert_rows_bit_equal(served: &[Vec<f32>], serial: &[Vec<f32>], what: &str) {
+    assert_eq!(served.len(), serial.len(), "{what}: frame count");
+    for (t, (a, b)) in served.iter().zip(serial).enumerate() {
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: frame {t} logit {i}");
+        }
+    }
+}
+
+/// One connection tears its wire frame at a seeded byte (possibly inside
+/// the 4-byte length prefix) and disconnects; another sends a length
+/// prefix claiming a frame beyond `MAX_FRAME_LEN`. The first is a
+/// disconnect, the second a protocol violation — both kill only their own
+/// connection while a concurrent stream is served bit-identically.
+#[test]
+fn torn_and_oversized_wire_frames_kill_only_their_connection() {
+    let mut inj = FaultInjector::new(0x70A2);
+    let compiled = CompiledNetwork::compile(&net(), 4, 4, RuntimePrecision::F32).unwrap();
+    let frames = stream(61, 8);
+    let serial = compiled.forward(&frames);
+
+    let config = RuntimeConfig::default().with_batch(3);
+    let (stats, _) = serve_faulted(&compiled, config, |addr| {
+        // The survivor proves admission with a first round trip before any
+        // fault is injected.
+        let mut survivor = StreamClient::connect(addr).expect("connect");
+        survivor.start(0).expect("start");
+        let mut logits = vec![survivor.infer(&frames[0]).expect("infer")];
+
+        // Torn frame: a valid Start, then a strict prefix of a Frame
+        // message (the tear point is seeded and may fall inside the
+        // length prefix itself), then EOF.
+        let mut torn = TcpStream::connect(addr).expect("connect");
+        let mut bytes = Vec::new();
+        put_client_msg(&mut bytes, &ClientMsg::Start { tenant: 7 });
+        let mut framed = Vec::new();
+        put_client_msg(&mut framed, &ClientMsg::Frame(frames[0].clone()));
+        let tear = inj.truncate_at(framed.len()).max(1);
+        bytes.extend_from_slice(&framed[..tear]);
+        torn.write_all(&bytes).expect("write torn");
+        drop(torn);
+
+        // Oversized frame: a length prefix past `MAX_FRAME_LEN` is a
+        // protocol violation; the server must close this connection.
+        let mut oversized = TcpStream::connect(addr).expect("connect");
+        let mut bytes = Vec::new();
+        put_client_msg(&mut bytes, &ClientMsg::Start { tenant: 8 });
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        oversized.write_all(&bytes).expect("write oversized");
+        oversized
+            .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .expect("timeout");
+        // Drain until the server's close: the violation must not leave the
+        // connection half-alive. (Whether the greeting got flushed first
+        // is a race against the killing pass — only the close is the
+        // contract.)
+        let mut sink = [0u8; 64];
+        loop {
+            match oversized.read(&mut sink) {
+                Ok(0) => break,
+                Ok(_) => continue,
+                Err(e) => panic!("expected EOF after violation, got {e}"),
+            }
+        }
+
+        // The survivor streams to completion through both faults.
+        for f in &frames[1..] {
+            logits.push(survivor.infer(f).expect("infer"));
+        }
+        assert_rows_bit_equal(&logits, &serial, "survivor");
+        survivor.finish().expect("finish");
+    });
+    assert_eq!(stats.completed, 1, "only the survivor completes");
+    assert_eq!(stats.quarantined, 0);
+    assert_eq!(stats.shed, 0, "faults are not admission sheds");
+}
+
+/// A connection that vanishes mid-stream (no `End`) releases its lane: a
+/// newcomer is admitted into it and both the concurrent survivor and the
+/// newcomer stay bit-identical to serial.
+#[test]
+fn mid_stream_disconnect_frees_the_lane_for_a_newcomer() {
+    let compiled = CompiledNetwork::compile(&net(), 4, 4, RuntimePrecision::F32).unwrap();
+    let streams: Vec<Vec<Vec<f32>>> = (0..3).map(|s| stream(s + 70, 7)).collect();
+    let serial: Vec<Vec<Vec<f32>>> = streams.iter().map(|s| compiled.forward(s)).collect();
+
+    // Two lanes only: the newcomer can run iff the victim's lane is
+    // actually reclaimed.
+    let config = RuntimeConfig::default().with_batch(2);
+    let (stats, _) = serve_faulted(&compiled, config, |addr| {
+        let mut survivor = StreamClient::connect(addr).expect("connect");
+        survivor.start(0).expect("start");
+        let mut logits = vec![survivor.infer(&streams[0][0]).expect("infer")];
+
+        // The victim holds the second lane, serves two frames bit-exactly,
+        // then vanishes without an `End`.
+        let mut victim = StreamClient::connect(addr).expect("connect");
+        victim.start(1).expect("start");
+        for t in 0..2 {
+            let row = victim.infer(&streams[1][t]).expect("infer");
+            assert_rows_bit_equal(&[row], &serial[1][t..t + 1], &format!("victim frame {t}"));
+        }
+        drop(victim);
+
+        // The newcomer parks until the severed lane is reaped, then runs
+        // an entire stream through it.
+        let newcomer = serve_stream(addr, 2, &streams[2]);
+        assert_rows_bit_equal(&newcomer, &serial[2], "newcomer");
+
+        for f in &streams[0][1..] {
+            logits.push(survivor.infer(f).expect("infer"));
+        }
+        assert_rows_bit_equal(&logits, &serial[0], "survivor");
+        survivor.finish().expect("finish");
+    });
+    assert_eq!(
+        stats.admitted, 3,
+        "victim, survivor and newcomer all admitted"
+    );
+    assert_eq!(
+        stats.completed, 2,
+        "the disconnected stream never completes"
+    );
+    assert_eq!(stats.shed, 0);
+}
+
+/// A writer that stalls mid-frame must not stall the event loop: an
+/// entire other stream is served start-to-finish between the stalled
+/// connection's dribbles, and the slow stream still gets its exact logits
+/// once the frame finally lands. Single-threaded and deterministic — the
+/// test itself sequences the dribbles around the survivor's full run.
+#[test]
+fn slow_writer_stall_does_not_block_other_connections() {
+    let compiled = CompiledNetwork::compile(&net(), 4, 4, RuntimePrecision::F32).unwrap();
+    let slow_frames = stream(91, 1);
+    let slow_serial = compiled.forward(&slow_frames);
+    let fast_frames = stream(92, 8);
+    let fast_serial = compiled.forward(&fast_frames);
+
+    let config = RuntimeConfig::default().with_batch(2);
+    let (stats, _) = serve_faulted(&compiled, config, |addr| {
+        let mut slow = TcpStream::connect(addr).expect("connect");
+        slow.set_nodelay(true).expect("nodelay");
+        let mut start = Vec::new();
+        put_client_msg(&mut start, &ClientMsg::Start { tenant: 0 });
+        slow.write_all(&start).expect("start");
+        let mut framed = Vec::new();
+        put_client_msg(&mut framed, &ClientMsg::Frame(slow_frames[0].clone()));
+
+        // Stall with the frame torn three bytes in — inside the length
+        // prefix, the nastiest place to stop.
+        slow.write_all(&framed[..3]).expect("dribble");
+
+        // The entire fast stream runs while the slow writer is stalled.
+        let fast = serve_stream(addr, 1, &fast_frames);
+        assert_rows_bit_equal(&fast, &fast_serial, "fast stream during stall");
+
+        // Finish the frame in small dribbles; the server reassembles it
+        // and serves the exact logits as if it had arrived whole.
+        for chunk in framed[3..].chunks(2) {
+            slow.write_all(chunk).expect("dribble");
+        }
+        let mut dec = FrameDecoder::new();
+        match read_server_msg(&mut slow, &mut dec) {
+            ServerMsg::Hello { .. } => {}
+            other => panic!("expected Hello, got {other:?}"),
+        }
+        match read_server_msg(&mut slow, &mut dec) {
+            ServerMsg::Logits(row) => {
+                assert_rows_bit_equal(&[row], &slow_serial, "slow stream");
+            }
+            other => panic!("expected Logits, got {other:?}"),
+        }
+        let mut end = Vec::new();
+        put_client_msg(&mut end, &ClientMsg::End);
+        slow.write_all(&end).expect("end");
+        match read_server_msg(&mut slow, &mut dec) {
+            ServerMsg::Done { frames } => assert_eq!(frames, 1),
+            other => panic!("expected Done, got {other:?}"),
+        }
+    });
+    assert_eq!(
+        stats.completed, 2,
+        "both the slow and the fast stream finish"
+    );
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.quarantined, 0);
 }

@@ -176,7 +176,7 @@ fn mixed_format_model_file_roundtrip_is_bit_exact() {
 /// accuracy) holds on a real run.
 #[test]
 fn auto_format_selects_per_layer_within_per_guard() {
-    let report = RtMobile::builder()
+    let (report, _, compiled) = RtMobile::builder()
         .corpus(rtm_speech::corpus::CorpusConfig {
             speakers: 12,
             sentences_per_speaker: 3,
@@ -199,7 +199,7 @@ fn auto_format_selects_per_layer_within_per_guard() {
         .sim_hidden(256)
         .seed(3)
         .format(FormatChoice::Auto)
-        .run();
+        .run_keeping_model();
 
     let p = &report.performance;
     assert_eq!(p.format, "auto");
@@ -208,6 +208,18 @@ fn auto_format_selects_per_layer_within_per_guard() {
         2,
         "every layer reports a storage format"
     );
+    // The probe's measurements ride with the model: one cost per layer,
+    // each naming the format the layer shipped with, persisted through the
+    // `.rtm` v4 cost section so a serving-side load skips the probe.
+    let costs = compiled.tuner_costs();
+    assert_eq!(costs.len(), 2, "one format probe record per layer");
+    for (i, c) in costs.iter().enumerate() {
+        assert_eq!(c.layer, i);
+        assert_eq!(c.format, compiled.layer_formats()[i]);
+        assert!(c.micros > 0.0, "layer {i} measured cost must be positive");
+    }
+    let decoded = model_file::from_bytes(&model_file::to_bytes(&compiled)).expect("decodes");
+    assert_eq!(decoded.tuner_costs(), costs);
     let a = &report.accuracy;
     assert!(
         (a.compiled_per - a.pruned_per).abs() < 20.0,

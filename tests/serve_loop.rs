@@ -1,0 +1,306 @@
+//! Loopback contracts of the `rtm serve` front end (DESIGN.md §14).
+//!
+//! The load-bearing claim of continuous batching is that it changes
+//! *scheduling*, never *numerics*: every stream served over TCP — whatever
+//! lanes it shared, whenever it was admitted — must return logits
+//! bit-identical to a serial [`CompiledNetwork::forward`] of the same
+//! frames. The remaining tests pin the socket-boundary policies: tenant
+//! quotas, the connection-table bound, and admission shedding.
+
+use std::net::SocketAddr;
+use std::sync::atomic::AtomicBool;
+
+use rtm_exec::Executor;
+use rtm_rnn::model::NetworkConfig;
+use rtm_rnn::GruNetwork;
+use rtmobile::deploy::CompiledNetwork;
+use rtmobile::serve::client::RejectedError;
+use rtmobile::serve::{RejectCode, ServeOptions, Server, ShedPolicy, StreamClient};
+use rtmobile::{AdmissionConfig, RuntimeConfig, RuntimePrecision, ServeStats};
+
+/// Runs a server on its own thread (the `Executor` must be built on the
+/// serving thread — worker pools are not `Sync`), hands the ephemeral
+/// address to `body`, and returns the final stats once the server drains.
+fn with_server<R>(
+    net: &CompiledNetwork,
+    config: RuntimeConfig,
+    body: impl FnOnce(SocketAddr) -> R,
+) -> (ServeStats, R) {
+    std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let handle = scope.spawn(move || {
+            let exec = Executor::new(config.threads);
+            let mut server = Server::bind(net, &exec, &config).expect("bind");
+            tx.send(server.local_addr()).expect("addr handoff");
+            server.run().expect("serve")
+        });
+        let addr = rx.recv().expect("server bound");
+        let out = body(addr);
+        (handle.join().expect("server thread"), out)
+    })
+}
+
+fn compiled(seed: u64) -> CompiledNetwork {
+    let net = GruNetwork::new(
+        &NetworkConfig {
+            input_dim: 6,
+            hidden_dims: vec![12, 12],
+            num_classes: 4,
+        },
+        seed,
+    );
+    CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F16).unwrap()
+}
+
+fn stream(seed: usize, len: usize) -> Vec<Vec<f32>> {
+    (0..len)
+        .map(|t| {
+            (0..6)
+                .map(|i| (((seed * 31 + t * 6 + i) as f32) * 0.37 + 0.05).sin() * 0.8)
+                .collect()
+        })
+        .collect()
+}
+
+/// Streams one utterance through a blocking client, closed-loop, and
+/// returns the logits rows plus the server-reported frame count.
+fn run_stream(addr: SocketAddr, tenant: u32, frames: &[Vec<f32>]) -> (Vec<Vec<f32>>, u32) {
+    let mut client = StreamClient::connect(addr).expect("connect");
+    assert_eq!(client.input_dim, 6);
+    assert_eq!(client.classes, 4);
+    client.start(tenant).expect("start");
+    let logits: Vec<Vec<f32>> = frames
+        .iter()
+        .map(|f| client.infer(f).expect("infer"))
+        .collect();
+    let served = client.finish().expect("finish");
+    (logits, served)
+}
+
+fn assert_bits_equal(a: &[Vec<f32>], b: &[Vec<f32>], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: frame count");
+    for (t, (x, y)) in a.iter().zip(b).enumerate() {
+        for (i, (p, q)) in x.iter().zip(y).enumerate() {
+            assert_eq!(
+                p.to_bits(),
+                q.to_bits(),
+                "{what}: frame {t} logit {i}: {p} vs {q}"
+            );
+        }
+    }
+}
+
+/// Six concurrent connections share three lanes; every stream's logits
+/// must match the serial reference bit for bit, and the server must report
+/// exactly the frames each client sent.
+#[test]
+fn concurrent_streams_are_bit_identical_to_serial_inference() {
+    let net = compiled(23);
+    let lens = [9usize, 4, 12, 7, 5, 10];
+    let streams: Vec<Vec<Vec<f32>>> = lens
+        .iter()
+        .enumerate()
+        .map(|(s, &len)| stream(s, len))
+        .collect();
+    let serial: Vec<Vec<Vec<f32>>> = streams.iter().map(|s| net.forward(s)).collect();
+
+    let config = RuntimeConfig::default()
+        .with_threads(2)
+        .with_batch(3)
+        .with_serve(ServeOptions::default().with_max_streams(lens.len()));
+    let (stats, _) = with_server(&net, config, |addr| {
+        std::thread::scope(|scope| {
+            let clients: Vec<_> = streams
+                .iter()
+                .enumerate()
+                .map(|(s, frames)| scope.spawn(move || run_stream(addr, s as u32, frames)))
+                .collect();
+            for (s, handle) in clients.into_iter().enumerate() {
+                let (logits, served) = handle.join().expect("client thread");
+                assert_eq!(served as usize, lens[s], "stream {s} frames served");
+                assert_bits_equal(&serial[s], &logits, &format!("stream {s}"));
+            }
+        });
+    });
+    assert_eq!(stats.admitted, lens.len());
+    assert_eq!(stats.completed, lens.len());
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.quarantined, 0);
+}
+
+/// The degenerate capacity-1 server (serve one connection at a time) is
+/// the bench baseline; it must still serve every stream, bit-exactly.
+#[test]
+fn capacity_one_serves_streams_in_turn_bit_exactly() {
+    let net = compiled(41);
+    let streams: Vec<Vec<Vec<f32>>> = (0..4).map(|s| stream(s + 20, 6)).collect();
+    let serial: Vec<Vec<Vec<f32>>> = streams.iter().map(|s| net.forward(s)).collect();
+
+    let config = RuntimeConfig::default()
+        .with_batch(1)
+        .with_serve(ServeOptions::default().with_max_streams(streams.len()));
+    let (stats, _) = with_server(&net, config, |addr| {
+        std::thread::scope(|scope| {
+            let clients: Vec<_> = streams
+                .iter()
+                .map(|frames| scope.spawn(move || run_stream(addr, 0, frames)))
+                .collect();
+            for (s, handle) in clients.into_iter().enumerate() {
+                let (logits, _) = handle.join().expect("client thread");
+                assert_bits_equal(&serial[s], &logits, &format!("stream {s}"));
+            }
+        });
+    });
+    assert_eq!(stats.completed, streams.len());
+}
+
+/// A tenant at its quota gets `Reject { TenantQuota }` instead of a lane;
+/// other tenants are unaffected.
+#[test]
+fn tenant_quota_rejects_the_excess_stream() {
+    let net = compiled(7);
+    let frames = stream(3, 4);
+    let serial = net.forward(&frames);
+
+    let config = RuntimeConfig::default().with_batch(4).with_serve(
+        ServeOptions::default()
+            .with_tenant_quota(1)
+            .with_max_streams(3),
+    );
+    let (stats, _) = with_server(&net, config, |addr| {
+        // Tenant 9 takes its one slot; the first round trip proves the
+        // server has admitted it before the rival connects.
+        let mut held = StreamClient::connect(addr).expect("connect");
+        held.start(9).expect("start");
+        let first = held.infer(&frames[0]).expect("infer");
+        assert_bits_equal(&serial[..1], &[first], "held stream frame 0");
+
+        // Same tenant again: rejected before a lane is spent.
+        let mut rival = StreamClient::connect(addr).expect("connect");
+        rival.start(9).expect("start");
+        let err = rival.infer(&frames[0]).expect_err("quota must reject");
+        let rejected = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<RejectedError>())
+            .expect("typed rejection");
+        assert_eq!(rejected.code, RejectCode::TenantQuota);
+        drop(rival);
+
+        // A different tenant sails through.
+        let (logits, _) = run_stream(addr, 10, &frames);
+        assert_bits_equal(&serial, &logits, "other tenant");
+
+        for (t, f) in frames.iter().enumerate().skip(1) {
+            let row = held.infer(f).expect("infer");
+            assert_bits_equal(&serial[t..t + 1], &[row], &format!("held stream frame {t}"));
+        }
+        held.finish().expect("finish");
+    });
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.shed, 1, "the quota rejection counts as shed");
+}
+
+/// Beyond `max_conns` the server greets, rejects with `Capacity` and
+/// closes — the socket-layer shed boundary.
+#[test]
+fn connection_table_bound_rejects_with_capacity() {
+    let net = compiled(13);
+    let frames = stream(5, 3);
+
+    let config = RuntimeConfig::default().with_batch(2).with_serve(
+        ServeOptions::default()
+            .with_max_conns(1)
+            .with_max_streams(1),
+    );
+    let (stats, _) = with_server(&net, config, |addr| {
+        let mut held = StreamClient::connect(addr).expect("connect");
+        held.start(0).expect("start");
+        held.infer(&frames[0]).expect("infer");
+
+        // The table is full: the newcomer still gets a well-formed
+        // greeting, then the rejection.
+        let mut refused = StreamClient::connect(addr).expect("connect");
+        match refused.recv().expect("reject message") {
+            rtmobile::serve::ServerMsg::Reject { code } => {
+                assert_eq!(code, RejectCode::Capacity);
+            }
+            other => panic!("expected Reject, got {other:?}"),
+        }
+        drop(refused);
+
+        for f in &frames[1..] {
+            held.infer(f).expect("infer");
+        }
+        held.finish().expect("finish");
+    });
+    assert_eq!(stats.completed, 1);
+    assert!(stats.shed >= 1, "the refused connection counts as shed");
+}
+
+/// With every lane busy and `queue_depth 0`, a parked newcomer is shed
+/// under `RejectNew` while the active stream is served to completion.
+#[test]
+fn full_lanes_shed_the_parked_newcomer() {
+    let net = compiled(29);
+    let frames = stream(8, 4);
+    let serial = net.forward(&frames);
+
+    let config = RuntimeConfig::default()
+        .with_batch(1)
+        .with_admission(
+            AdmissionConfig::unbounded()
+                .with_queue_depth(0)
+                .with_shed(ShedPolicy::RejectNew),
+        )
+        .with_serve(ServeOptions::default().with_max_streams(2));
+    let (stats, _) = with_server(&net, config, |addr| {
+        let mut held = StreamClient::connect(addr).expect("connect");
+        held.start(0).expect("start");
+        let mut logits = vec![held.infer(&frames[0]).expect("infer")];
+
+        let mut shed = StreamClient::connect(addr).expect("connect");
+        shed.start(1).expect("start");
+        let err = shed.infer(&frames[0]).expect_err("backlog must shed");
+        let rejected = err
+            .get_ref()
+            .and_then(|e| e.downcast_ref::<RejectedError>())
+            .expect("typed rejection");
+        assert_eq!(rejected.code, RejectCode::Capacity);
+        drop(shed);
+
+        for f in &frames[1..] {
+            logits.push(held.infer(f).expect("infer"));
+        }
+        assert_bits_equal(&serial, &logits, "held stream");
+        held.finish().expect("finish");
+    });
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.shed, 1);
+}
+
+/// `run_until` returns promptly when the stop flag is raised even with a
+/// client mid-stream — the CLI's ctrl-c path.
+#[test]
+fn stop_flag_interrupts_an_idle_server() {
+    let net = compiled(3);
+    let config = RuntimeConfig::default().with_batch(2);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let (net, stop) = (&net, &stop);
+        let server_thread = scope.spawn(move || {
+            let exec = Executor::new(config.threads);
+            let mut server = Server::bind(net, &exec, &config).expect("bind");
+            tx.send(server.local_addr()).expect("addr handoff");
+            server.run_until(stop).expect("serve")
+        });
+        let addr = rx.recv().expect("server bound");
+        let mut client = StreamClient::connect(addr).expect("connect");
+        client.start(0).expect("start");
+        client.infer(&stream(1, 1)[0]).expect("infer");
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let stats = server_thread.join().expect("server thread");
+        assert_eq!(stats.admitted, 1);
+    });
+}
