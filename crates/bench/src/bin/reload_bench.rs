@@ -1,0 +1,376 @@
+//! Hot-swap benchmark: what a model republish costs the streams it lands on.
+//!
+//! Writes `BENCH_reload.json` at the repository root (or under
+//! `target/quick/` with `--quick`, which runs a tiny smoke configuration
+//! for CI). The question the artifact answers is DESIGN.md §15's
+//! zero-downtime claim: republishing a v5 bundle under `rtm serve
+//! --reload` must swap generations **without dropping a single stream or
+//! violating the real-time frame budget**, and every stream must stay
+//! bit-identical to a serial forward on whichever generation admitted it.
+//!
+//! Method: paced loopback clients (one frame per 10 ms hop, as in
+//! `serve_load`) replay seeded synthetic utterances back to back while
+//! the bench publishes a retrained bundle mid-run via the crash-safe
+//! writer (temp file + fsync + atomic rename). Three numbers fall out:
+//!
+//! * **swap latency** — atomic rename to the `serve.generation` gauge
+//!   reading the new generation (detection poll + load + checksum and
+//!   finiteness validation + canary forward pass + promotion);
+//! * **frames at risk** — frames whose round trip overlapped that
+//!   window, with their own p99 against the steady-state p99 (the
+//!   swap happens on the serve thread, so validation is the only work
+//!   that could stretch a frame);
+//! * **per-generation bit-identity** — each stream's logits must match
+//!   a serial forward on exactly one of the two generations (in-flight
+//!   streams finish on the old one, later admissions ride the new one).
+//!
+//! Dependency-free: std + workspace crates only.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use rtm_bench::{emit_bench_report, json_row, quick_requested, JsonValue};
+use rtm_exec::Executor;
+use rtm_rnn::model::NetworkConfig;
+use rtm_rnn::GruNetwork;
+use rtm_tensor::Matrix;
+use rtm_trace::key;
+use rtmobile::bundle;
+use rtmobile::deploy::{CompiledNetwork, RuntimePrecision};
+use rtmobile::{
+    BundleMeta, CompiledBundle, ReloadConfig, RuntimeConfig, ServeOptions, Server, StreamClient,
+    TraceConfig,
+};
+
+const STRIPES: usize = 4;
+const BLOCKS: usize = 4;
+/// Keep one weight in 10 — the paper's ~10× compression point.
+const RATE: usize = 10;
+/// Real-time speech frame hop: 10 ms, i.e. 100 frames per second.
+const PACE_US: u64 = 10_000;
+
+/// Zeroes a weight matrix down to a BSP pattern (same scheme as
+/// `serve_load`): every row kept, one in `RATE` columns kept per stripe.
+fn sparsify(m: &Matrix) -> Matrix {
+    let stripe_h = m.rows().div_ceil(STRIPES);
+    Matrix::from_fn(m.rows(), m.cols(), |r, c| {
+        let s = r / stripe_h;
+        if (c + s).is_multiple_of(RATE) {
+            m[(r, c)]
+        } else {
+            0.0
+        }
+    })
+}
+
+/// Trains nothing: the "retrained" generation is the same architecture
+/// re-seeded, which is exactly what the swap machinery sees in the field
+/// (same dims, different weights).
+fn compiled(input_dim: usize, hidden: usize, classes: usize, seed: u64) -> CompiledNetwork {
+    let mut net = GruNetwork::new(
+        &NetworkConfig {
+            input_dim,
+            hidden_dims: vec![hidden, hidden],
+            num_classes: classes,
+        },
+        seed,
+    );
+    for layer in &mut net.layers {
+        layer.w_z = sparsify(&layer.w_z);
+        layer.u_z = sparsify(&layer.u_z);
+        layer.w_r = sparsify(&layer.w_r);
+        layer.u_r = sparsify(&layer.u_r);
+        layer.w_n = sparsify(&layer.w_n);
+        layer.u_n = sparsify(&layer.u_n);
+    }
+    CompiledNetwork::compile(&net, STRIPES, BLOCKS, RuntimePrecision::F16).expect("valid BSP")
+}
+
+/// Seeded synthetic utterance `idx`: deterministic so serial references
+/// can be recomputed for the bit-identity check.
+fn utterance(idx: usize, frames: usize, input_dim: usize) -> Vec<Vec<f32>> {
+    (0..frames)
+        .map(|t| {
+            (0..input_dim)
+                .map(|i| {
+                    let x = (idx * 131 + t * 17 + i) as f32;
+                    (x * 0.37 + 0.11).sin() * 0.5
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// What one replayed stream observed, measured at the client.
+struct StreamOutcome {
+    idx: usize,
+    logits: Vec<Vec<f32>>,
+    /// (send instant, round trip µs) per steady-state frame.
+    rtts: Vec<(Instant, f64)>,
+}
+
+/// Replays one utterance, closed-loop, pacing frames at the real-time
+/// rate relative to its own admission.
+fn replay_stream(addr: SocketAddr, idx: usize, frames: &[Vec<f32>]) -> StreamOutcome {
+    let pace = Duration::from_micros(PACE_US);
+    let mut client = StreamClient::connect(addr).expect("connect");
+    client.start(idx as u32).expect("start");
+    let mut logits = Vec::with_capacity(frames.len());
+    logits.push(client.infer(&frames[0]).expect("first frame"));
+    let mut rtts = Vec::with_capacity(frames.len() - 1);
+    let base = Instant::now();
+    for (t, frame) in frames.iter().enumerate().skip(1) {
+        let due = base + pace * (t as u32);
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        let sent = Instant::now();
+        logits.push(client.infer(frame).expect("infer"));
+        rtts.push((sent, sent.elapsed().as_secs_f64() * 1e6));
+    }
+    let served = client.finish().expect("finish");
+    assert_eq!(served as usize, frames.len(), "server frame count");
+    StreamOutcome { idx, logits, rtts }
+}
+
+/// Exact quantile of a sorted sample set (rank `⌈q·n⌉`).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Polls the `serve.generation` gauge until it reads `want`; returns the
+/// wait. The gauge is set by the serve loop at promotion, so this is the
+/// rename→swap window as the server itself experienced it.
+fn await_generation(want: f64, deadline: Duration) -> Duration {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if rtm_trace::global().gauge(key::SERVE_GENERATION) == Some(want) {
+            return start.elapsed();
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    panic!("generation gauge never reached {want}");
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let quick = quick_requested();
+    let (input_dim, hidden, classes, streams, frames_per_stream, capacity, workers) = if quick {
+        (13, 16, 8, 8, 24, 8, 4)
+    } else {
+        (13, 64, 39, 48, 100, 32, 12)
+    };
+
+    let old = compiled(input_dim, hidden, classes, 2026);
+    let new = compiled(input_dim, hidden, classes, 2027);
+    let utterances: Vec<Vec<Vec<f32>>> = (0..streams)
+        .map(|s| utterance(s, frames_per_stream, input_dim))
+        .collect();
+    let serial_old: Vec<Vec<Vec<f32>>> = utterances.iter().map(|u| old.forward(u)).collect();
+    let serial_new: Vec<Vec<Vec<f32>>> = utterances.iter().map(|u| new.forward(u)).collect();
+
+    let dir = std::env::temp_dir().join(format!("rtm-reload-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("model.rtm");
+    bundle::write(&path, &old, &BundleMeta::default().with_generation(1)).expect("publish gen 1");
+
+    rtm_trace::global().reset();
+    rtm_trace::set_config(TraceConfig::on());
+    let config = RuntimeConfig::default().with_batch(capacity).with_serve(
+        ServeOptions::default()
+            .with_max_conns(workers + 8)
+            .with_max_streams(streams),
+    );
+    let reload = ReloadConfig::default().with_poll_ms(2);
+
+    let stop = AtomicBool::new(false);
+    let (stats, reload_stats, outcomes, swap, publish_at) = std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel();
+        let (stop, config, reload, path) = (&stop, &config, reload, path.as_path());
+        let server = scope.spawn(move || {
+            let exec = Executor::new(config.threads);
+            let bundle = CompiledBundle::load(path).expect("load bundle");
+            let mut server = Server::bind_bundle(bundle, &exec, config).expect("bind");
+            server.enable_reload(path.to_path_buf(), reload);
+            tx.send(server.local_addr()).expect("addr handoff");
+            let stats = server.run_until(stop).expect("serve");
+            (stats, server.reload_stats())
+        });
+        let addr = rx.recv().expect("server bound");
+
+        let utts = &utterances;
+        let clients: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    std::thread::sleep(Duration::from_micros(
+                        PACE_US * w as u64 / workers.max(1) as u64,
+                    ));
+                    (w..utts.len())
+                        .step_by(workers)
+                        .map(|k| replay_stream(addr, k, &utts[k]))
+                        .collect::<Vec<StreamOutcome>>()
+                })
+            })
+            .collect();
+
+        // Publish the retrained generation once the load is mid-flight:
+        // a third of the way through one stream replay.
+        std::thread::sleep(Duration::from_micros(
+            PACE_US * frames_per_stream as u64 / 3,
+        ));
+        bundle::write(path, &new, &BundleMeta::default().with_generation(2))
+            .expect("publish gen 2");
+        let publish_at = Instant::now();
+        let swap = await_generation(2.0, Duration::from_secs(10));
+
+        let mut outcomes: Vec<StreamOutcome> = Vec::with_capacity(utts.len());
+        for handle in clients {
+            outcomes.extend(handle.join().expect("client worker"));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let (stats, reload_stats) = server.join().expect("server thread");
+        (stats, reload_stats, outcomes, swap, publish_at)
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Per-generation bit-identity: every stream matches a serial forward
+    // on exactly one generation, end to end — the swap never leaks mixed
+    // generations into a stream.
+    let same = |a: &[Vec<f32>], b: &[Vec<f32>]| {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits()))
+    };
+    let (mut on_old, mut on_new) = (0usize, 0usize);
+    for out in &outcomes {
+        if same(&out.logits, &serial_old[out.idx]) {
+            on_old += 1;
+        } else if same(&out.logits, &serial_new[out.idx]) {
+            on_new += 1;
+        } else {
+            panic!("stream {} matches neither generation bit-exactly", out.idx);
+        }
+    }
+    assert_eq!(outcomes.len(), streams, "every stream must finish");
+    assert_eq!(stats.completed, streams, "zero dropped streams");
+    assert!(on_new > 0, "no stream ever reached the new generation");
+    assert_eq!(reload_stats.successes, 1, "exactly one swap");
+    assert_eq!(reload_stats.rollbacks, 0, "no rollback expected");
+    assert_eq!(reload_stats.generation, 2, "serving the new generation");
+
+    let swap_window = (publish_at, publish_at + swap);
+    let mut all: Vec<f64> = Vec::new();
+    let mut at_risk: Vec<f64> = Vec::new();
+    for out in &outcomes {
+        for &(sent, us) in &out.rtts {
+            all.push(us);
+            if sent >= swap_window.0 && sent <= swap_window.1 {
+                at_risk.push(us);
+            }
+        }
+    }
+    all.sort_by(f64::total_cmp);
+    at_risk.sort_by(f64::total_cmp);
+
+    let swap_ms = swap.as_secs_f64() * 1e3;
+    eprintln!(
+        "swap latency {swap_ms:.1} ms (rename -> generation gauge); {} streams ({on_old} old gen, \
+         {on_new} new gen), {} frames, {} at risk during the swap; rtt p99 {:.0} us overall, \
+         {:.0} us at risk",
+        streams,
+        all.len() + streams,
+        at_risk.len(),
+        percentile(&all, 0.99),
+        percentile(&at_risk, 0.99),
+    );
+
+    let rows = vec![json_row(&[
+        ("streams", JsonValue::Int(streams as i64)),
+        (
+            "frames_per_stream",
+            JsonValue::Int(frames_per_stream as i64),
+        ),
+        ("capacity", JsonValue::Int(capacity as i64)),
+        ("client_workers", JsonValue::Int(workers as i64)),
+        ("swap_latency_ms", JsonValue::F64(swap_ms, 2)),
+        ("streams_on_old_generation", JsonValue::Int(on_old as i64)),
+        ("streams_on_new_generation", JsonValue::Int(on_new as i64)),
+        ("frames_at_risk", JsonValue::Int(at_risk.len() as i64)),
+        (
+            "frame_rtt_p50_us",
+            JsonValue::F64(percentile(&all, 0.50), 0),
+        ),
+        (
+            "frame_rtt_p99_us",
+            JsonValue::F64(percentile(&all, 0.99), 0),
+        ),
+        (
+            "at_risk_rtt_p99_us",
+            JsonValue::F64(percentile(&at_risk, 0.99), 0),
+        ),
+        ("completed", JsonValue::Int(stats.completed as i64)),
+        ("shed", JsonValue::Int(stats.shed as i64)),
+        ("quarantined", JsonValue::Int(stats.quarantined as i64)),
+        ("dropped_streams", JsonValue::Int(0)),
+        (
+            "reload_attempts",
+            JsonValue::Int(reload_stats.attempts as i64),
+        ),
+        (
+            "reload_successes",
+            JsonValue::Int(reload_stats.successes as i64),
+        ),
+        (
+            "reload_refusals",
+            JsonValue::Int(reload_stats.refusals as i64),
+        ),
+        (
+            "reload_rollbacks",
+            JsonValue::Int(reload_stats.rollbacks as i64),
+        ),
+        ("generation", JsonValue::Int(reload_stats.generation as i64)),
+    ])];
+
+    emit_bench_report(
+        "reload",
+        quick,
+        &[
+            (
+                "model",
+                JsonValue::Raw(format!(
+                    "{{\"input_dim\": {input_dim}, \"hidden\": [{hidden}, {hidden}], \
+                     \"classes\": {classes}, \"compression\": {RATE}, \"precision\": \"f16\", \
+                     \"stripes\": {STRIPES}, \"blocks\": {BLOCKS}}}"
+                )),
+            ),
+            (
+                "host_cpus",
+                JsonValue::Int(std::thread::available_parallelism().map_or(0, |n| n.get() as i64)),
+            ),
+            ("pace_us", JsonValue::Int(PACE_US as i64)),
+            (
+                "notes",
+                JsonValue::Str(
+                    "Paced loopback clients (100 fps per stream) replay seeded synthetic \
+                     utterances while a retrained v5 bundle is atomically republished \
+                     mid-run. swap_latency_ms spans the atomic rename to the \
+                     serve.generation gauge flipping: detection poll, checksum + \
+                     finiteness validation, canary forward pass, and promotion at the \
+                     admission barrier. frames_at_risk counts round trips overlapping \
+                     that window. Every stream is verified bit-identical to a serial \
+                     forward on exactly one generation (in-flight streams finish on the \
+                     old one) and zero streams are dropped (EXPERIMENTS.md Q4)."
+                        .into(),
+                ),
+            ),
+        ],
+        &[("rows", rows)],
+    );
+}

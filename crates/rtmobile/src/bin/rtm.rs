@@ -5,32 +5,45 @@
 //!              [--seed K] [--threads T] [--batch B] [--simd POLICY]
 //!              [--health POLICY] [--precision CHOICE] [--format CHOICE]
 //!              [--trace OUT.json] [--save FILE.rtm]
+//! rtm compile --out FILE.rtm [--hidden N] [--col X] [--row Y] [--stripes S]
+//!             [--blocks B] [--seed K] [--threads T] [--batch B]
+//!             [--simd POLICY] [--health POLICY] [--precision CHOICE]
+//!             [--format CHOICE]
 //! rtm serve FILE.rtm [--port P] [--max-conns N] [--tenant-quota Q]
 //!           [--max-streams N] [--threads T] [--batch B] [--queue-depth D]
 //!           [--shed POLICY] [--simd POLICY] [--health POLICY]
+//!           [--reload on|off|POLL_MS] [--rollback-threshold F]
 //!           [--trace OUT.json] [--smoke N]
 //! rtm inspect FILE.rtm
 //! rtm help
 //! ```
 //!
-//! `pipeline` runs the full train → BSP-prune → compile → simulate flow and
-//! optionally writes the compiled f16 model to a `.rtm` file; `serve`
-//! loads a saved model and runs the continuous-batching TCP front end on
-//! loopback (DESIGN.md §14); `inspect` summarizes a saved model. Every
-//! runtime knob flows through one [`rtmobile::RuntimeConfig`], seeded from
-//! the `RTM_*` environment variables and overridden by the flags.
-//! `--trace OUT.json` enables the observability registry and writes a
-//! Chrome `trace_event` file to `OUT.json` plus the metrics dump
-//! (counters/gauges/histograms) next to it as `OUT.metrics.json`.
+//! The compile-once-serve-many flow (DESIGN.md §15): `compile` runs the
+//! full train → BSP-prune → compile flow ahead of time and publishes the
+//! result as a checksummed v5 bundle — weights in their final per-layer
+//! format and precision, tuner costs, and health metadata (compiled PER,
+//! guard verdicts) — via an atomic temp-file + rename write. `serve` loads
+//! a bundle and runs the continuous-batching TCP front end on loopback
+//! (DESIGN.md §14); with `--reload` (or `RTM_RELOAD`) it watches the
+//! bundle path and hot-swaps validated republishes with zero dropped
+//! streams, rolling back if the new generation's quarantine rate trips
+//! `--rollback-threshold`. `inspect` summarizes a saved model including
+//! its integrity and health metadata. Every runtime knob flows through one
+//! [`rtmobile::RuntimeConfig`], seeded from the `RTM_*` environment
+//! variables and overridden by the flags. `--trace OUT.json` enables the
+//! observability registry and writes a Chrome `trace_event` file to
+//! `OUT.json` plus the metrics dump (counters/gauges/histograms) next to
+//! it as `OUT.metrics.json`.
 
-use rtmobile::serve::{ServeOptions, Server, ShedPolicy, StreamClient};
-use rtmobile::{model_file, AdmissionConfig, RtMobile, RuntimeConfig, TraceConfig};
+use rtmobile::serve::{ReloadConfig, ServeOptions, Server, ShedPolicy, StreamClient};
+use rtmobile::{bundle, AdmissionConfig, RtMobile, RuntimeConfig, TraceConfig};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("pipeline") => pipeline(&args[1..]),
+        Some("compile") => compile(&args[1..]),
         Some("serve") => serve(&args[1..]),
         Some("inspect") => inspect(&args[1..]),
         Some("help") | None => {
@@ -53,12 +66,29 @@ fn print_help() {
     println!("               [--seed K] [--threads T] [--batch B] [--simd POLICY]");
     println!("               [--health POLICY] [--precision CHOICE] [--format CHOICE]");
     println!("               [--trace OUT.json] [--save FILE.rtm]");
+    println!("  rtm compile --out FILE.rtm [pipeline flags except --trace/--save]");
     println!("  rtm serve FILE.rtm [--port P] [--max-conns N] [--tenant-quota Q]");
     println!("            [--max-streams N] [--threads T] [--batch B] [--queue-depth D]");
     println!("            [--shed POLICY] [--simd POLICY] [--health POLICY]");
+    println!("            [--reload on|off|POLL_MS] [--rollback-threshold F]");
     println!("            [--trace OUT.json] [--smoke N]");
     println!("  rtm inspect FILE.rtm");
     println!("  rtm help");
+    println!();
+    println!("  compile is the ahead-of-time half of compile-once-serve-many: it runs");
+    println!("  the train -> prune -> compile pipeline and atomically publishes the");
+    println!("  result to --out as a checksummed bundle (weights in their final");
+    println!("  per-layer format/precision, tuner costs, health metadata, per-section");
+    println!("  CRCs and a whole-file checksum). Republishing to the same path bumps");
+    println!("  the bundle generation. pipeline --save writes the same bundle format.");
+    println!();
+    println!("  --reload watches FILE.rtm while serving (on, off, or a poll interval");
+    println!("  in milliseconds; RTM_RELOAD sets the same knob). A validated");
+    println!("  republish is hot-swapped with zero dropped streams: in-flight streams");
+    println!("  finish on their generation's weights, new streams start on the new");
+    println!("  ones. A corrupt, mismatched or canary-failing publish is refused; if");
+    println!("  the new generation's quarantine rate exceeds --rollback-threshold");
+    println!("  (default 0.5), the server rolls back to the previous generation.");
     println!();
     println!("  serve binds a loopback TCP port (--port 0, the default, picks an");
     println!("  ephemeral one and prints it), loads FILE.rtm and feeds concurrent");
@@ -163,6 +193,93 @@ const PIPELINE_FLAGS: &[&str] = &[
     "save",
 ];
 
+const COMPILE_FLAGS: &[&str] = &[
+    "out",
+    "hidden",
+    "col",
+    "row",
+    "stripes",
+    "blocks",
+    "seed",
+    "threads",
+    "batch",
+    "simd",
+    "health",
+    "precision",
+    "format",
+];
+
+/// Applies the runtime knobs shared by every subcommand — `--simd`,
+/// `--health`, `--precision`, `--format` — on top of `runtime`. Flags a
+/// subcommand doesn't accept never reach here (the allow-list rejects
+/// them first).
+fn apply_runtime_flags(
+    mut runtime: RuntimeConfig,
+    flags: &std::collections::BTreeMap<String, String>,
+) -> Result<RuntimeConfig, String> {
+    if let Some(v) = flags.get("simd") {
+        match rtm_tensor::simd::parse_policy(v) {
+            Some(p) => runtime = runtime.with_simd(p),
+            None => {
+                return Err(format!(
+                    "--simd must be auto, off, scalar, u4, u8 or vector (got {v})"
+                ))
+            }
+        }
+    }
+    if let Some(v) = flags.get("health") {
+        match rtmobile::health::parse_policy(v) {
+            Some(p) => runtime = runtime.with_health(p),
+            None => {
+                return Err(format!(
+                    "--health must be off, check or quarantine (got {v})"
+                ))
+            }
+        }
+    }
+    if let Some(v) = flags.get("precision") {
+        match rtmobile::PrecisionChoice::parse(v) {
+            Some(p) => runtime = runtime.with_precision(p),
+            None => {
+                return Err(format!(
+                    "--precision must be f32, f16, int8 or auto (got {v})"
+                ))
+            }
+        }
+    }
+    if let Some(v) = flags.get("format") {
+        match rtmobile::FormatChoice::parse(v) {
+            Some(f) => runtime = runtime.with_format(f),
+            None => {
+                return Err(format!(
+                    "--format must be bspc, csr, bbs, csb or auto (got {v})"
+                ))
+            }
+        }
+    }
+    Ok(runtime)
+}
+
+/// Atomically publishes `compiled` to `path` as a v5 bundle, carrying the
+/// run's health metadata and the next generation stamp for that path.
+fn publish_bundle(
+    path: &str,
+    compiled: &rtmobile::deploy::CompiledNetwork,
+    report: &rtmobile::PipelineReport,
+) -> Result<(u64, usize), String> {
+    let target = std::path::Path::new(path);
+    let meta = rtmobile::BundleMeta {
+        generation: bundle::next_generation(target),
+        compiled_per: report.accuracy.compiled_per as f32,
+        precision_guard_tripped: report.performance.precision_guard_tripped,
+        format_guard_tripped: report.performance.format_guard_tripped,
+    };
+    let bytes = bundle::to_bytes_with(compiled, &meta);
+    bundle::write_bytes_atomic(target, &bytes)
+        .map_err(|e| format!("failed to write {path}: {e}"))?;
+    Ok((meta.generation, bytes.len()))
+}
+
 /// Where the metrics dump lands next to a `--trace` output path:
 /// `out.json` → `out.metrics.json` (a non-`.json` path just gets the
 /// suffix appended).
@@ -221,46 +338,13 @@ fn pipeline(args: &[String]) -> ExitCode {
         }
     };
     runtime = runtime.with_threads(threads).with_batch(batch);
-    match flags.get("simd") {
-        None => {}
-        Some(v) => match rtm_tensor::simd::parse_policy(v) {
-            Some(p) => runtime = runtime.with_simd(p),
-            None => {
-                eprintln!("--simd must be auto, off, scalar, u4, u8 or vector (got {v})");
-                return ExitCode::FAILURE;
-            }
-        },
-    }
-    match flags.get("health") {
-        None => {}
-        Some(v) => match rtmobile::health::parse_policy(v) {
-            Some(p) => runtime = runtime.with_health(p),
-            None => {
-                eprintln!("--health must be off, check or quarantine (got {v})");
-                return ExitCode::FAILURE;
-            }
-        },
-    }
-    match flags.get("precision") {
-        None => {}
-        Some(v) => match rtmobile::PrecisionChoice::parse(v) {
-            Some(p) => runtime = runtime.with_precision(p),
-            None => {
-                eprintln!("--precision must be f32, f16, int8 or auto (got {v})");
-                return ExitCode::FAILURE;
-            }
-        },
-    }
-    match flags.get("format") {
-        None => {}
-        Some(v) => match rtmobile::FormatChoice::parse(v) {
-            Some(f) => runtime = runtime.with_format(f),
-            None => {
-                eprintln!("--format must be bspc, csr, bbs, csb or auto (got {v})");
-                return ExitCode::FAILURE;
-            }
-        },
-    }
+    runtime = match apply_runtime_flags(runtime, &flags) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let trace_path = flags.get("trace");
     if trace_path.is_some() {
         runtime = runtime.with_trace(TraceConfig::on());
@@ -300,16 +384,119 @@ fn pipeline(args: &[String]) -> ExitCode {
     }
 
     if let Some(path) = flags.get("save") {
-        let bytes = model_file::to_bytes(&compiled);
-        match std::fs::write(path, &bytes) {
-            Ok(()) => println!("wrote {} ({} bytes)", path, bytes.len()),
+        match publish_bundle(path, &compiled, &report) {
+            Ok((generation, len)) => {
+                println!("wrote {path} ({len} bytes, bundle generation {generation})")
+            }
             Err(e) => {
-                eprintln!("failed to write {path}: {e}");
+                eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `rtm compile`: the ahead-of-time half of compile-once-serve-many. Runs
+/// the same train → prune → compile flow as `pipeline` and atomically
+/// publishes the result to `--out` as a checksummed v5 bundle.
+fn compile(args: &[String]) -> ExitCode {
+    let Some(flags) = parse_flags(args, COMPILE_FLAGS) else {
+        return ExitCode::FAILURE;
+    };
+    let Some(out) = flags.get("out").cloned() else {
+        eprintln!("rtm compile needs --out FILE.rtm (try `rtm help`)");
+        return ExitCode::FAILURE;
+    };
+    let parsed = (|| -> Result<_, String> {
+        Ok((
+            parse_or(&flags, "hidden", 48usize)?,
+            parse_or(&flags, "col", 10.0f64)?,
+            parse_or(&flags, "row", 1.0f64)?,
+            parse_or(&flags, "stripes", 4usize)?,
+            parse_or(&flags, "blocks", 4usize)?,
+            parse_or(&flags, "seed", 2020u64)?,
+            parse_or(&flags, "threads", 1usize)?,
+            parse_or(&flags, "batch", 1usize)?,
+        ))
+    })();
+    let (hidden, col, row, stripes, blocks, seed, threads, batch) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if col < 1.0 || row < 1.0 {
+        eprintln!("compression rates must be >= 1");
+        return ExitCode::FAILURE;
+    }
+    if threads == 0 || batch == 0 {
+        eprintln!("--threads and --batch must be >= 1");
+        return ExitCode::FAILURE;
+    }
+    let mut runtime = match RuntimeConfig::from_env() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    runtime = runtime.with_threads(threads).with_batch(batch);
+    runtime = match apply_runtime_flags(runtime, &flags) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "Compiling: hidden {hidden}, target {col}x cols x {row}x rows, \
+         partition {stripes}x{blocks}, seed {seed}"
+    );
+    let (report, _net, compiled) = RtMobile::builder()
+        .hidden(hidden)
+        .compression(col, row)
+        .partition(stripes, blocks)
+        .seed(seed)
+        .runtime(runtime)
+        .run_keeping_model();
+    let p = &report.performance;
+    println!(
+        "compiled PER {:.2}%, precision {} ({} f32 / {} f16 / {} int8), \
+         format {} ({} bspc / {} csr / {} bbs / {} csb), guards: precision {}, format {}",
+        report.accuracy.compiled_per,
+        p.precision,
+        p.layers_f32,
+        p.layers_f16,
+        p.layers_int8,
+        p.format,
+        p.layers_bspc,
+        p.layers_csr,
+        p.layers_bbs,
+        p.layers_csb,
+        if p.precision_guard_tripped {
+            "TRIPPED"
+        } else {
+            "ok"
+        },
+        if p.format_guard_tripped {
+            "TRIPPED"
+        } else {
+            "ok"
+        },
+    );
+    match publish_bundle(&out, &compiled, &report) {
+        Ok((generation, len)) => {
+            println!("wrote {out} ({len} bytes, bundle generation {generation})");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 const SERVE_FLAGS: &[&str] = &[
@@ -323,6 +510,8 @@ const SERVE_FLAGS: &[&str] = &[
     "shed",
     "simd",
     "health",
+    "reload",
+    "rollback-threshold",
     "trace",
     "smoke",
 ];
@@ -420,26 +609,43 @@ fn serve(args: &[String]) -> ExitCode {
         .with_batch(batch)
         .with_admission(admission)
         .with_serve(serve_opts);
-    match flags.get("simd") {
-        None => {}
-        Some(v) => match rtm_tensor::simd::parse_policy(v) {
-            Some(p) => runtime = runtime.with_simd(p),
-            None => {
-                eprintln!("--simd must be auto, off, scalar, u4, u8 or vector (got {v})");
+    runtime = match apply_runtime_flags(runtime, &flags) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // --reload: the flag wins; an unset flag defers to RTM_RELOAD.
+    let reload_poll_ms: Option<u64> = match flags.get("reload").map(String::as_str) {
+        Some("off") | Some("false") => None,
+        Some("on") | Some("true") => Some(ReloadConfig::default().poll_ms),
+        Some(v) => match v.parse::<u64>() {
+            Ok(ms) => Some(ms),
+            Err(_) => {
+                eprintln!("--reload must be on, off or a poll interval in milliseconds (got {v})");
                 return ExitCode::FAILURE;
             }
         },
-    }
-    match flags.get("health") {
-        None => {}
-        Some(v) => match rtmobile::health::parse_policy(v) {
-            Some(p) => runtime = runtime.with_health(p),
-            None => {
-                eprintln!("--health must be off, check or quarantine (got {v})");
+        None => match rtmobile::env::reload_poll_ms() {
+            Ok(v) => v.flatten(),
+            Err(e) => {
+                eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
         },
-    }
+    };
+    let rollback_threshold = match parse_or(&flags, "rollback-threshold", 0.5f64) {
+        Ok(f) if (0.0..=1.0).contains(&f) => f,
+        Ok(_) => {
+            eprintln!("--rollback-threshold must be between 0 and 1");
+            return ExitCode::FAILURE;
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let trace_path = flags.get("trace");
     if trace_path.is_some() {
         runtime = runtime.with_trace(TraceConfig::on());
@@ -453,13 +659,16 @@ fn serve(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let net = match model_file::from_bytes(&bytes) {
-        Ok(n) => n,
+    // The container checksums (whole-file and per-section for v5 bundles)
+    // are enforced here: a torn or bit-rotted publish refuses to serve.
+    let model = match bundle::from_bytes(&bytes) {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("not a valid .rtm model: {e}");
             return ExitCode::FAILURE;
         }
     };
+    let net = std::sync::Arc::clone(&model.net);
     if !net.tuner_costs().is_empty() {
         println!(
             "tuner costs loaded from model ({} layers) — no serve-side kernel probe",
@@ -467,20 +676,33 @@ fn serve(args: &[String]) -> ExitCode {
         );
     }
 
+    let generation = model.generation();
     let exec = rtm_exec::Executor::new(runtime.threads);
-    let mut server = match Server::bind(&net, &exec, &runtime) {
+    let mut server = match Server::bind_bundle(model, &exec, &runtime) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("failed to bind port {port}: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(poll_ms) = reload_poll_ms {
+        server.enable_reload(
+            std::path::PathBuf::from(path),
+            ReloadConfig::default()
+                .with_poll_ms(poll_ms)
+                .with_rollback_quarantine_rate(rollback_threshold),
+        );
+        println!(
+            "watching {path} for republishes (poll {poll_ms} ms, rollback threshold {rollback_threshold})"
+        );
+    }
     // The smoke scripts parse this line for the ephemeral port.
     println!("listening on {}", server.local_addr());
     println!(
-        "model {path}: {} -> {} dims, {} lanes, {} thread(s)",
+        "model {path}: {} -> {} dims, generation {}, {} lanes, {} thread(s)",
         net.input_dim(),
         net.num_classes(),
+        generation,
         runtime.batch,
         runtime.threads
     );
@@ -533,6 +755,13 @@ fn serve(args: &[String]) -> ExitCode {
         stats.deadline_missed,
         stats.frames
     );
+    if reload_poll_ms.is_some() {
+        let r = server.reload_stats();
+        println!(
+            "reload: {} attempt(s), {} swap(s), {} refused, {} rollback(s), generation {}",
+            r.attempts, r.successes, r.refusals, r.rollbacks, r.generation
+        );
+    }
 
     if let Some(handle) = smoke_client {
         let streams = match handle.join() {
@@ -595,16 +824,74 @@ fn inspect(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Container integrity first: a corrupt file still gets its layout and
+    // checksum verdicts printed before the decode error below refuses it.
+    println!("{path}: {} bytes on disk", bytes.len());
+    match bundle::probe(&bytes) {
+        Err(e) => {
+            eprintln!("not a valid .rtm model: {e}");
+            return ExitCode::FAILURE;
+        }
+        Ok(probe) if probe.version < 5 => {
+            println!(
+                "  integrity     : no integrity data (v{} file predates checksummed bundles)",
+                probe.version
+            );
+        }
+        Ok(probe) => {
+            println!(
+                "  generation    : {}",
+                probe
+                    .generation
+                    .map_or_else(|| "unreadable".to_string(), |g| g.to_string())
+            );
+            println!(
+                "  file checksum : {}",
+                match probe.file_crc_ok {
+                    Some(true) => "ok",
+                    Some(false) => "MISMATCH (torn write or bit rot)",
+                    None => "missing trailer",
+                }
+            );
+            for s in &probe.sections {
+                println!(
+                    "  section {} : {} bytes, checksum {}",
+                    String::from_utf8_lossy(&s.tag),
+                    s.len,
+                    if s.crc_ok { "ok" } else { "MISMATCH" }
+                );
+            }
+        }
+    }
     // Load-time weight validation follows the deployment-side health knob.
     let policy = rtmobile::health::policy_from_env();
-    let net = match model_file::from_bytes_with(&bytes, policy) {
-        Ok(n) => n,
+    let loaded = match bundle::from_bytes_with(&bytes, policy) {
+        Ok(b) => b,
         Err(e) => {
             eprintln!("not a valid .rtm model: {e}");
             return ExitCode::FAILURE;
         }
     };
-    println!("{path}: {} bytes on disk", bytes.len());
+    if loaded.version >= 5 {
+        println!(
+            "  compiled PER  : {:.2}% (at publish time)",
+            loaded.meta.compiled_per
+        );
+        println!(
+            "  guards        : precision {}, format {}",
+            if loaded.meta.precision_guard_tripped {
+                "TRIPPED (shipped f32)"
+            } else {
+                "ok"
+            },
+            if loaded.meta.format_guard_tripped {
+                "TRIPPED (shipped bspc)"
+            } else {
+                "ok"
+            }
+        );
+    }
+    let net = loaded.into_network();
     println!("  precision     : {:?}", net.precision());
     let formats: Vec<&str> = net.layer_formats().iter().map(|f| f.tag()).collect();
     println!(

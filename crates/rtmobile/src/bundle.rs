@@ -1,0 +1,869 @@
+//! Compiled-model bundles: the checksummed, sectioned `.rtm` v5 container
+//! plus crash-safe writes and generation stamping (DESIGN.md §15).
+//!
+//! RTMobile's whole premise is that compilation (pruning, reorder, tuner
+//! selection) is paid once so the runtime is lean — which makes the model
+//! *artifact* the contract between the compiler and every serving process.
+//! This module hardens that contract: a torn write, a truncated copy, or
+//! bit rot is detected by checksum before a single byte reaches a kernel,
+//! and the writer can never leave a half-written file at the published
+//! path.
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! header : magic "RTMF" 4 B, version u16 (= 5), section_count u32
+//! section: tag 4 B, payload_len u64, payload_crc32 u32, payload
+//! trailer: magic "RTMZ" 4 B, generation u64,
+//!          file_crc32 u32 over every preceding byte
+//! ```
+//!
+//! Sections (unknown tags are skipped, so future sections are
+//! forward-compatible):
+//!
+//! * `WGHT` — the network body of [`crate::model_file`]: per-layer weights
+//!   in their final storage format/precision (reorder permutations ride
+//!   inside the BSPC blobs), biases, dense head.
+//! * `TUNE` — tuner probe measurements.
+//! * `HLTH` — health metadata: compiled PER, accuracy-guard verdicts, and
+//!   the per-layer format/precision table, cross-checked against the
+//!   decoded network so the sections cannot drift apart unnoticed.
+//!
+//! The decode order is deliberate: the whole-file CRC is verified *first*,
+//! so any random corruption yields
+//! [`DecodeError::FileChecksum`](rtm_sparse::io::DecodeError::FileChecksum)
+//! (or [`BadTrailer`](rtm_sparse::io::DecodeError::BadTrailer) for a torn
+//! tail) rather than whatever field-level error the flipped byte happens
+//! to land on. Per-section CRCs are defense in depth — they localize the
+//! damage for diagnostics ([`probe`]) and catch independent section edits
+//! (see [`reseal`]).
+
+use crate::deploy::CompiledNetwork;
+use crate::health::HealthPolicy;
+use crate::model_file;
+use rtm_sparse::io::DecodeError;
+use rtm_tensor::wire::{Buf, BufMut};
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Magic bytes opening the bundle trailer.
+pub const TRAILER_MAGIC: &[u8; 4] = b"RTMZ";
+
+/// Section tag: network weights/biases/head (required).
+pub const SEC_WEIGHTS: [u8; 4] = *b"WGHT";
+/// Section tag: tuner probe measurements.
+pub const SEC_TUNER: [u8; 4] = *b"TUNE";
+/// Section tag: health metadata (compiled PER, guard verdicts, layer
+/// table).
+pub const SEC_HEALTH: [u8; 4] = *b"HLTH";
+
+const HEADER_LEN: usize = 4 + 2 + 4;
+const SECTION_HEADER_LEN: usize = 4 + 8 + 4;
+const TRAILER_LEN: usize = 4 + 8 + 4;
+
+// ---------------------------------------------------------------------------
+// CRC32 (IEEE 802.3, reflected) — std-only, table-driven.
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC32 of `bytes` (the zlib/PNG polynomial).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Metadata and the in-memory bundle.
+
+/// Health metadata stamped into a bundle's `HLTH` section and trailer.
+///
+/// `generation` orders bundles at one path: the crash-safe [`write`]
+/// publishes atomically, and the serving-side reloader treats a changed
+/// file as a new generation. The remaining fields record what the compile
+/// pipeline measured, so a serving process can answer "what accuracy did
+/// this model ship with, and did a guard intervene?" without the training
+/// set.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BundleMeta {
+    /// Monotonic publish counter (0 = unstamped).
+    pub generation: u64,
+    /// Phone-error-rate of the compiled model on the held-out set, as
+    /// measured by the pipeline (0 when compiled straight from a config
+    /// without evaluation).
+    pub compiled_per: f32,
+    /// Whether the pipeline's precision accuracy-guard rejected the
+    /// requested precision and shipped f32 instead.
+    pub precision_guard_tripped: bool,
+    /// Whether the pipeline's format accuracy-guard rejected the requested
+    /// format and shipped BSPC instead.
+    pub format_guard_tripped: bool,
+}
+
+impl BundleMeta {
+    /// Builder: stamp a generation.
+    pub fn with_generation(mut self, generation: u64) -> BundleMeta {
+        self.generation = generation;
+        self
+    }
+}
+
+/// A compiled network plus its bundle metadata, behind an [`Arc`] so a
+/// serving process can hot-swap generations without copying weights and
+/// without stopping in-flight streams (DESIGN.md §15).
+#[derive(Debug, Clone)]
+pub struct CompiledBundle {
+    /// The decoded network (shared with every session serving it).
+    pub net: Arc<CompiledNetwork>,
+    /// Health metadata from the `HLTH` section and trailer.
+    pub meta: BundleMeta,
+    /// Container version the bytes arrived in (2–5; in-memory bundles are
+    /// [`model_file::VERSION`]).
+    pub version: u16,
+}
+
+impl CompiledBundle {
+    /// Wraps an in-memory network as a current-version bundle with default
+    /// metadata.
+    pub fn from_network(net: CompiledNetwork) -> CompiledBundle {
+        CompiledBundle {
+            net: Arc::new(net),
+            meta: BundleMeta::default(),
+            version: model_file::VERSION,
+        }
+    }
+
+    /// Builder: replace the metadata.
+    pub fn with_meta(mut self, meta: BundleMeta) -> CompiledBundle {
+        self.meta = meta;
+        self
+    }
+
+    /// The bundle's generation stamp (0 for unstamped or pre-v5 files).
+    pub fn generation(&self) -> u64 {
+        self.meta.generation
+    }
+
+    /// Unwraps the network (cloning only if other handles are live).
+    pub fn into_network(self) -> CompiledNetwork {
+        Arc::try_unwrap(self.net).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Reads and decodes a bundle file (any supported version, no weight
+    /// scan).
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError::Io`] when the file cannot be read,
+    /// [`BundleError::Decode`] when the bytes are rejected.
+    pub fn load(path: &Path) -> Result<CompiledBundle, BundleError> {
+        CompiledBundle::load_with(path, HealthPolicy::Off)
+    }
+
+    /// [`CompiledBundle::load`] plus the load-time weight validation of
+    /// [`model_file::from_bytes_with`].
+    ///
+    /// # Errors
+    ///
+    /// [`BundleError::Io`] when the file cannot be read,
+    /// [`BundleError::Decode`] when the bytes are rejected (including
+    /// [`DecodeError::NonFinite`] under a scanning policy).
+    pub fn load_with(path: &Path, policy: HealthPolicy) -> Result<CompiledBundle, BundleError> {
+        let bytes = fs::read(path)?;
+        from_bytes_with(&bytes, policy).map_err(BundleError::Decode)
+    }
+}
+
+/// Why a bundle file could not be loaded: the I/O failed, or the bytes
+/// were rejected.
+#[derive(Debug)]
+pub enum BundleError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The bytes failed structural or integrity validation.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for BundleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BundleError::Io(e) => write!(f, "bundle i/o: {e}"),
+            BundleError::Decode(e) => write!(f, "bundle decode: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+impl From<std::io::Error> for BundleError {
+    fn from(e: std::io::Error) -> BundleError {
+        BundleError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encode.
+
+fn put_section(out: &mut Vec<u8>, tag: [u8; 4], payload: &[u8]) {
+    out.put_slice(&tag);
+    out.put_u64_le(payload.len() as u64);
+    out.put_u32_le(crc32(payload));
+    out.put_slice(payload);
+}
+
+fn write_health_body(out: &mut Vec<u8>, net: &CompiledNetwork, meta: &BundleMeta) {
+    out.put_f32_le(meta.compiled_per);
+    out.put_u8(meta.precision_guard_tripped as u8);
+    out.put_u8(meta.format_guard_tripped as u8);
+    out.put_u32_le(net.layers.len() as u32);
+    for layer in &net.layers {
+        out.put_u32_le(layer.hidden as u32);
+        out.put_u8(model_file::precision_code(layer.precision));
+        out.put_u8(model_file::format_code(layer.format));
+    }
+}
+
+/// Serializes `net` as a v5 bundle with default metadata (generation 0).
+pub fn to_bytes(net: &CompiledNetwork) -> Vec<u8> {
+    to_bytes_with(net, &BundleMeta::default())
+}
+
+/// Serializes `net` as a v5 bundle carrying `meta` in the `HLTH` section
+/// and the generation + whole-file CRC32 in the trailer.
+///
+/// The encoding is deterministic: the same network and metadata always
+/// produce the same bytes.
+pub fn to_bytes_with(net: &CompiledNetwork, meta: &BundleMeta) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.put_slice(model_file::MAGIC);
+    out.put_u16_le(model_file::VERSION);
+    out.put_u32_le(3);
+
+    let mut payload = Vec::new();
+    model_file::write_network_body(&mut payload, net);
+    put_section(&mut out, SEC_WEIGHTS, &payload);
+
+    payload.clear();
+    model_file::write_tuner_body(&mut payload, net.tuner_costs());
+    put_section(&mut out, SEC_TUNER, &payload);
+
+    payload.clear();
+    write_health_body(&mut payload, net, meta);
+    put_section(&mut out, SEC_HEALTH, &payload);
+
+    out.put_slice(TRAILER_MAGIC);
+    out.put_u64_le(meta.generation);
+    let crc = crc32(&out);
+    out.put_u32_le(crc);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decode.
+
+fn need(buf: &[u8], n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn read_health_body(
+    mut buf: &[u8],
+    meta: &mut BundleMeta,
+    net: &CompiledNetwork,
+) -> Result<(), DecodeError> {
+    need(buf, 10)?;
+    meta.compiled_per = buf.get_f32_le();
+    meta.precision_guard_tripped = buf.get_u8() != 0;
+    meta.format_guard_tripped = buf.get_u8() != 0;
+    let layer_count = buf.get_u32_le() as usize;
+    if layer_count != net.layers.len() {
+        return Err(DecodeError::MetaMismatch);
+    }
+    for layer in &net.layers {
+        need(buf, 6)?;
+        let hidden = buf.get_u32_le() as usize;
+        let precision = model_file::precision_from_code(buf.get_u8())?;
+        let format = model_file::format_from_code(buf.get_u8())?;
+        if hidden != layer.hidden || precision != layer.precision || format != layer.format {
+            return Err(DecodeError::MetaMismatch);
+        }
+    }
+    Ok(())
+}
+
+/// Decodes `.rtm` bytes (v2–v5) into a bundle without a weight scan.
+///
+/// # Errors
+///
+/// See [`from_bytes_with`].
+pub fn from_bytes(bytes: &[u8]) -> Result<CompiledBundle, DecodeError> {
+    from_bytes_with(bytes, HealthPolicy::Off)
+}
+
+/// Decodes `.rtm` bytes (v2–v5) into a bundle, scanning the weights for
+/// finiteness under a scanning [`HealthPolicy`].
+///
+/// For v5, the whole-file CRC32 is verified before anything else is
+/// parsed, so corruption surfaces as
+/// [`DecodeError::FileChecksum`] / [`DecodeError::BadTrailer`] instead of
+/// an arbitrary field error. Legacy v2–v4 files carry no integrity data
+/// and decode as before.
+///
+/// # Errors
+///
+/// Returns a typed [`DecodeError`] on truncation, bad magic/version,
+/// checksum mismatch, a missing `WGHT` section, health metadata that
+/// disagrees with the weights, invalid embedded blobs, or (under a
+/// scanning policy) non-finite weights.
+pub fn from_bytes_with(bytes: &[u8], policy: HealthPolicy) -> Result<CompiledBundle, DecodeError> {
+    let mut buf = bytes;
+    need(buf, 4)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != model_file::MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    need(buf, 2)?;
+    let version = buf.get_u16_le();
+
+    let bundle = match version {
+        v @ 2..=4 => {
+            let net = model_file::read_legacy(&mut buf, v)?;
+            CompiledBundle {
+                net: Arc::new(net),
+                meta: BundleMeta::default(),
+                version: v,
+            }
+        }
+        5 => decode_v5(bytes)?,
+        other => return Err(DecodeError::BadVersion(other)),
+    };
+
+    if policy.scans() && !model_file::all_finite(&bundle.net) {
+        return Err(DecodeError::NonFinite);
+    }
+    Ok(bundle)
+}
+
+fn decode_v5(bytes: &[u8]) -> Result<CompiledBundle, DecodeError> {
+    // Trailer and whole-file checksum first: random corruption anywhere in
+    // the file is reported as an integrity failure, not whatever field the
+    // flipped bit lands on.
+    if bytes.len() < HEADER_LEN + TRAILER_LEN {
+        return Err(DecodeError::Truncated);
+    }
+    let trailer = &bytes[bytes.len() - TRAILER_LEN..];
+    if &trailer[..4] != TRAILER_MAGIC {
+        return Err(DecodeError::BadTrailer);
+    }
+    let generation = u64::from_le_bytes(trailer[4..12].try_into().expect("8 bytes"));
+    let stored = u32::from_le_bytes(trailer[12..16].try_into().expect("4 bytes"));
+    if crc32(&bytes[..bytes.len() - 4]) != stored {
+        return Err(DecodeError::FileChecksum);
+    }
+
+    let mut buf = &bytes[HEADER_LEN - 4..bytes.len() - TRAILER_LEN];
+    let section_count = buf.get_u32_le() as usize;
+    let mut weights: Option<&[u8]> = None;
+    let mut tuner: Option<&[u8]> = None;
+    let mut health: Option<&[u8]> = None;
+    for _ in 0..section_count {
+        need(buf, SECTION_HEADER_LEN)?;
+        let mut tag = [0u8; 4];
+        buf.copy_to_slice(&mut tag);
+        let len: usize = buf
+            .get_u64_le()
+            .try_into()
+            .map_err(|_| DecodeError::Truncated)?;
+        let crc = buf.get_u32_le();
+        need(buf, len)?;
+        let payload = &buf[..len];
+        buf.advance(len);
+        // Per-section CRC: defense in depth under the file checksum, and
+        // the localizer for diagnostics (`probe`).
+        if crc32(payload) != crc {
+            return Err(DecodeError::SectionChecksum(tag));
+        }
+        match tag {
+            SEC_WEIGHTS => weights = Some(payload),
+            SEC_TUNER => tuner = Some(payload),
+            SEC_HEALTH => health = Some(payload),
+            // Unknown sections are skipped: new tags can ship without
+            // breaking old readers.
+            _ => {}
+        }
+    }
+
+    let mut body = weights.ok_or(DecodeError::MissingSection(SEC_WEIGHTS))?;
+    let mut net = model_file::read_network_body(&mut body, 5)?;
+    if let Some(mut t) = tuner {
+        net.tuner_costs = model_file::read_tuner_body(&mut t)?;
+    }
+    let mut meta = BundleMeta {
+        generation,
+        ..BundleMeta::default()
+    };
+    if let Some(h) = health {
+        read_health_body(h, &mut meta, &net)?;
+    }
+    Ok(CompiledBundle {
+        net: Arc::new(net),
+        meta,
+        version: 5,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Crash-safe writing and generation stamping.
+
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `bytes` to `path` crash-safely: a same-directory temp file is
+/// written and fsynced, then atomically renamed over the target, and the
+/// directory is fsynced best-effort. A crash at any point leaves either
+/// the old file or the new one at `path` — never a torn mix — and a torn
+/// temp file is cleaned up on a failed rename.
+///
+/// # Errors
+///
+/// Any I/O error from the create/write/sync/rename chain.
+pub fn write_bytes_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let tmp = dir.join(format!(
+        ".rtm-bundle-{}-{}.tmp",
+        std::process::id(),
+        TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let publish = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if publish.is_err() {
+        let _ = fs::remove_file(&tmp);
+        return publish;
+    }
+    // Durability of the rename itself: sync the directory when the
+    // platform allows opening it (best-effort; the rename is already
+    // atomic for readers either way).
+    if let Ok(d) = fs::File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+/// Serializes and crash-safely publishes `net` + `meta` at `path`
+/// ([`to_bytes_with`] + [`write_bytes_atomic`]).
+///
+/// # Errors
+///
+/// Any I/O error from the atomic write chain.
+pub fn write(path: &Path, net: &CompiledNetwork, meta: &BundleMeta) -> std::io::Result<()> {
+    write_bytes_atomic(path, &to_bytes_with(net, meta))
+}
+
+/// Reads the generation stamped in a v5 bundle's trailer without decoding
+/// the body (structural parse only — no checksum verification, so a
+/// corrupt predecessor still yields a stamp to advance past).
+pub fn peek_generation(bytes: &[u8]) -> Option<u64> {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN
+        || &bytes[..4] != model_file::MAGIC
+        || u16::from_le_bytes([bytes[4], bytes[5]]) != 5
+    {
+        return None;
+    }
+    let trailer = &bytes[bytes.len() - TRAILER_LEN..];
+    if &trailer[..4] != TRAILER_MAGIC {
+        return None;
+    }
+    Some(u64::from_le_bytes(
+        trailer[4..12].try_into().expect("8 bytes"),
+    ))
+}
+
+/// The generation a new publish at `path` should carry: one past the
+/// stamp of the file currently there (1 when the path is empty, missing,
+/// or pre-v5).
+pub fn next_generation(path: &Path) -> u64 {
+    fs::read(path)
+        .ok()
+        .and_then(|bytes| peek_generation(&bytes))
+        .map_or(1, |g| g.saturating_add(1))
+}
+
+// ---------------------------------------------------------------------------
+// Inspection and test plumbing.
+
+/// One section's framing as seen by [`probe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionProbe {
+    /// The section's 4-byte tag.
+    pub tag: [u8; 4],
+    /// Payload length in bytes.
+    pub len: usize,
+    /// Byte offset of the payload within the file.
+    pub payload_offset: usize,
+    /// Whether the stored per-section CRC32 matches the payload.
+    pub crc_ok: bool,
+}
+
+/// Integrity summary of an `.rtm` file, for `rtm inspect`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BundleProbe {
+    /// Container version (2–5).
+    pub version: u16,
+    /// Trailer generation stamp (v5 only).
+    pub generation: Option<u64>,
+    /// Whether the whole-file CRC32 matches (v5 only).
+    pub file_crc_ok: Option<bool>,
+    /// Per-section framing and checksum status (v5 only; empty for
+    /// legacy files, which carry no integrity data).
+    pub sections: Vec<SectionProbe>,
+}
+
+/// Walks an `.rtm` file's container framing and reports versions,
+/// generation, and checksum status *without* enforcing them — corrupt
+/// sections are reported, not rejected, so `rtm inspect` can localize
+/// damage. Legacy v2–v4 files probe successfully with no integrity data.
+///
+/// # Errors
+///
+/// [`DecodeError::BadMagic`] / [`DecodeError::BadVersion`] /
+/// [`DecodeError::Truncated`] / [`DecodeError::BadTrailer`] when the file
+/// is not a structurally walkable `.rtm` container at all.
+pub fn probe(bytes: &[u8]) -> Result<BundleProbe, DecodeError> {
+    if bytes.len() < 6 {
+        return Err(DecodeError::Truncated);
+    }
+    if &bytes[..4] != model_file::MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    match version {
+        2..=4 => Ok(BundleProbe {
+            version,
+            generation: None,
+            file_crc_ok: None,
+            sections: Vec::new(),
+        }),
+        5 => {
+            if bytes.len() < HEADER_LEN + TRAILER_LEN {
+                return Err(DecodeError::Truncated);
+            }
+            let trailer = &bytes[bytes.len() - TRAILER_LEN..];
+            if &trailer[..4] != TRAILER_MAGIC {
+                return Err(DecodeError::BadTrailer);
+            }
+            let generation = u64::from_le_bytes(trailer[4..12].try_into().expect("8 bytes"));
+            let stored = u32::from_le_bytes(trailer[12..16].try_into().expect("4 bytes"));
+            let file_crc_ok = crc32(&bytes[..bytes.len() - 4]) == stored;
+            let mut sections = Vec::new();
+            let mut pos = HEADER_LEN;
+            let end = bytes.len() - TRAILER_LEN;
+            while pos + SECTION_HEADER_LEN <= end {
+                let tag: [u8; 4] = bytes[pos..pos + 4].try_into().expect("4 bytes");
+                let len: usize =
+                    u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"))
+                        .try_into()
+                        .map_err(|_| DecodeError::Truncated)?;
+                let crc = u32::from_le_bytes(bytes[pos + 12..pos + 16].try_into().expect("4"));
+                let payload_offset = pos + SECTION_HEADER_LEN;
+                if payload_offset + len > end {
+                    return Err(DecodeError::Truncated);
+                }
+                let payload = &bytes[payload_offset..payload_offset + len];
+                sections.push(SectionProbe {
+                    tag,
+                    len,
+                    payload_offset,
+                    crc_ok: crc32(payload) == crc,
+                });
+                pos = payload_offset + len;
+            }
+            Ok(BundleProbe {
+                version,
+                generation: Some(generation),
+                file_crc_ok: Some(file_crc_ok),
+                sections,
+            })
+        }
+        other => Err(DecodeError::BadVersion(other)),
+    }
+}
+
+/// Recomputes every per-section CRC32 and the whole-file CRC32 of a v5
+/// bundle in place, returning `false` when the container framing cannot
+/// be walked.
+///
+/// This exists for tests (and only tests of *this* layer's behavior): it
+/// simulates an adversarial or tool-assisted edit that fixes up the
+/// checksums, so corruption can be driven *past* the integrity layer to
+/// prove the field-level decoders still reject it with typed errors.
+pub fn reseal(bytes: &mut [u8]) -> bool {
+    if bytes.len() < HEADER_LEN + TRAILER_LEN
+        || &bytes[..4] != model_file::MAGIC
+        || u16::from_le_bytes([bytes[4], bytes[5]]) != 5
+    {
+        return false;
+    }
+    let end = bytes.len() - TRAILER_LEN;
+    if &bytes[end..end + 4] != TRAILER_MAGIC {
+        return false;
+    }
+    let mut pos = HEADER_LEN;
+    while pos + SECTION_HEADER_LEN <= end {
+        let len: usize =
+            match u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8")).try_into() {
+                Ok(n) => n,
+                Err(_) => return false,
+            };
+        let payload_offset = pos + SECTION_HEADER_LEN;
+        if payload_offset + len > end {
+            return false;
+        }
+        let crc = crc32(&bytes[payload_offset..payload_offset + len]);
+        bytes[pos + 12..pos + 16].copy_from_slice(&crc.to_le_bytes());
+        pos = payload_offset + len;
+    }
+    let n = bytes.len();
+    let crc = crc32(&bytes[..n - 4]);
+    bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RuntimePrecision;
+    use rtm_rnn::model::{GruNetwork, NetworkConfig};
+
+    fn compiled(seed: u64) -> CompiledNetwork {
+        let net = GruNetwork::new(
+            &NetworkConfig {
+                input_dim: 5,
+                hidden_dims: vec![8],
+                num_classes: 3,
+            },
+            seed,
+        );
+        CompiledNetwork::compile(&net, 4, 2, RuntimePrecision::F16).expect("partition fits")
+    }
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn metadata_roundtrips_through_the_trailer_and_health_section() {
+        let net = compiled(3);
+        let meta = BundleMeta {
+            generation: 42,
+            compiled_per: 0.125,
+            precision_guard_tripped: true,
+            format_guard_tripped: false,
+        };
+        let bytes = to_bytes_with(&net, &meta);
+        let bundle = from_bytes(&bytes).expect("decodes");
+        assert_eq!(bundle.meta, meta);
+        assert_eq!(bundle.generation(), 42);
+        assert_eq!(bundle.version, 5);
+        // Same inputs, same bytes: the writer is deterministic.
+        assert_eq!(bytes, to_bytes_with(&net, &meta));
+    }
+
+    #[test]
+    fn every_single_bitflip_is_rejected() {
+        let net = compiled(7);
+        let bytes = to_bytes_with(&net, &BundleMeta::default().with_generation(1));
+        // Stride through the file flipping one bit at a time; every flip
+        // must be rejected (the checksum catches what field validation
+        // would miss) and none may panic.
+        for pos in (0..bytes.len()).step_by(11) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x10;
+            let err = from_bytes(&corrupt).expect_err(&format!("flip at {pos} must fail"));
+            match pos {
+                0..=3 => assert_eq!(err, DecodeError::BadMagic),
+                4..=5 => assert!(matches!(err, DecodeError::BadVersion(_))),
+                _ => assert!(
+                    matches!(err, DecodeError::FileChecksum | DecodeError::BadTrailer),
+                    "flip at {pos}: got {err:?}"
+                ),
+            }
+        }
+        assert!(from_bytes(&bytes).is_ok());
+    }
+
+    #[test]
+    fn section_checksums_catch_corruption_under_a_resealed_file_crc() {
+        let net = compiled(9);
+        let mut bytes = to_bytes(&net);
+        let p = probe(&bytes).expect("probe");
+        let hlth = p.sections.iter().find(|s| s.tag == SEC_HEALTH).unwrap();
+        // Corrupt the HLTH payload, then fix up only the *file* CRC — the
+        // per-section CRC must still catch it.
+        bytes[hlth.payload_offset] ^= 0xFF;
+        let n = bytes.len();
+        let crc = crc32(&bytes[..n - 4]);
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(
+            from_bytes(&bytes).unwrap_err(),
+            DecodeError::SectionChecksum(SEC_HEALTH)
+        );
+    }
+
+    #[test]
+    fn health_metadata_must_agree_with_the_weights() {
+        let net = compiled(11);
+        let mut bytes = to_bytes(&net);
+        let p = probe(&bytes).expect("probe");
+        let hlth = p.sections.iter().find(|s| s.tag == SEC_HEALTH).unwrap();
+        // Flip the first layer's precision byte in the table (offset 10 + 4
+        // into the HLTH body) and reseal all checksums — the cross-check
+        // against the decoded network must refuse the drift.
+        bytes[hlth.payload_offset + 14] ^= 1;
+        assert!(reseal(&mut bytes));
+        assert_eq!(from_bytes(&bytes).unwrap_err(), DecodeError::MetaMismatch);
+    }
+
+    #[test]
+    fn a_missing_weights_section_is_typed() {
+        let net = compiled(13);
+        // Hand-assemble a bundle with only TUNE + HLTH.
+        let mut out = Vec::new();
+        out.put_slice(model_file::MAGIC);
+        out.put_u16_le(5);
+        out.put_u32_le(2);
+        let mut payload = Vec::new();
+        model_file::write_tuner_body(&mut payload, &[]);
+        put_section(&mut out, SEC_TUNER, &payload);
+        payload.clear();
+        write_health_body(&mut payload, &net, &BundleMeta::default());
+        put_section(&mut out, SEC_HEALTH, &payload);
+        out.put_slice(TRAILER_MAGIC);
+        out.put_u64_le(0);
+        let crc = crc32(&out);
+        out.put_u32_le(crc);
+        assert_eq!(
+            from_bytes(&out).unwrap_err(),
+            DecodeError::MissingSection(SEC_WEIGHTS)
+        );
+    }
+
+    #[test]
+    fn unknown_sections_are_skipped() {
+        let net = compiled(15);
+        let bytes = to_bytes(&net);
+        // Append a future section before the trailer and reseal.
+        let trailer_at = bytes.len() - TRAILER_LEN;
+        let mut extended = bytes[..trailer_at].to_vec();
+        put_section(&mut extended, *b"ZZZZ", b"from the future");
+        extended[6..10].copy_from_slice(&4u32.to_le_bytes());
+        extended.put_slice(TRAILER_MAGIC);
+        extended.put_u64_le(0);
+        let crc = crc32(&extended);
+        extended.put_u32_le(crc);
+        let bundle = from_bytes(&extended).expect("unknown section tolerated");
+        assert_eq!(
+            net.forward(&[vec![0.1; 5]]),
+            bundle.net.forward(&[vec![0.1; 5]])
+        );
+    }
+
+    #[test]
+    fn atomic_write_publishes_and_stamps_generations() {
+        let dir = std::env::temp_dir().join(format!("rtm-bundle-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("model.rtm");
+        let net = compiled(17);
+
+        assert_eq!(next_generation(&path), 1, "missing file starts at 1");
+        write(&path, &net, &BundleMeta::default().with_generation(1)).expect("write");
+        let bundle = CompiledBundle::load(&path).expect("load");
+        assert_eq!(bundle.generation(), 1);
+        assert_eq!(next_generation(&path), 2);
+        write(&path, &net, &BundleMeta::default().with_generation(2)).expect("rewrite");
+        assert_eq!(CompiledBundle::load(&path).expect("load").generation(), 2);
+
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .expect("read dir")
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name() != "model.rtm")
+            .collect();
+        assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_writes_are_rejected_by_the_trailer() {
+        let net = compiled(19);
+        let bytes = to_bytes(&net);
+        // A torn write publishes a prefix: the trailer is gone or
+        // misaligned, and no prefix may decode.
+        for n in (6..bytes.len()).step_by(17) {
+            let err = from_bytes(&bytes[..n]).expect_err("prefix must fail");
+            assert!(
+                matches!(err, DecodeError::Truncated | DecodeError::BadTrailer),
+                "prefix {n}: got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_reports_without_enforcing() {
+        let net = compiled(21);
+        let mut bytes = to_bytes_with(&net, &BundleMeta::default().with_generation(9));
+        let p = probe(&bytes).expect("probe");
+        assert_eq!(p.version, 5);
+        assert_eq!(p.generation, Some(9));
+        assert_eq!(p.file_crc_ok, Some(true));
+        let tags: Vec<[u8; 4]> = p.sections.iter().map(|s| s.tag).collect();
+        assert_eq!(tags, vec![SEC_WEIGHTS, SEC_TUNER, SEC_HEALTH]);
+        assert!(p.sections.iter().all(|s| s.crc_ok));
+
+        // Corrupt one section: probe still walks the file and localizes
+        // the damage instead of erroring.
+        let wght = p.sections[0];
+        bytes[wght.payload_offset + 8] ^= 0xFF;
+        let p = probe(&bytes).expect("probe walks corrupt file");
+        assert_eq!(p.file_crc_ok, Some(false));
+        assert!(!p.sections[0].crc_ok, "WGHT damage localized");
+        assert!(p.sections[1].crc_ok && p.sections[2].crc_ok);
+    }
+}

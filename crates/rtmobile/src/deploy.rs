@@ -1152,7 +1152,7 @@ fn add_lane(buf: &mut Vec<f32>, b: usize, rows: usize) {
 /// under the configured [`ShedPolicy`]; every decision lands in
 /// [`ServeStats`].
 pub struct BatchedSession<'a> {
-    net: &'a CompiledNetwork,
+    net: std::sync::Arc<CompiledNetwork>,
     exec: &'a rtm_exec::Executor,
     capacity: usize,
     health: HealthPolicy,
@@ -1193,15 +1193,36 @@ pub struct StepOutput {
 impl<'a> BatchedSession<'a> {
     /// A session over `net` with at most `capacity` concurrent lanes.
     ///
+    /// Clones the network into a private [`Arc`](std::sync::Arc); when the
+    /// caller already holds the network under an `Arc` (the hot-swap path
+    /// of `rtm serve`), use [`BatchedSession::shared`] to share it without
+    /// copying weights.
+    ///
     /// # Panics
     ///
     /// Panics if `capacity == 0`.
     pub fn new(
-        net: &'a CompiledNetwork,
+        net: &CompiledNetwork,
+        exec: &'a rtm_exec::Executor,
+        capacity: usize,
+    ) -> BatchedSession<'a> {
+        BatchedSession::shared(std::sync::Arc::new(net.clone()), exec, capacity)
+    }
+
+    /// [`BatchedSession::new`] over an already-shared network: the session
+    /// holds a reference-counted handle, so many sessions (and a reloader
+    /// holding the next generation) can coexist without weight copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn shared(
+        net: std::sync::Arc<CompiledNetwork>,
         exec: &'a rtm_exec::Executor,
         capacity: usize,
     ) -> BatchedSession<'a> {
         assert!(capacity > 0, "batch capacity must be at least 1");
+        let layer_count = net.layers.len();
         BatchedSession {
             net,
             exec,
@@ -1213,8 +1234,8 @@ impl<'a> BatchedSession<'a> {
             faults: Vec::new(),
             lanes: Vec::with_capacity(capacity),
             cursors: Vec::with_capacity(capacity),
-            states: net.layers.iter().map(|_| Vec::new()).collect(),
-            sub_states: net.layers.iter().map(|_| Vec::new()).collect(),
+            states: (0..layer_count).map(|_| Vec::new()).collect(),
+            sub_states: (0..layer_count).map(|_| Vec::new()).collect(),
             scratch: GruRuntimeScratch::new(),
             xs: Vec::new(),
             hs_next: Vec::new(),
@@ -1426,7 +1447,7 @@ impl<'a> BatchedSession<'a> {
         // One weight pass carries the ready lanes one frame forward.
         let trace = rtm_trace::enabled();
         let t0 = trace.then(std::time::Instant::now);
-        let net = self.net;
+        let net = std::sync::Arc::clone(&self.net);
         let stepped = if aligned {
             &mut self.states
         } else {

@@ -91,6 +91,26 @@ pub fn format_choice() -> Result<Option<crate::config::FormatChoice>, EnvError> 
     )
 }
 
+/// `RTM_RELOAD`: hot-reload switch of `rtm serve`. `off`/`false` disables
+/// watching (the outer `Ok(Some(None))`), `on`/`true` enables it at the
+/// default poll interval, and a bare integer enables it with that poll
+/// interval in milliseconds.
+///
+/// # Errors
+///
+/// [`EnvError`] if the variable is set to anything else.
+pub fn reload_poll_ms() -> Result<Option<Option<u64>>, EnvError> {
+    rtm_trace::env::parsed(
+        "RTM_RELOAD",
+        "on, off or a poll interval in milliseconds",
+        |s| match s {
+            "off" | "false" => Some(None),
+            "on" | "true" => Some(Some(crate::serve::ReloadConfig::default().poll_ms)),
+            other => other.parse::<u64>().ok().map(Some),
+        },
+    )
+}
+
 /// `RTM_FUZZ_ITERS`: iteration budget of the fault-injection harness.
 ///
 /// # Errors

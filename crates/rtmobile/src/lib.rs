@@ -35,6 +35,7 @@
 //! println!("{}", report.render());
 //! ```
 
+pub mod bundle;
 pub mod config;
 pub mod deploy;
 pub mod env;
@@ -44,6 +45,7 @@ pub mod pipeline;
 pub mod report;
 pub mod serve;
 
+pub use bundle::{BundleError, BundleMeta, CompiledBundle};
 pub use config::{FormatChoice, PrecisionChoice, RuntimeConfig};
 pub use deploy::{
     BatchedSession, CompiledNetwork, FusedGruLayer, GateMatrix, GruRuntimeScratch, RuntimeFormat,
@@ -54,5 +56,6 @@ pub use pipeline::RtMobile;
 pub use report::{PipelineReport, Report};
 pub use rtm_trace::TraceConfig;
 pub use serve::{
-    AdmissionConfig, ServeOptions, ServeStats, Server, ShedPolicy, StreamClient, StreamFault,
+    AdmissionConfig, ReloadConfig, ReloadStats, ServeOptions, ServeStats, Server, ShedPolicy,
+    StreamClient, StreamFault,
 };

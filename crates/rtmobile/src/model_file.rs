@@ -6,27 +6,34 @@
 //! [`rtm_sparse::io`] (with f16 values on the GPU path), plus biases and
 //! the dense classifier head. A phone ships exactly these bytes.
 //!
-//! Layout (little-endian):
+//! Since version 5 the container is the **sectioned bundle** of
+//! [`crate::bundle`]: the network body below becomes the `WGHT` section
+//! payload, tuner costs move to `TUNE`, health metadata lands in `HLTH`,
+//! and every section carries a CRC32 with a whole-file checksum in the
+//! trailer. This module keeps the *body* codecs (shared with the bundle
+//! reader/writer) and the version dispatch for the legacy containers.
+//!
+//! Network body layout (little-endian):
 //!
 //! ```text
-//! magic "RTMF" 4 B, version u16, precision u8, format u8 (network
-//! defaults), layer_count u32
+//! precision u8, format u8 (network defaults), layer_count u32
 //! per layer: hidden u32, precision u8, format u8,
 //!            6 x gate blobs (w_z u_z w_r u_r w_n u_n) in the layer's
 //!            storage format's wire codec at the layer's storage precision
 //!            (int8 layers ship native codes + scales),
 //!            3 x bias runs (len u32 + f32s)
 //! head: rows u32, cols u32, f32 weights, f32 bias
-//! tuner costs: count u32, per entry layer u32, format u8, precision u8,
+//! tuner costs: count u32, per entry layer u32, precision u8, format u8,
 //!              micros f32
 //! ```
 //!
-//! Version 2 added the per-layer precision byte and native int8 blobs;
-//! version 3 added the per-layer storage-format byte (0 = BSPC, 1 = CSR,
-//! 2 = BBS, 3 = CSB) with format-dispatched gate blobs; version 4 appended
-//! the tuner-cost section, so a serving-side load can report what the
-//! compile-time kernel probe measured without re-running it. Older files
-//! are rejected with
+//! Version 2 added the per-layer precision byte and native int8 blobs (no
+//! storage-format bytes: every gate blob is BSPC); version 3 added the
+//! per-layer storage-format byte (0 = BSPC, 1 = CSR, 2 = BBS, 3 = CSB)
+//! with format-dispatched gate blobs; version 4 appended the tuner-cost
+//! section; version 5 wrapped everything in the checksummed bundle
+//! container. Versions 2–4 still decode (flat `magic, version, body`
+//! layout, no integrity data); anything else is rejected with
 //! [`DecodeError::BadVersion`](rtm_sparse::io::DecodeError::BadVersion).
 
 use crate::deploy::{
@@ -40,10 +47,13 @@ use rtm_tensor::Matrix;
 /// Magic bytes opening every `.rtm` model file.
 pub const MAGIC: &[u8; 4] = b"RTMF";
 
-/// Current model-file version.
-pub const VERSION: u16 = 4;
+/// Current model-file version (the sectioned bundle container).
+pub const VERSION: u16 = 5;
 
-fn precision_code(p: RuntimePrecision) -> u8 {
+/// Oldest model-file version [`from_bytes`] still decodes.
+pub const MIN_VERSION: u16 = 2;
+
+pub(crate) fn precision_code(p: RuntimePrecision) -> u8 {
     match p {
         RuntimePrecision::F32 => 0,
         RuntimePrecision::F16 => 1,
@@ -51,7 +61,7 @@ fn precision_code(p: RuntimePrecision) -> u8 {
     }
 }
 
-fn precision_from_code(code: u8) -> Result<RuntimePrecision, DecodeError> {
+pub(crate) fn precision_from_code(code: u8) -> Result<RuntimePrecision, DecodeError> {
     match code {
         0 => Ok(RuntimePrecision::F32),
         1 => Ok(RuntimePrecision::F16),
@@ -60,7 +70,7 @@ fn precision_from_code(code: u8) -> Result<RuntimePrecision, DecodeError> {
     }
 }
 
-fn format_code(f: RuntimeFormat) -> u8 {
+pub(crate) fn format_code(f: RuntimeFormat) -> u8 {
     match f {
         RuntimeFormat::Bspc => 0,
         RuntimeFormat::Csr => 1,
@@ -69,7 +79,7 @@ fn format_code(f: RuntimeFormat) -> u8 {
     }
 }
 
-fn format_from_code(code: u8) -> Result<RuntimeFormat, DecodeError> {
+pub(crate) fn format_from_code(code: u8) -> Result<RuntimeFormat, DecodeError> {
     match code {
         0 => Ok(RuntimeFormat::Bspc),
         1 => Ok(RuntimeFormat::Csr),
@@ -79,16 +89,22 @@ fn format_from_code(code: u8) -> Result<RuntimeFormat, DecodeError> {
     }
 }
 
-/// Serializes a compiled network to the `.rtm` byte format.
+fn need(buf: &[u8], n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Serializes the network body (weights, biases, head — no container
+/// framing, no tuner costs) into `out`.
 ///
 /// Each layer's gate blobs are stored at that layer's runtime precision:
 /// f16 halves the value bytes, int8 ships the native per-stripe-block codes
 /// and scales — the decoded network's int8 kernels stream the exact same
 /// sidecar, so the functional roundtrip is bit-exact for every precision.
-pub fn to_bytes(net: &CompiledNetwork) -> Vec<u8> {
-    let mut out = Vec::new();
-    out.put_slice(MAGIC);
-    out.put_u16_le(VERSION);
+pub(crate) fn write_network_body(out: &mut Vec<u8>, net: &CompiledNetwork) {
     out.put_u8(precision_code(net.precision));
     out.put_u8(format_code(net.format));
     out.put_u32_le(net.layers.len() as u32);
@@ -100,7 +116,7 @@ pub fn to_bytes(net: &CompiledNetwork) -> Vec<u8> {
         for m in [
             &layer.w_z, &layer.u_z, &layer.w_r, &layer.u_r, &layer.w_n, &layer.u_n,
         ] {
-            m.write_to(&mut out, prec);
+            m.write_to(out, prec);
         }
         for b in [&layer.b_z, &layer.b_r, &layer.b_n] {
             out.put_u32_le(b.len() as u32);
@@ -118,7 +134,10 @@ pub fn to_bytes(net: &CompiledNetwork) -> Vec<u8> {
     for &v in &net.head_b {
         out.put_f32_le(v);
     }
-    let costs = net.tuner_costs();
+}
+
+/// Serializes the tuner-cost records (count + rows, no framing).
+pub(crate) fn write_tuner_body(out: &mut Vec<u8>, costs: &[TunerCost]) {
     out.put_u32_le(costs.len() as u32);
     for c in costs {
         out.put_u32_le(c.layer as u32);
@@ -126,72 +145,24 @@ pub fn to_bytes(net: &CompiledNetwork) -> Vec<u8> {
         out.put_u8(format_code(c.format));
         out.put_f32_le(c.micros);
     }
-    out
 }
 
-/// [`from_bytes`] plus optional load-time weight validation.
-///
-/// With any scanning [`HealthPolicy`](crate::health::HealthPolicy)
-/// (`Check` or `Quarantine`) the decoded weights and biases must all be
-/// finite — a corrupted or adversarial model file carrying NaN/Inf weights
-/// is rejected at the door instead of poisoning every stream it serves.
-/// [`HealthPolicy::Off`](crate::health::HealthPolicy::Off) skips the scan
-/// and behaves exactly like [`from_bytes`].
-///
-/// # Errors
-///
-/// Returns [`DecodeError::NonFinite`] when validation is on and any weight
-/// is NaN or infinite, and every [`from_bytes`] error otherwise.
-pub fn from_bytes_with(
-    bytes: &[u8],
-    policy: crate::health::HealthPolicy,
+/// Decodes the network body (the inverse of [`write_network_body`]) from
+/// the front of `buf`, advancing it. `version` selects the per-layer
+/// header shape: version 2 predates the storage-format bytes (every blob
+/// is BSPC), 3+ carry them.
+pub(crate) fn read_network_body(
+    buf: &mut &[u8],
+    version: u16,
 ) -> Result<CompiledNetwork, DecodeError> {
-    let net = from_bytes(bytes)?;
-    if policy.scans() {
-        let finite = |vals: &[f32]| vals.iter().all(|v| v.is_finite());
-        let healthy = net.layers.iter().all(|l| {
-            [&l.w_z, &l.u_z, &l.w_r, &l.u_r, &l.w_n, &l.u_n]
-                .iter()
-                .all(|m| finite(m.values()))
-                && [&l.b_z, &l.b_r, &l.b_n].iter().all(|b| finite(b))
-        }) && finite(net.head_w.as_slice())
-            && finite(&net.head_b);
-        if !healthy {
-            return Err(DecodeError::NonFinite);
-        }
-    }
-    Ok(net)
-}
-
-/// Deserializes a compiled network from `.rtm` bytes.
-///
-/// # Errors
-///
-/// Returns [`DecodeError`] on any structural problem (truncation, bad
-/// magic/version, invalid embedded BSPC blobs).
-pub fn from_bytes(bytes: &[u8]) -> Result<CompiledNetwork, DecodeError> {
-    let mut buf = bytes;
-    let need = |buf: &[u8], n: usize| -> Result<(), DecodeError> {
-        if buf.remaining() < n {
-            Err(DecodeError::Truncated)
-        } else {
-            Ok(())
-        }
-    };
-
-    need(buf, 4)?;
-    let mut magic = [0u8; 4];
-    buf.copy_to_slice(&mut magic);
-    if &magic != MAGIC {
-        return Err(DecodeError::BadMagic);
-    }
-    need(buf, 4)?;
-    let version = buf.get_u16_le();
-    if version != VERSION {
-        return Err(DecodeError::BadVersion(version));
-    }
+    let formats = version >= 3;
+    need(buf, if formats { 2 } else { 1 })?;
     let precision = precision_from_code(buf.get_u8())?;
-    let format = format_from_code(buf.get_u8())?;
+    let format = if formats {
+        format_from_code(buf.get_u8())?
+    } else {
+        RuntimeFormat::Bspc
+    };
 
     need(buf, 4)?;
     let layer_count = buf.get_u32_le() as usize;
@@ -202,10 +173,14 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CompiledNetwork, DecodeError> {
     }
     let mut layers = Vec::new();
     for _ in 0..layer_count {
-        need(buf, 6)?;
+        need(buf, if formats { 6 } else { 5 })?;
         let hidden = buf.get_u32_le() as usize;
         let layer_precision = precision_from_code(buf.get_u8())?;
-        let layer_format = format_from_code(buf.get_u8())?;
+        let layer_format = if formats {
+            format_from_code(buf.get_u8())?
+        } else {
+            RuntimeFormat::Bspc
+        };
         let mut mats: Vec<GateMatrix> = Vec::with_capacity(6);
         for _ in 0..6 {
             let (m, used) = GateMatrix::read_from(buf, layer_format)?;
@@ -259,6 +234,19 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CompiledNetwork, DecodeError> {
     need(buf, nb.saturating_mul(4))?;
     let head_b: Vec<f32> = (0..nb).map(|_| buf.get_f32_le()).collect();
 
+    Ok(CompiledNetwork {
+        layers,
+        head_w,
+        head_b,
+        precision,
+        format,
+        tuner_costs: Vec::new(),
+    })
+}
+
+/// Decodes the tuner-cost records (the inverse of [`write_tuner_body`])
+/// from the front of `buf`, advancing it.
+pub(crate) fn read_tuner_body(buf: &mut &[u8]) -> Result<Vec<TunerCost>, DecodeError> {
     need(buf, 4)?;
     let cost_count = buf.get_u32_le() as usize;
     // 10 bytes per entry; reject counts the buffer cannot hold before
@@ -280,15 +268,71 @@ pub fn from_bytes(bytes: &[u8]) -> Result<CompiledNetwork, DecodeError> {
             micros,
         });
     }
+    Ok(tuner_costs)
+}
 
-    Ok(CompiledNetwork {
-        layers,
-        head_w,
-        head_b,
-        precision,
-        format,
-        tuner_costs,
-    })
+/// Whether every weight, bias and head value of `net` is finite.
+pub(crate) fn all_finite(net: &CompiledNetwork) -> bool {
+    let finite = |vals: &[f32]| vals.iter().all(|v| v.is_finite());
+    net.layers.iter().all(|l| {
+        [&l.w_z, &l.u_z, &l.w_r, &l.u_r, &l.w_n, &l.u_n]
+            .iter()
+            .all(|m| finite(m.values()))
+            && [&l.b_z, &l.b_r, &l.b_n].iter().all(|b| finite(b))
+    }) && finite(net.head_w.as_slice())
+        && finite(&net.head_b)
+}
+
+/// Decodes a legacy flat container (versions 2–4): the network body
+/// directly after the `magic, version` header, plus the tuner-cost section
+/// in version 4. `buf` must already be past the 6-byte header.
+pub(crate) fn read_legacy(buf: &mut &[u8], version: u16) -> Result<CompiledNetwork, DecodeError> {
+    debug_assert!((2..=4).contains(&version));
+    let mut net = read_network_body(buf, version)?;
+    if version >= 4 {
+        net.tuner_costs = read_tuner_body(buf)?;
+    }
+    Ok(net)
+}
+
+/// Serializes a compiled network to the current `.rtm` byte format — a
+/// version-5 [`crate::bundle`] with default (empty) health metadata and
+/// generation 0. Use [`crate::bundle::to_bytes_with`] to stamp real
+/// metadata.
+pub fn to_bytes(net: &CompiledNetwork) -> Vec<u8> {
+    crate::bundle::to_bytes(net)
+}
+
+/// [`from_bytes`] plus optional load-time weight validation.
+///
+/// With any scanning [`HealthPolicy`](crate::health::HealthPolicy)
+/// (`Check` or `Quarantine`) the decoded weights and biases must all be
+/// finite — a corrupted or adversarial model file carrying NaN/Inf weights
+/// is rejected at the door instead of poisoning every stream it serves.
+/// [`HealthPolicy::Off`](crate::health::HealthPolicy::Off) skips the scan
+/// and behaves exactly like [`from_bytes`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError::NonFinite`] when validation is on and any weight
+/// is NaN or infinite, and every [`from_bytes`] error otherwise.
+pub fn from_bytes_with(
+    bytes: &[u8],
+    policy: crate::health::HealthPolicy,
+) -> Result<CompiledNetwork, DecodeError> {
+    crate::bundle::from_bytes_with(bytes, policy).map(crate::bundle::CompiledBundle::into_network)
+}
+
+/// Deserializes a compiled network from `.rtm` bytes (any supported
+/// version: the checksummed version-5 bundle, or the flat version 2–4
+/// containers).
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] on any structural problem (truncation, bad
+/// magic/version, checksum mismatch, invalid embedded blobs).
+pub fn from_bytes(bytes: &[u8]) -> Result<CompiledNetwork, DecodeError> {
+    crate::bundle::from_bytes(bytes).map(crate::bundle::CompiledBundle::into_network)
 }
 
 #[cfg(test)]
@@ -312,6 +356,52 @@ mod tests {
         (0..6)
             .map(|t| (0..5).map(|i| ((t * 5 + i) as f32 * 0.4).sin()).collect())
             .collect()
+    }
+
+    /// Writes the legacy flat container for a given version (the inverse
+    /// of [`read_legacy`]) — v2/v3/v4 fixtures for the decode tests.
+    fn to_bytes_legacy(net: &CompiledNetwork, version: u16) -> Vec<u8> {
+        assert!((2..=4).contains(&version));
+        let mut out = Vec::new();
+        out.put_slice(MAGIC);
+        out.put_u16_le(version);
+        out.put_u8(precision_code(net.precision));
+        if version >= 3 {
+            out.put_u8(format_code(net.format));
+        }
+        out.put_u32_le(net.layers.len() as u32);
+        for layer in &net.layers {
+            out.put_u32_le(layer.hidden as u32);
+            out.put_u8(precision_code(layer.precision));
+            if version >= 3 {
+                out.put_u8(format_code(layer.format));
+            }
+            let prec: Precision = layer.precision.storage();
+            for m in [
+                &layer.w_z, &layer.u_z, &layer.w_r, &layer.u_r, &layer.w_n, &layer.u_n,
+            ] {
+                m.write_to(&mut out, prec);
+            }
+            for b in [&layer.b_z, &layer.b_r, &layer.b_n] {
+                out.put_u32_le(b.len() as u32);
+                for &v in b {
+                    out.put_f32_le(v);
+                }
+            }
+        }
+        out.put_u32_le(net.head_w.rows() as u32);
+        out.put_u32_le(net.head_w.cols() as u32);
+        for &v in net.head_w.as_slice() {
+            out.put_f32_le(v);
+        }
+        out.put_u32_le(net.head_b.len() as u32);
+        for &v in &net.head_b {
+            out.put_f32_le(v);
+        }
+        if version >= 4 {
+            write_tuner_body(&mut out, net.tuner_costs());
+        }
+        out
     }
 
     #[test]
@@ -470,20 +560,39 @@ mod tests {
         // The probe metadata never changes the numbers the model computes.
         assert_eq!(decoded.forward(&frames()), tuned.forward(&frames()));
         // A corrupt cost count cannot force an allocation the buffer
-        // cannot back.
-        let n = bytes.len();
+        // cannot back: poison the TUNE section's count and reseal the
+        // checksums so the corruption reaches the body decoder.
         let mut corrupt = bytes.clone();
-        corrupt[n - 24..n - 20].copy_from_slice(&u32::MAX.to_le_bytes());
+        let probe = crate::bundle::probe(&bytes).expect("probe");
+        let tune = probe
+            .sections
+            .iter()
+            .find(|s| &s.tag == b"TUNE")
+            .expect("TUNE section");
+        corrupt[tune.payload_offset..tune.payload_offset + 4]
+            .copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(crate::bundle::reseal(&mut corrupt));
         assert_eq!(from_bytes(&corrupt).unwrap_err(), DecodeError::Truncated);
     }
 
     #[test]
     fn rejects_unknown_format_byte() {
-        let mut bytes = to_bytes(&compiled(RuntimePrecision::F32));
-        // magic(4) + version(2) + precision(1) puts the network format
-        // byte at offset 7.
-        bytes[7] = 9;
-        assert_eq!(from_bytes(&bytes).unwrap_err(), DecodeError::BadFormat(9));
+        let bytes = to_bytes(&compiled(RuntimePrecision::F32));
+        let probe = crate::bundle::probe(&bytes).expect("probe");
+        let wght = probe
+            .sections
+            .iter()
+            .find(|s| &s.tag == b"WGHT")
+            .expect("WGHT section");
+        // Without resealing, the corruption is caught by the file checksum
+        // before any field decoder sees it.
+        let mut corrupt = bytes.clone();
+        corrupt[wght.payload_offset + 1] = 9;
+        assert_eq!(from_bytes(&corrupt).unwrap_err(), DecodeError::FileChecksum);
+        // Resealed (an adversarial edit, not rot), the typed field error
+        // surfaces: body offset 1 is the network format byte.
+        assert!(crate::bundle::reseal(&mut corrupt));
+        assert_eq!(from_bytes(&corrupt).unwrap_err(), DecodeError::BadFormat(9));
     }
 
     #[test]
@@ -512,6 +621,44 @@ mod tests {
             from_bytes(&bytes).unwrap_err(),
             DecodeError::BadVersion(_)
         ));
+    }
+
+    #[test]
+    fn legacy_versions_still_decode() {
+        let costs = vec![TunerCost {
+            layer: 0,
+            format: RuntimeFormat::Bspc,
+            precision: RuntimePrecision::F16,
+            micros: 3.5,
+        }];
+        let net = compiled(RuntimePrecision::F16).with_tuner_costs(costs.clone());
+        // v4: full flat container with tuner costs.
+        let v4 = to_bytes_legacy(&net, 4);
+        let decoded = from_bytes(&v4).expect("v4 decodes");
+        assert_eq!(decoded.tuner_costs(), &costs[..]);
+        assert_eq!(net.forward(&frames()), decoded.forward(&frames()));
+        // v3: same body, no tuner section.
+        let v3 = to_bytes_legacy(&net, 3);
+        let decoded = from_bytes(&v3).expect("v3 decodes");
+        assert!(decoded.tuner_costs().is_empty());
+        assert_eq!(net.forward(&frames()), decoded.forward(&frames()));
+        // v2: no format bytes — only all-BSPC models ever existed, and the
+        // decoder restores exactly that.
+        let v2 = to_bytes_legacy(&net, 2);
+        let decoded = from_bytes(&v2).expect("v2 decodes");
+        assert_eq!(decoded.format(), RuntimeFormat::Bspc);
+        assert!(decoded
+            .layer_formats()
+            .iter()
+            .all(|f| *f == RuntimeFormat::Bspc));
+        assert_eq!(net.forward(&frames()), decoded.forward(&frames()));
+        // Legacy truncations fail cleanly too.
+        for n in (0..v4.len()).step_by(13) {
+            assert!(from_bytes(&v4[..n]).is_err(), "v4 prefix {n}");
+        }
+        for n in (0..v2.len()).step_by(13) {
+            assert!(from_bytes(&v2[..n]).is_err(), "v2 prefix {n}");
+        }
     }
 
     #[test]

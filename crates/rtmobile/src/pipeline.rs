@@ -414,6 +414,8 @@ impl RtMobile {
             }
         };
         let (mut compiled_report, mut serve) = score(&compiled);
+        let mut precision_guard_tripped = false;
+        let mut format_guard_tripped = false;
         // Accuracy guard of the auto precision selector: if the
         // measured-fastest per-layer mix degrades PER beyond the bound
         // versus an all-f32 compile of the same pruned network (at the same
@@ -436,6 +438,7 @@ impl RtMobile {
             .expect("partition validated by BSP config");
             let (f32_report, f32_serve) = score(&f32_compiled);
             if compiled_report.per_percent() - f32_report.per_percent() > self.precision_guard {
+                precision_guard_tripped = true;
                 compiled = f32_compiled;
                 compiled_report = f32_report;
                 serve = f32_serve;
@@ -465,6 +468,7 @@ impl RtMobile {
             .expect("partition validated by BSP config");
             let (bspc_report, bspc_serve) = score(&bspc_compiled);
             if compiled_report.per_percent() - bspc_report.per_percent() > self.precision_guard {
+                format_guard_tripped = true;
                 compiled = bspc_compiled;
                 compiled_report = bspc_report;
                 serve = bspc_serve;
@@ -541,6 +545,8 @@ impl RtMobile {
                 layers_bbs: count_fmt(RuntimeFormat::Bbs),
                 layers_csb: count_fmt(RuntimeFormat::Csb),
                 storage_bytes: compiled.storage_bytes(),
+                precision_guard_tripped,
+                format_guard_tripped,
             },
             serve,
         };

@@ -76,6 +76,12 @@ pub struct PerformanceReport {
     /// Compiled model storage in bytes at the deployed precisions and
     /// formats (sparse index structure plus values and scale metadata).
     pub storage_bytes: usize,
+    /// `true` when the auto-precision PER guard rejected the
+    /// measured-fastest mix and shipped the all-f32 compile instead.
+    pub precision_guard_tripped: bool,
+    /// `true` when the auto-format PER guard rejected the per-layer format
+    /// mix and shipped the all-BSPC compile instead.
+    pub format_guard_tripped: bool,
 }
 
 /// Full result of one [`RtMobile`](crate::RtMobile) run.
@@ -148,6 +154,22 @@ impl PipelineReport {
             "  model storage: {:.1} KiB",
             p.storage_bytes as f64 / 1024.0
         );
+        if p.precision_guard_tripped || p.format_guard_tripped {
+            let _ = writeln!(
+                s,
+                "  guards: precision {}, format {}",
+                if p.precision_guard_tripped {
+                    "TRIPPED (shipped f32)"
+                } else {
+                    "ok"
+                },
+                if p.format_guard_tripped {
+                    "TRIPPED (shipped bspc)"
+                } else {
+                    "ok"
+                }
+            );
+        }
         if let Some(v) = &self.serve {
             let _ = writeln!(
                 s,
@@ -249,6 +271,14 @@ impl Report for PipelineReport {
                     ("layers_bbs", JsonValue::Int(p.layers_bbs as i64)),
                     ("layers_csb", JsonValue::Int(p.layers_csb as i64)),
                     ("storage_bytes", JsonValue::Int(p.storage_bytes as i64)),
+                    (
+                        "precision_guard_tripped",
+                        JsonValue::Raw(p.precision_guard_tripped.to_string()),
+                    ),
+                    (
+                        "format_guard_tripped",
+                        JsonValue::Raw(p.format_guard_tripped.to_string()),
+                    ),
                 ])),
             ),
             (
@@ -373,6 +403,8 @@ mod tests {
                 layers_bbs: 2,
                 layers_csb: 0,
                 storage_bytes: 2048,
+                precision_guard_tripped: false,
+                format_guard_tripped: false,
             },
             serve: None,
         }
@@ -396,6 +428,12 @@ mod tests {
         assert!(text.contains("format: bbs (0 bspc / 0 csr / 2 bbs / 0 csb layers)"));
         assert!(text.contains("2.0 KiB"));
         assert!(!text.contains("serving:"));
+        assert!(!text.contains("guards:"), "untripped guards stay quiet");
+        let mut tripped = dummy();
+        tripped.performance.precision_guard_tripped = true;
+        let text_tripped = tripped.render();
+        assert!(text_tripped.contains("precision TRIPPED (shipped f32)"));
+        assert!(text_tripped.contains("format ok"));
         let mut r = dummy();
         r.serve = Some(ServeStats {
             admitted: 5,
@@ -423,6 +461,8 @@ mod tests {
         assert!(json.contains("\"format\": \"bbs\""));
         assert!(json.contains("\"layers_bbs\": 2"));
         assert!(json.contains("\"storage_bytes\": 2048"));
+        assert!(json.contains("\"precision_guard_tripped\": false"));
+        assert!(json.contains("\"format_guard_tripped\": false"));
         assert!(json.contains("\"serve\": null"));
 
         let stats = ServeStats {

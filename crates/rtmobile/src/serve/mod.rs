@@ -27,10 +27,12 @@ use crate::health::NumericFault;
 
 pub mod client;
 pub mod protocol;
+pub mod reload;
 pub mod server;
 
 pub use client::StreamClient;
 pub use protocol::{ClientMsg, ProtocolError, RejectCode, ServerMsg};
+pub use reload::{ReloadConfig, ReloadStats, Reloader};
 pub use rtm_sim::streaming::ShedPolicy;
 pub use server::{ServeOptions, Server};
 
@@ -101,6 +103,21 @@ pub struct ServeStats {
     pub frames: usize,
     /// Streams that ran to completion (all frames produced logits).
     pub completed: usize,
+}
+
+impl ServeStats {
+    /// Field-wise sum — aggregates the per-generation sessions of a
+    /// hot-swapping server into the one set of counters callers observe.
+    pub fn merged(self, other: ServeStats) -> ServeStats {
+        ServeStats {
+            admitted: self.admitted + other.admitted,
+            shed: self.shed + other.shed,
+            quarantined: self.quarantined + other.quarantined,
+            deadline_missed: self.deadline_missed + other.deadline_missed,
+            frames: self.frames + other.frames,
+            completed: self.completed + other.completed,
+        }
+    }
 }
 
 /// One numeric fault observed by the health scan, attributed to its stream.

@@ -1,15 +1,28 @@
 //! The `rtm serve` front end: a std-only, non-blocking TCP server with
-//! continuous batching.
+//! continuous batching and zero-downtime model hot swap.
 //!
 //! One thread owns everything — the listener, every connection, and the
-//! [`BatchedSession`] — and spins a readiness loop: accept until the
-//! listener would block, read every socket until it would block, admit
-//! parked streams into free lanes, run **one** batched step over whichever
-//! active streams have a frame buffered (the continuous-batching core:
-//! lanes join and retire mid-flight, the batch never waits for stragglers),
-//! then flush outboxes until they would block. No `epoll`/`mio`/`tokio` —
-//! `TcpListener::set_nonblocking` plus a bounded idle sleep is the whole
-//! event mechanism, which keeps the server offline-safe and registry-free.
+//! per-generation [`BatchedSession`]s — and spins a readiness loop: accept
+//! until the listener would block, read every socket until it would block,
+//! admit parked streams into free lanes, run **one** batched step over
+//! whichever active streams have a frame buffered (the continuous-batching
+//! core: lanes join and retire mid-flight, the batch never waits for
+//! stragglers), then flush outboxes until they would block. No
+//! `epoll`/`mio`/`tokio` — `TcpListener::set_nonblocking` plus a bounded
+//! idle sleep is the whole event mechanism, which keeps the server
+//! offline-safe and registry-free.
+//!
+//! Hot swap (DESIGN.md §15): the compiled network lives inside a
+//! [`CompiledBundle`] behind an `Arc`, and the server keeps a stack of
+//! **generation slots**, each pairing a bundle with its own
+//! [`BatchedSession`]. New streams are always admitted to the newest slot;
+//! older slots keep stepping their in-flight streams until they drain,
+//! then are reaped. When a [`Reloader`] delivers a validated candidate,
+//! promotion is a `Vec::push` — no lock, no pause, no dropped connection.
+//! If the new generation's quarantine rate trips the configured threshold,
+//! the server rolls back by re-promoting the previous bundle. Every
+//! attempt/success/refusal/rollback is counted in [`ReloadStats`] and the
+//! `serve.reload.*` trace family, with `serve.generation` as a gauge.
 //!
 //! Back-pressure and failure containment:
 //! - the connection table is bounded ([`ServeOptions::max_conns`]); excess
@@ -23,21 +36,28 @@
 //!   frame drops *that* connection (and frees its lane); every other
 //!   stream's logits are untouched — the bit-exactness contract of
 //!   [`BatchedSession::step`] holds per lane regardless of which
-//!   neighbours come and go.
+//!   neighbours come and go, and holds per *generation* across a swap:
+//!   a stream admitted on generation N computes on N's weights to its
+//!   last frame.
 
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use rtm_tensor::wire::FrameDecoder;
 use rtm_trace::key;
 
 use super::protocol::{put_server_msg, ClientMsg, RejectCode, ServerMsg};
-use super::ServeStats;
+use super::reload::{ReloadConfig, ReloadEvent, ReloadStats, Reloader};
+use super::{AdmissionConfig, ServeStats};
+use crate::bundle::CompiledBundle;
 use crate::config::RuntimeConfig;
 use crate::deploy::{BatchedSession, CompiledNetwork};
+use crate::health::HealthPolicy;
 
 /// Knobs of the TCP front end (the batching/admission knobs live in
 /// [`RuntimeConfig`]; these bound the socket layer).
@@ -130,6 +150,10 @@ struct Conn {
     token: usize,
     tenant: u32,
     phase: Phase,
+    /// Generation slot holding this stream's lane (set at admission; a
+    /// stream computes on that slot's weights for its whole life, even
+    /// across swaps).
+    seq: u64,
     decoder: FrameDecoder,
     /// Decoded frames not yet stepped (the per-stream input queue the
     /// batcher pulls from, one frame per step).
@@ -158,12 +182,39 @@ impl Conn {
     }
 }
 
+/// One model generation being served: its bundle and the batched session
+/// holding its in-flight lanes. The newest slot admits; older slots only
+/// drain.
+struct GenSlot<'a> {
+    /// Monotonic promotion counter (distinct from the bundle's generation
+    /// stamp, which an operator could republish).
+    seq: u64,
+    bundle: CompiledBundle,
+    session: BatchedSession<'a>,
+}
+
 /// The `rtm serve` server: bind once, then [`run`](Server::run) the
 /// readiness loop to completion.
 pub struct Server<'a> {
     listener: TcpListener,
     addr: SocketAddr,
-    session: BatchedSession<'a>,
+    exec: &'a rtm_exec::Executor,
+    /// Lane capacity, admission bounds and health policy every generation's
+    /// session is built with.
+    batch: usize,
+    admission: AdmissionConfig,
+    health: HealthPolicy,
+    /// Generation slots, oldest first; the last is the active one.
+    slots: Vec<GenSlot<'a>>,
+    next_seq: u64,
+    /// Counters of slots already reaped (folded into [`Server::stats`]).
+    retired: ServeStats,
+    /// The bundle serving before the most recent swap — the rollback
+    /// target. Cleared once consumed (one rollback per swap) or once a
+    /// further swap replaces it.
+    previous: Option<CompiledBundle>,
+    reloader: Option<Reloader>,
+    reload_stats: ReloadStats,
     opts: ServeOptions,
     conns: Vec<Conn>,
     /// Tokens of started streams awaiting a lane, in admission order.
@@ -183,11 +234,30 @@ impl<'a> Server<'a> {
     /// by `config`: lanes = `config.batch`, admission = `config.admission`,
     /// health = `config.resolved_health()`, socket bounds = `config.serve`.
     ///
+    /// The network is wrapped in an unstamped [`CompiledBundle`]; use
+    /// [`Server::bind_bundle`] to serve a loaded bundle with its metadata
+    /// (and a meaningful generation gauge).
+    ///
     /// # Errors
     ///
     /// Propagates the bind/configure `io::Error`.
     pub fn bind(
-        net: &'a CompiledNetwork,
+        net: &CompiledNetwork,
+        exec: &'a rtm_exec::Executor,
+        config: &RuntimeConfig,
+    ) -> std::io::Result<Server<'a>> {
+        Server::bind_bundle(CompiledBundle::from_network(net.clone()), exec, config)
+    }
+
+    /// [`Server::bind`] over a compiled bundle: the generation stamp and
+    /// health metadata ride along, and a [`Reloader`] enabled via
+    /// [`Server::enable_reload`] can hot-swap it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind/configure `io::Error`.
+    pub fn bind_bundle(
+        bundle: CompiledBundle,
         exec: &'a rtm_exec::Executor,
         config: &RuntimeConfig,
     ) -> std::io::Result<Server<'a>> {
@@ -195,22 +265,56 @@ impl<'a> Server<'a> {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, opts.port))?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let session = BatchedSession::new(net, exec, config.batch)
-            .with_admission(config.admission)
-            .with_health(config.resolved_health());
-        Ok(Server {
+        let (batch, admission, health) = (config.batch, config.admission, config.resolved_health());
+        let session = BatchedSession::shared(Arc::clone(&bundle.net), exec, batch)
+            .with_admission(admission)
+            .with_health(health);
+        let input_dim = bundle.net.input_dim();
+        let classes = bundle.net.num_classes();
+        let generation = bundle.generation();
+        let server = Server {
             listener,
             addr,
-            session,
+            exec,
+            batch,
+            admission,
+            health,
+            slots: vec![GenSlot {
+                seq: 0,
+                bundle,
+                session,
+            }],
+            next_seq: 0,
+            retired: ServeStats::default(),
+            previous: None,
+            reloader: None,
+            reload_stats: ReloadStats {
+                generation,
+                ..ReloadStats::default()
+            },
             opts,
             conns: Vec::new(),
             parked: VecDeque::new(),
             next_token: 0,
             steps: 0,
             finished: 0,
-            input_dim: net.input_dim(),
-            classes: net.num_classes(),
-        })
+            input_dim,
+            classes,
+        };
+        Ok(server)
+    }
+
+    /// Arms hot reloading: `path` is fingerprint-polled during the run and
+    /// validated bundles published there are atomically swapped in. The
+    /// file currently at `path` (if any) is treated as already served.
+    pub fn enable_reload(&mut self, path: PathBuf, config: ReloadConfig) {
+        self.reloader = Some(Reloader::new(
+            path,
+            config,
+            self.health,
+            self.input_dim,
+            self.classes,
+        ));
     }
 
     /// The bound address (read the ephemeral port from here).
@@ -218,9 +322,117 @@ impl<'a> Server<'a> {
         self.addr
     }
 
-    /// Counters accumulated so far.
+    /// Counters accumulated so far, across every generation served.
     pub fn stats(&self) -> ServeStats {
-        self.session.stats()
+        self.slots
+            .iter()
+            .fold(self.retired, |acc, s| acc.merged(s.session.stats()))
+    }
+
+    /// Reload counters (zero everything when reloading was never enabled;
+    /// `generation` always reflects the bundle admitting new streams).
+    pub fn reload_stats(&self) -> ReloadStats {
+        ReloadStats {
+            generation: self.active().bundle.generation(),
+            ..self.reload_stats
+        }
+    }
+
+    fn active(&self) -> &GenSlot<'a> {
+        self.slots.last().expect("at least one generation slot")
+    }
+
+    fn active_mut(&mut self) -> &mut GenSlot<'a> {
+        self.slots.last_mut().expect("at least one generation slot")
+    }
+
+    fn slot_mut(&mut self, seq: u64) -> Option<&mut GenSlot<'a>> {
+        self.slots.iter_mut().find(|s| s.seq == seq)
+    }
+
+    /// Promotes `bundle` to the active generation: new streams admit to a
+    /// fresh session over it; existing slots keep draining their in-flight
+    /// streams on their own weights.
+    fn promote(&mut self, bundle: CompiledBundle) {
+        let session = BatchedSession::shared(Arc::clone(&bundle.net), self.exec, self.batch)
+            .with_admission(self.admission)
+            .with_health(self.health);
+        self.next_seq += 1;
+        self.slots.push(GenSlot {
+            seq: self.next_seq,
+            bundle,
+            session,
+        });
+        rtm_trace::gauge(
+            key::SERVE_GENERATION,
+            self.active().bundle.generation() as f64,
+        );
+    }
+
+    /// Drives the reload state machine one non-blocking tick.
+    fn poll_reload(&mut self) {
+        let Some(reloader) = &mut self.reloader else {
+            return;
+        };
+        match reloader.poll() {
+            None => {}
+            Some(ReloadEvent::Started) => {
+                self.reload_stats.attempts += 1;
+                rtm_trace::count(key::SERVE_RELOAD_ATTEMPT, 1);
+            }
+            Some(ReloadEvent::Refused(_reason)) => {
+                self.reload_stats.refusals += 1;
+                rtm_trace::count(key::SERVE_RELOAD_REFUSED, 1);
+            }
+            Some(ReloadEvent::Loaded(bundle)) => {
+                self.previous = Some(self.active().bundle.clone());
+                self.promote(bundle);
+                self.reload_stats.successes += 1;
+                rtm_trace::count(key::SERVE_RELOAD_SUCCESS, 1);
+            }
+        }
+    }
+
+    /// Rolls back to the pre-swap bundle when the active generation's
+    /// quarantine rate trips the configured threshold over a large-enough
+    /// admitted sample. One-shot per swap: a consumed rollback target is
+    /// not re-armed until the next successful swap.
+    fn maybe_rollback(&mut self) {
+        if self.previous.is_none() {
+            return;
+        }
+        let Some(reloader) = &self.reloader else {
+            return;
+        };
+        let config = reloader.config();
+        let stats = self.active().session.stats();
+        if stats.admitted < config.rollback_min_streams.max(1) {
+            return;
+        }
+        let rate = stats.quarantined as f64 / stats.admitted as f64;
+        if rate <= config.rollback_quarantine_rate {
+            return;
+        }
+        let target = self.previous.take().expect("checked above");
+        self.promote(target);
+        self.reload_stats.rollbacks += 1;
+        rtm_trace::count(key::SERVE_RELOAD_ROLLBACK, 1);
+    }
+
+    /// Drops drained non-active generation slots, folding their counters
+    /// into the retired total (and releasing the old weights' `Arc`).
+    fn reap_slots(&mut self) {
+        if self.slots.len() <= 1 {
+            return;
+        }
+        let last = self.slots.len() - 1;
+        for idx in (0..last).rev() {
+            if self.slots[idx].session.active_lanes() == 0 {
+                let mut slot = self.slots.remove(idx);
+                slot.session.trace_flush();
+                self.retired = self.retired.merged(slot.session.stats());
+            }
+        }
     }
 
     /// Runs the readiness loop until [`ServeOptions::max_streams`] streams
@@ -251,13 +463,18 @@ impl<'a> Server<'a> {
             if !draining {
                 progress |= self.accept_ready()?;
             }
+            self.poll_reload();
+            self.maybe_rollback();
             progress |= self.read_ready();
             self.admit_and_shed();
             progress |= self.step_once();
             progress |= self.write_ready();
             self.reap();
+            self.reap_slots();
             if rtm_trace::enabled() {
-                self.session.trace_flush();
+                for slot in &mut self.slots {
+                    slot.session.trace_flush();
+                }
                 rtm_trace::gauge(key::SERVE_QUEUE_DEPTH, self.parked.len() as f64);
                 rtm_trace::gauge(key::SERVE_CONNS, self.conns.len() as f64);
             }
@@ -268,9 +485,11 @@ impl<'a> Server<'a> {
                 std::thread::sleep(Duration::from_micros(self.opts.idle_sleep_us));
             }
         }
-        self.session.drain();
-        self.session.trace_flush();
-        Ok(self.session.stats())
+        for slot in &mut self.slots {
+            slot.session.drain();
+            slot.session.trace_flush();
+        }
+        Ok(self.stats())
     }
 
     /// Accepts until the listener would block; over-capacity connections
@@ -295,6 +514,7 @@ impl<'a> Server<'a> {
                 token,
                 tenant: 0,
                 phase: Phase::AwaitStart,
+                seq: 0,
                 decoder: FrameDecoder::new(),
                 inbox: VecDeque::new(),
                 outbox: Vec::new(),
@@ -313,7 +533,7 @@ impl<'a> Server<'a> {
                     code: RejectCode::Capacity,
                 });
                 conn.phase = Phase::Closing;
-                self.session.mark_shed();
+                self.active_mut().session.mark_shed();
             }
             self.conns.push(conn);
         }
@@ -417,7 +637,7 @@ impl<'a> Server<'a> {
                         code: RejectCode::TenantQuota,
                     });
                     self.conns[i].phase = Phase::Closing;
-                    self.session.mark_shed();
+                    self.active_mut().session.mark_shed();
                     self.finished += 1;
                 } else {
                     self.conns[i].tenant = tenant;
@@ -445,30 +665,32 @@ impl<'a> Server<'a> {
         }
     }
 
-    /// Moves parked streams into free lanes (continuous batching: a lane
-    /// freed this step is refilled before the next), then sheds whatever
-    /// backlog exceeds the admission queue depth.
+    /// Moves parked streams into free lanes of the **active** generation
+    /// (continuous batching: a lane freed this step is refilled before the
+    /// next; older generations only drain), then sheds whatever backlog
+    /// exceeds the admission queue depth.
     fn admit_and_shed(&mut self) {
-        while !self.session.is_full() {
+        while !self.active().session.is_full() {
             let Some(token) = self.parked.pop_front() else {
                 break;
             };
             let Some(i) = self.conn_index(token) else {
                 continue;
             };
-            self.session.admit(token);
+            let seq = self.active().seq;
+            self.active_mut().session.admit(token);
             self.conns[i].phase = Phase::Active;
+            self.conns[i].seq = seq;
             if self
-                .session
-                .admission()
+                .admission
                 .deadline_steps
                 .is_some_and(|d| self.steps > d)
             {
-                self.session.mark_deadline_missed();
+                self.active_mut().session.mark_deadline_missed();
             }
         }
-        while self.parked.len() > self.session.admission().queue_depth {
-            let victim = match self.session.admission().shed {
+        while self.parked.len() > self.admission.queue_depth {
+            let victim = match self.admission.shed {
                 super::ShedPolicy::RejectNew => self.parked.pop_back(),
                 super::ShedPolicy::DropOldest => self.parked.pop_front(),
             };
@@ -479,29 +701,38 @@ impl<'a> Server<'a> {
                 code: RejectCode::Capacity,
             });
             self.conns[i].phase = Phase::Closing;
-            self.session.mark_shed();
+            self.active_mut().session.mark_shed();
             self.finished += 1;
         }
     }
 
-    /// Runs one batched step over every active stream with a buffered
-    /// frame and routes the logits back to their connections. Streams
-    /// whose inbox is drained after `End` retire and get `Done`.
+    /// Runs one batched step per generation slot over every active stream
+    /// with a buffered frame and routes the logits back to their
+    /// connections. Streams whose inbox is drained after `End` retire and
+    /// get `Done`.
     fn step_once(&mut self) -> bool {
-        let mut ready: Vec<(usize, &[f32])> = Vec::new();
-        for c in &self.conns {
-            if c.phase == Phase::Active && !c.dead {
-                if let Some(frame) = c.inbox.front() {
-                    ready.push((c.token, frame.as_slice()));
+        let mut stepped = false;
+        for s in 0..self.slots.len() {
+            let seq = self.slots[s].seq;
+            let mut ready: Vec<(usize, &[f32])> = Vec::new();
+            for c in &self.conns {
+                if c.phase == Phase::Active && c.seq == seq && !c.dead {
+                    if let Some(frame) = c.inbox.front() {
+                        ready.push((c.token, frame.as_slice()));
+                    }
                 }
             }
-        }
-        let stepped = !ready.is_empty();
-        if stepped {
+            if ready.is_empty() {
+                continue;
+            }
+            stepped = true;
             // Frame widths were validated at receive time, so the only
             // step errors left are executor-internal; those are fatal to
             // the process, not to a connection.
-            let out = self.session.step(&ready).expect("batched step failed");
+            let out = self.slots[s]
+                .session
+                .step(&ready)
+                .expect("batched step failed");
             self.steps += 1;
             for (token, row) in out.logits {
                 if let Some(i) = self.conn_index(token) {
@@ -524,9 +755,11 @@ impl<'a> Server<'a> {
         for i in 0..self.conns.len() {
             let c = &self.conns[i];
             if c.phase == Phase::Active && c.ended && c.inbox.is_empty() {
-                self.session.retire(c.token);
-                self.session.mark_completed();
-                let frames = c.frames_out;
+                let (token, seq, frames) = (c.token, c.seq, c.frames_out);
+                if let Some(slot) = self.slot_mut(seq) {
+                    slot.session.retire(token);
+                    slot.session.mark_completed();
+                }
                 self.conns[i].queue_msg(&ServerMsg::Done { frames });
                 self.conns[i].phase = Phase::Closing;
                 self.finished += 1;
@@ -570,11 +803,14 @@ impl<'a> Server<'a> {
     }
 
     /// Marks connection `i` unusable and releases everything it holds: its
-    /// lane (if active), its parked slot, and its finished-stream tick.
+    /// lane (if active, in its own generation's session), its parked slot,
+    /// and its finished-stream tick.
     fn kill(&mut self, i: usize) {
-        let token = self.conns[i].token;
+        let (token, seq) = (self.conns[i].token, self.conns[i].seq);
         if self.conns[i].phase == Phase::Active {
-            self.session.retire(token);
+            if let Some(slot) = self.slot_mut(seq) {
+                slot.session.retire(token);
+            }
         }
         if self.conns[i].started() {
             self.finished += 1;
@@ -591,5 +827,175 @@ impl<'a> Server<'a> {
 
     fn conn_index(&self, token: usize) -> Option<usize> {
         self.conns.iter().position(|c| c.token == token)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::{self, BundleMeta};
+    use crate::deploy::RuntimePrecision;
+    use crate::serve::client::{RejectedError, StreamClient};
+    use crate::serve::protocol::RejectCode;
+    use rtm_rnn::model::{GruNetwork, NetworkConfig};
+    use std::time::{Duration, Instant};
+
+    fn compiled(seed: u64) -> CompiledNetwork {
+        let net = GruNetwork::new(
+            &NetworkConfig {
+                input_dim: 6,
+                hidden_dims: vec![12],
+                num_classes: 4,
+            },
+            seed,
+        );
+        CompiledNetwork::compile(&net, 4, 2, RuntimePrecision::F16).expect("partition fits")
+    }
+
+    /// A network that decodes cleanly and has finite stored weights, but
+    /// overflows to `inf` at the head on any real frame — invisible to
+    /// load-time validation with the canary disabled, caught only by the
+    /// runtime health scan.
+    fn poisoned(seed: u64) -> CompiledNetwork {
+        let mut bad = compiled(seed);
+        let (rows, cols) = (bad.head_w.rows(), bad.head_w.cols());
+        bad.head_w = rtm_tensor::Matrix::from_vec(rows, cols, vec![f32::MAX; rows * cols]).unwrap();
+        bad.head_b = vec![f32::MAX; bad.head_b.len()];
+        bad
+    }
+
+    fn frames(n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|t| {
+                (0..6)
+                    .map(|i| (((t * 6 + i) as f32) * 0.43 + 0.2).sin() * 0.6)
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn bits(rows: &[Vec<f32>]) -> Vec<Vec<u32>> {
+        rows.iter()
+            .map(|r| r.iter().map(|v| v.to_bits()).collect())
+            .collect()
+    }
+
+    /// The full rollback arc: a bundle that passes every load-time check
+    /// (finite weights, matching dimensions, canary disabled) is promoted,
+    /// poisons the streams it serves, trips the quarantine-rate guard, and
+    /// the server rolls back to the previous generation — all while the
+    /// listener keeps answering.
+    #[test]
+    fn a_toxic_swap_rolls_back_to_the_previous_generation() {
+        let dir = std::env::temp_dir().join(format!("rtm-rollback-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("model.rtm");
+
+        let good = compiled(11);
+        let utterance = frames(3);
+        let serial = bits(&good.forward(&utterance));
+        bundle::write(&path, &good, &BundleMeta::default().with_generation(1)).expect("publish");
+
+        let stop = AtomicBool::new(false);
+        let config = RuntimeConfig::default()
+            .with_batch(2)
+            .with_health(HealthPolicy::Quarantine);
+        let (final_stats, reload_stats) = std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let (stop, path) = (&stop, &path);
+            let server_thread = scope.spawn(move || {
+                let exec = rtm_exec::Executor::new(config.threads);
+                let loaded = CompiledBundle::load(path).expect("load gen 1");
+                let mut server = Server::bind_bundle(loaded, &exec, &config).expect("bind");
+                server.enable_reload(
+                    path.clone(),
+                    ReloadConfig::default()
+                        .with_poll_ms(1)
+                        .with_canary_frames(0)
+                        .with_rollback_min_streams(1)
+                        .with_rollback_quarantine_rate(0.5),
+                );
+                tx.send(server.local_addr()).expect("addr handoff");
+                let stats = server.run_until(stop).expect("serve");
+                (stats, server.reload_stats())
+            });
+            let addr = rx.recv().expect("server bound");
+
+            // Sanity on generation 1: bit-identical to serial.
+            let mut client = StreamClient::connect(addr).expect("connect");
+            client.start(0).expect("start");
+            let first: Vec<Vec<f32>> = utterance
+                .iter()
+                .map(|f| client.infer(f).expect("infer"))
+                .collect();
+            client.finish().expect("finish");
+            assert_eq!(bits(&first), serial, "gen 1 must match serial");
+
+            // Publish the poison as generation 2. With the canary off it
+            // sails through validation and gets promoted.
+            bundle::write(
+                path,
+                &poisoned(11),
+                &BundleMeta::default().with_generation(2),
+            )
+            .expect("publish poison");
+
+            // Probe until a stream is quarantined: the swap has happened
+            // and the runtime scan has seen the poison.
+            let deadline = Instant::now() + Duration::from_secs(30);
+            loop {
+                assert!(Instant::now() < deadline, "swap never observed");
+                let mut probe = StreamClient::connect(addr).expect("connect");
+                probe.start(0).expect("start");
+                match probe.infer(&utterance[0]) {
+                    Ok(row) => {
+                        // Still on gen 1 (or already rolled back): either
+                        // way the row must be gen-1 bits.
+                        assert_eq!(bits(&[row])[0], serial[0], "healthy rows must be gen 1");
+                        let _ = probe.finish();
+                    }
+                    Err(e) => {
+                        let rejected = e
+                            .get_ref()
+                            .and_then(|e| e.downcast_ref::<RejectedError>())
+                            .expect("typed rejection");
+                        assert_eq!(rejected.code, RejectCode::Quarantined);
+                        break;
+                    }
+                }
+                std::thread::sleep(Duration::from_millis(2));
+            }
+
+            // Probe until service recovers: the rollback re-promoted the
+            // gen-1 weights, bit for bit.
+            loop {
+                assert!(Instant::now() < deadline, "rollback never observed");
+                let mut probe = StreamClient::connect(addr).expect("connect");
+                probe.start(0).expect("start");
+                match probe.infer(&utterance[0]) {
+                    Ok(row) => {
+                        assert_eq!(bits(&[row])[0], serial[0], "rolled-back rows must be gen 1");
+                        let _ = probe.finish();
+                        break;
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(2)),
+                }
+            }
+
+            stop.store(true, Ordering::Relaxed);
+            server_thread.join().expect("server thread")
+        });
+
+        assert_eq!(reload_stats.attempts, 1, "one publish, one attempt");
+        assert_eq!(reload_stats.successes, 1, "the poison was promoted");
+        assert_eq!(reload_stats.rollbacks, 1, "and then rolled back");
+        assert_eq!(reload_stats.refusals, 0);
+        assert_eq!(
+            reload_stats.generation, 1,
+            "new streams are back on generation 1"
+        );
+        assert!(final_stats.quarantined >= 1, "the poison was observed");
+        assert!(final_stats.completed >= 2, "service continued throughout");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

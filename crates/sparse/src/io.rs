@@ -72,6 +72,20 @@ pub enum DecodeError {
     /// A decoded weight value is NaN or infinite (rejected when the caller
     /// asks for load-time finiteness validation).
     NonFinite,
+    /// A bundle section's stored CRC32 does not match its payload (the
+    /// section tag identifies which one).
+    SectionChecksum([u8; 4]),
+    /// The whole-file CRC32 in a bundle trailer does not match the bytes —
+    /// a torn write, a truncated rename, or bit rot.
+    FileChecksum,
+    /// A bundle's integrity trailer is missing or malformed (typically a
+    /// torn or interrupted write).
+    BadTrailer,
+    /// A required bundle section is absent.
+    MissingSection([u8; 4]),
+    /// Bundle health metadata disagrees with the decoded network (the
+    /// sections were edited independently).
+    MetaMismatch,
 }
 
 impl fmt::Display for DecodeError {
@@ -85,6 +99,30 @@ impl fmt::Display for DecodeError {
             DecodeError::Invalid(e) => write!(f, "invalid structure: {e}"),
             DecodeError::InvalidShape(e) => write!(f, "invalid structure: {e}"),
             DecodeError::NonFinite => write!(f, "non-finite weight value"),
+            DecodeError::SectionChecksum(tag) => {
+                write!(
+                    f,
+                    "section {:?} checksum mismatch",
+                    String::from_utf8_lossy(tag)
+                )
+            }
+            DecodeError::FileChecksum => {
+                write!(f, "file checksum mismatch (torn write or bit rot)")
+            }
+            DecodeError::BadTrailer => write!(f, "missing or malformed bundle trailer"),
+            DecodeError::MissingSection(tag) => {
+                write!(
+                    f,
+                    "missing bundle section {:?}",
+                    String::from_utf8_lossy(tag)
+                )
+            }
+            DecodeError::MetaMismatch => {
+                write!(
+                    f,
+                    "bundle health metadata disagrees with the decoded network"
+                )
+            }
         }
     }
 }
@@ -924,6 +962,11 @@ mod tests {
             DecodeError::BadMagic,
             DecodeError::BadVersion(2),
             DecodeError::BadPrecision(9),
+            DecodeError::SectionChecksum(*b"WGHT"),
+            DecodeError::FileChecksum,
+            DecodeError::BadTrailer,
+            DecodeError::MissingSection(*b"WGHT"),
+            DecodeError::MetaMismatch,
         ] {
             assert!(!format!("{e}").is_empty());
         }

@@ -22,6 +22,10 @@ pub trait BufMut {
     fn put_u32_le(&mut self, v: u32) {
         self.put_slice(&v.to_le_bytes());
     }
+    /// Appends a `u64` in little-endian order.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
     /// Appends an `f32` in little-endian order.
     fn put_f32_le(&mut self, v: f32) {
         self.put_slice(&v.to_le_bytes());
@@ -64,6 +68,12 @@ pub trait Buf {
         let mut b = [0u8; 4];
         self.copy_to_slice(&mut b);
         u32::from_le_bytes(b)
+    }
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
     }
     /// Reads a little-endian `f32`.
     fn get_f32_le(&mut self) -> f32 {
@@ -204,14 +214,16 @@ mod tests {
         out.put_u8(0xAB);
         out.put_u16_le(0x1234);
         out.put_u32_le(0xDEAD_BEEF);
+        out.put_u64_le(0x0102_0304_0506_0708);
         out.put_f32_le(-1.5);
         out.put_slice(&[1, 2, 3]);
 
         let mut buf: &[u8] = &out;
-        assert_eq!(buf.remaining(), 1 + 2 + 4 + 4 + 3);
+        assert_eq!(buf.remaining(), 1 + 2 + 4 + 8 + 4 + 3);
         assert_eq!(buf.get_u8(), 0xAB);
         assert_eq!(buf.get_u16_le(), 0x1234);
         assert_eq!(buf.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_u64_le(), 0x0102_0304_0506_0708);
         assert_eq!(buf.get_f32_le(), -1.5);
         let mut tail = [0u8; 3];
         buf.copy_to_slice(&mut tail);

@@ -214,6 +214,17 @@ pub mod key {
     /// Histogram: client-observed per-frame round-trip latency in
     /// microseconds (recorded by the loopback load generator).
     pub const SERVE_CLIENT_RTT_US: &str = "serve.client_rtt_us";
+    /// Bundle-change detections that started a background reload.
+    pub const SERVE_RELOAD_ATTEMPT: &str = "serve.reload.attempt";
+    /// Hot swaps promoted to serving.
+    pub const SERVE_RELOAD_SUCCESS: &str = "serve.reload.success";
+    /// Candidate bundles refused before promotion (checksum, decode,
+    /// dimension or canary failure).
+    pub const SERVE_RELOAD_REFUSED: &str = "serve.reload.refused";
+    /// Post-swap reversions to the previous generation.
+    pub const SERVE_RELOAD_ROLLBACK: &str = "serve.reload.rollback";
+    /// Gauge: generation of the bundle admitting new streams.
+    pub const SERVE_GENERATION: &str = "serve.generation";
     /// Unroll candidates timed by the tuner's measured-cost hook.
     pub const TUNER_MEASUREMENTS: &str = "tuner.unroll_measurements";
     /// Precision candidates timed by the tuner's per-layer precision hook.

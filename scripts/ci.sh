@@ -64,7 +64,7 @@ profile=()
 if [[ "$quick" -eq 0 ]]; then
   profile=(--release)
 fi
-for bin in parallel_spmv simd_kernels batched_spmm trace_overhead quant_kernels format_zoo serve_load; do
+for bin in parallel_spmv simd_kernels batched_spmm trace_overhead quant_kernels format_zoo serve_load reload_bench; do
   cargo run -q "${profile[@]}" -p rtm-bench --bin "$bin" -- --quick >/dev/null
 done
 
@@ -77,5 +77,24 @@ cargo run -q "${profile[@]}" -p rtmobile --bin rtm -- \
   pipeline --hidden 12 --save target/quick/serve_smoke.rtm >/dev/null
 cargo run -q "${profile[@]}" -p rtmobile --bin rtm -- \
   serve target/quick/serve_smoke.rtm --smoke 1 | grep -q "serve smoke ok"
+
+# Bundle-integrity smoke: compile an AOT bundle with the real `rtm compile`,
+# flip one byte mid-file, and require `rtm serve` to refuse it with a
+# nonzero exit and the typed checksum error (never serve corrupt weights).
+echo "==> corrupt-bundle refusal (one flipped byte must be rejected)"
+cargo run -q "${profile[@]}" -p rtmobile --bin rtm -- \
+  compile --hidden 12 --out target/quick/compile_smoke.rtm >/dev/null
+cp target/quick/compile_smoke.rtm target/quick/corrupt_smoke.rtm
+size=$(wc -c < target/quick/corrupt_smoke.rtm)
+off=$((size / 2))
+orig=$(dd if=target/quick/corrupt_smoke.rtm bs=1 skip="$off" count=1 2>/dev/null | od -An -tu1 | tr -d ' ')
+printf "$(printf '\\%03o' $(( orig ^ 16 )))" \
+  | dd of=target/quick/corrupt_smoke.rtm bs=1 seek="$off" count=1 conv=notrunc 2>/dev/null
+if out=$(cargo run -q "${profile[@]}" -p rtmobile --bin rtm -- \
+    serve target/quick/corrupt_smoke.rtm --smoke 1 2>&1); then
+  echo "FAIL: rtm serve accepted a corrupt bundle" >&2
+  exit 1
+fi
+grep -q "checksum mismatch" <<< "$out"
 
 echo "CI gate passed."

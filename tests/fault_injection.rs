@@ -591,3 +591,93 @@ fn slow_writer_stall_does_not_block_other_connections() {
     assert_eq!(stats.shed, 0);
     assert_eq!(stats.quarantined, 0);
 }
+
+// ---------------------------------------------------------------------------
+// v5 bundle container faults (DESIGN.md §15): per-section corruption and
+// torn publishes must surface as typed `DecodeError`s, never as a panic or
+// a silently-wrong model.
+// ---------------------------------------------------------------------------
+
+/// A flipped byte inside any one section payload is caught twice over:
+/// the whole-file CRC refuses the raw flip, and — even with the file CRC
+/// forged to match — the per-section CRC still names the poisoned section.
+#[test]
+fn v5_section_bitflips_are_caught_per_section_even_under_a_forged_file_crc() {
+    use rtm_sparse::io::DecodeError;
+    use rtmobile::bundle;
+
+    let compiled = CompiledNetwork::compile(&net(), 4, 4, RuntimePrecision::F16).unwrap();
+    let pristine = bundle::to_bytes(&compiled);
+    let layout = bundle::probe(&pristine).expect("pristine probe");
+    assert_eq!(layout.version, 5);
+    assert_eq!(layout.file_crc_ok, Some(true));
+    assert_eq!(layout.sections.len(), 3, "WGHT + TUNE + HLTH");
+
+    let mut inj = FaultInjector::new(0x5EC7);
+    for section in &layout.sections {
+        assert!(section.crc_ok, "pristine section {:?}", section.tag);
+        // TUNE is empty for an untuned network; nothing to flip inside.
+        if section.len == 0 {
+            continue;
+        }
+        let at = section.payload_offset + inj.pick(section.len);
+        let mut bytes = pristine.clone();
+        bytes[at] ^= 1 << inj.pick(8);
+
+        // Raw flip: the outer integrity wall.
+        match bundle::from_bytes(&bytes) {
+            Err(DecodeError::FileChecksum) => {}
+            other => panic!(
+                "section {:?}: expected FileChecksum, got {other:?}",
+                section.tag
+            ),
+        }
+
+        // Forge the file CRC (the trailer's last 4 bytes cover everything
+        // before them): the per-section CRC is the inner wall and must
+        // name the culprit.
+        let crc_at = bytes.len() - 4;
+        let forged = bundle::crc32(&bytes[..crc_at]);
+        bytes[crc_at..].copy_from_slice(&forged.to_le_bytes());
+        match bundle::from_bytes(&bytes) {
+            Err(DecodeError::SectionChecksum(tag)) => {
+                assert_eq!(tag, section.tag, "the named section is the flipped one")
+            }
+            other => panic!(
+                "section {:?}: expected SectionChecksum, got {other:?}",
+                section.tag
+            ),
+        }
+    }
+}
+
+/// A torn rename (a strict prefix of the published file, any cut point) is
+/// rejected by the 16-byte trailer: the magic/CRC at the *end* of the file
+/// only exists once the whole file does.
+#[test]
+fn v5_torn_publishes_are_rejected_by_the_trailer() {
+    use rtm_sparse::io::DecodeError;
+    use rtmobile::bundle;
+
+    let compiled = CompiledNetwork::compile(&net(), 4, 4, RuntimePrecision::F16).unwrap();
+    let pristine = bundle::to_bytes(&compiled);
+    let mut inj = FaultInjector::new(0x7EAE);
+    // Every tail-torn length near the trailer plus seeded cuts everywhere.
+    let mut cuts: Vec<usize> = (pristine.len().saturating_sub(20)..pristine.len()).collect();
+    cuts.extend((0..64).map(|_| inj.truncate_at(pristine.len())));
+    for cut in cuts {
+        let torn = &pristine[..cut];
+        match bundle::from_bytes(torn) {
+            Err(
+                DecodeError::Truncated
+                | DecodeError::BadTrailer
+                | DecodeError::FileChecksum
+                | DecodeError::BadMagic,
+            ) => {}
+            Ok(_) => panic!("torn publish of {cut}/{} bytes decoded", pristine.len()),
+            Err(other) => panic!("cut {cut}: untyped rejection {other:?}"),
+        }
+    }
+    // And the un-torn bytes still decode.
+    assert!(bundle::from_bytes(&pristine).is_ok());
+}

@@ -304,3 +304,222 @@ fn stop_flag_interrupts_an_idle_server() {
         assert_eq!(stats.admitted, 1);
     });
 }
+
+// ---------------------------------------------------------------------------
+// Hot swap (DESIGN.md §15): reload under load, zero drops, per-generation
+// bit-identity; corrupted publishes leave the old generation serving.
+// ---------------------------------------------------------------------------
+
+/// Runs a reloading server (bundle-bound, watching `path`) on its own
+/// thread until `body` returns, then raises the stop flag and hands back
+/// the serve stats plus the reload counters.
+fn with_reloading_server<R>(
+    path: &std::path::Path,
+    reload: rtmobile::ReloadConfig,
+    config: RuntimeConfig,
+    body: impl FnOnce(SocketAddr) -> R,
+) -> (ServeStats, rtmobile::ReloadStats, R) {
+    use std::sync::atomic::Ordering;
+
+    struct StopOnDrop<'a>(&'a AtomicBool);
+    impl Drop for StopOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let stop = &stop;
+        let handle = scope.spawn(move || {
+            let exec = Executor::new(config.threads);
+            let bundle = rtmobile::CompiledBundle::load(path).expect("load bundle");
+            let mut server = Server::bind_bundle(bundle, &exec, &config).expect("bind");
+            server.enable_reload(path.to_path_buf(), reload);
+            tx.send(server.local_addr()).expect("addr handoff");
+            let stats = server.run_until(stop).expect("serve");
+            (stats, server.reload_stats())
+        });
+        let addr = rx.recv().expect("server bound");
+        let out = {
+            let _guard = StopOnDrop(stop);
+            body(addr)
+        };
+        let (stats, reload_stats) = handle.join().expect("server thread");
+        (stats, reload_stats, out)
+    })
+}
+
+fn reload_temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rtm-serve-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+/// One single-frame probe stream; returns the logits row.
+fn probe_once(addr: SocketAddr, frame: &[f32]) -> Vec<f32> {
+    let mut client = StreamClient::connect(addr).expect("connect");
+    client.start(5).expect("start");
+    let row = client.infer(frame).expect("infer");
+    client.finish().expect("finish");
+    row
+}
+
+fn row_bits(row: &[f32]) -> Vec<u32> {
+    row.iter().map(|v| v.to_bits()).collect()
+}
+
+/// The zero-downtime contract: three streams are held mid-flight on
+/// generation 1 while generation 2 is published. Probes flip from gen-1
+/// logits to gen-2 logits — every probe matching one generation *exactly*,
+/// never a blend — and the held streams then finish bit-identical to
+/// generation 1 end to end. No stream is dropped, shed or quarantined.
+#[test]
+fn hot_swap_under_load_drops_no_stream_and_keeps_generations_bit_exact() {
+    use rtmobile::bundle::{self, BundleMeta};
+    use std::time::{Duration, Instant};
+
+    let dir = reload_temp_dir("swap");
+    let path = dir.join("model.rtm");
+    let net_a = compiled(51);
+    let net_b = compiled(52);
+    let held: Vec<Vec<Vec<f32>>> = (0..3).map(|s| stream(s + 40, 8)).collect();
+    let serial_a: Vec<Vec<Vec<f32>>> = held.iter().map(|s| net_a.forward(s)).collect();
+    let probe = stream(99, 1);
+    let probe_a = row_bits(&net_a.forward(&probe)[0]);
+    let probe_b = row_bits(&net_b.forward(&probe)[0]);
+    assert_ne!(probe_a, probe_b, "the generations must be distinguishable");
+
+    bundle::write(&path, &net_a, &BundleMeta::default().with_generation(1)).expect("publish A");
+    let config = RuntimeConfig::default().with_threads(2).with_batch(4);
+    let reload = rtmobile::ReloadConfig::default().with_poll_ms(5);
+    let (stats, reload_stats, _) = with_reloading_server(&path, reload, config, |addr| {
+        // Hold three streams mid-flight on generation 1.
+        let mut clients: Vec<StreamClient> = (0..held.len())
+            .map(|s| {
+                let mut c = StreamClient::connect(addr).expect("connect");
+                c.start(s as u32).expect("start");
+                c
+            })
+            .collect();
+        for (s, client) in clients.iter_mut().enumerate() {
+            for t in 0..4 {
+                let row = client.infer(&held[s][t]).expect("infer");
+                assert_eq!(
+                    row_bits(&row),
+                    row_bits(&serial_a[s][t]),
+                    "held stream {s} frame {t} before the swap"
+                );
+            }
+        }
+
+        // Publish generation 2 while they are parked mid-utterance.
+        bundle::write(&path, &net_b, &BundleMeta::default().with_generation(2)).expect("publish B");
+
+        // Probe with one-frame streams until a probe lands on the new
+        // generation. Every probe must be exactly one generation's bits.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            assert!(Instant::now() < deadline, "swap never observed");
+            let row = row_bits(&probe_once(addr, &probe[0]));
+            if row == probe_b {
+                break;
+            }
+            assert_eq!(row, probe_a, "a probe must match gen 1 or gen 2 exactly");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+
+        // The held streams finish on their own generation, bit for bit.
+        for (s, client) in clients.iter_mut().enumerate() {
+            for t in 4..held[s].len() {
+                let row = client.infer(&held[s][t]).expect("infer");
+                assert_eq!(
+                    row_bits(&row),
+                    row_bits(&serial_a[s][t]),
+                    "held stream {s} frame {t} after the swap"
+                );
+            }
+            let served = client.finish().expect("finish");
+            assert_eq!(served as usize, held[s].len(), "held stream {s} complete");
+        }
+    });
+    assert!(reload_stats.attempts >= 1);
+    assert_eq!(reload_stats.successes, 1, "one swap");
+    assert_eq!(reload_stats.refusals, 0);
+    assert_eq!(reload_stats.rollbacks, 0);
+    assert_eq!(reload_stats.generation, 2, "new streams serve gen 2");
+    assert_eq!(stats.shed, 0, "no stream was dropped by the swap");
+    assert_eq!(stats.quarantined, 0);
+    assert!(stats.completed >= held.len(), "every held stream finished");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A corrupted publish (bit rot, or a non-atomic copy caught mid-write) is
+/// refused off-thread: probes keep returning the old generation's exact
+/// logits throughout, and a subsequent healthy publish still swaps in.
+#[test]
+fn corrupt_publish_is_refused_and_the_old_generation_keeps_serving() {
+    use rtmobile::bundle::{self, BundleMeta};
+    use std::time::{Duration, Instant};
+
+    let dir = reload_temp_dir("corrupt");
+    let path = dir.join("model.rtm");
+    let net_a = compiled(61);
+    let net_b = compiled(62);
+    let probe = stream(77, 1);
+    let probe_a = row_bits(&net_a.forward(&probe)[0]);
+    let probe_b = row_bits(&net_b.forward(&probe)[0]);
+    assert_ne!(probe_a, probe_b);
+
+    bundle::write(&path, &net_a, &BundleMeta::default().with_generation(1)).expect("publish A");
+    let config = RuntimeConfig::default().with_batch(2);
+    let reload = rtmobile::ReloadConfig::default().with_poll_ms(2);
+    let (_, reload_stats, _) = with_reloading_server(&path, reload, config, |addr| {
+        assert_eq!(row_bits(&probe_once(addr, &probe[0])), probe_a, "sanity");
+
+        // A poisoned publish: one flipped byte, written non-atomically —
+        // exactly the operator error the checksums exist for.
+        let mut bytes = bundle::to_bytes_with(&net_b, &BundleMeta::default().with_generation(2));
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).expect("corrupt publish");
+
+        // Long enough for many poll intervals: the refusal must not dent
+        // service, and nothing may swap.
+        let until = Instant::now() + Duration::from_millis(200);
+        while Instant::now() < until {
+            assert_eq!(
+                row_bits(&probe_once(addr, &probe[0])),
+                probe_a,
+                "old generation keeps serving through the refusal"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // A healthy publish after the bad one still swaps.
+        bundle::write(&path, &net_b, &BundleMeta::default().with_generation(3))
+            .expect("publish good");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            assert!(Instant::now() < deadline, "recovery swap never observed");
+            let row = row_bits(&probe_once(addr, &probe[0]));
+            if row == probe_b {
+                break;
+            }
+            assert_eq!(row, probe_a);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    });
+    assert!(
+        reload_stats.refusals >= 1,
+        "the corrupt publish was refused"
+    );
+    assert_eq!(
+        reload_stats.successes, 1,
+        "only the healthy publish swapped"
+    );
+    assert_eq!(reload_stats.rollbacks, 0);
+    assert_eq!(reload_stats.generation, 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
