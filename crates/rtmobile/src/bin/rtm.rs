@@ -4,16 +4,16 @@
 //! rtm pipeline [--hidden N] [--col X] [--row Y] [--stripes S] [--blocks B]
 //!              [--seed K] [--threads T] [--batch B] [--simd POLICY]
 //!              [--health POLICY] [--precision CHOICE] [--format CHOICE]
-//!              [--trace OUT.json] [--save FILE.rtm]
+//!              [--decoder CHOICE] [--trace OUT.json] [--save FILE.rtm]
 //! rtm compile --out FILE.rtm [--hidden N] [--col X] [--row Y] [--stripes S]
 //!             [--blocks B] [--seed K] [--threads T] [--batch B]
 //!             [--simd POLICY] [--health POLICY] [--precision CHOICE]
-//!             [--format CHOICE]
+//!             [--format CHOICE] [--decoder CHOICE]
 //! rtm serve FILE.rtm [--port P] [--max-conns N] [--tenant-quota Q]
 //!           [--max-streams N] [--threads T] [--batch B] [--queue-depth D]
 //!           [--shed POLICY] [--simd POLICY] [--health POLICY]
-//!           [--reload on|off|POLL_MS] [--rollback-threshold F]
-//!           [--trace OUT.json] [--smoke N]
+//!           [--decoder CHOICE] [--reload on|off|POLL_MS]
+//!           [--rollback-threshold F] [--trace OUT.json] [--smoke N]
 //! rtm inspect FILE.rtm
 //! rtm help
 //! ```
@@ -65,13 +65,13 @@ fn print_help() {
     println!("  rtm pipeline [--hidden N] [--col X] [--row Y] [--stripes S] [--blocks B]");
     println!("               [--seed K] [--threads T] [--batch B] [--simd POLICY]");
     println!("               [--health POLICY] [--precision CHOICE] [--format CHOICE]");
-    println!("               [--trace OUT.json] [--save FILE.rtm]");
+    println!("               [--decoder CHOICE] [--trace OUT.json] [--save FILE.rtm]");
     println!("  rtm compile --out FILE.rtm [pipeline flags except --trace/--save]");
     println!("  rtm serve FILE.rtm [--port P] [--max-conns N] [--tenant-quota Q]");
     println!("            [--max-streams N] [--threads T] [--batch B] [--queue-depth D]");
     println!("            [--shed POLICY] [--simd POLICY] [--health POLICY]");
-    println!("            [--reload on|off|POLL_MS] [--rollback-threshold F]");
-    println!("            [--trace OUT.json] [--smoke N]");
+    println!("            [--decoder CHOICE] [--reload on|off|POLL_MS]");
+    println!("            [--rollback-threshold F] [--trace OUT.json] [--smoke N]");
     println!("  rtm inspect FILE.rtm");
     println!("  rtm help");
     println!();
@@ -125,6 +125,14 @@ fn print_help() {
     println!("  actual pruned weights and pick the fastest per layer, with a");
     println!("  PER-degradation guard). The RTM_FORMAT environment variable sets");
     println!("  the same knob.");
+    println!();
+    println!("  --decoder picks the streaming decoder: argmax (default; per-frame");
+    println!("  best class), viterbi (transition-penalty smoothing), ctc-greedy");
+    println!("  (CTC best path: collapse repeats, drop blanks) or ctc-beam:N (CTC");
+    println!("  prefix beam search with beam width N). pipeline scores the decoded");
+    println!("  hypotheses and reports per-stream/per-batch RTF; serve sends");
+    println!("  hypotheses to streams that opt in (protocol v2). The RTM_DECODER");
+    println!("  environment variable sets the same knob.");
     println!();
     println!("  --trace enables the observability registry (RTM_TRACE sets the same");
     println!("  knob without an output file) and writes a Chrome trace_event file");
@@ -189,6 +197,7 @@ const PIPELINE_FLAGS: &[&str] = &[
     "health",
     "precision",
     "format",
+    "decoder",
     "trace",
     "save",
 ];
@@ -207,12 +216,13 @@ const COMPILE_FLAGS: &[&str] = &[
     "health",
     "precision",
     "format",
+    "decoder",
 ];
 
 /// Applies the runtime knobs shared by every subcommand — `--simd`,
-/// `--health`, `--precision`, `--format` — on top of `runtime`. Flags a
-/// subcommand doesn't accept never reach here (the allow-list rejects
-/// them first).
+/// `--health`, `--precision`, `--format`, `--decoder` — on top of
+/// `runtime`. Flags a subcommand doesn't accept never reach here (the
+/// allow-list rejects them first).
 fn apply_runtime_flags(
     mut runtime: RuntimeConfig,
     flags: &std::collections::BTreeMap<String, String>,
@@ -253,6 +263,16 @@ fn apply_runtime_flags(
             None => {
                 return Err(format!(
                     "--format must be bspc, csr, bbs, csb or auto (got {v})"
+                ))
+            }
+        }
+    }
+    if let Some(v) = flags.get("decoder") {
+        match rtmobile::DecoderChoice::parse(v) {
+            Some(d) => runtime = runtime.with_decoder(d),
+            None => {
+                return Err(format!(
+                    "--decoder must be argmax, viterbi, ctc-greedy or ctc-beam:N (got {v})"
                 ))
             }
         }
@@ -510,6 +530,7 @@ const SERVE_FLAGS: &[&str] = &[
     "shed",
     "simd",
     "health",
+    "decoder",
     "reload",
     "rollback-threshold",
     "trace",

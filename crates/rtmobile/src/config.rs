@@ -85,6 +85,91 @@ impl FormatChoice {
     }
 }
 
+/// How decoded symbol sequences are produced from the classifier's
+/// per-frame logits (the `RTM_DECODER` / `--decoder` grammar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecoderChoice {
+    /// Collapse consecutive argmax frames — the legacy PER path, now
+    /// behind [`rtm_speech::ArgmaxDecoder`].
+    Argmax,
+    /// First-order Viterbi smoothing ([`rtm_speech::ViterbiDecoder`]) with
+    /// the pipeline's default switch penalty. Offline: partial hypotheses
+    /// are only available at `finish`.
+    Viterbi,
+    /// CTC best-path decoding ([`rtm_speech::CtcGreedyDecoder`]; the blank
+    /// is the silence phone for 39-class heads).
+    CtcGreedy,
+    /// CTC prefix beam search ([`rtm_speech::CtcBeamDecoder`]) with this
+    /// beam width (≥ 1).
+    CtcBeam(usize),
+}
+
+impl DecoderChoice {
+    /// The Viterbi switch penalty the pipeline uses (the value the
+    /// examples and speech benches settled on).
+    pub const VITERBI_PENALTY: f32 = 2.5;
+
+    /// Parses `"argmax"`, `"viterbi"`, `"ctc-greedy"` or `"ctc-beam:N"`
+    /// (N ≥ 1) — the `RTM_DECODER` / `--decoder` grammar.
+    pub fn parse(s: &str) -> Option<DecoderChoice> {
+        match s {
+            "argmax" => Some(DecoderChoice::Argmax),
+            "viterbi" => Some(DecoderChoice::Viterbi),
+            "ctc-greedy" => Some(DecoderChoice::CtcGreedy),
+            _ => s
+                .strip_prefix("ctc-beam:")
+                .and_then(|w| w.parse::<usize>().ok())
+                .filter(|&w| w >= 1)
+                .map(DecoderChoice::CtcBeam),
+        }
+    }
+
+    /// The decoder family name (beam width elided — see
+    /// [`DecoderChoice::label`] for the round-trippable form).
+    pub fn tag(self) -> &'static str {
+        match self {
+            DecoderChoice::Argmax => "argmax",
+            DecoderChoice::Viterbi => "viterbi",
+            DecoderChoice::CtcGreedy => "ctc-greedy",
+            DecoderChoice::CtcBeam(_) => "ctc-beam",
+        }
+    }
+
+    /// The beam width (0 for the non-beam decoders).
+    pub fn beam_width(self) -> usize {
+        match self {
+            DecoderChoice::CtcBeam(w) => w,
+            _ => 0,
+        }
+    }
+
+    /// The full label [`DecoderChoice::parse`] accepts for this value
+    /// (e.g. `"ctc-beam:4"`).
+    pub fn label(self) -> String {
+        match self {
+            DecoderChoice::CtcBeam(w) => format!("ctc-beam:{w}"),
+            other => other.tag().to_string(),
+        }
+    }
+
+    /// Builds the decoder for a `classes`-way classifier head. CTC
+    /// decoders map the blank onto [`rtm_speech::blank_for`]`(classes)`.
+    pub fn build(self, classes: usize) -> Box<dyn rtm_speech::Decoder + Send> {
+        let blank = rtm_speech::blank_for(classes);
+        match self {
+            DecoderChoice::Argmax => Box::new(
+                rtm_speech::ArgmaxDecoder::new()
+                    .with_endpointing(blank, rtm_speech::ctc::DEFAULT_TRAILING_BLANKS),
+            ),
+            DecoderChoice::Viterbi => {
+                Box::new(rtm_speech::ViterbiDecoder::new(Self::VITERBI_PENALTY))
+            }
+            DecoderChoice::CtcGreedy => Box::new(rtm_speech::CtcGreedyDecoder::new(blank)),
+            DecoderChoice::CtcBeam(w) => Box::new(rtm_speech::CtcBeamDecoder::new(blank, w)),
+        }
+    }
+}
+
 /// Every runtime knob of the serving stack in one place.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RuntimeConfig {
@@ -106,6 +191,9 @@ pub struct RuntimeConfig {
     /// Sparse weight storage format; `None` defers to `RTM_FORMAT` (and
     /// the pipeline's BSPC default when that is unset too).
     pub format: Option<FormatChoice>,
+    /// Utterance decoder; `None` defers to `RTM_DECODER` (and the legacy
+    /// argmax-collapse default when that is unset too).
+    pub decoder: Option<DecoderChoice>,
     /// Admission control of the batched scheduler (unbounded by default).
     pub admission: AdmissionConfig,
     /// Socket-layer bounds of the `rtm serve` front end (ephemeral port,
@@ -123,6 +211,7 @@ impl Default for RuntimeConfig {
             trace: None,
             precision: None,
             format: None,
+            decoder: None,
             admission: AdmissionConfig::unbounded(),
             serve: ServeOptions::default(),
         }
@@ -145,6 +234,7 @@ impl RuntimeConfig {
             trace: crate::env::trace_config()?,
             precision: crate::env::precision_choice()?,
             format: crate::env::format_choice()?,
+            decoder: crate::env::decoder_choice()?,
             ..RuntimeConfig::default()
         })
     }
@@ -201,6 +291,12 @@ impl RuntimeConfig {
         self
     }
 
+    /// Pins the utterance decoder (overrides `RTM_DECODER`).
+    pub fn with_decoder(mut self, decoder: DecoderChoice) -> RuntimeConfig {
+        self.decoder = Some(decoder);
+        self
+    }
+
     /// Sets the batched scheduler's admission control.
     pub fn with_admission(mut self, admission: AdmissionConfig) -> RuntimeConfig {
         self.admission = admission;
@@ -229,6 +325,16 @@ impl RuntimeConfig {
         self.format
             .or_else(|| crate::env::format_choice().ok().flatten())
             .unwrap_or(FormatChoice::Fixed(RuntimeFormat::Bspc))
+    }
+
+    /// The decoder a run resolves to: the pinned one, otherwise the
+    /// `RTM_DECODER` deployment default, otherwise the legacy
+    /// argmax-collapse path (bit-compatible with the pre-decoder PER
+    /// scoring).
+    pub fn resolved_decoder(&self) -> DecoderChoice {
+        self.decoder
+            .or_else(|| crate::env::decoder_choice().ok().flatten())
+            .unwrap_or(DecoderChoice::Argmax)
     }
 
     /// The health policy a run resolves to: the pinned one, otherwise the
@@ -267,6 +373,7 @@ mod tests {
         assert_eq!(c.trace, None);
         assert_eq!(c.precision, None);
         assert_eq!(c.format, None);
+        assert_eq!(c.decoder, None);
         assert_eq!(c.admission, AdmissionConfig::unbounded());
         assert_eq!(c.serve, ServeOptions::default());
         assert_eq!(c.serve.port, 0, "default serve port is ephemeral");
@@ -307,6 +414,59 @@ mod tests {
         let c = RuntimeConfig::default().with_precision(PrecisionChoice::Auto);
         assert_eq!(c.precision, Some(PrecisionChoice::Auto));
         assert_eq!(c.resolved_precision(), PrecisionChoice::Auto);
+    }
+
+    #[test]
+    fn decoder_choice_parses_and_roundtrips() {
+        for choice in [
+            DecoderChoice::Argmax,
+            DecoderChoice::Viterbi,
+            DecoderChoice::CtcGreedy,
+            DecoderChoice::CtcBeam(1),
+            DecoderChoice::CtcBeam(4),
+            DecoderChoice::CtcBeam(16),
+        ] {
+            assert_eq!(DecoderChoice::parse(&choice.label()), Some(choice));
+        }
+        assert_eq!(DecoderChoice::parse("ctc"), None);
+        assert_eq!(DecoderChoice::parse("ctc-beam"), None);
+        assert_eq!(DecoderChoice::parse("ctc-beam:"), None);
+        assert_eq!(DecoderChoice::parse("ctc-beam:0"), None, "zero width");
+        assert_eq!(DecoderChoice::parse("ctc-beam:-1"), None);
+        assert_eq!(DecoderChoice::parse("ctc-beam:wide"), None);
+        assert_eq!(DecoderChoice::parse("beam"), None);
+        assert_eq!(DecoderChoice::CtcBeam(4).tag(), "ctc-beam");
+        assert_eq!(DecoderChoice::CtcBeam(4).beam_width(), 4);
+        assert_eq!(DecoderChoice::Argmax.beam_width(), 0);
+        let c = RuntimeConfig::default().with_decoder(DecoderChoice::CtcBeam(4));
+        assert_eq!(c.decoder, Some(DecoderChoice::CtcBeam(4)));
+        assert_eq!(c.resolved_decoder(), DecoderChoice::CtcBeam(4));
+        assert_eq!(
+            RuntimeConfig::default().decoder,
+            None,
+            "default defers to RTM_DECODER"
+        );
+    }
+
+    #[test]
+    fn decoder_choice_builds_working_decoders() {
+        // Peaked logits over 4 classes (blank = 0 below the phone
+        // inventory): B 1 1 B 2 → CTC decodes [1, 2]; argmax keeps the
+        // blank class as a symbol.
+        let frames: Vec<Vec<f32>> = [0usize, 1, 1, 0, 2]
+            .iter()
+            .map(|&l| (0..4).map(|c| if c == l { 6.0 } else { 0.0 }).collect())
+            .collect();
+        for (choice, want) in [
+            (DecoderChoice::Argmax, vec![0usize, 1, 0, 2]),
+            (DecoderChoice::Viterbi, vec![0, 1, 0, 2]),
+            (DecoderChoice::CtcGreedy, vec![1, 2]),
+            (DecoderChoice::CtcBeam(4), vec![1, 2]),
+        ] {
+            let mut decoder = choice.build(4);
+            let hyp = rtm_speech::decode_offline(decoder.as_mut(), &frames);
+            assert_eq!(hyp.symbols, want, "{}", choice.label());
+        }
     }
 
     #[test]

@@ -746,6 +746,22 @@ impl CompiledNetwork {
             .map(|l| Vector::argmax(l))
             .collect()
     }
+
+    /// Runs the utterance through the parallel executor and decodes it with
+    /// `choice`'s decoder ([`crate::config::DecoderChoice::build`] over
+    /// this head's class count). The serial offline counterpart of the
+    /// per-lane streaming decode in [`BatchedSession`]; both feed the same
+    /// logits to the same decoder, so their hypotheses are bit-identical.
+    pub fn decode_with(
+        &self,
+        exec: &rtm_exec::Executor,
+        frames: &[Vec<f32>],
+        choice: crate::config::DecoderChoice,
+    ) -> rtm_speech::Hypothesis {
+        let logits = self.forward_with(exec, frames);
+        let mut decoder = choice.build(self.head_b.len());
+        rtm_speech::decode_offline(decoder.as_mut(), &logits)
+    }
 }
 
 /// A GRU layer compiled with gate fusion: one `3H × I` input kernel and
@@ -1162,6 +1178,15 @@ pub struct BatchedSession<'a> {
     /// [`BatchedSession::trace_flush`] calls add each delta exactly once).
     trace_flushed: ServeStats,
     faults: Vec<StreamFault>,
+    /// Configured utterance decoder; `None` serves logits only (the
+    /// pre-decoder behaviour, zero decode overhead).
+    decoder: Option<crate::config::DecoderChoice>,
+    /// `token -> live decoder state` for lanes admitted while a decoder is
+    /// configured. Token-keyed, so lane compaction never touches it.
+    decoders: std::collections::BTreeMap<usize, Box<dyn rtm_speech::Decoder + Send>>,
+    /// Final hypotheses collected by [`BatchedSession::run`] at stream
+    /// completion, keyed by stream index.
+    run_hyps: Vec<(usize, rtm_speech::Hypothesis)>,
     /// `lane -> caller token` (the stream index in [`BatchedSession::run`],
     /// a connection id under the incremental API).
     lanes: Vec<usize>,
@@ -1188,6 +1213,11 @@ pub struct StepOutput {
     /// Tokens whose lanes the health policy retired this step (their
     /// state is gone; do not step them again).
     pub quarantined: Vec<usize>,
+    /// Partial hypotheses the per-lane decoders emitted this step (empty
+    /// unless [`BatchedSession::with_decoder`] configured one): a lane
+    /// appears here only when its partial decode changed — new symbols or
+    /// an endpoint transition.
+    pub hypotheses: Vec<(usize, rtm_speech::Hypothesis)>,
 }
 
 impl<'a> BatchedSession<'a> {
@@ -1232,6 +1262,9 @@ impl<'a> BatchedSession<'a> {
             stats: ServeStats::default(),
             trace_flushed: ServeStats::default(),
             faults: Vec::new(),
+            decoder: None,
+            decoders: std::collections::BTreeMap::new(),
+            run_hyps: Vec::new(),
             lanes: Vec::with_capacity(capacity),
             cursors: Vec::with_capacity(capacity),
             states: (0..layer_count).map(|_| Vec::new()).collect(),
@@ -1263,6 +1296,22 @@ impl<'a> BatchedSession<'a> {
     /// The admission-control bounds in force.
     pub fn admission(&self) -> AdmissionConfig {
         self.admission
+    }
+
+    /// Attaches a per-lane utterance decoder: every lane admitted from now
+    /// on gets its own decoder of this kind, fed each logits row the lane
+    /// produces. Partial hypotheses surface in [`StepOutput::hypotheses`];
+    /// final ones via [`BatchedSession::finish_decode`] (or
+    /// [`BatchedSession::run_decoded`] offline). Decoding never perturbs
+    /// the logits — the per-lane bit-identity contract is unchanged.
+    pub fn with_decoder(mut self, decoder: crate::config::DecoderChoice) -> BatchedSession<'a> {
+        self.decoder = Some(decoder);
+        self
+    }
+
+    /// The configured decoder choice, if any.
+    pub fn decoder(&self) -> Option<crate::config::DecoderChoice> {
+        self.decoder
     }
 
     /// Serving counters of the most recent [`BatchedSession::run`].
@@ -1323,7 +1372,20 @@ impl<'a> BatchedSession<'a> {
         self.lanes.push(token);
         self.cursors.push(0);
         self.stats.admitted += 1;
+        if let Some(choice) = self.decoder {
+            self.decoders
+                .insert(token, choice.build(self.net.head_b.len()));
+        }
         true
+    }
+
+    /// Finalizes and removes `token`'s lane decoder, returning its final
+    /// hypothesis. `None` when the token has no live decoder (no decoder
+    /// configured, never admitted, quarantined, or already finalized).
+    /// Call after [`BatchedSession::retire`] when the stream ends cleanly;
+    /// for an aborted stream, call and discard to free the state.
+    pub fn finish_decode(&mut self, token: usize) -> Option<rtm_speech::Hypothesis> {
+        self.decoders.remove(&token).map(|mut d| d.finish())
     }
 
     /// Retires `token`'s lane, compacting the state planes (pure data
@@ -1350,6 +1412,7 @@ impl<'a> BatchedSession<'a> {
             s.clear();
         }
         self.cursors.clear();
+        self.decoders.clear();
         std::mem::take(&mut self.lanes)
     }
 
@@ -1446,7 +1509,7 @@ impl<'a> BatchedSession<'a> {
         }
         // One weight pass carries the ready lanes one frame forward.
         let trace = rtm_trace::enabled();
-        let t0 = trace.then(std::time::Instant::now);
+        let t0 = std::time::Instant::now();
         let net = std::sync::Arc::clone(&self.net);
         let stepped = if aligned {
             &mut self.states
@@ -1462,10 +1525,12 @@ impl<'a> BatchedSession<'a> {
             &mut self.hs_next,
             &mut self.logits,
         )?;
-        if let Some(t0) = t0 {
+        let step_elapsed = t0.elapsed();
+        self.stats.compute_ns += step_elapsed.as_nanos() as u64;
+        if trace {
             rtm_trace::global().hist_record(
                 rtm_trace::key::SERVE_FRAME_US,
-                t0.elapsed().as_secs_f64() * 1e6,
+                step_elapsed.as_secs_f64() * 1e6,
             );
         }
         self.stats.frames += 1;
@@ -1516,11 +1581,22 @@ impl<'a> BatchedSession<'a> {
                 continue;
             }
             let row: Vec<f32> = (0..classes).map(|k| self.logits[k * r + jj]).collect();
+            if let Some(dec) = self.decoders.get_mut(&token) {
+                if let Some(hyp) = dec.push_frame(&row) {
+                    if hyp.endpoint {
+                        self.stats.endpoints += 1;
+                    }
+                    out.hypotheses.push((token, hyp));
+                }
+            }
             out.logits.push((token, row));
             self.cursors[lane_of[jj]] += 1;
+            self.stats.stream_frames += 1;
         }
         for &token in &out.quarantined {
             self.retire(token);
+            // A quarantined stream is dead; its partial decode goes too.
+            self.decoders.remove(&token);
         }
         Ok(out)
     }
@@ -1573,6 +1649,7 @@ impl<'a> BatchedSession<'a> {
         self.stats = ServeStats::default();
         self.trace_flushed = ServeStats::default();
         self.faults.clear();
+        self.run_hyps.clear();
         // Every (non-empty) stream arrives at once in this offline replay;
         // the parked backlog holds them in input order until a lane frees.
         let mut parked: VecDeque<usize> = (0..streams.len())
@@ -1628,6 +1705,9 @@ impl<'a> BatchedSession<'a> {
                 if self.cursors[j] == streams[self.lanes[j]].as_ref().len() {
                     let token = self.lanes[j];
                     self.retire(token);
+                    if let Some(hyp) = self.finish_decode(token) {
+                        self.run_hyps.push((token, hyp));
+                    }
                     self.mark_completed();
                 }
             }
@@ -1643,6 +1723,35 @@ impl<'a> BatchedSession<'a> {
             .iter()
             .map(|logits| logits.iter().map(|l| Vector::argmax(l)).collect())
             .collect()
+    }
+
+    /// [`BatchedSession::run`], also collecting each stream's final
+    /// hypothesis from its lane decoder. A stream that was empty, shed by
+    /// admission control, or quarantined yields `None`. The hypotheses are
+    /// streamed frame-by-frame through the lane decoders, so they are
+    /// bit-identical to an offline [`rtm_speech::decode_offline`] over the
+    /// returned logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no decoder is configured
+    /// ([`BatchedSession::with_decoder`]).
+    #[allow(clippy::type_complexity)]
+    pub fn run_decoded<S: AsRef<[Vec<f32>]>>(
+        &mut self,
+        streams: &[S],
+    ) -> (Vec<Vec<Vec<f32>>>, Vec<Option<rtm_speech::Hypothesis>>) {
+        assert!(
+            self.decoder.is_some(),
+            "no decoder configured; call with_decoder first"
+        );
+        let logits = self.run(streams);
+        let mut hyps: Vec<Option<rtm_speech::Hypothesis>> =
+            (0..streams.len()).map(|_| None).collect();
+        for (s, h) in self.run_hyps.drain(..) {
+            hyps[s] = Some(h);
+        }
+        (logits, hyps)
     }
 }
 
@@ -1914,6 +2023,75 @@ mod tests {
             let mut session = BatchedSession::new(&compiled, &exec, 2);
             assert_eq!(session.run(&streams), serial, "{format:?} lane contract");
         }
+    }
+
+    #[test]
+    fn per_lane_streaming_decode_matches_offline() {
+        use crate::config::DecoderChoice;
+        let net = net();
+        let compiled = CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F16).unwrap();
+        let exec = rtm_exec::Executor::new(2);
+        let streams: Vec<Vec<Vec<f32>>> = [7usize, 12, 4, 9]
+            .iter()
+            .enumerate()
+            .map(|(s, &len)| {
+                (0..len)
+                    .map(|t| {
+                        (0..6)
+                            .map(|i| ((s * 71 + t * 6 + i) as f32 * 0.27).sin() * 0.6)
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let total_frames: usize = streams.iter().map(Vec::len).sum();
+        for choice in [
+            DecoderChoice::Argmax,
+            DecoderChoice::CtcGreedy,
+            DecoderChoice::CtcBeam(4),
+        ] {
+            let mut session = BatchedSession::new(&compiled, &exec, 3).with_decoder(choice);
+            assert_eq!(session.decoder(), Some(choice));
+            let (logits, hyps) = session.run_decoded(&streams);
+            let stats = session.stats();
+            assert_eq!(stats.stream_frames, total_frames);
+            assert!(stats.compute_ns > 0, "step wall time accumulates");
+            assert!(stats.batch_rtf() > 0.0);
+            for (s, hyp) in hyps.iter().enumerate() {
+                let hyp = hyp.as_ref().expect("every stream completed");
+                // Per-lane streaming decode ≡ serial offline decode of the
+                // same stream — the lane logits are bit-identical to a
+                // serial forward, and the decoder is deterministic.
+                let offline = compiled.decode_with(&exec, &streams[s], choice);
+                assert_eq!(hyp, &offline, "{} stream {s}", choice.label());
+                assert!(hyp.is_final);
+                // And re-decoding the batched logits offline agrees too.
+                let mut d = choice.build(compiled.head_b.len());
+                assert_eq!(rtm_speech::decode_offline(d.as_mut(), &logits[s]), offline);
+            }
+        }
+    }
+
+    #[test]
+    fn decoder_state_is_cleaned_up() {
+        use crate::config::DecoderChoice;
+        let net = net();
+        let compiled = CompiledNetwork::compile(&net, 4, 4, RuntimePrecision::F32).unwrap();
+        let exec = rtm_exec::Executor::new(1);
+        let mut session =
+            BatchedSession::new(&compiled, &exec, 2).with_decoder(DecoderChoice::CtcGreedy);
+        let fs = frames();
+        session.admit(7);
+        let out = session.step(&[(7, fs[0].as_slice())]).unwrap();
+        assert_eq!(out.logits.len(), 1);
+        session.retire(7);
+        let hyp = session.finish_decode(7).expect("live decoder");
+        assert!(hyp.is_final);
+        assert_eq!(session.finish_decode(7), None, "decoder consumed");
+        // Without a configured decoder there is nothing to finish.
+        let mut plain = BatchedSession::new(&compiled, &exec, 2);
+        plain.admit(1);
+        assert_eq!(plain.finish_decode(1), None);
     }
 
     #[test]

@@ -91,6 +91,22 @@ pub fn format_choice() -> Result<Option<crate::config::FormatChoice>, EnvError> 
     )
 }
 
+/// `RTM_DECODER`: the utterance decoder applied to the classifier's frame
+/// logits.
+///
+/// # Errors
+///
+/// [`EnvError`] if the variable is set to something
+/// [`crate::config::DecoderChoice::parse`] rejects (including
+/// `ctc-beam:0` and malformed beam widths).
+pub fn decoder_choice() -> Result<Option<crate::config::DecoderChoice>, EnvError> {
+    rtm_trace::env::parsed(
+        "RTM_DECODER",
+        "argmax, viterbi, ctc-greedy or ctc-beam:N",
+        crate::config::DecoderChoice::parse,
+    )
+}
+
 /// `RTM_RELOAD`: hot-reload switch of `rtm serve`. `off`/`false` disables
 /// watching (the outer `Ok(Some(None))`), `on`/`true` enables it at the
 /// default poll interval, and a bare integer enables it with that poll

@@ -46,7 +46,7 @@ pub mod report;
 pub mod serve;
 
 pub use bundle::{BundleError, BundleMeta, CompiledBundle};
-pub use config::{FormatChoice, PrecisionChoice, RuntimeConfig};
+pub use config::{DecoderChoice, FormatChoice, PrecisionChoice, RuntimeConfig};
 pub use deploy::{
     BatchedSession, CompiledNetwork, FusedGruLayer, GateMatrix, GruRuntimeScratch, RuntimeFormat,
     RuntimePrecision,

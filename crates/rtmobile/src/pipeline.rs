@@ -19,7 +19,7 @@
 
 use crate::config::{FormatChoice, PrecisionChoice, RuntimeConfig};
 use crate::deploy::{CompiledNetwork, RuntimeFormat, RuntimePrecision, TunerCost};
-use crate::report::{AccuracyReport, PerformanceReport, PipelineReport};
+use crate::report::{AccuracyReport, DecodeStats, PerformanceReport, PipelineReport};
 use crate::serve::ServeStats;
 use rtm_compiler::plan::{ExecutionPlan, StorageFormat};
 use rtm_pruning::admm::AdmmConfig;
@@ -388,19 +388,22 @@ impl RtMobile {
 
         let deploy_span = rtm_trace::span("pipeline.deploy");
         let health = self.runtime.resolved_health();
+        let decoder_choice = self.runtime.resolved_decoder();
         let score = |compiled: &CompiledNetwork| -> (PerReport, Option<ServeStats>) {
             let mut report = PerReport::default();
             if self.runtime.batch > 1 {
                 // Multi-stream scoring: up to `batch` utterances share
                 // each weight pass. Bit-identical to the serial loop
-                // below.
+                // below (the per-lane decoder rides on the side and never
+                // touches the logits).
                 let utterances = task.test_utterances();
                 let streams: Vec<&[Vec<f32>]> =
                     utterances.iter().map(|u| u.frames.as_slice()).collect();
                 let mut session =
                     crate::deploy::BatchedSession::new(compiled, &exec, self.runtime.batch)
                         .with_health(health)
-                        .with_admission(self.runtime.admission);
+                        .with_admission(self.runtime.admission)
+                        .with_decoder(decoder_choice);
                 for (u, preds) in utterances.iter().zip(session.predict(&streams)) {
                     report.add(&preds, &u.labels, &u.phones);
                 }
@@ -478,6 +481,97 @@ impl RtMobile {
         compiled = compiled.with_tuner_costs(tuner_costs);
         drop(deploy_span);
 
+        // Decode scoring: stream the resolved decoder over every test
+        // utterance and price it as RTF (wall time over audio time at the
+        // 10 ms frame hop). The serial per-utterance loop yields the
+        // per-stream numbers and latency-to-first-symbol; the batched
+        // session above already measured the per-batch RTF.
+        let decode_span = rtm_trace::span("pipeline.decode");
+        let decode = {
+            let strip = |s: &[usize]| -> Vec<usize> {
+                s.iter()
+                    .copied()
+                    .filter(|&p| p != rtm_speech::phones::SILENCE)
+                    .collect()
+            };
+            let utterances = task.test_utterances();
+            let mut symbols = 0usize;
+            let mut endpoints = 0usize;
+            let mut errors = 0usize;
+            let mut ref_len = 0usize;
+            let mut rtf_sum = 0.0f64;
+            let mut rtf_max = 0.0f64;
+            let mut first_ms_sum = 0.0f64;
+            let mut first_count = 0usize;
+            let mut wall_total_us = 0.0f64;
+            let mut audio_total_us = 0.0f64;
+            for u in &utterances {
+                let t0 = std::time::Instant::now();
+                let logits = compiled.forward_with(&exec, &u.frames);
+                let classes = logits.first().map_or(1, Vec::len);
+                let mut decoder = decoder_choice.build(classes);
+                let mut first_symbol_frame: Option<usize> = None;
+                let mut in_endpoint = false;
+                for (i, row) in logits.iter().enumerate() {
+                    if let Some(h) = decoder.push_frame(row) {
+                        if first_symbol_frame.is_none() && !h.symbols.is_empty() {
+                            first_symbol_frame = Some(i);
+                        }
+                        if h.endpoint && !in_endpoint {
+                            endpoints += 1;
+                        }
+                        in_endpoint = h.endpoint;
+                    }
+                }
+                let hyp = decoder.finish();
+                let wall_us = t0.elapsed().as_secs_f64() * 1e6;
+                let audio_us = u.frames.len() as f64 * rtm_sim::realtime::FRAME_HOP_US;
+                if audio_us > 0.0 {
+                    let rtf = wall_us / audio_us;
+                    rtf_sum += rtf;
+                    rtf_max = rtf_max.max(rtf);
+                    rtm_trace::record(rtm_trace::key::RTF_STREAM, rtf * 1000.0);
+                }
+                wall_total_us += wall_us;
+                audio_total_us += audio_us;
+                if let Some(i) = first_symbol_frame {
+                    first_ms_sum += (i + 1) as f64 * rtm_sim::realtime::FRAME_HOP_US / 1e3;
+                    first_count += 1;
+                }
+                symbols += hyp.symbols.len();
+                let hyp_sym = strip(&hyp.symbols);
+                let ref_sym = strip(&u.phones);
+                errors += rtm_speech::per::edit_distance(&hyp_sym, &ref_sym);
+                ref_len += ref_sym.len();
+            }
+            let n = utterances.len().max(1) as f64;
+            DecodeStats {
+                decoder: decoder_choice.tag(),
+                beam: decoder_choice.beam_width(),
+                utterances: utterances.len(),
+                symbols,
+                endpoints,
+                decoded_per: if ref_len > 0 {
+                    100.0 * errors as f64 / ref_len as f64
+                } else {
+                    0.0
+                },
+                rtf_stream_mean: rtf_sum / n,
+                rtf_stream_max: rtf_max,
+                rtf_batch: match &serve {
+                    Some(s) => s.batch_rtf(),
+                    None if audio_total_us > 0.0 => wall_total_us / audio_total_us,
+                    None => 0.0,
+                },
+                first_symbol_ms_mean: if first_count > 0 {
+                    first_ms_sum / first_count as f64
+                } else {
+                    0.0
+                },
+            }
+        };
+        drop(decode_span);
+
         // 4. Paper-scale performance simulation.
         let sim_span = rtm_trace::span("pipeline.simulate");
         let workload = GruWorkload::with_bsp_pattern(
@@ -548,6 +642,7 @@ impl RtMobile {
                 precision_guard_tripped,
                 format_guard_tripped,
             },
+            decode: Some(decode),
             serve,
         };
         drop(pipeline_span);

@@ -84,6 +84,51 @@ pub struct PerformanceReport {
     pub format_guard_tripped: bool,
 }
 
+/// Utterance-decode results of a pipeline run: what the resolved
+/// [`DecoderChoice`](crate::config::DecoderChoice) produced on the test
+/// set, and the real-time factor (RTF = wall-time / audio-time, at the
+/// 10 ms frame hop) it cost to produce it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecodeStats {
+    /// Decoder family tag (`"argmax"`, `"viterbi"`, `"ctc-greedy"`,
+    /// `"ctc-beam"`).
+    pub decoder: &'static str,
+    /// Beam width (0 for the non-beam decoders).
+    pub beam: usize,
+    /// Test utterances decoded.
+    pub utterances: usize,
+    /// Total decoded symbols.
+    pub symbols: usize,
+    /// Endpoint events the streaming decoders fired.
+    pub endpoints: usize,
+    /// Utterance-level PER of the decoded symbol sequences (edit distance
+    /// against the reference phones, silence symbols dropped first).
+    pub decoded_per: f64,
+    /// Mean per-stream RTF: each utterance's decode+inference wall time
+    /// over its audio time.
+    pub rtf_stream_mean: f64,
+    /// Worst per-stream RTF.
+    pub rtf_stream_max: f64,
+    /// Per-batch RTF: total wall time over total audio time of the scoring
+    /// pass (equals the stream mean when scoring runs serially).
+    pub rtf_batch: f64,
+    /// Mean latency to the first decoded symbol, in milliseconds of audio
+    /// consumed (frames × 10 ms hop); `0.0` when no utterance produced a
+    /// streaming partial (e.g. the offline Viterbi decoder).
+    pub first_symbol_ms_mean: f64,
+}
+
+impl DecodeStats {
+    /// The full decoder label (`"ctc-beam:4"` style for beam decoders).
+    pub fn label(&self) -> String {
+        if self.beam > 0 {
+            format!("{}:{}", self.decoder, self.beam)
+        } else {
+            self.decoder.to_string()
+        }
+    }
+}
+
 /// Full result of one [`RtMobile`](crate::RtMobile) run.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PipelineReport {
@@ -91,6 +136,9 @@ pub struct PipelineReport {
     pub accuracy: AccuracyReport,
     /// Simulated performance results.
     pub performance: PerformanceReport,
+    /// Utterance decode + RTF results of the scoring pass (`None` when the
+    /// run skipped decode scoring).
+    pub decode: Option<DecodeStats>,
     /// Serving counters of the batched scoring pass (`None` when scoring
     /// ran serially, i.e. `batch == 1`).
     pub serve: Option<ServeStats>,
@@ -170,12 +218,42 @@ impl PipelineReport {
                 }
             );
         }
+        if let Some(d) = &self.decode {
+            let _ = writeln!(
+                s,
+                "  decode: {} -> PER {:.2}%, {} symbols, {} endpoints",
+                d.label(),
+                d.decoded_per,
+                d.symbols,
+                d.endpoints
+            );
+            let _ = writeln!(
+                s,
+                "  RTF: {:.4} per stream (max {:.4}), {:.4} per batch \
+                 ({:.1} real-time streams/core), first symbol {:.0} ms",
+                d.rtf_stream_mean,
+                d.rtf_stream_max,
+                d.rtf_batch,
+                if d.rtf_batch > 0.0 {
+                    1.0 / d.rtf_batch
+                } else {
+                    0.0
+                },
+                d.first_symbol_ms_mean
+            );
+        }
         if let Some(v) = &self.serve {
             let _ = writeln!(
                 s,
                 "  serving: {} admitted, {} completed, {} shed, {} quarantined, \
-                 {} deadline-missed over {} batched frames",
-                v.admitted, v.completed, v.shed, v.quarantined, v.deadline_missed, v.frames
+                 {} deadline-missed over {} batched frames (batch RTF {:.4})",
+                v.admitted,
+                v.completed,
+                v.shed,
+                v.quarantined,
+                v.deadline_missed,
+                v.frames,
+                v.batch_rtf()
             );
         }
         s
@@ -282,6 +360,28 @@ impl Report for PipelineReport {
                 ])),
             ),
             (
+                "decode",
+                match &self.decode {
+                    Some(d) => JsonValue::Raw(json_row(&[
+                        ("decoder", JsonValue::Str(d.decoder.into())),
+                        ("beam", JsonValue::Int(d.beam as i64)),
+                        ("label", JsonValue::Str(d.label())),
+                        ("utterances", JsonValue::Int(d.utterances as i64)),
+                        ("symbols", JsonValue::Int(d.symbols as i64)),
+                        ("endpoints", JsonValue::Int(d.endpoints as i64)),
+                        ("decoded_per", JsonValue::F64(d.decoded_per, 3)),
+                        ("rtf_stream_mean", JsonValue::F64(d.rtf_stream_mean, 4)),
+                        ("rtf_stream_max", JsonValue::F64(d.rtf_stream_max, 4)),
+                        ("rtf_batch", JsonValue::F64(d.rtf_batch, 4)),
+                        (
+                            "first_symbol_ms_mean",
+                            JsonValue::F64(d.first_symbol_ms_mean, 2),
+                        ),
+                    ])),
+                    None => JsonValue::Raw("null".to_string()),
+                },
+            ),
+            (
                 "serve",
                 match &self.serve {
                     Some(s) => JsonValue::Raw(s.to_json()),
@@ -308,6 +408,9 @@ impl Report for ServeStats {
                 JsonValue::Int(self.deadline_missed as i64),
             ),
             ("frames", JsonValue::Int(self.frames as i64)),
+            ("stream_frames", JsonValue::Int(self.stream_frames as i64)),
+            ("endpoints", JsonValue::Int(self.endpoints as i64)),
+            ("batch_rtf", JsonValue::F64(self.batch_rtf(), 4)),
         ]
     }
 }
@@ -330,6 +433,7 @@ impl Report for MultiStreamReport {
                 JsonValue::F64(self.per_stream_service_us, 2),
             ),
             ("batch_speedup", JsonValue::F64(self.batch_speedup, 3)),
+            ("rtf", JsonValue::F64(self.rtf, 4)),
         ]
     }
 }
@@ -406,6 +510,7 @@ mod tests {
                 precision_guard_tripped: false,
                 format_guard_tripped: false,
             },
+            decode: None,
             serve: None,
         }
     }
@@ -442,11 +547,27 @@ mod tests {
             deadline_missed: 0,
             frames: 40,
             completed: 4,
+            ..ServeStats::default()
+        });
+        r.decode = Some(DecodeStats {
+            decoder: "ctc-beam",
+            beam: 4,
+            utterances: 8,
+            symbols: 96,
+            endpoints: 8,
+            decoded_per: 21.5,
+            rtf_stream_mean: 0.05,
+            rtf_stream_max: 0.09,
+            rtf_batch: 0.02,
+            first_symbol_ms_mean: 120.0,
         });
         let text = r.render();
         assert!(text.contains("5 admitted"));
         assert!(text.contains("2 shed"));
         assert!(text.contains("1 quarantined"));
+        assert!(text.contains("decode: ctc-beam:4 -> PER 21.50%"));
+        assert!(text.contains("50.0 real-time streams/core"));
+        assert!(text.contains("first symbol 120 ms"));
     }
 
     #[test]
@@ -465,6 +586,8 @@ mod tests {
         assert!(json.contains("\"format_guard_tripped\": false"));
         assert!(json.contains("\"serve\": null"));
 
+        assert!(json.contains("\"decode\": null"));
+
         let stats = ServeStats {
             admitted: 5,
             shed: 2,
@@ -472,14 +595,35 @@ mod tests {
             deadline_missed: 0,
             frames: 40,
             completed: 4,
+            stream_frames: 200,
+            compute_ns: 100_000_000,
+            endpoints: 3,
         };
         let sj = stats.to_json();
         assert!(sj.starts_with("{\"report\": \"serve_stats\""), "{sj}");
         assert!(sj.contains("\"admitted\": 5"));
+        assert!(sj.contains("\"stream_frames\": 200"));
+        assert!(sj.contains("\"endpoints\": 3"));
+        assert!(sj.contains("\"batch_rtf\": 0.0500"), "{sj}");
         r.serve = Some(stats);
         assert!(r
             .to_json()
             .contains("\"serve\": {\"report\": \"serve_stats\""));
+        r.decode = Some(DecodeStats {
+            decoder: "argmax",
+            beam: 0,
+            utterances: 4,
+            symbols: 40,
+            endpoints: 4,
+            decoded_per: 30.0,
+            rtf_stream_mean: 0.1,
+            rtf_stream_max: 0.2,
+            rtf_batch: 0.1,
+            first_symbol_ms_mean: 50.0,
+        });
+        let dj = r.to_json();
+        assert!(dj.contains("\"decode\": {\"decoder\": \"argmax\""), "{dj}");
+        assert!(dj.contains("\"rtf_batch\": 0.1000"), "{dj}");
     }
 
     #[test]
@@ -498,11 +642,13 @@ mod tests {
             serial_service_us: 400.0,
             per_stream_service_us: 25.0,
             batch_speedup: 4.0,
+            rtf: 0.4,
         };
         let j = ms.to_json();
         assert!(j.starts_with("{\"report\": \"multi_stream\""), "{j}");
         assert!(j.contains("\"batched\": {\"period_us\": 250.00"));
         assert!(j.contains("\"stable\": true"));
+        assert!(j.contains("\"rtf\": 0.4000"));
 
         let shed = ShedReport {
             offered: 8,

@@ -24,6 +24,27 @@ pub struct StreamClient {
     pub input_dim: usize,
     /// Logit width the server produces (from `Hello`).
     pub classes: usize,
+    /// Protocol version the server advertised in `Hello` (1 for a
+    /// pre-streaming server, 2+ when hypotheses are available).
+    pub protocol_version: u32,
+    /// This stream opted into hypotheses
+    /// ([`StreamClient::want_hypotheses`]).
+    hypotheses: bool,
+}
+
+/// A decoded hypothesis as it arrived on the wire
+/// ([`ServerMsg::Hypothesis`]), for streams that opted in via
+/// [`StreamClient::want_hypotheses`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireHypothesis {
+    /// Decoded symbol sequence (phone indices).
+    pub symbols: Vec<u32>,
+    /// Decoder score (log-domain; 0.0 for the argmax decoder).
+    pub score: f32,
+    /// The server's endpointer currently detects trailing silence.
+    pub endpoint: bool,
+    /// This is the stream's final hypothesis.
+    pub is_final: bool,
 }
 
 fn invalid<E: std::error::Error + Send + Sync + 'static>(e: E) -> Error {
@@ -45,11 +66,18 @@ impl StreamClient {
             decoder: FrameDecoder::new(),
             input_dim: 0,
             classes: 0,
+            protocol_version: 1,
+            hypotheses: false,
         };
         match client.recv()? {
-            ServerMsg::Hello { input_dim, classes } => {
+            ServerMsg::Hello {
+                input_dim,
+                classes,
+                version,
+            } => {
                 client.input_dim = input_dim as usize;
                 client.classes = classes as usize;
+                client.protocol_version = version;
                 Ok(client)
             }
             other => Err(Error::new(
@@ -106,6 +134,31 @@ impl StreamClient {
         self.send(&ClientMsg::Start { tenant })
     }
 
+    /// Opts this stream into streaming decode: every
+    /// [`infer_decoded`](StreamClient::infer_decoded) round trip carries a
+    /// hypothesis behind its logits, and
+    /// [`finish_decoded`](StreamClient::finish_decoded) returns the final
+    /// one. Call after [`start`](StreamClient::start).
+    ///
+    /// # Errors
+    ///
+    /// `Unsupported` when the server's advertised protocol version
+    /// predates hypotheses (< 2); socket write errors pass through.
+    pub fn want_hypotheses(&mut self) -> std::io::Result<()> {
+        if self.protocol_version < 2 {
+            return Err(Error::new(
+                ErrorKind::Unsupported,
+                format!(
+                    "server speaks protocol v{}, hypotheses need v2",
+                    self.protocol_version
+                ),
+            ));
+        }
+        self.send(&ClientMsg::WantHypotheses)?;
+        self.hypotheses = true;
+        Ok(())
+    }
+
     /// The closed-loop round trip the load generator times: sends one
     /// frame and blocks for its logits.
     ///
@@ -126,6 +179,46 @@ impl StreamClient {
         }
     }
 
+    /// [`infer`](StreamClient::infer) for an opted-in stream: sends one
+    /// frame and blocks for its logits **and** the hypothesis the server
+    /// pairs with every served frame.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` when the stream never opted in
+    /// ([`want_hypotheses`](StreamClient::want_hypotheses)), on a
+    /// `Reject` ([`RejectedError`]) and on out-of-order replies.
+    pub fn infer_decoded(&mut self, frame: &[f32]) -> std::io::Result<(Vec<f32>, WireHypothesis)> {
+        if !self.hypotheses {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                "stream did not opt into hypotheses",
+            ));
+        }
+        let row = self.infer(frame)?;
+        match self.recv()? {
+            ServerMsg::Hypothesis {
+                symbols,
+                score,
+                endpoint,
+                is_final,
+            } => Ok((
+                row,
+                WireHypothesis {
+                    symbols,
+                    score,
+                    endpoint,
+                    is_final,
+                },
+            )),
+            ServerMsg::Reject { code } => Err(invalid(RejectedError { code })),
+            other => Err(Error::new(
+                ErrorKind::InvalidData,
+                format!("expected Hypothesis, got {other:?}"),
+            )),
+        }
+    }
+
     /// Ends the stream and blocks for `Done`, returning the frame count
     /// the server reports.
     ///
@@ -138,6 +231,51 @@ impl StreamClient {
         self.send(&ClientMsg::End)?;
         match self.recv()? {
             ServerMsg::Done { frames } => Ok(frames),
+            ServerMsg::Reject { code } => Err(invalid(RejectedError { code })),
+            other => Err(Error::new(
+                ErrorKind::InvalidData,
+                format!("expected Done, got {other:?}"),
+            )),
+        }
+    }
+
+    /// [`finish`](StreamClient::finish) for an opted-in stream: the final
+    /// hypothesis precedes `Done` on the wire, so this returns both.
+    ///
+    /// # Errors
+    ///
+    /// As [`finish`](StreamClient::finish), plus `InvalidData` when the
+    /// stream never opted in.
+    pub fn finish_decoded(&mut self) -> std::io::Result<(WireHypothesis, u32)> {
+        if !self.hypotheses {
+            return Err(Error::new(
+                ErrorKind::InvalidData,
+                "stream did not opt into hypotheses",
+            ));
+        }
+        self.send(&ClientMsg::End)?;
+        let hyp = match self.recv()? {
+            ServerMsg::Hypothesis {
+                symbols,
+                score,
+                endpoint,
+                is_final,
+            } => WireHypothesis {
+                symbols,
+                score,
+                endpoint,
+                is_final,
+            },
+            ServerMsg::Reject { code } => return Err(invalid(RejectedError { code })),
+            other => {
+                return Err(Error::new(
+                    ErrorKind::InvalidData,
+                    format!("expected final Hypothesis, got {other:?}"),
+                ))
+            }
+        };
+        match self.recv()? {
+            ServerMsg::Done { frames } => Ok((hyp, frames)),
             ServerMsg::Reject { code } => Err(invalid(RejectedError { code })),
             other => Err(Error::new(
                 ErrorKind::InvalidData,

@@ -103,6 +103,16 @@ pub struct ServeStats {
     pub frames: usize,
     /// Streams that ran to completion (all frames produced logits).
     pub completed: usize,
+    /// Per-stream frames served (logit rows across all lanes; one batched
+    /// step serving 8 lanes adds 8 here and 1 to [`ServeStats::frames`]).
+    pub stream_frames: usize,
+    /// Wall time spent inside batched inference steps, in nanoseconds
+    /// (integer so the stats stay `Copy + Eq`; see
+    /// [`ServeStats::batch_rtf`]).
+    pub compute_ns: u64,
+    /// Endpoint events observed by the per-lane decoders (zero when no
+    /// decoder is configured).
+    pub endpoints: usize,
 }
 
 impl ServeStats {
@@ -116,7 +126,23 @@ impl ServeStats {
             deadline_missed: self.deadline_missed + other.deadline_missed,
             frames: self.frames + other.frames,
             completed: self.completed + other.completed,
+            stream_frames: self.stream_frames + other.stream_frames,
+            compute_ns: self.compute_ns + other.compute_ns,
+            endpoints: self.endpoints + other.endpoints,
         }
+    }
+
+    /// Per-batch real-time factor: inference wall time over the audio time
+    /// of the frames served (`stream_frames` × the 10 ms frame hop,
+    /// [`rtm_sim::realtime::FRAME_HOP_US`]). Below 1.0 is faster than real
+    /// time; its reciprocal is the sustainable real-time stream count.
+    /// `0.0` before any frame is served.
+    pub fn batch_rtf(&self) -> f64 {
+        if self.stream_frames == 0 {
+            return 0.0;
+        }
+        let compute_us = self.compute_ns as f64 / 1e3;
+        compute_us / (self.stream_frames as f64 * rtm_sim::realtime::FRAME_HOP_US)
     }
 }
 
@@ -160,5 +186,25 @@ mod tests {
         let s = ServeStats::default();
         assert_eq!(s.admitted + s.shed + s.quarantined, 0);
         assert_eq!(s.deadline_missed + s.frames + s.completed, 0);
+        assert_eq!(s.stream_frames + s.endpoints, 0);
+        assert_eq!(s.compute_ns, 0);
+        assert_eq!(s.batch_rtf(), 0.0, "no frames yet: RTF undefined as 0");
+    }
+
+    #[test]
+    fn batch_rtf_is_compute_over_audio() {
+        let s = ServeStats {
+            stream_frames: 100,     // 100 frames × 10 ms = 1 s audio
+            compute_ns: 20_000_000, // 20 ms of compute
+            ..ServeStats::default()
+        };
+        assert!((s.batch_rtf() - 0.02).abs() < 1e-12);
+        let merged = s.merged(s);
+        assert_eq!(merged.stream_frames, 200);
+        assert_eq!(merged.compute_ns, 40_000_000);
+        assert!(
+            (merged.batch_rtf() - 0.02).abs() < 1e-12,
+            "rtf is scale-free"
+        );
     }
 }

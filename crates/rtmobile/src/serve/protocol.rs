@@ -10,14 +10,24 @@
 //! The conversation is strictly client-driven after the greeting:
 //!
 //! ```text
-//! server → Hello { input_dim, classes }     (on accept)
+//! server → Hello { input_dim, classes, version }   (on accept)
 //! client → Start { tenant }                 (joins the admission queue)
+//! client → WantHypotheses                   (optional opt-in, v2 servers)
 //! client → Frame(x) …                       (one per audio frame)
 //! server → Logits(y) …                      (one per served frame, in order)
+//! server → Hypothesis …                     (after Logits, opted-in only)
 //! client → End
+//! server → Hypothesis { final }             (opted-in only, before Done)
 //! server → Done { frames }                  (connection closes)
 //! server → Reject { code }                  (instead of service, any time)
 //! ```
+//!
+//! Version negotiation is one-sided and backward compatible: an 8-byte
+//! `Hello` body (the original wire format) decodes as protocol version 1,
+//! a 12-byte body carries the server's version explicitly. A v2 server
+//! advertises the hypothesis capability in `Hello`; clients that never
+//! send [`ClientMsg::WantHypotheses`] receive exactly the v1 message
+//! sequence, bit-identical logits included.
 //!
 //! Decoding is total: unknown tags, truncated fields and trailing bytes
 //! all surface as a typed [`ProtocolError`], never a panic — the server
@@ -25,15 +35,22 @@
 
 use rtm_tensor::wire::{Buf, BufMut};
 
+/// The protocol version the server advertises in [`ServerMsg::Hello`].
+/// Version 2 adds [`ClientMsg::WantHypotheses`] / [`ServerMsg::Hypothesis`]
+/// (streaming decode); version 1 is the original logits-only exchange.
+pub const PROTOCOL_VERSION: u32 = 2;
+
 /// Tag bytes; client tags are low, server tags start at 16 so a direction
 /// mix-up decodes as [`ProtocolError::UnknownTag`] rather than garbage.
 const TAG_START: u8 = 1;
 const TAG_FRAME: u8 = 2;
 const TAG_END: u8 = 3;
+const TAG_WANT_HYPOTHESES: u8 = 4;
 const TAG_HELLO: u8 = 16;
 const TAG_LOGITS: u8 = 17;
 const TAG_DONE: u8 = 18;
 const TAG_REJECT: u8 = 19;
+const TAG_HYPOTHESIS: u8 = 20;
 
 /// Why the server turned a stream away instead of serving it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +102,14 @@ pub enum ClientMsg {
     },
     /// One input frame of `input_dim` features.
     Frame(Vec<f32>),
+    /// Opts this stream into streaming decode: the server answers every
+    /// [`ServerMsg::Logits`] with a [`ServerMsg::Hypothesis`] when the
+    /// partial changed, and always sends a final one before
+    /// [`ServerMsg::Done`]. Only meaningful against a server whose
+    /// [`ServerMsg::Hello`] advertises `version >= 2`; a v1 server
+    /// rejects the unknown tag. Streams that never send this receive the
+    /// v1 message sequence unchanged.
+    WantHypotheses,
     /// The stream is complete; the server answers [`ServerMsg::Done`]
     /// once every frame has its logits.
     End,
@@ -94,16 +119,35 @@ pub enum ClientMsg {
 #[derive(Debug, Clone, PartialEq)]
 pub enum ServerMsg {
     /// The greeting: the model's frame width and logit width, so a client
-    /// can validate its feed before streaming.
+    /// can validate its feed before streaming, plus the protocol version
+    /// the server speaks (absent on the 8-byte v1 wire form, which decodes
+    /// as `version: 1`).
     Hello {
         /// Expected `Frame` length.
         input_dim: u32,
         /// `Logits` length.
         classes: u32,
+        /// Highest protocol version the server speaks; `>= 2` advertises
+        /// the [`ServerMsg::Hypothesis`] capability.
+        version: u32,
     },
     /// Logits for the next unanswered frame, bit-identical to a serial
     /// [`crate::deploy::CompiledNetwork::forward`] of the same stream.
     Logits(Vec<f32>),
+    /// A decoded hypothesis for an opted-in stream
+    /// ([`ClientMsg::WantHypotheses`]): the symbols decoded so far, sent
+    /// after the [`ServerMsg::Logits`] whose frame changed the partial,
+    /// and once more (with `is_final`) before [`ServerMsg::Done`].
+    Hypothesis {
+        /// Decoded symbol sequence (phone indices).
+        symbols: Vec<u32>,
+        /// Decoder score (log-domain; 0.0 for the argmax decoder).
+        score: f32,
+        /// The endpointer currently detects trailing silence.
+        endpoint: bool,
+        /// This is the stream's final hypothesis.
+        is_final: bool,
+    },
     /// The stream ran to completion after serving this many frames.
     Done {
         /// Frames served (equals frames sent when nothing was rejected).
@@ -164,6 +208,20 @@ fn put_f32s<B: BufMut>(out: &mut B, xs: &[f32]) {
     }
 }
 
+fn get_u32s(buf: &mut &[u8], what: &'static str) -> Result<Vec<u32>, ProtocolError> {
+    need(buf, 4, what)?;
+    let count = buf.get_u32_le() as usize;
+    need(buf, count.saturating_mul(4), what)?;
+    Ok((0..count).map(|_| buf.get_u32_le()).collect())
+}
+
+fn put_u32s<B: BufMut>(out: &mut B, xs: &[u32]) {
+    out.put_u32_le(xs.len() as u32);
+    for &x in xs {
+        out.put_u32_le(x);
+    }
+}
+
 fn done(buf: &[u8]) -> Result<(), ProtocolError> {
     if buf.remaining() == 0 {
         Ok(())
@@ -184,6 +242,7 @@ impl ClientMsg {
                 out.put_u8(TAG_FRAME);
                 put_f32s(out, xs);
             }
+            ClientMsg::WantHypotheses => out.put_u8(TAG_WANT_HYPOTHESES),
             ClientMsg::End => out.put_u8(TAG_END),
         }
     }
@@ -205,6 +264,7 @@ impl ClientMsg {
                 }
             }
             TAG_FRAME => ClientMsg::Frame(get_f32s(&mut buf, "frame")?),
+            TAG_WANT_HYPOTHESES => ClientMsg::WantHypotheses,
             TAG_END => ClientMsg::End,
             t => return Err(ProtocolError::UnknownTag(t)),
         };
@@ -217,14 +277,31 @@ impl ServerMsg {
     /// Appends this message's frame payload (tag + fields) to `out`.
     pub fn encode_payload<B: BufMut>(&self, out: &mut B) {
         match self {
-            ServerMsg::Hello { input_dim, classes } => {
+            ServerMsg::Hello {
+                input_dim,
+                classes,
+                version,
+            } => {
                 out.put_u8(TAG_HELLO);
                 out.put_u32_le(*input_dim);
                 out.put_u32_le(*classes);
+                out.put_u32_le(*version);
             }
             ServerMsg::Logits(ys) => {
                 out.put_u8(TAG_LOGITS);
                 put_f32s(out, ys);
+            }
+            ServerMsg::Hypothesis {
+                symbols,
+                score,
+                endpoint,
+                is_final,
+            } => {
+                out.put_u8(TAG_HYPOTHESIS);
+                put_u32s(out, symbols);
+                out.put_f32_le(*score);
+                out.put_u8(u8::from(*endpoint));
+                out.put_u8(u8::from(*is_final));
             }
             ServerMsg::Done { frames } => {
                 out.put_u8(TAG_DONE);
@@ -249,12 +326,32 @@ impl ServerMsg {
         let msg = match buf.get_u8() {
             TAG_HELLO => {
                 need(&buf, 8, "hello dims")?;
+                let input_dim = buf.get_u32_le();
+                let classes = buf.get_u32_le();
+                // The original wire form stops here; v2+ servers append
+                // their protocol version. Both decode.
+                let version = if buf.remaining() >= 4 {
+                    buf.get_u32_le()
+                } else {
+                    1
+                };
                 ServerMsg::Hello {
-                    input_dim: buf.get_u32_le(),
-                    classes: buf.get_u32_le(),
+                    input_dim,
+                    classes,
+                    version,
                 }
             }
             TAG_LOGITS => ServerMsg::Logits(get_f32s(&mut buf, "logits")?),
+            TAG_HYPOTHESIS => {
+                let symbols = get_u32s(&mut buf, "hypothesis symbols")?;
+                need(&buf, 6, "hypothesis fields")?;
+                ServerMsg::Hypothesis {
+                    symbols,
+                    score: buf.get_f32_le(),
+                    endpoint: buf.get_u8() != 0,
+                    is_final: buf.get_u8() != 0,
+                }
+            }
             TAG_DONE => {
                 need(&buf, 4, "done frames")?;
                 ServerMsg::Done {
@@ -299,6 +396,7 @@ mod tests {
     fn every_message_roundtrips_through_the_framed_wire() {
         let client = [
             ClientMsg::Start { tenant: 7 },
+            ClientMsg::WantHypotheses,
             ClientMsg::Frame(vec![0.5, -1.25, 3.0]),
             ClientMsg::Frame(Vec::new()),
             ClientMsg::End,
@@ -319,8 +417,21 @@ mod tests {
             ServerMsg::Hello {
                 input_dim: 6,
                 classes: 4,
+                version: PROTOCOL_VERSION,
             },
             ServerMsg::Logits(vec![1.0, 2.0, 3.0, 4.0]),
+            ServerMsg::Hypothesis {
+                symbols: vec![3, 0, 17],
+                score: -4.5,
+                endpoint: true,
+                is_final: false,
+            },
+            ServerMsg::Hypothesis {
+                symbols: Vec::new(),
+                score: 0.0,
+                endpoint: false,
+                is_final: true,
+            },
             ServerMsg::Done { frames: 11 },
             ServerMsg::Reject {
                 code: RejectCode::TenantQuota,
@@ -360,6 +471,11 @@ mod tests {
             ServerMsg::decode(&[super::TAG_HELLO, 1, 0, 0]),
             Err(ProtocolError::Truncated("hello dims"))
         );
+        // Hypothesis with symbols but the trailing fields chopped off.
+        assert_eq!(
+            ServerMsg::decode(&[super::TAG_HYPOTHESIS, 1, 0, 0, 0, 5, 0, 0, 0]),
+            Err(ProtocolError::Truncated("hypothesis fields"))
+        );
         // A frame-count prefix near usize::MAX must not overflow the
         // bounds check into a bogus "enough bytes" answer.
         let mut huge = vec![super::TAG_FRAME];
@@ -367,6 +483,30 @@ mod tests {
         assert_eq!(
             ClientMsg::decode(&huge),
             Err(ProtocolError::Truncated("frame"))
+        );
+    }
+
+    #[test]
+    fn legacy_eight_byte_hello_decodes_as_version_one() {
+        // The pre-streaming wire form: tag + two u32 dims, no version.
+        let mut legacy = vec![super::TAG_HELLO];
+        legacy.extend_from_slice(&6u32.to_le_bytes());
+        legacy.extend_from_slice(&4u32.to_le_bytes());
+        assert_eq!(
+            ServerMsg::decode(&legacy),
+            Ok(ServerMsg::Hello {
+                input_dim: 6,
+                classes: 4,
+                version: 1,
+            })
+        );
+        // Bytes past the version field are still rejected.
+        let mut overlong = legacy.clone();
+        overlong.extend_from_slice(&2u32.to_le_bytes());
+        overlong.push(0xFF);
+        assert_eq!(
+            ServerMsg::decode(&overlong),
+            Err(ProtocolError::Trailing(1))
         );
     }
 

@@ -51,7 +51,7 @@ use std::time::Duration;
 use rtm_tensor::wire::FrameDecoder;
 use rtm_trace::key;
 
-use super::protocol::{put_server_msg, ClientMsg, RejectCode, ServerMsg};
+use super::protocol::{put_server_msg, ClientMsg, RejectCode, ServerMsg, PROTOCOL_VERSION};
 use super::reload::{ReloadConfig, ReloadEvent, ReloadStats, Reloader};
 use super::{AdmissionConfig, ServeStats};
 use crate::bundle::CompiledBundle;
@@ -162,6 +162,14 @@ struct Conn {
     out_pos: usize,
     /// Client sent `End`; `Done` goes out once the inbox drains.
     ended: bool,
+    /// Client opted into streaming decode ([`ClientMsg::WantHypotheses`]):
+    /// every `Logits` is followed by a `Hypothesis`, and a final one
+    /// precedes `Done`. Off (the default) keeps the v1 message sequence.
+    wants_hypotheses: bool,
+    /// Last hypothesis message sent (re-sent verbatim on frames where the
+    /// partial did not change, keeping the Logits/Hypothesis pairing
+    /// deterministic for the blocking client).
+    last_hyp: Option<ServerMsg>,
     frames_out: u32,
     /// Socket unusable (EOF, reset, protocol error): drop without
     /// flushing.
@@ -182,6 +190,16 @@ impl Conn {
     }
 }
 
+/// Converts a decoder hypothesis into its wire message.
+fn hypothesis_msg(hyp: &rtm_speech::Hypothesis, is_final: bool) -> ServerMsg {
+    ServerMsg::Hypothesis {
+        symbols: hyp.symbols.iter().map(|&s| s as u32).collect(),
+        score: hyp.score,
+        endpoint: hyp.endpoint,
+        is_final,
+    }
+}
+
 /// One model generation being served: its bundle and the batched session
 /// holding its in-flight lanes. The newest slot admits; older slots only
 /// drain.
@@ -199,11 +217,12 @@ pub struct Server<'a> {
     listener: TcpListener,
     addr: SocketAddr,
     exec: &'a rtm_exec::Executor,
-    /// Lane capacity, admission bounds and health policy every generation's
-    /// session is built with.
+    /// Lane capacity, admission bounds, health policy and decoder every
+    /// generation's session is built with.
     batch: usize,
     admission: AdmissionConfig,
     health: HealthPolicy,
+    decoder: crate::config::DecoderChoice,
     /// Generation slots, oldest first; the last is the active one.
     slots: Vec<GenSlot<'a>>,
     next_seq: u64,
@@ -266,9 +285,11 @@ impl<'a> Server<'a> {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let (batch, admission, health) = (config.batch, config.admission, config.resolved_health());
+        let decoder = config.resolved_decoder();
         let session = BatchedSession::shared(Arc::clone(&bundle.net), exec, batch)
             .with_admission(admission)
-            .with_health(health);
+            .with_health(health)
+            .with_decoder(decoder);
         let input_dim = bundle.net.input_dim();
         let classes = bundle.net.num_classes();
         let generation = bundle.generation();
@@ -279,6 +300,7 @@ impl<'a> Server<'a> {
             batch,
             admission,
             health,
+            decoder,
             slots: vec![GenSlot {
                 seq: 0,
                 bundle,
@@ -356,7 +378,8 @@ impl<'a> Server<'a> {
     fn promote(&mut self, bundle: CompiledBundle) {
         let session = BatchedSession::shared(Arc::clone(&bundle.net), self.exec, self.batch)
             .with_admission(self.admission)
-            .with_health(self.health);
+            .with_health(self.health)
+            .with_decoder(self.decoder);
         self.next_seq += 1;
         self.slots.push(GenSlot {
             seq: self.next_seq,
@@ -520,6 +543,8 @@ impl<'a> Server<'a> {
                 outbox: Vec::new(),
                 out_pos: 0,
                 ended: false,
+                wants_hypotheses: false,
+                last_hyp: None,
                 frames_out: 0,
                 dead: false,
                 _span: rtm_trace::span("serve.conn"),
@@ -527,6 +552,7 @@ impl<'a> Server<'a> {
             conn.queue_msg(&ServerMsg::Hello {
                 input_dim: self.input_dim as u32,
                 classes: self.classes as u32,
+                version: PROTOCOL_VERSION,
             });
             if self.conns.len() >= self.opts.max_conns {
                 conn.queue_msg(&ServerMsg::Reject {
@@ -654,6 +680,14 @@ impl<'a> Server<'a> {
                 c.inbox.push_back(xs);
                 true
             }
+            ClientMsg::WantHypotheses => {
+                let c = &mut self.conns[i];
+                if !c.started() || c.ended {
+                    return false;
+                }
+                c.wants_hypotheses = true;
+                true
+            }
             ClientMsg::End => {
                 let c = &mut self.conns[i];
                 if !c.started() || c.ended {
@@ -734,11 +768,26 @@ impl<'a> Server<'a> {
                 .step(&ready)
                 .expect("batched step failed");
             self.steps += 1;
+            // Every served frame of an opted-in connection gets a
+            // [Logits, Hypothesis] pair (unchanged partials are re-sent),
+            // so a blocking client can always read both. Streams that
+            // never opted in get the exact v1 byte stream.
+            let mut changed: std::collections::BTreeMap<usize, rtm_speech::Hypothesis> =
+                out.hypotheses.into_iter().collect();
             for (token, row) in out.logits {
                 if let Some(i) = self.conn_index(token) {
                     self.conns[i].inbox.pop_front();
                     self.conns[i].frames_out += 1;
                     self.conns[i].queue_msg(&ServerMsg::Logits(row));
+                    if self.conns[i].wants_hypotheses {
+                        if let Some(hyp) = changed.remove(&token) {
+                            self.conns[i].last_hyp = Some(hypothesis_msg(&hyp, false));
+                        }
+                        let msg = self.conns[i].last_hyp.clone().unwrap_or_else(|| {
+                            hypothesis_msg(&rtm_speech::Hypothesis::empty(), false)
+                        });
+                        self.conns[i].queue_msg(&msg);
+                    }
                 }
             }
             for token in out.quarantined {
@@ -756,9 +805,19 @@ impl<'a> Server<'a> {
             let c = &self.conns[i];
             if c.phase == Phase::Active && c.ended && c.inbox.is_empty() {
                 let (token, seq, frames) = (c.token, c.seq, c.frames_out);
+                let wants = c.wants_hypotheses;
+                let mut final_hyp = None;
                 if let Some(slot) = self.slot_mut(seq) {
+                    // Finalize (and drop) the lane's decoder state before
+                    // the lane itself goes away.
+                    final_hyp = slot.session.finish_decode(token);
                     slot.session.retire(token);
                     slot.session.mark_completed();
+                }
+                if wants {
+                    if let Some(hyp) = final_hyp {
+                        self.conns[i].queue_msg(&hypothesis_msg(&hyp, true));
+                    }
                 }
                 self.conns[i].queue_msg(&ServerMsg::Done { frames });
                 self.conns[i].phase = Phase::Closing;
@@ -809,6 +868,7 @@ impl<'a> Server<'a> {
         let (token, seq) = (self.conns[i].token, self.conns[i].seq);
         if self.conns[i].phase == Phase::Active {
             if let Some(slot) = self.slot_mut(seq) {
+                let _ = slot.session.finish_decode(token);
                 slot.session.retire(token);
             }
         }
@@ -878,6 +938,74 @@ mod tests {
         rows.iter()
             .map(|r| r.iter().map(|v| v.to_bits()).collect())
             .collect()
+    }
+
+    /// The streaming-decode wire contract: an opted-in stream gets a
+    /// hypothesis with every frame and a final one whose symbols match the
+    /// offline decode of the same utterance; a stream that never opts in
+    /// receives logits bit-identical to the serial forward — the v1
+    /// message sequence, untouched by the new capability.
+    #[test]
+    fn hypotheses_flow_to_opted_in_streams_only() {
+        let net = compiled(3);
+        let utterance = frames(12);
+        let serial = bits(&net.forward(&utterance));
+        let choice = crate::config::DecoderChoice::CtcBeam(2);
+        let exec = rtm_exec::Executor::new(1);
+        let offline = net.decode_with(&exec, &utterance, choice);
+
+        let stop = AtomicBool::new(false);
+        let config = RuntimeConfig::default().with_batch(2).with_decoder(choice);
+        std::thread::scope(|scope| {
+            let (tx, rx) = std::sync::mpsc::channel();
+            let (stop, net, config) = (&stop, &net, &config);
+            let server_thread = scope.spawn(move || {
+                let exec = rtm_exec::Executor::new(config.threads);
+                let mut server = Server::bind(net, &exec, config).expect("bind");
+                tx.send(server.local_addr()).expect("addr handoff");
+                server.run_until(stop).expect("serve")
+            });
+            let addr = rx.recv().expect("server bound");
+
+            // Opted-in stream: deterministic [Logits, Hypothesis] pairs.
+            let mut decoded = StreamClient::connect(addr).expect("connect");
+            assert!(decoded.protocol_version >= 2, "server must advertise v2");
+            decoded.start(0).expect("start");
+            decoded.want_hypotheses().expect("opt in");
+            let mut rows = Vec::new();
+            let mut partials = Vec::new();
+            for f in &utterance {
+                let (row, hyp) = decoded.infer_decoded(f).expect("infer");
+                assert!(!hyp.is_final, "mid-stream partials are not final");
+                rows.push(row);
+                partials.push(hyp);
+            }
+            let (final_hyp, served) = decoded.finish_decoded().expect("finish");
+            assert_eq!(served as usize, utterance.len());
+            assert!(final_hyp.is_final);
+            assert_eq!(bits(&rows), serial, "opt-in never perturbs logits");
+            let want: Vec<u32> = offline.symbols.iter().map(|&s| s as u32).collect();
+            assert_eq!(final_hyp.symbols, want, "wire decode == offline decode");
+            assert!((final_hyp.score - offline.score).abs() < 1e-6);
+            // The last partial is a prefix-consistent precursor of the
+            // final (same decoder state, pre-finish).
+            assert_eq!(partials.len(), utterance.len());
+
+            // Legacy stream on the same server: v1 sequence, identical
+            // bits.
+            let mut legacy = StreamClient::connect(addr).expect("connect");
+            legacy.start(0).expect("start");
+            let rows: Vec<Vec<f32>> = utterance
+                .iter()
+                .map(|f| legacy.infer(f).expect("infer"))
+                .collect();
+            let served = legacy.finish().expect("finish");
+            assert_eq!(served as usize, utterance.len());
+            assert_eq!(bits(&rows), serial, "legacy streams stay bit-identical");
+
+            stop.store(true, Ordering::Relaxed);
+            server_thread.join().expect("server thread")
+        });
     }
 
     /// The full rollback arc: a bundle that passes every load-time check

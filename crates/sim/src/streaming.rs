@@ -31,6 +31,16 @@ pub struct StreamingReport {
     pub mean_latency_us: f64,
 }
 
+impl StreamingReport {
+    /// Real-time factor of the stream: service time over arrival period
+    /// (compute time per unit of audio time). Below 1.0 the queue is
+    /// stable; the reciprocal is the number of such streams one device
+    /// could sustain in real time.
+    pub fn rtf(&self) -> f64 {
+        self.service_us / self.period_us
+    }
+}
+
 /// A multi-stream streaming run: `streams` concurrent utterances served by
 /// one device through batched (SpMM) inference rounds.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +59,10 @@ pub struct MultiStreamReport {
     /// `serial_service_us / batched.service_us` — how much weight/index
     /// amortization buys per round.
     pub batch_speedup: f64,
+    /// Real-time factor of the batched rounds
+    /// ([`StreamingReport::rtf`] of `batched`): one batched service over
+    /// one arrival period. Matches `batched.stable` (< 1.0 iff stable).
+    pub rtf: f64,
 }
 
 /// What an overloaded server does with work it cannot serve in time.
@@ -177,12 +191,14 @@ impl StreamingSim {
             .run_frame_batched(workload, plan, streams)
             .time_us;
         let batched = self.queue(workload, batched_service, num_frames);
+        let rtf = batched.rtf();
         MultiStreamReport {
             streams,
             serial_service_us: single * streams as f64,
             per_stream_service_us: batched_service / streams as f64,
             batch_speedup: single * streams as f64 / batched_service,
             batched,
+            rtf,
         }
     }
 
@@ -273,6 +289,8 @@ mod tests {
         let plan = ExecutionPlan::gpu_default(StorageFormat::Bspc).with_bsp_partition(8, 8);
         let r = sim.run(&w, &plan, 50);
         assert!(r.stable, "pruned GPU easily keeps up");
+        assert!(r.rtf() < 1.0, "stable means RTF below 1");
+        assert!((r.rtf() - r.service_us / r.period_us).abs() < 1e-12);
         // Every frame sees exactly the service time: no queueing.
         for &l in &r.latencies_us {
             assert!((l - r.service_us).abs() < 1e-9);
@@ -313,6 +331,8 @@ mod tests {
         let multi = sim.run_streams(&w, &plan, 20, b);
         assert!(multi.serial_service_us > period, "serial service overruns");
         assert!(multi.batched.stable, "batched rounds keep up at b={b}");
+        assert!(multi.rtf < 1.0, "stable batch has RTF below 1");
+        assert!((multi.rtf - multi.batched.rtf()).abs() < 1e-12);
         assert!(multi.batch_speedup > 1.0);
         assert!(multi.per_stream_service_us < single);
         // Flat latency in the stable batched regime.

@@ -1,0 +1,509 @@
+//! CTC decoding: greedy best-path and prefix beam search, streaming.
+//!
+//! The CTC output convention (Graves et al. 2006) reserves one class as the
+//! *blank* symbol: the network may emit blank between (or instead of)
+//! phones, repeated non-blank frames collapse to one symbol, and a blank
+//! separates genuine doubled symbols. For the 39-phone head this crate maps
+//! the blank onto the silence phone (`sil`, [`crate::phones::SILENCE`]) —
+//! the synthetic corpus already pads utterance boundaries with it, so the
+//! frame classifier needs no retraining to be decoded as a CTC head.
+//!
+//! Two decoders, both pure Rust and both implementing
+//! [`crate::decode::Decoder`]:
+//!
+//! * [`CtcGreedyDecoder`] — best-path decoding: per-frame argmax, collapse
+//!   repeats, drop blanks. Exact for peaked posteriors and O(classes) per
+//!   frame.
+//! * [`CtcBeamDecoder`] — prefix beam search with log-sum-exp merging of
+//!   the blank/non-blank path probabilities per prefix (Hannun et al.
+//!   2014). Beam width 1 specializes to the greedy algorithm by
+//!   construction, which makes `beam(1) == greedy` an API guarantee rather
+//!   than a numerical coincidence.
+//!
+//! Both decoders carry the trailing-blank endpointing heuristic and are
+//! deterministic: beams are merged in a [`std::collections::BTreeMap`] and
+//! pruned under total ordering, so streaming decode is bit-identical to
+//! offline decode and independent of hash-map iteration order.
+
+use std::collections::BTreeMap;
+
+use crate::decode::{frame_argmax, Decoder, Endpointer, Hypothesis};
+use crate::phones;
+
+/// Default trailing-blank endpoint threshold, in frames (10 ms hop ⇒
+/// 200 ms of sustained silence).
+pub const DEFAULT_TRAILING_BLANKS: usize = 20;
+
+/// Conventional blank index for a `classes`-way CTC head: the silence
+/// phone when the head matches the 39-phone inventory, class 0 otherwise.
+pub fn blank_for(classes: usize) -> usize {
+    if classes > phones::SILENCE {
+        phones::SILENCE
+    } else {
+        0
+    }
+}
+
+/// Numerically stable log(exp(a) + exp(b)) under total ordering; never
+/// panics on NaN (propagates it instead).
+fn log_sum_exp(a: f32, b: f32) -> f32 {
+    if a == f32::NEG_INFINITY {
+        return b;
+    }
+    if b == f32::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a.total_cmp(&b) == std::cmp::Ordering::Less {
+        (b, a)
+    } else {
+        (a, b)
+    };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// Log-softmax of one logits frame, NaN-tolerant (propagates, no panics).
+fn log_softmax(frame: &[f32]) -> Vec<f32> {
+    let max = frame.iter().copied().max_by(f32::total_cmp).unwrap_or(0.0);
+    let sum: f32 = frame.iter().map(|&v| (v - max).exp()).sum();
+    let log_z = max + sum.max(f32::MIN_POSITIVE).ln();
+    frame.iter().map(|&v| v - log_z).collect()
+}
+
+/// CTC best-path (greedy) decoder: per-frame argmax, collapse repeats,
+/// drop blanks. Streaming-exact — the greedy rule is frame-local.
+#[derive(Debug, Clone)]
+pub struct CtcGreedyDecoder {
+    blank: usize,
+    symbols: Vec<usize>,
+    prev_class: Option<usize>,
+    score: f32,
+    frames: usize,
+    endpointer: Endpointer,
+    emitted: (usize, bool),
+}
+
+impl CtcGreedyDecoder {
+    /// Creates a greedy decoder with the given blank class and the default
+    /// endpoint threshold.
+    pub fn new(blank: usize) -> Self {
+        Self::with_endpoint(blank, DEFAULT_TRAILING_BLANKS)
+    }
+
+    /// Creates a greedy decoder with an explicit trailing-blank endpoint
+    /// threshold (in frames).
+    pub fn with_endpoint(blank: usize, trailing_blanks: usize) -> Self {
+        CtcGreedyDecoder {
+            blank,
+            symbols: Vec::new(),
+            prev_class: None,
+            score: 0.0,
+            frames: 0,
+            endpointer: Endpointer::new(blank, trailing_blanks),
+            emitted: (0, false),
+        }
+    }
+
+    fn hypothesis(&self, endpoint: bool, is_final: bool) -> Hypothesis {
+        Hypothesis {
+            symbols: self.symbols.clone(),
+            score: self.score,
+            frames: self.frames,
+            endpoint,
+            is_final,
+        }
+    }
+}
+
+impl Decoder for CtcGreedyDecoder {
+    fn push_frame(&mut self, logits: &[f32]) -> Option<Hypothesis> {
+        if logits.is_empty() {
+            return None;
+        }
+        let lp = log_softmax(logits);
+        let c = frame_argmax(&lp);
+        self.score += lp[c];
+        self.frames += 1;
+        if c != self.blank && self.prev_class != Some(c) {
+            self.symbols.push(c);
+        }
+        self.prev_class = Some(c);
+        let endpoint = self.endpointer.observe(c);
+        if (self.symbols.len(), endpoint) != self.emitted {
+            self.emitted = (self.symbols.len(), endpoint);
+            Some(self.hypothesis(endpoint, false))
+        } else {
+            None
+        }
+    }
+
+    fn finish(&mut self) -> Hypothesis {
+        self.hypothesis(self.emitted.1, true)
+    }
+
+    fn reset(&mut self) {
+        self.symbols.clear();
+        self.prev_class = None;
+        self.score = 0.0;
+        self.frames = 0;
+        self.endpointer.reset();
+        self.emitted = (0, false);
+    }
+}
+
+/// One beam entry: a blank-free prefix with separate log-probabilities for
+/// the path ensembles ending in blank (`p_blank`) and in the prefix's last
+/// symbol (`p_non_blank`).
+#[derive(Debug, Clone)]
+struct Beam {
+    prefix: Vec<usize>,
+    p_blank: f32,
+    p_non_blank: f32,
+}
+
+impl Beam {
+    fn total(&self) -> f32 {
+        log_sum_exp(self.p_blank, self.p_non_blank)
+    }
+}
+
+/// CTC prefix beam search decoder with log-sum-exp path merging.
+///
+/// Keeps the `width` most probable blank-free prefixes per frame; each
+/// prefix aggregates every frame alignment that collapses to it. Width 1
+/// runs the greedy best-path algorithm (see the module docs for why that
+/// equivalence is by construction).
+#[derive(Debug, Clone)]
+pub struct CtcBeamDecoder {
+    blank: usize,
+    width: usize,
+    /// Width-1 fast path: prefix search degenerates to best-path.
+    greedy: Option<CtcGreedyDecoder>,
+    beams: Vec<Beam>,
+    frames: usize,
+    endpointer: Endpointer,
+    emitted: (Vec<usize>, bool),
+}
+
+impl CtcBeamDecoder {
+    /// Creates a beam decoder with the given blank class and beam width
+    /// (≥ 1), using the default endpoint threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(blank: usize, width: usize) -> Self {
+        Self::with_endpoint(blank, width, DEFAULT_TRAILING_BLANKS)
+    }
+
+    /// Creates a beam decoder with an explicit trailing-blank endpoint
+    /// threshold (in frames).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn with_endpoint(blank: usize, width: usize, trailing_blanks: usize) -> Self {
+        assert!(width >= 1, "beam width must be at least 1");
+        let greedy = (width == 1).then(|| CtcGreedyDecoder::with_endpoint(blank, trailing_blanks));
+        CtcBeamDecoder {
+            blank,
+            width,
+            greedy,
+            beams: vec![Beam {
+                prefix: Vec::new(),
+                p_blank: 0.0,
+                p_non_blank: f32::NEG_INFINITY,
+            }],
+            frames: 0,
+            endpointer: Endpointer::new(blank, trailing_blanks),
+            emitted: (Vec::new(), false),
+        }
+    }
+
+    fn best(&self) -> &Beam {
+        // `beams` is kept sorted best-first by the prune step.
+        &self.beams[0]
+    }
+
+    fn hypothesis(&self, endpoint: bool, is_final: bool) -> Hypothesis {
+        let best = self.best();
+        Hypothesis {
+            symbols: best.prefix.clone(),
+            score: best.total(),
+            frames: self.frames,
+            endpoint,
+            is_final,
+        }
+    }
+}
+
+impl Decoder for CtcBeamDecoder {
+    fn push_frame(&mut self, logits: &[f32]) -> Option<Hypothesis> {
+        if let Some(greedy) = &mut self.greedy {
+            return greedy.push_frame(logits);
+        }
+        if logits.is_empty() {
+            return None;
+        }
+        let lp = log_softmax(logits);
+        self.frames += 1;
+
+        // Merge successor prefixes deterministically (BTreeMap keeps
+        // lexicographic prefix order, so score ties prune identically on
+        // every run).
+        let mut next: BTreeMap<Vec<usize>, (f32, f32)> = BTreeMap::new();
+        let mut upd = |prefix: Vec<usize>, blank_part: f32, non_blank_part: f32| {
+            let entry = next
+                .entry(prefix)
+                .or_insert((f32::NEG_INFINITY, f32::NEG_INFINITY));
+            entry.0 = log_sum_exp(entry.0, blank_part);
+            entry.1 = log_sum_exp(entry.1, non_blank_part);
+        };
+        for beam in &self.beams {
+            let total = beam.total();
+            for (c, &lpc) in lp.iter().enumerate() {
+                if c == self.blank {
+                    // Any path + blank stays on the same prefix.
+                    upd(beam.prefix.clone(), total + lpc, f32::NEG_INFINITY);
+                } else if beam.prefix.last() == Some(&c) {
+                    // Repeat of the last symbol: without an intervening
+                    // blank it collapses (same prefix, non-blank paths
+                    // only); after a blank it extends the prefix.
+                    upd(
+                        beam.prefix.clone(),
+                        f32::NEG_INFINITY,
+                        beam.p_non_blank + lpc,
+                    );
+                    let mut ext = beam.prefix.clone();
+                    ext.push(c);
+                    upd(ext, f32::NEG_INFINITY, beam.p_blank + lpc);
+                } else {
+                    let mut ext = beam.prefix.clone();
+                    ext.push(c);
+                    upd(ext, f32::NEG_INFINITY, total + lpc);
+                }
+            }
+        }
+
+        // Prune to the top `width` prefixes, best first; ties keep
+        // lexicographic order (stable sort over BTreeMap iteration).
+        let mut beams: Vec<Beam> = next
+            .into_iter()
+            .map(|(prefix, (p_blank, p_non_blank))| Beam {
+                prefix,
+                p_blank,
+                p_non_blank,
+            })
+            .collect();
+        beams.sort_by(|a, b| b.total().total_cmp(&a.total()));
+        beams.truncate(self.width);
+        self.beams = beams;
+
+        let endpoint = self.endpointer.observe(frame_argmax(&lp));
+        let best_prefix = &self.beams[0].prefix;
+        if (best_prefix, endpoint) != (&self.emitted.0, self.emitted.1) {
+            self.emitted = (best_prefix.clone(), endpoint);
+            Some(self.hypothesis(endpoint, false))
+        } else {
+            None
+        }
+    }
+
+    fn finish(&mut self) -> Hypothesis {
+        if let Some(greedy) = &mut self.greedy {
+            return greedy.finish();
+        }
+        self.hypothesis(self.emitted.1, true)
+    }
+
+    fn reset(&mut self) {
+        if let Some(greedy) = &mut self.greedy {
+            greedy.reset();
+        }
+        self.beams = vec![Beam {
+            prefix: Vec::new(),
+            p_blank: 0.0,
+            p_non_blank: f32::NEG_INFINITY,
+        }];
+        self.frames = 0;
+        self.endpointer.reset();
+        self.emitted = (Vec::new(), false);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode_offline;
+
+    const B: usize = 0; // blank for the tiny test lattices
+
+    /// Logits strongly favouring one class per frame.
+    fn peaked(labels: &[usize], classes: usize) -> Vec<Vec<f32>> {
+        labels
+            .iter()
+            .map(|&l| {
+                (0..classes)
+                    .map(|c| if c == l { 6.0 } else { 0.0 })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn greedy_collapses_and_drops_blanks() {
+        // B 1 1 B 2 2 B → [1, 2]
+        let logits = peaked(&[B, 1, 1, B, 2, 2, B], 3);
+        let hyp = decode_offline(&mut CtcGreedyDecoder::new(B), &logits);
+        assert_eq!(hyp.symbols, vec![1, 2]);
+        assert_eq!(hyp.frames, 7);
+    }
+
+    #[test]
+    fn blank_separates_doubled_symbols() {
+        // 1 1 B 1 → [1, 1]; without the blank it would collapse to [1].
+        let logits = peaked(&[1, 1, B, 1], 3);
+        let hyp = decode_offline(&mut CtcGreedyDecoder::new(B), &logits);
+        assert_eq!(hyp.symbols, vec![1, 1]);
+        let collapsed = decode_offline(&mut CtcGreedyDecoder::new(B), &peaked(&[1, 1, 1], 3));
+        assert_eq!(collapsed.symbols, vec![1]);
+    }
+
+    #[test]
+    fn all_blank_decodes_empty() {
+        let logits = peaked(&[B, B, B, B], 3);
+        let hyp = decode_offline(&mut CtcGreedyDecoder::new(B), &logits);
+        assert!(hyp.symbols.is_empty());
+    }
+
+    #[test]
+    fn beam_width_one_is_greedy() {
+        let logits = peaked(&[B, 1, 2, B, 2, 1, 1, B], 4);
+        let greedy = decode_offline(&mut CtcGreedyDecoder::new(B), &logits);
+        let beam1 = decode_offline(&mut CtcBeamDecoder::new(B, 1), &logits);
+        assert_eq!(greedy, beam1, "width-1 beam must be exactly greedy");
+    }
+
+    #[test]
+    fn beam_merges_paths_greedy_misses() {
+        // The classic prefix-search counterexample: per-frame the blank
+        // wins (0.6), so greedy decodes []. But the paths [1,1], [1,B],
+        // [B,1] all collapse to [1] with mass 0.4*0.4 + 0.4*0.6 + 0.6*0.4
+        // = 0.64 > 0.36 — the beam decoder merges them and finds [1].
+        let frame = vec![0.6f32.ln(), 0.4f32.ln(), f32::MIN_POSITIVE.ln()];
+        let logits = vec![frame.clone(), frame];
+        let greedy = decode_offline(&mut CtcGreedyDecoder::new(B), &logits);
+        assert!(greedy.symbols.is_empty(), "greedy takes the blank path");
+        let beam = decode_offline(&mut CtcBeamDecoder::new(B, 4), &logits);
+        assert_eq!(beam.symbols, vec![1], "beam merges the collapsed paths");
+        // Check the merged score: ln(0.64) within fp32 tolerance.
+        assert!((beam.score - 0.64f32.ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn golden_decode_on_hand_built_lattice() {
+        // Frames (classes B,1,2):    probabilities
+        //   t0: 1 strong              [0.1, 0.8, 0.1]
+        //   t1: blank                 [0.8, 0.1, 0.1]
+        //   t2: 2 vs 1 close          [0.1, 0.4, 0.5]
+        //   t3: 2 strong              [0.1, 0.1, 0.8]
+        let rows = [
+            [0.1f32, 0.8, 0.1],
+            [0.8, 0.1, 0.1],
+            [0.1, 0.4, 0.5],
+            [0.1, 0.1, 0.8],
+        ];
+        let logits: Vec<Vec<f32>> = rows
+            .iter()
+            .map(|r| r.iter().map(|p| p.ln()).collect())
+            .collect();
+        for width in [2, 4, 8] {
+            let hyp = decode_offline(&mut CtcBeamDecoder::new(B, width), &logits);
+            assert_eq!(hyp.symbols, vec![1, 2], "width {width}");
+        }
+    }
+
+    #[test]
+    fn streaming_equals_offline_bitwise() {
+        let logits = peaked(&[B, 1, 1, B, 2, B, 2, 2, B, B], 3);
+        for width in [1usize, 2, 4] {
+            let offline = decode_offline(&mut CtcBeamDecoder::new(B, width), &logits);
+            let mut streaming = CtcBeamDecoder::new(B, width);
+            let mut last = None;
+            for f in &logits {
+                if let Some(h) = streaming.push_frame(f) {
+                    last = Some(h);
+                }
+            }
+            let fin = streaming.finish();
+            assert_eq!(offline, fin, "width {width}");
+            // The last partial already carried the final symbols.
+            assert_eq!(last.unwrap().symbols, fin.symbols);
+        }
+    }
+
+    #[test]
+    fn endpoint_fires_after_trailing_blanks() {
+        let logits = peaked(&[1, 1, B, B, B, B], 3);
+        let mut d = CtcGreedyDecoder::with_endpoint(B, 3);
+        let mut fired_at = None;
+        for (t, f) in logits.iter().enumerate() {
+            if let Some(h) = d.push_frame(f) {
+                if h.endpoint {
+                    fired_at.get_or_insert(t);
+                }
+            }
+        }
+        assert_eq!(fired_at, Some(4), "3rd consecutive blank frame");
+        assert!(d.finish().endpoint);
+    }
+
+    #[test]
+    fn endpoint_clears_when_speech_resumes() {
+        let logits = peaked(&[1, B, B, 2], 3);
+        let mut d = CtcBeamDecoder::with_endpoint(B, 2, 2);
+        let mut states = Vec::new();
+        for f in &logits {
+            if let Some(h) = d.push_frame(f) {
+                states.push((h.symbols.clone(), h.endpoint));
+            }
+        }
+        assert_eq!(
+            states,
+            vec![
+                (vec![1], false),
+                (vec![1], true),     // trailing blanks hit the threshold
+                (vec![1, 2], false), // speech resumed
+            ]
+        );
+    }
+
+    #[test]
+    fn blank_for_matches_inventory() {
+        assert_eq!(blank_for(crate::phones::NUM_PHONES), crate::phones::SILENCE);
+        assert_eq!(blank_for(4), 0);
+    }
+
+    #[test]
+    fn nan_and_infinite_logits_never_panic() {
+        let weird = vec![
+            vec![f32::NAN, 1.0, 2.0],
+            vec![f32::INFINITY, f32::NEG_INFINITY, 0.0],
+            vec![f32::NAN, f32::NAN, f32::NAN],
+            vec![1.0, 1.0, 1.0],
+        ];
+        for width in [1usize, 4] {
+            let mut d = CtcBeamDecoder::new(B, width);
+            let hyp = decode_offline(&mut d, &weird);
+            assert!(hyp.symbols.iter().all(|&s| s < 3), "symbols stay in range");
+        }
+    }
+
+    #[test]
+    fn zero_length_utterance() {
+        let mut d = CtcBeamDecoder::new(B, 4);
+        let hyp = d.finish();
+        assert!(hyp.symbols.is_empty());
+        assert_eq!(hyp.frames, 0);
+        assert!(hyp.is_final);
+    }
+}

@@ -1,20 +1,277 @@
-//! Sequence decoding beyond frame-wise argmax.
+//! Sequence decoding beyond frame-wise argmax, behind the [`Decoder`] API.
 //!
-//! The naive decoder (collapse consecutive argmax frames) is brittle: one
-//! noisy frame inserts a phantom phone and costs an insertion *and* breaks
-//! a run. [`viterbi_decode`] runs a first-order Viterbi pass over the frame
-//! log-probabilities with a uniform phone-switch penalty — the standard
-//! "HMM with self-loops" smoothing every Kaldi-style recognizer applies —
-//! which trades a tiny latency cost for materially lower PER on noisy
-//! utterances.
+//! Historically this module offered one free function, [`viterbi_decode`],
+//! and the PER paths collapsed argmax frames with
+//! [`crate::per::collapse_frames`]. Both survive unchanged, but they are now
+//! thin wrappers over the unified incremental [`Decoder`] trait, which all
+//! decoders — frame-argmax ([`ArgmaxDecoder`]), Viterbi smoothing
+//! ([`ViterbiDecoder`]), and the CTC family ([`crate::ctc`]) — implement.
+//!
+//! The trait is *streaming-first*: frames are pushed one at a time and the
+//! decoder emits a partial [`Hypothesis`] whenever it changes, so the same
+//! object serves both offline scoring (push everything, then
+//! [`Decoder::finish`]) and live serving (emit partials + endpoint events as
+//! audio arrives). Decoders are deterministic functions of the logits
+//! sequence: pushing frames one by one yields bit-identical hypotheses to
+//! decoding the same logits offline, which is what lets the serve path and
+//! the batch scorer share golden tests.
 
 use rtm_tensor::activations::softmax_slice;
 
+/// A decoded (partial or final) symbol-sequence hypothesis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hypothesis {
+    /// Decoded symbol sequence (collapsed; blank-free for CTC decoders).
+    pub symbols: Vec<usize>,
+    /// Decoder-specific log-probability score (`0.0` where the decoder
+    /// carries no probability model, e.g. [`ArgmaxDecoder`]).
+    pub score: f32,
+    /// Frames consumed so far.
+    pub frames: usize,
+    /// Whether the endpointing heuristic currently considers the utterance
+    /// finished (trailing-blank run exceeded the configured threshold).
+    pub endpoint: bool,
+    /// `true` only for the hypothesis returned by [`Decoder::finish`].
+    pub is_final: bool,
+}
+
+impl Hypothesis {
+    /// An empty, zero-frame hypothesis.
+    pub fn empty() -> Self {
+        Hypothesis {
+            symbols: Vec::new(),
+            score: 0.0,
+            frames: 0,
+            endpoint: false,
+            is_final: false,
+        }
+    }
+}
+
+/// Incremental utterance decoder over per-frame class logits.
+///
+/// Contract: for a fixed logits sequence the emitted hypotheses are a pure
+/// function of the frames pushed so far — no wall-clock or iteration-order
+/// dependence — so streaming decode is bit-identical to offline decode.
+pub trait Decoder {
+    /// Feeds one frame of per-class logits.
+    ///
+    /// Returns the updated partial hypothesis when it changed since the
+    /// last emission (new symbols, or the endpoint flag flipped); `None`
+    /// when the partial result is unchanged. Empty frames are ignored.
+    fn push_frame(&mut self, logits: &[f32]) -> Option<Hypothesis>;
+
+    /// Finalizes the utterance and returns the final hypothesis.
+    fn finish(&mut self) -> Hypothesis;
+
+    /// Clears all streaming state, ready for a new utterance.
+    fn reset(&mut self);
+}
+
+/// Decodes a full utterance offline through any [`Decoder`].
+///
+/// Resets the decoder, pushes every frame, and finalizes. The result is
+/// bit-identical to streaming the same frames through `push_frame`.
+pub fn decode_offline<D: Decoder + ?Sized>(decoder: &mut D, logits: &[Vec<f32>]) -> Hypothesis {
+    decoder.reset();
+    for frame in logits {
+        let _ = decoder.push_frame(frame);
+    }
+    decoder.finish()
+}
+
+/// Trailing-blank endpointing heuristic shared by the streaming decoders.
+///
+/// Fires when `threshold` consecutive frames have the blank (silence) class
+/// as their argmax; clears as soon as a non-blank frame arrives.
+#[derive(Debug, Clone)]
+pub(crate) struct Endpointer {
+    blank: usize,
+    threshold: usize,
+    run: usize,
+}
+
+impl Endpointer {
+    pub(crate) fn new(blank: usize, threshold: usize) -> Self {
+        assert!(threshold > 0, "endpoint threshold must be positive");
+        Endpointer {
+            blank,
+            threshold,
+            run: 0,
+        }
+    }
+
+    /// Observes one frame's argmax class; returns the current endpoint state.
+    pub(crate) fn observe(&mut self, argmax: usize) -> bool {
+        if argmax == self.blank {
+            self.run += 1;
+        } else {
+            self.run = 0;
+        }
+        self.run >= self.threshold
+    }
+
+    pub(crate) fn reset(&mut self) {
+        self.run = 0;
+    }
+}
+
+/// NaN-safe argmax: first index of the maximum under total ordering; `0`
+/// when every comparison fails (all-NaN frames never panic, per the fuzz
+/// contract).
+pub(crate) fn frame_argmax(frame: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in frame.iter().enumerate().skip(1) {
+        if v.total_cmp(&frame[best]) == std::cmp::Ordering::Greater {
+            best = i;
+        }
+    }
+    best
+}
+
+/// The legacy frame-argmax path as a [`Decoder`]: collapse consecutive
+/// identical argmax frames, exactly like
+/// [`crate::per::collapse_frames`] over per-frame argmax predictions.
+///
+/// Carries no probability model (`score` stays `0.0`). Optional trailing-
+/// silence endpointing via [`ArgmaxDecoder::with_endpointing`].
+#[derive(Debug, Clone)]
+pub struct ArgmaxDecoder {
+    symbols: Vec<usize>,
+    frames: usize,
+    endpointer: Option<Endpointer>,
+    emitted: (usize, bool),
+}
+
+impl ArgmaxDecoder {
+    /// A plain collapse decoder with no endpointing.
+    pub fn new() -> Self {
+        ArgmaxDecoder {
+            symbols: Vec::new(),
+            frames: 0,
+            endpointer: None,
+            emitted: (0, false),
+        }
+    }
+
+    /// Enables endpointing: fire after `trailing_blanks` consecutive frames
+    /// whose argmax is `blank`.
+    pub fn with_endpointing(mut self, blank: usize, trailing_blanks: usize) -> Self {
+        self.endpointer = Some(Endpointer::new(blank, trailing_blanks));
+        self
+    }
+
+    fn hypothesis(&self, endpoint: bool, is_final: bool) -> Hypothesis {
+        Hypothesis {
+            symbols: self.symbols.clone(),
+            score: 0.0,
+            frames: self.frames,
+            endpoint,
+            is_final,
+        }
+    }
+}
+
+impl Default for ArgmaxDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Decoder for ArgmaxDecoder {
+    fn push_frame(&mut self, logits: &[f32]) -> Option<Hypothesis> {
+        if logits.is_empty() {
+            return None;
+        }
+        let c = frame_argmax(logits);
+        self.frames += 1;
+        if self.symbols.last() != Some(&c) {
+            self.symbols.push(c);
+        }
+        let endpoint = match &mut self.endpointer {
+            Some(e) => e.observe(c),
+            None => false,
+        };
+        if (self.symbols.len(), endpoint) != self.emitted {
+            self.emitted = (self.symbols.len(), endpoint);
+            Some(self.hypothesis(endpoint, false))
+        } else {
+            None
+        }
+    }
+
+    fn finish(&mut self) -> Hypothesis {
+        self.hypothesis(self.emitted.1, true)
+    }
+
+    fn reset(&mut self) {
+        self.symbols.clear();
+        self.frames = 0;
+        self.emitted = (0, false);
+        if let Some(e) = &mut self.endpointer {
+            e.reset();
+        }
+    }
+}
+
+/// First-order Viterbi smoothing as a [`Decoder`].
+///
+/// The algorithm needs the whole utterance (the best path can revise
+/// earlier frames), so this decoder buffers frames and never emits
+/// partials: `push_frame` always returns `None` and the full decode
+/// happens in [`Decoder::finish`]. Use the CTC decoders when streaming
+/// partials matter.
+#[derive(Debug, Clone)]
+pub struct ViterbiDecoder {
+    switch_penalty: f32,
+    buffer: Vec<Vec<f32>>,
+}
+
+impl ViterbiDecoder {
+    /// Creates a decoder with the given phone-switch penalty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch_penalty` is negative.
+    pub fn new(switch_penalty: f32) -> Self {
+        assert!(switch_penalty >= 0.0, "penalty must be non-negative");
+        ViterbiDecoder {
+            switch_penalty,
+            buffer: Vec::new(),
+        }
+    }
+}
+
+impl Decoder for ViterbiDecoder {
+    fn push_frame(&mut self, logits: &[f32]) -> Option<Hypothesis> {
+        if !logits.is_empty() {
+            self.buffer.push(logits.to_vec());
+        }
+        None
+    }
+
+    fn finish(&mut self) -> Hypothesis {
+        let (symbols, score) = viterbi_path(&self.buffer, self.switch_penalty);
+        Hypothesis {
+            symbols,
+            score,
+            frames: self.buffer.len(),
+            endpoint: false,
+            is_final: true,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.buffer.clear();
+    }
+}
+
 /// Decodes a phone sequence from per-frame logits with a switch penalty.
 ///
-/// `switch_penalty` is the negative log-probability surcharge for changing
-/// phones between consecutive frames (`0.0` reduces to plain argmax
-/// collapsing; typical useful values are 1–6).
+/// Legacy wrapper over [`ViterbiDecoder`] — prefer the [`Decoder`] API,
+/// which also streams. `switch_penalty` is the negative log-probability
+/// surcharge for changing phones between consecutive frames (`0.0` reduces
+/// to plain argmax collapsing; typical useful values are 1–6).
 ///
 /// Returns the collapsed best-path phone sequence.
 ///
@@ -23,9 +280,19 @@ use rtm_tensor::activations::softmax_slice;
 /// Panics if frames have inconsistent class counts or `switch_penalty` is
 /// negative.
 pub fn viterbi_decode(logits: &[Vec<f32>], switch_penalty: f32) -> Vec<usize> {
-    assert!(switch_penalty >= 0.0, "penalty must be non-negative");
+    let mut decoder = ViterbiDecoder::new(switch_penalty);
+    for frame in logits {
+        let _ = decoder.push_frame(frame);
+    }
+    decoder.finish().symbols
+}
+
+/// The Viterbi DP over `(frame, phone)` — the standard "HMM with
+/// self-loops" smoothing every Kaldi-style recognizer applies. Returns the
+/// collapsed best path and its log-probability score.
+fn viterbi_path(logits: &[Vec<f32>], switch_penalty: f32) -> (Vec<usize>, f32) {
     if logits.is_empty() {
-        return Vec::new();
+        return (Vec::new(), 0.0);
     }
     let classes = logits[0].len();
     assert!(classes > 0, "need at least one class");
@@ -78,11 +345,12 @@ pub fn viterbi_decode(logits: &[Vec<f32>], switch_penalty: f32) -> Vec<usize> {
             best = c;
         }
     }
+    let best_score = score[best];
     let mut path = vec![best; log_probs.len()];
     for t in (1..log_probs.len()).rev() {
         path[t - 1] = back[t][path[t]];
     }
-    crate::per::collapse_frames(&path)
+    (crate::per::collapse_frames(&path), best_score)
 }
 
 #[cfg(test)]
@@ -141,6 +409,65 @@ mod tests {
     #[should_panic(expected = "penalty must be non-negative")]
     fn negative_penalty_rejected() {
         viterbi_decode(&[vec![0.0]], -1.0);
+    }
+
+    #[test]
+    fn argmax_decoder_matches_collapse_frames() {
+        let logits = clean_logits(&[0, 0, 1, 1, 1, 0, 2, 2], 3);
+        let frame_preds: Vec<usize> = logits.iter().map(|f| frame_argmax(f)).collect();
+        let legacy = crate::per::collapse_frames(&frame_preds);
+        let hyp = decode_offline(&mut ArgmaxDecoder::new(), &logits);
+        assert_eq!(hyp.symbols, legacy);
+        assert_eq!(hyp.frames, logits.len());
+        assert!(hyp.is_final);
+    }
+
+    #[test]
+    fn argmax_decoder_emits_only_on_change() {
+        let logits = clean_logits(&[0, 0, 0, 1, 1], 3);
+        let mut d = ArgmaxDecoder::new();
+        let emits: Vec<bool> = logits.iter().map(|f| d.push_frame(f).is_some()).collect();
+        assert_eq!(emits, vec![true, false, false, true, false]);
+    }
+
+    #[test]
+    fn argmax_endpointing_fires_on_trailing_silence() {
+        // blank = 2; two trailing blank frames fire at threshold 2.
+        let logits = clean_logits(&[0, 0, 2, 2, 2], 3);
+        let mut d = ArgmaxDecoder::new().with_endpointing(2, 2);
+        let mut endpoint_at = None;
+        for (t, f) in logits.iter().enumerate() {
+            if let Some(h) = d.push_frame(f) {
+                if h.endpoint {
+                    endpoint_at.get_or_insert(t);
+                }
+            }
+        }
+        assert_eq!(endpoint_at, Some(3), "fires on the 2nd blank frame");
+        assert!(d.finish().endpoint);
+    }
+
+    #[test]
+    fn viterbi_decoder_is_offline_only() {
+        let logits = clean_logits(&[0, 0, 1], 3);
+        let mut d = ViterbiDecoder::new(2.0);
+        for f in &logits {
+            assert!(d.push_frame(f).is_none(), "viterbi emits no partials");
+        }
+        let hyp = d.finish();
+        assert_eq!(hyp.symbols, vec![0, 1]);
+        assert!(hyp.is_final);
+        // The wrapper and the trait path agree exactly.
+        assert_eq!(hyp.symbols, viterbi_decode(&logits, 2.0));
+    }
+
+    #[test]
+    fn reset_restarts_cleanly() {
+        let logits = clean_logits(&[0, 1, 2], 3);
+        let mut d = ArgmaxDecoder::new();
+        let first = decode_offline(&mut d, &logits);
+        let second = decode_offline(&mut d, &logits);
+        assert_eq!(first, second, "reset makes decodes independent");
     }
 
     #[test]

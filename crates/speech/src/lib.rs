@@ -35,6 +35,7 @@
 //! ```
 
 pub mod corpus;
+pub mod ctc;
 pub mod decode;
 pub mod features;
 pub mod per;
@@ -42,7 +43,10 @@ pub mod phones;
 pub mod task;
 
 pub use corpus::{CorpusConfig, SpeechCorpus, Utterance};
-pub use decode::viterbi_decode;
+pub use ctc::{blank_for, CtcBeamDecoder, CtcGreedyDecoder};
+pub use decode::{
+    decode_offline, viterbi_decode, ArgmaxDecoder, Decoder, Hypothesis, ViterbiDecoder,
+};
 pub use features::{add_deltas, add_deltas_2, CmvnStats};
 pub use per::{edit_distance, phone_error_rate, PerReport};
 pub use task::SpeechTask;

@@ -214,6 +214,11 @@ pub mod key {
     /// Histogram: client-observed per-frame round-trip latency in
     /// microseconds (recorded by the loopback load generator).
     pub const SERVE_CLIENT_RTT_US: &str = "serve.client_rtt_us";
+    /// Histogram: per-stream real-time factor in milli-RTF (RTF × 1000,
+    /// so sub-real-time values survive the integer histogram): a stream's
+    /// inference+decode wall time over its audio time, recorded when the
+    /// stream completes.
+    pub const RTF_STREAM: &str = "rtf.stream";
     /// Bundle-change detections that started a background reload.
     pub const SERVE_RELOAD_ATTEMPT: &str = "serve.reload.attempt";
     /// Hot swaps promoted to serving.

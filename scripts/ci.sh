@@ -54,6 +54,13 @@ RTM_PRECISION=int8 cargo test -q --workspace
 echo "==> cargo test -q (RTM_FORMAT=auto)"
 RTM_FORMAT=auto cargo test -q --workspace
 
+# Sixth pass with the streaming decoder rerouted to CTC prefix beam
+# search: every pipeline / serve / decode-contract test must hold when the
+# default decode path is the beam decoder (per-lane state, partials and
+# endpoints live on every served stream).
+echo "==> cargo test -q (RTM_DECODER=ctc-beam:4)"
+RTM_DECODER=ctc-beam:4 cargo test -q --workspace
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -64,7 +71,7 @@ profile=()
 if [[ "$quick" -eq 0 ]]; then
   profile=(--release)
 fi
-for bin in parallel_spmv simd_kernels batched_spmm trace_overhead quant_kernels format_zoo serve_load reload_bench; do
+for bin in parallel_spmv simd_kernels batched_spmm trace_overhead quant_kernels format_zoo serve_load reload_bench rtf_bench; do
   cargo run -q "${profile[@]}" -p rtm-bench --bin "$bin" -- --quick >/dev/null
 done
 

@@ -681,3 +681,93 @@ fn v5_torn_publishes_are_rejected_by_the_trailer() {
     // And the un-torn bytes still decode.
     assert!(bundle::from_bytes(&pristine).is_ok());
 }
+
+// ---------------------------------------------------------------------------
+// Decoder-input fuzz (DESIGN.md §16): hostile logits at the Decoder API.
+// ---------------------------------------------------------------------------
+
+/// Seeded fuzz over every decoder the config can build: NaN/∞-poisoned
+/// logits rows, saturated values, empty frames and zero-length utterances.
+/// The contract is containment — a decoder must never panic, its final
+/// hypothesis must stay structurally sound (symbols bounded by frames
+/// pushed, no blank leakage from the CTC family), and `reset` must fully
+/// recover the instance for the next utterance.
+#[test]
+fn decoders_survive_poisoned_logits_fuzz() {
+    use rtmobile::DecoderChoice;
+    let iters: usize = rtmobile::env::fuzz_iters().ok().flatten().unwrap_or(10_000);
+    let choices = [
+        DecoderChoice::Argmax,
+        DecoderChoice::Viterbi,
+        DecoderChoice::CtcGreedy,
+        DecoderChoice::CtcBeam(1),
+        DecoderChoice::CtcBeam(4),
+    ];
+    let mut inj = FaultInjector::new(0xDECC0DE);
+    let classes = 6usize;
+    let blank = rtm_speech::blank_for(classes);
+    // One long-lived decoder per choice: reset() is part of what's fuzzed.
+    let mut decoders: Vec<_> = choices.iter().map(|c| c.build(classes)).collect();
+    for i in 0..iters {
+        let frames = inj.pick(8); // 0..=7 — zero-length utterances included
+        let mut utterance: Vec<Vec<f32>> = (0..frames)
+            .map(|t| {
+                (0..classes)
+                    .map(|c| ((i + t * classes + c) as f32 * 0.7).sin() * 4.0)
+                    .collect()
+            })
+            .collect();
+        // Poison roughly half the rows (NaN / ±Inf / saturated rotate),
+        // and occasionally make a row empty (must be ignored, not fatal).
+        for row in &mut utterance {
+            if inj.fire(0.5) {
+                inj.poison_frame(row);
+            }
+            if inj.fire(0.1) {
+                row.clear();
+            }
+        }
+        let which = i % decoders.len();
+        let d = &mut decoders[which];
+        d.reset();
+        let mut pushed = 0usize;
+        for row in &utterance {
+            if !row.is_empty() {
+                pushed += 1;
+            }
+            let _ = d.push_frame(row);
+        }
+        let hyp = d.finish();
+        assert!(hyp.is_final, "iter {i} ({which}): finish marks final");
+        assert!(
+            hyp.symbols.len() <= pushed.max(1) * 2,
+            "iter {i} ({which}): {} symbols from {pushed} frames",
+            hyp.symbols.len()
+        );
+        if which >= 2 {
+            // The CTC family never emits its blank.
+            assert!(
+                hyp.symbols.iter().all(|&s| s != blank),
+                "iter {i} ({which}): blank leaked"
+            );
+        }
+    }
+    // After the storm every instance still decodes a clean utterance.
+    let clean: Vec<Vec<f32>> = (0..5)
+        .map(|t| {
+            (0..classes)
+                .map(|c| if c == t % classes { 5.0 } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    for (choice, d) in choices.iter().zip(&mut decoders) {
+        let after = rtm_speech::decode_offline(d.as_mut(), &clean);
+        let fresh = rtm_speech::decode_offline(choice.build(classes).as_mut(), &clean);
+        assert_eq!(
+            after,
+            fresh,
+            "{}: fuzzed instance differs from fresh",
+            choice.label()
+        );
+    }
+}
